@@ -1,0 +1,55 @@
+// Figure 10: percent reduction in page faults for file-based mappings over
+// each application's full execution, shared-PTP kernel vs stock, for both
+// alignments. Paper shape: average 38% reduction; Angrybirds and Google
+// Calendar above 70%.
+
+#include "bench/common.h"
+
+namespace sat {
+namespace {
+
+constexpr int kRuns = 3;
+
+int Run() {
+  PrintHeader("Figure 10",
+              "Percent reduction in file-backed page faults (vs stock)");
+
+  TablePrinter table({"Benchmark", "original align", "2MB align",
+                      "stock faults", "shared faults"});
+  double reduction_sum = 0;
+  double angry_calendar_min = 100;
+  const auto apps = AppProfile::PaperBenchmarks();
+  for (const AppProfile& app : apps) {
+    const double stock = MeanFileFaults(RunApp(SystemConfig::Stock(), app.name, kRuns));
+    const double shared =
+        MeanFileFaults(RunApp(SystemConfig::SharedPtp(), app.name, kRuns));
+    const double stock_2mb =
+        MeanFileFaults(RunApp(SystemConfig::Stock2Mb(), app.name, kRuns));
+    const double shared_2mb =
+        MeanFileFaults(RunApp(SystemConfig::SharedPtp2Mb(), app.name, kRuns));
+    const double reduction = (1.0 - shared / stock) * 100.0;
+    const double reduction_2mb = (1.0 - shared_2mb / stock_2mb) * 100.0;
+    table.AddRow({app.name, FormatDouble(reduction, 1) + "%",
+                  FormatDouble(reduction_2mb, 1) + "%",
+                  FormatDouble(stock, 0), FormatDouble(shared, 0)});
+    reduction_sum += reduction;
+    if (app.name == "Angrybirds" || app.name == "Google Calendar") {
+      angry_calendar_min = std::min(angry_calendar_min, reduction);
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n";
+  bool ok = true;
+  ok &= ShapeCheck(std::cout, "average fault reduction (%)", 38.0,
+                   reduction_sum / static_cast<double>(apps.size()), 0.45);
+  ok &= ShapeCheck(std::cout,
+                   "Angrybirds & Google Calendar reduction floor (%)", 70.0,
+                   angry_calendar_min, 0.35);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sat
+
+int main() { return sat::Run(); }

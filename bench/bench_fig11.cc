@@ -1,0 +1,62 @@
+// Figure 11: page-table pages allocated per application, normalized to the
+// stock kernel with the original alignment. Paper shape: sharing cuts PTP
+// allocation 35% with the original alignment and 26% with 2 MB alignment
+// (the 2 MB layout spreads data over more slots, so its absolute counts
+// are higher for both kernels).
+
+#include "bench/common.h"
+
+namespace sat {
+namespace {
+
+constexpr int kRuns = 3;
+
+int Run() {
+  PrintHeader("Figure 11",
+              "# of PTPs allocated (normalized to stock, original alignment)");
+
+  TablePrinter table({"Benchmark", "Stock", "Shared PTP", "Stock-2MB",
+                      "Shared PTP-2MB"});
+  double reduction_sum = 0;
+  double reduction_2mb_sum = 0;
+  const auto apps = AppProfile::PaperBenchmarks();
+  for (const AppProfile& app : apps) {
+    const double stock =
+        MeanPtpsAllocated(RunApp(SystemConfig::Stock(), app.name, kRuns));
+    const double shared =
+        MeanPtpsAllocated(RunApp(SystemConfig::SharedPtp(), app.name, kRuns));
+    const double stock_2mb =
+        MeanPtpsAllocated(RunApp(SystemConfig::Stock2Mb(), app.name, kRuns));
+    const double shared_2mb =
+        MeanPtpsAllocated(RunApp(SystemConfig::SharedPtp2Mb(), app.name, kRuns));
+    table.AddRow({app.name, FormatPercent(stock / stock),
+                  FormatPercent(shared / stock),
+                  FormatPercent(stock_2mb / stock),
+                  FormatPercent(shared_2mb / stock)});
+    // Both reductions are relative to the stock kernel with the
+    // *original* alignment, as in the paper's Section 4.2.3 ("compared to
+    // the stock kernel with the original alignment ... 35% ... and with
+    // 2MB alignment it reduces PTP allocation by 26%").
+    reduction_sum += (1.0 - shared / stock) * 100.0;
+    reduction_2mb_sum += (1.0 - shared_2mb / stock) * 100.0;
+  }
+  table.Print(std::cout);
+
+  const auto n = static_cast<double>(apps.size());
+  std::cout << "\n";
+  bool ok = true;
+  ok &= ShapeCheck(std::cout, "avg PTP reduction, original align (%)", 35.0,
+                   reduction_sum / n, 0.5);
+  ok &= ShapeCheck(std::cout, "avg PTP reduction, 2MB align (%)", 26.0,
+                   reduction_2mb_sum / n, 0.6);
+  // Paper: the original-alignment reduction exceeds the 2MB one (the 2MB
+  // layout spends extra data PTPs), yet both are substantial.
+  ok &= ShapeCheck(std::cout, "original reduction > 2MB reduction", 1.0,
+                   reduction_sum > reduction_2mb_sum ? 1.0 : 0.0, 0.01);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sat
+
+int main() { return sat::Run(); }

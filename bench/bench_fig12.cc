@@ -1,0 +1,52 @@
+// Figure 12: percent of each application's page-table pages that are
+// shared across address spaces at the end of its execution. Paper shape:
+// 39% of PTPs shared with the original alignment, 60% with 2 MB alignment
+// (data writes can no longer unshare code PTPs).
+
+#include "bench/common.h"
+
+namespace sat {
+namespace {
+
+// Shared-slot fraction at steady state: run the app and inspect its
+// address-space shape before exit.
+double SharedFraction(const SystemConfig& config, const std::string& app_name) {
+  System system(config);
+  AppRunner runner(&system.android());
+  const AppFootprint fp = system.workload().Generate(AppProfile::Named(app_name));
+  const AppRunStats stats = runner.Run(fp, /*exit_after=*/false);
+  return stats.SharedSlotFraction();
+}
+
+int Run() {
+  PrintHeader("Figure 12", "% of the total PTPs that are shared");
+
+  TablePrinter table({"Benchmark", "Shared PTP", "Shared PTP - 2MB"});
+  double original_sum = 0;
+  double aligned_sum = 0;
+  const auto apps = AppProfile::PaperBenchmarks();
+  for (const AppProfile& app : apps) {
+    const double original = SharedFraction(SystemConfig::SharedPtp(), app.name);
+    const double aligned = SharedFraction(SystemConfig::SharedPtp2Mb(), app.name);
+    table.AddRow({app.name, FormatPercent(original), FormatPercent(aligned)});
+    original_sum += original;
+    aligned_sum += aligned;
+  }
+  table.Print(std::cout);
+
+  const auto n = static_cast<double>(apps.size());
+  std::cout << "\n";
+  bool ok = true;
+  ok &= ShapeCheck(std::cout, "avg % PTPs shared, original align", 39.0,
+                   original_sum / n * 100, 0.4);
+  ok &= ShapeCheck(std::cout, "avg % PTPs shared, 2MB align", 60.0,
+                   aligned_sum / n * 100, 0.35);
+  ok &= ShapeCheck(std::cout, "2MB shares a larger fraction", 1.0,
+                   aligned_sum > original_sum ? 1.0 : 0.0, 0.01);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sat
+
+int main() { return sat::Run(); }

@@ -1,0 +1,72 @@
+// Figure 2: breakdown of the instruction pages accessed per application,
+// by code category (private code / non-preloaded shared libs / zygote
+// program binary / zygote Java libs / zygote dynamic libs).
+
+#include "bench/common.h"
+#include "src/workload/analysis.h"
+
+namespace sat {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 2", "Breakdown of the instruction pages accessed");
+
+  LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
+  WorkloadFactory factory(&catalog);
+
+  TablePrinter table({"Benchmark", "total", "private", "other .so",
+                      "app_process", "zygote Java", "zygote .so"});
+  double share_sum[5] = {};
+  double shared_fraction_sum = 0;
+  const auto apps = AppProfile::PaperBenchmarks();
+  for (const AppProfile& app : apps) {
+    const AppFootprint fp = factory.Generate(app);
+    const CategoryBreakdown b = AnalyzeCategories(fp);
+    table.AddRow(
+        {app.name, std::to_string(b.TotalPages()),
+         std::to_string(b.pages[static_cast<int>(CodeCategory::kPrivateCode)]),
+         std::to_string(b.pages[static_cast<int>(CodeCategory::kOtherSharedLib)]),
+         std::to_string(
+             b.pages[static_cast<int>(CodeCategory::kZygoteProgramBinary)]),
+         std::to_string(b.pages[static_cast<int>(CodeCategory::kZygoteJavaLib)]),
+         std::to_string(
+             b.pages[static_cast<int>(CodeCategory::kZygoteDynamicLib)])});
+    for (int c = 0; c < 5; ++c) {
+      share_sum[c] +=
+          static_cast<double>(b.pages[c]) / static_cast<double>(b.TotalPages());
+    }
+    shared_fraction_sum += b.SharedCodePageFraction();
+  }
+  table.Print(std::cout);
+
+  const auto n = static_cast<double>(apps.size());
+  std::cout << "\nAverage shares of the instruction-page footprint:\n";
+  bool ok = true;
+  // Paper averages (Section 2.3.1): shared code 92.8% of the footprint,
+  // of which 35.4% zygote .so, 32.4% zygote Java, 0.1% app_process,
+  // 24.9% other shared libraries.
+  ok &= ShapeCheck(std::cout, "shared code % of inst pages", 92.8,
+                   shared_fraction_sum / n * 100, 0.08);
+  ok &= ShapeCheck(std::cout, "zygote-preloaded .so %", 35.4,
+                   share_sum[static_cast<int>(CodeCategory::kZygoteDynamicLib)] /
+                       n * 100,
+                   0.25);
+  ok &= ShapeCheck(std::cout, "zygote Java libs %", 32.4,
+                   share_sum[static_cast<int>(CodeCategory::kZygoteJavaLib)] / n *
+                       100,
+                   0.25);
+  ok &= ShapeCheck(std::cout, "other shared libs %", 24.9,
+                   share_sum[static_cast<int>(CodeCategory::kOtherSharedLib)] / n *
+                       100,
+                   0.25);
+  ok &= ShapeCheck(std::cout, "app_process %", 0.1,
+                   share_sum[static_cast<int>(CodeCategory::kZygoteProgramBinary)] /
+                       n * 100,
+                   1.0);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sat
+
+int main() { return sat::Run(); }

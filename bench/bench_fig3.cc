@@ -1,0 +1,64 @@
+// Figure 3: breakdown of the % of instructions fetched by code category,
+// normalized to the total user-mode instructions executed.
+
+#include "bench/common.h"
+#include "src/workload/analysis.h"
+
+namespace sat {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 3", "Breakdown of % of instructions fetched");
+
+  LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
+  WorkloadFactory factory(&catalog);
+
+  TablePrinter table({"Benchmark", "private", "other .so", "app_process",
+                      "zygote Java", "zygote .so", "shared total"});
+  double share_sum[5] = {};
+  double shared_sum = 0;
+  const auto apps = AppProfile::PaperBenchmarks();
+  for (const AppProfile& app : apps) {
+    const AppFootprint fp = factory.Generate(app);
+    const CategoryBreakdown b = AnalyzeCategories(fp);
+    auto pct = [&](CodeCategory c) {
+      return FormatPercent(b.fetch_share[static_cast<int>(c)]);
+    };
+    table.AddRow({app.name, pct(CodeCategory::kPrivateCode),
+                  pct(CodeCategory::kOtherSharedLib),
+                  pct(CodeCategory::kZygoteProgramBinary),
+                  pct(CodeCategory::kZygoteJavaLib),
+                  pct(CodeCategory::kZygoteDynamicLib),
+                  FormatPercent(b.SharedCodeFetchFraction())});
+    for (int c = 0; c < 5; ++c) {
+      share_sum[c] += b.fetch_share[c];
+    }
+    shared_sum += b.SharedCodeFetchFraction();
+  }
+  table.Print(std::cout);
+
+  const auto n = static_cast<double>(apps.size());
+  std::cout << "\nAverage fetch shares (paper: shared 98%, zygote .so 61%, "
+               "Java 11%, other 26%):\n";
+  bool ok = true;
+  ok &= ShapeCheck(std::cout, "shared code % of fetches", 98.0,
+                   shared_sum / n * 100, 0.05);
+  ok &= ShapeCheck(std::cout, "zygote-preloaded .so fetch %", 61.0,
+                   share_sum[static_cast<int>(CodeCategory::kZygoteDynamicLib)] /
+                       n * 100,
+                   0.15);
+  ok &= ShapeCheck(std::cout, "zygote Java fetch %", 11.0,
+                   share_sum[static_cast<int>(CodeCategory::kZygoteJavaLib)] / n *
+                       100,
+                   0.3);
+  ok &= ShapeCheck(std::cout, "other shared lib fetch %", 26.0,
+                   share_sum[static_cast<int>(CodeCategory::kOtherSharedLib)] / n *
+                       100,
+                   0.2);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sat
+
+int main() { return sat::Run(); }

@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark): the Section 4.2.1 soft-page-fault
+// cost (the paper measures ~2,700 cycles / 2.25 us with LMbench
+// lat_pagefault) plus host-side throughput of the simulator's hot paths.
+//
+// The simulated-cycle check prints alongside the google-benchmark timings;
+// absolute host-nanosecond numbers are informational only.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/common.h"
+
+namespace sat {
+namespace {
+
+// Simulated cost of one soft (minor) page fault: trap + handler work +
+// kernel-text I-cache effects, measured end-to-end through the core.
+void CheckSoftFaultCost() {
+  System system(SystemConfig::Stock());
+  Kernel& kernel = system.kernel();
+  Task* task = kernel.CreateTask("lat_pagefault");
+  MmapRequest request;
+  request.length = 4096 * kPageSize;
+  request.prot = VmProt::ReadOnly();
+  request.kind = VmKind::kFilePrivate;
+  request.file = 123456;
+  const VirtAddr base = kernel.Mmap(*task, request);
+  kernel.ScheduleTo(*task);
+
+  // Pre-warm the page cache so every fault is soft (LMbench touches a
+  // file that is resident).
+  for (uint32_t page = 0; page < 4096; ++page) {
+    bool hard = false;
+    kernel.page_cache().GetOrLoad(123456, page, &hard);
+  }
+
+  // Warm the kernel fault path, then measure.
+  for (uint32_t page = 0; page < 64; ++page) {
+    kernel.core().Load(base + page * kPageSize);
+  }
+  const Cycles before = kernel.core().counters().cycles;
+  const uint64_t faults_before = kernel.counters().faults_file_backed;
+  constexpr uint32_t kFaults = 2048;
+  for (uint32_t page = 64; page < 64 + kFaults; ++page) {
+    kernel.core().Load(base + page * kPageSize);
+  }
+  const double cycles_per_fault =
+      static_cast<double>(kernel.core().counters().cycles - before) / kFaults;
+  const uint64_t faults_taken =
+      kernel.counters().faults_file_backed - faults_before;
+
+  std::cout << "\n";
+  PrintHeader("Sec 4.2.1", "Soft page fault cost (LMbench lat_pagefault)");
+  std::cout << "  faults measured: " << faults_taken << "\n";
+  ShapeCheck(std::cout, "soft page fault cost (cycles)", 2700.0,
+             cycles_per_fault, 0.35);
+}
+
+// ---------------------------------------------------------------------------
+// Host-side microbenchmarks of the simulator itself.
+// ---------------------------------------------------------------------------
+
+void BM_TouchPageWarm(benchmark::State& state) {
+  System system(SystemConfig::SharedPtp());
+  Kernel& kernel = system.kernel();
+  Task* app = system.android().ForkApp("bm");
+  const LibraryImage* libc = system.android().catalog().FindByName("libc.so");
+  const VirtAddr va = system.android().CodePageVa(libc->id, 0);
+  kernel.TouchPage(*app, va, AccessType::kExecute);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.TouchPage(*app, va, AccessType::kExecute));
+  }
+}
+BENCHMARK(BM_TouchPageWarm);
+
+void BM_CoreFetchWarm(benchmark::State& state) {
+  System system(SystemConfig::SharedPtpAndTlb());
+  Kernel& kernel = system.kernel();
+  Task* app = system.android().ForkApp("bm");
+  kernel.ScheduleTo(*app);
+  const LibraryImage* libc = system.android().catalog().FindByName("libc.so");
+  const VirtAddr va = system.android().CodePageVa(libc->id, 0);
+  kernel.core().FetchLine(va);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.core().FetchLine(va));
+  }
+}
+BENCHMARK(BM_CoreFetchWarm);
+
+void BM_ZygoteFork(benchmark::State& state) {
+  const bool share = state.range(0) != 0;
+  System system(share ? SystemConfig::SharedPtp() : SystemConfig::Stock());
+  for (auto _ : state) {
+    Task* app = system.android().ForkApp("bm");
+    state.PauseTiming();
+    system.kernel().Exit(*app);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ZygoteFork)->Arg(0)->Arg(1);
+
+void BM_MainTlbLookup(benchmark::State& state) {
+  MainTlb tlb(128, 2);
+  TlbEntry entry;
+  entry.valid = true;
+  entry.vpn = 0x40000;
+  entry.size_pages = 1;
+  entry.asid = 1;
+  entry.domain = kDomainUser;
+  entry.perm = PtePerm::kReadOnly;
+  entry.executable = true;
+  tlb.Insert(entry);
+  const DomainAccessControl dacr = DomainAccessControl::StockDefault();
+  for (auto _ : state) {
+    TlbEntry out;
+    benchmark::DoNotOptimize(
+        tlb.Lookup(0x40000000, 1, AccessType::kRead, dacr, &out));
+  }
+}
+BENCHMARK(BM_MainTlbLookup);
+
+}  // namespace
+}  // namespace sat
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sat::CheckSoftFaultCost();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 1: % of instructions fetched, user space versus kernel space.
+//
+// This is workload characterization (Section 2.3.1): the kernel share is a
+// property of each application's I/O behaviour, measured by the paper with
+// 100 Hz perf sampling and injected into our synthetic profiles as a
+// calibrated input. The bench regenerates the table from the profiles'
+// generated footprints and checks the calibration against the published
+// values.
+
+#include "bench/common.h"
+
+namespace sat {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double user_pct;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Angrybirds", 92.2},     {"Adobe Reader", 93.3},
+    {"Android Browser", 85.8}, {"Chrome", 85.3},
+    {"Chrome Sandbox", 88.8},  {"Chrome Privilege", 27.9},
+    {"Email", 87.1 /* paper prints 87.1/13.0 */},
+    {"Google Calendar", 96.2}, {"MX Player", 59.3},
+    {"Laya Music Player", 82.6}, {"WPS", 47.1},
+};
+
+int Run() {
+  PrintHeader("Table 1", "% of instructions fetched (user vs kernel space)");
+
+  LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
+  WorkloadFactory factory(&catalog);
+
+  TablePrinter table({"Benchmark", "User space (%)", "Kernel space (%)",
+                      "paper user (%)"});
+  double measured_sum = 0;
+  double paper_sum = 0;
+  for (const PaperRow& row : kPaper) {
+    const AppFootprint fp = factory.Generate(AppProfile::Named(row.name));
+    const double user = (1.0 - fp.kernel_fraction) * 100.0;
+    table.AddRow({row.name, FormatDouble(user, 1),
+                  FormatDouble(100.0 - user, 1), FormatDouble(row.user_pct, 1)});
+    measured_sum += user;
+    paper_sum += row.user_pct;
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n";
+  bool ok = ShapeCheck(std::cout, "mean user-space fetch %",
+                       paper_sum / std::size(kPaper),
+                       measured_sum / std::size(kPaper), 0.10);
+  // The qualitative claim: >80% user for the majority, except the three
+  // I/O-heavy programs.
+  uint32_t over80 = 0;
+  LibraryCatalog catalog2 = LibraryCatalog::AndroidDefault();
+  WorkloadFactory factory2(&catalog2);
+  for (const PaperRow& row : kPaper) {
+    const AppFootprint fp = factory2.Generate(AppProfile::Named(row.name));
+    if ((1.0 - fp.kernel_fraction) > 0.8) {
+      over80++;
+    }
+  }
+  ok &= ShapeCheck(std::cout, "# apps with >80% user-space fetches", 8, over80,
+                   0.15);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sat
+
+int main() { return sat::Run(); }

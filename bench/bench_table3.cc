@@ -1,0 +1,75 @@
+// Table 3: the number of instruction PTEs an application inherits from the
+// zygote when PTPs are shared — cold start (first run after boot) versus
+// warm start (reinvoked after its first instantiation, by which time its
+// own faults populated the shared PTPs).
+
+#include "bench/common.h"
+
+namespace sat {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double cold_h;  // x10^2
+  double warm_h;  // x10^2
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Angrybirds", 13.7, 25},      {"Adobe Reader", 18.2, 55},
+    {"Android Browser", 17.7, 59}, {"Chrome", 14.8, 25},
+    {"Chrome Sandbox", 7.8, 10},   {"Chrome Privilege", 8.4, 11},
+    {"Email", 6.4, 13},            {"Google Calendar", 15.2, 25},
+    {"MX Player", 23.0, 58},       {"Laya Music Player", 17.4, 34},
+    {"WPS", 15.0, 24},
+};
+
+int Run() {
+  PrintHeader("Table 3",
+              "# of instruction PTEs inherited from the zygote with shared "
+              "PTPs (x10^2): cold vs warm start");
+
+  TablePrinter table({"Benchmark", "Cold (x10^2)", "Warm (x10^2)",
+                      "paper cold", "paper warm"});
+  double cold_sum = 0;
+  double warm_sum = 0;
+  double paper_cold_sum = 0;
+  double paper_warm_sum = 0;
+  double warm_gain_apps = 0;
+  for (const PaperRow& row : kPaper) {
+    // Fresh system per app: the paper's cold start is "application is the
+    // first to run".
+    System system(SystemConfig::SharedPtp());
+    AppRunner runner(&system.android());
+    const AppFootprint fp =
+        system.workload().Generate(AppProfile::Named(row.name));
+    const AppRunStats cold = runner.Run(fp);   // run and exit
+    const AppRunStats warm = runner.Run(fp);   // reinvoked
+    table.AddRow({row.name, FormatDouble(cold.inherited_ptes / 100.0, 1),
+                  FormatDouble(warm.inherited_ptes / 100.0, 1),
+                  FormatDouble(row.cold_h, 1), FormatDouble(row.warm_h, 0)});
+    cold_sum += cold.inherited_ptes / 100.0;
+    warm_sum += warm.inherited_ptes / 100.0;
+    paper_cold_sum += row.cold_h;
+    paper_warm_sum += row.warm_h;
+    if (warm.inherited_ptes > cold.inherited_ptes) {
+      warm_gain_apps++;
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n";
+  bool ok = true;
+  const double n = std::size(kPaper);
+  ok &= ShapeCheck(std::cout, "mean cold inherited PTEs (x10^2)",
+                   paper_cold_sum / n, cold_sum / n, 0.5);
+  ok &= ShapeCheck(std::cout, "mean warm inherited PTEs (x10^2)",
+                   paper_warm_sum / n, warm_sum / n, 0.5);
+  ok &= ShapeCheck(std::cout, "# apps where warm > cold", 11, warm_gain_apps,
+                   0.01);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sat
+
+int main() { return sat::Run(); }

@@ -1,0 +1,75 @@
+// Shared helpers for the evaluation harness. Every bench binary reproduces
+// one table or figure of the paper: it runs the experiment on the
+// simulated machine, prints the same rows/series the paper reports, and
+// emits "[shape]" lines comparing against the paper's published values.
+//
+// Absolute cycle counts are not expected to match a 2012 Nexus 7; the
+// shape — who wins, by roughly what factor, where crossovers fall — is the
+// reproduction target (see EXPERIMENTS.md).
+
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/sat.h"
+#include "src/stats/summary.h"
+
+namespace sat {
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::cout << "==============================================================\n"
+            << id << ": " << title << "\n"
+            << "==============================================================\n";
+}
+
+// The four kernel/alignment configurations of the launch and steady-state
+// experiments (Figures 7-12), in the paper's order.
+inline std::vector<SystemConfig> LaunchConfigs() {
+  return {SystemConfig::Stock(), SystemConfig::SharedPtpAndTlb(),
+          SystemConfig::Stock2Mb(), SystemConfig::SharedPtpAndTlb2Mb()};
+}
+
+inline std::vector<SystemConfig> SteadyStateConfigs() {
+  return {SystemConfig::Stock(), SystemConfig::SharedPtp(),
+          SystemConfig::Stock2Mb(), SystemConfig::SharedPtp2Mb()};
+}
+
+// Runs one app under one configuration: a fresh booted system, `runs`
+// consecutive executions (first cold, rest warm relaunches — the paper
+// averages over 10 interactive executions). Returns per-run stats.
+inline std::vector<AppRunStats> RunApp(const SystemConfig& config,
+                                       const std::string& app_name,
+                                       int runs) {
+  System system(config);
+  AppRunner runner(&system.android());
+  const AppFootprint fp =
+      system.workload().Generate(AppProfile::Named(app_name));
+  std::vector<AppRunStats> out;
+  for (int i = 0; i < runs; ++i) {
+    out.push_back(runner.Run(fp));
+  }
+  return out;
+}
+
+inline double MeanFileFaults(const std::vector<AppRunStats>& runs) {
+  double total = 0;
+  for (const AppRunStats& run : runs) {
+    total += static_cast<double>(run.file_faults);
+  }
+  return total / static_cast<double>(runs.size());
+}
+
+inline double MeanPtpsAllocated(const std::vector<AppRunStats>& runs) {
+  double total = 0;
+  for (const AppRunStats& run : runs) {
+    total += static_cast<double>(run.ptps_allocated);
+  }
+  return total / static_cast<double>(runs.size());
+}
+
+}  // namespace sat
+
+#endif  // BENCH_COMMON_H_

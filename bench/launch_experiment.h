@@ -1,0 +1,73 @@
+// Shared driver for the application-launch experiments (Figures 7-9):
+// repeated Helloworld launches under the four kernel/alignment
+// configurations, through the full cycle-level pipeline.
+
+#ifndef BENCH_LAUNCH_EXPERIMENT_H_
+#define BENCH_LAUNCH_EXPERIMENT_H_
+
+#include <vector>
+
+#include "bench/common.h"
+
+namespace sat {
+
+struct LaunchSeries {
+  SystemConfig config;
+  std::vector<LaunchResult> rounds;
+
+  std::vector<double> ExecCycles() const {
+    std::vector<double> out;
+    for (const LaunchResult& r : rounds) {
+      out.push_back(static_cast<double>(r.exec_cycles));
+    }
+    return out;
+  }
+  std::vector<double> IcacheStalls() const {
+    std::vector<double> out;
+    for (const LaunchResult& r : rounds) {
+      out.push_back(static_cast<double>(r.icache_stall_cycles));
+    }
+    return out;
+  }
+  double MedianFileFaults() const {
+    std::vector<double> out;
+    for (const LaunchResult& r : rounds) {
+      out.push_back(static_cast<double>(r.file_faults));
+    }
+    return Median(out);
+  }
+  double MedianPtps() const {
+    std::vector<double> out;
+    for (const LaunchResult& r : rounds) {
+      out.push_back(static_cast<double>(r.ptps_allocated));
+    }
+    return Median(out);
+  }
+};
+
+// Runs `rounds` launches per configuration. The first `warmup` rounds are
+// dropped from the series: the paper's 100-execution box plots are
+// dominated by the steady state, which sharing reaches after the shared
+// PTPs are populated.
+inline std::vector<LaunchSeries> RunLaunchExperiment(int rounds, int warmup) {
+  std::vector<LaunchSeries> out;
+  for (const SystemConfig& config : LaunchConfigs()) {
+    LaunchSeries series;
+    series.config = config;
+    System system(config);
+    LaunchSimulator simulator(&system.android(), LaunchParams{});
+    for (int round = 0; round < rounds + warmup; ++round) {
+      const LaunchResult result =
+          simulator.LaunchOnce(static_cast<uint32_t>(round));
+      if (round >= warmup) {
+        series.rounds.push_back(result);
+      }
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace sat
+
+#endif  // BENCH_LAUNCH_EXPERIMENT_H_

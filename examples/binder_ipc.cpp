@@ -1,0 +1,59 @@
+// Binder IPC walkthrough: the paper's Section 4.2.4 microbenchmark as an
+// API example — a client process binds to a service and calls it in a
+// tight loop, two context switches per transaction, both processes pinned
+// to one simulated core. Shows how the global bit + zygote domain turn
+// the shared libbinder pages into single TLB entries.
+//
+//   $ ./build/examples/binder_ipc
+
+#include <cstdio>
+
+#include "src/core/sat.h"
+
+namespace {
+
+void RunIpc(sat::SystemConfig config, const char* note) {
+  sat::System system(config);
+  sat::BinderParams params;
+  params.transactions = 4000;
+  params.warmup_transactions = 800;
+
+  sat::BinderBenchmark bench(&system.android(), params);
+  const sat::BinderResult result = bench.Run();
+
+  const double per_txn_client =
+      static_cast<double>(result.client.itlb_stall_cycles) /
+      static_cast<double>(result.transactions);
+  const double per_txn_server =
+      static_cast<double>(result.server.itlb_stall_cycles) /
+      static_cast<double>(result.transactions);
+  std::printf("%-34s client iTLB stalls/txn: %7.1f   server: %7.1f%s\n",
+              system.name().c_str(), per_txn_client, per_txn_server, note);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Binder ping-pong, 4000 transactions, one core:\n\n");
+
+  // The ASID dimension: without ASIDs every context switch flushes all
+  // non-global TLB entries.
+  sat::SystemConfig stock_no_asid = sat::SystemConfig::Stock();
+  stock_no_asid.asids_enabled = false;
+  RunIpc(stock_no_asid, "   <- flush on every switch");
+  RunIpc(sat::SystemConfig::Stock(), "");
+  RunIpc(sat::SystemConfig::SharedPtp(), "   <- page tables shared, TLB not");
+  RunIpc(sat::SystemConfig::SharedPtpAndTlb(),
+         "   <- libbinder pages: one global entry each");
+
+  sat::SystemConfig shared_no_asid = sat::SystemConfig::SharedPtpAndTlb();
+  shared_no_asid.asids_enabled = false;
+  RunIpc(shared_no_asid, "   <- global entries survive even the flushes");
+
+  std::printf(
+      "\nThe shared-TLB configurations win because the client and server\n"
+      "execute the same zygote-preloaded call path at the same virtual\n"
+      "addresses: one global TLB entry serves both, halving the capacity\n"
+      "demand that the 128-entry main TLB feels on every switch.\n");
+  return 0;
+}

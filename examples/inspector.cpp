@@ -1,0 +1,76 @@
+// Inspector: the paper's measurement methodology (Section 4.1.1), turned
+// on the simulation itself — a /proc/pid/smaps report with PSS accounting
+// extended to page-table memory, and a perf-style PC sampler classifying
+// what an app actually executes.
+//
+//   $ ./build/examples/inspector
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/sat.h"
+
+namespace {
+
+void InspectUnder(const sat::SystemConfig& config) {
+  sat::System system(config);
+  sat::Kernel& kernel = system.kernel();
+  sat::Task* app = system.android().ForkApp("inspected_app");
+  kernel.ScheduleTo(*app);
+
+  // Profile a burst of execution through the preloaded libraries.
+  sat::PerfSampler sampler(&system.android(), 0, /*interval=*/2000);
+  const sat::AppFootprint& boot = system.android().zygote_boot_footprint();
+  for (size_t i = 0; i < 20000; ++i) {
+    const sat::TouchedPage& page = boot.pages[(i * 31) % boot.pages.size()];
+    kernel.core().FetchBurst(
+        system.android().CodePageVa(page.lib, page.page_index), 25);
+  }
+
+  const sat::SampleBreakdown profile = sampler.Analyze(*app);
+  const sat::SmapsReport smaps =
+      GenerateSmaps(*app->mm, kernel.ptp_allocator(), &kernel.rmap());
+
+  std::printf("--- %s ---\n", system.name().c_str());
+  std::printf("perf: %zu samples, %.1f%% kernel, %.1f%% shared code\n",
+              sampler.sample_count(), profile.KernelFraction() * 100,
+              profile.SharedCodeShare() * 100);
+  std::printf("smaps: Rss %u kB, Pss %.0f kB across %zu mappings\n",
+              smaps.total_rss_kb, smaps.total_pss_kb, smaps.vmas.size());
+  std::printf("page tables: %u kB this process, %.1f kB proportional share"
+              " (%u shared PTPs)\n\n",
+              smaps.page_table_kb, smaps.page_table_pss_kb, smaps.shared_ptps);
+
+  // The five biggest mappings by Rss, smaps-style.
+  std::vector<const sat::VmaReport*> by_rss;
+  for (const sat::VmaReport& vma : smaps.vmas) {
+    by_rss.push_back(&vma);
+  }
+  std::sort(by_rss.begin(), by_rss.end(),
+            [](const auto* a, const auto* b) { return a->rss_kb > b->rss_kb; });
+  std::printf("  %-28s %8s %8s %8s\n", "mapping", "Rss kB", "Pss kB", "shared");
+  for (size_t i = 0; i < by_rss.size() && i < 5; ++i) {
+    std::printf("  %-28s %8u %8.1f %8u\n", by_rss[i]->name.c_str(),
+                by_rss[i]->rss_kb, by_rss[i]->pss_kb,
+                by_rss[i]->shared_clean_kb);
+  }
+  std::printf("\n");
+
+  kernel.Exit(*app);
+}
+
+}  // namespace
+
+int main() {
+  InspectUnder(sat::SystemConfig::Stock());
+  InspectUnder(sat::SystemConfig::SharedPtpAndTlb());
+  std::printf(
+      "Rss is identical either way — physical sharing was never the\n"
+      "problem (data PSS differs only because shared PTPs make the\n"
+      "zygote's inherited PTEs count as co-mappers). The line to watch is\n"
+      "page tables: stock charges every process the full footprint; with\n"
+      "shared PTPs the proportional share collapses. And the profiler\n"
+      "catches the behavioural difference: the stock run spends most of\n"
+      "its samples in the kernel fault path that sharing eliminates.\n");
+  return 0;
+}

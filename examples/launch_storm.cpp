@@ -1,0 +1,63 @@
+// Launch storm: run the paper's 11-app suite back to back under all four
+// kernel/alignment configurations and watch the system-level effects —
+// page faults eliminated, page-table memory saved, and the warm-start
+// snowball (each app's faults populate the shared PTPs for the next one).
+//
+//   $ ./build/examples/launch_storm
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/sat.h"
+
+namespace {
+
+void RunStorm(const sat::SystemConfig& config) {
+  sat::System system(config);
+  sat::AppRunner runner(&system.android());
+
+  std::printf("--- %s ---\n", system.name().c_str());
+  std::printf("%-18s %10s %10s %12s %10s\n", "app", "faults", "inherited",
+              "PTPs alloc", "shared%");
+
+  uint64_t total_faults = 0;
+  uint64_t total_ptps = 0;
+  for (const sat::AppProfile& profile : sat::AppProfile::PaperBenchmarks()) {
+    const sat::AppFootprint footprint = system.workload().Generate(profile);
+    // exit_after keeps the storm realistic: each app quits before the
+    // next starts, but its shared-PTP populations outlive it.
+    const sat::AppRunStats stats = runner.Run(footprint, /*exit_after=*/true);
+    std::printf("%-18s %10llu %10u %12llu %9.0f%%\n", profile.name.c_str(),
+                static_cast<unsigned long long>(stats.file_faults),
+                stats.inherited_ptes,
+                static_cast<unsigned long long>(stats.ptps_allocated),
+                stats.SharedSlotFraction() * 100);
+    total_faults += stats.file_faults;
+    total_ptps += stats.ptps_allocated;
+  }
+  std::printf("%-18s %10llu %10s %12llu\n", "TOTAL",
+              static_cast<unsigned long long>(total_faults), "",
+              static_cast<unsigned long long>(total_ptps));
+  std::printf("page-table memory allocated over the storm: %.1f KB\n\n",
+              static_cast<double>(total_ptps) * 4.0);
+}
+
+}  // namespace
+
+int main() {
+  RunStorm(sat::SystemConfig::Stock());
+  RunStorm(sat::SystemConfig::SharedPtp());
+  RunStorm(sat::SystemConfig::Stock2Mb());
+  RunStorm(sat::SystemConfig::SharedPtp2Mb());
+
+  std::printf(
+      "Things to notice:\n"
+      "  * shared configs fault far less, and their 'inherited' column\n"
+      "    grows as the storm proceeds — later apps reuse PTEs the\n"
+      "    earlier ones faulted into the shared PTPs (Table 3's warm\n"
+      "    start);\n"
+      "  * the 2MB layouts allocate more PTPs in the stock kernel (data\n"
+      "    segments get their own slots) but keep a larger fraction of\n"
+      "    them shared (Figure 12).\n");
+  return 0;
+}

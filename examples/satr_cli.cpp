@@ -1,0 +1,228 @@
+// satr_cli: a command-line driver for the simulator — run any experiment
+// under any kernel configuration without writing C++.
+//
+//   satr_cli fork   [config flags]          zygote-fork statistics
+//   satr_cli launch [config flags]          one app launch (cycle-level)
+//   satr_cli steady --app <name> [flags]    full-execution replay
+//   satr_cli ipc    [config flags]          binder ping-pong
+//   satr_cli smaps  [config flags]          smaps report for a fresh app
+//   satr_cli reclaim --pages N [flags]      page-cache reclaim pass
+//
+// Config flags: --share-ptps --share-tlb --2mb --copy-ptes --no-asids
+//               --large-pages --cores N --fault-around N
+//               --isolation {domains|mpk|flush}
+//
+//   $ ./build/examples/satr_cli fork --share-ptps --share-tlb
+//   $ ./build/examples/satr_cli steady --app "Google Calendar" --share-ptps
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/sat.h"
+
+namespace {
+
+struct Cli {
+  std::string command;
+  sat::SystemConfig config;
+  std::string app = "Email";
+  uint32_t pages = 200;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: satr_cli <fork|launch|steady|ipc|smaps|reclaim> [flags]\n"
+      "flags: --share-ptps --share-tlb --2mb --copy-ptes --no-asids\n"
+      "       --large-pages --cores N --fault-around N\n"
+      "       --isolation {domains|mpk|flush} --app NAME --pages N\n");
+  std::exit(2);
+}
+
+Cli Parse(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+  }
+  Cli cli;
+  cli.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      return argv[++i];
+    };
+    if (flag == "--share-ptps") {
+      cli.config.share_ptps = true;
+    } else if (flag == "--share-tlb") {
+      cli.config.share_ptps = true;
+      cli.config.share_tlb = true;
+    } else if (flag == "--2mb") {
+      cli.config.two_mb_alignment = true;
+    } else if (flag == "--copy-ptes") {
+      cli.config.copy_ptes_at_fork = true;
+    } else if (flag == "--no-asids") {
+      cli.config.asids_enabled = false;
+    } else if (flag == "--large-pages") {
+      cli.config.large_pages_for_code = true;
+      cli.config.phys_bytes = 1024ull * 1024 * 1024;
+    } else if (flag == "--cores") {
+      cli.config.num_cores = static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else if (flag == "--fault-around") {
+      cli.config.fault_around_pages =
+          static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else if (flag == "--isolation") {
+      const std::string model = next();
+      if (model == "domains") {
+        cli.config.isolation = sat::IsolationModel::kArmDomains;
+      } else if (model == "mpk") {
+        cli.config.isolation = sat::IsolationModel::kMpkDataOnly;
+      } else if (model == "flush") {
+        cli.config.isolation = sat::IsolationModel::kFlushOnSwitch;
+      } else {
+        Usage();
+      }
+    } else if (flag == "--app") {
+      cli.app = next();
+    } else if (flag == "--pages") {
+      cli.pages = static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else {
+      Usage();
+    }
+  }
+  return cli;
+}
+
+int RunFork(const Cli& cli) {
+  sat::System system(cli.config);
+  sat::Task* app = system.android().ForkApp("cli_app");
+  const sat::ForkResult& fork = system.kernel().last_fork_result();
+  std::printf("%s\n", system.name().c_str());
+  std::printf("zygote fork: %.2f Mcycles, %u PTPs allocated, %u shared, "
+              "%u PTEs copied, %u write-protected\n",
+              static_cast<double>(fork.cycles) / 1e6,
+              fork.child_ptps_allocated, fork.slots_shared, fork.ptes_copied,
+              fork.ptes_write_protected);
+  system.kernel().Exit(*app);
+  return 0;
+}
+
+int RunLaunch(const Cli& cli) {
+  sat::System system(cli.config);
+  sat::LaunchSimulator simulator(&system.android(), sat::LaunchParams{});
+  simulator.LaunchOnce(0);  // warm up the shared PTPs
+  const sat::LaunchResult result = simulator.LaunchOnce(1);
+  std::printf("%s\n", system.name().c_str());
+  std::printf("launch: %.1f Mcycles, %.2f Mcycles I$ stalls, "
+              "%llu file faults, %llu PTPs allocated\n",
+              static_cast<double>(result.exec_cycles) / 1e6,
+              static_cast<double>(result.icache_stall_cycles) / 1e6,
+              static_cast<unsigned long long>(result.file_faults),
+              static_cast<unsigned long long>(result.ptps_allocated));
+  return 0;
+}
+
+int RunSteady(const Cli& cli) {
+  sat::System system(cli.config);
+  sat::AppRunner runner(&system.android());
+  const sat::AppFootprint fp =
+      system.workload().Generate(sat::AppProfile::Named(cli.app));
+  const sat::AppRunStats stats = runner.Run(fp);
+  std::printf("%s / %s\n", system.name().c_str(), cli.app.c_str());
+  std::printf("file faults %llu, anon faults %llu, COW %llu\n",
+              static_cast<unsigned long long>(stats.file_faults),
+              static_cast<unsigned long long>(stats.anon_faults),
+              static_cast<unsigned long long>(stats.cow_faults));
+  std::printf("PTPs allocated %llu, unshared %llu; %u/%u slots shared "
+              "(%.0f%%); %u PTEs inherited at fork\n",
+              static_cast<unsigned long long>(stats.ptps_allocated),
+              static_cast<unsigned long long>(stats.ptps_unshared),
+              stats.shared_slots, stats.present_slots,
+              stats.SharedSlotFraction() * 100, stats.inherited_ptes);
+  return 0;
+}
+
+int RunIpc(const Cli& cli) {
+  sat::System system(cli.config);
+  sat::BinderParams params;
+  params.transactions = 4000;
+  params.warmup_transactions = 800;
+  sat::BinderBenchmark bench(&system.android(), params);
+  const sat::BinderResult result = bench.Run();
+  std::printf("%s\n", system.name().c_str());
+  std::printf("binder x%llu: client iTLB stalls/txn %.1f, server %.1f, "
+              "domain faults %llu\n",
+              static_cast<unsigned long long>(result.transactions),
+              static_cast<double>(result.client.itlb_stall_cycles) /
+                  static_cast<double>(result.transactions),
+              static_cast<double>(result.server.itlb_stall_cycles) /
+                  static_cast<double>(result.transactions),
+              static_cast<unsigned long long>(result.domain_faults));
+  return 0;
+}
+
+int RunSmaps(const Cli& cli) {
+  sat::System system(cli.config);
+  sat::Task* app = system.android().ForkApp("cli_app");
+  // Touch its inherited footprint so the report is non-trivial.
+  const sat::AppFootprint& boot = system.android().zygote_boot_footprint();
+  for (size_t i = 0; i < boot.pages.size(); i += 2) {
+    system.kernel().TouchPage(
+        *app,
+        system.android().CodePageVa(boot.pages[i].lib, boot.pages[i].page_index),
+        sat::AccessType::kExecute);
+  }
+  const sat::SmapsReport report = GenerateSmaps(
+      *app->mm, system.kernel().ptp_allocator(), &system.kernel().rmap());
+  std::printf("%s\n%s", system.name().c_str(), report.ToString().c_str());
+  return 0;
+}
+
+int RunReclaim(const Cli& cli) {
+  sat::System system(cli.config);
+  sat::Task* a = system.android().ForkApp("a");
+  sat::Task* b = system.android().ForkApp("b");
+  (void)a;
+  (void)b;
+  const sat::ReclaimStats stats = system.kernel().ReclaimFileCache(cli.pages);
+  std::printf("%s\n", system.name().c_str());
+  std::printf("reclaimed %u pages (%u skipped): %u PTE clears, %u TLB "
+              "flushes => %.2f clears/page\n",
+              stats.pages_reclaimed, stats.pages_skipped, stats.ptes_cleared,
+              stats.tlb_flushes,
+              stats.pages_reclaimed == 0
+                  ? 0.0
+                  : static_cast<double>(stats.ptes_cleared) /
+                        static_cast<double>(stats.pages_reclaimed));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = Parse(argc, argv);
+  if (cli.command == "fork") {
+    return RunFork(cli);
+  }
+  if (cli.command == "launch") {
+    return RunLaunch(cli);
+  }
+  if (cli.command == "steady") {
+    return RunSteady(cli);
+  }
+  if (cli.command == "ipc") {
+    return RunIpc(cli);
+  }
+  if (cli.command == "smaps") {
+    return RunSmaps(cli);
+  }
+  if (cli.command == "reclaim") {
+    return RunReclaim(cli);
+  }
+  Usage();
+  return 2;
+}

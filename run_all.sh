@@ -1,0 +1,8 @@
+#!/bin/sh
+# Build, test, and regenerate every table/figure. See EXPERIMENTS.md for
+# how to read the outputs.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do "$b"; done

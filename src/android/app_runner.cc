@@ -1,0 +1,195 @@
+#include "src/android/app_runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <vector>
+
+namespace sat {
+
+namespace {
+
+// Allocates a 2 MB-aligned spot for a private region. Real Android
+// address spaces scatter their private mappings — dex caches, resource
+// mmaps, ashmem, GC heap fragments — across the address space rather than
+// packing them, which is why an app owns on the order of a hundred
+// private page-table pages that no sharing scheme can eliminate
+// (Figure 11's stock baseline).
+VirtAddr MapScattered(Kernel& kernel, Task& task, uint32_t pages, VmProt prot,
+                      VmKind kind, FileId file, const std::string& name) {
+  const auto spot = task.mm->FindFreeRangeAligned(
+      pages * kPageSize, kPtpSpan, 0x10000000, 0xB0000000);
+  assert(spot.has_value() && "address space exhausted");
+  MmapRequest request;
+  request.length = pages * kPageSize;
+  request.prot = prot;
+  request.kind = kind;
+  request.file = file;
+  request.fixed_address = *spot;
+  request.name = name;
+  const VirtAddr at = kernel.Mmap(task, request);
+  assert(at == *spot);
+  return at;
+}
+
+}  // namespace
+
+VirtAddr AppRunner::ResolveCodeVa(const RunLayout& layout,
+                                  const TouchedPage& page) const {
+  if (IsZygotePreloadedCategory(page.category)) {
+    return system_->CodePageVa(page.lib, page.page_index);
+  }
+  const auto it = layout.app_libs.find(page.lib);
+  assert(it != layout.app_libs.end() && "unmapped app library");
+  return it->second.code_base + page.page_index * kPageSize;
+}
+
+AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
+  Kernel& kernel = system_->kernel();
+  AppRunStats stats;
+  stats.app_name = fp.app_name;
+
+  const KernelCounters before = kernel.counters();
+
+  Task* app = system_->ForkApp(fp.app_name);
+  kernel.SetCurrent(*app);
+  stats.inherited_ptes = system_->CountInheritedPtes(*app, fp);
+
+  std::mt19937_64 rng(std::hash<std::string>{}(fp.app_name) ^ 0xABCDEF123456ull);
+
+  // -------------------------------------------------------------------
+  // Map the app-local pieces.
+  // -------------------------------------------------------------------
+  RunLayout layout;
+  for (LibraryId lib : fp.other_libs) {
+    layout.app_libs.emplace(lib, system_->loader().MapAppLibrary(*app, lib));
+  }
+  if (fp.private_code_lib >= 0) {
+    layout.app_libs.emplace(fp.private_code_lib,
+                            system_->loader().MapAppLibrary(*app, fp.private_code_lib));
+  }
+
+  // Private file mappings (apk, resources, fonts, databases): many small
+  // scattered regions.
+  std::vector<VirtAddr> file_pages;
+  {
+    uint32_t remaining = fp.private_file_pages;
+    uint32_t region_index = 0;
+    while (remaining > 0) {
+      const uint32_t here = std::min(remaining, 48u);
+      const VirtAddr base = MapScattered(
+          kernel, *app, here, VmProt::ReadOnly(), VmKind::kFilePrivate,
+          static_cast<FileId>(next_file_id_++),
+          fp.app_name + ":file" + std::to_string(region_index++));
+      for (uint32_t i = 0; i < here; ++i) {
+        file_pages.push_back(base + i * kPageSize);
+      }
+      remaining -= here;
+    }
+  }
+
+  // The heap: fragmented across 2 MB regions (ART GC spaces).
+  std::vector<VirtAddr> heap_pages;
+  {
+    uint32_t remaining = fp.anon_pages;
+    uint32_t region_index = 0;
+    while (remaining > 0) {
+      const uint32_t here = std::min(remaining, 256u);
+      const VirtAddr base = MapScattered(
+          kernel, *app, kPtpSpan / kPageSize, VmProt::ReadWrite(),
+          VmKind::kAnonPrivate, kNoFile,
+          fp.app_name + ":heap" + std::to_string(region_index++));
+      for (uint32_t i = 0; i < here; ++i) {
+        heap_pages.push_back(base + i * kPageSize);
+      }
+      remaining -= here;
+    }
+  }
+
+  // Miscellaneous private anonymous regions (JIT caches, thread stacks,
+  // ashmem, binder buffers): small, numerous, scattered.
+  std::vector<VirtAddr> misc_pages;
+  {
+    const uint32_t misc_regions =
+        50 + std::min<uint32_t>(fp.TotalPages() / 80, 80);
+    for (uint32_t region = 0; region < misc_regions; ++region) {
+      const uint32_t pages = 8 + static_cast<uint32_t>(rng() % 17);
+      const VirtAddr base = MapScattered(
+          kernel, *app, pages, VmProt::ReadWrite(), VmKind::kAnonPrivate,
+          kNoFile, fp.app_name + ":misc" + std::to_string(region));
+      const uint32_t touched = std::max(1u, pages / 2);
+      for (uint32_t i = 0; i < touched; ++i) {
+        misc_pages.push_back(base + i * kPageSize);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Build the replay schedule: every touch event in one list, shuffled
+  // deterministically, so data writes and heap growth interleave with
+  // instruction first-touches.
+  // -------------------------------------------------------------------
+  struct Event {
+    VirtAddr va;
+    AccessType access;
+  };
+  std::vector<Event> events;
+  events.reserve(fp.pages.size() + fp.data_writes.size() + heap_pages.size() +
+                 file_pages.size() + misc_pages.size() + 512);
+  for (const TouchedPage& page : fp.pages) {
+    events.push_back(Event{ResolveCodeVa(layout, page), AccessType::kExecute});
+  }
+  for (const DataWrite& write : fp.data_writes) {
+    events.push_back(
+        Event{system_->DataPageVa(write.lib, write.page_index), AccessType::kWrite});
+  }
+  // GOT/vtable reads into every used library's data segment: in the
+  // original layout these land in slots the code already occupies; with
+  // 2 MB alignment they populate the separate (and still shared) data
+  // slots — the Figure 12 gap between 39% and 60% shared.
+  for (LibraryId lib : fp.zygote_libs_used) {
+    const LibraryImage& image = system_->catalog().Get(lib);
+    if (image.data_pages == 0) {
+      continue;
+    }
+    const uint32_t reads = std::min(image.data_pages, 3u);
+    for (uint32_t i = 0; i < reads; ++i) {
+      events.push_back(Event{
+          system_->DataPageVa(lib, static_cast<uint32_t>(rng() % image.data_pages)),
+          AccessType::kRead});
+    }
+  }
+  for (VirtAddr va : heap_pages) {
+    events.push_back(Event{va, AccessType::kWrite});
+  }
+  for (VirtAddr va : misc_pages) {
+    events.push_back(Event{va, AccessType::kWrite});
+  }
+  for (VirtAddr va : file_pages) {
+    events.push_back(Event{va, AccessType::kRead});
+  }
+  std::shuffle(events.begin(), events.end(), rng);
+
+  for (const Event& event : events) {
+    const bool ok = kernel.TouchPage(*app, event.va, event.access);
+    assert(ok && "replay touched an unmapped address");
+    (void)ok;
+  }
+
+  const KernelCounters delta = kernel.counters() - before;
+  stats.file_faults = delta.faults_file_backed;
+  stats.anon_faults = delta.faults_anonymous;
+  stats.cow_faults = delta.faults_cow;
+  stats.ptps_allocated = delta.ptps_allocated;
+  stats.ptps_unshared = delta.ptps_unshared;
+  stats.ptes_copied = delta.ptes_copied;
+  stats.present_slots = app->mm->page_table().PresentSlotCount();
+  stats.shared_slots = app->mm->page_table().SharedSlotCount();
+
+  if (exit_after) {
+    kernel.Exit(*app);
+  }
+  return stats;
+}
+
+}  // namespace sat

@@ -1,0 +1,70 @@
+// AppRunner: drives an application's full execution in touch-replay mode
+// (page-granular, no cycle simulation) — the machinery behind the
+// steady-state experiments (Figures 10-12) and the inherited-PTE counts
+// (Table 3).
+//
+// One run is: fork from the zygote; map the app's own libraries, code and
+// resource files; then replay the footprint — instruction pages in a
+// seeded shuffled order, library-data writes and heap writes interleaved —
+// so unshares happen mid-execution the way real writes would cause them.
+
+#ifndef SRC_ANDROID_APP_RUNNER_H_
+#define SRC_ANDROID_APP_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/android/zygote.h"
+#include "src/workload/footprint.h"
+
+namespace sat {
+
+struct AppRunStats {
+  std::string app_name;
+  // Kernel counter deltas over the run (fork + execution window).
+  uint64_t file_faults = 0;
+  uint64_t anon_faults = 0;
+  uint64_t cow_faults = 0;
+  uint64_t ptps_allocated = 0;
+  uint64_t ptps_unshared = 0;
+  uint64_t ptes_copied = 0;
+  // Address-space shape at the end of the run.
+  uint32_t present_slots = 0;
+  uint32_t shared_slots = 0;
+  // PTEs of the app's zygote-preloaded footprint already valid at fork.
+  uint32_t inherited_ptes = 0;
+
+  double SharedSlotFraction() const {
+    return present_slots == 0
+               ? 0.0
+               : static_cast<double>(shared_slots) /
+                     static_cast<double>(present_slots);
+  }
+};
+
+class AppRunner {
+ public:
+  explicit AppRunner(ZygoteSystem* system) : system_(system) {}
+
+  // Runs `fp` to completion. When `exit_after`, the task exits at the end
+  // (its unshared PTPs are freed; shared-PTP populations it contributed
+  // remain visible to future apps — the warm-start effect of Table 3).
+  AppRunStats Run(const AppFootprint& fp, bool exit_after = true);
+
+ private:
+  // Per-run resolution of app-local (non-preloaded) library pages.
+  struct RunLayout {
+    std::unordered_map<LibraryId, MappedLibrary> app_libs;
+    VirtAddr private_files_base = 0;
+  };
+
+  VirtAddr ResolveCodeVa(const RunLayout& layout, const TouchedPage& page) const;
+
+  ZygoteSystem* system_;
+  uint32_t next_file_id_ = 1000000;  // private resource "files"
+};
+
+}  // namespace sat
+
+#endif  // SRC_ANDROID_APP_RUNNER_H_

@@ -1,0 +1,146 @@
+#include "src/android/zygote.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace sat {
+
+namespace {
+
+// Placement of the zygote's anonymous heaps: one region per 2 MB slot so
+// the stock fork's per-slot PTP cost is visible, as on the real platform
+// where the Dalvik/ART heaps span many PTPs.
+constexpr VirtAddr kAnonHeapBase = 0x20000000;
+constexpr VirtAddr kStackTop = 0xBE800000;
+
+}  // namespace
+
+ZygoteSystem::ZygoteSystem(const ZygoteParams& params)
+    : params_(params), catalog_(LibraryCatalog::AndroidDefault()) {
+  kernel_ = std::make_unique<Kernel>(params_.kernel);
+  loader_ = std::make_unique<DynamicLoader>(kernel_.get(), &catalog_,
+                                            params_.mapping_policy);
+  loader_->set_large_code_pages(params_.large_code_pages);
+  workload_ = std::make_unique<WorkloadFactory>(&catalog_);
+  Boot();
+}
+
+void ZygoteSystem::Boot() {
+  Kernel& kernel = *kernel_;
+
+  init_ = kernel.CreateTask("init");
+  zygote_ = kernel.Fork(*init_, "zygote");
+  kernel.Exec(*zygote_, "app_process(zygote)", /*is_zygote=*/true);
+  kernel.SetCurrent(*zygote_);
+
+  // Preload the 88 shared objects; the kernel's mmap policy marks the code
+  // segments global because the caller holds the zygote flag.
+  loader_->PreloadAll(*zygote_);
+
+  // Stack (excluded from PTP sharing as a design choice).
+  MmapRequest stack_request;
+  stack_request.length = 1024 * kPageSize;  // 4 MB reservation
+  stack_request.prot = VmProt::ReadWrite();
+  stack_request.kind = VmKind::kAnonPrivate;
+  stack_request.fixed_address = kStackTop - 1024 * kPageSize;
+  stack_request.is_stack = true;
+  stack_request.name = "[stack]";
+  const VirtAddr stack_base = kernel.Mmap(*zygote_, stack_request);
+  for (uint32_t i = 0; i < params_.stack_pages; ++i) {
+    kernel.TouchPage(*zygote_,
+                     kStackTop - (i + 1) * kPageSize, AccessType::kWrite);
+  }
+  (void)stack_base;
+
+  // Anonymous heaps (ART heap, linker allocations, property areas, ...).
+  for (uint32_t region = 0; region < params_.anon_regions; ++region) {
+    MmapRequest anon_request;
+    anon_request.length = kPtpSpan;  // one 2 MB slot each
+    anon_request.prot = VmProt::ReadWrite();
+    anon_request.kind = VmKind::kAnonPrivate;
+    anon_request.fixed_address = kAnonHeapBase + region * kPtpSpan;
+    anon_request.name = "[anon:heap" + std::to_string(region) + "]";
+    const VirtAddr base = kernel.Mmap(*zygote_, anon_request);
+    for (uint32_t page = 0; page < params_.anon_pages_per_region; ++page) {
+      kernel.TouchPage(*zygote_, base + page * kPageSize, AccessType::kWrite);
+    }
+  }
+
+  // Boot-time execution: touch the hottest pages of the preload set.
+  boot_footprint_ =
+      workload_->GenerateZygoteFootprint(params_.boot_code_pages, params_.seed);
+  for (const TouchedPage& page : boot_footprint_.pages) {
+    kernel.TouchPage(*zygote_, CodePageVa(page.lib, page.page_index),
+                     AccessType::kExecute);
+  }
+
+  // Static initialization dirties library data (COW copies in place).
+  {
+    std::mt19937_64 rng(params_.seed ^ 0xD1B54A32D192ED03ull);
+    const auto preload = catalog_.ZygotePreloadSet();
+    // Dirty the biggest data segments first (boot image, libart, ...).
+    std::vector<LibraryId> by_data(preload.begin(), preload.end());
+    std::sort(by_data.begin(), by_data.end(), [&](LibraryId a, LibraryId b) {
+      return catalog_.Get(a).data_pages > catalog_.Get(b).data_pages;
+    });
+    uint32_t remaining = params_.boot_data_writes;
+    for (LibraryId lib : by_data) {
+      if (remaining == 0) {
+        break;
+      }
+      const LibraryImage& image = catalog_.Get(lib);
+      if (image.data_pages == 0) {
+        continue;
+      }
+      // Concentrated in the few biggest data segments (boot image, ART,
+      // webview): static init dirties about half of each.
+      const uint32_t here = std::min(remaining, std::max(1u, image.data_pages / 2));
+      for (uint32_t i = 0; i < here; ++i) {
+        const auto page = static_cast<uint32_t>(rng() % image.data_pages);
+        kernel.TouchPage(*zygote_, DataPageVa(lib, page), AccessType::kWrite);
+      }
+      remaining -= here;
+    }
+  }
+
+  // The system_server: the first zygote child, running Android's core
+  // services (it is the peer of every app-launch IPC).
+  system_server_ = kernel.Fork(*zygote_, "system_server");
+}
+
+Task* ZygoteSystem::ForkApp(const std::string& name) {
+  return kernel_->Fork(*zygote_, name);
+}
+
+VirtAddr ZygoteSystem::CodePageVa(LibraryId lib, uint32_t page_index) const {
+  const MappedLibrary* mapped = loader_->FindZygoteMapping(lib);
+  assert(mapped != nullptr && "library was not preloaded by the zygote");
+  assert(page_index < catalog_.Get(lib).code_pages);
+  return mapped->code_base + page_index * kPageSize;
+}
+
+VirtAddr ZygoteSystem::DataPageVa(LibraryId lib, uint32_t page_index) const {
+  const MappedLibrary* mapped = loader_->FindZygoteMapping(lib);
+  assert(mapped != nullptr && "library was not preloaded by the zygote");
+  assert(page_index < catalog_.Get(lib).data_pages);
+  return mapped->data_base + page_index * kPageSize;
+}
+
+uint32_t ZygoteSystem::CountInheritedPtes(Task& task,
+                                          const AppFootprint& fp) const {
+  const PageTable& pt = task.mm->page_table();
+  uint32_t inherited = 0;
+  for (const TouchedPage& page : fp.pages) {
+    if (!IsZygotePreloadedCategory(page.category)) {
+      continue;
+    }
+    const auto ref = pt.FindPte(CodePageVa(page.lib, page.page_index));
+    if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
+      inherited++;
+    }
+  }
+  return inherited;
+}
+
+}  // namespace sat

@@ -1,0 +1,26 @@
+#include "src/arch/domain.h"
+
+#include <sstream>
+
+namespace sat {
+
+std::string DomainAccessControl::ToString() const {
+  std::ostringstream os;
+  os << "DACR{";
+  bool first = true;
+  for (uint32_t d = 0; d < kNumDomains; ++d) {
+    const DomainAccess access = Get(static_cast<DomainId>(d));
+    if (access == DomainAccess::kNoAccess) {
+      continue;
+    }
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    os << d << ":" << (access == DomainAccess::kClient ? "client" : "manager");
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace sat

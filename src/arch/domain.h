@@ -1,0 +1,92 @@
+// The 32-bit ARM domain protection model (ARMv7-A short descriptors).
+//
+// A domain is a collection of memory regions. Each first-level entry names
+// one of 16 domains; second-level entries and TLB entries inherit the
+// domain of their parent first-level entry. The Domain Access Control
+// Register (DACR) holds a 2-bit access field per domain for the *current*
+// process:
+//
+//   kNoAccess — any access faults (a "domain fault"), regardless of the
+//               entry's own permission bits;
+//   kClient   — accesses are checked against the entry's permission bits;
+//   kManager  — accesses bypass the permission bits entirely.
+//
+// The stock Linux/ARM kernel uses only a user domain and a kernel domain.
+// The paper adds a third, the *zygote domain*, holding the global mappings
+// of zygote-preloaded shared code: zygote-descended processes get client
+// access, everything else gets no access, so a non-zygote process touching
+// a stale global TLB entry takes a precise domain fault instead of silently
+// using another address space's translation.
+
+#ifndef SRC_ARCH_DOMAIN_H_
+#define SRC_ARCH_DOMAIN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/arch/types.h"
+
+namespace sat {
+
+inline constexpr uint32_t kNumDomains = 16;
+
+// Well-known domain assignments in the simulated kernel.
+inline constexpr DomainId kDomainKernel = 0;
+inline constexpr DomainId kDomainUser = 1;
+// The new domain introduced by the paper for zygote-preloaded shared code.
+inline constexpr DomainId kDomainZygote = 2;
+
+enum class DomainAccess : uint8_t {
+  kNoAccess = 0,
+  kClient = 1,
+  kManager = 3,
+};
+
+// A DACR value: 16 two-bit access fields packed into 32 bits, exactly as on
+// real hardware. Each task carries one of these in its control block; it is
+// loaded into the (simulated) coprocessor register on context switch.
+class DomainAccessControl {
+ public:
+  constexpr DomainAccessControl() = default;
+  explicit constexpr DomainAccessControl(uint32_t raw) : raw_(raw) {}
+
+  DomainAccess Get(DomainId domain) const {
+    return static_cast<DomainAccess>((raw_ >> (2 * domain)) & 0x3u);
+  }
+
+  void Set(DomainId domain, DomainAccess access) {
+    const uint32_t shift = 2u * domain;
+    raw_ = (raw_ & ~(0x3u << shift)) | (static_cast<uint32_t>(access) << shift);
+  }
+
+  constexpr uint32_t raw() const { return raw_; }
+  constexpr bool operator==(const DomainAccessControl& other) const = default;
+
+  // The DACR every process starts with: manager access to the kernel domain
+  // (the kernel polices itself via PTE permissions when it cares) and
+  // client access to the user domain. No access to the zygote domain.
+  static DomainAccessControl StockDefault() {
+    DomainAccessControl dacr;
+    dacr.Set(kDomainKernel, DomainAccess::kClient);
+    dacr.Set(kDomainUser, DomainAccess::kClient);
+    return dacr;
+  }
+
+  // The DACR of zygote-like (zygote and zygote-child) processes: adds
+  // client access to the zygote domain.
+  static DomainAccessControl ZygoteLike() {
+    DomainAccessControl dacr = StockDefault();
+    dacr.Set(kDomainZygote, DomainAccess::kClient);
+    return dacr;
+  }
+
+  std::string ToString() const;
+
+ private:
+  uint32_t raw_ = 0;
+};
+
+}  // namespace sat
+
+#endif  // SRC_ARCH_DOMAIN_H_

@@ -1,0 +1,17 @@
+#include "src/arch/fault.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sat {
+
+std::string MemoryAbort::ToString() const {
+  std::ostringstream os;
+  os << (is_prefetch_abort ? "PrefetchAbort" : "DataAbort") << "{"
+     << FaultStatusName(status) << ", va=0x" << std::hex << std::setw(8)
+     << std::setfill('0') << fault_address << std::dec << ", "
+     << AccessTypeName(access) << "}";
+  return os.str();
+}
+
+}  // namespace sat

@@ -1,0 +1,67 @@
+// Memory-abort reporting, modelled on the ARMv7 Fault Status Register (FSR)
+// and Fault Address Register (FAR).
+//
+// On real hardware an instruction-fetch fault raises a prefetch abort and a
+// data-access fault raises a data abort; in both cases the FSR encodes the
+// cause (translation fault, permission fault, domain fault, ...) and the
+// FAR holds the faulting virtual address. The simulation funnels both abort
+// flavours through one MemoryAbort record; the handler dispatches on the
+// FaultStatus exactly as the paper's modified kernel dispatches on the FSR.
+
+#ifndef SRC_ARCH_FAULT_H_
+#define SRC_ARCH_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/types.h"
+
+namespace sat {
+
+enum class FaultStatus : uint8_t {
+  kNone = 0,
+  // No valid translation at any level ("translation fault"): the classic
+  // page fault. The kernel's fault handler must populate the mapping.
+  kTranslation,
+  // A valid entry exists but its permission bits deny the access: COW
+  // write faults and genuine protection violations land here.
+  kPermission,
+  // The DACR denies all access to the entry's domain. In the paper this is
+  // the signal that a non-zygote process hit a global zygote-domain TLB
+  // entry; the handler flushes the conflicting TLB entries and retries.
+  kDomain,
+  // The access hit an address with no memory region at all (SIGSEGV).
+  kNoRegion,
+};
+
+constexpr const char* FaultStatusName(FaultStatus status) {
+  switch (status) {
+    case FaultStatus::kNone:
+      return "none";
+    case FaultStatus::kTranslation:
+      return "translation";
+    case FaultStatus::kPermission:
+      return "permission";
+    case FaultStatus::kDomain:
+      return "domain";
+    case FaultStatus::kNoRegion:
+      return "no-region";
+  }
+  return "?";
+}
+
+// The record the abort handler receives: FSR + FAR + the abort flavour.
+struct MemoryAbort {
+  FaultStatus status = FaultStatus::kNone;
+  VirtAddr fault_address = 0;   // FAR
+  AccessType access = AccessType::kRead;
+  bool is_prefetch_abort = false;  // instruction fetch vs data access
+
+  bool faulted() const { return status != FaultStatus::kNone; }
+
+  std::string ToString() const;
+};
+
+}  // namespace sat
+
+#endif  // SRC_ARCH_FAULT_H_

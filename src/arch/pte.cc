@@ -1,0 +1,29 @@
+#include "src/arch/pte.h"
+
+#include <sstream>
+
+namespace sat {
+
+std::string HwPte::ToString() const {
+  if (!valid()) {
+    return "HwPte{invalid}";
+  }
+  std::ostringstream os;
+  os << "HwPte{frame=" << frame() << ", perm=";
+  switch (perm()) {
+    case PtePerm::kNone:
+      os << "none";
+      break;
+    case PtePerm::kReadOnly:
+      os << "ro";
+      break;
+    case PtePerm::kReadWrite:
+      os << "rw";
+      break;
+  }
+  os << (executable() ? ", x" : ", nx") << (global() ? ", global" : "")
+     << (large() ? ", large" : "") << "}";
+  return os.str();
+}
+
+}  // namespace sat

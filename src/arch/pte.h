@@ -1,0 +1,179 @@
+// Page-table entry formats for the simulated ARMv7 short-descriptor scheme.
+//
+// Three entry kinds are modelled:
+//   * HwPte      — a hardware second-level ("small page" / "large page")
+//                  descriptor. These are what the MMU's table walker reads
+//                  and what gets loaded into the TLB.
+//   * LinuxPte   — the parallel software entry Linux/ARM keeps alongside
+//                  each hardware entry, holding the "young" (referenced)
+//                  and "dirty" bits the hardware format lacks.
+//   * L1Entry    — a first-level entry. In this simulation L1 entries are
+//                  managed at the paired 2 MB granularity (see types.h), so
+//                  an L1Entry here corresponds to a *pair* of hardware
+//                  first-level descriptors pointing into one PTP. The
+//                  NEED_COPY bit of the paper lives here.
+//
+// The hardware bit layout follows the ARMv7-A short descriptor format
+// closely enough that the simulated cache hierarchy can treat a PTE as a
+// real 4-byte datum at a real physical address inside its page-table page.
+
+#ifndef SRC_ARCH_PTE_H_
+#define SRC_ARCH_PTE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/types.h"
+
+namespace sat {
+
+// Access-permission encoding, a simplified version of ARM's AP[2:0].
+enum class PtePerm : uint8_t {
+  kNone = 0,         // no user access
+  kReadOnly = 1,     // user read (and execute unless XN)
+  kReadWrite = 2,    // user read/write
+};
+
+// A hardware second-level descriptor.
+//
+// Simulated layout (bit positions chosen to mirror ARMv7 small pages):
+//   [31:12] physical frame number
+//   [11]    nG   (not-global; 0 means the mapping is global)
+//   [10:9]  AP   (PtePerm)
+//   [8]     large (part of a 64 KB large-page run)
+//   [2]     XN   (execute never)
+//   [1:0]   type (0 = invalid, 2 = valid small/large page)
+class HwPte {
+ public:
+  constexpr HwPte() = default;
+
+  static HwPte MakePage(FrameNumber frame, PtePerm perm, bool global,
+                        bool executable, bool large = false) {
+    HwPte pte;
+    pte.raw_ = (static_cast<uint32_t>(frame) << kPageShift) |
+               (global ? 0u : kNotGlobalBit) |
+               (static_cast<uint32_t>(perm) << kApShift) |
+               (large ? kLargeBit : 0u) | (executable ? 0u : kXnBit) | kTypePage;
+    return pte;
+  }
+
+  constexpr bool valid() const { return (raw_ & kTypeMask) == kTypePage; }
+  constexpr FrameNumber frame() const { return raw_ >> kPageShift; }
+  constexpr bool global() const { return valid() && (raw_ & kNotGlobalBit) == 0; }
+  constexpr bool executable() const { return (raw_ & kXnBit) == 0; }
+  constexpr bool large() const { return (raw_ & kLargeBit) != 0; }
+
+  constexpr PtePerm perm() const {
+    return static_cast<PtePerm>((raw_ >> kApShift) & 0x3u);
+  }
+
+  void set_perm(PtePerm perm) {
+    raw_ = (raw_ & ~(0x3u << kApShift)) | (static_cast<uint32_t>(perm) << kApShift);
+  }
+
+  void set_global(bool global) {
+    if (global) {
+      raw_ &= ~kNotGlobalBit;
+    } else {
+      raw_ |= kNotGlobalBit;
+    }
+  }
+
+  // Write-protects the entry (AP read-write -> read-only). Used both for
+  // COW at fork and for the write-protect pass when a PTP becomes shared.
+  void WriteProtect() {
+    if (perm() == PtePerm::kReadWrite) {
+      set_perm(PtePerm::kReadOnly);
+    }
+  }
+
+  void Clear() { raw_ = 0; }
+
+  constexpr uint32_t raw() const { return raw_; }
+  constexpr bool operator==(const HwPte& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr uint32_t kTypeMask = 0x3u;
+  static constexpr uint32_t kTypePage = 0x2u;
+  static constexpr uint32_t kXnBit = 1u << 2;
+  static constexpr uint32_t kLargeBit = 1u << 8;
+  static constexpr uint32_t kApShift = 9;
+  static constexpr uint32_t kNotGlobalBit = 1u << 11;
+
+  uint32_t raw_ = 0;
+};
+
+// The parallel Linux software entry. ARMv7 second-level descriptors have no
+// referenced/dirty bits, so Linux keeps them in a shadow table that shares
+// the PTP's 4 KB frame with the hardware tables.
+class LinuxPte {
+ public:
+  constexpr LinuxPte() = default;
+
+  constexpr bool present() const { return (raw_ & kPresentBit) != 0; }
+  constexpr bool young() const { return (raw_ & kYoungBit) != 0; }
+  constexpr bool dirty() const { return (raw_ & kDirtyBit) != 0; }
+  // Set when the *region* allows writes even though the hardware entry may
+  // currently be write-protected (COW / shared-PTP protection).
+  constexpr bool writable() const { return (raw_ & kWritableBit) != 0; }
+
+  void set_present(bool v) { SetBit(kPresentBit, v); }
+  void set_young(bool v) { SetBit(kYoungBit, v); }
+  void set_dirty(bool v) { SetBit(kDirtyBit, v); }
+  void set_writable(bool v) { SetBit(kWritableBit, v); }
+
+  void Clear() { raw_ = 0; }
+
+  constexpr uint32_t raw() const { return raw_; }
+  constexpr bool operator==(const LinuxPte& other) const = default;
+
+ private:
+  static constexpr uint32_t kPresentBit = 1u << 0;
+  static constexpr uint32_t kYoungBit = 1u << 1;
+  static constexpr uint32_t kDirtyBit = 1u << 2;
+  static constexpr uint32_t kWritableBit = 1u << 3;
+
+  void SetBit(uint32_t bit, bool v) {
+    if (v) {
+      raw_ |= bit;
+    } else {
+      raw_ &= ~bit;
+    }
+  }
+
+  uint32_t raw_ = 0;
+};
+
+// Identifier of a page-table page object in the simulated kernel. PTPs live
+// in a slab owned by the PtpAllocator (src/pt); L1 entries refer to them by
+// id rather than by pointer so that sharing and reference counting stay
+// explicit.
+using PtpId = int32_t;
+inline constexpr PtpId kNoPtp = -1;
+
+// A first-level entry at 2 MB (PTP-pair) granularity.
+//
+// The NEED_COPY flag is the paper's spare-bit annotation: it marks the
+// referenced PTP as shared copy-on-write, meaning any modification of the
+// 2 MB range must first unshare (privatize) the PTP.
+struct L1Entry {
+  PtpId ptp = kNoPtp;
+  DomainId domain = 0;
+  bool need_copy = false;
+
+  bool present() const { return ptp != kNoPtp; }
+
+  void Clear() {
+    ptp = kNoPtp;
+    domain = 0;
+    need_copy = false;
+  }
+
+  bool operator==(const L1Entry& other) const = default;
+};
+
+}  // namespace sat
+
+#endif  // SRC_ARCH_PTE_H_

@@ -1,0 +1,148 @@
+// Basic architectural types and address-space constants for the simulated
+// 32-bit ARMv7-A machine (modelled on the Cortex-A9 in the paper's Nexus 7).
+//
+// The simulated machine uses the classic Linux/ARM 3G/1G split: user
+// virtual addresses run from 0 to 0xBFFFFFFF and the kernel owns the top
+// gigabyte. The ARMv7 short-descriptor translation scheme has a 4096-entry
+// first level (one entry per 1 MB "section" of virtual address space) and a
+// 256-entry second level (one entry per 4 KB small page).
+//
+// Linux on ARM manages first-level entries in *pairs*: one 4 KB page-table
+// page (PTP) holds two hardware second-level tables plus two parallel
+// "Linux" shadow tables (for the dirty/young bits the hardware lacks), so a
+// single PTP maps a 2 MB aligned region of virtual address space. That
+// 2 MB unit is the granularity at which the paper shares page tables, and
+// it is the granularity used throughout this simulation.
+
+#ifndef SRC_ARCH_TYPES_H_
+#define SRC_ARCH_TYPES_H_
+
+#include <cstdint>
+
+namespace sat {
+
+// A 32-bit virtual address.
+using VirtAddr = uint32_t;
+
+// A physical address. Kept 64-bit so frame numbers never overflow in
+// intermediate arithmetic even though the simulated machine is 32-bit.
+using PhysAddr = uint64_t;
+
+// Index of a 4 KB physical page frame.
+using FrameNumber = uint32_t;
+
+// Address-space identifier. ARMv7 ASIDs are 8 bits.
+using Asid = uint8_t;
+
+// ARM domain identifier, 0..15.
+using DomainId = uint8_t;
+
+// Process identifier in the simulated kernel.
+using Pid = int32_t;
+
+// Identifier of a simulated backing file (a shared-library segment, an oat
+// file, ...). Negative values mean "no file" (anonymous memory).
+using FileId = int32_t;
+inline constexpr FileId kNoFile = -1;
+
+// ---------------------------------------------------------------------------
+// Page geometry.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint32_t kPageSize = 1u << kPageShift;          // 4 KB
+inline constexpr uint32_t kPageOffsetMask = kPageSize - 1;
+
+// ARMv7 "large page": 64 KB, implemented as 16 replicated consecutive
+// second-level entries.
+inline constexpr uint32_t kLargePageShift = 16;
+inline constexpr uint32_t kLargePageSize = 1u << kLargePageShift;  // 64 KB
+inline constexpr uint32_t kPtesPerLargePage = kLargePageSize / kPageSize;
+
+// ARMv7 "section": 1 MB, mapped by a single first-level entry.
+inline constexpr uint32_t kSectionShift = 20;
+inline constexpr uint32_t kSectionSize = 1u << kSectionShift;     // 1 MB
+
+// One hardware second-level table covers 1 MB (256 entries x 4 KB).
+inline constexpr uint32_t kL2EntriesPerTable = 256;
+
+// One Linux/ARM page-table page (PTP) covers 2 MB of virtual address space:
+// two hardware tables plus their two shadow tables share a 4 KB frame.
+inline constexpr uint32_t kPtpSpanShift = 21;
+inline constexpr uint32_t kPtpSpan = 1u << kPtpSpanShift;         // 2 MB
+inline constexpr uint32_t kPtesPerPtp = kPtpSpan / kPageSize;     // 512
+
+// ---------------------------------------------------------------------------
+// Virtual address-space layout.
+// ---------------------------------------------------------------------------
+
+inline constexpr VirtAddr kUserSpaceEnd = 0xC0000000u;   // exclusive
+inline constexpr VirtAddr kKernelSpaceStart = kUserSpaceEnd;
+
+// Number of 2 MB PTP slots covering the whole 4 GB address space, and the
+// number covering user space only.
+inline constexpr uint32_t kPtpSlots = 4096u / 2;                  // 2048
+inline constexpr uint32_t kUserPtpSlots =
+    static_cast<uint32_t>(static_cast<uint64_t>(kUserSpaceEnd) >> kPtpSpanShift);  // 1536
+
+// ---------------------------------------------------------------------------
+// Address helpers.
+// ---------------------------------------------------------------------------
+
+// Virtual page number of a 4 KB page.
+constexpr uint32_t VirtPageNumber(VirtAddr va) { return va >> kPageShift; }
+
+// Index of the 2 MB PTP slot containing `va`.
+constexpr uint32_t PtpSlotIndex(VirtAddr va) { return va >> kPtpSpanShift; }
+
+// Index of `va`'s PTE within its PTP (0..511).
+constexpr uint32_t PteIndexInPtp(VirtAddr va) {
+  return (va >> kPageShift) & (kPtesPerPtp - 1);
+}
+
+// First virtual address of the 2 MB slot with the given index.
+constexpr VirtAddr PtpSlotBase(uint32_t slot) { return slot << kPtpSpanShift; }
+
+constexpr VirtAddr PageAlignDown(VirtAddr va) { return va & ~kPageOffsetMask; }
+
+constexpr VirtAddr PageAlignUp(VirtAddr va) {
+  return (va + kPageSize - 1) & ~kPageOffsetMask;
+}
+
+constexpr bool IsPageAligned(VirtAddr va) { return (va & kPageOffsetMask) == 0; }
+
+constexpr bool IsUserAddress(VirtAddr va) { return va < kUserSpaceEnd; }
+
+constexpr PhysAddr FrameToPhys(FrameNumber frame) {
+  return static_cast<PhysAddr>(frame) << kPageShift;
+}
+
+constexpr FrameNumber PhysToFrame(PhysAddr pa) {
+  return static_cast<FrameNumber>(pa >> kPageShift);
+}
+
+// ---------------------------------------------------------------------------
+// Access kinds, shared by the TLB, caches and fault handling.
+// ---------------------------------------------------------------------------
+
+enum class AccessType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kExecute = 2,
+};
+
+constexpr const char* AccessTypeName(AccessType type) {
+  switch (type) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+}  // namespace sat
+
+#endif  // SRC_ARCH_TYPES_H_

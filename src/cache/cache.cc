@@ -1,0 +1,130 @@
+#include "src/cache/cache.h"
+
+#include <bit>
+#include <cassert>
+
+namespace sat {
+
+Cache::Cache(std::string name, uint32_t size_bytes, uint32_t line_size,
+             uint32_t ways)
+    : name_(std::move(name)), line_size_(line_size), ways_(ways) {
+  assert(line_size > 0 && (line_size & (line_size - 1)) == 0);
+  assert(size_bytes % (line_size * ways) == 0);
+  num_sets_ = size_bytes / (line_size * ways);
+  assert((num_sets_ & (num_sets_ - 1)) == 0 && "set count must be a power of two");
+  set_shift_ = static_cast<uint32_t>(std::countr_zero(num_sets_));
+  lines_.resize(static_cast<size_t>(num_sets_) * ways_);
+}
+
+bool Cache::Access(PhysAddr pa) {
+  stats_.accesses++;
+  clock_++;
+  const uint64_t line_addr = LineAddr(pa);
+  const uint32_t set = SetOf(line_addr);
+  const uint64_t tag = TagOf(line_addr);
+  for (uint32_t w = 0; w < ways_; ++w) {
+    Line& line = lines_[static_cast<size_t>(set) * ways_ + w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = clock_;
+      return true;
+    }
+  }
+  stats_.misses++;
+  Line* victim = nullptr;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    Line& line = lines_[static_cast<size_t>(set) * ways_ + w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru_stamp < victim->lru_stamp) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru_stamp = clock_;
+  return false;
+}
+
+bool Cache::Probe(PhysAddr pa) const {
+  const uint64_t line_addr = LineAddr(pa);
+  const uint32_t set = SetOf(line_addr);
+  const uint64_t tag = TagOf(line_addr);
+  for (uint32_t w = 0; w < ways_; ++w) {
+    const Line& line = lines_[static_cast<size_t>(set) * ways_ + w];
+    if (line.valid && line.tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::InvalidateAll() {
+  for (Line& line : lines_) {
+    line.valid = false;
+  }
+}
+
+CacheHierarchy::CacheHierarchy(const CostModel* costs, Cache* l2)
+    : costs_(costs),
+      l1i_("L1I", 32 * 1024, 32, 4),
+      l1d_("L1D", 32 * 1024, 32, 4),
+      l2_(l2) {
+  assert(l2 != nullptr);
+}
+
+Cycles CacheHierarchy::AccessInst(PhysAddr pa, CoreCounters* counters) {
+  if (l1i_.Access(pa)) {
+    return costs_->l1_hit;
+  }
+  counters->l1i_misses++;
+  Cycles stall;
+  if (l2_->Access(pa)) {
+    stall = costs_->l2_hit;
+  } else {
+    counters->l2_misses++;
+    stall = costs_->l2_hit + costs_->dram;
+  }
+  counters->icache_stall_cycles += stall;
+  return costs_->l1_hit + stall;
+}
+
+Cycles CacheHierarchy::AccessData(PhysAddr pa, CoreCounters* counters) {
+  if (l1d_.Access(pa)) {
+    return costs_->l1_hit;
+  }
+  counters->l1d_misses++;
+  Cycles stall;
+  if (l2_->Access(pa)) {
+    stall = costs_->l2_hit;
+  } else {
+    counters->l2_misses++;
+    stall = costs_->l2_hit + costs_->dram;
+  }
+  counters->dcache_stall_cycles += stall;
+  return costs_->l1_hit + stall;
+}
+
+Cycles CacheHierarchy::AccessPtw(PhysAddr pa, CoreCounters* counters) {
+  // The ARMv7 hardware walker allocates PTE fetches into L1D and L2; the
+  // stall accounting is left to the caller (it shows up as TLB-miss stall
+  // time, not as a data-cache stall).
+  if (l1d_.Access(pa)) {
+    return costs_->l1_hit;
+  }
+  counters->l1d_misses++;
+  if (l2_->Access(pa)) {
+    return costs_->l1_hit + costs_->l2_hit;
+  }
+  counters->l2_misses++;
+  return costs_->l1_hit + costs_->l2_hit + costs_->dram;
+}
+
+void CacheHierarchy::InvalidateAll() {
+  l1i_.InvalidateAll();
+  l1d_.InvalidateAll();
+  l2_->InvalidateAll();
+}
+
+}  // namespace sat

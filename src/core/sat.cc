@@ -1,0 +1,69 @@
+#include "src/core/sat.h"
+
+namespace sat {
+
+std::string SystemConfig::Name() const {
+  std::string name;
+  if (copy_ptes_at_fork) {
+    name = "Copied PTEs";
+  } else if (share_ptps && share_tlb) {
+    name = "Shared PTP & TLB";
+  } else if (share_ptps) {
+    name = "Shared PTP";
+  } else {
+    name = "Stock Android";
+  }
+  if (two_mb_alignment) {
+    name += " - 2MB";
+  }
+  if (!asids_enabled) {
+    name += " (no ASID)";
+  }
+  if (copy_referenced_only_on_unshare) {
+    name += " [ref-only unshare]";
+  }
+  if (lazy_unshare_on_new_region) {
+    name += " [lazy unshare]";
+  }
+  if (hw_l1_write_protect) {
+    name += " [L1 WP]";
+  }
+  if (large_pages_for_code) {
+    name += " [64KB code]";
+  }
+  if (fault_around_pages > 0) {
+    name += " [FA" + std::to_string(fault_around_pages) + "]";
+  }
+  if (isolation != IsolationModel::kArmDomains) {
+    name += std::string(" [") + IsolationModelName(isolation) + "]";
+  }
+  return name;
+}
+
+ZygoteParams SystemConfig::ToZygoteParams() const {
+  ZygoteParams params;
+  params.kernel.phys_bytes = phys_bytes;
+  params.kernel.vm.share_ptps = share_ptps;
+  params.kernel.vm.share_tlb_global = share_tlb;
+  params.kernel.vm.copy_zygote_code_ptes_at_fork = copy_ptes_at_fork;
+  params.kernel.vm.copy_referenced_only_on_unshare =
+      copy_referenced_only_on_unshare;
+  params.kernel.vm.lazy_unshare_on_new_region = lazy_unshare_on_new_region;
+  params.kernel.vm.hw_l1_write_protect = hw_l1_write_protect;
+  params.kernel.vm.fault_around_pages = fault_around_pages;
+  params.kernel.core.asids_enabled = asids_enabled;
+  params.kernel.core.isolation = isolation;
+  params.kernel.num_cores = num_cores;
+  params.mapping_policy = two_mb_alignment ? MappingPolicy::kTwoMbAligned
+                                           : MappingPolicy::kOriginal;
+  params.large_code_pages = large_pages_for_code;
+  params.seed = seed;
+  return params;
+}
+
+System::System(const SystemConfig& config)
+    : config_(config), name_(config.Name()) {
+  zygote_system_ = std::make_unique<ZygoteSystem>(config.ToZygoteParams());
+}
+
+}  // namespace sat

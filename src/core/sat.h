@@ -1,0 +1,147 @@
+// The public entry point of libsat: one header, one config struct, one
+// System class.
+//
+//   sat::SystemConfig config = sat::SystemConfig::SharedPtpAndTlb2Mb();
+//   sat::System system(config);
+//   sat::AppRunner runner(&system.android());
+//   auto stats = runner.Run(footprint);
+//
+// A System is a fully booted simulated Android machine (zygote preloaded,
+// system_server running) under one of the kernel configurations the paper
+// evaluates. Everything below this facade — the VM subsystem, page-table
+// sharing, the TLB/cache/core models, the workload generators — is also
+// public and usable directly; this header is the curated starting point.
+
+#ifndef SRC_CORE_SAT_H_
+#define SRC_CORE_SAT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/android/app_runner.h"
+#include "src/android/binder.h"
+#include "src/android/launch.h"
+#include "src/android/profiler.h"
+#include "src/android/zygote.h"
+#include "src/loader/loader.h"
+#include "src/proc/kernel.h"
+#include "src/proc/scheduler.h"
+#include "src/vm/config.h"
+#include "src/vm/reclaim.h"
+#include "src/vm/smaps.h"
+#include "src/workload/analysis.h"
+#include "src/workload/app_profile.h"
+#include "src/workload/footprint.h"
+
+namespace sat {
+
+struct SystemConfig {
+  // The paper's two mechanisms.
+  bool share_ptps = false;
+  bool share_tlb = false;
+  // Map shared-library code at 2 MB boundaries, data in separate PTPs.
+  bool two_mb_alignment = false;
+  // Hardware ASIDs available (Figure 13's enabled/disabled dimension).
+  bool asids_enabled = true;
+
+  // Comparison kernel of Table 4: copy zygote-preloaded code PTEs at fork.
+  bool copy_ptes_at_fork = false;
+
+  // Extension: map shared-library code with 64 KB large pages (the
+  // Section 2.3.3 complement experiment — PTPs holding large-page
+  // entries share exactly like 4 KB ones).
+  bool large_pages_for_code = false;
+
+  // Ablation: Linux-3.15-style fault-around window (pages); 0 = off, as
+  // on the paper's 3.4-era kernel.
+  uint32_t fault_around_pages = 0;
+
+  // Section 3.1.3 ablations.
+  bool copy_referenced_only_on_unshare = false;
+  bool lazy_unshare_on_new_region = false;
+  bool hw_l1_write_protect = false;
+
+  // Extension: simulated core count (the paper's experiments pin to one
+  // of the Tegra 3's four cores). With >1 core, TLB maintenance becomes
+  // IPI shootdowns over each address space's cpumask.
+  uint32_t num_cores = 1;
+
+  // Extension: how shared TLB entries are protected from non-members
+  // (Section 5.2's design space: ARM domains / MPK / flush-on-switch).
+  IsolationModel isolation = IsolationModel::kArmDomains;
+
+  uint64_t phys_bytes = 512ull * 1024 * 1024;
+  uint64_t seed = 42;
+
+  std::string Name() const;
+
+  // -----------------------------------------------------------------
+  // The named configurations used throughout the evaluation.
+  // -----------------------------------------------------------------
+  static SystemConfig Stock() { return SystemConfig{}; }
+
+  static SystemConfig SharedPtp() {
+    SystemConfig config;
+    config.share_ptps = true;
+    return config;
+  }
+
+  static SystemConfig SharedPtpAndTlb() {
+    SystemConfig config;
+    config.share_ptps = true;
+    config.share_tlb = true;
+    return config;
+  }
+
+  static SystemConfig Stock2Mb() {
+    SystemConfig config;
+    config.two_mb_alignment = true;
+    return config;
+  }
+
+  static SystemConfig SharedPtp2Mb() {
+    SystemConfig config;
+    config.share_ptps = true;
+    config.two_mb_alignment = true;
+    return config;
+  }
+
+  static SystemConfig SharedPtpAndTlb2Mb() {
+    SystemConfig config;
+    config.share_ptps = true;
+    config.share_tlb = true;
+    config.two_mb_alignment = true;
+    return config;
+  }
+
+  static SystemConfig CopiedPtes() {
+    SystemConfig config;
+    config.copy_ptes_at_fork = true;
+    return config;
+  }
+
+  ZygoteParams ToZygoteParams() const;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  const SystemConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+
+  ZygoteSystem& android() { return *zygote_system_; }
+  Kernel& kernel() { return zygote_system_->kernel(); }
+  Core& core() { return kernel().core(); }
+  DynamicLoader& loader() { return zygote_system_->loader(); }
+  WorkloadFactory& workload() { return zygote_system_->workload(); }
+
+ private:
+  SystemConfig config_;
+  std::string name_;
+  std::unique_ptr<ZygoteSystem> zygote_system_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_CORE_SAT_H_

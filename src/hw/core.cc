@@ -1,0 +1,318 @@
+#include "src/hw/core.h"
+
+#include <cassert>
+
+namespace sat {
+
+namespace {
+
+// Byte offsets of each kernel path's text window within the kernel image,
+// spaced so the windows never overlap.
+constexpr PhysAddr KernelPathWindowBase(KernelPath path) {
+  return static_cast<PhysAddr>(path) * 256 * 1024;
+}
+
+// Size of each path's text window, in cache lines. A path's successive
+// invocations rotate through its window: the fault path, for example, is
+// not one 6 KB loop but a spread of handler, rmap, allocator and
+// page-cache code whose union far exceeds the 32 KB L1I — which is why
+// every page fault keeps pushing kernel lines through the instruction
+// cache instead of running entirely warm (the Figures 7-8 coupling
+// between fault counts and I-cache stalls).
+constexpr uint32_t KernelPathWindowLines(KernelPath path) {
+  switch (path) {
+    case KernelPath::kFaultHandler:
+      return 1536;  // 48 KB of fault-path text
+    case KernelPath::kContextSwitch:
+      return 512;
+    case KernelPath::kBinder:
+      return 1024;  // 32 KB of binder/IPC text
+    case KernelPath::kScheduler:
+      return 512;
+    case KernelPath::kFork:
+      return 2048;
+    case KernelPath::kMmap:
+      return 1024;
+  }
+  return 512;
+}
+
+constexpr uint32_t kKernelLineSize = 32;
+
+}  // namespace
+
+Core::Core(const CostModel* costs, Cache* l2, KernelCounters* kernel_counters,
+           PhysAddr kernel_text_base, const CoreConfig& config)
+    : costs_(costs),
+      kernel_counters_(kernel_counters),
+      config_(config),
+      caches_(costs, l2),
+      main_tlb_(config.main_tlb_entries, config.main_tlb_ways),
+      micro_itlb_(config.micro_tlb_entries),
+      micro_dtlb_(config.micro_tlb_entries),
+      kernel_text_base_(kernel_text_base) {}
+
+void Core::SwitchContext(const MmuContext& context) {
+  counters_.context_switches++;
+  counters_.cycles += costs_->context_switch;
+  // Cortex-A9: micro TLBs are flushed on every context switch.
+  micro_itlb_.FlushAll();
+  micro_dtlb_.FlushAll();
+  if (!config_.asids_enabled) {
+    // No ASIDs: all non-global entries belong to the outgoing process.
+    // Global entries — kernel mappings, and with the paper's mechanism the
+    // zygote-preloaded shared code — survive.
+    main_tlb_.FlushNonGlobal();
+    kernel_counters_->tlb_full_flushes++;
+  }
+  if (config_.isolation == IsolationModel::kFlushOnSwitch &&
+      !context.zygote_like) {
+    // The domain-less fallback: shared global entries must not be visible
+    // to a process outside the sharing group, so drop them all before it
+    // runs (Section 3.2.3; the scheduler-grouping ablation exists to make
+    // this rare).
+    main_tlb_.FlushGlobal();
+    kernel_counters_->tlb_full_flushes++;
+  }
+  context_ = context;
+  RunKernelPath(KernelPath::kContextSwitch, 0, costs_->switch_kernel_lines);
+}
+
+void Core::SetSampler(Cycles interval, SampleHookFn fn) {
+  sample_hook_ = std::move(fn);
+  sample_interval_ = interval;
+  next_sample_at_ = counters_.cycles + interval;
+}
+
+bool Core::FetchLine(VirtAddr va) {
+  counters_.inst_fetch_lines++;
+  counters_.user_inst_lines++;
+  if (sample_hook_ && counters_.cycles >= next_sample_at_) {
+    sample_hook_(va, /*kernel=*/false);
+    next_sample_at_ = counters_.cycles + sample_interval_;
+  }
+  return AccessMemory(va, AccessType::kExecute, /*is_fetch=*/true);
+}
+
+bool Core::FetchBurst(VirtAddr va, uint32_t burst_len) {
+  assert(burst_len > 0);
+  if (!FetchLine(va)) {
+    return false;
+  }
+  counters_.inst_fetch_lines += burst_len - 1;
+  counters_.user_inst_lines += burst_len - 1;
+  counters_.cycles += static_cast<Cycles>(burst_len - 1) * costs_->l1_hit;
+  return true;
+}
+
+bool Core::Load(VirtAddr va) {
+  counters_.data_accesses++;
+  return AccessMemory(va, AccessType::kRead, /*is_fetch=*/false);
+}
+
+bool Core::Store(VirtAddr va) {
+  counters_.data_accesses++;
+  return AccessMemory(va, AccessType::kWrite, /*is_fetch=*/false);
+}
+
+FaultStatus Core::Walk(VirtAddr va, AccessType access, TlbEntry* entry) {
+  PageTable* pt = context_.page_table;
+  if (pt == nullptr || !IsUserAddress(va)) {
+    return FaultStatus::kTranslation;
+  }
+  counters_.cycles += costs_->walk_overhead;
+
+  const uint32_t slot = PtpSlotIndex(va);
+  const L1Entry& l1 = pt->l1(slot);
+  if (!l1.present()) {
+    return FaultStatus::kTranslation;
+  }
+
+  const auto ref = pt->FindPte(va);
+  assert(ref.has_value());
+  // The walker's PTE fetch goes through the cache hierarchy — with shared
+  // PTPs this line is physically shared by every sharer.
+  const Cycles pte_fetch = caches_.AccessPtw(
+      ref->ptp->HwEntryPhysAddr(ref->index), &counters_);
+  counters_.cycles += pte_fetch;
+
+  const HwPte hw = ref->ptp->hw(ref->index);
+  if (!hw.valid()) {
+    return FaultStatus::kTranslation;
+  }
+
+  // The x86-style first-level write-protect ablation: a NEED_COPY slot
+  // denies writes during the walk itself, before per-PTE permissions.
+  if (l1.need_copy && access == AccessType::kWrite) {
+    return FaultStatus::kPermission;
+  }
+
+  // Referenced-bit upkeep (Linux/ARM emulates this in software; folding it
+  // into the walk keeps the referenced-only unshare ablation honest).
+  LinuxPte sw = ref->ptp->sw(ref->index);
+  if (!sw.young()) {
+    sw.set_young(true);
+    pt->UpdatePte(va, hw, sw, /*allow_shared=*/true);
+  }
+
+  TlbEntry walked;
+  walked.valid = true;
+  walked.size_pages = hw.large() ? kPtesPerLargePage : 1;
+  walked.vpn = VirtPageNumber(va) & ~(walked.size_pages - 1);
+  walked.asid = context_.asid;
+  walked.global = hw.global();
+  walked.domain = l1.domain;
+  walked.perm = hw.perm();
+  walked.executable = hw.executable();
+  walked.frame = hw.frame();
+  *entry = walked;
+  return FaultStatus::kNone;
+}
+
+bool Core::AccessMemory(VirtAddr va, AccessType access, bool is_fetch) {
+  MicroTlb& micro = is_fetch ? micro_itlb_ : micro_dtlb_;
+  Cycles& tlb_stalls =
+      is_fetch ? counters_.itlb_stall_cycles : counters_.dtlb_stall_cycles;
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    TlbEntry entry;
+    TlbResult result = micro.Lookup(va, context_.asid, access, context_.dacr, &entry);
+    if (result == TlbResult::kMiss) {
+      counters_.micro_tlb_misses++;
+      result = main_tlb_.Lookup(va, context_.asid, access, context_.dacr, &entry);
+      if (result == TlbResult::kHit) {
+        counters_.cycles += costs_->main_tlb_hit;
+        tlb_stalls += costs_->main_tlb_hit;
+        micro.Insert(entry);
+      } else if (result == TlbResult::kMiss) {
+        if (is_fetch) {
+          counters_.itlb_main_misses++;
+        } else {
+          counters_.dtlb_main_misses++;
+        }
+        const Cycles before = counters_.cycles;
+        const FaultStatus walk_status = Walk(va, access, &entry);
+        tlb_stalls += counters_.cycles - before;
+        if (walk_status != FaultStatus::kNone) {
+          MemoryAbort abort;
+          abort.status = walk_status;
+          abort.fault_address = va;
+          abort.access = access;
+          abort.is_prefetch_abort = is_fetch;
+          if (!abort_handler_ || !abort_handler_(abort)) {
+            return false;  // SIGSEGV
+          }
+          continue;  // retry after the kernel resolved the fault
+        }
+        main_tlb_.Insert(entry);
+        micro.Insert(entry);
+        result = TlbResult::kHit;
+      }
+    }
+
+    if (result == TlbResult::kDomainFault &&
+        config_.isolation == IsolationModel::kMpkDataOnly && is_fetch) {
+      // Memory protection keys guard loads and stores only: the fetch is
+      // *permitted* through the foreign global entry. Count the hazard —
+      // this is the unsoundness that makes MPK alone insufficient for
+      // shared instruction translations (Section 5.2).
+      counters_.unsound_global_hits++;
+      result = TlbResult::kHit;
+    }
+
+    switch (result) {
+      case TlbResult::kHit: {
+        const PhysAddr pa = FrameToPhys(entry.frame) +
+                            (va - (static_cast<PhysAddr>(entry.vpn) << kPageShift));
+        const Cycles latency = is_fetch ? caches_.AccessInst(pa, &counters_)
+                                        : caches_.AccessData(pa, &counters_);
+        counters_.cycles += latency;
+        return true;
+      }
+      case TlbResult::kDomainFault: {
+        // The paper's handler: FSR says domain fault; flush every TLB
+        // entry matching FAR on this core, return, retry.
+        kernel_counters_->domain_faults++;
+        kernel_counters_->tlb_va_flushes++;
+        counters_.cycles += costs_->domain_fault;
+        micro_itlb_.FlushVa(va);
+        micro_dtlb_.FlushVa(va);
+        main_tlb_.FlushVa(va);
+        continue;
+      }
+      case TlbResult::kPermissionFault: {
+        MemoryAbort abort;
+        abort.status = FaultStatus::kPermission;
+        abort.fault_address = va;
+        abort.access = access;
+        abort.is_prefetch_abort = is_fetch;
+        if (!abort_handler_ || !abort_handler_(abort)) {
+          return false;
+        }
+        // The kernel fixed the PTE but our TLBs may hold the stale
+        // write-protected entry; a real kernel flushes it in the COW path.
+        micro_itlb_.FlushVa(va);
+        micro_dtlb_.FlushVa(va);
+        main_tlb_.FlushVa(va);
+        continue;
+      }
+      case TlbResult::kMiss:
+        assert(false && "unreachable: miss was resolved above");
+        return false;
+    }
+  }
+  assert(false && "memory access livelocked; fault handler made no progress");
+  return false;
+}
+
+void Core::RunKernelPath(KernelPath path, Cycles cycles, uint32_t text_lines) {
+  counters_.cycles += cycles;
+  const PhysAddr window = kernel_text_base_ + KernelPathWindowBase(path);
+  const uint32_t window_lines = KernelPathWindowLines(path);
+  uint32_t& cursor = kernel_path_cursor_[static_cast<size_t>(path)];
+  for (uint32_t i = 0; i < text_lines; ++i) {
+    counters_.inst_fetch_lines++;
+    counters_.kernel_inst_lines++;
+    if (sample_hook_ && counters_.cycles >= next_sample_at_) {
+      sample_hook_(static_cast<VirtAddr>(kKernelSpaceStart +
+                                         (cursor * kKernelLineSize)),
+                   /*kernel=*/true);
+      next_sample_at_ = counters_.cycles + sample_interval_;
+    }
+    // Kernel text is mapped with 1 MB global sections; its TLB pressure is
+    // negligible and not modelled, its cache pressure very much is.
+    counters_.cycles +=
+        caches_.AccessInst(window + cursor * kKernelLineSize, &counters_);
+    cursor = (cursor + 1) % window_lines;
+  }
+}
+
+void Core::FlushTlbAll() {
+  kernel_counters_->tlb_full_flushes++;
+  micro_itlb_.FlushAll();
+  micro_dtlb_.FlushAll();
+  main_tlb_.FlushAll();
+}
+
+void Core::FlushTlbNonGlobal() {
+  kernel_counters_->tlb_full_flushes++;
+  micro_itlb_.FlushAll();
+  micro_dtlb_.FlushAll();
+  main_tlb_.FlushNonGlobal();
+}
+
+void Core::FlushTlbAsid(Asid asid) {
+  kernel_counters_->tlb_asid_flushes++;
+  micro_itlb_.FlushAll();
+  micro_dtlb_.FlushAll();
+  main_tlb_.FlushAsid(asid);
+}
+
+void Core::FlushTlbVa(VirtAddr va) {
+  kernel_counters_->tlb_va_flushes++;
+  micro_itlb_.FlushVa(va);
+  micro_dtlb_.FlushVa(va);
+  main_tlb_.FlushVa(va);
+}
+
+}  // namespace sat

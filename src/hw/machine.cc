@@ -1,0 +1,55 @@
+#include "src/hw/machine.h"
+
+#include <cassert>
+
+namespace sat {
+
+Machine::Machine(const CostModel* costs, KernelCounters* kernel_counters,
+                 PhysAddr kernel_text_base, const CoreConfig& config,
+                 uint32_t num_cores)
+    : costs_(costs), l2_(CacheHierarchy::MakeL2()) {
+  assert(num_cores >= 1 && num_cores <= 32);
+  for (uint32_t i = 0; i < num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(costs, &l2_, kernel_counters,
+                                            kernel_text_base, config));
+  }
+}
+
+template <typename FlushFn>
+void Machine::Broadcast(CpuMask mask, uint32_t initiator, FlushFn&& flush) {
+  stats_.shootdowns++;
+  for (uint32_t i = 0; i < num_cores(); ++i) {
+    if ((mask & (1u << i)) == 0) {
+      continue;
+    }
+    flush(*cores_[i]);
+    if (i != initiator) {
+      // IPI round trip, charged to the initiating core, which waits for
+      // the acknowledgement.
+      stats_.ipis++;
+      cores_[initiator]->counters().cycles += costs_->tlb_shootdown_ipi;
+    }
+  }
+}
+
+void Machine::ShootdownAsid(Asid asid, CpuMask mask, uint32_t initiator) {
+  Broadcast(mask, initiator, [asid](Core& core) { core.FlushTlbAsid(asid); });
+}
+
+void Machine::ShootdownVa(VirtAddr va, CpuMask mask, uint32_t initiator) {
+  Broadcast(mask, initiator, [va](Core& core) { core.FlushTlbVa(va); });
+}
+
+void Machine::ShootdownAll(CpuMask mask, uint32_t initiator) {
+  Broadcast(mask, initiator, [](Core& core) { core.FlushTlbAll(); });
+}
+
+CoreCounters Machine::TotalCounters() const {
+  CoreCounters total;
+  for (const auto& core : cores_) {
+    total += core->counters();
+  }
+  return total;
+}
+
+}  // namespace sat

@@ -1,0 +1,73 @@
+// Machine: a multi-core extension of the core model — N Cortex-A9-like
+// cores with private L1 caches and TLBs sharing one L2, plus TLB
+// shootdowns (IPI-based cross-core invalidation).
+//
+// The paper's evaluation pins its workloads to one core; on a real
+// multi-core device every PTE downgrade — fork's COW pass, an unshare, an
+// mprotect — must invalidate stale entries on *every* core the address
+// space has run on (Linux's mm_cpumask). The shootdown machinery here
+// makes that cost measurable: each remote core in the target mask costs
+// an IPI round trip and performs the requested flush locally.
+
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hw/core.h"
+
+namespace sat {
+
+// A set of cores, as a bitmask (the mm_cpumask analogue).
+using CpuMask = uint32_t;
+
+struct ShootdownStats {
+  uint64_t shootdowns = 0;   // broadcast operations issued
+  uint64_t ipis = 0;         // remote cores interrupted
+};
+
+class Machine {
+ public:
+  Machine(const CostModel* costs, KernelCounters* kernel_counters,
+          PhysAddr kernel_text_base, const CoreConfig& config,
+          uint32_t num_cores);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  uint32_t num_cores() const { return static_cast<uint32_t>(cores_.size()); }
+  Core& core(uint32_t index) { return *cores_[index]; }
+  Cache& l2() { return l2_; }
+
+  // -------------------------------------------------------------------
+  // TLB shootdowns. `mask` selects the cores whose TLBs may hold stale
+  // entries (the address space's cpumask); `initiator` flushes locally
+  // for free, every other masked core costs an IPI charged to the
+  // initiator (it spins for the acknowledgements, as Linux does).
+  // -------------------------------------------------------------------
+
+  void ShootdownAsid(Asid asid, CpuMask mask, uint32_t initiator);
+  void ShootdownVa(VirtAddr va, CpuMask mask, uint32_t initiator);
+  void ShootdownAll(CpuMask mask, uint32_t initiator);
+
+  const ShootdownStats& shootdown_stats() const { return stats_; }
+  void ResetShootdownStats() { stats_ = ShootdownStats{}; }
+
+  // Aggregated counters across all cores.
+  CoreCounters TotalCounters() const;
+
+ private:
+  template <typename FlushFn>
+  void Broadcast(CpuMask mask, uint32_t initiator, FlushFn&& flush);
+
+  const CostModel* costs_;
+  Cache l2_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  ShootdownStats stats_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_HW_MACHINE_H_

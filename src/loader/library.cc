@@ -1,0 +1,182 @@
+#include "src/loader/library.h"
+
+#include <cassert>
+
+namespace sat {
+
+LibraryId LibraryCatalog::Register(std::string name, CodeCategory category,
+                                   uint32_t code_pages, uint32_t data_pages) {
+  assert(code_pages > 0);
+  LibraryImage image;
+  image.id = static_cast<LibraryId>(libs_.size());
+  image.name = std::move(name);
+  image.category = category;
+  // One backing "file" per library; file ids are 1:1 with library ids.
+  image.file = static_cast<FileId>(image.id);
+  image.code_pages = code_pages;
+  image.data_pages = data_pages;
+  libs_.push_back(std::move(image));
+  return libs_.back().id;
+}
+
+const LibraryImage& LibraryCatalog::Get(LibraryId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < libs_.size());
+  return libs_[static_cast<size_t>(id)];
+}
+
+const LibraryImage* LibraryCatalog::FindByName(const std::string& name) const {
+  for (const LibraryImage& image : libs_) {
+    if (image.name == name) {
+      return &image;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<LibraryId> LibraryCatalog::ZygotePreloadSet() const {
+  std::vector<LibraryId> out;
+  for (const LibraryImage& image : libs_) {
+    if (IsZygotePreloadedCategory(image.category)) {
+      out.push_back(image.id);
+    }
+  }
+  return out;
+}
+
+uint64_t LibraryCatalog::TotalPreloadedCodePages() const {
+  uint64_t total = 0;
+  for (const LibraryImage& image : libs_) {
+    if (IsZygotePreloadedCategory(image.category)) {
+      total += image.code_pages;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+constexpr uint32_t Kb(uint32_t kb) { return (kb + 3) / 4; }  // KB -> pages
+constexpr uint32_t Mb(uint32_t mb) { return mb * 256; }      // MB -> pages
+
+}  // namespace
+
+LibraryCatalog LibraryCatalog::AndroidDefault() {
+  LibraryCatalog catalog;
+
+  // The zygote's main program (category 3 of Section 2.1).
+  catalog.Register("app_process", CodeCategory::kZygoteProgramBinary,
+                   Kb(16), Kb(4));
+
+  // The AOT-compiled Java boot image (category 2): ART replaces Dalvik's
+  // JIT with install-time compilation; boot.oat holds the native code of
+  // the Java framework libraries. This is the 35 MB top end the paper
+  // reports.
+  catalog.Register("boot.oat", CodeCategory::kZygoteJavaLib, Mb(30), Mb(3));
+  catalog.Register("boot-framework.oat", CodeCategory::kZygoteJavaLib,
+                   Mb(6), Mb(1));
+
+  // Zygote-preloaded native libraries (category 1), sized after the real
+  // KitKat-era platform set.
+  struct NativeLib {
+    const char* name;
+    uint32_t code_kb;
+    uint32_t data_kb;
+  };
+  static constexpr NativeLib kNativeLibs[] = {
+      {"linker", 92, 8},
+      {"libc.so", 792, 48},
+      {"libm.so", 220, 8},
+      {"libdl.so", 8, 4},
+      {"libstdc++.so", 12, 4},
+      {"libc++.so", 840, 40},
+      {"libart.so", 6200, 280},
+      {"libandroid_runtime.so", 2200, 140},
+      {"libandroidfw.so", 280, 16},
+      {"libbinder.so", 420, 32},
+      {"libutils.so", 260, 16},
+      {"libcutils.so", 120, 12},
+      {"liblog.so", 32, 8},
+      {"libskia.so", 4200, 180},
+      {"libhwui.so", 1400, 96},
+      {"libGLESv2.so", 64, 12},
+      {"libGLESv1_CM.so", 44, 8},
+      {"libEGL.so", 180, 20},
+      {"libgui.so", 560, 40},
+      {"libui.so", 140, 12},
+      {"libft2.so", 1200, 48},
+      {"libicuuc.so", 1900, 120},
+      {"libicui18n.so", 1800, 100},
+      {"libsqlite.so", 840, 40},
+      {"libssl.so", 420, 28},
+      {"libcrypto.so", 1700, 96},
+      {"libz.so", 96, 8},
+      {"libexpat.so", 180, 12},
+      {"libmedia.so", 1100, 88},
+      {"libstagefright.so", 1900, 120},
+      {"libcamera_client.so", 360, 24},
+      {"libsonivox.so", 340, 20},
+      {"libharfbuzz_ng.so", 620, 28},
+      {"libwebviewchromium.so", 11000, 700},
+      {"libjavacore.so", 420, 28},
+      {"libnativehelper.so", 64, 8},
+      {"libselinux.so", 88, 8},
+      {"libpackagelistparser.so", 12, 4},
+      {"libprocessgroup.so", 20, 4},
+      {"libmemtrack.so", 8, 4},
+      {"libnetd_client.so", 16, 4},
+      {"libsoundpool.so", 72, 8},
+      {"libaudioeffect_jni.so", 48, 8},
+      {"libjnigraphics.so", 12, 4},
+      {"librs_jni.so", 40, 8},
+      {"libRS.so", 620, 36},
+      {"libbcc.so", 1400, 64},
+      {"libLLVM.so", 3200, 120},
+      {"libpixelflinger.so", 180, 12},
+      {"libETC1.so", 16, 4},
+      {"libhardware.so", 12, 4},
+      {"libhardware_legacy.so", 96, 12},
+      {"libsurfaceflinger_client.so", 140, 12},
+      {"libemoji.so", 24, 4},
+      {"libjpeg.so", 280, 16},
+      {"libpng.so", 200, 12},
+      {"libgif.so", 36, 4},
+      {"libwebp.so", 320, 16},
+      {"libexif.so", 60, 8},
+      {"libstlport.so", 380, 20},
+      {"libusbhost.so", 12, 4},
+      {"libvorbisidec.so", 160, 12},
+      {"libnfc_ndef.so", 24, 4},
+      {"libwilhelm.so", 680, 48},
+      {"libdrmframework.so", 260, 20},
+      {"libmtp.so", 200, 16},
+      {"libexpat_shared.so", 180, 12},
+      {"libtextclassifier.so", 540, 28},
+      {"libminikin.so", 240, 16},
+      {"libinput.so", 320, 20},
+      {"libinputflinger.so", 280, 20},
+      {"libcamera_metadata.so", 64, 8},
+      {"libspeexresampler.so", 40, 4},
+      {"libaudioutils.so", 52, 8},
+      {"libpower.so", 8, 4},
+      {"libsync.so", 8, 4},
+      {"libion.so", 8, 4},
+      {"libtinyalsa.so", 36, 4},
+      {"libbacktrace.so", 76, 8},
+      {"libunwind.so", 160, 12},
+      {"libbase.so", 44, 4},
+      {"libtimezone.so", 120, 8},
+      {"libphonenumber.so", 420, 24},
+      {"libkeystore_client.so", 48, 8},
+      {"libsoftkeymaster.so", 88, 8},
+  };
+  for (const NativeLib& lib : kNativeLibs) {
+    catalog.Register(lib.name, CodeCategory::kZygoteDynamicLib,
+                     Kb(lib.code_kb), Kb(lib.data_kb));
+  }
+
+  // 88 zygote-preloaded objects, matching the paper's platform count.
+  assert(catalog.ZygotePreloadSet().size() == 88);
+  return catalog;
+}
+
+}  // namespace sat

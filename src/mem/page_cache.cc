@@ -1,0 +1,88 @@
+#include "src/mem/page_cache.h"
+
+#include <cassert>
+#include <vector>
+
+namespace sat {
+
+FrameNumber PageCache::Lookup(FileId file, uint32_t page_index) const {
+  const auto it = cache_.find(Key{file, page_index});
+  return it == cache_.end() ? kNoFrame : it->second;
+}
+
+FrameNumber PageCache::GetOrLoad(FileId file, uint32_t page_index,
+                                 bool* was_hard_fault) {
+  assert(file != kNoFile);
+  const Key key{file, page_index};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    if (was_hard_fault != nullptr) {
+      *was_hard_fault = false;
+    }
+    return it->second;
+  }
+  const FrameNumber frame = phys_->AllocFrame(FrameKind::kFileCache);
+  PageFrame& f = phys_->frame(frame);
+  f.file = file;
+  f.file_page_index = page_index;
+  cache_.emplace(key, frame);
+  if (was_hard_fault != nullptr) {
+    *was_hard_fault = true;
+  }
+  return frame;
+}
+
+FrameNumber PageCache::GetOrLoadLargeBlock(FileId file, uint32_t block_index,
+                                           bool* was_hard_fault) {
+  assert(file != kNoFile);
+  const uint32_t base_page = block_index * kPtesPerLargePage;
+  const auto it = cache_.find(Key{file, base_page});
+  if (it != cache_.end()) {
+    // Already resident; must have been loaded as a block (contiguity).
+    assert(phys_->frame(it->second).file_page_index == base_page);
+    if (was_hard_fault != nullptr) {
+      *was_hard_fault = false;
+    }
+    return it->second;
+  }
+  const FrameNumber base =
+      phys_->AllocContiguousFrames(kPtesPerLargePage, FrameKind::kFileCache);
+  for (uint32_t i = 0; i < kPtesPerLargePage; ++i) {
+    PageFrame& f = phys_->frame(base + i);
+    f.file = file;
+    f.file_page_index = base_page + i;
+    const bool inserted = cache_.emplace(Key{file, base_page + i}, base + i).second;
+    assert(inserted && "4 KB pages of this range already cached individually");
+    (void)inserted;
+  }
+  if (was_hard_fault != nullptr) {
+    *was_hard_fault = true;
+  }
+  return base;
+}
+
+void PageCache::RemovePage(FileId file, uint32_t page_index) {
+  const auto it = cache_.find(Key{file, page_index});
+  if (it == cache_.end()) {
+    return;
+  }
+  const FrameNumber frame = it->second;
+  cache_.erase(it);
+  phys_->UnrefFrame(frame);
+}
+
+void PageCache::EvictFile(FileId file) {
+  std::vector<Key> dead;
+  for (const auto& [key, frame] : cache_) {
+    if (key.file == file) {
+      dead.push_back(key);
+    }
+  }
+  for (const Key& key : dead) {
+    const FrameNumber frame = cache_[key];
+    cache_.erase(key);
+    phys_->UnrefFrame(frame);
+  }
+}
+
+}  // namespace sat

@@ -1,0 +1,79 @@
+// A minimal page cache: the kernel-wide map from (file, page index) to the
+// physical frame caching that file page.
+//
+// This is what makes file-backed *physical* sharing work in the simulation:
+// every process mapping page k of libfoo.so's code segment resolves, via
+// the page cache, to the same frame — exactly the baseline behaviour the
+// paper starts from ("modern operating systems avoid duplication of code
+// and data ... through mechanisms like copy-on-write"). What the paper adds
+// is sharing of the *translation* structures on top; that lives in src/pt.
+//
+// A file page's first access is a hard (major) fault that installs the
+// frame in the cache; subsequent accesses from any process are soft (minor)
+// faults that just take another reference.
+
+#ifndef SRC_MEM_PAGE_CACHE_H_
+#define SRC_MEM_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/arch/types.h"
+#include "src/mem/phys_memory.h"
+
+namespace sat {
+
+class PageCache {
+ public:
+  explicit PageCache(PhysicalMemory* phys) : phys_(phys) {}
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // Returns the frame caching (file, page_index), or kNoFrame if absent.
+  static constexpr FrameNumber kNoFrame = static_cast<FrameNumber>(-1);
+  FrameNumber Lookup(FileId file, uint32_t page_index) const;
+
+  // Looks up or loads the page. Sets *was_hard_fault to true when the page
+  // had to be "read from disk" (allocated fresh). The returned frame holds
+  // the cache's own reference; callers mapping it must RefFrame it.
+  FrameNumber GetOrLoad(FileId file, uint32_t page_index, bool* was_hard_fault);
+
+  // 64 KB large-page support: looks up or loads a naturally aligned
+  // 16-page block of the file into 16 *contiguous* physical frames and
+  // returns the base frame. `block_index` counts 64 KB blocks from the
+  // start of the file. A file's pages must be consistently cached at one
+  // granularity; mixing GetOrLoad and GetOrLoadLargeBlock over the same
+  // range is a caller error (asserted).
+  FrameNumber GetOrLoadLargeBlock(FileId file, uint32_t block_index,
+                                  bool* was_hard_fault);
+
+  // Drops one page from the cache, releasing the cache's reference
+  // (reclaim's final step; the frame is freed if no PTE still maps it).
+  void RemovePage(FileId file, uint32_t page_index);
+
+  // Drops a whole file from the cache (file truncate / unlink analogue).
+  void EvictFile(FileId file);
+
+  uint64_t resident_pages() const { return cache_.size(); }
+
+ private:
+  struct Key {
+    FileId file;
+    uint32_t page_index;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(static_cast<uint32_t>(k.file)) << 32) |
+                                   k.page_index);
+    }
+  };
+
+  PhysicalMemory* phys_;
+  std::unordered_map<Key, FrameNumber, KeyHash> cache_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_MEM_PAGE_CACHE_H_

@@ -1,0 +1,143 @@
+#include "src/mem/phys_memory.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace sat {
+
+PhysicalMemory::PhysicalMemory(uint64_t size_bytes) {
+  assert(size_bytes % kPageSize == 0 && "physical memory must be page-sized");
+  const uint64_t n = size_bytes / kPageSize;
+  assert(n >= 2 && "need at least a zero frame and one usable frame");
+  frames_.resize(n);
+  free_listed_.assign(n, false);
+  free_list_.reserve(n);
+  // Push high frames first so low frame numbers are handed out first,
+  // which keeps test expectations simple and deterministic.
+  for (uint64_t i = n; i-- > 1;) {
+    free_list_.push_back(static_cast<FrameNumber>(i));
+    free_listed_[i] = true;
+  }
+  free_count_ = n - 1;
+  // Frame 0 is the permanent shared zero page.
+  zero_frame_ = 0;
+  frames_[0].kind = FrameKind::kZero;
+  frames_[0].ref_count = 1;
+}
+
+FrameNumber PhysicalMemory::AllocFrame(FrameKind kind) {
+  assert(kind != FrameKind::kFree && kind != FrameKind::kZero);
+  // Drop entries claimed out-of-band by AllocContiguousFrames.
+  while (!free_list_.empty() &&
+         frames_[free_list_.back()].kind != FrameKind::kFree) {
+    free_listed_[free_list_.back()] = false;
+    free_list_.pop_back();
+  }
+  assert(!free_list_.empty() && "simulated machine out of physical memory");
+  const FrameNumber number = free_list_.back();
+  free_list_.pop_back();
+  free_listed_[number] = false;
+  free_count_--;
+  PageFrame& f = frames_[number];
+  f.kind = kind;
+  f.ref_count = 1;
+  f.map_count = 0;
+  f.file = kNoFile;
+  f.file_page_index = 0;
+  return number;
+}
+
+FrameNumber PhysicalMemory::AllocContiguousFrames(uint32_t count,
+                                                  FrameKind kind) {
+  assert(count > 0 && (count & (count - 1)) == 0 && "count must be a power of two");
+  assert(kind != FrameKind::kFree && kind != FrameKind::kZero);
+  // First-fit scan over naturally aligned candidate runs. Frame 0 is the
+  // zero page, so candidates start at `count`.
+  for (FrameNumber base = count;
+       base + count <= static_cast<FrameNumber>(frames_.size()); base += count) {
+    bool run_free = true;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (frames_[base + i].kind != FrameKind::kFree) {
+        run_free = false;
+        break;
+      }
+    }
+    if (!run_free) {
+      continue;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      PageFrame& f = frames_[base + i];
+      f.kind = kind;
+      f.ref_count = 1;
+      f.map_count = 0;
+      f.file = kNoFile;
+      f.file_page_index = 0;
+      // Remove from the free list lazily: AllocFrame skips non-free
+      // entries it pops.
+    }
+    free_count_ -= count;
+    return base;
+  }
+  assert(false && "no contiguous physical run available");
+  return 0;
+}
+
+bool PhysicalMemory::UnrefFrame(FrameNumber number) {
+  PageFrame& f = frame(number);
+  if (f.kind == FrameKind::kZero || f.kind == FrameKind::kKernel) {
+    return false;  // permanent frames are never freed
+  }
+  assert(f.ref_count > 0 && "unref of a dead frame");
+  if (--f.ref_count > 0) {
+    return false;
+  }
+  f.kind = FrameKind::kFree;
+  f.map_count = 0;
+  f.file = kNoFile;
+  if (!free_listed_[number]) {
+    free_list_.push_back(number);
+    free_listed_[number] = true;
+  }
+  free_count_++;
+  return true;
+}
+
+void PhysicalMemory::RefFrame(FrameNumber number) {
+  PageFrame& f = frame(number);
+  assert(f.kind != FrameKind::kFree && "ref of a free frame");
+  if (f.kind == FrameKind::kZero || f.kind == FrameKind::kKernel) {
+    return;  // permanent frames are not reference counted (see UnrefFrame)
+  }
+  f.ref_count++;
+}
+
+PageFrame& PhysicalMemory::frame(FrameNumber number) {
+  assert(number < frames_.size());
+  return frames_[number];
+}
+
+const PageFrame& PhysicalMemory::frame(FrameNumber number) const {
+  assert(number < frames_.size());
+  return frames_[number];
+}
+
+uint64_t PhysicalMemory::CountFrames(FrameKind kind) const {
+  uint64_t count = 0;
+  for (const PageFrame& f : frames_) {
+    if (f.kind == kind) {
+      count++;
+    }
+  }
+  return count;
+}
+
+std::string PhysicalMemory::ToString() const {
+  std::ostringstream os;
+  os << "PhysicalMemory{" << used_frames() << "/" << total_frames()
+     << " frames used; anon=" << CountFrames(FrameKind::kAnon)
+     << " file=" << CountFrames(FrameKind::kFileCache)
+     << " pt=" << CountFrames(FrameKind::kPageTable) << "}";
+  return os.str();
+}
+
+}  // namespace sat

@@ -1,0 +1,114 @@
+// Physical memory for the simulated machine: a frame allocator plus
+// per-frame metadata (the analogue of Linux's `struct page` array).
+//
+// The paper reuses the existing `mapcount` field of a page-table page's
+// `struct page` to hold the PTP sharer count; `PageFrame::map_count` plays
+// exactly that role here. Ordinary data frames use `ref_count` for the
+// number of PTE / page-cache references, which drives COW decisions.
+
+#ifndef SRC_MEM_PHYS_MEMORY_H_
+#define SRC_MEM_PHYS_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/types.h"
+
+namespace sat {
+
+enum class FrameKind : uint8_t {
+  kFree = 0,
+  kAnon,        // anonymous memory (heap, stack, COW copies)
+  kFileCache,   // page-cache copy of a file page
+  kPageTable,   // holds a page-table page
+  kKernel,      // kernel text/data (never freed)
+  kZero,        // the shared zero page
+};
+
+constexpr const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kFree:
+      return "free";
+    case FrameKind::kAnon:
+      return "anon";
+    case FrameKind::kFileCache:
+      return "file-cache";
+    case FrameKind::kPageTable:
+      return "page-table";
+    case FrameKind::kKernel:
+      return "kernel";
+    case FrameKind::kZero:
+      return "zero";
+  }
+  return "?";
+}
+
+struct PageFrame {
+  FrameKind kind = FrameKind::kFree;
+  // Number of references (PTE mappings + one for page-cache residency).
+  uint32_t ref_count = 0;
+  // For kPageTable frames: the number of address spaces sharing the PTP
+  // (the paper's reuse of struct page::mapcount).
+  uint32_t map_count = 0;
+  // For kFileCache frames: which file page this caches.
+  FileId file = kNoFile;
+  uint32_t file_page_index = 0;
+};
+
+// Out-of-memory and misuse are programming errors in this simulation, so
+// PhysicalMemory aborts (via assert-style checks) rather than returning
+// failure: the experiments size memory generously.
+class PhysicalMemory {
+ public:
+  // `size_bytes` must be a multiple of the page size.
+  explicit PhysicalMemory(uint64_t size_bytes);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  // Allocates one frame of the given kind with ref_count 1.
+  FrameNumber AllocFrame(FrameKind kind);
+
+  // Allocates `count` physically contiguous frames (first-fit) and
+  // returns the first frame number; each frame gets ref_count 1. Needed
+  // for 64 KB large pages, whose 16 backing frames must be contiguous
+  // and naturally aligned.
+  FrameNumber AllocContiguousFrames(uint32_t count, FrameKind kind);
+
+  // Drops one reference; frees the frame when the count reaches zero.
+  // Returns true if the frame was actually freed.
+  bool UnrefFrame(FrameNumber frame);
+
+  void RefFrame(FrameNumber frame);
+
+  PageFrame& frame(FrameNumber number);
+  const PageFrame& frame(FrameNumber number) const;
+
+  // The always-present shared zero page backing untouched anon reads.
+  FrameNumber zero_frame() const { return zero_frame_; }
+
+  uint64_t total_frames() const { return frames_.size(); }
+  uint64_t free_frames() const { return free_count_; }
+  uint64_t used_frames() const { return frames_.size() - free_count_; }
+  uint64_t used_bytes() const { return used_frames() * kPageSize; }
+
+  // Number of live frames of a given kind (O(n); for tests and reports).
+  uint64_t CountFrames(FrameKind kind) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PageFrame> frames_;
+  std::vector<FrameNumber> free_list_;
+  // Whether a frame currently has an entry in free_list_ (entries can go
+  // stale when AllocContiguousFrames claims frames out-of-band; stale
+  // entries are skipped and discarded by AllocFrame).
+  std::vector<bool> free_listed_;
+  uint64_t free_count_ = 0;
+  FrameNumber zero_frame_ = 0;
+};
+
+}  // namespace sat
+
+#endif  // SRC_MEM_PHYS_MEMORY_H_

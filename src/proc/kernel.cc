@@ -1,0 +1,241 @@
+#include "src/proc/kernel.h"
+
+#include <cassert>
+
+namespace sat {
+
+Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
+  phys_ = std::make_unique<PhysicalMemory>(params.phys_bytes);
+  page_cache_ = std::make_unique<PageCache>(phys_.get());
+  ptp_allocator_ = std::make_unique<PtpAllocator>(phys_.get(), &counters_);
+  vm_ = std::make_unique<VmManager>(phys_.get(), page_cache_.get(), &counters_,
+                                    &costs_, params.vm);
+  reclaimer_ = std::make_unique<Reclaimer>(phys_.get(), page_cache_.get(),
+                                           ptp_allocator_.get(), &rmap_,
+                                           &counters_);
+  // Kernel text lives just past the end of simulated RAM: a unique,
+  // collision-free physical window for the cache model (the kernel image
+  // itself is not simulated as data).
+  const PhysAddr kernel_text_base = FrameToPhys(
+      static_cast<FrameNumber>(phys_->total_frames()));
+  machine_ = std::make_unique<Machine>(&costs_, &counters_, kernel_text_base,
+                                       params.core, params.num_cores);
+  current_.resize(machine_->num_cores(), nullptr);
+  for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
+    machine_->core(i).set_abort_handler([this, i](const MemoryAbort& abort) {
+      Task* task = current_[i];
+      assert(task != nullptr && "abort with no current task");
+      const FaultOutcome outcome =
+          vm_->HandleFault(*task->mm, abort, FlushFnFor(*task));
+      machine_->core(i).RunKernelPath(KernelPath::kFaultHandler,
+                                      outcome.kernel_cycles,
+                                      costs_.fault_kernel_lines);
+      return outcome.ok;
+    });
+  }
+}
+
+Asid Kernel::AllocateAsid() {
+  if (next_asid_ > 255) {
+    // ASID rollover: new generation, flush everything everywhere (the
+    // Linux/ARM rollover analogue, kept simple).
+    const CpuMask all = (1u << machine_->num_cores()) - 1;
+    machine_->ShootdownAll(all, /*initiator=*/0);
+    next_asid_ = 1;
+  }
+  return static_cast<Asid>(next_asid_++);
+}
+
+MmuContext Kernel::ContextFor(Task& task) {
+  MmuContext context;
+  context.asid = task.asid;
+  context.dacr = task.dacr;
+  context.page_table = task.mm ? &task.mm->page_table() : nullptr;
+  context.zygote_like = task.IsZygoteLike();
+  return context;
+}
+
+TlbFlushFn Kernel::FlushFnFor(Task& task) {
+  return [this, &task]() {
+    // "Flush all TLB entries occupied by the current process": an ASID
+    // shootdown over every core the address space has run on.
+    const CpuMask mask = task.cpu_mask | (1u << task.last_core);
+    machine_->ShootdownAsid(task.asid, mask, task.last_core);
+  };
+}
+
+void Kernel::FlushRange(Task& task, VirtAddr start, VirtAddr end) {
+  // Linux-style heuristic: a handful of page flushes for small ranges, a
+  // full flush otherwise. Per-VA flushes also evict matching *global*
+  // entries, which matters when global mappings are modified.
+  constexpr uint32_t kMaxPageFlushes = 64;
+  const CpuMask mask = task.cpu_mask | (1u << task.last_core);
+  if ((end - start) / kPageSize <= kMaxPageFlushes) {
+    for (uint64_t va = start; va < end; va += kPageSize) {
+      machine_->ShootdownVa(static_cast<VirtAddr>(va), mask, task.last_core);
+    }
+  } else {
+    machine_->ShootdownAll(mask, task.last_core);
+  }
+}
+
+Task* Kernel::CreateTask(const std::string& name) {
+  auto task = std::make_unique<Task>();
+  task->pid = next_pid_++;
+  task->name = name;
+  task->asid = AllocateAsid();
+  task->mm = std::make_unique<MmStruct>(ptp_allocator_.get(), phys_.get(),
+                                        &counters_, kDomainUser, &rmap_);
+  Task* raw = task.get();
+  tasks_.push_back(std::move(task));
+  return raw;
+}
+
+Task* Kernel::Fork(Task& parent, const std::string& name) {
+  assert(parent.mm != nullptr);
+  Task* child = CreateTask(name);
+
+  // Section 3.2.2: children of the zygote get the zygote-child flag and
+  // with it client access to the zygote domain; their user mappings live
+  // in the zygote domain like the parent's.
+  if (parent.zygote || parent.zygote_child) {
+    child->zygote_child = true;
+    child->dacr = parent.dacr;
+    child->mm->set_user_domain(parent.mm->user_domain());
+  }
+
+  last_fork_result_ =
+      vm_->Fork(*parent.mm, *child->mm, FlushFnFor(parent));
+  machine_->core(parent.last_core)
+      .RunKernelPath(KernelPath::kFork, last_fork_result_.cycles,
+                     /*text_lines=*/180);
+  return child;
+}
+
+void Kernel::Exec(Task& task, const std::string& name, bool is_zygote) {
+  vm_->ExitMm(*task.mm);
+  FlushFnFor(task)();
+  task.name = name;
+  task.zygote = is_zygote;
+  task.zygote_child = false;
+  if (is_zygote) {
+    task.dacr = DomainAccessControl::ZygoteLike();
+    task.mm->set_user_domain(kDomainZygote);
+  } else {
+    task.dacr = DomainAccessControl::StockDefault();
+    task.mm->set_user_domain(kDomainUser);
+  }
+}
+
+void Kernel::Exit(Task& task) {
+  assert(task.alive);
+  vm_->ExitMm(*task.mm);
+  FlushFnFor(task)();
+  task.alive = false;
+  task.cpu_mask = 0;
+  for (Task*& current : current_) {
+    if (current == &task) {
+      current = nullptr;
+    }
+  }
+}
+
+VirtAddr Kernel::Mmap(Task& task, MmapRequest request) {
+  // Section 3.2.2's global-region policy: the zygote mapping shared
+  // library code marks the region global (only meaningful when TLB
+  // sharing is on; the bit is still recorded so experiments can observe
+  // the policy independent of the config).
+  if (task.zygote && IsFileBacked(request.kind) && request.prot.execute) {
+    request.global = true;
+  }
+  if (task.zygote) {
+    request.zygote_preloaded = true;
+  }
+  return vm_->Mmap(*task.mm, request, FlushFnFor(task));
+}
+
+void Kernel::Munmap(Task& task, VirtAddr start, uint32_t length) {
+  vm_->Munmap(*task.mm, start, length, FlushFnFor(task));
+  FlushRange(task, start, start + length);
+}
+
+void Kernel::Mprotect(Task& task, VirtAddr start, uint32_t length, VmProt prot) {
+  vm_->Mprotect(*task.mm, start, length, prot, FlushFnFor(task));
+  FlushRange(task, start, start + length);
+}
+
+bool Kernel::TouchPage(Task& task, VirtAddr va, AccessType access) {
+  assert(task.mm != nullptr);
+  PageTable& pt = task.mm->page_table();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const auto ref = pt.FindPte(va);
+    if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
+      const HwPte hw = ref->ptp->hw(ref->index);
+      const bool l1_write_block = vm_->config().hw_l1_write_protect &&
+                                  pt.SlotNeedsCopy(va) &&
+                                  access == AccessType::kWrite;
+      bool allowed = !l1_write_block;
+      if (allowed) {
+        switch (access) {
+          case AccessType::kRead:
+            allowed = hw.perm() != PtePerm::kNone;
+            break;
+          case AccessType::kWrite:
+            allowed = hw.perm() == PtePerm::kReadWrite;
+            break;
+          case AccessType::kExecute:
+            allowed = hw.perm() != PtePerm::kNone && hw.executable();
+            break;
+        }
+      }
+      if (allowed) {
+        if (!ref->ptp->sw(ref->index).young()) {
+          LinuxPte sw = ref->ptp->sw(ref->index);
+          sw.set_young(true);
+          pt.UpdatePte(va, hw, sw, /*allow_shared=*/true);
+        }
+        return true;
+      }
+    }
+    MemoryAbort abort;
+    abort.status = (ref.has_value() && ref->ptp->hw(ref->index).valid())
+                       ? FaultStatus::kPermission
+                       : FaultStatus::kTranslation;
+    abort.fault_address = va;
+    abort.access = access;
+    abort.is_prefetch_abort = access == AccessType::kExecute;
+    const FaultOutcome outcome =
+        vm_->HandleFault(*task.mm, abort, FlushFnFor(task));
+    if (!outcome.ok) {
+      return false;
+    }
+  }
+  assert(false && "TouchPage made no progress");
+  return false;
+}
+
+ReclaimStats Kernel::ReclaimFileCache(uint32_t target) {
+  const CpuMask all = (1u << machine_->num_cores()) - 1;
+  return reclaimer_->ReclaimFileCache(target, [this, all](VirtAddr va) {
+    machine_->ShootdownVa(va, all, /*initiator=*/0);
+  });
+}
+
+void Kernel::ScheduleTo(Task& task, uint32_t core_id) {
+  assert(task.alive);
+  assert(core_id < machine_->num_cores());
+  current_[core_id] = &task;
+  task.cpu_mask |= 1u << core_id;
+  task.last_core = core_id;
+  machine_->core(core_id).SwitchContext(ContextFor(task));
+}
+
+void Kernel::SetCurrent(Task& task, uint32_t core_id) {
+  assert(core_id < machine_->num_cores());
+  current_[core_id] = &task;
+  task.cpu_mask |= 1u << core_id;
+  task.last_core = core_id;
+  machine_->core(core_id).SetContext(ContextFor(task));
+}
+
+}  // namespace sat

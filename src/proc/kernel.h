@@ -1,0 +1,152 @@
+// Kernel: the facade that owns every simulated subsystem — physical
+// memory, the page cache, the PTP allocator, the VM manager, the CPU core,
+// and the task table — and exposes the system-call surface the experiments
+// drive (fork, exec, exit, mmap, munmap, mprotect) plus two ways of
+// touching memory:
+//
+//   * TouchPage — page-granular access that faults and populates exactly
+//     like a real access but skips the TLB/cache/cycle machinery. Used by
+//     the footprint-replay experiments (Figures 10-12, Table 3), where
+//     only page-fault and page-table counts matter.
+//   * Through the Core (kernel().core().FetchLine/Load/Store after
+//     ScheduleTo) — the full cycle-level pipeline, used for the launch and
+//     IPC experiments (Figures 7-8, 13).
+
+#ifndef SRC_PROC_KERNEL_H_
+#define SRC_PROC_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/mem/page_cache.h"
+#include "src/mem/phys_memory.h"
+#include "src/pt/ptp.h"
+#include "src/stats/cost_model.h"
+#include "src/stats/counters.h"
+#include "src/proc/task.h"
+#include "src/vm/reclaim.h"
+#include "src/vm/vm_manager.h"
+
+namespace sat {
+
+struct KernelParams {
+  uint64_t phys_bytes = 512ull * 1024 * 1024;
+  VmConfig vm;
+  CoreConfig core;
+  // Number of simulated cores (the paper's Tegra 3 has four; its
+  // experiments pin to one). TLB maintenance becomes an IPI shootdown
+  // over each address space's cpumask when > 1.
+  uint32_t num_cores = 1;
+  CostModel costs = CostModel::Default();
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelParams& params);
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // -------------------------------------------------------------------------
+  // Process lifecycle.
+  // -------------------------------------------------------------------------
+
+  // Creates a task with an empty address space (the init process).
+  Task* CreateTask(const std::string& name);
+
+  // Forks `parent`. Copies the address space under the configured kernel
+  // (stock / copied-PTEs / shared-PTPs), propagates the zygote-child flag
+  // and DACR, assigns a fresh ASID, and charges the modelled fork cost to
+  // the core. Returns the child.
+  Task* Fork(Task& parent, const std::string& name);
+
+  // Replaces the task's address space (execve). `is_zygote` sets the
+  // zygote flag and grants the zygote-domain DACR (Section 3.2.2).
+  void Exec(Task& task, const std::string& name, bool is_zygote);
+
+  // Tears down the task's address space and frees its page tables
+  // (performing the unshare-at-free logic, Section 3.1.2 case 5).
+  void Exit(Task& task);
+
+  // The result of the last Fork (Table 4's per-fork statistics).
+  const ForkResult& last_fork_result() const { return last_fork_result_; }
+
+  // -------------------------------------------------------------------------
+  // The mmap family.
+  // -------------------------------------------------------------------------
+
+  // The kernel-side global-region policy rides on mmap (Section 3.2.2): a
+  // file-backed executable mapping created by a task with the zygote flag
+  // is marked global (when TLB sharing is configured).
+  VirtAddr Mmap(Task& task, MmapRequest request);
+  void Munmap(Task& task, VirtAddr start, uint32_t length);
+  void Mprotect(Task& task, VirtAddr start, uint32_t length, VmProt prot);
+
+  // -------------------------------------------------------------------------
+  // Memory access.
+  // -------------------------------------------------------------------------
+
+  // Page-granular access on behalf of `task` (no TLB/cache simulation).
+  // Returns false on SIGSEGV.
+  bool TouchPage(Task& task, VirtAddr va, AccessType access);
+
+  // Installs `task` on a core with full context-switch modelling.
+  void ScheduleTo(Task& task, uint32_t core_id = 0);
+  // Installs without switch costs (experiment setup).
+  void SetCurrent(Task& task, uint32_t core_id = 0);
+
+  Task* current(uint32_t core_id = 0) { return current_[core_id]; }
+
+  // -------------------------------------------------------------------------
+  // Subsystem access.
+  // -------------------------------------------------------------------------
+
+  // Reclaims up to `target` clean page-cache pages, unmapping them from
+  // every mapping page table via the reverse map, with TLB shootdowns.
+  ReclaimStats ReclaimFileCache(uint32_t target);
+
+  Machine& machine() { return *machine_; }
+  Core& core(uint32_t index = 0) { return machine_->core(index); }
+  uint32_t num_cores() const { return machine_->num_cores(); }
+  PhysicalMemory& phys() { return *phys_; }
+  PageCache& page_cache() { return *page_cache_; }
+  PtpAllocator& ptp_allocator() { return *ptp_allocator_; }
+  ReverseMap& rmap() { return rmap_; }
+  VmManager& vm() { return *vm_; }
+  KernelCounters& counters() { return counters_; }
+  const CostModel& costs() const { return costs_; }
+  const VmConfig& vm_config() const { return vm_->config(); }
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+
+ private:
+  Asid AllocateAsid();
+  MmuContext ContextFor(Task& task);
+  // The flush-current-process callback handed to VM operations: an ASID
+  // shootdown over the task's cpumask.
+  TlbFlushFn FlushFnFor(Task& task);
+  // Precise range flush after PTE-clearing operations.
+  void FlushRange(Task& task, VirtAddr start, VirtAddr end);
+
+  CostModel costs_;
+  KernelCounters counters_;
+  std::unique_ptr<PhysicalMemory> phys_;
+  std::unique_ptr<PageCache> page_cache_;
+  std::unique_ptr<PtpAllocator> ptp_allocator_;
+  ReverseMap rmap_;
+  std::unique_ptr<VmManager> vm_;
+  std::unique_ptr<Reclaimer> reclaimer_;
+  std::unique_ptr<Machine> machine_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Task*> current_;
+  Pid next_pid_ = 1;
+  uint32_t next_asid_ = 1;
+  ForkResult last_fork_result_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_PROC_KERNEL_H_

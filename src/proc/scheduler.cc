@@ -1,0 +1,58 @@
+#include "src/proc/scheduler.h"
+
+#include <algorithm>
+
+namespace sat {
+
+Task* Scheduler::PickNext(const Task* current) {
+  // Drop dead tasks lazily.
+  run_queue_.erase(std::remove_if(run_queue_.begin(), run_queue_.end(),
+                                  [](const Task* t) { return !t->alive; }),
+                   run_queue_.end());
+  if (run_queue_.empty()) {
+    return nullptr;
+  }
+  if (cursor_ >= run_queue_.size()) {
+    cursor_ = 0;
+  }
+
+  if (!group_zygote_like_ || current == nullptr) {
+    Task* next = run_queue_[cursor_];
+    cursor_ = (cursor_ + 1) % run_queue_.size();
+    return next;
+  }
+
+  // Grouped policy: prefer the next runnable task in the same group
+  // (zygote-like vs not) as the current one; fall back to round-robin.
+  const bool group = current->IsZygoteLike();
+  for (size_t probe = 0; probe < run_queue_.size(); ++probe) {
+    const size_t index = (cursor_ + probe) % run_queue_.size();
+    Task* candidate = run_queue_[index];
+    if (candidate != current && candidate->IsZygoteLike() == group) {
+      cursor_ = (index + 1) % run_queue_.size();
+      return candidate;
+    }
+  }
+  Task* next = run_queue_[cursor_];
+  cursor_ = (cursor_ + 1) % run_queue_.size();
+  return next;
+}
+
+Task* Scheduler::RunQuantum() {
+  Task* current = kernel_->current();
+  Task* next = PickNext(current);
+  if (next == nullptr) {
+    return nullptr;
+  }
+  if (next != current) {
+    stats_.switches++;
+    if (current != nullptr &&
+        current->IsZygoteLike() != next->IsZygoteLike()) {
+      stats_.cross_group_switches++;
+    }
+    kernel_->ScheduleTo(*next);
+  }
+  return next;
+}
+
+}  // namespace sat

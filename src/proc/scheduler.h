@@ -1,0 +1,56 @@
+// A small round-robin scheduler with the paper's portability fallback
+// policy (Section 3.2.3): on architectures without ARM's domain model,
+// shared TLB entries can still be protected by flushing on cross-group
+// switches; grouping zygote-like processes together in the run order
+// minimizes how often that happens. The `group_zygote_like` policy makes
+// the scheduler exhaust one group before switching to the other, and the
+// cross-group switch count quantifies the benefit.
+
+#ifndef SRC_PROC_SCHEDULER_H_
+#define SRC_PROC_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/proc/kernel.h"
+#include "src/proc/task.h"
+
+namespace sat {
+
+struct SchedulerStats {
+  uint64_t switches = 0;
+  // Switches between a zygote-like and a non-zygote task (either way):
+  // the switches that would force a TLB flush on a domain-less
+  // architecture.
+  uint64_t cross_group_switches = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(Kernel* kernel, bool group_zygote_like)
+      : kernel_(kernel), group_zygote_like_(group_zygote_like) {}
+
+  void AddTask(Task* task) { run_queue_.push_back(task); }
+
+  // Picks the next runnable task after `current` under the configured
+  // policy; nullptr when the queue is empty.
+  Task* PickNext(const Task* current);
+
+  // Picks, switches the core to it, and updates statistics. Returns the
+  // task now running (nullptr when idle).
+  Task* RunQuantum();
+
+  const SchedulerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SchedulerStats{}; }
+
+ private:
+  Kernel* kernel_;
+  bool group_zygote_like_;
+  std::vector<Task*> run_queue_;
+  size_t cursor_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_PROC_SCHEDULER_H_

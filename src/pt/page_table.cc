@@ -1,0 +1,288 @@
+#include "src/pt/page_table.h"
+
+#include <cassert>
+
+namespace sat {
+
+PageTable::~PageTable() { ReleaseAll(); }
+
+namespace {
+
+// The frame a PTE at `index` actually maps. ARM large-page descriptors
+// are 16 identical replicas all naming the *base* frame of the 64 KB
+// block; the replica at offset i maps base + i.
+FrameNumber MappedFrameOf(const HwPte& pte, uint32_t index) {
+  if (!pte.large()) {
+    return pte.frame();
+  }
+  return pte.frame() + (index & (kPtesPerLargePage - 1));
+}
+
+}  // namespace
+
+PageTablePage& PageTable::EnsurePtp(VirtAddr va, DomainId domain) {
+  assert(IsUserAddress(va));
+  L1Entry& entry = l1_[PtpSlotIndex(va)];
+  assert(!entry.need_copy && "mutating access to a NEED_COPY slot; unshare first");
+  if (!entry.present()) {
+    entry.ptp = alloc_->Alloc();
+    entry.domain = domain;
+  }
+  return alloc_->Get(entry.ptp);
+}
+
+std::optional<PteRef> PageTable::FindPte(VirtAddr va) const {
+  assert(IsUserAddress(va));
+  const L1Entry& entry = l1_[PtpSlotIndex(va)];
+  if (!entry.present()) {
+    return std::nullopt;
+  }
+  return PteRef{&alloc_->Get(entry.ptp), PteIndexInPtp(va)};
+}
+
+void PageTable::TakeFrame(const HwPte& pte, PtpId ptp, uint32_t index,
+                          VirtAddr va) {
+  const FrameNumber frame = MappedFrameOf(pte, index);
+  phys_->RefFrame(frame);
+  const FrameKind kind = phys_->frame(frame).kind;
+  if (rmap_ != nullptr && kind != FrameKind::kZero &&
+      kind != FrameKind::kKernel) {
+    rmap_->Add(frame, ptp, index, va);
+  }
+}
+
+void PageTable::DropFrame(const HwPte& pte, PtpId ptp, uint32_t index) {
+  if (!pte.valid()) {
+    return;
+  }
+  const FrameNumber frame = MappedFrameOf(pte, index);
+  if (rmap_ != nullptr) {
+    rmap_->Remove(frame, ptp, index);
+  }
+  phys_->UnrefFrame(frame);
+}
+
+void PageTable::SetPte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
+                       bool allow_shared) {
+  const L1Entry& entry = l1_[PtpSlotIndex(va)];
+  assert(entry.present() && "SetPte without a PTP; call EnsurePtp");
+  assert((!entry.need_copy || allow_shared) &&
+         "mutating a NEED_COPY slot; unshare first");
+  assert((!entry.need_copy || hw_pte.perm() != PtePerm::kReadWrite) &&
+         "a PTE installed in a shared PTP must be write-protected");
+  (void)allow_shared;
+  PageTablePage& ptp = alloc_->Get(entry.ptp);
+  const uint32_t index = PteIndexInPtp(va);
+  // Take the new reference before dropping the old one so replacing a frame
+  // with itself stays safe.
+  if (hw_pte.valid()) {
+    TakeFrame(hw_pte, entry.ptp, index, PageAlignDown(va));
+  }
+  DropFrame(ptp.hw(index), entry.ptp, index);
+  ptp.Set(index, hw_pte, sw_pte);
+}
+
+void PageTable::ClearPte(VirtAddr va) {
+  const L1Entry& entry = l1_[PtpSlotIndex(va)];
+  if (!entry.present()) {
+    return;
+  }
+  assert(!entry.need_copy && "clearing a PTE in a NEED_COPY slot; unshare first");
+  PageTablePage& ptp = alloc_->Get(entry.ptp);
+  const uint32_t index = PteIndexInPtp(va);
+  DropFrame(ptp.hw(index), entry.ptp, index);
+  ptp.Clear(index);
+}
+
+void PageTable::UpdatePte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
+                          bool allow_shared) {
+  const L1Entry& entry = l1_[PtpSlotIndex(va)];
+  assert(entry.present());
+  assert((!entry.need_copy || allow_shared) &&
+         "updating a PTE in a NEED_COPY slot; unshare first");
+  (void)allow_shared;
+  PageTablePage& ptp = alloc_->Get(entry.ptp);
+  const uint32_t index = PteIndexInPtp(va);
+  assert(ptp.hw(index).valid() == hw_pte.valid());
+  if (hw_pte.valid() && hw_pte.frame() != ptp.hw(index).frame()) {
+    TakeFrame(hw_pte, entry.ptp, index, PageAlignDown(va));
+    DropFrame(ptp.hw(index), entry.ptp, index);
+  }
+  ptp.UpdateFlags(index, hw_pte, sw_pte);
+}
+
+void PageTable::ClearRange(VirtAddr start, VirtAddr end) {
+  assert(IsPageAligned(start) && IsPageAligned(end));
+  for (uint64_t va = start; va < end; va += kPageSize) {
+    ClearPte(static_cast<VirtAddr>(va));
+  }
+}
+
+void PageTable::WriteProtectRange(VirtAddr start, VirtAddr end) {
+  assert(IsPageAligned(start) && IsPageAligned(end));
+  for (uint64_t va64 = start; va64 < end; va64 += kPageSize) {
+    const auto va = static_cast<VirtAddr>(va64);
+    const auto ref = FindPte(va);
+    if (!ref || !ref->ptp->hw(ref->index).valid()) {
+      continue;
+    }
+    assert(!l1_[PtpSlotIndex(va)].need_copy);
+    HwPte hw = ref->ptp->hw(ref->index);
+    hw.WriteProtect();
+    ref->ptp->UpdateFlags(ref->index, hw, ref->ptp->sw(ref->index));
+  }
+}
+
+uint32_t PageTable::CountPresentInRange(VirtAddr start, VirtAddr end) const {
+  uint32_t count = 0;
+  for (uint64_t va = start; va < end; va += kPageSize) {
+    const auto ref = FindPte(static_cast<VirtAddr>(va));
+    if (ref && ref->ptp->hw(ref->index).valid()) {
+      count++;
+    }
+  }
+  return count;
+}
+
+uint32_t PageTable::ShareSlotInto(PageTable& child, uint32_t slot,
+                                  bool skip_write_protect_pass) {
+  L1Entry& entry = l1_[slot];
+  assert(entry.present() && "cannot share an empty slot");
+  assert(!child.l1_[slot].present() && "child slot already populated");
+
+  PageTablePage& ptp = alloc_->Get(entry.ptp);
+  uint32_t protected_count = 0;
+  if (!entry.need_copy) {
+    // Age the referenced bits at first share: "referenced" thereafter
+    // means "accessed since this PTP became shared", which is what the
+    // copy-referenced-only unshare ablation (Section 3.1.3) keys on.
+    for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+      if (ptp.hw(i).valid() && ptp.sw(i).young()) {
+        LinuxPte aged = ptp.sw(i);
+        aged.set_young(false);
+        ptp.UpdateFlags(i, ptp.hw(i), aged);
+      }
+    }
+    if (!skip_write_protect_pass) {
+      // First share of this PTP: write-protect every writable PTE so any
+      // store through it faults, then mark it COW here.
+      for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+        const HwPte& hw = ptp.hw(i);
+        if (hw.valid() && hw.perm() == PtePerm::kReadWrite) {
+          HwPte updated = hw;
+          updated.WriteProtect();
+          ptp.UpdateFlags(i, updated, ptp.sw(i));
+          protected_count++;
+        }
+      }
+      counters_->ptes_write_protected += protected_count;
+    }
+    entry.need_copy = true;
+  }
+  alloc_->AddSharer(entry.ptp);
+  child.l1_[slot] = L1Entry{entry.ptp, entry.domain, /*need_copy=*/true};
+  counters_->ptps_shared++;
+  return protected_count;
+}
+
+uint32_t PageTable::UnshareSlot(uint32_t slot, bool copy_referenced_only,
+                                const std::function<void()>& flush_tlb,
+                                bool write_protect_on_copy) {
+  L1Entry& entry = l1_[slot];
+  assert(entry.present());
+  if (!entry.need_copy) {
+    return 0;  // already private
+  }
+  counters_->ptps_unshared++;
+  if (alloc_->SharerCount(entry.ptp) == 1) {
+    // Sole remaining user: the PTP is ours again; just drop the COW mark.
+    entry.need_copy = false;
+    return 0;
+  }
+
+  // Figure 6, shared path: detach, flush our TLB entries, copy into a
+  // fresh private PTP, release the shared one.
+  const PtpId shared_id = entry.ptp;
+  const DomainId domain = entry.domain;
+  entry.Clear();
+  if (flush_tlb) {
+    flush_tlb();
+  }
+
+  const PtpId fresh_id = alloc_->Alloc();
+  PageTablePage& fresh = alloc_->Get(fresh_id);
+  PageTablePage& shared = alloc_->Get(shared_id);
+  uint32_t copied = 0;
+  for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+    const HwPte& hw = shared.hw(i);
+    if (!hw.valid()) {
+      continue;
+    }
+    if (copy_referenced_only && !shared.sw(i).young()) {
+      continue;  // ablation: let a soft fault repopulate it on demand
+    }
+    HwPte copy = hw;
+    if (write_protect_on_copy) {
+      copy.WriteProtect();
+    }
+    TakeFrame(copy, fresh_id, i,
+              PtpSlotBase(slot) + i * kPageSize);
+    fresh.Set(i, copy, shared.sw(i));
+    copied++;
+  }
+  counters_->ptes_copied += copied;
+
+  const bool destroyed = alloc_->DropSharer(shared_id);
+  assert(!destroyed && "sharer count said >1");
+  (void)destroyed;
+
+  entry = L1Entry{fresh_id, domain, /*need_copy=*/false};
+  return copied;
+}
+
+void PageTable::ReleaseSlot(uint32_t slot) {
+  L1Entry& entry = l1_[slot];
+  if (!entry.present()) {
+    return;
+  }
+  PageTablePage& ptp = alloc_->Get(entry.ptp);
+  if (alloc_->SharerCount(entry.ptp) == 1) {
+    // Last sharer: release every mapped frame, then the PTP itself.
+    for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+      if (ptp.hw(i).valid()) {
+        DropFrame(ptp.hw(i), entry.ptp, i);
+        ptp.Clear(i);
+      }
+    }
+  }
+  alloc_->DropSharer(entry.ptp);
+  entry.Clear();
+}
+
+void PageTable::ReleaseAll() {
+  for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+    ReleaseSlot(slot);
+  }
+}
+
+uint32_t PageTable::PresentSlotCount() const {
+  uint32_t count = 0;
+  for (const L1Entry& entry : l1_) {
+    if (entry.present()) {
+      count++;
+    }
+  }
+  return count;
+}
+
+uint32_t PageTable::SharedSlotCount() const {
+  uint32_t count = 0;
+  for (const L1Entry& entry : l1_) {
+    if (entry.present() && entry.need_copy) {
+      count++;
+    }
+  }
+  return count;
+}
+
+}  // namespace sat

@@ -1,0 +1,171 @@
+// The per-address-space page table: a first-level directory of 2 MB slots,
+// each naming a page-table page (PTP), plus the paper's PTP sharing and
+// unsharing operations (Sections 3.1.1-3.1.2, Figure 6).
+//
+// Reference-counting discipline
+// -----------------------------
+// A valid PTE holds exactly one reference on the data frame it maps, owned
+// by the *PTP* (not by the process) — this is what makes a PTE installed in
+// a shared PTP correctly visible to, and accounted for, all sharers at
+// once. SetPte takes the reference (and releases the previously mapped
+// frame if the entry was valid); ClearPte releases it; unsharing copies
+// entries into the new private PTP and thereby re-references the frames.
+// Destroying a PTP (last sharer gone) releases every remaining reference.
+
+#ifndef SRC_PT_PAGE_TABLE_H_
+#define SRC_PT_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/arch/domain.h"
+#include "src/arch/pte.h"
+#include "src/arch/types.h"
+#include "src/mem/phys_memory.h"
+#include "src/pt/ptp.h"
+#include "src/pt/rmap.h"
+#include "src/stats/counters.h"
+
+namespace sat {
+
+// Location of one PTE: which PTP and which index within it.
+struct PteRef {
+  PageTablePage* ptp = nullptr;
+  uint32_t index = 0;
+};
+
+class PageTable {
+ public:
+  // `rmap` is the kernel-wide reverse map; pass nullptr in page-table-only
+  // tests to skip rmap maintenance (reclaim then cannot run).
+  PageTable(PtpAllocator* alloc, PhysicalMemory* phys, KernelCounters* counters,
+            ReverseMap* rmap = nullptr)
+      : alloc_(alloc), phys_(phys), counters_(counters), rmap_(rmap) {}
+
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // -------------------------------------------------------------------------
+  // First level.
+  // -------------------------------------------------------------------------
+
+  const L1Entry& l1(uint32_t slot) const { return l1_[slot]; }
+
+  // True when `va`'s slot points at a PTP marked NEED_COPY (shared, COW).
+  bool SlotNeedsCopy(VirtAddr va) const {
+    return l1_[PtpSlotIndex(va)].need_copy;
+  }
+
+  // Returns the PTP of `va`'s slot, allocating a fresh (private) one if the
+  // slot is empty. Must not be called on a NEED_COPY slot for a mutating
+  // purpose — unshare first; asserts on that misuse.
+  PageTablePage& EnsurePtp(VirtAddr va, DomainId domain);
+
+  // -------------------------------------------------------------------------
+  // Second level.
+  // -------------------------------------------------------------------------
+
+  // Finds the PTE mapping `va`; nullopt if the slot has no PTP. The PTE
+  // itself may still be invalid.
+  std::optional<PteRef> FindPte(VirtAddr va) const;
+
+  // Installs a PTE, taking a reference on hw_pte's frame and releasing the
+  // previously mapped frame if any. The slot must already have a PTP (use
+  // EnsurePtp) and must not be NEED_COPY — except for the paper's read
+  // fault path, which deliberately populates *new* entries in a shared PTP
+  // so they become visible to every sharer (pass allow_shared=true; the
+  // entry must then be COW-safe, i.e. not hardware-writable).
+  void SetPte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte, bool allow_shared = false);
+
+  // Invalidates the PTE mapping `va` (no-op when absent or invalid),
+  // releasing the mapped frame. The slot must not be NEED_COPY.
+  void ClearPte(VirtAddr va);
+
+  // Permission/flag update that keeps the entry valid (COW resolution,
+  // referenced/dirty bookkeeping). The slot must not be NEED_COPY unless
+  // allow_shared (used only for referenced/dirty bit upkeep, which is
+  // harmlessly shared between sharers).
+  void UpdatePte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
+                 bool allow_shared = false);
+
+  // Clears every valid PTE in [start, end). Caller must have unshared every
+  // overlapped slot first; asserts on NEED_COPY slots.
+  void ClearRange(VirtAddr start, VirtAddr end);
+
+  // Write-protects every present PTE in [start, end) (mprotect support).
+  void WriteProtectRange(VirtAddr start, VirtAddr end);
+
+  // Number of present PTEs in [start, end) (diagnostic / fork costing).
+  uint32_t CountPresentInRange(VirtAddr start, VirtAddr end) const;
+
+  // -------------------------------------------------------------------------
+  // Sharing (the paper's mechanism).
+  // -------------------------------------------------------------------------
+
+  // Shares this table's `slot` into `child` at fork time (Section 3.1.1).
+  // If the PTP is not yet marked NEED_COPY, performs the write-protect pass
+  // over its writable PTEs and marks it here first. Returns the number of
+  // PTEs write-protected (0 on the already-shared fast path).
+  //
+  // `skip_write_protect_pass` models the hardware-support ablation of
+  // Section 3.1.3: an x86-style first-level write-protect bit would make
+  // the per-PTE pass unnecessary (the walker then treats NEED_COPY itself
+  // as denying writes; see src/hw).
+  uint32_t ShareSlotInto(PageTable& child, uint32_t slot,
+                         bool skip_write_protect_pass = false);
+
+  // Unshares `slot` (Figure 6). If this table is the sole sharer, just
+  // clears NEED_COPY. Otherwise clears the L1 entry, invokes `flush_tlb`
+  // (the "flush all TLB entries occupied by the current process" step),
+  // allocates a private PTP, copies the valid PTEs (only the referenced
+  // ones when `copy_referenced_only`, the Section 3.1.3 ablation), and
+  // drops this table's sharer reference. Returns the number of PTEs copied.
+  //
+  // `write_protect_on_copy` supports the x86-style L1-write-protect
+  // ablation: when the share-time per-PTE protection pass was skipped
+  // (hardware enforces COW at the first level), writable entries must be
+  // write-protected as they are copied out so per-page COW still works.
+  uint32_t UnshareSlot(uint32_t slot, bool copy_referenced_only,
+                       const std::function<void()>& flush_tlb,
+                       bool write_protect_on_copy = false);
+
+  // Releases `slot` entirely (process exit / full teardown): drops the
+  // sharer reference, destroying the PTP and releasing its mapped frames
+  // if this was the last sharer.
+  void ReleaseSlot(uint32_t slot);
+
+  // Releases every slot (exit path).
+  void ReleaseAll();
+
+  // -------------------------------------------------------------------------
+  // Statistics.
+  // -------------------------------------------------------------------------
+
+  // Number of slots with a PTP.
+  uint32_t PresentSlotCount() const;
+  // Number of slots whose PTP is marked NEED_COPY here.
+  uint32_t SharedSlotCount() const;
+
+  PtpAllocator& allocator() { return *alloc_; }
+
+ private:
+  // Reference + rmap bookkeeping for the frame a PTE maps. Every valid
+  // PTE holds one frame reference and (for reclaimable frames) one rmap
+  // entry; Take/Drop keep the two in lockstep.
+  void TakeFrame(const HwPte& pte, PtpId ptp, uint32_t index, VirtAddr va);
+  void DropFrame(const HwPte& pte, PtpId ptp, uint32_t index);
+
+  PtpAllocator* alloc_;
+  PhysicalMemory* phys_;
+  KernelCounters* counters_;
+  ReverseMap* rmap_;
+  std::array<L1Entry, kUserPtpSlots> l1_{};
+};
+
+}  // namespace sat
+
+#endif  // SRC_PT_PAGE_TABLE_H_

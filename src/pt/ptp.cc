@@ -1,0 +1,89 @@
+#include "src/pt/ptp.h"
+
+#include <cassert>
+
+namespace sat {
+
+void PageTablePage::Set(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
+  assert(index < kPtesPerPtp);
+  if (!hw_[index].valid() && hw_pte.valid()) {
+    present_count_++;
+  } else if (hw_[index].valid() && !hw_pte.valid()) {
+    assert(present_count_ > 0);
+    present_count_--;
+  }
+  hw_[index] = hw_pte;
+  sw_[index] = sw_pte;
+}
+
+void PageTablePage::Clear(uint32_t index) {
+  assert(index < kPtesPerPtp);
+  if (hw_[index].valid()) {
+    assert(present_count_ > 0);
+    present_count_--;
+  }
+  hw_[index].Clear();
+  sw_[index].Clear();
+}
+
+void PageTablePage::UpdateFlags(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
+  assert(index < kPtesPerPtp);
+  assert(hw_[index].valid() == hw_pte.valid() &&
+         "UpdateFlags cannot change entry validity");
+  hw_[index] = hw_pte;
+  sw_[index] = sw_pte;
+}
+
+PtpId PtpAllocator::Alloc() {
+  const FrameNumber frame = phys_->AllocFrame(FrameKind::kPageTable);
+  phys_->frame(frame).map_count = 1;
+  PtpId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    slab_[static_cast<size_t>(id)] = std::make_unique<PageTablePage>(id, frame);
+  } else {
+    id = static_cast<PtpId>(slab_.size());
+    slab_.push_back(std::make_unique<PageTablePage>(id, frame));
+  }
+  counters_->ptps_allocated++;
+  live_count_++;
+  return id;
+}
+
+PageTablePage& PtpAllocator::Get(PtpId id) {
+  assert(id >= 0 && static_cast<size_t>(id) < slab_.size());
+  assert(slab_[static_cast<size_t>(id)] != nullptr && "use of freed PTP");
+  return *slab_[static_cast<size_t>(id)];
+}
+
+const PageTablePage& PtpAllocator::Get(PtpId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < slab_.size());
+  assert(slab_[static_cast<size_t>(id)] != nullptr && "use of freed PTP");
+  return *slab_[static_cast<size_t>(id)];
+}
+
+uint32_t PtpAllocator::SharerCount(PtpId id) const {
+  return phys_->frame(Get(id).frame()).map_count;
+}
+
+void PtpAllocator::AddSharer(PtpId id) {
+  phys_->frame(Get(id).frame()).map_count++;
+}
+
+bool PtpAllocator::DropSharer(PtpId id) {
+  PageTablePage& ptp = Get(id);
+  PageFrame& frame = phys_->frame(ptp.frame());
+  assert(frame.map_count > 0);
+  if (--frame.map_count > 0) {
+    return false;
+  }
+  phys_->UnrefFrame(ptp.frame());
+  slab_[static_cast<size_t>(id)].reset();
+  free_ids_.push_back(id);
+  assert(live_count_ > 0);
+  live_count_--;
+  return true;
+}
+
+}  // namespace sat

@@ -1,0 +1,112 @@
+// Page-table pages (PTPs) and their allocator.
+//
+// One PTP is a single 4 KB physical frame laid out exactly as Linux/ARM
+// lays it out (the paper's Figure 5):
+//
+//     +0     Linux PTE table 0   (256 software entries for the even MB)
+//     +1024  Linux PTE table 1   (256 software entries for the odd MB)
+//     +2048  HW PTE table 0      (256 hardware entries for the even MB)
+//     +3072  HW PTE table 1      (256 hardware entries for the odd MB)
+//
+// so a PTP maps a 2 MB-aligned span of virtual address space. The hardware
+// walker reads the HW half; the simulated cache hierarchy therefore sees
+// PTE fetches as loads from `frame * 4096 + 2048 + index * 4` — which is
+// how a *shared* PTP turns into shared L2 cache lines across processes,
+// one of the paper's claimed benefits.
+//
+// The PTP sharer count is kept in the frame's `map_count`, mirroring the
+// paper's reuse of `struct page::mapcount`.
+
+#ifndef SRC_PT_PTP_H_
+#define SRC_PT_PTP_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/arch/pte.h"
+#include "src/arch/types.h"
+#include "src/mem/phys_memory.h"
+#include "src/stats/counters.h"
+
+namespace sat {
+
+class PageTablePage {
+ public:
+  PageTablePage(PtpId id, FrameNumber frame) : id_(id), frame_(frame) {}
+
+  PtpId id() const { return id_; }
+  FrameNumber frame() const { return frame_; }
+
+  const HwPte& hw(uint32_t index) const { return hw_[index]; }
+  const LinuxPte& sw(uint32_t index) const { return sw_[index]; }
+
+  // Number of valid hardware entries, maintained by Set/Clear.
+  uint32_t present_count() const { return present_count_; }
+
+  // Installs (or replaces) the entry at `index`.
+  void Set(uint32_t index, HwPte hw_pte, LinuxPte sw_pte);
+
+  // Invalidates the entry at `index`.
+  void Clear(uint32_t index);
+
+  // In-place mutation that cannot change validity (permission twiddles,
+  // referenced/dirty updates). Kept separate from Set so present_count
+  // stays trivially correct.
+  void UpdateFlags(uint32_t index, HwPte hw_pte, LinuxPte sw_pte);
+
+  // Physical address of the hardware PTE for `index` (the address the
+  // hardware walker loads, and thus the address the cache model sees).
+  PhysAddr HwEntryPhysAddr(uint32_t index) const {
+    const uint32_t mb = index / kL2EntriesPerTable;            // 0 or 1
+    const uint32_t within = index % kL2EntriesPerTable;
+    return FrameToPhys(frame_) + 2048 + mb * 1024 + within * 4;
+  }
+
+ private:
+  PtpId id_;
+  FrameNumber frame_;
+  uint32_t present_count_ = 0;
+  std::array<HwPte, kPtesPerPtp> hw_{};
+  std::array<LinuxPte, kPtesPerPtp> sw_{};
+};
+
+// Owns every PTP in the simulated kernel. L1 entries reference PTPs by id;
+// sharing is reference counting on the PTP's frame map_count.
+class PtpAllocator {
+ public:
+  PtpAllocator(PhysicalMemory* phys, KernelCounters* counters)
+      : phys_(phys), counters_(counters) {}
+
+  PtpAllocator(const PtpAllocator&) = delete;
+  PtpAllocator& operator=(const PtpAllocator&) = delete;
+
+  // Allocates a PTP with sharer count 1 and bumps ptps_allocated.
+  PtpId Alloc();
+
+  PageTablePage& Get(PtpId id);
+  const PageTablePage& Get(PtpId id) const;
+
+  // Sharer-count (map_count) manipulation.
+  uint32_t SharerCount(PtpId id) const;
+  void AddSharer(PtpId id);
+  // Drops one sharer; frees the PTP (and its frame) when none remain.
+  // Returns true if the PTP was destroyed. Frames mapped by its PTEs must
+  // already have been released by the caller (the VM layer owns data-frame
+  // reference counting).
+  bool DropSharer(PtpId id);
+
+  uint64_t live_ptps() const { return live_count_; }
+
+ private:
+  PhysicalMemory* phys_;
+  KernelCounters* counters_;
+  std::vector<std::unique_ptr<PageTablePage>> slab_;
+  std::vector<PtpId> free_ids_;
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace sat
+
+#endif  // SRC_PT_PTP_H_

@@ -1,0 +1,56 @@
+#include "src/pt/rmap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sat {
+
+void ReverseMap::Add(FrameNumber frame, PtpId ptp, uint32_t index,
+                     VirtAddr va) {
+  map_[frame].push_back(
+      RmapEntry{ptp, static_cast<uint16_t>(index), va});
+  total_entries_++;
+}
+
+void ReverseMap::Remove(FrameNumber frame, PtpId ptp, uint32_t index) {
+  const auto it = map_.find(frame);
+  if (it == map_.end()) {
+    return;
+  }
+  auto& entries = it->second;
+  const auto match = std::find_if(
+      entries.begin(), entries.end(), [&](const RmapEntry& entry) {
+        return entry.ptp == ptp && entry.index == index;
+      });
+  if (match == entries.end()) {
+    return;
+  }
+  entries.erase(match);
+  total_entries_--;
+  if (entries.empty()) {
+    map_.erase(it);
+  }
+}
+
+uint32_t ReverseMap::MapCount(FrameNumber frame) const {
+  const auto it = map_.find(frame);
+  return it == map_.end() ? 0 : static_cast<uint32_t>(it->second.size());
+}
+
+void ReverseMap::ForEach(
+    FrameNumber frame, const std::function<void(const RmapEntry&)>& fn) const {
+  const auto it = map_.find(frame);
+  if (it == map_.end()) {
+    return;
+  }
+  for (const RmapEntry& entry : it->second) {
+    fn(entry);
+  }
+}
+
+std::vector<RmapEntry> ReverseMap::MappingsOf(FrameNumber frame) const {
+  const auto it = map_.find(frame);
+  return it == map_.end() ? std::vector<RmapEntry>{} : it->second;
+}
+
+}  // namespace sat

@@ -1,0 +1,10 @@
+#include "src/stats/cost_model.h"
+
+namespace sat {
+
+const CostModel& CostModel::Default() {
+  static const CostModel model;
+  return model;
+}
+
+}  // namespace sat

@@ -1,0 +1,95 @@
+// Software and hardware event counters.
+//
+// KernelCounters mirrors the new software counters the paper adds to the
+// kernel (Section 4.1.1): page faults by kind, PTPs allocated, PTPs shared,
+// PTPs unshared, PTEs copied. CoreCounters mirrors the PMU events read from
+// the Cortex-A9 Performance Monitor Unit: execution cycles, cache and TLB
+// stall cycles, instruction counts.
+
+#ifndef SRC_STATS_COUNTERS_H_
+#define SRC_STATS_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/stats/cost_model.h"
+
+namespace sat {
+
+// Counters maintained by the simulated kernel, system-wide or snapshot-able
+// per experiment window (snapshots subtract).
+struct KernelCounters {
+  // Page faults, split the way the paper reports them.
+  uint64_t faults_file_backed = 0;   // soft + hard faults on file mappings
+  uint64_t faults_anonymous = 0;     // anon zero-fill and stack growth
+  uint64_t faults_cow = 0;           // write faults that copied a page
+  uint64_t faults_hard = 0;          // subset that missed the page cache
+  uint64_t domain_faults = 0;        // zygote-domain aborts by non-zygote tasks
+
+  // Page-table bookkeeping.
+  uint64_t ptps_allocated = 0;       // PTPs newly allocated
+  uint64_t ptps_shared = 0;          // share references taken at fork
+  uint64_t ptps_unshared = 0;        // Figure-6 unshare operations
+  uint64_t ptes_copied = 0;          // PTEs copied at fork or unshare
+  uint64_t ptes_write_protected = 0; // share-time protection pass work
+
+  // PTEs populated speculatively by fault-around (in addition to the
+  // faulting page itself).
+  uint64_t ptes_faulted_around = 0;
+
+  // Reclaim statistics (the rmap-driven shrink path).
+  uint64_t pages_reclaimed = 0;
+  uint64_t ptes_cleared_by_reclaim = 0;
+
+  // Fork statistics.
+  uint64_t forks = 0;
+
+  // TLB maintenance issued by the kernel.
+  uint64_t tlb_full_flushes = 0;
+  uint64_t tlb_asid_flushes = 0;
+  uint64_t tlb_va_flushes = 0;
+
+  KernelCounters operator-(const KernelCounters& rhs) const;
+  KernelCounters& operator+=(const KernelCounters& rhs);
+
+  std::string ToString() const;
+};
+
+// Per-core counters, the PMU analogue.
+struct CoreCounters {
+  Cycles cycles = 0;                  // total execution cycles
+  Cycles icache_stall_cycles = 0;     // L1 I-cache miss stalls
+  Cycles dcache_stall_cycles = 0;     // L1 D-cache miss stalls
+  Cycles itlb_stall_cycles = 0;       // instruction main-TLB miss stalls
+  Cycles dtlb_stall_cycles = 0;       // data main-TLB miss stalls
+
+  uint64_t inst_fetch_lines = 0;      // instruction cache-line fetches issued
+  uint64_t data_accesses = 0;
+
+  uint64_t itlb_main_misses = 0;
+  uint64_t dtlb_main_misses = 0;
+  uint64_t micro_tlb_misses = 0;
+
+  uint64_t l1i_misses = 0;
+  uint64_t l1d_misses = 0;
+  uint64_t l2_misses = 0;
+
+  uint64_t user_inst_lines = 0;       // user-mode share of inst_fetch_lines
+  uint64_t kernel_inst_lines = 0;     // kernel-mode share
+
+  uint64_t context_switches = 0;
+
+  // Instruction fetches served by a global TLB entry whose domain the
+  // running process has no rights to — permitted (and therefore unsound)
+  // under the MPK data-only isolation model.
+  uint64_t unsound_global_hits = 0;
+
+  CoreCounters operator-(const CoreCounters& rhs) const;
+  CoreCounters& operator+=(const CoreCounters& rhs);
+
+  std::string ToString() const;
+};
+
+}  // namespace sat
+
+#endif  // SRC_STATS_COUNTERS_H_

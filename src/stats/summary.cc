@@ -1,0 +1,149 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace sat {
+
+namespace {
+
+// Type-7 quantile (numpy/R default): linear interpolation between order
+// statistics of the sorted sample.
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+FiveNumberSummary Summarize(std::vector<double> samples) {
+  FiveNumberSummary out;
+  if (samples.empty()) {
+    return out;
+  }
+  std::sort(samples.begin(), samples.end());
+  out.minimum = samples.front();
+  out.maximum = samples.back();
+  out.q1 = QuantileSorted(samples, 0.25);
+  out.median = QuantileSorted(samples, 0.50);
+  out.q3 = QuantileSorted(samples, 0.75);
+  return out;
+}
+
+std::string FiveNumberSummary::ToString() const {
+  std::ostringstream os;
+  os << "min=" << FormatDouble(minimum, 0) << " q1=" << FormatDouble(q1, 0)
+     << " med=" << FormatDouble(median, 0) << " q3=" << FormatDouble(q3, 0)
+     << " max=" << FormatDouble(maximum, 0);
+  return os.str();
+}
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0;
+  }
+  const double sum = std::accumulate(samples.begin(), samples.end(), 0.0);
+  return sum / static_cast<double>(samples.size());
+}
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) {
+    return 0;
+  }
+  std::sort(samples.begin(), samples.end());
+  return QuantileSorted(samples, 0.5);
+}
+
+std::vector<double> EmpiricalCdf(const std::vector<uint32_t>& observations,
+                                 uint32_t max_value) {
+  std::vector<double> cdf(static_cast<size_t>(max_value) + 1, 0.0);
+  if (observations.empty()) {
+    return cdf;
+  }
+  std::vector<uint64_t> hist(static_cast<size_t>(max_value) + 1, 0);
+  for (uint32_t obs : observations) {
+    hist[std::min(obs, max_value)]++;
+  }
+  uint64_t running = 0;
+  for (size_t v = 0; v <= max_value; ++v) {
+    running += hist[v];
+    cdf[v] = static_cast<double>(running) / static_cast<double>(observations.size());
+  }
+  return cdf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "  ";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << "  " << rule << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatDouble(fraction * 100.0, digits) + "%";
+}
+
+bool ShapeCheck(std::ostream& os, const std::string& label, double paper,
+                double measured, double tolerance) {
+  bool ok = false;
+  if (paper == 0.0) {
+    ok = measured == 0.0;
+  } else {
+    const double rel = std::abs(measured - paper) / std::abs(paper);
+    ok = rel <= tolerance;
+  }
+  os << "  [shape] " << label << ": paper=" << FormatDouble(paper, 2)
+     << "  measured=" << FormatDouble(measured, 2) << "  ("
+     << (ok ? "ok" : "OFF") << ")\n";
+  return ok;
+}
+
+}  // namespace sat

@@ -1,0 +1,74 @@
+// Small statistics helpers used by the evaluation harness: five-number
+// summaries for the paper's box-and-whisker plots (Figures 7-8), empirical
+// CDFs (Figure 4), and aligned-column table printing with paper-vs-measured
+// annotations.
+
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sat {
+
+// The five-number summary a box-and-whisker plot draws.
+struct FiveNumberSummary {
+  double minimum = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double maximum = 0;
+
+  std::string ToString() const;
+};
+
+// Computes min/Q1/median/Q3/max over `samples` (copied, then sorted).
+// Quartiles use linear interpolation between order statistics (type 7, the
+// numpy/R default). An empty input returns all zeros.
+FiveNumberSummary Summarize(std::vector<double> samples);
+
+double Mean(const std::vector<double>& samples);
+double Median(std::vector<double> samples);
+
+// An empirical CDF over integer-valued observations in [0, max_value]:
+// cdf[v] = fraction of observations <= v.
+std::vector<double> EmpiricalCdf(const std::vector<uint32_t>& observations,
+                                 uint32_t max_value);
+
+// ---------------------------------------------------------------------------
+// Table printing.
+// ---------------------------------------------------------------------------
+
+// A minimal fixed-layout table printer: set headers once, add rows of
+// strings, print with aligned columns. Used by every bench binary so the
+// reproduced tables all look alike.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits = 1);
+
+// Formats `value` as a percentage with one decimal, e.g. "92.8%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+// Prints a "shape check" line comparing a measured value to the paper's
+// reported value: "  [shape] <label>: paper=<p>  measured=<m>  (<ok|off>)".
+// `tolerance` is relative (0.5 = within 50%); a zero paper value only
+// checks the sign. Returns true when the check passes.
+bool ShapeCheck(std::ostream& os, const std::string& label, double paper,
+                double measured, double tolerance);
+
+}  // namespace sat
+
+#endif  // SRC_STATS_SUMMARY_H_

@@ -1,0 +1,261 @@
+#include "src/tlb/tlb.h"
+
+#include <cassert>
+
+namespace sat {
+
+TlbResult CheckEntryAccess(const TlbEntry& entry, AccessType access,
+                           const DomainAccessControl& dacr) {
+  switch (dacr.Get(entry.domain)) {
+    case DomainAccess::kNoAccess:
+      return TlbResult::kDomainFault;
+    case DomainAccess::kManager:
+      return TlbResult::kHit;  // permission bits are bypassed
+    case DomainAccess::kClient:
+      break;
+  }
+  switch (access) {
+    case AccessType::kRead:
+      if (entry.perm == PtePerm::kNone) {
+        return TlbResult::kPermissionFault;
+      }
+      return TlbResult::kHit;
+    case AccessType::kWrite:
+      if (entry.perm != PtePerm::kReadWrite) {
+        return TlbResult::kPermissionFault;
+      }
+      return TlbResult::kHit;
+    case AccessType::kExecute:
+      if (entry.perm == PtePerm::kNone || !entry.executable) {
+        return TlbResult::kPermissionFault;
+      }
+      return TlbResult::kHit;
+  }
+  return TlbResult::kPermissionFault;
+}
+
+namespace {
+
+bool IsPowerOfTwo(uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+MainTlb::MainTlb(uint32_t num_entries, uint32_t ways) : ways_(ways) {
+  assert(ways > 0 && num_entries % ways == 0);
+  num_sets_ = num_entries / ways;
+  assert(IsPowerOfTwo(num_sets_));
+  entries_.resize(num_entries);
+  replace_cursor_.resize(num_sets_, 0);
+}
+
+TlbEntry* MainTlb::FindInSet(uint32_t set, uint32_t vpn, Asid asid) {
+  for (uint32_t w = 0; w < ways_; ++w) {
+    TlbEntry& entry = entries_[set * ways_ + w];
+    if (entry.Matches(vpn, asid)) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+TlbResult MainTlb::Lookup(VirtAddr va, Asid asid, AccessType access,
+                          const DomainAccessControl& dacr, TlbEntry* out) {
+  stats_.lookups++;
+  const uint32_t vpn = VirtPageNumber(va);
+  TlbEntry* entry = FindInSet(SetIndexOf(vpn), vpn, asid);
+  if (entry == nullptr) {
+    // A 64 KB entry lives in the set of its aligned base VPN.
+    const uint32_t large_vpn = vpn & ~(kPtesPerLargePage - 1);
+    if (large_vpn != vpn || SetIndexOf(large_vpn) != SetIndexOf(vpn)) {
+      entry = FindInSet(SetIndexOf(large_vpn), vpn, asid);
+      if (entry != nullptr && entry->size_pages == 1) {
+        entry = nullptr;  // only large entries are valid matches there
+      }
+    }
+  }
+  if (entry == nullptr) {
+    stats_.misses++;
+    return TlbResult::kMiss;
+  }
+  const TlbResult result = CheckEntryAccess(*entry, access, dacr);
+  if (out != nullptr) {
+    *out = *entry;  // filled on faults too: the core models protection
+                    // schemes that override the domain verdict
+  }
+  switch (result) {
+    case TlbResult::kHit:
+      stats_.hits++;
+      break;
+    case TlbResult::kDomainFault:
+      stats_.domain_faults++;
+      break;
+    case TlbResult::kPermissionFault:
+      stats_.permission_faults++;
+      break;
+    case TlbResult::kMiss:
+      break;
+  }
+  return result;
+}
+
+void MainTlb::Insert(const TlbEntry& entry) {
+  assert(entry.valid);
+  assert((entry.vpn & (entry.size_pages - 1)) == 0 &&
+         "TLB entry base must be size-aligned");
+  const uint32_t set = SetIndexOf(entry.vpn);
+  // Replace an existing mapping of the same page first, then any invalid
+  // way, then round-robin.
+  for (uint32_t w = 0; w < ways_; ++w) {
+    TlbEntry& candidate = entries_[set * ways_ + w];
+    if (candidate.valid && candidate.vpn == entry.vpn &&
+        candidate.size_pages == entry.size_pages &&
+        (candidate.global == entry.global) && candidate.asid == entry.asid) {
+      candidate = entry;
+      stats_.insertions++;
+      return;
+    }
+  }
+  for (uint32_t w = 0; w < ways_; ++w) {
+    TlbEntry& candidate = entries_[set * ways_ + w];
+    if (!candidate.valid) {
+      candidate = entry;
+      stats_.insertions++;
+      return;
+    }
+  }
+  const uint32_t victim = replace_cursor_[set];
+  replace_cursor_[set] = (victim + 1) % ways_;
+  entries_[set * ways_ + victim] = entry;
+  stats_.insertions++;
+}
+
+void MainTlb::FlushAll() {
+  stats_.flushes++;
+  for (TlbEntry& entry : entries_) {
+    if (entry.valid) {
+      entry.valid = false;
+      stats_.entries_flushed++;
+    }
+  }
+}
+
+void MainTlb::FlushNonGlobal() {
+  stats_.flushes++;
+  for (TlbEntry& entry : entries_) {
+    if (entry.valid && !entry.global) {
+      entry.valid = false;
+      stats_.entries_flushed++;
+    }
+  }
+}
+
+void MainTlb::FlushGlobal() {
+  stats_.flushes++;
+  for (TlbEntry& entry : entries_) {
+    if (entry.valid && entry.global) {
+      entry.valid = false;
+      stats_.entries_flushed++;
+    }
+  }
+}
+
+void MainTlb::FlushAsid(Asid asid) {
+  stats_.flushes++;
+  for (TlbEntry& entry : entries_) {
+    if (entry.valid && !entry.global && entry.asid == asid) {
+      entry.valid = false;
+      stats_.entries_flushed++;
+    }
+  }
+}
+
+void MainTlb::FlushVa(VirtAddr va) {
+  stats_.flushes++;
+  const uint32_t vpn = VirtPageNumber(va);
+  for (TlbEntry& entry : entries_) {
+    if (entry.CoversVpn(vpn)) {
+      entry.valid = false;
+      stats_.entries_flushed++;
+    }
+  }
+}
+
+uint32_t MainTlb::ValidEntryCount() const {
+  uint32_t count = 0;
+  for (const TlbEntry& entry : entries_) {
+    if (entry.valid) {
+      count++;
+    }
+  }
+  return count;
+}
+
+MicroTlb::MicroTlb(uint32_t num_entries) { entries_.resize(num_entries); }
+
+TlbResult MicroTlb::Lookup(VirtAddr va, Asid asid, AccessType access,
+                           const DomainAccessControl& dacr, TlbEntry* out) {
+  stats_.lookups++;
+  const uint32_t vpn = VirtPageNumber(va);
+  for (TlbEntry& entry : entries_) {
+    if (!entry.Matches(vpn, asid)) {
+      continue;
+    }
+    const TlbResult result = CheckEntryAccess(entry, access, dacr);
+    if (out != nullptr) {
+      *out = entry;
+    }
+    switch (result) {
+      case TlbResult::kHit:
+        stats_.hits++;
+        break;
+      case TlbResult::kDomainFault:
+        stats_.domain_faults++;
+        break;
+      case TlbResult::kPermissionFault:
+        stats_.permission_faults++;
+        break;
+      case TlbResult::kMiss:
+        break;
+    }
+    return result;
+  }
+  stats_.misses++;
+  return TlbResult::kMiss;
+}
+
+void MicroTlb::Insert(const TlbEntry& entry) {
+  assert(entry.valid);
+  for (TlbEntry& candidate : entries_) {
+    if (!candidate.valid) {
+      candidate = entry;
+      stats_.insertions++;
+      return;
+    }
+  }
+  entries_[fifo_cursor_] = entry;
+  fifo_cursor_ = (fifo_cursor_ + 1) % static_cast<uint32_t>(entries_.size());
+  stats_.insertions++;
+}
+
+void MicroTlb::FlushAll() {
+  stats_.flushes++;
+  for (TlbEntry& entry : entries_) {
+    if (entry.valid) {
+      entry.valid = false;
+      stats_.entries_flushed++;
+    }
+  }
+}
+
+void MicroTlb::FlushVa(VirtAddr va) {
+  stats_.flushes++;
+  const uint32_t vpn = VirtPageNumber(va);
+  for (TlbEntry& entry : entries_) {
+    if (entry.CoversVpn(vpn)) {
+      entry.valid = false;
+      stats_.entries_flushed++;
+    }
+  }
+}
+
+}  // namespace sat

@@ -1,0 +1,149 @@
+// The TLB model: per-core micro TLBs plus a unified set-associative main
+// TLB, mirroring the Cortex-A9 arrangement the paper evaluates on
+// (instruction/data micro TLBs that are flushed on every context switch,
+// and a unified 128-entry main TLB with round-robin replacement).
+//
+// Entries carry the fields the paper's mechanism depends on:
+//   * an ASID, ignored when the entry is global (the global bit is how
+//     zygote-preloaded shared code gets one TLB entry for all apps);
+//   * a domain id, checked against the current DACR on every hit — a
+//     kNoAccess domain produces a *domain fault*, the paper's trap for
+//     non-zygote processes touching zygote-domain global entries.
+
+#ifndef SRC_TLB_TLB_H_
+#define SRC_TLB_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/domain.h"
+#include "src/arch/pte.h"
+#include "src/arch/types.h"
+
+namespace sat {
+
+struct TlbEntry {
+  bool valid = false;
+  uint32_t vpn = 0;          // virtual page number of the entry's base
+  uint32_t size_pages = 1;   // 1 (4 KB) or 16 (64 KB large page)
+  Asid asid = 0;
+  bool global = false;
+  DomainId domain = 0;
+  PtePerm perm = PtePerm::kNone;
+  bool executable = false;
+  FrameNumber frame = 0;
+
+  // Does this entry translate `vpn_query` for `asid_query`?
+  bool Matches(uint32_t vpn_query, Asid asid_query) const {
+    if (!valid) {
+      return false;
+    }
+    if (!global && asid != asid_query) {
+      return false;
+    }
+    return (vpn_query & ~(size_pages - 1)) == vpn;
+  }
+
+  // Covers the virtual page regardless of ASID (for flush-by-VA).
+  bool CoversVpn(uint32_t vpn_query) const {
+    return valid && (vpn_query & ~(size_pages - 1)) == vpn;
+  }
+};
+
+enum class TlbResult : uint8_t {
+  kMiss = 0,
+  kHit,
+  kDomainFault,    // DACR gives no access to the entry's domain
+  kPermissionFault,  // domain is client and the PTE permissions deny
+};
+
+struct TlbStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t domain_faults = 0;
+  uint64_t permission_faults = 0;
+  uint64_t insertions = 0;
+  uint64_t flushes = 0;
+  uint64_t entries_flushed = 0;
+};
+
+// Checks `access` against a matching entry under `dacr`.
+TlbResult CheckEntryAccess(const TlbEntry& entry, AccessType access,
+                           const DomainAccessControl& dacr);
+
+// The unified main TLB: set-associative, round-robin replacement per set.
+// 64 KB entries are indexed by their aligned base VPN; lookups therefore
+// probe both the 4 KB-index set and the 64 KB-index set.
+class MainTlb {
+ public:
+  MainTlb(uint32_t num_entries, uint32_t ways);
+
+  TlbResult Lookup(VirtAddr va, Asid asid, AccessType access,
+                   const DomainAccessControl& dacr, TlbEntry* out);
+
+  void Insert(const TlbEntry& entry);
+
+  // Invalidate everything, including global entries (full flush; the
+  // no-ASID fallback configuration uses this on context switch... except
+  // that global entries surviving is precisely the point, so the fallback
+  // uses FlushNonGlobal instead; FlushAll models `TLBIALL`).
+  void FlushAll();
+
+  // Invalidate all non-global entries (context switch without ASIDs).
+  void FlushNonGlobal();
+
+  // Invalidate every *global* entry (the software fallback for
+  // architectures without domains: drop shared entries before running a
+  // process outside the sharing group).
+  void FlushGlobal();
+
+  // Invalidate non-global entries of one address space.
+  void FlushAsid(Asid asid);
+
+  // Invalidate every entry covering `va`, global or not (the domain-fault
+  // handler's "flush all TLB entries that match the faulting address").
+  void FlushVa(VirtAddr va);
+
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+
+  uint32_t ValidEntryCount() const;
+  uint32_t num_entries() const { return static_cast<uint32_t>(entries_.size()); }
+
+ private:
+  uint32_t SetIndexOf(uint32_t vpn) const { return vpn & (num_sets_ - 1); }
+  TlbEntry* FindInSet(uint32_t set, uint32_t vpn, Asid asid);
+
+  uint32_t ways_;
+  uint32_t num_sets_;
+  std::vector<TlbEntry> entries_;        // num_sets_ x ways_
+  std::vector<uint32_t> replace_cursor_; // round-robin per set
+  TlbStats stats_;
+};
+
+// A micro TLB: small, fully associative, FIFO replacement, flushed on
+// every context switch (Cortex-A9 behaviour the paper leans on).
+class MicroTlb {
+ public:
+  explicit MicroTlb(uint32_t num_entries);
+
+  TlbResult Lookup(VirtAddr va, Asid asid, AccessType access,
+                   const DomainAccessControl& dacr, TlbEntry* out);
+
+  void Insert(const TlbEntry& entry);
+  void FlushAll();
+  void FlushVa(VirtAddr va);
+
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+
+ private:
+  std::vector<TlbEntry> entries_;
+  uint32_t fifo_cursor_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_TLB_TLB_H_

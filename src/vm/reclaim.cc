@@ -1,0 +1,75 @@
+#include "src/vm/reclaim.h"
+
+#include <cassert>
+
+namespace sat {
+
+uint32_t Reclaimer::UnmapAll(FrameNumber frame, const ReclaimFlushFn& flush,
+                             ReclaimStats* stats) {
+  // Snapshot: clearing mutates the rmap.
+  const std::vector<RmapEntry> mappings = rmap_->MappingsOf(frame);
+  uint32_t cleared = 0;
+  for (const RmapEntry& mapping : mappings) {
+    PageTablePage& ptp = ptps_->Get(mapping.ptp);
+    assert(ptp.hw(mapping.index).valid());
+    ptp.Clear(mapping.index);
+    rmap_->Remove(frame, mapping.ptp, mapping.index);
+    phys_->UnrefFrame(frame);
+    if (flush) {
+      flush(mapping.va);
+    }
+    stats->tlb_flushes++;
+    cleared++;
+  }
+  stats->ptes_cleared += cleared;
+  counters_->ptes_cleared_by_reclaim += cleared;
+  return cleared;
+}
+
+bool Reclaimer::ReclaimPage(FileId file, uint32_t page_index,
+                            const ReclaimFlushFn& flush, ReclaimStats* stats) {
+  const FrameNumber frame = page_cache_->Lookup(file, page_index);
+  if (frame == PageCache::kNoFrame) {
+    stats->pages_skipped++;
+    return false;
+  }
+
+  // Reclaimability: clean 4 KB mappings only. Pages mapped writable could
+  // be dirty (no writeback modelled), and pages inside a 64 KB large-page
+  // block would require splitting the block first (as Linux splits THPs);
+  // both are skipped.
+  bool reclaimable = true;
+  rmap_->ForEach(frame, [&](const RmapEntry& mapping) {
+    const HwPte& pte = ptps_->Get(mapping.ptp).hw(mapping.index);
+    if (pte.large() || pte.perm() == PtePerm::kReadWrite) {
+      reclaimable = false;
+    }
+  });
+  if (!reclaimable) {
+    stats->pages_skipped++;
+    return false;
+  }
+
+  UnmapAll(frame, flush, stats);
+  page_cache_->RemovePage(file, page_index);
+  stats->pages_reclaimed++;
+  counters_->pages_reclaimed++;
+  return true;
+}
+
+ReclaimStats Reclaimer::ReclaimFileCache(uint32_t target,
+                                         const ReclaimFlushFn& flush) {
+  ReclaimStats stats;
+  const auto total = static_cast<FrameNumber>(phys_->total_frames());
+  for (FrameNumber frame = 1; frame < total && stats.pages_reclaimed < target;
+       ++frame) {
+    const PageFrame& meta = phys_->frame(frame);
+    if (meta.kind != FrameKind::kFileCache) {
+      continue;
+    }
+    ReclaimPage(meta.file, meta.file_page_index, flush, &stats);
+  }
+  return stats;
+}
+
+}  // namespace sat

@@ -1,0 +1,63 @@
+// /proc/pid/smaps, simulated — the tool the paper's own methodology leans
+// on (Section 4.1.1 derives the instruction-footprint analysis from
+// smaps + page-fault traces).
+//
+// Beyond Rss, the report computes PSS (proportional set size): each
+// mapped page's 4 KB is split evenly among every *process* mapping it.
+// With shared PTPs a frame's rmap lists PTEs, not processes, so the
+// process count of one mapping is its PTP's sharer count — which the
+// report sums correctly.
+//
+// The same proportional idea is applied to translation memory itself:
+// `page_table_kb` is the process's classic page-table footprint, while
+// `page_table_pss_kb` divides each PTP's 4 KB by its sharer count. Under
+// the stock kernel the two are equal; under shared PTPs the PSS column
+// shows where the paper's memory saving lives.
+
+#ifndef SRC_VM_SMAPS_H_
+#define SRC_VM_SMAPS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/pt/rmap.h"
+#include "src/vm/mm.h"
+
+namespace sat {
+
+struct VmaReport {
+  std::string name;
+  VirtAddr start = 0;
+  VirtAddr end = 0;
+  uint32_t size_kb = 0;
+  uint32_t rss_kb = 0;           // resident pages
+  double pss_kb = 0;             // proportional share
+  uint32_t shared_clean_kb = 0;  // resident pages mapped by >1 process
+  uint32_t private_kb = 0;       // resident pages mapped by this one only
+};
+
+struct SmapsReport {
+  std::vector<VmaReport> vmas;
+  uint32_t total_size_kb = 0;
+  uint32_t total_rss_kb = 0;
+  double total_pss_kb = 0;
+  // Translation memory: classic per-process footprint and its
+  // sharing-aware proportional counterpart.
+  uint32_t page_table_kb = 0;
+  double page_table_pss_kb = 0;
+  uint32_t shared_ptps = 0;
+
+  std::string ToString() const;
+};
+
+// Generates the report for one address space. `rmap` may be null (PSS
+// then assumes the classic mapcount of 1 per PTE, as in page-table-only
+// tests).
+SmapsReport GenerateSmaps(const MmStruct& mm, const PtpAllocator& ptps,
+                          const ReverseMap* rmap);
+
+}  // namespace sat
+
+#endif  // SRC_VM_SMAPS_H_

@@ -1,0 +1,563 @@
+#include "src/vm/vm_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sat {
+
+namespace {
+
+// Default mmap placement window: above the traditional executable/brk zone,
+// below the stack zone.
+constexpr VirtAddr kMmapLow = 0x00010000;
+constexpr VirtAddr kMmapHigh = 0xB0000000;
+
+bool RegionAllows(const VmArea& vma, AccessType access) {
+  switch (access) {
+    case AccessType::kRead:
+      return vma.prot.read;
+    case AccessType::kWrite:
+      return vma.prot.write;
+    case AccessType::kExecute:
+      return vma.prot.execute;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint32_t VmManager::UnshareIfNeeded(MmStruct& mm, VirtAddr va,
+                                    const TlbFlushFn& flush_tlb,
+                                    Cycles* cycles) {
+  PageTable& pt = mm.page_table();
+  const uint32_t slot = PtpSlotIndex(va);
+  if (!pt.l1(slot).present() || !pt.l1(slot).need_copy) {
+    return 0;
+  }
+  const uint32_t copied =
+      pt.UnshareSlot(slot, config_.copy_referenced_only_on_unshare, flush_tlb,
+                     config_.hw_l1_write_protect);
+  *cycles += costs_->unshare_base + copied * costs_->unshare_per_pte_copy;
+  return copied;
+}
+
+void VmManager::InstallPte(MmStruct& mm, VirtAddr va, HwPte hw, LinuxPte sw) {
+  PageTable& pt = mm.page_table();
+  if (!pt.FindPte(va)) {
+    pt.EnsurePtp(va, mm.user_domain());
+  }
+  // Populating a *new* entry in a shared PTP is the paper's read-fault
+  // path: the entry becomes visible to every sharer, eliminating their
+  // soft faults for this page.
+  pt.SetPte(va, hw, sw, pt.SlotNeedsCopy(va));
+}
+
+FaultOutcome VmManager::HandleFault(MmStruct& mm, const MemoryAbort& abort,
+                                    const TlbFlushFn& flush_tlb) {
+  FaultOutcome out;
+  out.kernel_cycles = costs_->fault_trap;
+
+  const VirtAddr va = PageAlignDown(abort.fault_address);
+  const VmArea* vma = mm.FindVma(va);
+  if (vma == nullptr) {
+    out.ok = false;
+    return out;
+  }
+  if (!RegionAllows(*vma, abort.access)) {
+    out.ok = false;
+    return out;
+  }
+
+  // Unshare triggers (Section 3.1.2): a write access into a shared PTP's
+  // range (case 1), or — under the lazy-unshare ablation — the first fault
+  // on a region created after the PTP was shared (case 3, deferred).
+  PageTable& pt = mm.page_table();
+  if (pt.SlotNeedsCopy(va) &&
+      (abort.access == AccessType::kWrite || !vma->inherited)) {
+    out.ptes_copied = UnshareIfNeeded(mm, va, flush_tlb, &out.kernel_cycles);
+    out.unshared = true;
+  }
+
+  const auto ref = pt.FindPte(va);
+  const bool pte_valid = ref.has_value() && ref->ptp->hw(ref->index).valid();
+
+  FaultOutcome leaf = pte_valid ? HandlePermissionFault(mm, *vma, va, abort.access)
+                                : HandleTranslationFault(mm, *vma, va, abort.access);
+  leaf.kernel_cycles += out.kernel_cycles;
+  leaf.unshared = out.unshared;
+  leaf.ptes_copied = out.ptes_copied;
+  return leaf;
+}
+
+FaultOutcome VmManager::HandleTranslationFault(MmStruct& mm, const VmArea& vma,
+                                               VirtAddr va, AccessType access) {
+  FaultOutcome out;
+  PageTable& pt = mm.page_table();
+  if (!pt.FindPte(va)) {
+    pt.EnsurePtp(va, mm.user_domain());
+    out.kernel_cycles += costs_->fork_per_ptp_alloc;
+  }
+
+  if (IsFileBacked(vma.kind)) {
+    counters_->faults_file_backed++;
+    if (vma.use_large_pages && access != AccessType::kWrite &&
+        CanMapLargeBlock(mm, vma, va)) {
+      // One fault populates the whole 64 KB block (Section 2.3.3's
+      // large-page complement): 16 replicated descriptors over 16
+      // contiguous frames, installable into shared PTPs like any other
+      // read-only entry.
+      InstallLargeBlock(mm, vma, va);
+      out.ok = true;
+      return out;
+    }
+    bool hard = false;
+    const FrameNumber file_frame =
+        page_cache_->GetOrLoad(vma.file, vma.FilePageFor(va), &hard);
+    out.hard = hard;
+    if (hard) {
+      counters_->faults_hard++;
+      out.kernel_cycles += costs_->fault_disk;
+    }
+
+    if (access == AccessType::kWrite && IsPrivate(vma.kind)) {
+      // First write to a private file page: read + copy in one fault.
+      const FrameNumber anon = phys_->AllocFrame(FrameKind::kAnon);
+      LinuxPte sw;
+      sw.set_present(true);
+      sw.set_young(true);
+      sw.set_dirty(true);
+      sw.set_writable(true);
+      InstallPte(mm, va,
+                 HwPte::MakePage(anon, PtePerm::kReadWrite, /*global=*/false,
+                                 vma.prot.execute),
+                 sw);
+      phys_->UnrefFrame(anon);  // the PTE holds the live reference now
+      counters_->faults_cow++;
+    } else {
+      // Map the page-cache frame. Private-writable and read-only mappings
+      // go in write-protected (COW); shared-writable writes go in RW.
+      const bool rw = access == AccessType::kWrite && vma.kind == VmKind::kFileShared;
+      const bool global = vma.global && config_.share_tlb_global;
+      LinuxPte sw;
+      sw.set_present(true);
+      sw.set_young(true);
+      sw.set_dirty(rw);
+      sw.set_writable(vma.prot.write);
+      InstallPte(mm, va,
+                 HwPte::MakePage(file_frame, rw ? PtePerm::kReadWrite : PtePerm::kReadOnly,
+                                 global, vma.prot.execute),
+                 sw);
+      if (config_.fault_around_pages > 1 && access != AccessType::kWrite) {
+        FaultAround(mm, vma, va);
+      }
+    }
+    out.ok = true;
+    return out;
+  }
+
+  // Anonymous memory.
+  counters_->faults_anonymous++;
+  if (access == AccessType::kWrite) {
+    const FrameNumber anon = phys_->AllocFrame(FrameKind::kAnon);
+    LinuxPte sw;
+    sw.set_present(true);
+    sw.set_young(true);
+    sw.set_dirty(true);
+    sw.set_writable(true);
+    InstallPte(mm, va,
+               HwPte::MakePage(anon, PtePerm::kReadWrite, /*global=*/false,
+                               vma.prot.execute),
+               sw);
+    phys_->UnrefFrame(anon);
+  } else {
+    // Read of untouched anonymous memory: the shared zero page, COW.
+    LinuxPte sw;
+    sw.set_present(true);
+    sw.set_young(true);
+    sw.set_writable(vma.prot.write);
+    InstallPte(mm, va,
+               HwPte::MakePage(phys_->zero_frame(), PtePerm::kReadOnly,
+                               /*global=*/false, vma.prot.execute),
+               sw);
+  }
+  out.ok = true;
+  return out;
+}
+
+FaultOutcome VmManager::HandlePermissionFault(MmStruct& mm, const VmArea& vma,
+                                              VirtAddr va, AccessType access) {
+  FaultOutcome out;
+  if (access != AccessType::kWrite) {
+    // The region allows the access and a valid PTE exists; read/execute
+    // permission faults should not reach here (stale TLB entries are the
+    // hardware layer's problem).
+    out.ok = false;
+    return out;
+  }
+
+  PageTable& pt = mm.page_table();
+  const auto ref = pt.FindPte(va);
+  assert(ref.has_value());
+  const HwPte old_hw = ref->ptp->hw(ref->index);
+  LinuxPte sw = ref->ptp->sw(ref->index);
+  sw.set_young(true);
+  sw.set_dirty(true);
+
+  if (IsFileBacked(vma.kind)) {
+    counters_->faults_file_backed++;
+  } else {
+    counters_->faults_anonymous++;
+  }
+
+  if (!IsPrivate(vma.kind)) {
+    // Shared mapping: upgrade in place.
+    HwPte hw = old_hw;
+    hw.set_perm(PtePerm::kReadWrite);
+    pt.UpdatePte(va, hw, sw);
+    out.ok = true;
+    return out;
+  }
+
+  // Private mapping: COW. Reuse the frame only when it is anonymous and
+  // this PTE is its sole reference.
+  const PageFrame& frame_meta = phys_->frame(old_hw.frame());
+  if (frame_meta.kind == FrameKind::kAnon && frame_meta.ref_count == 1) {
+    HwPte hw = old_hw;
+    hw.set_perm(PtePerm::kReadWrite);
+    pt.UpdatePte(va, hw, sw);
+  } else {
+    const FrameNumber anon = phys_->AllocFrame(FrameKind::kAnon);
+    pt.SetPte(va,
+              HwPte::MakePage(anon, PtePerm::kReadWrite, /*global=*/false,
+                              vma.prot.execute),
+              sw);
+    phys_->UnrefFrame(anon);
+    counters_->faults_cow++;
+  }
+  out.ok = true;
+  return out;
+}
+
+void VmManager::FaultAround(MmStruct& mm, const VmArea& vma, VirtAddr va) {
+  // Populate page-cache-resident neighbours in a window around the fault
+  // (clipped to the vma), without touching disk and without marking them
+  // referenced. The speculative entries land in shared PTPs like any
+  // other read-fault population.
+  const uint32_t window = config_.fault_around_pages;
+  const VirtAddr window_base = PageAlignDown(va) & ~((window * kPageSize) - 1);
+  const VirtAddr lo = std::max(vma.start, window_base);
+  const VirtAddr hi = static_cast<VirtAddr>(std::min<uint64_t>(
+      vma.end, static_cast<uint64_t>(window_base) + window * kPageSize));
+  const bool global = vma.global && config_.share_tlb_global;
+  PageTable& pt = mm.page_table();
+  for (uint64_t around64 = lo; around64 < hi; around64 += kPageSize) {
+    const auto around = static_cast<VirtAddr>(around64);
+    if (around == PageAlignDown(va)) {
+      continue;
+    }
+    const auto ref = pt.FindPte(around);
+    if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
+      continue;
+    }
+    const FrameNumber frame =
+        page_cache_->Lookup(vma.file, vma.FilePageFor(around));
+    if (frame == PageCache::kNoFrame) {
+      continue;  // not resident: fault-around never reads from disk
+    }
+    LinuxPte sw;
+    sw.set_present(true);
+    sw.set_writable(vma.prot.write);
+    InstallPte(mm, around,
+               HwPte::MakePage(frame, PtePerm::kReadOnly, global,
+                               vma.prot.execute),
+               sw);
+    counters_->ptes_faulted_around++;
+  }
+}
+
+bool VmManager::CanMapLargeBlock(MmStruct& mm, const VmArea& vma,
+                                 VirtAddr va) const {
+  const VirtAddr block_va = va & ~(kLargePageSize - 1);
+  // The whole block must lie inside the region, and the region's file
+  // backing must be block-aligned so virtual and file blocks coincide.
+  if (block_va < vma.start || block_va + kLargePageSize > vma.end) {
+    return false;
+  }
+  if (vma.FilePageFor(block_va) % kPtesPerLargePage != 0) {
+    return false;
+  }
+  if (vma.prot.write) {
+    return false;  // large pages are for read-only/executable mappings
+  }
+  // No page of the block may already be mapped at 4 KB granularity.
+  for (uint32_t i = 0; i < kPtesPerLargePage; ++i) {
+    const auto ref = mm.page_table().FindPte(block_va + i * kPageSize);
+    if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VmManager::InstallLargeBlock(MmStruct& mm, const VmArea& vma,
+                                  VirtAddr va) {
+  const VirtAddr block_va = va & ~(kLargePageSize - 1);
+  bool hard = false;
+  const uint32_t block_index = vma.FilePageFor(block_va) / kPtesPerLargePage;
+  const FrameNumber base =
+      page_cache_->GetOrLoadLargeBlock(vma.file, block_index, &hard);
+  if (hard) {
+    counters_->faults_hard++;
+  }
+  const bool global = vma.global && config_.share_tlb_global;
+  for (uint32_t i = 0; i < kPtesPerLargePage; ++i) {
+    LinuxPte sw;
+    sw.set_present(true);
+    sw.set_young(true);
+    InstallPte(mm, block_va + i * kPageSize,
+               HwPte::MakePage(base, PtePerm::kReadOnly, global,
+                               vma.prot.execute, /*large=*/true),
+               sw);
+  }
+}
+
+bool VmManager::SlotSharable(const MmStruct& mm, uint32_t slot) const {
+  const auto vmas = mm.VmasInSlot(slot);
+  if (vmas.empty()) {
+    return false;
+  }
+  for (const VmArea* vma : vmas) {
+    // The stack is the one design-choice exclusion (Section 4.2.1): it is
+    // written immediately after the child runs, so sharing would only add
+    // an unshare to the critical path.
+    if (vma->is_stack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
+                           const TlbFlushFn& flush_parent_tlb) {
+  ForkResult result;
+  result.cycles = costs_->fork_base;
+  counters_->forks++;
+
+  const uint64_t allocs_before = counters_->ptps_allocated;
+
+  parent.ForEachVma([&](const VmArea& vma) {
+    VmArea copy = vma;
+    copy.inherited = true;
+    child.InsertVma(std::move(copy));
+    result.vmas_copied++;
+  });
+  result.cycles += static_cast<Cycles>(result.vmas_copied) * costs_->fork_per_vma;
+
+  PageTable& ppt = parent.page_table();
+  PageTable& cpt = child.page_table();
+  bool parent_mappings_downgraded = false;
+
+  for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+    if (!ppt.l1(slot).present()) {
+      continue;
+    }
+    const auto vmas = parent.VmasInSlot(slot);
+    if (vmas.empty()) {
+      continue;  // stale PTP with no live regions: nothing to inherit
+    }
+
+    if (config_.share_ptps && SlotSharable(parent, slot)) {
+      const uint32_t wp =
+          ppt.ShareSlotInto(cpt, slot, config_.hw_l1_write_protect);
+      result.slots_shared++;
+      result.ptes_write_protected += wp;
+      if (wp > 0) {
+        parent_mappings_downgraded = true;
+      }
+      result.cycles += costs_->fork_per_ptp_share +
+                       static_cast<Cycles>(wp) * costs_->fork_per_pte_wrprotect;
+      continue;
+    }
+
+    // Stock path for this slot. File-backed PTEs that a soft fault can
+    // recreate are skipped (Linux's fork optimization); anonymous memory
+    // and COW-dirtied pages must be copied.
+    assert(!ppt.l1(slot).need_copy &&
+           "a previously shared slot became unsharable without an unshare");
+    const VirtAddr base = PtpSlotBase(slot);
+    for (const VmArea* vma : vmas) {
+      const VirtAddr lo = std::max(vma->start, base);
+      const VirtAddr hi = static_cast<VirtAddr>(
+          std::min<uint64_t>(vma->end, static_cast<uint64_t>(base) + kPtpSpan));
+      const bool copy_file_ptes = config_.copy_zygote_code_ptes_at_fork &&
+                                  vma->zygote_preloaded && vma->prot.execute;
+      for (uint64_t va64 = lo; va64 < hi; va64 += kPageSize) {
+        const auto va = static_cast<VirtAddr>(va64);
+        const auto ref = ppt.FindPte(va);
+        if (!ref || !ref->ptp->hw(ref->index).valid()) {
+          continue;
+        }
+        const HwPte parent_hw = ref->ptp->hw(ref->index);
+        const LinuxPte parent_sw = ref->ptp->sw(ref->index);
+        const FrameKind frame_kind = phys_->frame(parent_hw.frame()).kind;
+        const bool anon_frame =
+            frame_kind == FrameKind::kAnon || frame_kind == FrameKind::kZero;
+        if (IsFileBacked(vma->kind) && !anon_frame && !copy_file_ptes) {
+          continue;  // refilled by a soft fault in the child
+        }
+
+        HwPte child_hw = parent_hw;
+        if (IsPrivate(vma->kind) && vma->prot.write &&
+            parent_hw.perm() == PtePerm::kReadWrite) {
+          // COW: downgrade the parent's live mapping and the child's copy.
+          HwPte downgraded = parent_hw;
+          downgraded.WriteProtect();
+          ppt.UpdatePte(va, downgraded, parent_sw);
+          child_hw.WriteProtect();
+          parent_mappings_downgraded = true;
+        }
+        cpt.EnsurePtp(va, child.user_domain());
+        cpt.SetPte(va, child_hw, parent_sw);
+        result.ptes_copied++;
+        counters_->ptes_copied++;
+        result.cycles += costs_->fork_per_pte_copy;
+      }
+    }
+  }
+
+  result.child_ptps_allocated =
+      static_cast<uint32_t>(counters_->ptps_allocated - allocs_before);
+  result.cycles += static_cast<Cycles>(result.child_ptps_allocated) *
+                   costs_->fork_per_ptp_alloc;
+
+  if (parent_mappings_downgraded && flush_parent_tlb) {
+    flush_parent_tlb();
+  }
+  return result;
+}
+
+VirtAddr VmManager::Mmap(MmStruct& mm, const MmapRequest& request,
+                         const TlbFlushFn& flush_tlb) {
+  assert(request.length > 0 && IsPageAligned(request.length));
+  VirtAddr addr;
+  if (request.fixed_address != 0) {
+    assert(IsPageAligned(request.fixed_address));
+    assert(mm.VmasOverlapping(request.fixed_address,
+                              request.fixed_address + request.length)
+               .empty() &&
+           "MAP_FIXED over an existing mapping is not supported");
+    addr = request.fixed_address;
+  } else {
+    const auto found = mm.FindFreeRange(request.length, kMmapLow, kMmapHigh);
+    if (!found) {
+      return 0;
+    }
+    addr = *found;
+  }
+
+  // Section 3.1.2 case 3: a new region inside a shared PTP's range
+  // unshares it eagerly (unless the lazy ablation defers to first fault).
+  if (!config_.lazy_unshare_on_new_region) {
+    Cycles cycles = 0;
+    const uint32_t first = PtpSlotIndex(addr);
+    const uint32_t last = PtpSlotIndex(addr + request.length - 1);
+    for (uint32_t slot = first; slot <= last; ++slot) {
+      UnshareIfNeeded(mm, PtpSlotBase(slot), flush_tlb, &cycles);
+    }
+  }
+
+  VmArea vma;
+  vma.start = addr;
+  vma.end = addr + request.length;
+  vma.prot = request.prot;
+  vma.kind = request.kind;
+  vma.file = request.file;
+  vma.file_page_offset = request.file_page_offset;
+  vma.global = request.global;
+  vma.is_stack = request.is_stack;
+  vma.zygote_preloaded = request.zygote_preloaded;
+  vma.use_large_pages = request.use_large_pages;
+  vma.inherited = false;
+  vma.name = request.name;
+  mm.InsertVma(std::move(vma));
+  return addr;
+}
+
+void VmManager::Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
+                       const TlbFlushFn& flush_tlb) {
+  assert(IsPageAligned(start) && IsPageAligned(length) && length > 0);
+  const VirtAddr end = start + length;
+  const auto removed = mm.RemoveRange(start, end);
+  if (removed.empty()) {
+    return;
+  }
+
+  PageTable& pt = mm.page_table();
+  const uint32_t first = PtpSlotIndex(start);
+  const uint32_t last = PtpSlotIndex(end - 1);
+  for (uint32_t slot = first; slot <= last; ++slot) {
+    if (!pt.l1(slot).present()) {
+      continue;
+    }
+    const VirtAddr base = PtpSlotBase(slot);
+    const VirtAddr lo = std::max(base, start);
+    const VirtAddr hi = static_cast<VirtAddr>(
+        std::min<uint64_t>(static_cast<uint64_t>(base) + kPtpSpan, end));
+
+    if (mm.VmasInSlot(slot).empty()) {
+      // Section 3.1.2 case 5 analogue: nothing left in this 2 MB range, so
+      // just drop our reference — the PTP lives on for the other sharers,
+      // or dies here if we were the last.
+      pt.ReleaseSlot(slot);
+      continue;
+    }
+    // Section 3.1.2 case 4: unshare before clearing the PTEs.
+    Cycles cycles = 0;
+    UnshareIfNeeded(mm, base, flush_tlb, &cycles);
+    pt.ClearRange(lo, hi);
+  }
+  if (flush_tlb) {
+    flush_tlb();
+  }
+}
+
+void VmManager::Mprotect(MmStruct& mm, VirtAddr start, uint32_t length,
+                         VmProt prot, const TlbFlushFn& flush_tlb) {
+  assert(IsPageAligned(start) && IsPageAligned(length) && length > 0);
+  const VirtAddr end = start + length;
+
+  // Split at the boundaries and re-insert the covered pieces with the new
+  // protection.
+  auto pieces = mm.RemoveRange(start, end);
+  for (VmArea& piece : pieces) {
+    piece.prot = prot;
+    mm.InsertVma(std::move(piece));
+  }
+
+  // Section 3.1.2 case 2: region modification unshares every spanned PTP.
+  PageTable& pt = mm.page_table();
+  Cycles cycles = 0;
+  const uint32_t first = PtpSlotIndex(start);
+  const uint32_t last = PtpSlotIndex(end - 1);
+  for (uint32_t slot = first; slot <= last; ++slot) {
+    if (pt.l1(slot).present()) {
+      UnshareIfNeeded(mm, PtpSlotBase(slot), flush_tlb, &cycles);
+    }
+  }
+
+  if (!prot.read) {
+    pt.ClearRange(start, end);
+  } else if (!prot.write) {
+    pt.WriteProtectRange(start, end);
+  }
+  if (flush_tlb) {
+    flush_tlb();
+  }
+}
+
+void VmManager::ExitMm(MmStruct& mm) {
+  mm.page_table().ReleaseAll();
+  mm.RemoveAllVmas();
+}
+
+}  // namespace sat

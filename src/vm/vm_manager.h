@@ -1,0 +1,149 @@
+// VmManager: the machine-independent memory-management entry points of the
+// simulated kernel — page-fault handling, fork-time address-space copying
+// (with the paper's PTP sharing), and the mmap/munmap/mprotect system
+// calls with their unshare triggers (Section 3.1.2's five cases).
+
+#ifndef SRC_VM_VM_MANAGER_H_
+#define SRC_VM_VM_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/arch/fault.h"
+#include "src/mem/page_cache.h"
+#include "src/mem/phys_memory.h"
+#include "src/stats/cost_model.h"
+#include "src/stats/counters.h"
+#include "src/vm/config.h"
+#include "src/vm/mm.h"
+
+namespace sat {
+
+// Invoked whenever the kernel must flush the current process's TLB entries
+// (unshare, fork COW protection). Supplied by the process layer, which
+// knows ASIDs and owns the TLB; may be empty in page-table-only tests.
+using TlbFlushFn = std::function<void()>;
+
+struct FaultOutcome {
+  bool ok = false;            // false => SIGSEGV (unresolvable)
+  bool hard = false;          // missed the page cache ("disk" read)
+  bool unshared = false;      // the fault triggered a PTP unshare
+  uint32_t ptes_copied = 0;   // unshare copy volume
+  Cycles kernel_cycles = 0;   // time spent in the handler
+};
+
+struct ForkResult {
+  uint32_t vmas_copied = 0;
+  uint32_t slots_shared = 0;           // PTPs shared into the child
+  uint32_t ptes_copied = 0;            // PTEs copied the stock way
+  uint32_t ptes_write_protected = 0;   // share-time protection pass
+  uint32_t child_ptps_allocated = 0;   // fresh PTPs the child needed
+  Cycles cycles = 0;                   // modelled cost of the fork
+};
+
+struct MmapRequest {
+  // Page-aligned length in bytes.
+  uint32_t length = 0;
+  VmProt prot;
+  VmKind kind = VmKind::kAnonPrivate;
+  FileId file = kNoFile;
+  uint32_t file_page_offset = 0;
+  // If nonzero, map exactly here (MAP_FIXED without overlap).
+  VirtAddr fixed_address = 0;
+  bool global = false;
+  bool is_stack = false;
+  bool zygote_preloaded = false;
+  bool use_large_pages = false;
+  std::string name;
+};
+
+class VmManager {
+ public:
+  VmManager(PhysicalMemory* phys, PageCache* page_cache,
+            KernelCounters* counters, const CostModel* costs, VmConfig config)
+      : phys_(phys),
+        page_cache_(page_cache),
+        counters_(counters),
+        costs_(costs),
+        config_(config) {}
+
+  VmManager(const VmManager&) = delete;
+  VmManager& operator=(const VmManager&) = delete;
+
+  const VmConfig& config() const { return config_; }
+  void set_config(const VmConfig& config) { config_ = config; }
+
+  // -------------------------------------------------------------------------
+  // Page faults.
+  // -------------------------------------------------------------------------
+
+  // Resolves a translation or permission abort against `mm`. Covers soft
+  // fills from the page cache, anonymous zero-fill, COW copies, populate-
+  // into-shared-PTP, and write-triggered unsharing.
+  FaultOutcome HandleFault(MmStruct& mm, const MemoryAbort& abort,
+                           const TlbFlushFn& flush_tlb);
+
+  // -------------------------------------------------------------------------
+  // Fork.
+  // -------------------------------------------------------------------------
+
+  // Copies `parent`'s address space into the empty `child`, honouring the
+  // configured kernel (stock / copied-PTEs / shared-PTPs).
+  // `flush_parent_tlb` runs when fork write-protects live parent mappings.
+  ForkResult Fork(MmStruct& parent, MmStruct& child,
+                  const TlbFlushFn& flush_parent_tlb);
+
+  // -------------------------------------------------------------------------
+  // The mmap family.
+  // -------------------------------------------------------------------------
+
+  // Returns the mapped address, or 0 on failure (no free range). Eagerly
+  // unshares overlapped shared PTPs (Section 3.1.2 case 3) unless the
+  // lazy-unshare ablation is on.
+  VirtAddr Mmap(MmStruct& mm, const MmapRequest& request,
+                const TlbFlushFn& flush_tlb);
+
+  void Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
+              const TlbFlushFn& flush_tlb);
+
+  void Mprotect(MmStruct& mm, VirtAddr start, uint32_t length, VmProt prot,
+                const TlbFlushFn& flush_tlb);
+
+  // Releases every region and page-table page (process exit).
+  void ExitMm(MmStruct& mm);
+
+ private:
+  // Unshares the slot containing `va` if this mm holds it NEED_COPY.
+  // Returns PTEs copied; accumulates modelled cost into *cycles.
+  uint32_t UnshareIfNeeded(MmStruct& mm, VirtAddr va, const TlbFlushFn& flush_tlb,
+                           Cycles* cycles);
+
+  // Installs the PTE for a resolved fault, routing through the shared-PTP
+  // populate path when the slot is shared.
+  void InstallPte(MmStruct& mm, VirtAddr va, HwPte hw, LinuxPte sw);
+
+  FaultOutcome HandleTranslationFault(MmStruct& mm, const VmArea& vma,
+                                      VirtAddr va, AccessType access);
+  // Speculatively populates resident neighbours of a read fault (the
+  // fault-around ablation).
+  void FaultAround(MmStruct& mm, const VmArea& vma, VirtAddr va);
+  // Whether `va`'s 64 KB block can be mapped with one large page, and the
+  // install itself (16 replicated PTEs over 16 contiguous frames).
+  bool CanMapLargeBlock(MmStruct& mm, const VmArea& vma, VirtAddr va) const;
+  void InstallLargeBlock(MmStruct& mm, const VmArea& vma, VirtAddr va);
+  FaultOutcome HandlePermissionFault(MmStruct& mm, const VmArea& vma,
+                                     VirtAddr va, AccessType access);
+
+  // Whether every region overlapping `slot` may live in a shared PTP.
+  bool SlotSharable(const MmStruct& mm, uint32_t slot) const;
+
+  PhysicalMemory* phys_;
+  PageCache* page_cache_;
+  KernelCounters* counters_;
+  const CostModel* costs_;
+  VmConfig config_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_VM_VM_MANAGER_H_

@@ -1,0 +1,84 @@
+#include "src/workload/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sat {
+
+CategoryBreakdown AnalyzeCategories(const AppFootprint& fp) {
+  CategoryBreakdown out;
+  for (const TouchedPage& page : fp.pages) {
+    const int c = static_cast<int>(page.category);
+    out.pages[c]++;
+    out.fetch_share[c] += page.fetch_weight;
+  }
+  return out;
+}
+
+double IntersectionFraction(const AppFootprint& row, const AppFootprint& col,
+                            bool zygote_preloaded_only) {
+  const auto row_keys = row.SharedPageKeys(zygote_preloaded_only);
+  const auto col_keys = col.SharedPageKeys(zygote_preloaded_only);
+  std::vector<uint64_t> common;
+  std::set_intersection(row_keys.begin(), row_keys.end(), col_keys.begin(),
+                        col_keys.end(), std::back_inserter(common));
+  const uint32_t total = row.TotalPages();
+  if (total == 0) {
+    return 0;
+  }
+  return static_cast<double>(common.size()) / static_cast<double>(total);
+}
+
+namespace {
+
+SparsityResult AnalyzeChunks(
+    const std::map<std::pair<LibraryId, uint32_t>, uint32_t>& chunk_counts,
+    uint64_t touched_pages) {
+  SparsityResult out;
+  out.touched_pages_4k = touched_pages;
+  out.occupied_chunks_64k = chunk_counts.size();
+  out.untouched_per_chunk.reserve(chunk_counts.size());
+  for (const auto& [chunk, touched] : chunk_counts) {
+    out.untouched_per_chunk.push_back(kPtesPerLargePage -
+                                      std::min(touched, kPtesPerLargePage));
+  }
+  return out;
+}
+
+void Accumulate(const AppFootprint& fp,
+                std::map<std::pair<LibraryId, uint32_t>, uint32_t>* chunks,
+                std::set<uint64_t>* pages) {
+  for (const TouchedPage& page : fp.pages) {
+    if (!IsZygotePreloadedCategory(page.category)) {
+      continue;
+    }
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(page.lib)) << 32) |
+        page.page_index;
+    if (!pages->insert(key).second) {
+      continue;
+    }
+    (*chunks)[{page.lib, page.page_index / kPtesPerLargePage}]++;
+  }
+}
+
+}  // namespace
+
+SparsityResult AnalyzeSparsity(const AppFootprint& fp) {
+  std::map<std::pair<LibraryId, uint32_t>, uint32_t> chunks;
+  std::set<uint64_t> pages;
+  Accumulate(fp, &chunks, &pages);
+  return AnalyzeChunks(chunks, pages.size());
+}
+
+SparsityResult AnalyzeSparsityUnion(const std::vector<AppFootprint>& fps) {
+  std::map<std::pair<LibraryId, uint32_t>, uint32_t> chunks;
+  std::set<uint64_t> pages;
+  for (const AppFootprint& fp : fps) {
+    Accumulate(fp, &chunks, &pages);
+  }
+  return AnalyzeChunks(chunks, pages.size());
+}
+
+}  // namespace sat

@@ -1,0 +1,68 @@
+// Footprint analytics: the Section 2 characterization computations —
+// category breakdowns (Figures 2-3), pairwise footprint intersection
+// (Table 2), and 64 KB large-page sparsity (Figure 4).
+
+#ifndef SRC_WORKLOAD_ANALYSIS_H_
+#define SRC_WORKLOAD_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/footprint.h"
+
+namespace sat {
+
+struct CategoryBreakdown {
+  // Indexed by CodeCategory.
+  uint32_t pages[5] = {};
+  double fetch_share[5] = {};
+
+  uint32_t TotalPages() const {
+    return pages[0] + pages[1] + pages[2] + pages[3] + pages[4];
+  }
+  double SharedCodePageFraction() const {
+    const uint32_t total = TotalPages();
+    if (total == 0) {
+      return 0;
+    }
+    return 1.0 - static_cast<double>(pages[static_cast<int>(
+                     CodeCategory::kPrivateCode)]) /
+                     static_cast<double>(total);
+  }
+  double SharedCodeFetchFraction() const {
+    return 1.0 - fetch_share[static_cast<int>(CodeCategory::kPrivateCode)];
+  }
+};
+
+CategoryBreakdown AnalyzeCategories(const AppFootprint& fp);
+
+// Table 2 cell: the fraction of *all* instruction pages accessed by `row`
+// whose shared-code portion intersects `col`'s shared-code footprint.
+// `zygote_preloaded_only` selects the outside-brackets (zygote-preloaded)
+// vs inside-brackets (all shared code) variant.
+double IntersectionFraction(const AppFootprint& row, const AppFootprint& col,
+                            bool zygote_preloaded_only);
+
+// Figure 4: for every 64 KB chunk of zygote-preloaded code containing at
+// least one touched 4 KB page, how many of its 16 pages are untouched?
+struct SparsityResult {
+  std::vector<uint32_t> untouched_per_chunk;  // one entry per occupied chunk
+  uint64_t touched_pages_4k = 0;              // 4 KB-page memory use (pages)
+  uint64_t occupied_chunks_64k = 0;           // 64 KB-page memory use (chunks)
+
+  double MemoryBytes4k() const {
+    return static_cast<double>(touched_pages_4k) * 4096.0;
+  }
+  double MemoryBytes64k() const {
+    return static_cast<double>(occupied_chunks_64k) * 65536.0;
+  }
+};
+
+SparsityResult AnalyzeSparsity(const AppFootprint& fp);
+
+// The same over the union of several apps' zygote-preloaded footprints.
+SparsityResult AnalyzeSparsityUnion(const std::vector<AppFootprint>& fps);
+
+}  // namespace sat
+
+#endif  // SRC_WORKLOAD_ANALYSIS_H_

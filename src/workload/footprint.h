@@ -1,0 +1,106 @@
+// Footprint generation: materializes an AppProfile into a concrete
+// instruction footprint — which pages of which libraries the app touches,
+// with what fetch weights — plus its steady-state write behaviour.
+//
+// The generator is deterministic (profile seeds) and structured so the
+// aggregate statistics the paper measures emerge:
+//
+//   * Per-library "hot anchors": every library has a fixed, library-seeded
+//     list of cluster anchor points ordered by popularity. All apps draw
+//     most of their clusters from the head of the same anchor list
+//     (controlled by AppProfile::common_page_bias), which produces the
+//     cross-application overlap of Table 2, and the zygote's boot-time
+//     footprint covers the hottest anchors, which produces the inherited-
+//     PTE counts of Table 3.
+//   * Clustered, scattered touches: footprints are unions of short page
+//     clusters (function groups) spread across each library, producing
+//     the 64 KB-page sparsity of Figure 4.
+
+#ifndef SRC_WORKLOAD_FOOTPRINT_H_
+#define SRC_WORKLOAD_FOOTPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/loader/library.h"
+#include "src/workload/app_profile.h"
+
+namespace sat {
+
+// One touched instruction page.
+struct TouchedPage {
+  LibraryId lib = -1;
+  CodeCategory category = CodeCategory::kPrivateCode;
+  uint32_t page_index = 0;   // within the library's code segment
+  double fetch_weight = 0;   // share of the app's user-mode fetches
+};
+
+// One library-data-segment page the app writes during execution.
+struct DataWrite {
+  LibraryId lib = -1;
+  uint32_t page_index = 0;   // within the library's data segment
+};
+
+struct AppFootprint {
+  std::string app_name;
+  double kernel_fraction = 0;
+
+  std::vector<TouchedPage> pages;
+  std::vector<DataWrite> data_writes;
+  uint32_t anon_pages = 0;
+  uint32_t private_file_pages = 0;
+
+  std::vector<LibraryId> zygote_libs_used;  // preloaded objects invoked
+  std::vector<LibraryId> other_libs;        // platform + app-private libs
+  LibraryId private_code_lib = -1;
+
+  uint32_t TotalPages() const { return static_cast<uint32_t>(pages.size()); }
+  uint32_t PagesOf(CodeCategory category) const;
+  double FetchShareOf(CodeCategory category) const;
+
+  // Identity keys ((lib << 32) | page) of the touched *shared-code* pages:
+  // zygote-preloaded only, or all shared code (adds platform/app libs).
+  std::vector<uint64_t> SharedPageKeys(bool zygote_preloaded_only) const;
+};
+
+class WorkloadFactory {
+ public:
+  // Registers the shared platform-library set (the "Nvidia graphics
+  // driver" analogues) into `catalog`; per-app libraries are registered
+  // lazily by Generate.
+  explicit WorkloadFactory(LibraryCatalog* catalog);
+
+  AppFootprint Generate(const AppProfile& profile);
+
+  // The zygote's boot-time footprint: the hottest ~`target_pages` pages of
+  // the preload set (these are the PTEs populated in the zygote's page
+  // table before any app is forked — 5,900 in the paper's measurement).
+  AppFootprint GenerateZygoteFootprint(uint32_t target_pages = 5900,
+                                       uint64_t seed = 42);
+
+  const std::vector<LibraryId>& platform_libs() const { return platform_libs_; }
+  LibraryCatalog& catalog() { return *catalog_; }
+
+ private:
+  // Popularity-ordered cluster anchors for a library (cached).
+  const std::vector<uint32_t>& HotAnchors(LibraryId lib);
+
+  // Picks ~`target` pages of `lib` into `out`, clustered, head-biased by
+  // `common_bias`, with `rng_seed` controlling the app-specific tail and
+  // `skip_probability` controlling how sparsely the common anchor prefix
+  // is walked.
+  void PickLibraryPages(LibraryId lib, CodeCategory category, uint32_t target,
+                        double common_bias, uint64_t rng_seed,
+                        std::vector<TouchedPage>* out,
+                        double skip_probability = 0.15);
+
+  LibraryCatalog* catalog_;
+  std::vector<LibraryId> platform_libs_;
+  std::unordered_map<LibraryId, std::vector<uint32_t>> anchor_cache_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_WORKLOAD_FOOTPRINT_H_

@@ -1,0 +1,251 @@
+// Unit tests for the ARMv7 architecture model: address helpers, PTE bit
+// layouts, the domain access control register, and fault records.
+
+#include <gtest/gtest.h>
+
+#include "src/arch/domain.h"
+#include "src/arch/fault.h"
+#include "src/arch/pte.h"
+#include "src/arch/types.h"
+
+namespace sat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Address helpers.
+// ---------------------------------------------------------------------------
+
+TEST(AddressTest, PageGeometryConstants) {
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kPtpSpan, 2u * 1024 * 1024);
+  EXPECT_EQ(kPtesPerPtp, 512u);
+  EXPECT_EQ(kL2EntriesPerTable, 256u);
+  EXPECT_EQ(kPtesPerLargePage, 16u);
+}
+
+TEST(AddressTest, UserSpaceCoversThreeGigabytes) {
+  EXPECT_EQ(kUserSpaceEnd, 0xC0000000u);
+  EXPECT_EQ(kUserPtpSlots, 1536u);
+  EXPECT_TRUE(IsUserAddress(0));
+  EXPECT_TRUE(IsUserAddress(0xBFFFFFFFu));
+  EXPECT_FALSE(IsUserAddress(0xC0000000u));
+}
+
+TEST(AddressTest, PtpSlotIndexing) {
+  EXPECT_EQ(PtpSlotIndex(0), 0u);
+  EXPECT_EQ(PtpSlotIndex(kPtpSpan - 1), 0u);
+  EXPECT_EQ(PtpSlotIndex(kPtpSpan), 1u);
+  EXPECT_EQ(PtpSlotBase(3), 3u * kPtpSpan);
+}
+
+TEST(AddressTest, PteIndexWithinPtpWraps) {
+  EXPECT_EQ(PteIndexInPtp(0), 0u);
+  EXPECT_EQ(PteIndexInPtp(kPageSize), 1u);
+  EXPECT_EQ(PteIndexInPtp(kPtpSpan - kPageSize), 511u);
+  EXPECT_EQ(PteIndexInPtp(kPtpSpan), 0u);  // next slot starts over
+}
+
+TEST(AddressTest, PageAlignment) {
+  EXPECT_EQ(PageAlignDown(0x1234u), 0x1000u);
+  EXPECT_EQ(PageAlignUp(0x1234u), 0x2000u);
+  EXPECT_EQ(PageAlignUp(0x1000u), 0x1000u);
+  EXPECT_TRUE(IsPageAligned(0x7000u));
+  EXPECT_FALSE(IsPageAligned(0x7004u));
+}
+
+TEST(AddressTest, FramePhysicalConversion) {
+  EXPECT_EQ(FrameToPhys(3), 3u * kPageSize);
+  EXPECT_EQ(PhysToFrame(FrameToPhys(1234)), 1234u);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware PTEs.
+// ---------------------------------------------------------------------------
+
+TEST(HwPteTest, DefaultIsInvalid) {
+  HwPte pte;
+  EXPECT_FALSE(pte.valid());
+  EXPECT_EQ(pte.raw(), 0u);
+}
+
+TEST(HwPteTest, RoundTripsAllFields) {
+  const HwPte pte = HwPte::MakePage(0x12345, PtePerm::kReadWrite,
+                                    /*global=*/true, /*executable=*/true);
+  EXPECT_TRUE(pte.valid());
+  EXPECT_EQ(pte.frame(), 0x12345u);
+  EXPECT_EQ(pte.perm(), PtePerm::kReadWrite);
+  EXPECT_TRUE(pte.global());
+  EXPECT_TRUE(pte.executable());
+  EXPECT_FALSE(pte.large());
+}
+
+TEST(HwPteTest, NotGlobalNotExecutable) {
+  const HwPte pte = HwPte::MakePage(7, PtePerm::kReadOnly, /*global=*/false,
+                                    /*executable=*/false);
+  EXPECT_FALSE(pte.global());
+  EXPECT_FALSE(pte.executable());
+  EXPECT_EQ(pte.perm(), PtePerm::kReadOnly);
+}
+
+TEST(HwPteTest, InvalidEntryIsNeverGlobal) {
+  HwPte pte;
+  EXPECT_FALSE(pte.global());
+}
+
+TEST(HwPteTest, WriteProtectDowngradesOnlyReadWrite) {
+  HwPte rw = HwPte::MakePage(1, PtePerm::kReadWrite, false, false);
+  rw.WriteProtect();
+  EXPECT_EQ(rw.perm(), PtePerm::kReadOnly);
+
+  HwPte ro = HwPte::MakePage(1, PtePerm::kReadOnly, false, true);
+  ro.WriteProtect();
+  EXPECT_EQ(ro.perm(), PtePerm::kReadOnly);
+}
+
+TEST(HwPteTest, LargePageFlag) {
+  const HwPte pte = HwPte::MakePage(16, PtePerm::kReadOnly, true, true,
+                                    /*large=*/true);
+  EXPECT_TRUE(pte.large());
+  EXPECT_TRUE(pte.valid());
+}
+
+TEST(HwPteTest, ClearInvalidates) {
+  HwPte pte = HwPte::MakePage(5, PtePerm::kReadWrite, false, true);
+  pte.Clear();
+  EXPECT_FALSE(pte.valid());
+}
+
+TEST(HwPteTest, SetGlobalTogglesBit) {
+  HwPte pte = HwPte::MakePage(5, PtePerm::kReadOnly, false, true);
+  EXPECT_FALSE(pte.global());
+  pte.set_global(true);
+  EXPECT_TRUE(pte.global());
+  pte.set_global(false);
+  EXPECT_FALSE(pte.global());
+}
+
+TEST(HwPteTest, ToStringDescribesEntry) {
+  const HwPte pte = HwPte::MakePage(5, PtePerm::kReadOnly, true, true);
+  const std::string str = pte.ToString();
+  EXPECT_NE(str.find("frame=5"), std::string::npos);
+  EXPECT_NE(str.find("global"), std::string::npos);
+  EXPECT_EQ(HwPte().ToString(), "HwPte{invalid}");
+}
+
+// ---------------------------------------------------------------------------
+// Linux shadow PTEs.
+// ---------------------------------------------------------------------------
+
+TEST(LinuxPteTest, FlagsAreIndependent) {
+  LinuxPte pte;
+  EXPECT_FALSE(pte.present());
+  pte.set_present(true);
+  pte.set_young(true);
+  EXPECT_TRUE(pte.present());
+  EXPECT_TRUE(pte.young());
+  EXPECT_FALSE(pte.dirty());
+  EXPECT_FALSE(pte.writable());
+  pte.set_dirty(true);
+  pte.set_young(false);
+  EXPECT_TRUE(pte.dirty());
+  EXPECT_FALSE(pte.young());
+  EXPECT_TRUE(pte.present());
+}
+
+TEST(LinuxPteTest, ClearResetsEverything) {
+  LinuxPte pte;
+  pte.set_present(true);
+  pte.set_dirty(true);
+  pte.set_writable(true);
+  pte.Clear();
+  EXPECT_EQ(pte, LinuxPte{});
+}
+
+// ---------------------------------------------------------------------------
+// L1 entries.
+// ---------------------------------------------------------------------------
+
+TEST(L1EntryTest, PresenceTracksPtpId) {
+  L1Entry entry;
+  EXPECT_FALSE(entry.present());
+  entry.ptp = 12;
+  entry.need_copy = true;
+  entry.domain = kDomainZygote;
+  EXPECT_TRUE(entry.present());
+  entry.Clear();
+  EXPECT_FALSE(entry.present());
+  EXPECT_FALSE(entry.need_copy);
+}
+
+// ---------------------------------------------------------------------------
+// Domain access control.
+// ---------------------------------------------------------------------------
+
+TEST(DomainTest, DefaultDeniesEverything) {
+  DomainAccessControl dacr;
+  for (uint32_t d = 0; d < kNumDomains; ++d) {
+    EXPECT_EQ(dacr.Get(static_cast<DomainId>(d)), DomainAccess::kNoAccess);
+  }
+}
+
+TEST(DomainTest, SetGetRoundTrip) {
+  DomainAccessControl dacr;
+  dacr.Set(5, DomainAccess::kClient);
+  dacr.Set(15, DomainAccess::kManager);
+  EXPECT_EQ(dacr.Get(5), DomainAccess::kClient);
+  EXPECT_EQ(dacr.Get(15), DomainAccess::kManager);
+  EXPECT_EQ(dacr.Get(4), DomainAccess::kNoAccess);
+  dacr.Set(5, DomainAccess::kNoAccess);
+  EXPECT_EQ(dacr.Get(5), DomainAccess::kNoAccess);
+  // Field 15 must be untouched by the update to field 5.
+  EXPECT_EQ(dacr.Get(15), DomainAccess::kManager);
+}
+
+TEST(DomainTest, StockDefaultGrantsUserAndKernelOnly) {
+  const DomainAccessControl dacr = DomainAccessControl::StockDefault();
+  EXPECT_EQ(dacr.Get(kDomainKernel), DomainAccess::kClient);
+  EXPECT_EQ(dacr.Get(kDomainUser), DomainAccess::kClient);
+  EXPECT_EQ(dacr.Get(kDomainZygote), DomainAccess::kNoAccess);
+}
+
+TEST(DomainTest, ZygoteLikeAddsZygoteDomain) {
+  const DomainAccessControl dacr = DomainAccessControl::ZygoteLike();
+  EXPECT_EQ(dacr.Get(kDomainZygote), DomainAccess::kClient);
+  EXPECT_EQ(dacr.Get(kDomainUser), DomainAccess::kClient);
+}
+
+TEST(DomainTest, PackedLayoutMatchesHardware) {
+  // Two bits per domain, domain 0 at bits [1:0].
+  DomainAccessControl dacr;
+  dacr.Set(0, DomainAccess::kClient);   // 01
+  dacr.Set(1, DomainAccess::kManager);  // 11
+  EXPECT_EQ(dacr.raw(), 0b1101u);
+}
+
+// ---------------------------------------------------------------------------
+// Memory aborts.
+// ---------------------------------------------------------------------------
+
+TEST(FaultTest, AbortRecordsFields) {
+  MemoryAbort abort;
+  EXPECT_FALSE(abort.faulted());
+  abort.status = FaultStatus::kDomain;
+  abort.fault_address = 0x40001000;
+  abort.access = AccessType::kExecute;
+  abort.is_prefetch_abort = true;
+  EXPECT_TRUE(abort.faulted());
+  const std::string str = abort.ToString();
+  EXPECT_NE(str.find("PrefetchAbort"), std::string::npos);
+  EXPECT_NE(str.find("domain"), std::string::npos);
+  EXPECT_NE(str.find("40001000"), std::string::npos);
+}
+
+TEST(FaultTest, StatusNames) {
+  EXPECT_STREQ(FaultStatusName(FaultStatus::kTranslation), "translation");
+  EXPECT_STREQ(FaultStatusName(FaultStatus::kPermission), "permission");
+  EXPECT_STREQ(FaultStatusName(FaultStatus::kDomain), "domain");
+  EXPECT_STREQ(FaultStatusName(FaultStatus::kNoRegion), "no-region");
+}
+
+}  // namespace
+}  // namespace sat

@@ -1,0 +1,149 @@
+// Unit tests for the cache models: hit/miss behaviour, LRU replacement,
+// hierarchy latencies, and the PTE-duplication pollution effect the paper
+// targets.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/cache.h"
+
+namespace sat {
+namespace {
+
+TEST(CacheTest, MissThenHit) {
+  Cache cache("t", 1024, 32, 2);
+  EXPECT_FALSE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x101F));   // same 32-byte line
+  EXPECT_FALSE(cache.Access(0x1020));  // next line
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheTest, ProbeDoesNotFill) {
+  Cache cache("t", 1024, 32, 2);
+  EXPECT_FALSE(cache.Probe(0x1000));
+  cache.Access(0x1000);
+  EXPECT_TRUE(cache.Probe(0x1000));
+  EXPECT_FALSE(cache.Probe(0x2000));
+}
+
+TEST(CacheTest, LruEvictsColdest) {
+  // 2 ways, 4 sets, 32B lines => lines 0, 128, 256 map to set 0.
+  Cache cache("t", 256, 32, 2);
+  cache.Access(0);    // A
+  cache.Access(128);  // B
+  cache.Access(0);    // A touched again: B is LRU
+  cache.Access(256);  // C evicts B
+  EXPECT_TRUE(cache.Probe(0));
+  EXPECT_FALSE(cache.Probe(128));
+  EXPECT_TRUE(cache.Probe(256));
+}
+
+TEST(CacheTest, InvalidateAllEmptiesCache) {
+  Cache cache("t", 1024, 32, 2);
+  cache.Access(0x1000);
+  cache.InvalidateAll();
+  EXPECT_FALSE(cache.Probe(0x1000));
+}
+
+TEST(CacheTest, DistinctSetsDoNotConflict) {
+  Cache cache("t", 256, 32, 2);
+  for (PhysAddr line = 0; line < 4; ++line) {
+    cache.Access(line * 32);
+  }
+  for (PhysAddr line = 0; line < 4; ++line) {
+    EXPECT_TRUE(cache.Probe(line * 32));
+  }
+}
+
+TEST(CacheHierarchyTest, LatenciesFollowCostModel) {
+  const CostModel& costs = CostModel::Default();
+  Cache l2 = CacheHierarchy::MakeL2();
+  CacheHierarchy hierarchy(&costs, &l2);
+  CoreCounters counters;
+
+  // Cold: L1 miss, L2 miss -> DRAM.
+  const Cycles cold = hierarchy.AccessInst(0x10000, &counters);
+  EXPECT_EQ(cold, costs.l1_hit + costs.l2_hit + costs.dram);
+  EXPECT_EQ(counters.l1i_misses, 1u);
+  EXPECT_EQ(counters.l2_misses, 1u);
+  EXPECT_EQ(counters.icache_stall_cycles, costs.l2_hit + costs.dram);
+
+  // Warm: L1 hit.
+  const Cycles warm = hierarchy.AccessInst(0x10000, &counters);
+  EXPECT_EQ(warm, costs.l1_hit);
+}
+
+TEST(CacheHierarchyTest, L2HitAfterL1Eviction) {
+  const CostModel& costs = CostModel::Default();
+  Cache l2 = CacheHierarchy::MakeL2();
+  CacheHierarchy hierarchy(&costs, &l2);
+  CoreCounters counters;
+  hierarchy.AccessInst(0x10000, &counters);
+  // Evict it from L1I (32 KB, 4 ways, 256 sets): touch 4 conflicting lines.
+  for (int i = 1; i <= 4; ++i) {
+    hierarchy.AccessInst(0x10000 + static_cast<PhysAddr>(i) * 32 * 1024,
+                         &counters);
+  }
+  const Cycles latency = hierarchy.AccessInst(0x10000, &counters);
+  EXPECT_EQ(latency, costs.l1_hit + costs.l2_hit);  // L2 still has it
+}
+
+TEST(CacheHierarchyTest, InstAndDataSidesAreSeparate) {
+  Cache l2 = CacheHierarchy::MakeL2();
+  CacheHierarchy hierarchy(&CostModel::Default(), &l2);
+  CoreCounters counters;
+  hierarchy.AccessInst(0x10000, &counters);
+  // Same line through the D side still misses L1D (but hits shared L2).
+  const Cycles latency = hierarchy.AccessData(0x10000, &counters);
+  EXPECT_EQ(latency,
+            CostModel::Default().l1_hit + CostModel::Default().l2_hit);
+  EXPECT_EQ(counters.l1d_misses, 1u);
+}
+
+TEST(CacheHierarchyTest, PtwAllocatesIntoL1DAndL2) {
+  // ARMv7 walker behaviour: PTE fetches fill the data cache, so a
+  // subsequent data access to the same line hits.
+  Cache l2 = CacheHierarchy::MakeL2();
+  CacheHierarchy hierarchy(&CostModel::Default(), &l2);
+  CoreCounters counters;
+  hierarchy.AccessPtw(0x20000, &counters);
+  EXPECT_EQ(hierarchy.AccessData(0x20000, &counters),
+            CostModel::Default().l1_hit);
+}
+
+TEST(CacheHierarchyTest, PtwDoesNotChargeDcacheStalls) {
+  Cache l2 = CacheHierarchy::MakeL2();
+  CacheHierarchy hierarchy(&CostModel::Default(), &l2);
+  CoreCounters counters;
+  hierarchy.AccessPtw(0x20000, &counters);
+  EXPECT_EQ(counters.dcache_stall_cycles, 0u);  // attributed as TLB stall
+  EXPECT_EQ(counters.l1d_misses, 1u);
+}
+
+TEST(CacheHierarchyTest, SharedPteLinesReduceL2Pressure) {
+  // The paper's cache argument in miniature: two processes walking
+  // *shared* PTPs touch one set of PTE lines; private page tables touch
+  // two. Model both and compare L2 misses.
+  const CostModel& costs = CostModel::Default();
+
+  auto walk_lines = [&](bool shared) {
+    Cache l2("L2", 4096, 32, 2);  // deliberately tiny to expose pressure
+    CacheHierarchy a(&costs, &l2);
+    CacheHierarchy b(&costs, &l2);
+    CoreCounters counters;
+    // Each "process" walks 256 PTE lines; shared => same physical lines.
+    for (int round = 0; round < 4; ++round) {
+      for (PhysAddr i = 0; i < 256; ++i) {
+        a.AccessPtw(0x100000 + i * 32, &counters);
+        b.AccessPtw((shared ? 0x100000 : 0x200000) + i * 32, &counters);
+      }
+    }
+    return counters.l2_misses;
+  };
+
+  EXPECT_LT(walk_lines(true), walk_lines(false));
+}
+
+}  // namespace
+}  // namespace sat

@@ -1,0 +1,117 @@
+// Death tests: the simulator enforces its kernel invariants with live
+// assertions (NDEBUG is stripped in every build type — see the top-level
+// CMakeLists); these tests pin the contract that misuse aborts loudly
+// instead of corrupting state.
+
+#include <gtest/gtest.h>
+
+#include "src/core/sat.h"
+
+namespace sat {
+namespace {
+
+class InvariantDeathTest : public ::testing::Test {
+ protected:
+  InvariantDeathTest()
+      : phys_(1024 * kPageSize), alloc_(&phys_, &counters_) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+
+  HwPte AnonPte(PtePerm perm) {
+    const FrameNumber frame = phys_.AllocFrame(FrameKind::kAnon);
+    return HwPte::MakePage(frame, perm, false, true);
+  }
+
+  PhysicalMemory phys_;
+  KernelCounters counters_;
+  PtpAllocator alloc_;
+};
+
+TEST_F(InvariantDeathTest, MutatingASharedSlotWithoutUnshareAborts) {
+  PageTable parent(&alloc_, &phys_, &counters_);
+  PageTable child(&alloc_, &phys_, &counters_);
+  LinuxPte sw;
+  sw.set_present(true);
+  parent.EnsurePtp(0x40000000, kDomainUser);
+  parent.SetPte(0x40000000, AnonPte(PtePerm::kReadOnly), sw);
+  parent.ShareSlotInto(child, PtpSlotIndex(0x40000000));
+
+  // SetPte without allow_shared on a NEED_COPY slot is a kernel bug.
+  EXPECT_DEATH(child.SetPte(0x40001000, AnonPte(PtePerm::kReadOnly), sw),
+               "unshare first");
+  // So is clearing a PTE there.
+  EXPECT_DEATH(child.ClearPte(0x40000000), "unshare first");
+  // And so is installing a *writable* entry even via the shared path:
+  // every PTE in a shared PTP must be COW-safe.
+  EXPECT_DEATH(child.SetPte(0x40001000, AnonPte(PtePerm::kReadWrite), sw,
+                            /*allow_shared=*/true),
+               "write-protected");
+}
+
+TEST_F(InvariantDeathTest, EnsurePtpOnSharedSlotAborts) {
+  PageTable parent(&alloc_, &phys_, &counters_);
+  PageTable child(&alloc_, &phys_, &counters_);
+  LinuxPte sw;
+  sw.set_present(true);
+  parent.EnsurePtp(0x40000000, kDomainUser);
+  parent.SetPte(0x40000000, AnonPte(PtePerm::kReadOnly), sw);
+  parent.ShareSlotInto(child, PtpSlotIndex(0x40000000));
+  EXPECT_DEATH(child.EnsurePtp(0x40000000, kDomainUser), "NEED_COPY");
+}
+
+TEST_F(InvariantDeathTest, SetPteWithoutPtpAborts) {
+  PageTable pt(&alloc_, &phys_, &counters_);
+  LinuxPte sw;
+  sw.set_present(true);
+  EXPECT_DEATH(pt.SetPte(0x40000000, AnonPte(PtePerm::kReadOnly), sw),
+               "EnsurePtp");
+}
+
+TEST_F(InvariantDeathTest, SharingAnEmptySlotAborts) {
+  PageTable parent(&alloc_, &phys_, &counters_);
+  PageTable child(&alloc_, &phys_, &counters_);
+  EXPECT_DEATH(parent.ShareSlotInto(child, 5), "empty slot");
+}
+
+TEST_F(InvariantDeathTest, UnrefOfADeadFrameAborts) {
+  const FrameNumber frame = phys_.AllocFrame(FrameKind::kAnon);
+  phys_.UnrefFrame(frame);  // frees it
+  EXPECT_DEATH(phys_.UnrefFrame(frame), "dead frame|free frame");
+}
+
+TEST_F(InvariantDeathTest, RefOfAFreeFrameAborts) {
+  const FrameNumber frame = phys_.AllocFrame(FrameKind::kAnon);
+  phys_.UnrefFrame(frame);
+  EXPECT_DEATH(phys_.RefFrame(frame), "free frame");
+}
+
+TEST_F(InvariantDeathTest, UseOfAFreedPtpAborts) {
+  const PtpId id = alloc_.Alloc();
+  alloc_.DropSharer(id);
+  EXPECT_DEATH(alloc_.Get(id), "freed PTP");
+}
+
+TEST_F(InvariantDeathTest, OverlappingVmaInsertAborts) {
+  MmStruct mm(&alloc_, &phys_, &counters_, kDomainUser);
+  VmArea vma;
+  vma.start = 0x40000000;
+  vma.end = 0x40004000;
+  vma.prot = VmProt::ReadWrite();
+  mm.InsertVma(vma);
+  VmArea overlapping = vma;
+  overlapping.start = 0x40002000;
+  overlapping.end = 0x40006000;
+  EXPECT_DEATH(mm.InsertVma(overlapping), "overlapping");
+}
+
+TEST_F(InvariantDeathTest, MisalignedTlbEntryInsertAborts) {
+  MainTlb tlb(128, 2);
+  TlbEntry entry;
+  entry.valid = true;
+  entry.vpn = 3;                       // not 16-aligned
+  entry.size_pages = kPtesPerLargePage;
+  EXPECT_DEATH(tlb.Insert(entry), "size-aligned");
+}
+
+}  // namespace
+}  // namespace sat

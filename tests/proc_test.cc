@@ -1,0 +1,243 @@
+// Unit tests for the process layer: task lifecycle, zygote flags and DACR
+// propagation, the kernel's mmap policy, TouchPage semantics, ASID
+// management, and the scheduler's grouping policy.
+
+#include <gtest/gtest.h>
+
+#include "src/proc/kernel.h"
+#include "src/proc/scheduler.h"
+
+namespace sat {
+namespace {
+
+KernelParams SharedParams() {
+  KernelParams params;
+  params.vm = VmConfig::SharedPtpAndTlb();
+  return params;
+}
+
+MmapRequest AnonRequest(VirtAddr at, uint32_t pages, bool stack = false) {
+  MmapRequest request;
+  request.length = pages * kPageSize;
+  request.prot = VmProt::ReadWrite();
+  request.kind = VmKind::kAnonPrivate;
+  request.fixed_address = at;
+  request.is_stack = stack;
+  return request;
+}
+
+MmapRequest CodeRequest(VirtAddr at, uint32_t pages, FileId file) {
+  MmapRequest request;
+  request.length = pages * kPageSize;
+  request.prot = VmProt::ReadExec();
+  request.kind = VmKind::kFilePrivate;
+  request.file = file;
+  request.fixed_address = at;
+  return request;
+}
+
+TEST(KernelTest, CreateTaskAssignsPidAndAsid) {
+  Kernel kernel{KernelParams{}};
+  Task* a = kernel.CreateTask("a");
+  Task* b = kernel.CreateTask("b");
+  EXPECT_NE(a->pid, b->pid);
+  EXPECT_NE(a->asid, b->asid);
+  EXPECT_FALSE(a->IsZygoteLike());
+}
+
+TEST(KernelTest, ExecSetsZygoteFlagAndDomain) {
+  Kernel kernel{KernelParams{}};
+  Task* task = kernel.CreateTask("init");
+  kernel.Exec(*task, "app_process", /*is_zygote=*/true);
+  EXPECT_TRUE(task->zygote);
+  EXPECT_FALSE(task->zygote_child);
+  EXPECT_EQ(task->dacr.Get(kDomainZygote), DomainAccess::kClient);
+  EXPECT_EQ(task->mm->user_domain(), kDomainZygote);
+}
+
+TEST(KernelTest, ForkPropagatesZygoteChildFlag) {
+  Kernel kernel{KernelParams{}};
+  Task* init = kernel.CreateTask("init");
+  Task* zygote = kernel.Fork(*init, "zygote");
+  kernel.Exec(*zygote, "app_process", true);
+  Task* app = kernel.Fork(*zygote, "app");
+  EXPECT_TRUE(app->zygote_child);
+  EXPECT_FALSE(app->zygote);
+  EXPECT_TRUE(app->IsZygoteLike());
+  EXPECT_EQ(app->dacr.Get(kDomainZygote), DomainAccess::kClient);
+  EXPECT_EQ(app->mm->user_domain(), kDomainZygote);
+
+  // Grandchildren keep the flag.
+  Task* grandchild = kernel.Fork(*app, "svc");
+  EXPECT_TRUE(grandchild->zygote_child);
+
+  // Children of plain processes do not acquire it.
+  Task* plain = kernel.Fork(*init, "daemon");
+  EXPECT_FALSE(plain->IsZygoteLike());
+  EXPECT_EQ(plain->mm->user_domain(), kDomainUser);
+}
+
+TEST(KernelTest, ZygoteMmapOfCodeIsMarkedGlobalAndPreloaded) {
+  Kernel kernel{SharedParams()};
+  Task* zygote = kernel.CreateTask("zygote");
+  kernel.Exec(*zygote, "app_process", true);
+
+  kernel.Mmap(*zygote, CodeRequest(0x40000000, 4, 7));
+  const VmArea* code = zygote->mm->FindVma(0x40000000);
+  ASSERT_NE(code, nullptr);
+  EXPECT_TRUE(code->global);
+  EXPECT_TRUE(code->zygote_preloaded);
+
+  // Data (non-executable) is preloaded but not global.
+  MmapRequest data = AnonRequest(0x40400000, 4);
+  data.kind = VmKind::kFilePrivate;
+  data.file = 7;
+  kernel.Mmap(*zygote, data);
+  const VmArea* data_vma = zygote->mm->FindVma(0x40400000);
+  EXPECT_FALSE(data_vma->global);
+  EXPECT_TRUE(data_vma->zygote_preloaded);
+
+  // Non-zygote mmaps of code get neither.
+  Task* plain = kernel.CreateTask("plain");
+  kernel.Mmap(*plain, CodeRequest(0x40000000, 4, 8));
+  EXPECT_FALSE(plain->mm->FindVma(0x40000000)->global);
+  EXPECT_FALSE(plain->mm->FindVma(0x40000000)->zygote_preloaded);
+}
+
+TEST(KernelTest, TouchPageFaultsOnceThenNot) {
+  Kernel kernel{KernelParams{}};
+  Task* task = kernel.CreateTask("t");
+  kernel.Mmap(*task, CodeRequest(0x40000000, 2, 7));
+  EXPECT_TRUE(kernel.TouchPage(*task, 0x40000000, AccessType::kExecute));
+  EXPECT_EQ(kernel.counters().faults_file_backed, 1u);
+  EXPECT_TRUE(kernel.TouchPage(*task, 0x40000000, AccessType::kExecute));
+  EXPECT_EQ(kernel.counters().faults_file_backed, 1u);
+  EXPECT_FALSE(kernel.TouchPage(*task, 0x70000000, AccessType::kRead));
+}
+
+TEST(KernelTest, TouchPageWriteUpgradesThroughCow) {
+  Kernel kernel{KernelParams{}};
+  Task* task = kernel.CreateTask("t");
+  kernel.Mmap(*task, AnonRequest(0x50000000, 2));
+  EXPECT_TRUE(kernel.TouchPage(*task, 0x50000000, AccessType::kRead));
+  EXPECT_TRUE(kernel.TouchPage(*task, 0x50000000, AccessType::kWrite));
+  const auto ref = task->mm->page_table().FindPte(0x50000000);
+  EXPECT_EQ(ref->ptp->hw(ref->index).perm(), PtePerm::kReadWrite);
+}
+
+TEST(KernelTest, SharedForkThenTouchSharesSoftFaults) {
+  Kernel kernel{SharedParams()};
+  Task* zygote = kernel.CreateTask("zygote");
+  kernel.Exec(*zygote, "app_process", true);
+  kernel.Mmap(*zygote, CodeRequest(0x40000000, 8, 7));
+  kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
+
+  Task* app = kernel.Fork(*zygote, "app");
+  // The PTE populated by the zygote is inherited: no fault.
+  const uint64_t faults = kernel.counters().faults_file_backed;
+  EXPECT_TRUE(kernel.TouchPage(*app, 0x40000000, AccessType::kExecute));
+  EXPECT_EQ(kernel.counters().faults_file_backed, faults);
+
+  // A page the app faults in becomes visible to a *later* fork.
+  kernel.TouchPage(*app, 0x40001000, AccessType::kExecute);
+  Task* app2 = kernel.Fork(*zygote, "app2");
+  const uint64_t faults2 = kernel.counters().faults_file_backed;
+  EXPECT_TRUE(kernel.TouchPage(*app2, 0x40001000, AccessType::kExecute));
+  EXPECT_EQ(kernel.counters().faults_file_backed, faults2);
+}
+
+TEST(KernelTest, ExitFreesSharedPtpsByRefcount) {
+  Kernel kernel{SharedParams()};
+  Task* zygote = kernel.CreateTask("zygote");
+  kernel.Exec(*zygote, "app_process", true);
+  kernel.Mmap(*zygote, CodeRequest(0x40000000, 8, 7));
+  kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
+
+  const uint64_t live_before = kernel.ptp_allocator().live_ptps();
+  Task* app = kernel.Fork(*zygote, "app");
+  EXPECT_EQ(kernel.ptp_allocator().live_ptps(), live_before);  // shared
+  kernel.Exit(*app);
+  EXPECT_EQ(kernel.ptp_allocator().live_ptps(), live_before);
+  EXPECT_FALSE(app->alive);
+}
+
+TEST(KernelTest, LastForkResultExposesTable4Stats) {
+  Kernel kernel{SharedParams()};
+  Task* zygote = kernel.CreateTask("zygote");
+  kernel.Exec(*zygote, "app_process", true);
+  kernel.Mmap(*zygote, CodeRequest(0x40000000, 8, 7));
+  kernel.Mmap(*zygote, AnonRequest(0xB0000000, 8, /*stack=*/true));
+  kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
+  kernel.TouchPage(*zygote, 0xB0000000, AccessType::kWrite);
+
+  kernel.Fork(*zygote, "app");
+  const ForkResult& result = kernel.last_fork_result();
+  EXPECT_EQ(result.slots_shared, 1u);           // the code slot
+  EXPECT_EQ(result.ptes_copied, 1u);            // the stack page
+  EXPECT_EQ(result.child_ptps_allocated, 1u);   // the stack PTP
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(KernelTest, AsidRolloverFlushesAndRestarts) {
+  Kernel kernel{KernelParams{}};
+  Task* first = kernel.CreateTask("t0");
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 300; ++i) {
+    tasks.push_back(kernel.CreateTask("t" + std::to_string(i + 1)));
+  }
+  // ASIDs are 8-bit: the 300th allocation must have wrapped.
+  EXPECT_GE(kernel.counters().tlb_full_flushes, 1u);
+  EXPECT_NE(tasks.back()->asid, 0);
+  (void)first;
+}
+
+TEST(SchedulerTest, RoundRobinCyclesThroughTasks) {
+  Kernel kernel{KernelParams{}};
+  Task* a = kernel.CreateTask("a");
+  Task* b = kernel.CreateTask("b");
+  Scheduler scheduler(&kernel, /*group_zygote_like=*/false);
+  scheduler.AddTask(a);
+  scheduler.AddTask(b);
+  Task* first = scheduler.RunQuantum();
+  Task* second = scheduler.RunQuantum();
+  EXPECT_NE(first, second);
+  EXPECT_EQ(scheduler.stats().switches, 2u);
+}
+
+TEST(SchedulerTest, GroupingReducesCrossGroupSwitches) {
+  auto run = [](bool grouped) {
+    Kernel kernel{KernelParams{}};
+    Task* init = kernel.CreateTask("init");
+    Task* zygote = kernel.Fork(*init, "zygote");
+    kernel.Exec(*zygote, "app_process", true);
+    Scheduler scheduler(&kernel, grouped);
+    // Two zygote-like apps and two plain daemons.
+    scheduler.AddTask(kernel.Fork(*zygote, "app1"));
+    scheduler.AddTask(kernel.CreateTask("daemon1"));
+    scheduler.AddTask(kernel.Fork(*zygote, "app2"));
+    scheduler.AddTask(kernel.CreateTask("daemon2"));
+    for (int i = 0; i < 100; ++i) {
+      scheduler.RunQuantum();
+    }
+    return scheduler.stats();
+  };
+  const SchedulerStats plain = run(false);
+  const SchedulerStats grouped = run(true);
+  EXPECT_LT(grouped.cross_group_switches, plain.cross_group_switches);
+}
+
+TEST(SchedulerTest, DeadTasksAreDropped) {
+  Kernel kernel{KernelParams{}};
+  Task* a = kernel.CreateTask("a");
+  Task* b = kernel.CreateTask("b");
+  Scheduler scheduler(&kernel, false);
+  scheduler.AddTask(a);
+  scheduler.AddTask(b);
+  kernel.Exit(*b);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(scheduler.RunQuantum(), a);
+  }
+}
+
+}  // namespace
+}  // namespace sat

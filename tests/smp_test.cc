@@ -1,0 +1,195 @@
+// Tests for the multi-core extension: TLB shootdowns over cpumasks, IPI
+// cost accounting, and cross-core correctness of unsharing.
+
+#include <gtest/gtest.h>
+
+#include "src/core/sat.h"
+
+namespace sat {
+namespace {
+
+KernelParams SmpParams(uint32_t cores, bool share = true) {
+  KernelParams params;
+  params.num_cores = cores;
+  params.vm = share ? VmConfig::SharedPtpAndTlb() : VmConfig::Stock();
+  return params;
+}
+
+MmapRequest Anon(VirtAddr at, uint32_t pages) {
+  MmapRequest request;
+  request.length = pages * kPageSize;
+  request.prot = VmProt::ReadWrite();
+  request.kind = VmKind::kAnonPrivate;
+  request.fixed_address = at;
+  return request;
+}
+
+TEST(MachineTest, CoresShareTheL2) {
+  Kernel kernel{SmpParams(2)};
+  Task* task = kernel.CreateTask("t");
+  kernel.Mmap(*task, Anon(0x50000000, 1));
+  kernel.TouchPage(*task, 0x50000000, AccessType::kWrite);
+
+  kernel.SetCurrent(*task, 0);
+  kernel.core(0).Load(0x50000000);  // cold: L2 filled
+  const uint64_t l2_misses = kernel.core(1).counters().l2_misses;
+  kernel.SetCurrent(*task, 1);
+  kernel.core(1).Load(0x50000000);  // L1 misses on core 1 (data + PTE
+                                    // walk), but both lines hit the L2
+  EXPECT_EQ(kernel.core(1).counters().l2_misses, l2_misses);
+  EXPECT_EQ(kernel.core(1).counters().l1d_misses, 2u);
+}
+
+TEST(MachineTest, ShootdownFlushesMaskedCoresOnly) {
+  Kernel kernel{SmpParams(4)};
+  Machine& machine = kernel.machine();
+  // Seed the same entry into three cores' TLBs by hand.
+  TlbEntry entry;
+  entry.valid = true;
+  entry.vpn = 0x40000;
+  entry.size_pages = 1;
+  entry.asid = 9;
+  entry.domain = kDomainUser;
+  entry.perm = PtePerm::kReadOnly;
+  entry.executable = true;
+  for (uint32_t core : {0u, 1u, 2u}) {
+    machine.core(core).main_tlb().Insert(entry);
+  }
+
+  machine.ShootdownAsid(9, /*mask=*/0b011, /*initiator=*/0);
+  EXPECT_EQ(machine.core(0).main_tlb().ValidEntryCount(), 0u);
+  EXPECT_EQ(machine.core(1).main_tlb().ValidEntryCount(), 0u);
+  EXPECT_EQ(machine.core(2).main_tlb().ValidEntryCount(), 1u);  // not masked
+  EXPECT_EQ(machine.shootdown_stats().shootdowns, 1u);
+  EXPECT_EQ(machine.shootdown_stats().ipis, 1u);  // core 1 only
+}
+
+TEST(MachineTest, IpiCostChargedToInitiator) {
+  Kernel kernel{SmpParams(4)};
+  Machine& machine = kernel.machine();
+  const Cycles before0 = machine.core(0).counters().cycles;
+  const Cycles before2 = machine.core(2).counters().cycles;
+  machine.ShootdownVa(0x40000000, /*mask=*/0b1111, /*initiator=*/2);
+  // Core 2 pays three IPI round trips; core 0 pays nothing.
+  EXPECT_EQ(machine.core(2).counters().cycles - before2,
+            3 * kernel.costs().tlb_shootdown_ipi);
+  EXPECT_EQ(machine.core(0).counters().cycles, before0);
+}
+
+TEST(SmpKernelTest, CpumaskTracksWhereTheTaskRan) {
+  Kernel kernel{SmpParams(4)};
+  Task* task = kernel.CreateTask("t");
+  EXPECT_EQ(task->cpu_mask, 0u);
+  kernel.ScheduleTo(*task, 1);
+  kernel.ScheduleTo(*task, 3);
+  EXPECT_EQ(task->cpu_mask, 0b1010u);
+  EXPECT_EQ(task->last_core, 3u);
+}
+
+TEST(SmpKernelTest, UnshareShootsDownEveryCoreTheTaskUsed) {
+  // A plain (non-zygote) parent: its code mappings are not global, so the
+  // TLB entries are ASID-tagged and the shootdown's effect is observable
+  // as fresh walks. (Global zygote-code entries deliberately survive an
+  // ASID shootdown — their translations are unchanged by an unshare.)
+  KernelParams params = SmpParams(4);
+  Kernel kernel(params);
+  Task* zygote = kernel.CreateTask("parent");
+  MmapRequest code;
+  code.length = 8 * kPageSize;
+  code.prot = VmProt::ReadExec();
+  code.kind = VmKind::kFilePrivate;
+  code.file = 7;
+  code.fixed_address = 0x40000000;
+  kernel.Mmap(*zygote, code);
+  MmapRequest data;
+  data.length = 8 * kPageSize;
+  data.prot = VmProt::ReadWrite();
+  data.kind = VmKind::kFilePrivate;
+  data.file = 7;
+  data.file_page_offset = 8;
+  data.fixed_address = 0x40008000;  // same 2 MB slot as the code
+  kernel.Mmap(*zygote, data);
+  kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
+  Task* app = kernel.Fork(*zygote, "app");
+
+  // The app executes the shared code on cores 0 and 2, loading TLB
+  // entries on both.
+  kernel.ScheduleTo(*app, 0);
+  EXPECT_TRUE(kernel.core(0).FetchLine(0x40000000));
+  kernel.ScheduleTo(*app, 2);
+  EXPECT_TRUE(kernel.core(2).FetchLine(0x40000000));
+
+  // A write into the same slot unshares: the shootdown must reach both
+  // cores the app ran on.
+  kernel.machine().ResetShootdownStats();
+  EXPECT_TRUE(kernel.TouchPage(*app, 0x40008000, AccessType::kWrite));
+  EXPECT_GE(kernel.machine().shootdown_stats().shootdowns, 1u);
+  EXPECT_GE(kernel.machine().shootdown_stats().ipis, 1u);
+
+  // Core 0's stale entry for the app's ASID is gone (its next fetch walks
+  // the now-private table).
+  const uint64_t walks_before = kernel.core(0).counters().itlb_main_misses;
+  kernel.ScheduleTo(*app, 0);
+  EXPECT_TRUE(kernel.core(0).FetchLine(0x40000000));
+  EXPECT_GT(kernel.core(0).counters().itlb_main_misses, walks_before);
+}
+
+TEST(SmpKernelTest, ShootdownSkipsCoresTheTaskNeverUsed) {
+  Kernel kernel{SmpParams(4)};
+  Task* task = kernel.CreateTask("t");
+  kernel.Mmap(*task, Anon(0x50000000, 64));
+  kernel.ScheduleTo(*task, 1);  // only ever core 1
+  kernel.TouchPage(*task, 0x50000000, AccessType::kWrite);
+
+  kernel.machine().ResetShootdownStats();
+  kernel.Munmap(*task, 0x50000000, 64 * kPageSize);
+  // Flushes happened, but no IPIs: the mask is {core 1} and core 1
+  // initiates.
+  EXPECT_GT(kernel.machine().shootdown_stats().shootdowns, 0u);
+  EXPECT_EQ(kernel.machine().shootdown_stats().ipis, 0u);
+}
+
+TEST(SmpKernelTest, TwoAppsOnTwoCoresShareAndDivergeCorrectly) {
+  ZygoteParams params;
+  params.kernel = SmpParams(2);
+  ZygoteSystem system(params);
+  Kernel& kernel = system.kernel();
+  Task* a = system.ForkApp("a");
+  Task* b = system.ForkApp("b");
+  kernel.ScheduleTo(*a, 0);
+  kernel.ScheduleTo(*b, 1);
+
+  const LibraryImage* libc = system.catalog().FindByName("libc.so");
+  const VirtAddr code_va = system.CodePageVa(libc->id, 0);
+  const VirtAddr data_va = system.DataPageVa(libc->id, 0);
+
+  // Both execute the same shared code on their own cores.
+  EXPECT_TRUE(kernel.core(0).FetchLine(code_va));
+  EXPECT_TRUE(kernel.core(1).FetchLine(code_va));
+
+  // App b writes library data (unshares its copy); app a's view of the
+  // pristine data is unchanged.
+  EXPECT_TRUE(kernel.core(1).Store(data_va));
+  EXPECT_TRUE(kernel.core(0).Load(data_va));
+  const auto ra = a->mm->page_table().FindPte(data_va);
+  const auto rb = b->mm->page_table().FindPte(data_va);
+  EXPECT_NE(ra->ptp->hw(ra->index).frame(), rb->ptp->hw(rb->index).frame());
+  EXPECT_TRUE(a->mm->page_table().SlotNeedsCopy(data_va));
+  EXPECT_FALSE(b->mm->page_table().SlotNeedsCopy(data_va));
+}
+
+TEST(SmpKernelTest, SingleCoreMachineNeverSendsIpis) {
+  Kernel kernel{SmpParams(1)};
+  Task* task = kernel.CreateTask("t");
+  kernel.ScheduleTo(*task, 0);
+  kernel.Mmap(*task, Anon(0x50000000, 32));
+  for (uint32_t i = 0; i < 32; ++i) {
+    kernel.TouchPage(*task, 0x50000000 + i * kPageSize, AccessType::kWrite);
+  }
+  kernel.Munmap(*task, 0x50000000, 32 * kPageSize);
+  kernel.Exit(*task);
+  EXPECT_EQ(kernel.machine().shootdown_stats().ipis, 0u);
+}
+
+}  // namespace
+}  // namespace sat

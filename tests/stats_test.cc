@@ -1,0 +1,165 @@
+// Unit tests for counters and statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/stats/counters.h"
+#include "src/stats/summary.h"
+
+namespace sat {
+namespace {
+
+TEST(CountersTest, KernelCounterArithmetic) {
+  KernelCounters a;
+  a.faults_file_backed = 10;
+  a.ptps_allocated = 5;
+  a.ptes_copied = 100;
+  KernelCounters b;
+  b.faults_file_backed = 3;
+  b.ptps_allocated = 2;
+  b.ptes_copied = 40;
+  const KernelCounters diff = a - b;
+  EXPECT_EQ(diff.faults_file_backed, 7u);
+  EXPECT_EQ(diff.ptps_allocated, 3u);
+  EXPECT_EQ(diff.ptes_copied, 60u);
+
+  KernelCounters sum = b;
+  sum += diff;
+  EXPECT_EQ(sum.faults_file_backed, a.faults_file_backed);
+  EXPECT_EQ(sum.ptes_copied, a.ptes_copied);
+}
+
+TEST(CountersTest, CoreCounterArithmetic) {
+  CoreCounters a;
+  a.cycles = 1000;
+  a.icache_stall_cycles = 100;
+  a.itlb_main_misses = 7;
+  CoreCounters b;
+  b.cycles = 400;
+  b.icache_stall_cycles = 30;
+  b.itlb_main_misses = 2;
+  const CoreCounters diff = a - b;
+  EXPECT_EQ(diff.cycles, 600u);
+  EXPECT_EQ(diff.icache_stall_cycles, 70u);
+  EXPECT_EQ(diff.itlb_main_misses, 5u);
+}
+
+TEST(CountersTest, ToStringMentionsKeyFields) {
+  KernelCounters counters;
+  counters.faults_file_backed = 42;
+  EXPECT_NE(counters.ToString().find("file=42"), std::string::npos);
+  CoreCounters core;
+  core.cycles = 7;
+  EXPECT_NE(core.ToString().find("cycles=7"), std::string::npos);
+}
+
+TEST(SummaryTest, FiveNumberSummaryOfKnownData) {
+  const FiveNumberSummary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.minimum, 1);
+  EXPECT_DOUBLE_EQ(s.q1, 2);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 4);
+  EXPECT_DOUBLE_EQ(s.maximum, 5);
+}
+
+TEST(SummaryTest, QuartilesInterpolate) {
+  const FiveNumberSummary s = Summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(SummaryTest, EmptyAndSingleton) {
+  const FiveNumberSummary empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.median, 0);
+  const FiveNumberSummary one = Summarize({7});
+  EXPECT_DOUBLE_EQ(one.minimum, 7);
+  EXPECT_DOUBLE_EQ(one.maximum, 7);
+  EXPECT_DOUBLE_EQ(one.median, 7);
+}
+
+TEST(SummaryTest, UnsortedInputIsSorted) {
+  const FiveNumberSummary s = Summarize({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.minimum, 1);
+  EXPECT_DOUBLE_EQ(s.maximum, 5);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+}
+
+TEST(SummaryTest, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4);
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_DOUBLE_EQ(Median({9, 1, 5}), 5);
+}
+
+TEST(SummaryTest, EmpiricalCdfMonotoneAndComplete) {
+  const std::vector<double> cdf = EmpiricalCdf({0, 1, 1, 3, 3, 3}, 4);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_NEAR(cdf[0], 1.0 / 6, 1e-12);
+  EXPECT_NEAR(cdf[1], 3.0 / 6, 1e-12);
+  EXPECT_NEAR(cdf[2], 3.0 / 6, 1e-12);
+  EXPECT_NEAR(cdf[3], 1.0, 1e-12);
+  EXPECT_NEAR(cdf[4], 1.0, 1e-12);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i], cdf[i - 1]);
+  }
+}
+
+TEST(SummaryTest, EmpiricalCdfClampsOverflow) {
+  const std::vector<double> cdf = EmpiricalCdf({10}, 4);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[3], 0.0);
+}
+
+TEST(SummaryTest, TablePrinterAlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(SummaryTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPercent(0.375), "37.5%");
+}
+
+TEST(SummaryTest, ShapeCheckTolerance) {
+  std::ostringstream os;
+  EXPECT_TRUE(ShapeCheck(os, "x", 100, 120, 0.5));
+  EXPECT_FALSE(ShapeCheck(os, "x", 100, 200, 0.5));
+  EXPECT_TRUE(ShapeCheck(os, "x", 100, 150, 0.5));
+  EXPECT_TRUE(ShapeCheck(os, "zero", 0, 0, 0.1));
+  EXPECT_NE(os.str().find("paper=100.00"), std::string::npos);
+}
+
+TEST(CostModelTest, ExtensionCostsAreSane) {
+  const CostModel& costs = CostModel::Default();
+  // A shootdown IPI costs more than a context switch's base work but far
+  // less than a fork.
+  EXPECT_GT(costs.tlb_shootdown_ipi, costs.main_tlb_hit);
+  EXPECT_LT(costs.tlb_shootdown_ipi, costs.fork_base);
+  // Unshare copies are cheaper per PTE than fork copies (in-kernel loop,
+  // no COW bookkeeping).
+  EXPECT_LT(costs.unshare_per_pte_copy, costs.fork_per_pte_copy);
+}
+
+TEST(CostModelTest, DefaultsAreSane) {
+  const CostModel& costs = CostModel::Default();
+  EXPECT_GT(costs.l2_hit, costs.l1_hit);
+  EXPECT_GT(costs.dram, costs.l2_hit);
+  EXPECT_GT(costs.fault_disk, costs.fault_trap);
+  // Fork-cost decomposition reproduces Table 4's ordering: a PTE copy is
+  // costlier than a write-protect, a PTP allocation costlier still.
+  EXPECT_GT(costs.fork_per_pte_copy, costs.fork_per_pte_wrprotect);
+  EXPECT_GT(costs.fork_per_ptp_alloc, costs.fork_per_pte_copy);
+}
+
+}  // namespace
+}  // namespace sat

@@ -1,0 +1,277 @@
+// Unit tests for the TLB models: ASID/global matching, domain checks,
+// permission checks, flush operations, replacement, and large pages.
+
+#include <gtest/gtest.h>
+
+#include "src/tlb/tlb.h"
+
+namespace sat {
+namespace {
+
+TlbEntry MakeEntry(uint32_t vpn, Asid asid, bool global = false,
+                   DomainId domain = kDomainUser,
+                   PtePerm perm = PtePerm::kReadOnly, bool executable = true,
+                   uint32_t size_pages = 1) {
+  TlbEntry entry;
+  entry.valid = true;
+  entry.vpn = vpn;
+  entry.size_pages = size_pages;
+  entry.asid = asid;
+  entry.global = global;
+  entry.domain = domain;
+  entry.perm = perm;
+  entry.executable = executable;
+  entry.frame = vpn + 1000;
+  return entry;
+}
+
+DomainAccessControl UserDacr() { return DomainAccessControl::StockDefault(); }
+DomainAccessControl ZygoteDacr() { return DomainAccessControl::ZygoteLike(); }
+
+// ---------------------------------------------------------------------------
+// Entry matching.
+// ---------------------------------------------------------------------------
+
+TEST(TlbEntryTest, AsidMatch) {
+  const TlbEntry entry = MakeEntry(100, 5);
+  EXPECT_TRUE(entry.Matches(100, 5));
+  EXPECT_FALSE(entry.Matches(100, 6));
+  EXPECT_FALSE(entry.Matches(101, 5));
+}
+
+TEST(TlbEntryTest, GlobalIgnoresAsid) {
+  const TlbEntry entry = MakeEntry(100, 5, /*global=*/true);
+  EXPECT_TRUE(entry.Matches(100, 5));
+  EXPECT_TRUE(entry.Matches(100, 99));
+}
+
+TEST(TlbEntryTest, LargePageCoversSixteenPages) {
+  const TlbEntry entry = MakeEntry(0x40000000 >> 12, 1, false, kDomainUser,
+                                   PtePerm::kReadOnly, true,
+                                   kPtesPerLargePage);
+  EXPECT_TRUE(entry.Matches((0x40000000 >> 12) + 0, 1));
+  EXPECT_TRUE(entry.Matches((0x40000000 >> 12) + 15, 1));
+  EXPECT_FALSE(entry.Matches((0x40000000 >> 12) + 16, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Access checks.
+// ---------------------------------------------------------------------------
+
+TEST(TlbCheckTest, DomainNoAccessFaults) {
+  const TlbEntry entry = MakeEntry(1, 1, true, kDomainZygote);
+  EXPECT_EQ(CheckEntryAccess(entry, AccessType::kRead, UserDacr()),
+            TlbResult::kDomainFault);
+  EXPECT_EQ(CheckEntryAccess(entry, AccessType::kRead, ZygoteDacr()),
+            TlbResult::kHit);
+}
+
+TEST(TlbCheckTest, ClientChecksPermissions) {
+  const TlbEntry ro = MakeEntry(1, 1, false, kDomainUser, PtePerm::kReadOnly);
+  EXPECT_EQ(CheckEntryAccess(ro, AccessType::kRead, UserDacr()), TlbResult::kHit);
+  EXPECT_EQ(CheckEntryAccess(ro, AccessType::kWrite, UserDacr()),
+            TlbResult::kPermissionFault);
+  const TlbEntry rw = MakeEntry(1, 1, false, kDomainUser, PtePerm::kReadWrite);
+  EXPECT_EQ(CheckEntryAccess(rw, AccessType::kWrite, UserDacr()), TlbResult::kHit);
+}
+
+TEST(TlbCheckTest, ExecuteRequiresExecutable) {
+  const TlbEntry nx = MakeEntry(1, 1, false, kDomainUser, PtePerm::kReadOnly,
+                                /*executable=*/false);
+  EXPECT_EQ(CheckEntryAccess(nx, AccessType::kExecute, UserDacr()),
+            TlbResult::kPermissionFault);
+  EXPECT_EQ(CheckEntryAccess(nx, AccessType::kRead, UserDacr()), TlbResult::kHit);
+}
+
+TEST(TlbCheckTest, ManagerBypassesPermissions) {
+  DomainAccessControl dacr;
+  dacr.Set(kDomainUser, DomainAccess::kManager);
+  const TlbEntry ro = MakeEntry(1, 1, false, kDomainUser, PtePerm::kReadOnly,
+                                /*executable=*/false);
+  EXPECT_EQ(CheckEntryAccess(ro, AccessType::kWrite, dacr), TlbResult::kHit);
+  EXPECT_EQ(CheckEntryAccess(ro, AccessType::kExecute, dacr), TlbResult::kHit);
+}
+
+// ---------------------------------------------------------------------------
+// Main TLB.
+// ---------------------------------------------------------------------------
+
+TEST(MainTlbTest, InsertLookupMissCycle) {
+  MainTlb tlb(128, 2);
+  TlbEntry out;
+  EXPECT_EQ(tlb.Lookup(0x40000000, 1, AccessType::kRead, UserDacr(), &out),
+            TlbResult::kMiss);
+  tlb.Insert(MakeEntry(0x40000000 >> 12, 1));
+  EXPECT_EQ(tlb.Lookup(0x40000000, 1, AccessType::kRead, UserDacr(), &out),
+            TlbResult::kHit);
+  EXPECT_EQ(out.frame, (0x40000000u >> 12) + 1000);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(MainTlbTest, LookupWithinPageHits) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(0x40000000 >> 12, 1));
+  EXPECT_EQ(tlb.Lookup(0x40000ABC, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+TEST(MainTlbTest, SetConflictEvictsRoundRobin) {
+  MainTlb tlb(8, 2);  // 4 sets x 2 ways
+  // Three pages mapping to the same set (vpn ≡ 0 mod 4).
+  tlb.Insert(MakeEntry(0, 1));
+  tlb.Insert(MakeEntry(4, 1));
+  tlb.Insert(MakeEntry(8, 1));  // evicts one of the first two
+  uint32_t hits = 0;
+  for (uint32_t vpn : {0u, 4u, 8u}) {
+    if (tlb.Lookup(vpn << 12, 1, AccessType::kRead, UserDacr(), nullptr) ==
+        TlbResult::kHit) {
+      hits++;
+    }
+  }
+  EXPECT_EQ(hits, 2u);
+  EXPECT_EQ(tlb.ValidEntryCount(), 2u);
+}
+
+TEST(MainTlbTest, ReinsertSamePageReplacesInPlace) {
+  MainTlb tlb(8, 2);
+  tlb.Insert(MakeEntry(0, 1));
+  TlbEntry updated = MakeEntry(0, 1, false, kDomainUser, PtePerm::kReadWrite);
+  tlb.Insert(updated);
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+  TlbEntry out;
+  tlb.Lookup(0, 1, AccessType::kWrite, UserDacr(), &out);
+  EXPECT_EQ(out.perm, PtePerm::kReadWrite);
+}
+
+TEST(MainTlbTest, DistinctAsidsOccupyDistinctEntries) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(100, 1));
+  tlb.Insert(MakeEntry(100, 2));
+  EXPECT_EQ(tlb.ValidEntryCount(), 2u);
+  EXPECT_EQ(tlb.Lookup(100 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+  EXPECT_EQ(tlb.Lookup(100 << 12, 2, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+TEST(MainTlbTest, GlobalEntryServesAllAsids) {
+  // The paper's mechanism in miniature: one global entry replaces N
+  // per-ASID copies.
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(100, 1, /*global=*/true, kDomainZygote));
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+  for (Asid asid : {Asid{1}, Asid{2}, Asid{3}, Asid{4}}) {
+    EXPECT_EQ(tlb.Lookup(100 << 12, asid, AccessType::kRead, ZygoteDacr(),
+                         nullptr),
+              TlbResult::kHit);
+  }
+}
+
+TEST(MainTlbTest, FlushAllClearsEverything) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(1, 1));
+  tlb.Insert(MakeEntry(2, 1, /*global=*/true));
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.ValidEntryCount(), 0u);
+}
+
+TEST(MainTlbTest, FlushNonGlobalSparesGlobals) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(1, 1));
+  tlb.Insert(MakeEntry(2, 1, /*global=*/true));
+  tlb.FlushNonGlobal();
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+  EXPECT_EQ(tlb.Lookup(2 << 12, 9, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+TEST(MainTlbTest, FlushAsidIsSelective) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(1, 1));
+  tlb.Insert(MakeEntry(2, 2));
+  tlb.Insert(MakeEntry(3, 1, /*global=*/true));
+  tlb.FlushAsid(1);
+  EXPECT_EQ(tlb.Lookup(1 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+  EXPECT_EQ(tlb.Lookup(2 << 12, 2, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+  // Globals survive an ASID flush.
+  EXPECT_EQ(tlb.Lookup(3 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+TEST(MainTlbTest, FlushVaHitsGlobalsToo) {
+  // The domain-fault handler's flush must remove matching *global*
+  // entries, or the retry would fault forever.
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(5, 1, /*global=*/true, kDomainZygote));
+  tlb.Insert(MakeEntry(6, 1));
+  tlb.FlushVa(5 << 12);
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+  EXPECT_EQ(tlb.Lookup(6 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+TEST(MainTlbTest, LargePageInsertAndLookupFromAnyCoveredPage) {
+  MainTlb tlb(128, 2);
+  TlbEntry large = MakeEntry(32, 1, false, kDomainUser, PtePerm::kReadOnly,
+                             true, kPtesPerLargePage);
+  tlb.Insert(large);
+  // Probe through a page in the middle of the 64 KB region.
+  EXPECT_EQ(tlb.Lookup((32 + 7) << 12, 1, AccessType::kRead, UserDacr(),
+                       nullptr),
+            TlbResult::kHit);
+  tlb.FlushVa((32 + 9) << 12);
+  EXPECT_EQ(tlb.ValidEntryCount(), 0u);
+}
+
+TEST(MainTlbTest, DomainFaultCountedInStats) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(7, 1, /*global=*/true, kDomainZygote));
+  EXPECT_EQ(tlb.Lookup(7 << 12, 2, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kDomainFault);
+  EXPECT_EQ(tlb.stats().domain_faults, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Micro TLB.
+// ---------------------------------------------------------------------------
+
+TEST(MicroTlbTest, BasicHitMiss) {
+  MicroTlb tlb(32);
+  EXPECT_EQ(tlb.Lookup(0x1000, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+  tlb.Insert(MakeEntry(1, 1));
+  EXPECT_EQ(tlb.Lookup(0x1000, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+TEST(MicroTlbTest, FifoReplacementWhenFull) {
+  MicroTlb tlb(4);
+  for (uint32_t vpn = 0; vpn < 4; ++vpn) {
+    tlb.Insert(MakeEntry(vpn, 1));
+  }
+  tlb.Insert(MakeEntry(100, 1));  // evicts vpn 0 (FIFO)
+  EXPECT_EQ(tlb.Lookup(0, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+  EXPECT_EQ(tlb.Lookup(100 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+TEST(MicroTlbTest, FlushAllAndByVa) {
+  MicroTlb tlb(32);
+  tlb.Insert(MakeEntry(1, 1));
+  tlb.Insert(MakeEntry(2, 1));
+  tlb.FlushVa(1 << 12);
+  EXPECT_EQ(tlb.Lookup(1 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+  EXPECT_EQ(tlb.Lookup(2 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.Lookup(2 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+}
+
+}  // namespace
+}  // namespace sat

@@ -1,0 +1,247 @@
+// Unit tests for the workload substrate: profile calibration, footprint
+// generation (determinism, category targets, overlap, sparsity), and the
+// Section 2 analysis functions.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/analysis.h"
+#include "src/workload/app_profile.h"
+#include "src/workload/footprint.h"
+
+namespace sat {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : catalog_(LibraryCatalog::AndroidDefault()), factory_(&catalog_) {}
+
+  LibraryCatalog catalog_;
+  WorkloadFactory factory_;
+};
+
+TEST_F(WorkloadTest, PaperBenchmarksMatchTable1) {
+  const auto apps = AppProfile::PaperBenchmarks();
+  ASSERT_EQ(apps.size(), 11u);
+  // Table 1's kernel-heavy apps.
+  EXPECT_GT(AppProfile::Named("Chrome Privilege").kernel_fraction, 0.5);
+  EXPECT_GT(AppProfile::Named("WPS").kernel_fraction, 0.5);
+  EXPECT_GT(AppProfile::Named("MX Player").kernel_fraction, 0.3);
+  // And the user-dominated majority.
+  uint32_t user_dominated = 0;
+  for (const AppProfile& app : apps) {
+    if (app.kernel_fraction < 0.2) {
+      user_dominated++;
+    }
+  }
+  EXPECT_GE(user_dominated, 7u);
+  // Library spread within the paper's reported 40-62 range.
+  for (const AppProfile& app : apps) {
+    EXPECT_GE(app.num_zygote_libs, 40u) << app.name;
+    EXPECT_LE(app.num_zygote_libs, 62u) << app.name;
+  }
+}
+
+TEST_F(WorkloadTest, GenerationIsDeterministic) {
+  LibraryCatalog catalog2 = LibraryCatalog::AndroidDefault();
+  WorkloadFactory factory2(&catalog2);
+  const AppProfile profile = AppProfile::Named("Email");
+  const AppFootprint a = factory_.Generate(profile);
+  const AppFootprint b = factory2.Generate(profile);
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].lib, b.pages[i].lib);
+    EXPECT_EQ(a.pages[i].page_index, b.pages[i].page_index);
+    EXPECT_DOUBLE_EQ(a.pages[i].fetch_weight, b.pages[i].fetch_weight);
+  }
+}
+
+TEST_F(WorkloadTest, FootprintHitsCategoryTargets) {
+  const AppProfile profile = AppProfile::Named("Angrybirds");
+  const AppFootprint fp = factory_.Generate(profile);
+  const CategoryBreakdown breakdown = AnalyzeCategories(fp);
+  // Within 25% of each Figure 2 target (clustering makes counts inexact).
+  const auto near = [](uint32_t actual, uint32_t target) {
+    return actual > target * 3 / 4 && actual < target * 5 / 4;
+  };
+  EXPECT_TRUE(near(breakdown.pages[static_cast<int>(CodeCategory::kZygoteDynamicLib)],
+                   profile.zygote_so_pages));
+  EXPECT_TRUE(near(breakdown.pages[static_cast<int>(CodeCategory::kZygoteJavaLib)],
+                   profile.zygote_java_pages));
+  EXPECT_TRUE(near(breakdown.pages[static_cast<int>(CodeCategory::kPrivateCode)],
+                   profile.private_pages));
+}
+
+TEST_F(WorkloadTest, SharedCodeDominatesFootprintAndFetches) {
+  // Section 2's headline numbers: ~93% of instruction pages and ~98% of
+  // fetches are shared code.
+  double page_fraction_sum = 0;
+  double fetch_fraction_sum = 0;
+  const auto apps = AppProfile::PaperBenchmarks();
+  for (const AppProfile& app : apps) {
+    const CategoryBreakdown b = AnalyzeCategories(factory_.Generate(app));
+    page_fraction_sum += b.SharedCodePageFraction();
+    fetch_fraction_sum += b.SharedCodeFetchFraction();
+  }
+  EXPECT_GT(page_fraction_sum / static_cast<double>(apps.size()), 0.85);
+  EXPECT_GT(fetch_fraction_sum / static_cast<double>(apps.size()), 0.95);
+}
+
+TEST_F(WorkloadTest, FetchWeightsAreNormalized) {
+  const AppFootprint fp = factory_.Generate(AppProfile::Named("Chrome"));
+  double total = 0;
+  for (const TouchedPage& page : fp.pages) {
+    EXPECT_GE(page.fetch_weight, 0.0);
+    total += page.fetch_weight;
+  }
+  EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST_F(WorkloadTest, PairwiseOverlapIsSubstantial) {
+  // Table 2: zygote-preloaded intersections average 37.9% of each app's
+  // footprint; all-shared-code 45.7%.
+  const AppFootprint a = factory_.Generate(AppProfile::Named("Adobe Reader"));
+  const AppFootprint b = factory_.Generate(AppProfile::Named("Android Browser"));
+  const double zygote_only = IntersectionFraction(a, b, true);
+  const double all_shared = IntersectionFraction(a, b, false);
+  EXPECT_GT(zygote_only, 0.2);
+  EXPECT_LT(zygote_only, 0.75);
+  EXPECT_GE(all_shared, zygote_only);  // superset of page universe
+}
+
+TEST_F(WorkloadTest, SelfIntersectionIsTotalSharedFraction) {
+  const AppFootprint a = factory_.Generate(AppProfile::Named("Email"));
+  const CategoryBreakdown b = AnalyzeCategories(a);
+  EXPECT_NEAR(IntersectionFraction(a, a, false), b.SharedCodePageFraction(),
+              1e-9);
+}
+
+TEST_F(WorkloadTest, SparsityMatchesFigure4Shape) {
+  // Figure 4: for ~60% of occupied 64 KB chunks, more than 9 of the 16
+  // 4 KB pages are untouched.
+  const AppFootprint fp = factory_.Generate(AppProfile::Named("Adobe Reader"));
+  const SparsityResult sparsity = AnalyzeSparsity(fp);
+  ASSERT_FALSE(sparsity.untouched_per_chunk.empty());
+  uint32_t over9 = 0;
+  for (uint32_t untouched : sparsity.untouched_per_chunk) {
+    EXPECT_LE(untouched, 15u);  // an occupied chunk has >= 1 touched page
+    if (untouched > 9) {
+      over9++;
+    }
+  }
+  const double fraction =
+      static_cast<double>(over9) /
+      static_cast<double>(sparsity.untouched_per_chunk.size());
+  EXPECT_GT(fraction, 0.35);
+  // 64 KB paging wastes substantial memory relative to 4 KB paging.
+  EXPECT_GT(sparsity.MemoryBytes64k(), 1.5 * sparsity.MemoryBytes4k());
+}
+
+TEST_F(WorkloadTest, UnionSparsityDenserThanSingleApp) {
+  std::vector<AppFootprint> fps;
+  for (const AppProfile& app : AppProfile::PaperBenchmarks()) {
+    fps.push_back(factory_.Generate(app));
+  }
+  const SparsityResult single = AnalyzeSparsity(fps[0]);
+  const SparsityResult all = AnalyzeSparsityUnion(fps);
+  EXPECT_GT(all.touched_pages_4k, single.touched_pages_4k);
+  // Mean untouched per chunk shrinks as footprints union.
+  double single_mean = 0;
+  double union_mean = 0;
+  for (uint32_t u : single.untouched_per_chunk) single_mean += u;
+  for (uint32_t u : all.untouched_per_chunk) union_mean += u;
+  single_mean /= static_cast<double>(single.untouched_per_chunk.size());
+  union_mean /= static_cast<double>(all.untouched_per_chunk.size());
+  EXPECT_LT(union_mean, single_mean);
+}
+
+TEST_F(WorkloadTest, ZygoteFootprintTargetsBootPages) {
+  const AppFootprint boot = factory_.GenerateZygoteFootprint(5900);
+  EXPECT_GT(boot.pages.size(), 4500u);
+  EXPECT_LT(boot.pages.size(), 7500u);
+  for (const TouchedPage& page : boot.pages) {
+    EXPECT_TRUE(IsZygotePreloadedCategory(page.category));
+  }
+}
+
+TEST_F(WorkloadTest, AppFootprintsOverlapZygoteBootSet) {
+  // Table 3's premise: a large slice of each app's zygote-preloaded pages
+  // was already populated by the zygote at boot.
+  const AppFootprint boot = factory_.GenerateZygoteFootprint(5900);
+  std::set<uint64_t> boot_keys;
+  for (uint64_t key : boot.SharedPageKeys(true)) {
+    boot_keys.insert(key);
+  }
+  const AppFootprint app = factory_.Generate(AppProfile::Named("MX Player"));
+  uint32_t inherited = 0;
+  for (uint64_t key : app.SharedPageKeys(true)) {
+    if (boot_keys.count(key) > 0) {
+      inherited++;
+    }
+  }
+  // Paper: 640-2,300 inherited instruction PTEs per app (cold start).
+  EXPECT_GT(inherited, 400u);
+  EXPECT_LT(inherited, 4000u);
+}
+
+TEST_F(WorkloadTest, DataWritesTargetValidDataPages) {
+  const AppFootprint fp = factory_.Generate(AppProfile::Named("WPS"));
+  EXPECT_FALSE(fp.data_writes.empty());
+  for (const DataWrite& write : fp.data_writes) {
+    EXPECT_LT(write.page_index, catalog_.Get(write.lib).data_pages);
+  }
+}
+
+TEST_F(WorkloadTest, PerAppLibrariesAreRegisteredPerApp) {
+  const size_t before = catalog_.size();
+  const AppFootprint fp = factory_.Generate(AppProfile::Named("Email"));
+  EXPECT_GT(catalog_.size(), before);  // private libs + own code registered
+  EXPECT_GE(fp.private_code_lib, 0);
+  EXPECT_EQ(catalog_.Get(fp.private_code_lib).category,
+            CodeCategory::kPrivateCode);
+}
+
+TEST_F(WorkloadTest, EveryPaperBenchmarkIsNamedRoundTrip) {
+  for (const AppProfile& app : AppProfile::PaperBenchmarks()) {
+    const AppProfile named = AppProfile::Named(app.name);
+    EXPECT_EQ(named.seed, app.seed);
+    EXPECT_EQ(named.zygote_so_pages, app.zygote_so_pages);
+    EXPECT_EQ(named.kernel_fraction, app.kernel_fraction);
+  }
+}
+
+TEST_F(WorkloadTest, ZygoteFootprintIsDeterministicPerSeed) {
+  const AppFootprint a = factory_.GenerateZygoteFootprint(3000, 42);
+  LibraryCatalog catalog2 = LibraryCatalog::AndroidDefault();
+  WorkloadFactory factory2(&catalog2);
+  const AppFootprint b = factory2.GenerateZygoteFootprint(3000, 42);
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); i += 37) {
+    EXPECT_EQ(a.pages[i].lib, b.pages[i].lib);
+    EXPECT_EQ(a.pages[i].page_index, b.pages[i].page_index);
+  }
+  // A different seed selects a different (but same-sized-ish) set.
+  const AppFootprint c = factory_.GenerateZygoteFootprint(3000, 43);
+  uint32_t diffs = 0;
+  for (size_t i = 0; i < std::min(a.pages.size(), c.pages.size()); ++i) {
+    if (a.pages[i].page_index != c.pages[i].page_index) {
+      diffs++;
+    }
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+TEST_F(WorkloadTest, PagesAreWithinLibraryBounds) {
+  for (const AppProfile& app : AppProfile::PaperBenchmarks()) {
+    const AppFootprint fp = factory_.Generate(app);
+    for (const TouchedPage& page : fp.pages) {
+      EXPECT_LT(page.page_index, catalog_.Get(page.lib).code_pages)
+          << app.name << " " << catalog_.Get(page.lib).name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sat
