@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_largepage.dir/bench_largepage.cc.o"
+  "CMakeFiles/bench_largepage.dir/bench_largepage.cc.o.d"
+  "bench_largepage"
+  "bench_largepage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_largepage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pagefault.dir/bench_pagefault.cc.o"
+  "CMakeFiles/bench_pagefault.dir/bench_pagefault.cc.o.d"
+  "bench_pagefault"
+  "bench_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reclaim.dir/bench_reclaim.cc.o"
+  "CMakeFiles/bench_reclaim.dir/bench_reclaim.cc.o.d"
+  "bench_reclaim"
+  "bench_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binder_ipc.dir/binder_ipc.cpp.o"
+  "CMakeFiles/binder_ipc.dir/binder_ipc.cpp.o.d"
+  "binder_ipc"
+  "binder_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binder_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

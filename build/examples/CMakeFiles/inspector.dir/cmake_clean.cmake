@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspector.dir/inspector.cpp.o"
+  "CMakeFiles/inspector.dir/inspector.cpp.o.d"
+  "inspector"
+  "inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launch_storm.dir/launch_storm.cpp.o"
+  "CMakeFiles/launch_storm.dir/launch_storm.cpp.o.d"
+  "launch_storm"
+  "launch_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launch_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

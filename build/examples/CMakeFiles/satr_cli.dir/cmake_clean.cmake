@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satr_cli.dir/satr_cli.cpp.o"
+  "CMakeFiles/satr_cli.dir/satr_cli.cpp.o.d"
+  "satr_cli"
+  "satr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("arch")
+subdirs("stats")
+subdirs("mem")
+subdirs("pt")
+subdirs("vm")
+subdirs("tlb")
+subdirs("cache")
+subdirs("hw")
+subdirs("proc")
+subdirs("loader")
+subdirs("android")
+subdirs("workload")
+subdirs("core")

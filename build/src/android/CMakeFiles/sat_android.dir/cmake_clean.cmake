@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_android.dir/app_runner.cc.o"
+  "CMakeFiles/sat_android.dir/app_runner.cc.o.d"
+  "CMakeFiles/sat_android.dir/binder.cc.o"
+  "CMakeFiles/sat_android.dir/binder.cc.o.d"
+  "CMakeFiles/sat_android.dir/launch.cc.o"
+  "CMakeFiles/sat_android.dir/launch.cc.o.d"
+  "CMakeFiles/sat_android.dir/profiler.cc.o"
+  "CMakeFiles/sat_android.dir/profiler.cc.o.d"
+  "CMakeFiles/sat_android.dir/zygote.cc.o"
+  "CMakeFiles/sat_android.dir/zygote.cc.o.d"
+  "libsat_android.a"
+  "libsat_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

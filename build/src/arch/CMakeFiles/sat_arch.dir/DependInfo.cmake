@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/domain.cc" "src/arch/CMakeFiles/sat_arch.dir/domain.cc.o" "gcc" "src/arch/CMakeFiles/sat_arch.dir/domain.cc.o.d"
+  "/root/repo/src/arch/fault.cc" "src/arch/CMakeFiles/sat_arch.dir/fault.cc.o" "gcc" "src/arch/CMakeFiles/sat_arch.dir/fault.cc.o.d"
+  "/root/repo/src/arch/pte.cc" "src/arch/CMakeFiles/sat_arch.dir/pte.cc.o" "gcc" "src/arch/CMakeFiles/sat_arch.dir/pte.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_arch.dir/domain.cc.o"
+  "CMakeFiles/sat_arch.dir/domain.cc.o.d"
+  "CMakeFiles/sat_arch.dir/fault.cc.o"
+  "CMakeFiles/sat_arch.dir/fault.cc.o.d"
+  "CMakeFiles/sat_arch.dir/pte.cc.o"
+  "CMakeFiles/sat_arch.dir/pte.cc.o.d"
+  "libsat_arch.a"
+  "libsat_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_cache.dir/cache.cc.o"
+  "CMakeFiles/sat_cache.dir/cache.cc.o.d"
+  "libsat_cache.a"
+  "libsat_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_core.dir/sat.cc.o"
+  "CMakeFiles/sat_core.dir/sat.cc.o.d"
+  "libsat_core.a"
+  "libsat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

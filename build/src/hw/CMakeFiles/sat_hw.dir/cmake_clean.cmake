@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_hw.dir/core.cc.o"
+  "CMakeFiles/sat_hw.dir/core.cc.o.d"
+  "CMakeFiles/sat_hw.dir/machine.cc.o"
+  "CMakeFiles/sat_hw.dir/machine.cc.o.d"
+  "libsat_hw.a"
+  "libsat_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

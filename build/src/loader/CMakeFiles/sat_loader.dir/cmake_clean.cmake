@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_loader.dir/library.cc.o"
+  "CMakeFiles/sat_loader.dir/library.cc.o.d"
+  "CMakeFiles/sat_loader.dir/loader.cc.o"
+  "CMakeFiles/sat_loader.dir/loader.cc.o.d"
+  "libsat_loader.a"
+  "libsat_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsat_loader.a"
+)

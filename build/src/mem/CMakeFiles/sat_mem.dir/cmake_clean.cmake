@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_mem.dir/page_cache.cc.o"
+  "CMakeFiles/sat_mem.dir/page_cache.cc.o.d"
+  "CMakeFiles/sat_mem.dir/phys_memory.cc.o"
+  "CMakeFiles/sat_mem.dir/phys_memory.cc.o.d"
+  "libsat_mem.a"
+  "libsat_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

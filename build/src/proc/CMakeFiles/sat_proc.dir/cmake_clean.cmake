@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_proc.dir/kernel.cc.o"
+  "CMakeFiles/sat_proc.dir/kernel.cc.o.d"
+  "CMakeFiles/sat_proc.dir/scheduler.cc.o"
+  "CMakeFiles/sat_proc.dir/scheduler.cc.o.d"
+  "libsat_proc.a"
+  "libsat_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/page_table.cc" "src/pt/CMakeFiles/sat_pt.dir/page_table.cc.o" "gcc" "src/pt/CMakeFiles/sat_pt.dir/page_table.cc.o.d"
+  "/root/repo/src/pt/ptp.cc" "src/pt/CMakeFiles/sat_pt.dir/ptp.cc.o" "gcc" "src/pt/CMakeFiles/sat_pt.dir/ptp.cc.o.d"
+  "/root/repo/src/pt/rmap.cc" "src/pt/CMakeFiles/sat_pt.dir/rmap.cc.o" "gcc" "src/pt/CMakeFiles/sat_pt.dir/rmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/sat_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sat_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

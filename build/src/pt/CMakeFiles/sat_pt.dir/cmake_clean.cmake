@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_pt.dir/page_table.cc.o"
+  "CMakeFiles/sat_pt.dir/page_table.cc.o.d"
+  "CMakeFiles/sat_pt.dir/ptp.cc.o"
+  "CMakeFiles/sat_pt.dir/ptp.cc.o.d"
+  "CMakeFiles/sat_pt.dir/rmap.cc.o"
+  "CMakeFiles/sat_pt.dir/rmap.cc.o.d"
+  "libsat_pt.a"
+  "libsat_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cost_model.cc" "src/stats/CMakeFiles/sat_stats.dir/cost_model.cc.o" "gcc" "src/stats/CMakeFiles/sat_stats.dir/cost_model.cc.o.d"
+  "/root/repo/src/stats/counters.cc" "src/stats/CMakeFiles/sat_stats.dir/counters.cc.o" "gcc" "src/stats/CMakeFiles/sat_stats.dir/counters.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/sat_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/sat_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_stats.dir/cost_model.cc.o"
+  "CMakeFiles/sat_stats.dir/cost_model.cc.o.d"
+  "CMakeFiles/sat_stats.dir/counters.cc.o"
+  "CMakeFiles/sat_stats.dir/counters.cc.o.d"
+  "CMakeFiles/sat_stats.dir/summary.cc.o"
+  "CMakeFiles/sat_stats.dir/summary.cc.o.d"
+  "libsat_stats.a"
+  "libsat_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_tlb.dir/tlb.cc.o"
+  "CMakeFiles/sat_tlb.dir/tlb.cc.o.d"
+  "libsat_tlb.a"
+  "libsat_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/mm.cc" "src/vm/CMakeFiles/sat_vm.dir/mm.cc.o" "gcc" "src/vm/CMakeFiles/sat_vm.dir/mm.cc.o.d"
+  "/root/repo/src/vm/reclaim.cc" "src/vm/CMakeFiles/sat_vm.dir/reclaim.cc.o" "gcc" "src/vm/CMakeFiles/sat_vm.dir/reclaim.cc.o.d"
+  "/root/repo/src/vm/smaps.cc" "src/vm/CMakeFiles/sat_vm.dir/smaps.cc.o" "gcc" "src/vm/CMakeFiles/sat_vm.dir/smaps.cc.o.d"
+  "/root/repo/src/vm/vm_area.cc" "src/vm/CMakeFiles/sat_vm.dir/vm_area.cc.o" "gcc" "src/vm/CMakeFiles/sat_vm.dir/vm_area.cc.o.d"
+  "/root/repo/src/vm/vm_manager.cc" "src/vm/CMakeFiles/sat_vm.dir/vm_manager.cc.o" "gcc" "src/vm/CMakeFiles/sat_vm.dir/vm_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/sat_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/sat_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sat_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_vm.dir/mm.cc.o"
+  "CMakeFiles/sat_vm.dir/mm.cc.o.d"
+  "CMakeFiles/sat_vm.dir/reclaim.cc.o"
+  "CMakeFiles/sat_vm.dir/reclaim.cc.o.d"
+  "CMakeFiles/sat_vm.dir/smaps.cc.o"
+  "CMakeFiles/sat_vm.dir/smaps.cc.o.d"
+  "CMakeFiles/sat_vm.dir/vm_area.cc.o"
+  "CMakeFiles/sat_vm.dir/vm_area.cc.o.d"
+  "CMakeFiles/sat_vm.dir/vm_manager.cc.o"
+  "CMakeFiles/sat_vm.dir/vm_manager.cc.o.d"
+  "libsat_vm.a"
+  "libsat_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_workload.dir/analysis.cc.o"
+  "CMakeFiles/sat_workload.dir/analysis.cc.o.d"
+  "CMakeFiles/sat_workload.dir/app_profile.cc.o"
+  "CMakeFiles/sat_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/sat_workload.dir/footprint.cc.o"
+  "CMakeFiles/sat_workload.dir/footprint.cc.o.d"
+  "libsat_workload.a"
+  "libsat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

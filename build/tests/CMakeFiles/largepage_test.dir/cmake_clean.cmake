@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/largepage_test.dir/largepage_test.cc.o"
+  "CMakeFiles/largepage_test.dir/largepage_test.cc.o.d"
+  "largepage_test"
+  "largepage_test.pdb"
+  "largepage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/largepage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/mem_test.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/sat_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/sat_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/sat_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sat_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/sat_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/sat_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sat_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
