@@ -55,7 +55,28 @@ int Run() {
   return ok ? 0 : 1;
 }
 
+// --trace-out: replay a few launches under the full mechanism with tracing
+// on and export the timeline (fork, faults, unshares, shootdowns, launch
+// phases). A separate run so the figure's numbers stay untouched.
+bool WriteLaunchTrace(const std::string& path) {
+  SystemConfig config = SystemConfig::SharedPtpAndTlb2Mb();
+  config.trace.enabled = true;
+  System system(config);
+  LaunchSimulator simulator(&system.android(), LaunchParams{});
+  for (uint32_t round = 0; round < 3; ++round) {
+    simulator.LaunchOnce(round);
+  }
+  return DumpTrace(system, path);
+}
+
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const std::string trace_path = sat::TraceOutPath(argc, argv);
+  const int status = sat::Run();
+  if (!trace_path.empty() && !sat::WriteLaunchTrace(trace_path)) {
+    return 1;
+  }
+  return status;
+}

@@ -66,7 +66,28 @@ int Run() {
   return ok ? 0 : 1;
 }
 
+// --trace-out: the table itself is pure workload characterization (no
+// kernel runs), so the traced slice is one app replay on a booted system
+// under the full sharing mechanism.
+bool WriteReplayTrace(const std::string& path) {
+  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  config.trace.enabled = true;
+  System system(config);
+  AppRunner runner(&system.android());
+  const AppFootprint fp =
+      system.workload().Generate(AppProfile::Named("Email"));
+  runner.Run(fp, /*exit_after=*/true);
+  return DumpTrace(system, path);
+}
+
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const std::string trace_path = sat::TraceOutPath(argc, argv);
+  const int status = sat::Run();
+  if (!trace_path.empty() && !sat::WriteReplayTrace(trace_path)) {
+    return 1;
+  }
+  return status;
+}

@@ -70,6 +70,35 @@ inline double MeanPtpsAllocated(const std::vector<AppRunStats>& runs) {
   return total / static_cast<double>(runs.size());
 }
 
+// Parses `--trace-out=<path>` from argv. Returns the path, or "" when the
+// flag is absent. When present, the bench re-runs a representative slice
+// of its workload with tracing enabled and exports the event timeline —
+// the benchmark's normal (tracing-off) output and cycle totals are never
+// affected.
+inline std::string TraceOutPath(int argc, char** argv) {
+  const std::string prefix = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return {};
+}
+
+// Exports `system`'s recorded trace as Chrome trace_event JSON (loadable
+// in about:tracing / Perfetto) and prints the latency-histogram summary.
+inline bool DumpTrace(System& system, const std::string& path) {
+  if (!system.tracer().WriteChromeTraceFile(path)) {
+    std::cerr << "error: could not write trace to " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote Chrome trace (" << system.tracer().total_recorded()
+            << " events) to " << path << "\n"
+            << system.tracer().SummaryText();
+  return true;
+}
+
 }  // namespace sat
 
 #endif  // BENCH_COMMON_H_

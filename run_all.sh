@@ -1,7 +1,18 @@
 #!/bin/sh
 # Build, test, and regenerate every table/figure. See EXPERIMENTS.md for
 # how to read the outputs.
+#
+#   ./run_all.sh          normal build + tests + benches
+#   ./run_all.sh --asan   ASan+UBSan build (separate build dir) + tests only
 set -e
+
+if [ "$1" = "--asan" ]; then
+  cmake -B build-asan -G Ninja -DSAT_SANITIZE=ON
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+  exit 0
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure

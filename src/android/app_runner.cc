@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <random>
 #include <vector>
+
+#include "src/trace/trace.h"
 
 namespace sat {
 
@@ -51,9 +54,24 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
 
   const KernelCounters before = kernel.counters();
 
-  Task* app = system_->ForkApp(fp.app_name);
+  Tracer* tracer = &kernel.tracer();
+  TraceSpan run_span(tracer, TraceEventType::kAppPhase);
+  run_span.set_args(static_cast<uint64_t>(AppPhase::kRun));
+
+  Task* app;
+  {
+    TraceSpan fork_span(tracer, TraceEventType::kAppPhase);
+    fork_span.set_args(static_cast<uint64_t>(AppPhase::kForkApp));
+    app = system_->ForkApp(fp.app_name);
+    fork_span.set_pid(app->pid);
+  }
+  run_span.set_pid(app->pid);
   kernel.SetCurrent(*app);
   stats.inherited_ptes = system_->CountInheritedPtes(*app, fp);
+
+  std::optional<TraceSpan> map_span;
+  map_span.emplace(tracer, TraceEventType::kAppPhase, app->pid);
+  map_span->set_args(static_cast<uint64_t>(AppPhase::kMap));
 
   std::mt19937_64 rng(std::hash<std::string>{}(fp.app_name) ^ 0xABCDEF123456ull);
 
@@ -169,11 +187,16 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
     events.push_back(Event{va, AccessType::kRead});
   }
   std::shuffle(events.begin(), events.end(), rng);
+  map_span.reset();
 
-  for (const Event& event : events) {
-    const bool ok = kernel.TouchPage(*app, event.va, event.access);
-    assert(ok && "replay touched an unmapped address");
-    (void)ok;
+  {
+    TraceSpan replay_span(tracer, TraceEventType::kAppPhase, app->pid);
+    replay_span.set_args(static_cast<uint64_t>(AppPhase::kReplay));
+    for (const Event& event : events) {
+      const bool ok = kernel.TouchPage(*app, event.va, event.access);
+      assert(ok && "replay touched an unmapped address");
+      (void)ok;
+    }
   }
 
   const KernelCounters delta = kernel.counters() - before;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <random>
+
+#include "src/trace/trace.h"
 
 namespace sat {
 
@@ -61,7 +64,12 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   // child first executes, matching the paper's measurement boundaries.
   const KernelCounters kernel_before = kernel.counters();
 
+  Tracer* tracer = &kernel.tracer();
+  TraceSpan launch_span(tracer, TraceEventType::kAppPhase);
+  launch_span.set_args(static_cast<uint64_t>(AppPhase::kLaunch), round);
+
   Task* app = system_->ForkApp("helloworld");
+  launch_span.set_pid(app->pid);
   kernel.ScheduleTo(*app);
 
   // The app's own code/resources and heap.
@@ -86,6 +94,10 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   // Window start.
   // -------------------------------------------------------------------
   const CoreCounters core_before = core.counters();
+
+  std::optional<TraceSpan> window_span;
+  window_span.emplace(tracer, TraceEventType::kAppPhase, app->pid);
+  window_span->set_args(static_cast<uint64_t>(AppPhase::kWindow), round);
 
   std::mt19937_64 rng(params_.seed * 1000003 + round);
 
@@ -157,6 +169,7 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   // -------------------------------------------------------------------
   // Window end.
   // -------------------------------------------------------------------
+  window_span.reset();
   const CoreCounters core_delta = core.counters() - core_before;
   const KernelCounters kernel_delta = kernel.counters() - kernel_before;
 

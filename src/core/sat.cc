@@ -54,6 +54,7 @@ ZygoteParams SystemConfig::ToZygoteParams() const {
   params.kernel.core.asids_enabled = asids_enabled;
   params.kernel.core.isolation = isolation;
   params.kernel.num_cores = num_cores;
+  params.kernel.trace = trace;
   params.mapping_policy = two_mb_alignment ? MappingPolicy::kTwoMbAligned
                                            : MappingPolicy::kOriginal;
   params.large_code_pages = large_pages_for_code;

@@ -73,6 +73,11 @@ struct SystemConfig {
   uint64_t phys_bytes = 512ull * 1024 * 1024;
   uint64_t seed = 42;
 
+  // Kernel event tracing (src/trace): off by default; when enabled the
+  // kernel records fork/fault/unshare/shootdown/... events without
+  // perturbing any cycle totals. Export via System::tracer().
+  TraceConfig trace;
+
   std::string Name() const;
 
   // -----------------------------------------------------------------
@@ -135,6 +140,7 @@ class System {
   Core& core() { return kernel().core(); }
   DynamicLoader& loader() { return zygote_system_->loader(); }
   WorkloadFactory& workload() { return zygote_system_->workload(); }
+  Tracer& tracer() { return kernel().tracer(); }
 
  private:
   SystemConfig config_;

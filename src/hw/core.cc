@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace sat {
 
 namespace {
@@ -234,10 +236,15 @@ bool Core::AccessMemory(VirtAddr va, AccessType access, bool is_fetch) {
         // entry matching FAR on this core, return, retry.
         kernel_counters_->domain_faults++;
         kernel_counters_->tlb_va_flushes++;
-        counters_.cycles += costs_->domain_fault;
-        micro_itlb_.FlushVa(va);
-        micro_dtlb_.FlushVa(va);
-        main_tlb_.FlushVa(va);
+        {
+          TraceSpan span(tracer_, TraceEventType::kDomainFault);
+          span.set_args(VirtPageNumber(va), entry.domain);
+          span.set_duration(costs_->domain_fault);
+          counters_.cycles += costs_->domain_fault;
+          micro_itlb_.FlushVa(va);
+          micro_dtlb_.FlushVa(va);
+          main_tlb_.FlushVa(va);
+        }
         continue;
       }
       case TlbResult::kPermissionFault: {

@@ -186,6 +186,13 @@ class Core {
 
   const CoreConfig& config() const { return config_; }
 
+  // Wires the tracer into the core (domain-fault events) and its main TLB
+  // (flush events).
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    main_tlb_.set_tracer(tracer);
+  }
+
  private:
   // One user access, with fault-retry. `is_fetch` selects the I side.
   bool AccessMemory(VirtAddr va, AccessType access, bool is_fetch);
@@ -210,6 +217,7 @@ class Core {
   // Per-path rotation cursor through the kernel text windows.
   std::array<uint32_t, 6> kernel_path_cursor_{};
   CoreCounters counters_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sat

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace sat {
 
 Machine::Machine(const CostModel* costs, KernelCounters* kernel_counters,
@@ -28,19 +30,28 @@ void Machine::Broadcast(CpuMask mask, uint32_t initiator, FlushFn&& flush) {
       // the acknowledgement.
       stats_.ipis++;
       cores_[initiator]->counters().cycles += costs_->tlb_shootdown_ipi;
+      Tracer::Emit(tracer_, TraceEventType::kTlbIpi, 0, i);
     }
   }
 }
 
 void Machine::ShootdownAsid(Asid asid, CpuMask mask, uint32_t initiator) {
+  // The span covers the remote flushes, so its duration captures the IPI
+  // cycles the initiator spends waiting.
+  TraceSpan span(tracer_, TraceEventType::kTlbShootdown);
+  span.set_args(asid, mask);
   Broadcast(mask, initiator, [asid](Core& core) { core.FlushTlbAsid(asid); });
 }
 
 void Machine::ShootdownVa(VirtAddr va, CpuMask mask, uint32_t initiator) {
+  TraceSpan span(tracer_, TraceEventType::kTlbShootdown);
+  span.set_args(VirtPageNumber(va), mask);
   Broadcast(mask, initiator, [va](Core& core) { core.FlushTlbVa(va); });
 }
 
 void Machine::ShootdownAll(CpuMask mask, uint32_t initiator) {
+  TraceSpan span(tracer_, TraceEventType::kTlbShootdown);
+  span.set_args(0, mask);
   Broadcast(mask, initiator, [](Core& core) { core.FlushTlbAll(); });
 }
 
@@ -50,6 +61,21 @@ CoreCounters Machine::TotalCounters() const {
     total += core->counters();
   }
   return total;
+}
+
+Cycles Machine::TotalCycles() const {
+  Cycles total = 0;
+  for (const auto& core : cores_) {
+    total += core->counters().cycles;
+  }
+  return total;
+}
+
+void Machine::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& core : cores_) {
+    core->set_tracer(tracer);
+  }
 }
 
 }  // namespace sat

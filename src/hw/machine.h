@@ -20,6 +20,8 @@
 
 namespace sat {
 
+class Tracer;
+
 // A set of cores, as a bitmask (the mm_cpumask analogue).
 using CpuMask = uint32_t;
 
@@ -58,6 +60,13 @@ class Machine {
   // Aggregated counters across all cores.
   CoreCounters TotalCounters() const;
 
+  // Total execution cycles across all cores — the trace clock.
+  Cycles TotalCycles() const;
+
+  // Wires the tracer into the machine and every core (shootdown, IPI,
+  // domain-fault, and TLB-flush events).
+  void set_tracer(Tracer* tracer);
+
  private:
   template <typename FlushFn>
   void Broadcast(CpuMask mask, uint32_t initiator, FlushFn&& flush);
@@ -66,6 +75,7 @@ class Machine {
   Cache l2_;
   std::vector<std::unique_ptr<Core>> cores_;
   ShootdownStats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sat

@@ -5,6 +5,7 @@
 namespace sat {
 
 Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
+  tracer_ = std::make_unique<Tracer>(params.trace);
   phys_ = std::make_unique<PhysicalMemory>(params.phys_bytes);
   page_cache_ = std::make_unique<PageCache>(phys_.get());
   ptp_allocator_ = std::make_unique<PtpAllocator>(phys_.get(), &counters_);
@@ -20,6 +21,12 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
       static_cast<FrameNumber>(phys_->total_frames()));
   machine_ = std::make_unique<Machine>(&costs_, &counters_, kernel_text_base,
                                        params.core, params.num_cores);
+  // Thread the tracer through every instrumented subsystem; its clock is
+  // the machine's summed execution cycles.
+  tracer_->set_clock([this] { return machine_->TotalCycles(); });
+  machine_->set_tracer(tracer_.get());
+  vm_->set_tracer(tracer_.get());
+  reclaimer_->set_tracer(tracer_.get());
   current_.resize(machine_->num_cores(), nullptr);
   for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
     machine_->core(i).set_abort_handler([this, i](const MemoryAbort& abort) {
@@ -86,6 +93,7 @@ Task* Kernel::CreateTask(const std::string& name) {
   task->asid = AllocateAsid();
   task->mm = std::make_unique<MmStruct>(ptp_allocator_.get(), phys_.get(),
                                         &counters_, kDomainUser, &rmap_);
+  task->mm->page_table().set_tracer(tracer_.get());
   Task* raw = task.get();
   tasks_.push_back(std::move(task));
   return raw;
@@ -93,6 +101,7 @@ Task* Kernel::CreateTask(const std::string& name) {
 
 Task* Kernel::Fork(Task& parent, const std::string& name) {
   assert(parent.mm != nullptr);
+  TraceSpan span(tracer_.get(), TraceEventType::kFork, parent.pid);
   Task* child = CreateTask(name);
 
   // Section 3.2.2: children of the zygote get the zygote-child flag and
@@ -109,10 +118,13 @@ Task* Kernel::Fork(Task& parent, const std::string& name) {
   machine_->core(parent.last_core)
       .RunKernelPath(KernelPath::kFork, last_fork_result_.cycles,
                      /*text_lines=*/180);
+  span.set_args(child->pid, last_fork_result_.ptes_copied);
+  span.set_duration(last_fork_result_.cycles);
   return child;
 }
 
 void Kernel::Exec(Task& task, const std::string& name, bool is_zygote) {
+  Tracer::Emit(tracer_.get(), TraceEventType::kExec, task.pid, task.pid);
   vm_->ExitMm(*task.mm);
   FlushFnFor(task)();
   task.name = name;
@@ -129,6 +141,7 @@ void Kernel::Exec(Task& task, const std::string& name, bool is_zygote) {
 
 void Kernel::Exit(Task& task) {
   assert(task.alive);
+  Tracer::Emit(tracer_.get(), TraceEventType::kExit, task.pid, task.pid);
   vm_->ExitMm(*task.mm);
   FlushFnFor(task)();
   task.alive = false;
@@ -227,6 +240,8 @@ void Kernel::ScheduleTo(Task& task, uint32_t core_id) {
   current_[core_id] = &task;
   task.cpu_mask |= 1u << core_id;
   task.last_core = core_id;
+  Tracer::Emit(tracer_.get(), TraceEventType::kContextSwitch, task.pid,
+               task.asid, core_id);
   machine_->core(core_id).SwitchContext(ContextFor(task));
 }
 

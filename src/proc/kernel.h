@@ -27,6 +27,7 @@
 #include "src/stats/cost_model.h"
 #include "src/stats/counters.h"
 #include "src/proc/task.h"
+#include "src/trace/trace.h"
 #include "src/vm/reclaim.h"
 #include "src/vm/vm_manager.h"
 
@@ -41,6 +42,8 @@ struct KernelParams {
   // over each address space's cpumask when > 1.
   uint32_t num_cores = 1;
   CostModel costs = CostModel::Default();
+  // Event tracing (off by default; never charges simulated cycles).
+  TraceConfig trace;
 };
 
 class Kernel {
@@ -120,6 +123,10 @@ class Kernel {
   const CostModel& costs() const { return costs_; }
   const VmConfig& vm_config() const { return vm_->config(); }
 
+  // The event tracer, always constructed (a disabled tracer records
+  // nothing); its clock is the machine's total cycle count.
+  Tracer& tracer() { return *tracer_; }
+
   const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
 
  private:
@@ -133,6 +140,7 @@ class Kernel {
 
   CostModel costs_;
   KernelCounters counters_;
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<PhysicalMemory> phys_;
   std::unique_ptr<PageCache> page_cache_;
   std::unique_ptr<PtpAllocator> ptp_allocator_;

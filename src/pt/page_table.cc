@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace sat {
 
 PageTable::~PageTable() { ReleaseAll(); }
@@ -182,6 +184,7 @@ uint32_t PageTable::ShareSlotInto(PageTable& child, uint32_t slot,
   alloc_->AddSharer(entry.ptp);
   child.l1_[slot] = L1Entry{entry.ptp, entry.domain, /*need_copy=*/true};
   counters_->ptps_shared++;
+  Tracer::Emit(tracer_, TraceEventType::kShareSlot, 0, slot, protected_count);
   return protected_count;
 }
 
@@ -194,6 +197,10 @@ uint32_t PageTable::UnshareSlot(uint32_t slot, bool copy_referenced_only,
     return 0;  // already private
   }
   counters_->ptps_unshared++;
+  // The span brackets the flush + copy work; `b` carries the copy count
+  // (0 on the sole-sharer fast path, which only drops the COW mark).
+  TraceSpan span(tracer_, TraceEventType::kUnshareSlot);
+  span.set_args(slot, 0);
   if (alloc_->SharerCount(entry.ptp) == 1) {
     // Sole remaining user: the PTP is ours again; just drop the COW mark.
     entry.need_copy = false;
@@ -237,6 +244,7 @@ uint32_t PageTable::UnshareSlot(uint32_t slot, bool copy_referenced_only,
   (void)destroyed;
 
   entry = L1Entry{fresh_id, domain, /*need_copy=*/false};
+  span.set_args(slot, copied);
   return copied;
 }
 

@@ -30,6 +30,8 @@
 
 namespace sat {
 
+class Tracer;
+
 // Location of one PTE: which PTP and which index within it.
 struct PteRef {
   PageTablePage* ptp = nullptr;
@@ -152,6 +154,9 @@ class PageTable {
 
   PtpAllocator& allocator() { return *alloc_; }
 
+  // Share/unshare operations report trace events when a tracer is set.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   // Reference + rmap bookkeeping for the frame a PTE maps. Every valid
   // PTE holds one frame reference and (for reclaimable frames) one rmap
@@ -163,6 +168,7 @@ class PageTable {
   PhysicalMemory* phys_;
   KernelCounters* counters_;
   ReverseMap* rmap_;
+  Tracer* tracer_ = nullptr;
   std::array<L1Entry, kUserPtpSlots> l1_{};
 };
 

@@ -4,112 +4,57 @@
 
 namespace sat {
 
+// All four operations per struct expand the same field table from the
+// header; see SAT_KERNEL_COUNTER_FIELDS / SAT_CORE_COUNTER_FIELDS.
+
+#define SAT_FIELD_SUB(field) out.field -= rhs.field;
+#define SAT_FIELD_ADD(field) field += rhs.field;
+#define SAT_FIELD_PRINT(field)        \
+  os << separator << #field << "=" << field; \
+  separator = " ";
+
 KernelCounters KernelCounters::operator-(const KernelCounters& rhs) const {
   KernelCounters out = *this;
-  out.faults_file_backed -= rhs.faults_file_backed;
-  out.faults_anonymous -= rhs.faults_anonymous;
-  out.faults_cow -= rhs.faults_cow;
-  out.faults_hard -= rhs.faults_hard;
-  out.domain_faults -= rhs.domain_faults;
-  out.ptps_allocated -= rhs.ptps_allocated;
-  out.ptps_shared -= rhs.ptps_shared;
-  out.ptps_unshared -= rhs.ptps_unshared;
-  out.ptes_copied -= rhs.ptes_copied;
-  out.ptes_write_protected -= rhs.ptes_write_protected;
-  out.ptes_faulted_around -= rhs.ptes_faulted_around;
-  out.pages_reclaimed -= rhs.pages_reclaimed;
-  out.ptes_cleared_by_reclaim -= rhs.ptes_cleared_by_reclaim;
-  out.forks -= rhs.forks;
-  out.tlb_full_flushes -= rhs.tlb_full_flushes;
-  out.tlb_asid_flushes -= rhs.tlb_asid_flushes;
-  out.tlb_va_flushes -= rhs.tlb_va_flushes;
+  SAT_KERNEL_COUNTER_FIELDS(SAT_FIELD_SUB)
   return out;
 }
 
 KernelCounters& KernelCounters::operator+=(const KernelCounters& rhs) {
-  faults_file_backed += rhs.faults_file_backed;
-  faults_anonymous += rhs.faults_anonymous;
-  faults_cow += rhs.faults_cow;
-  faults_hard += rhs.faults_hard;
-  domain_faults += rhs.domain_faults;
-  ptps_allocated += rhs.ptps_allocated;
-  ptps_shared += rhs.ptps_shared;
-  ptps_unshared += rhs.ptps_unshared;
-  ptes_copied += rhs.ptes_copied;
-  ptes_write_protected += rhs.ptes_write_protected;
-  ptes_faulted_around += rhs.ptes_faulted_around;
-  pages_reclaimed += rhs.pages_reclaimed;
-  ptes_cleared_by_reclaim += rhs.ptes_cleared_by_reclaim;
-  forks += rhs.forks;
-  tlb_full_flushes += rhs.tlb_full_flushes;
-  tlb_asid_flushes += rhs.tlb_asid_flushes;
-  tlb_va_flushes += rhs.tlb_va_flushes;
+  SAT_KERNEL_COUNTER_FIELDS(SAT_FIELD_ADD)
   return *this;
 }
 
 std::string KernelCounters::ToString() const {
   std::ostringstream os;
-  os << "KernelCounters{faults: file=" << faults_file_backed
-     << " anon=" << faults_anonymous << " cow=" << faults_cow
-     << " hard=" << faults_hard << " domain=" << domain_faults
-     << "; ptps: alloc=" << ptps_allocated << " shared=" << ptps_shared
-     << " unshared=" << ptps_unshared << "; ptes: copied=" << ptes_copied
-     << " wrprot=" << ptes_write_protected << "; forks=" << forks << "}";
+  const char* separator = "";
+  os << "KernelCounters{";
+  SAT_KERNEL_COUNTER_FIELDS(SAT_FIELD_PRINT)
+  os << "}";
   return os.str();
 }
 
 CoreCounters CoreCounters::operator-(const CoreCounters& rhs) const {
   CoreCounters out = *this;
-  out.cycles -= rhs.cycles;
-  out.icache_stall_cycles -= rhs.icache_stall_cycles;
-  out.dcache_stall_cycles -= rhs.dcache_stall_cycles;
-  out.itlb_stall_cycles -= rhs.itlb_stall_cycles;
-  out.dtlb_stall_cycles -= rhs.dtlb_stall_cycles;
-  out.inst_fetch_lines -= rhs.inst_fetch_lines;
-  out.data_accesses -= rhs.data_accesses;
-  out.itlb_main_misses -= rhs.itlb_main_misses;
-  out.dtlb_main_misses -= rhs.dtlb_main_misses;
-  out.micro_tlb_misses -= rhs.micro_tlb_misses;
-  out.l1i_misses -= rhs.l1i_misses;
-  out.l1d_misses -= rhs.l1d_misses;
-  out.l2_misses -= rhs.l2_misses;
-  out.user_inst_lines -= rhs.user_inst_lines;
-  out.kernel_inst_lines -= rhs.kernel_inst_lines;
-  out.context_switches -= rhs.context_switches;
-  out.unsound_global_hits -= rhs.unsound_global_hits;
+  SAT_CORE_COUNTER_FIELDS(SAT_FIELD_SUB)
   return out;
 }
 
 CoreCounters& CoreCounters::operator+=(const CoreCounters& rhs) {
-  cycles += rhs.cycles;
-  icache_stall_cycles += rhs.icache_stall_cycles;
-  dcache_stall_cycles += rhs.dcache_stall_cycles;
-  itlb_stall_cycles += rhs.itlb_stall_cycles;
-  dtlb_stall_cycles += rhs.dtlb_stall_cycles;
-  inst_fetch_lines += rhs.inst_fetch_lines;
-  data_accesses += rhs.data_accesses;
-  itlb_main_misses += rhs.itlb_main_misses;
-  dtlb_main_misses += rhs.dtlb_main_misses;
-  micro_tlb_misses += rhs.micro_tlb_misses;
-  l1i_misses += rhs.l1i_misses;
-  l1d_misses += rhs.l1d_misses;
-  l2_misses += rhs.l2_misses;
-  user_inst_lines += rhs.user_inst_lines;
-  kernel_inst_lines += rhs.kernel_inst_lines;
-  context_switches += rhs.context_switches;
-  unsound_global_hits += rhs.unsound_global_hits;
+  SAT_CORE_COUNTER_FIELDS(SAT_FIELD_ADD)
   return *this;
 }
 
 std::string CoreCounters::ToString() const {
   std::ostringstream os;
-  os << "CoreCounters{cycles=" << cycles << ", stalls: i$=" << icache_stall_cycles
-     << " d$=" << dcache_stall_cycles << " itlb=" << itlb_stall_cycles
-     << " dtlb=" << dtlb_stall_cycles << "; itlb_miss=" << itlb_main_misses
-     << " dtlb_miss=" << dtlb_main_misses << " l1i_miss=" << l1i_misses
-     << " l1d_miss=" << l1d_misses << " l2_miss=" << l2_misses
-     << "; switches=" << context_switches << "}";
+  const char* separator = "";
+  os << "CoreCounters{";
+  SAT_CORE_COUNTER_FIELDS(SAT_FIELD_PRINT)
+  os << "}";
   return os.str();
 }
+
+#undef SAT_FIELD_SUB
+#undef SAT_FIELD_ADD
+#undef SAT_FIELD_PRINT
 
 }  // namespace sat

@@ -16,6 +16,48 @@
 
 namespace sat {
 
+// X-macro field tables. ToString, operator-, operator+= and the round-trip
+// tests all expand the same list, so the three can never drift from the
+// struct again (a static_assert below pins the list length to the struct
+// size). Adding a counter means adding the field *and* one X(...) line.
+#define SAT_KERNEL_COUNTER_FIELDS(X) \
+  X(faults_file_backed)              \
+  X(faults_anonymous)                \
+  X(faults_cow)                      \
+  X(faults_hard)                     \
+  X(domain_faults)                   \
+  X(ptps_allocated)                  \
+  X(ptps_shared)                     \
+  X(ptps_unshared)                   \
+  X(ptes_copied)                     \
+  X(ptes_write_protected)            \
+  X(ptes_faulted_around)             \
+  X(pages_reclaimed)                 \
+  X(ptes_cleared_by_reclaim)         \
+  X(forks)                           \
+  X(tlb_full_flushes)                \
+  X(tlb_asid_flushes)                \
+  X(tlb_va_flushes)
+
+#define SAT_CORE_COUNTER_FIELDS(X) \
+  X(cycles)                        \
+  X(icache_stall_cycles)           \
+  X(dcache_stall_cycles)           \
+  X(itlb_stall_cycles)             \
+  X(dtlb_stall_cycles)             \
+  X(inst_fetch_lines)              \
+  X(data_accesses)                 \
+  X(itlb_main_misses)              \
+  X(dtlb_main_misses)              \
+  X(micro_tlb_misses)              \
+  X(l1i_misses)                    \
+  X(l1d_misses)                    \
+  X(l2_misses)                     \
+  X(user_inst_lines)               \
+  X(kernel_inst_lines)             \
+  X(context_switches)              \
+  X(unsound_global_hits)
+
 // Counters maintained by the simulated kernel, system-wide or snapshot-able
 // per experiment window (snapshots subtract).
 struct KernelCounters {
@@ -89,6 +131,20 @@ struct CoreCounters {
 
   std::string ToString() const;
 };
+
+// Every field is a uint64_t (Cycles included), so equating the struct size
+// with the X-macro line count catches a field added to one but not the
+// other at compile time.
+#define SAT_COUNT_FIELD(field) +1
+static_assert(sizeof(KernelCounters) ==
+                  (0 SAT_KERNEL_COUNTER_FIELDS(SAT_COUNT_FIELD)) *
+                      sizeof(uint64_t),
+              "KernelCounters fields and SAT_KERNEL_COUNTER_FIELDS differ");
+static_assert(sizeof(CoreCounters) ==
+                  (0 SAT_CORE_COUNTER_FIELDS(SAT_COUNT_FIELD)) *
+                      sizeof(uint64_t),
+              "CoreCounters fields and SAT_CORE_COUNTER_FIELDS differ");
+#undef SAT_COUNT_FIELD
 
 }  // namespace sat
 

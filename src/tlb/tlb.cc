@@ -2,7 +2,18 @@
 
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace sat {
+
+bool EntriesConflict(const TlbEntry& lhs, const TlbEntry& rhs) {
+  if (!lhs.valid || !rhs.valid) {
+    return false;
+  }
+  const bool overlap = lhs.vpn < rhs.vpn + rhs.size_pages &&
+                       rhs.vpn < lhs.vpn + lhs.size_pages;
+  return overlap && (lhs.global || rhs.global || lhs.asid == rhs.asid);
+}
 
 TlbResult CheckEntryAccess(const TlbEntry& entry, AccessType access,
                            const DomainAccessControl& dacr) {
@@ -102,82 +113,128 @@ void MainTlb::Insert(const TlbEntry& entry) {
   assert(entry.valid);
   assert((entry.vpn & (entry.size_pages - 1)) == 0 &&
          "TLB entry base must be size-aligned");
-  const uint32_t set = SetIndexOf(entry.vpn);
-  // Replace an existing mapping of the same page first, then any invalid
-  // way, then round-robin.
-  for (uint32_t w = 0; w < ways_; ++w) {
-    TlbEntry& candidate = entries_[set * ways_ + w];
-    if (candidate.valid && candidate.vpn == entry.vpn &&
-        candidate.size_pages == entry.size_pages &&
-        (candidate.global == entry.global) && candidate.asid == entry.asid) {
-      candidate = entry;
-      stats_.insertions++;
-      return;
+  const uint32_t home = SetIndexOf(entry.vpn);
+
+  // First scrub every existing entry a lookup could still find for any page
+  // the new entry translates: matching attributes or not, two live entries
+  // for one (vpn, asid) — or one global plus one per-ASID — would leave
+  // FindInSet returning whichever way comes first. Re-inserting a VPN with a
+  // changed attribute (the zygote global-bit promotion, a 4 KB→64 KB
+  // upgrade, an ASID reused after rollover) must replace, never duplicate.
+  // Conflicts can sit in the home set of any covered VPN or in the 64 KB
+  // base-index set that Lookup also probes.
+  int64_t reuse_way = -1;
+  const auto scrub = [&](uint32_t set) {
+    for (uint32_t w = 0; w < ways_; ++w) {
+      TlbEntry& candidate = entries_[set * ways_ + w];
+      if (!EntriesConflict(candidate, entry)) {
+        continue;
+      }
+      candidate.valid = false;
+      if (set == home && reuse_way < 0) {
+        reuse_way = w;
+      }
+    }
+  };
+  scrub(home);
+  const uint32_t large_base = entry.vpn & ~(kPtesPerLargePage - 1);
+  if (SetIndexOf(large_base) != home) {
+    scrub(SetIndexOf(large_base));
+  }
+  for (uint32_t i = 1; i < entry.size_pages; ++i) {
+    const uint32_t set = SetIndexOf(entry.vpn + i);
+    if (set != home && set != SetIndexOf(large_base)) {
+      scrub(set);
     }
   }
+
+  // Then place the new entry: the way a duplicate vacated first (keeps
+  // exact re-inserts in place), else any invalid way, else round-robin.
+  if (reuse_way >= 0) {
+    entries_[home * ways_ + static_cast<uint32_t>(reuse_way)] = entry;
+    stats_.insertions++;
+    return;
+  }
   for (uint32_t w = 0; w < ways_; ++w) {
-    TlbEntry& candidate = entries_[set * ways_ + w];
+    TlbEntry& candidate = entries_[home * ways_ + w];
     if (!candidate.valid) {
       candidate = entry;
       stats_.insertions++;
       return;
     }
   }
-  const uint32_t victim = replace_cursor_[set];
-  replace_cursor_[set] = (victim + 1) % ways_;
-  entries_[set * ways_ + victim] = entry;
+  const uint32_t victim = replace_cursor_[home];
+  replace_cursor_[home] = (victim + 1) % ways_;
+  entries_[home * ways_ + victim] = entry;
   stats_.insertions++;
 }
 
 void MainTlb::FlushAll() {
   stats_.flushes++;
+  uint64_t flushed = 0;
   for (TlbEntry& entry : entries_) {
     if (entry.valid) {
       entry.valid = false;
-      stats_.entries_flushed++;
+      flushed++;
     }
   }
+  stats_.entries_flushed += flushed;
+  Tracer::Emit(tracer_, TraceEventType::kTlbFlush, 0, kFlushKindAll, flushed);
 }
 
 void MainTlb::FlushNonGlobal() {
   stats_.flushes++;
+  uint64_t flushed = 0;
   for (TlbEntry& entry : entries_) {
     if (entry.valid && !entry.global) {
       entry.valid = false;
-      stats_.entries_flushed++;
+      flushed++;
     }
   }
+  stats_.entries_flushed += flushed;
+  Tracer::Emit(tracer_, TraceEventType::kTlbFlush, 0, kFlushKindNonGlobal,
+               flushed);
 }
 
 void MainTlb::FlushGlobal() {
   stats_.flushes++;
+  uint64_t flushed = 0;
   for (TlbEntry& entry : entries_) {
     if (entry.valid && entry.global) {
       entry.valid = false;
-      stats_.entries_flushed++;
+      flushed++;
     }
   }
+  stats_.entries_flushed += flushed;
+  Tracer::Emit(tracer_, TraceEventType::kTlbFlush, 0, kFlushKindGlobal,
+               flushed);
 }
 
 void MainTlb::FlushAsid(Asid asid) {
   stats_.flushes++;
+  uint64_t flushed = 0;
   for (TlbEntry& entry : entries_) {
     if (entry.valid && !entry.global && entry.asid == asid) {
       entry.valid = false;
-      stats_.entries_flushed++;
+      flushed++;
     }
   }
+  stats_.entries_flushed += flushed;
+  Tracer::Emit(tracer_, TraceEventType::kTlbFlush, 0, kFlushKindAsid, flushed);
 }
 
 void MainTlb::FlushVa(VirtAddr va) {
   stats_.flushes++;
+  uint64_t flushed = 0;
   const uint32_t vpn = VirtPageNumber(va);
   for (TlbEntry& entry : entries_) {
     if (entry.CoversVpn(vpn)) {
       entry.valid = false;
-      stats_.entries_flushed++;
+      flushed++;
     }
   }
+  stats_.entries_flushed += flushed;
+  Tracer::Emit(tracer_, TraceEventType::kTlbFlush, 0, kFlushKindVa, flushed);
 }
 
 uint32_t MainTlb::ValidEntryCount() const {

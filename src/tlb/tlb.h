@@ -22,6 +22,8 @@
 
 namespace sat {
 
+class Tracer;
+
 struct TlbEntry {
   bool valid = false;
   uint32_t vpn = 0;          // virtual page number of the entry's base
@@ -49,6 +51,13 @@ struct TlbEntry {
     return valid && (vpn_query & ~(size_pages - 1)) == vpn;
   }
 };
+
+// Could a lookup ever return either of these two valid entries for one and
+// the same (vpn, asid) query? True when their page ranges overlap and they
+// serve a common address space (same ASID, or either one is global). Insert
+// uses this to scrub stale duplicates; the property tests use it as the
+// no-duplicate invariant.
+bool EntriesConflict(const TlbEntry& lhs, const TlbEntry& rhs);
 
 enum class TlbResult : uint8_t {
   kMiss = 0,
@@ -111,7 +120,26 @@ class MainTlb {
   uint32_t ValidEntryCount() const;
   uint32_t num_entries() const { return static_cast<uint32_t>(entries_.size()); }
 
+  // Geometry and raw-entry inspection, for invariant-checking tests.
+  uint32_t ways() const { return ways_; }
+  uint32_t num_sets() const { return num_sets_; }
+  const TlbEntry& EntryAt(uint32_t set, uint32_t way) const {
+    return entries_[set * ways_ + way];
+  }
+
+  // Flush operations report entries-flushed counts as trace events.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
+  // Flush kinds as reported in kTlbFlush events' `a` payload.
+  enum FlushKind : uint64_t {
+    kFlushKindAll = 0,
+    kFlushKindNonGlobal,
+    kFlushKindGlobal,
+    kFlushKindAsid,
+    kFlushKindVa,
+  };
+
   uint32_t SetIndexOf(uint32_t vpn) const { return vpn & (num_sets_ - 1); }
   TlbEntry* FindInSet(uint32_t set, uint32_t vpn, Asid asid);
 
@@ -120,6 +148,7 @@ class MainTlb {
   std::vector<TlbEntry> entries_;        // num_sets_ x ways_
   std::vector<uint32_t> replace_cursor_; // round-robin per set
   TlbStats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 // A micro TLB: small, fully associative, FIFO replacement, flushed on

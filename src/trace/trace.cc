@@ -1,0 +1,248 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sat {
+
+namespace {
+
+// Exporter metadata: display name plus labels for the `a`/`b` payloads.
+struct TypeInfo {
+  const char* name;
+  const char* a_label;
+  const char* b_label;
+};
+
+constexpr TypeInfo kTypeInfo[kTraceEventTypeCount] = {
+    {"fork", "child_pid", "ptes_copied"},
+    {"exec", "pid", ""},
+    {"exit", "pid", ""},
+    {"context_switch", "asid", "core"},
+    {"share_slot", "slot", "ptes_write_protected"},
+    {"unshare_slot", "slot", "ptes_copied"},
+    {"fault_file", "va_page", "ptes_faulted_around"},
+    {"fault_anon", "va_page", ""},
+    {"fault_cow", "va_page", "ptes_copied"},
+    {"fault_hard", "va_page", ""},
+    {"fault_segv", "va_page", ""},
+    {"domain_fault", "va_page", "domain"},
+    {"tlb_shootdown", "payload", "cpu_mask"},
+    {"tlb_ipi", "target_core", ""},
+    {"tlb_flush", "kind", "entries_flushed"},
+    {"reclaim_pass", "target_pages", "pages_reclaimed"},
+    {"reclaim_page", "frame", "ptes_cleared"},
+    {"app_phase", "phase", ""},
+};
+
+constexpr const char* kAppPhaseNames[] = {"run",    "fork_app", "map",
+                                          "replay", "launch",   "window"};
+
+}  // namespace
+
+const char* TraceEventTypeName(TraceEventType type) {
+  const auto index = static_cast<size_t>(type);
+  return index < kTraceEventTypeCount ? kTypeInfo[index].name : "?";
+}
+
+const char* AppPhaseName(AppPhase phase) {
+  const auto index = static_cast<size_t>(phase);
+  return index < std::size(kAppPhaseNames) ? kAppPhaseNames[index] : "?";
+}
+
+void LatencyHistogram::Record(Cycles duration) {
+  if (count_ == 0 || duration < min_) min_ = duration;
+  if (duration > max_) max_ = duration;
+  sum_ += duration;
+  ++count_;
+  ++buckets_[BucketOf(duration)];
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint32_t LatencyHistogram::BucketOf(Cycles duration) {
+  // Bucket 0 holds zero-length samples; bucket i (i >= 1) holds durations
+  // in [2^(i-1), 2^i).
+  uint32_t bucket = 0;
+  while (duration != 0) {
+    duration >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+Cycles LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && buckets_[i] != 0) {
+      // Upper bound of bucket i, clamped to what was actually observed.
+      const Cycles upper = i == 0 ? 0 : (Cycles{1} << i) - 1;
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
+}
+
+Tracer::Tracer(const TraceConfig& config) : config_(config) {
+  if (config_.enabled && config_.capacity > 0) {
+    ring_.reserve(config_.capacity);
+  }
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  if (!config_.enabled || config_.capacity == 0) return;
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(event);
+  } else {
+    ring_[recorded_ % config_.capacity] = event;  // overwrite the oldest
+  }
+  ++recorded_;
+  histograms_[static_cast<size_t>(event.type)].Record(event.duration());
+}
+
+void Tracer::EmitInstant(TraceEventType type, uint32_t pid, uint64_t a,
+                         uint64_t b) {
+  if (!config_.enabled) return;
+  TraceEvent event;
+  event.type = type;
+  event.pid = pid;
+  event.start = event.end = Now();
+  event.a = a;
+  event.b = b;
+  Record(event);
+}
+
+void Tracer::Emit(Tracer* tracer, TraceEventType type, uint32_t pid,
+                  uint64_t a, uint64_t b) {
+  if (tracer != nullptr) tracer->EmitInstant(type, pid, a, b);
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (recorded_ <= ring_.size()) {
+    out = ring_;
+  } else {
+    const uint64_t head = recorded_ % config_.capacity;
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(head));
+  }
+  return out;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  const double scale = config_.cycles_per_us > 0 ? config_.cycles_per_us : 1.0;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : Events()) {
+    const TypeInfo& info = kTypeInfo[static_cast<size_t>(event.type)];
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    if (event.type == TraceEventType::kAppPhase) {
+      os << "launch." << AppPhaseName(static_cast<AppPhase>(event.a));
+    } else {
+      os << info.name;
+    }
+    os << "\",\"cat\":\"kernel\",\"pid\":1,\"tid\":" << event.pid;
+    os << std::fixed << std::setprecision(3);
+    if (event.duration() > 0) {
+      os << ",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(event.start) / scale
+         << ",\"dur\":" << static_cast<double>(event.duration()) / scale;
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+         << static_cast<double>(event.start) / scale;
+    }
+    os.unsetf(std::ios::floatfield);
+    os << ",\"args\":{\"start_cycles\":" << event.start
+       << ",\"dur_cycles\":" << event.duration();
+    if (info.a_label[0] != '\0') {
+      os << ",\"" << info.a_label << "\":" << event.a;
+    }
+    if (info.b_label[0] != '\0') {
+      os << ",\"" << info.b_label << "\":" << event.b;
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteChromeTrace(os);
+  return static_cast<bool>(os);
+}
+
+void Tracer::WriteText(std::ostream& os, size_t tail_events) const {
+  os << "trace: " << recorded_ << " events recorded, " << dropped()
+     << " dropped (capacity " << config_.capacity << ")\n";
+  os << std::left << std::setw(16) << "type" << std::right << std::setw(10)
+     << "count" << std::setw(12) << "p50" << std::setw(12) << "p95"
+     << std::setw(12) << "p99" << std::setw(12) << "max"
+     << "  (cycles)\n";
+  for (uint32_t i = 0; i < kTraceEventTypeCount; ++i) {
+    const LatencyHistogram& h = histograms_[i];
+    if (h.count() == 0) continue;
+    os << std::left << std::setw(16) << kTypeInfo[i].name << std::right
+       << std::setw(10) << h.count() << std::setw(12) << h.Percentile(0.50)
+       << std::setw(12) << h.Percentile(0.95) << std::setw(12)
+       << h.Percentile(0.99) << std::setw(12) << h.max() << "\n";
+  }
+  const std::vector<TraceEvent> events = Events();
+  const size_t tail = std::min(tail_events, events.size());
+  if (tail == 0) return;
+  os << "most recent " << tail << " events:\n";
+  for (size_t i = events.size() - tail; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    os << "  [" << std::setw(12) << event.start << "] "
+       << TraceEventTypeName(event.type) << " pid=" << event.pid
+       << " a=" << event.a << " b=" << event.b << " dur=" << event.duration()
+       << "\n";
+  }
+}
+
+std::string Tracer::SummaryText() const {
+  std::ostringstream os;
+  WriteText(os, 0);
+  return os.str();
+}
+
+void Tracer::Reset() {
+  ring_.clear();
+  recorded_ = 0;
+  histograms_ = {};
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, TraceEventType type, uint32_t pid) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  event_.type = type;
+  event_.pid = pid;
+  event_.start = tracer->Now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  const Cycles now = tracer_->Now();
+  const Cycles elapsed = now > event_.start ? now - event_.start : 0;
+  event_.end = event_.start + std::max(elapsed, explicit_duration_);
+  tracer_->Record(event_);
+}
+
+}  // namespace sat

@@ -1,0 +1,228 @@
+// Kernel event tracing (the observability layer the paper's Section 4.1.1
+// counters gesture at): a fixed-capacity ring buffer of typed events with
+// simulated-cycle timestamps, per-event-type latency histograms, and two
+// exporters — Chrome `trace_event` JSON (loads in about:tracing / Perfetto)
+// and a compact text dump.
+//
+// Counters say *how many* forks, faults, unshares and shootdowns a run
+// performed; the trace says *when* each one happened and what it cost, so a
+// figure can be replayed as a timeline. Tracing is off by default and adds
+// no simulated cycles ever: recording is bookkeeping outside the cost
+// model, so enabling it never perturbs an experiment's cycle totals.
+//
+// Usage from instrumented kernel code (null-tolerant by design, so
+// subsystems constructed without a tracer need no guards):
+//
+//   TraceSpan span(tracer_, TraceEventType::kFork, parent.pid);
+//   ... do the work ...
+//   span.set_args(child->pid, ptes_copied);
+//   span.set_duration(modelled_cycles);   // floor for lump-charged costs
+//
+//   Tracer::Emit(tracer_, TraceEventType::kTlbIpi, 0, target_core);
+
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/stats/cost_model.h"
+
+namespace sat {
+
+// The event taxonomy: every operation kind the simulated kernel reports.
+enum class TraceEventType : uint8_t {
+  // Process lifecycle.
+  kFork = 0,
+  kExec,
+  kExit,
+  kContextSwitch,
+  // Page-table sharing (Sections 3.1.1-3.1.2).
+  kShareSlot,    // ShareSlotInto at fork
+  kUnshareSlot,  // the Figure-6 unshare
+  // Page faults, split the way KernelCounters splits them.
+  kFaultFile,
+  kFaultAnon,
+  kFaultCow,
+  kFaultHard,
+  kFaultSegv,
+  kDomainFault,  // non-member touched a zygote-domain global entry
+  // TLB maintenance.
+  kTlbShootdown,  // one broadcast operation (machine level)
+  kTlbIpi,        // one remote core interrupted by a shootdown
+  kTlbFlush,      // one main-TLB flush operation (core level)
+  // Reclaim (the rmap-driven shrink path).
+  kReclaimPass,
+  kReclaimPage,
+  // Android launch phases (fork / map / replay / window).
+  kAppPhase,
+  kCount,  // sentinel, not a recordable type
+};
+
+constexpr uint32_t kTraceEventTypeCount =
+    static_cast<uint32_t>(TraceEventType::kCount);
+
+const char* TraceEventTypeName(TraceEventType type);
+
+// Phase ids carried in `a` by kAppPhase events.
+enum class AppPhase : uint8_t {
+  kRun = 0,    // whole touch-replay app run
+  kForkApp,    // fork-from-zygote portion
+  kMap,        // mapping the app-local regions
+  kReplay,     // the footprint replay itself
+  kLaunch,     // whole cycle-level launch (fork included)
+  kWindow,     // the paper's measured launch window
+};
+
+const char* AppPhaseName(AppPhase phase);
+
+// One recorded event. `start == end` marks an instant event. `a` and `b`
+// are type-specific payloads (addresses, counts, pids) that the exporters
+// label per type.
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kFork;
+  uint32_t pid = 0;   // responsible task, 0 when not task-scoped
+  Cycles start = 0;
+  Cycles end = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  Cycles duration() const { return end - start; }
+};
+
+// Power-of-two-bucketed latency histogram over span durations, in cycles.
+// Percentiles are bucket-boundary estimates (exact for min/max), which is
+// all "where do fork p99s sit relative to p50" needs.
+class LatencyHistogram {
+ public:
+  void Record(Cycles duration);
+
+  uint64_t count() const { return count_; }
+  Cycles min() const { return count_ == 0 ? 0 : min_; }
+  Cycles max() const { return max_; }
+  Cycles sum() const { return sum_; }
+  double Mean() const;
+
+  // p in [0, 1]; returns the upper bound of the bucket holding the p-th
+  // sample, clamped to the observed min/max.
+  Cycles Percentile(double p) const;
+
+ private:
+  static uint32_t BucketOf(Cycles duration);
+
+  std::array<uint64_t, 65> buckets_{};
+  uint64_t count_ = 0;
+  Cycles min_ = 0;
+  Cycles max_ = 0;
+  Cycles sum_ = 0;
+};
+
+struct TraceConfig {
+  // Master switch. Off by default: no events are recorded and every
+  // instrumentation site reduces to one predictable branch.
+  bool enabled = false;
+  // Ring capacity in events; the oldest events are overwritten once the
+  // ring is full (`dropped()` counts them).
+  uint32_t capacity = 1 << 16;
+  // Timestamp scale for the Chrome exporter, simulated cycles per
+  // microsecond (the Tegra 3 runs at ~1.2 GHz).
+  double cycles_per_us = 1200.0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& config);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return config_.enabled; }
+  const TraceConfig& config() const { return config_; }
+
+  // The simulated-cycle clock, supplied by the owner (the kernel wires it
+  // to the machine's total cycle count). Monotone; 0 until set.
+  void set_clock(std::function<Cycles()> clock) { clock_ = std::move(clock); }
+  Cycles Now() const { return clock_ ? clock_() : 0; }
+
+  // Records a complete event (spans funnel through here).
+  void Record(const TraceEvent& event);
+
+  // Records an instant event stamped at Now(). The static form tolerates a
+  // null tracer so call sites in optional-tracer subsystems stay one line.
+  void EmitInstant(TraceEventType type, uint32_t pid = 0, uint64_t a = 0,
+                   uint64_t b = 0);
+  static void Emit(Tracer* tracer, TraceEventType type, uint32_t pid = 0,
+                   uint64_t a = 0, uint64_t b = 0);
+
+  // Events currently held by the ring, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  uint64_t total_recorded() const { return recorded_; }
+  uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+
+  const LatencyHistogram& histogram(TraceEventType type) const {
+    return histograms_[static_cast<size_t>(type)];
+  }
+
+  // Chrome trace_event JSON ({"traceEvents": [...]}), loadable in
+  // about:tracing and Perfetto. Timestamps are cycles / cycles_per_us;
+  // raw cycle values ride along in args.
+  void WriteChromeTrace(std::ostream& os) const;
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+  // Compact text dump: per-type latency table (count, p50/p95/p99, max)
+  // plus the most recent `tail_events` events.
+  void WriteText(std::ostream& os, size_t tail_events = 32) const;
+  std::string SummaryText() const;
+
+  void Reset();
+
+ private:
+  TraceConfig config_;
+  std::function<Cycles()> clock_;
+  std::vector<TraceEvent> ring_;  // empty when disabled
+  uint64_t recorded_ = 0;
+  std::array<LatencyHistogram, kTraceEventTypeCount> histograms_;
+};
+
+// RAII span: stamps the start cycle at construction, records the event
+// (and feeds its duration to the type's histogram) at destruction. When
+// the tracer is null or disabled, construction and destruction are no-ops.
+//
+// Durations: end = start + max(clock delta, explicit duration). The
+// explicit duration exists because the simulator often charges an
+// operation's modelled cost in one lump outside the instrumented scope;
+// set_duration() lets the span carry that cost on the timeline anyway.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, TraceEventType type, uint32_t pid = 0);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void set_type(TraceEventType type) { event_.type = type; }
+  void set_pid(uint32_t pid) { event_.pid = pid; }
+  void set_args(uint64_t a, uint64_t b = 0) {
+    event_.a = a;
+    event_.b = b;
+  }
+  void set_duration(Cycles cycles) { explicit_duration_ = cycles; }
+
+  bool armed() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing is off
+  TraceEvent event_;
+  Cycles explicit_duration_ = 0;
+};
+
+}  // namespace sat
+
+#endif  // SRC_TRACE_TRACE_H_

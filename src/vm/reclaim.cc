@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace sat {
 
 uint32_t Reclaimer::UnmapAll(FrameNumber frame, const ReclaimFlushFn& flush,
@@ -50,15 +52,17 @@ bool Reclaimer::ReclaimPage(FileId file, uint32_t page_index,
     return false;
   }
 
-  UnmapAll(frame, flush, stats);
+  const uint32_t cleared = UnmapAll(frame, flush, stats);
   page_cache_->RemovePage(file, page_index);
   stats->pages_reclaimed++;
   counters_->pages_reclaimed++;
+  Tracer::Emit(tracer_, TraceEventType::kReclaimPage, 0, frame, cleared);
   return true;
 }
 
 ReclaimStats Reclaimer::ReclaimFileCache(uint32_t target,
                                          const ReclaimFlushFn& flush) {
+  TraceSpan span(tracer_, TraceEventType::kReclaimPass);
   ReclaimStats stats;
   const auto total = static_cast<FrameNumber>(phys_->total_frames());
   for (FrameNumber frame = 1; frame < total && stats.pages_reclaimed < target;
@@ -69,6 +73,7 @@ ReclaimStats Reclaimer::ReclaimFileCache(uint32_t target,
     }
     ReclaimPage(meta.file, meta.file_page_index, flush, &stats);
   }
+  span.set_args(target, stats.pages_reclaimed);
   return stats;
 }
 

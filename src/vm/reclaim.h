@@ -23,6 +23,8 @@
 
 namespace sat {
 
+class Tracer;
+
 struct ReclaimStats {
   uint32_t pages_reclaimed = 0;   // frames returned to the free list
   uint32_t pages_skipped = 0;     // dirty/unreclaimable candidates passed over
@@ -56,6 +58,9 @@ class Reclaimer {
   bool ReclaimPage(FileId file, uint32_t page_index,
                    const ReclaimFlushFn& flush, ReclaimStats* stats);
 
+  // Reclaim passes and per-page evictions report trace events when set.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   // Unmaps `frame` from every PTE the rmap lists. Returns PTEs cleared.
   uint32_t UnmapAll(FrameNumber frame, const ReclaimFlushFn& flush,
@@ -66,6 +71,7 @@ class Reclaimer {
   PtpAllocator* ptps_;
   ReverseMap* rmap_;
   KernelCounters* counters_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sat

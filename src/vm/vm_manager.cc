@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace sat {
 
 namespace {
@@ -54,6 +56,38 @@ void VmManager::InstallPte(MmStruct& mm, VirtAddr va, HwPte hw, LinuxPte sw) {
 
 FaultOutcome VmManager::HandleFault(MmStruct& mm, const MemoryAbort& abort,
                                     const TlbFlushFn& flush_tlb) {
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    return HandleFaultImpl(mm, abort, flush_tlb);
+  }
+  // Classify the fault after the fact from the counters it bumped; the
+  // span's duration floor is the handler's modelled cost (the simulator
+  // charges it in one lump after the handler returns).
+  const KernelCounters before = *counters_;
+  TraceSpan span(tracer_, TraceEventType::kFaultFile);
+  const FaultOutcome out = HandleFaultImpl(mm, abort, flush_tlb);
+  TraceEventType type = TraceEventType::kFaultFile;
+  uint64_t extra = counters_->ptes_faulted_around - before.ptes_faulted_around;
+  if (!out.ok) {
+    type = TraceEventType::kFaultSegv;
+    extra = 0;
+  } else if (out.hard) {
+    type = TraceEventType::kFaultHard;
+    extra = 0;
+  } else if (counters_->faults_cow > before.faults_cow) {
+    type = TraceEventType::kFaultCow;
+    extra = out.ptes_copied;
+  } else if (counters_->faults_anonymous > before.faults_anonymous) {
+    type = TraceEventType::kFaultAnon;
+    extra = 0;
+  }
+  span.set_type(type);
+  span.set_args(VirtPageNumber(abort.fault_address), extra);
+  span.set_duration(out.kernel_cycles);
+  return out;
+}
+
+FaultOutcome VmManager::HandleFaultImpl(MmStruct& mm, const MemoryAbort& abort,
+                                        const TlbFlushFn& flush_tlb) {
   FaultOutcome out;
   out.kernel_cycles = costs_->fault_trap;
 

@@ -19,6 +19,8 @@
 
 namespace sat {
 
+class Tracer;
+
 // Invoked whenever the kernel must flush the current process's TLB entries
 // (unshare, fork COW protection). Supplied by the process layer, which
 // knows ASIDs and owns the TLB; may be empty in page-table-only tests.
@@ -73,6 +75,9 @@ class VmManager {
   const VmConfig& config() const { return config_; }
   void set_config(const VmConfig& config) { config_ = config; }
 
+  // Fault handling reports per-fault spans (classified by kind) when set.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // -------------------------------------------------------------------------
   // Page faults.
   // -------------------------------------------------------------------------
@@ -113,6 +118,10 @@ class VmManager {
   void ExitMm(MmStruct& mm);
 
  private:
+  // HandleFault minus the tracing wrapper.
+  FaultOutcome HandleFaultImpl(MmStruct& mm, const MemoryAbort& abort,
+                               const TlbFlushFn& flush_tlb);
+
   // Unshares the slot containing `va` if this mm holds it NEED_COPY.
   // Returns PTEs copied; accumulates modelled cost into *cycles.
   uint32_t UnshareIfNeeded(MmStruct& mm, VirtAddr va, const TlbFlushFn& flush_tlb,
@@ -142,6 +151,7 @@ class VmManager {
   KernelCounters* counters_;
   const CostModel* costs_;
   VmConfig config_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sat

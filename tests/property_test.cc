@@ -325,6 +325,83 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Duplicate-freedom: after ANY sequence of inserts and flushes, no two
+// valid entries may answer the same (vpn, asid) lookup — same-ASID or
+// global duplicates, at either page size. This is the invariant behind the
+// stale-duplicate re-insert fix: before it, re-inserting a VPN with a
+// changed global bit, ASID, or page size left both copies valid.
+// ---------------------------------------------------------------------------
+
+class TlbDuplicateFreedomTest : public ::testing::TestWithParam<TlbGeometry> {
+};
+
+TEST_P(TlbDuplicateFreedomTest, NoTwoEntriesAnswerTheSameLookup) {
+  const TlbGeometry geometry = GetParam();
+  std::mt19937_64 rng(geometry.entries * 31ull + geometry.ways);
+
+  for (int round = 0; round < 6; ++round) {
+    MainTlb tlb(geometry.entries, geometry.ways);
+    for (int op = 0; op < 2000; ++op) {
+      const uint32_t roll = static_cast<uint32_t>(rng() % 100);
+      if (roll < 80) {
+        // Insert: small or large page, random ASID, sometimes global —
+        // deliberately revisiting a small VPN range so attribute-changing
+        // re-inserts (the bug's trigger) happen constantly.
+        TlbEntry entry;
+        entry.valid = true;
+        const bool large = (rng() % 8) == 0;
+        entry.size_pages = large ? kPtesPerLargePage : 1;
+        entry.vpn = static_cast<uint32_t>(rng() % 256);
+        if (large) {
+          entry.vpn &= ~(kPtesPerLargePage - 1);
+        }
+        entry.asid = static_cast<Asid>(1 + rng() % 4);
+        entry.global = (rng() % 4) == 0;
+        entry.domain = kDomainUser;
+        entry.perm = PtePerm::kReadOnly;
+        entry.executable = true;
+        entry.frame = entry.vpn + 7;
+        tlb.Insert(entry);
+      } else if (roll < 90) {
+        tlb.FlushAsid(static_cast<Asid>(1 + rng() % 4));
+      } else {
+        tlb.FlushVa(static_cast<VirtAddr>(rng() % 256) << 12);
+      }
+    }
+
+    std::vector<TlbEntry> live;
+    for (uint32_t set = 0; set < tlb.num_sets(); ++set) {
+      for (uint32_t way = 0; way < tlb.ways(); ++way) {
+        const TlbEntry& entry = tlb.EntryAt(set, way);
+        if (entry.valid) {
+          live.push_back(entry);
+        }
+      }
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        EXPECT_FALSE(EntriesConflict(live[i], live[j]))
+            << "duplicate entries: vpn " << live[i].vpn << "/" << live[j].vpn
+            << " size " << live[i].size_pages << "/" << live[j].size_pages
+            << " asid " << static_cast<int>(live[i].asid) << "/"
+            << static_cast<int>(live[j].asid) << " global " << live[i].global
+            << "/" << live[j].global;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbDuplicateFreedomTest,
+    ::testing::Values(TlbGeometry{8, 2}, TlbGeometry{32, 1},
+                      TlbGeometry{64, 2}, TlbGeometry{128, 4},
+                      TlbGeometry{256, 2}),
+    [](const ::testing::TestParamInfo<TlbGeometry>& param_info) {
+      return "e" + std::to_string(param_info.param.entries) + "w" +
+             std::to_string(param_info.param.ways);
+    });
+
+// ---------------------------------------------------------------------------
 // Cache accounting sweep.
 // ---------------------------------------------------------------------------
 

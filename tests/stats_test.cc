@@ -48,10 +48,80 @@ TEST(CountersTest, CoreCounterArithmetic) {
 TEST(CountersTest, ToStringMentionsKeyFields) {
   KernelCounters counters;
   counters.faults_file_backed = 42;
-  EXPECT_NE(counters.ToString().find("file=42"), std::string::npos);
+  EXPECT_NE(counters.ToString().find("faults_file_backed=42"),
+            std::string::npos);
   CoreCounters core;
   core.cycles = 7;
   EXPECT_NE(core.ToString().find("cycles=7"), std::string::npos);
+}
+
+// Sentinel round-trip: every field in the X-macro lists must appear in
+// ToString with its exact value. Guards against a field being added to the
+// struct but dropped from printing (the original bug: ptes_faulted_around,
+// pages_reclaimed, ptes_cleared_by_reclaim and the tlb_*_flushes counters
+// were silently missing from KernelCounters::ToString).
+TEST(CountersTest, ToStringRoundTripsEveryField) {
+  KernelCounters kernel;
+  uint64_t sentinel = 1000;
+#define SAT_SET_FIELD(field) kernel.field = sentinel++;
+  SAT_KERNEL_COUNTER_FIELDS(SAT_SET_FIELD)
+#undef SAT_SET_FIELD
+  const std::string ks = kernel.ToString();
+  sentinel = 1000;
+#define SAT_CHECK_FIELD(field)                                       \
+  EXPECT_NE(                                                         \
+      ks.find(std::string(#field) + "=" + std::to_string(sentinel++)), \
+      std::string::npos)                                             \
+      << #field << " missing from " << ks;
+  SAT_KERNEL_COUNTER_FIELDS(SAT_CHECK_FIELD)
+#undef SAT_CHECK_FIELD
+
+  CoreCounters core;
+  sentinel = 5000;
+#define SAT_SET_FIELD(field) core.field = sentinel++;
+  SAT_CORE_COUNTER_FIELDS(SAT_SET_FIELD)
+#undef SAT_SET_FIELD
+  const std::string cs = core.ToString();
+  sentinel = 5000;
+#define SAT_CHECK_FIELD(field)                                       \
+  EXPECT_NE(                                                         \
+      cs.find(std::string(#field) + "=" + std::to_string(sentinel++)), \
+      std::string::npos)                                             \
+      << #field << " missing from " << cs;
+  SAT_CORE_COUNTER_FIELDS(SAT_CHECK_FIELD)
+#undef SAT_CHECK_FIELD
+}
+
+// Arithmetic must cover every field too: a - b then b += diff restores a,
+// field by field.
+TEST(CountersTest, ArithmeticCoversEveryField) {
+  KernelCounters a, b;
+  uint64_t next = 100;
+#define SAT_SET_PAIR(field) \
+  a.field = next * 3;       \
+  b.field = next;           \
+  next++;
+  SAT_KERNEL_COUNTER_FIELDS(SAT_SET_PAIR)
+#undef SAT_SET_PAIR
+  KernelCounters sum = b;
+  sum += a - b;
+#define SAT_CHECK_PAIR(field) EXPECT_EQ(sum.field, a.field) << #field;
+  SAT_KERNEL_COUNTER_FIELDS(SAT_CHECK_PAIR)
+#undef SAT_CHECK_PAIR
+
+  CoreCounters ca, cb;
+  next = 100;
+#define SAT_SET_PAIR(field) \
+  ca.field = next * 3;      \
+  cb.field = next;          \
+  next++;
+  SAT_CORE_COUNTER_FIELDS(SAT_SET_PAIR)
+#undef SAT_SET_PAIR
+  CoreCounters csum = cb;
+  csum += ca - cb;
+#define SAT_CHECK_PAIR(field) EXPECT_EQ(csum.field, ca.field) << #field;
+  SAT_CORE_COUNTER_FIELDS(SAT_CHECK_PAIR)
+#undef SAT_CHECK_PAIR
 }
 
 TEST(SummaryTest, FiveNumberSummaryOfKnownData) {

@@ -144,6 +144,61 @@ TEST(MainTlbTest, ReinsertSamePageReplacesInPlace) {
   EXPECT_EQ(out.perm, PtePerm::kReadWrite);
 }
 
+// Regression: re-inserting a VPN with a *changed* attribute used to leave
+// the stale entry valid alongside the new one (the in-place replace only
+// triggered when vpn, size, global and asid were all identical). The
+// zygote global-bit promotion is the real-world trigger: a page first
+// cached per-ASID is later re-walked as global, and a lookup could then
+// return either copy.
+TEST(MainTlbTest, GlobalBitPromotionLeavesSingleEntry) {
+  MainTlb tlb(8, 2);
+  tlb.Insert(MakeEntry(0, 1, /*global=*/false));
+  tlb.Insert(MakeEntry(0, 1, /*global=*/true));
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+  TlbEntry out;
+  ASSERT_EQ(tlb.Lookup(0, 1, AccessType::kRead, UserDacr(), &out),
+            TlbResult::kHit);
+  EXPECT_TRUE(out.global);
+}
+
+// The converse: a stale global entry must not survive a re-insert of the
+// same page as a per-ASID mapping — the global copy would keep answering
+// for every other ASID.
+TEST(MainTlbTest, GlobalDemotionScrubsGlobalEntry) {
+  MainTlb tlb(8, 2);
+  tlb.Insert(MakeEntry(0, 1, /*global=*/true));
+  tlb.Insert(MakeEntry(0, 2, /*global=*/false));
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+}
+
+// 4KB -> 64KB upgrade: the large entry covers the small one's page, so the
+// stale 4KB entry must be scrubbed even though it can live in a different
+// set (large entries index by their aligned base VPN).
+TEST(MainTlbTest, SmallToLargeUpgradeScrubsCoveredEntry) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(35, 1));  // 4KB page inside the 64KB region [32, 48)
+  tlb.Insert(MakeEntry(32, 1, false, kDomainUser, PtePerm::kReadOnly, true,
+                       kPtesPerLargePage));
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+  TlbEntry out;
+  ASSERT_EQ(tlb.Lookup(35u << 12, 1, AccessType::kRead, UserDacr(), &out),
+            TlbResult::kHit);
+  EXPECT_EQ(out.size_pages, kPtesPerLargePage);
+}
+
+// 64KB -> 4KB downgrade scrubs the covering large entry.
+TEST(MainTlbTest, LargeToSmallDowngradeScrubsLargeEntry) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(32, 1, false, kDomainUser, PtePerm::kReadOnly, true,
+                       kPtesPerLargePage));
+  tlb.Insert(MakeEntry(35, 1));
+  EXPECT_EQ(tlb.ValidEntryCount(), 1u);
+  EXPECT_EQ(tlb.Lookup(32u << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+  EXPECT_EQ(tlb.Lookup(35u << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
 TEST(MainTlbTest, DistinctAsidsOccupyDistinctEntries) {
   MainTlb tlb(128, 2);
   tlb.Insert(MakeEntry(100, 1));
