@@ -11,12 +11,17 @@
 namespace sat {
 namespace {
 
-int Run() {
+int Run(uint64_t phys_mb) {
   PrintHeader("Figure 9",
               "PTPs allocated and file-backed page faults during launch "
               "(normalized to stock, original alignment)");
+  if (phys_mb > 0) {
+    std::cout << "physical memory override: " << phys_mb
+              << " MB (small-memory pressure regime; shape checks are "
+                 "calibrated for the 512 MB default)\n\n";
+  }
 
-  const auto series = RunLaunchExperiment(/*rounds=*/30, /*warmup=*/3);
+  const auto series = RunLaunchExperiment(/*rounds=*/30, /*warmup=*/3, phys_mb);
 
   const double base_faults = series[0].MedianFileFaults();
   const double base_ptps = series[0].MedianPtps();
@@ -58,8 +63,8 @@ int Run() {
 // --trace-out: replay a few launches under the full mechanism with tracing
 // on and export the timeline (fork, faults, unshares, shootdowns, launch
 // phases). A separate run so the figure's numbers stay untouched.
-bool WriteLaunchTrace(const std::string& path) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb2Mb();
+bool WriteLaunchTrace(const std::string& path, uint64_t phys_mb) {
+  SystemConfig config = WithPhysMb(SystemConfig::SharedPtpAndTlb2Mb(), phys_mb);
   config.trace.enabled = true;
   System system(config);
   LaunchSimulator simulator(&system.android(), LaunchParams{});
@@ -74,8 +79,9 @@ bool WriteLaunchTrace(const std::string& path) {
 
 int main(int argc, char** argv) {
   const std::string trace_path = sat::TraceOutPath(argc, argv);
-  const int status = sat::Run();
-  if (!trace_path.empty() && !sat::WriteLaunchTrace(trace_path)) {
+  const uint64_t phys_mb = sat::PhysMbArg(argc, argv);
+  const int status = sat::Run(phys_mb);
+  if (!trace_path.empty() && !sat::WriteLaunchTrace(trace_path, phys_mb)) {
     return 1;
   }
   return status;

@@ -66,11 +66,30 @@ int Run() {
   return ok ? 0 : 1;
 }
 
-// --trace-out: the table itself is pure workload characterization (no
-// kernel runs), so the traced slice is one app replay on a booted system
-// under the full sharing mechanism.
-bool WriteReplayTrace(const std::string& path) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+// --phys-mb: the table itself is pure workload characterization (no
+// kernel runs), so the small-memory regime is exercised by one Email
+// replay on a booted system of the requested size — reporting whether the
+// run survived and how hard the reclaim/OOM machinery had to work.
+void RunPressureReplay(uint64_t phys_mb) {
+  const SystemConfig config =
+      WithPhysMb(SystemConfig::SharedPtpAndTlb(), phys_mb);
+  std::cout << "\npressure replay (Email, " << phys_mb << " MB machine):\n";
+  System system(config);
+  AppRunner runner(&system.android());
+  const AppFootprint fp =
+      system.workload().Generate(AppProfile::Named("Email"));
+  const AppRunStats stats = runner.Run(fp, /*exit_after=*/true);
+  std::cout << "  run " << (stats.completed ? "completed" : "cut short")
+            << (stats.oom_killed ? " (app OOM-killed)" : "") << ", "
+            << stats.file_faults + stats.anon_faults + stats.cow_faults
+            << " faults, " << stats.ptps_allocated << " PTPs allocated\n  ";
+  PrintPressureSummary(system);
+}
+
+// --trace-out: the traced slice is the same single-app replay on a booted
+// system under the full sharing mechanism (at --phys-mb size if given).
+bool WriteReplayTrace(const std::string& path, uint64_t phys_mb) {
+  SystemConfig config = WithPhysMb(SystemConfig::SharedPtpAndTlb(), phys_mb);
   config.trace.enabled = true;
   System system(config);
   AppRunner runner(&system.android());
@@ -85,8 +104,12 @@ bool WriteReplayTrace(const std::string& path) {
 
 int main(int argc, char** argv) {
   const std::string trace_path = sat::TraceOutPath(argc, argv);
+  const uint64_t phys_mb = sat::PhysMbArg(argc, argv);
   const int status = sat::Run();
-  if (!trace_path.empty() && !sat::WriteReplayTrace(trace_path)) {
+  if (phys_mb > 0) {
+    sat::RunPressureReplay(phys_mb);
+  }
+  if (!trace_path.empty() && !sat::WriteReplayTrace(trace_path, phys_mb)) {
     return 1;
   }
   return status;

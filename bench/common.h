@@ -86,6 +86,41 @@ inline std::string TraceOutPath(int argc, char** argv) {
   return {};
 }
 
+// Parses `--phys-mb=<N>` from argv: the simulated machine's physical
+// memory size in MB. Returns 0 when the flag is absent (each config keeps
+// its 512 MB default). Small values put the bench in the memory-pressure
+// regime the paper targets (Section 2.1's 1 GB-class devices): runs then
+// exercise direct reclaim and, below the working set, the OOM killer.
+inline uint64_t PhysMbArg(int argc, char** argv) {
+  const std::string prefix = "--phys-mb=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoull(arg.substr(prefix.size()));
+    }
+  }
+  return 0;
+}
+
+// Applies a --phys-mb override to a config (no-op when mb == 0).
+inline SystemConfig WithPhysMb(SystemConfig config, uint64_t phys_mb) {
+  if (phys_mb > 0) {
+    config.phys_bytes = phys_mb * 1024 * 1024;
+  }
+  return config;
+}
+
+// Prints the memory-pressure outcome of a finished system: how often the
+// allocate → direct-reclaim → OOM-kill chain ran. All zeros on the
+// default 512 MB machine; nonzero under --phys-mb pressure runs.
+inline void PrintPressureSummary(System& system) {
+  const KernelCounters& c = system.kernel().counters();
+  std::cout << "memory pressure [" << system.name()
+            << "]: " << c.direct_reclaims << " direct reclaim(s), "
+            << c.oom_kills << " OOM kill(s), " << c.forks_failed
+            << " failed fork(s)\n";
+}
+
 // Exports `system`'s recorded trace as Chrome trace_event JSON (loadable
 // in about:tracing / Perfetto) and prints the latency-histogram summary.
 inline bool DumpTrace(System& system, const std::string& path) {

@@ -48,10 +48,13 @@ struct LaunchSeries {
 // Runs `rounds` launches per configuration. The first `warmup` rounds are
 // dropped from the series: the paper's 100-execution box plots are
 // dominated by the steady state, which sharing reaches after the shared
-// PTPs are populated.
-inline std::vector<LaunchSeries> RunLaunchExperiment(int rounds, int warmup) {
+// PTPs are populated. `phys_mb` overrides each machine's physical memory
+// (0 keeps the 512 MB default); pressure outcomes are printed per config.
+inline std::vector<LaunchSeries> RunLaunchExperiment(int rounds, int warmup,
+                                                     uint64_t phys_mb = 0) {
   std::vector<LaunchSeries> out;
-  for (const SystemConfig& config : LaunchConfigs()) {
+  for (const SystemConfig& base : LaunchConfigs()) {
+    const SystemConfig config = WithPhysMb(base, phys_mb);
     LaunchSeries series;
     series.config = config;
     System system(config);
@@ -62,6 +65,9 @@ inline std::vector<LaunchSeries> RunLaunchExperiment(int rounds, int warmup) {
       if (round >= warmup) {
         series.rounds.push_back(result);
       }
+    }
+    if (phys_mb > 0) {
+      PrintPressureSummary(system);
     }
     out.push_back(std::move(series));
   }

@@ -6,6 +6,7 @@
 #include <random>
 #include <vector>
 
+#include "src/arch/check.h"
 #include "src/trace/trace.h"
 
 namespace sat {
@@ -18,11 +19,13 @@ namespace {
 // packing them, which is why an app owns on the order of a hundred
 // private page-table pages that no sharing scheme can eliminate
 // (Figure 11's stock baseline).
+// Returns 0 when physical memory stayed exhausted even after the kernel's
+// reclaim/OOM-kill chain (the run is then reported as incomplete).
 VirtAddr MapScattered(Kernel& kernel, Task& task, uint32_t pages, VmProt prot,
                       VmKind kind, FileId file, const std::string& name) {
   const auto spot = task.mm->FindFreeRangeAligned(
       pages * kPageSize, kPtpSpan, 0x10000000, 0xB0000000);
-  assert(spot.has_value() && "address space exhausted");
+  SAT_CHECK(spot.has_value() && "address space exhausted");
   MmapRequest request;
   request.length = pages * kPageSize;
   request.prot = prot;
@@ -31,7 +34,7 @@ VirtAddr MapScattered(Kernel& kernel, Task& task, uint32_t pages, VmProt prot,
   request.fixed_address = *spot;
   request.name = name;
   const VirtAddr at = kernel.Mmap(task, request);
-  assert(at == *spot);
+  SAT_CHECK(at == *spot || at == 0);
   return at;
 }
 
@@ -63,6 +66,11 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
     TraceSpan fork_span(tracer, TraceEventType::kAppPhase);
     fork_span.set_args(static_cast<uint64_t>(AppPhase::kForkApp));
     app = system_->ForkApp(fp.app_name);
+    if (app == nullptr) {
+      // Fork failed with ENOMEM even after reclaim and OOM-kills.
+      stats.completed = false;
+      return stats;
+    }
     fork_span.set_pid(app->pid);
   }
   run_span.set_pid(app->pid);
@@ -87,18 +95,27 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
                             system_->loader().MapAppLibrary(*app, fp.private_code_lib));
   }
 
+  // Under memory pressure any of the mappings below can fail outright
+  // (Mmap returns 0 once reclaim and the OOM killer are both spent); the
+  // run then replays whatever was established and reports !completed.
+  bool out_of_memory = false;
+
   // Private file mappings (apk, resources, fonts, databases): many small
   // scattered regions.
   std::vector<VirtAddr> file_pages;
   {
     uint32_t remaining = fp.private_file_pages;
     uint32_t region_index = 0;
-    while (remaining > 0) {
+    while (remaining > 0 && !out_of_memory) {
       const uint32_t here = std::min(remaining, 48u);
       const VirtAddr base = MapScattered(
           kernel, *app, here, VmProt::ReadOnly(), VmKind::kFilePrivate,
           static_cast<FileId>(next_file_id_++),
           fp.app_name + ":file" + std::to_string(region_index++));
+      if (base == 0) {
+        out_of_memory = true;
+        break;
+      }
       for (uint32_t i = 0; i < here; ++i) {
         file_pages.push_back(base + i * kPageSize);
       }
@@ -111,12 +128,16 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   {
     uint32_t remaining = fp.anon_pages;
     uint32_t region_index = 0;
-    while (remaining > 0) {
+    while (remaining > 0 && !out_of_memory) {
       const uint32_t here = std::min(remaining, 256u);
       const VirtAddr base = MapScattered(
           kernel, *app, kPtpSpan / kPageSize, VmProt::ReadWrite(),
           VmKind::kAnonPrivate, kNoFile,
           fp.app_name + ":heap" + std::to_string(region_index++));
+      if (base == 0) {
+        out_of_memory = true;
+        break;
+      }
       for (uint32_t i = 0; i < here; ++i) {
         heap_pages.push_back(base + i * kPageSize);
       }
@@ -130,11 +151,16 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   {
     const uint32_t misc_regions =
         50 + std::min<uint32_t>(fp.TotalPages() / 80, 80);
-    for (uint32_t region = 0; region < misc_regions; ++region) {
+    for (uint32_t region = 0; region < misc_regions && !out_of_memory;
+         ++region) {
       const uint32_t pages = 8 + static_cast<uint32_t>(rng() % 17);
       const VirtAddr base = MapScattered(
           kernel, *app, pages, VmProt::ReadWrite(), VmKind::kAnonPrivate,
           kNoFile, fp.app_name + ":misc" + std::to_string(region));
+      if (base == 0) {
+        out_of_memory = true;
+        break;
+      }
       const uint32_t touched = std::max(1u, pages / 2);
       for (uint32_t i = 0; i < touched; ++i) {
         misc_pages.push_back(base + i * kPageSize);
@@ -193,11 +219,19 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
     TraceSpan replay_span(tracer, TraceEventType::kAppPhase, app->pid);
     replay_span.set_args(static_cast<uint64_t>(AppPhase::kReplay));
     for (const Event& event : events) {
-      const bool ok = kernel.TouchPage(*app, event.va, event.access);
-      assert(ok && "replay touched an unmapped address");
-      (void)ok;
+      const TouchStatus status =
+          kernel.TouchPageStatus(*app, event.va, event.access);
+      if (status == TouchStatus::kOomKill) {
+        // The app itself was the last remaining OOM victim: stop the
+        // replay; its address space is already torn down.
+        stats.oom_killed = true;
+        break;
+      }
+      SAT_CHECK(status == TouchStatus::kOk &&
+                "replay touched an unmapped address");
     }
   }
+  stats.completed = !out_of_memory && !stats.oom_killed;
 
   const KernelCounters delta = kernel.counters() - before;
   stats.file_faults = delta.faults_file_backed;
@@ -209,7 +243,7 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   stats.present_slots = app->mm->page_table().PresentSlotCount();
   stats.shared_slots = app->mm->page_table().SharedSlotCount();
 
-  if (exit_after) {
+  if (exit_after && app->alive) {
     kernel.Exit(*app);
   }
   return stats;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <random>
 
+#include "src/arch/check.h"
 #include "src/trace/trace.h"
 
 namespace sat {
@@ -69,6 +70,9 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   launch_span.set_args(static_cast<uint64_t>(AppPhase::kLaunch), round);
 
   Task* app = system_->ForkApp("helloworld");
+  // The cycle-level launch pipeline has no partial-run reporting; a
+  // machine too small to hold zygote + one app fails loudly instead.
+  SAT_CHECK(app != nullptr && "launch fork failed: out of physical memory");
   launch_span.set_pid(app->pid);
   kernel.ScheduleTo(*app);
 
@@ -80,7 +84,7 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   file_request.file = app_file_;
   file_request.name = "helloworld:oat";
   const VirtAddr private_base = kernel.Mmap(*app, file_request);
-  assert(private_base != 0);
+  SAT_CHECK(private_base != 0 && "launch mmap failed: out of physical memory");
 
   MmapRequest heap_request;
   heap_request.length = std::max(params_.anon_pages, 1u) * kPageSize;
@@ -88,7 +92,7 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   heap_request.kind = VmKind::kAnonPrivate;
   heap_request.name = "helloworld:heap";
   const VirtAddr heap_base = kernel.Mmap(*app, heap_request);
-  assert(heap_base != 0);
+  SAT_CHECK(heap_base != 0 && "launch mmap failed: out of physical memory");
 
   // -------------------------------------------------------------------
   // Window start.

@@ -1,0 +1,16 @@
+#include "src/arch/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sat {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: SAT_CHECK failed: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace sat

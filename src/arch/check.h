@@ -1,0 +1,35 @@
+// SAT_CHECK: an always-on invariant check.
+//
+// The simulator's safety net — reference counts, sharer counts, COW
+// discipline — must hold in every build. Plain assert() happens to stay
+// live here because the top-level CMakeLists strips -DNDEBUG, but anything
+// embedding these sources with standard Release flags would silently lose
+// the net and corrupt state instead of stopping. SAT_CHECK does not depend
+// on NDEBUG at all: the condition is always evaluated, and a failure
+// prints the site and aborts.
+//
+// Use it for checks that guard state integrity (the ones whose failure
+// means later behaviour is undefined). Cheap debug-only sanity checks can
+// stay assert().
+//
+// The failure message includes the stringified condition, so the
+//   SAT_CHECK(cond && "explanation");
+// idiom carries the explanation into the abort output (and into the
+// death-test expectations that pin these contracts).
+
+#ifndef SRC_ARCH_CHECK_H_
+#define SRC_ARCH_CHECK_H_
+
+namespace sat {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+}  // namespace internal
+}  // namespace sat
+
+#define SAT_CHECK(expr)                                          \
+  ((expr) ? static_cast<void>(0)                                 \
+          : ::sat::internal::CheckFailed(__FILE__, __LINE__, #expr))
+
+#endif  // SRC_ARCH_CHECK_H_

@@ -1,0 +1,51 @@
+#include "src/mem/fault_injector.h"
+
+#include "src/arch/check.h"
+
+namespace sat {
+
+const char* AllocSiteName(AllocSite site) {
+  switch (site) {
+    case AllocSite::kFrame:
+      return "frame";
+    case AllocSite::kContiguous:
+      return "contiguous";
+    case AllocSite::kPtp:
+      return "ptp";
+    case AllocSite::kCount:
+      break;
+  }
+  SAT_CHECK(false && "invalid AllocSite");
+}
+
+void FaultInjector::Reset() {
+  for (uint32_t i = 0; i < kNumSites; ++i) {
+    rules_[i] = FaultRule{};
+    attempts_[i] = 0;
+    injected_[i] = 0;
+  }
+}
+
+bool FaultInjector::ShouldFail(AllocSite site) {
+  const uint32_t i = Index(site);
+  SAT_CHECK(i < kNumSites);
+  const uint64_t attempt = ++attempts_[i];
+  const FaultRule& rule = rules_[i];
+  bool fail = false;
+  if (rule.fail_nth != 0 && attempt == rule.fail_nth) fail = true;
+  if (rule.every_kth != 0 && attempt % rule.every_kth == 0) fail = true;
+  if (rule.probability > 0.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    if (dist(rng_) < rule.probability) fail = true;
+  }
+  if (fail) ++injected_[i];
+  return fail;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < kNumSites; ++i) total += injected_[i];
+  return total;
+}
+
+}  // namespace sat

@@ -1,0 +1,78 @@
+// Deterministic allocation-failure injection.
+//
+// A FaultInjector sits behind PhysicalMemory's Try* allocation entry
+// points and decides, per call site, whether the next allocation should
+// artificially fail. Three knobs per site, combinable:
+//
+//   - fail_nth:     fail exactly the Nth attempt at this site (1-based),
+//   - every_kth:    fail every k-th attempt (k, 2k, 3k, ...),
+//   - probability:  fail each attempt independently with probability p,
+//                   drawn from a seeded PRNG so runs are reproducible.
+//
+// All knobs default to off. The injector only ever affects the fallible
+// Try* paths; the infallible wrappers (AllocFrame etc.) go through the
+// same Try* code, so injection under them turns into a SAT_CHECK abort —
+// tests that want to exercise recovery must call the fallible API (the
+// kernel does).
+
+#ifndef SRC_MEM_FAULT_INJECTOR_H_
+#define SRC_MEM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <random>
+
+namespace sat {
+
+// One entry per distinct allocation site that can be failed independently.
+enum class AllocSite : uint32_t {
+  kFrame = 0,       // single-frame allocations (anon, file cache, kernel)
+  kContiguous = 1,  // naturally-aligned contiguous runs (large pages)
+  kPtp = 2,         // page-table-page frame allocations
+  kCount = 3,
+};
+
+const char* AllocSiteName(AllocSite site);
+
+struct FaultRule {
+  uint64_t fail_nth = 0;    // 0 = off; 1-based attempt index to fail once
+  uint64_t every_kth = 0;   // 0 = off; fail attempts k, 2k, 3k, ...
+  double probability = 0.0; // 0.0 = off; independent per-attempt failure
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  void SetRule(AllocSite site, const FaultRule& rule) {
+    rules_[Index(site)] = rule;
+  }
+  const FaultRule& rule(AllocSite site) const { return rules_[Index(site)]; }
+
+  // Clears all rules and counters; the PRNG keeps advancing (reseed by
+  // constructing a fresh injector if bit-exact replay is needed).
+  void Reset();
+
+  // Called once per allocation attempt at `site`. Returns true if this
+  // attempt should fail. Always counts the attempt, even with no rules set.
+  bool ShouldFail(AllocSite site);
+
+  uint64_t attempts(AllocSite site) const { return attempts_[Index(site)]; }
+  uint64_t injected(AllocSite site) const { return injected_[Index(site)]; }
+  uint64_t total_injected() const;
+
+ private:
+  static constexpr uint32_t kNumSites =
+      static_cast<uint32_t>(AllocSite::kCount);
+  static uint32_t Index(AllocSite site) {
+    return static_cast<uint32_t>(site);
+  }
+
+  FaultRule rules_[kNumSites];
+  uint64_t attempts_[kNumSites] = {};
+  uint64_t injected_[kNumSites] = {};
+  std::mt19937_64 rng_;
+};
+
+}  // namespace sat
+
+#endif  // SRC_MEM_FAULT_INJECTOR_H_

@@ -21,15 +21,22 @@ FrameNumber PageCache::GetOrLoad(FileId file, uint32_t page_index,
     }
     return it->second;
   }
-  const FrameNumber frame = phys_->AllocFrame(FrameKind::kFileCache);
-  PageFrame& f = phys_->frame(frame);
+  const std::optional<FrameNumber> frame =
+      phys_->TryAllocFrame(FrameKind::kFileCache);
+  if (!frame.has_value()) {
+    if (was_hard_fault != nullptr) {
+      *was_hard_fault = false;
+    }
+    return kNoFrame;
+  }
+  PageFrame& f = phys_->frame(*frame);
   f.file = file;
   f.file_page_index = page_index;
-  cache_.emplace(key, frame);
+  cache_.emplace(key, *frame);
   if (was_hard_fault != nullptr) {
     *was_hard_fault = true;
   }
-  return frame;
+  return *frame;
 }
 
 FrameNumber PageCache::GetOrLoadLargeBlock(FileId file, uint32_t block_index,
@@ -45,20 +52,27 @@ FrameNumber PageCache::GetOrLoadLargeBlock(FileId file, uint32_t block_index,
     }
     return it->second;
   }
-  const FrameNumber base =
-      phys_->AllocContiguousFrames(kPtesPerLargePage, FrameKind::kFileCache);
+  const std::optional<FrameNumber> base =
+      phys_->TryAllocContiguousFrames(kPtesPerLargePage, FrameKind::kFileCache);
+  if (!base.has_value()) {
+    if (was_hard_fault != nullptr) {
+      *was_hard_fault = false;
+    }
+    return kNoFrame;
+  }
   for (uint32_t i = 0; i < kPtesPerLargePage; ++i) {
-    PageFrame& f = phys_->frame(base + i);
+    PageFrame& f = phys_->frame(*base + i);
     f.file = file;
     f.file_page_index = base_page + i;
-    const bool inserted = cache_.emplace(Key{file, base_page + i}, base + i).second;
+    const bool inserted =
+        cache_.emplace(Key{file, base_page + i}, *base + i).second;
     assert(inserted && "4 KB pages of this range already cached individually");
     (void)inserted;
   }
   if (was_hard_fault != nullptr) {
     *was_hard_fault = true;
   }
-  return base;
+  return *base;
 }
 
 void PageCache::RemovePage(FileId file, uint32_t page_index) {

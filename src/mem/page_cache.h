@@ -37,6 +37,8 @@ class PageCache {
   // Looks up or loads the page. Sets *was_hard_fault to true when the page
   // had to be "read from disk" (allocated fresh). The returned frame holds
   // the cache's own reference; callers mapping it must RefFrame it.
+  // Returns kNoFrame when the load fails for want of physical memory
+  // (callers reclaim and retry).
   FrameNumber GetOrLoad(FileId file, uint32_t page_index, bool* was_hard_fault);
 
   // 64 KB large-page support: looks up or loads a naturally aligned
@@ -44,7 +46,8 @@ class PageCache {
   // returns the base frame. `block_index` counts 64 KB blocks from the
   // start of the file. A file's pages must be consistently cached at one
   // granularity; mixing GetOrLoad and GetOrLoadLargeBlock over the same
-  // range is a caller error (asserted).
+  // range is a caller error (asserted). Returns kNoFrame when no
+  // contiguous run is available (callers fall back to 4 KB pages).
   FrameNumber GetOrLoadLargeBlock(FileId file, uint32_t block_index,
                                   bool* was_hard_fault);
 
@@ -56,6 +59,15 @@ class PageCache {
   void EvictFile(FileId file);
 
   uint64_t resident_pages() const { return cache_.size(); }
+
+  // Visits every resident page as (file, page_index, frame); for the
+  // invariant auditor and reclaim-style scans.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, frame] : cache_) {
+      fn(key.file, key.page_index, frame);
+    }
+  }
 
  private:
   struct Key {

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <sstream>
 
+#include "src/arch/check.h"
+#include "src/mem/fault_injector.h"
+
 namespace sat {
 
 PhysicalMemory::PhysicalMemory(uint64_t size_bytes) {
@@ -25,15 +28,24 @@ PhysicalMemory::PhysicalMemory(uint64_t size_bytes) {
   frames_[0].ref_count = 1;
 }
 
-FrameNumber PhysicalMemory::AllocFrame(FrameKind kind) {
-  assert(kind != FrameKind::kFree && kind != FrameKind::kZero);
-  // Drop entries claimed out-of-band by AllocContiguousFrames.
+std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
+  SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero);
+  if (injector_ != nullptr) {
+    const AllocSite site = kind == FrameKind::kPageTable ? AllocSite::kPtp
+                                                         : AllocSite::kFrame;
+    if (injector_->ShouldFail(site)) {
+      return std::nullopt;
+    }
+  }
+  // Drop entries claimed out-of-band by TryAllocContiguousFrames.
   while (!free_list_.empty() &&
          frames_[free_list_.back()].kind != FrameKind::kFree) {
     free_listed_[free_list_.back()] = false;
     free_list_.pop_back();
   }
-  assert(!free_list_.empty() && "simulated machine out of physical memory");
+  if (free_list_.empty()) {
+    return std::nullopt;
+  }
   const FrameNumber number = free_list_.back();
   free_list_.pop_back();
   free_listed_[number] = false;
@@ -47,10 +59,15 @@ FrameNumber PhysicalMemory::AllocFrame(FrameKind kind) {
   return number;
 }
 
-FrameNumber PhysicalMemory::AllocContiguousFrames(uint32_t count,
-                                                  FrameKind kind) {
-  assert(count > 0 && (count & (count - 1)) == 0 && "count must be a power of two");
-  assert(kind != FrameKind::kFree && kind != FrameKind::kZero);
+std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
+    uint32_t count, FrameKind kind) {
+  SAT_CHECK(count > 0 && (count & (count - 1)) == 0 &&
+            "count must be a power of two");
+  SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero);
+  if (injector_ != nullptr &&
+      injector_->ShouldFail(AllocSite::kContiguous)) {
+    return std::nullopt;
+  }
   // First-fit scan over naturally aligned candidate runs. Frame 0 is the
   // zero page, so candidates start at `count`.
   for (FrameNumber base = count;
@@ -72,14 +89,27 @@ FrameNumber PhysicalMemory::AllocContiguousFrames(uint32_t count,
       f.map_count = 0;
       f.file = kNoFile;
       f.file_page_index = 0;
-      // Remove from the free list lazily: AllocFrame skips non-free
+      // Remove from the free list lazily: TryAllocFrame skips non-free
       // entries it pops.
     }
     free_count_ -= count;
     return base;
   }
-  assert(false && "no contiguous physical run available");
-  return 0;
+  return std::nullopt;
+}
+
+FrameNumber PhysicalMemory::AllocFrame(FrameKind kind) {
+  std::optional<FrameNumber> number = TryAllocFrame(kind);
+  SAT_CHECK(number.has_value() &&
+            "simulated machine out of physical memory");
+  return *number;
+}
+
+FrameNumber PhysicalMemory::AllocContiguousFrames(uint32_t count,
+                                                  FrameKind kind) {
+  std::optional<FrameNumber> base = TryAllocContiguousFrames(count, kind);
+  SAT_CHECK(base.has_value() && "no contiguous physical run available");
+  return *base;
 }
 
 bool PhysicalMemory::UnrefFrame(FrameNumber number) {
@@ -87,7 +117,7 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
   if (f.kind == FrameKind::kZero || f.kind == FrameKind::kKernel) {
     return false;  // permanent frames are never freed
   }
-  assert(f.ref_count > 0 && "unref of a dead frame");
+  SAT_CHECK(f.ref_count > 0 && "unref of a dead frame");
   if (--f.ref_count > 0) {
     return false;
   }
@@ -104,7 +134,7 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
 
 void PhysicalMemory::RefFrame(FrameNumber number) {
   PageFrame& f = frame(number);
-  assert(f.kind != FrameKind::kFree && "ref of a free frame");
+  SAT_CHECK(f.kind != FrameKind::kFree && "ref of a free frame");
   if (f.kind == FrameKind::kZero || f.kind == FrameKind::kKernel) {
     return;  // permanent frames are not reference counted (see UnrefFrame)
   }

@@ -10,10 +10,15 @@
 #define SRC_MEM_PHYS_MEMORY_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/arch/types.h"
+
+namespace sat {
+class FaultInjector;
+}
 
 namespace sat {
 
@@ -56,9 +61,13 @@ struct PageFrame {
   uint32_t file_page_index = 0;
 };
 
-// Out-of-memory and misuse are programming errors in this simulation, so
-// PhysicalMemory aborts (via assert-style checks) rather than returning
-// failure: the experiments size memory generously.
+// Allocation is fallible: the Try* entry points return std::nullopt when
+// the free list (or a contiguous run) is exhausted, or when an attached
+// FaultInjector decides this attempt should fail. The kernel reacts by
+// reclaiming and, as a last resort, OOM-killing. The infallible wrappers
+// (AllocFrame etc.) exist for callers that have sized memory generously —
+// mostly tests — and SAT_CHECK-abort on failure. Misuse (bad kinds,
+// double-free) is always a programming error and aborts.
 class PhysicalMemory {
  public:
   // `size_bytes` must be a multiple of the page size.
@@ -67,13 +76,26 @@ class PhysicalMemory {
   PhysicalMemory(const PhysicalMemory&) = delete;
   PhysicalMemory& operator=(const PhysicalMemory&) = delete;
 
-  // Allocates one frame of the given kind with ref_count 1.
-  FrameNumber AllocFrame(FrameKind kind);
+  // Optional deterministic failure injection; consulted by the Try*
+  // allocators. Not owned. Pass nullptr to detach.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
-  // Allocates `count` physically contiguous frames (first-fit) and
-  // returns the first frame number; each frame gets ref_count 1. Needed
-  // for 64 KB large pages, whose 16 backing frames must be contiguous
-  // and naturally aligned.
+  // Allocates one frame of the given kind with ref_count 1, or nullopt if
+  // physical memory is exhausted (or a fault was injected).
+  std::optional<FrameNumber> TryAllocFrame(FrameKind kind);
+
+  // Allocates `count` physically contiguous frames (first-fit, naturally
+  // aligned) and returns the first frame number; each frame gets
+  // ref_count 1. Needed for 64 KB large pages, whose 16 backing frames
+  // must be contiguous and naturally aligned. Returns nullopt when no
+  // run exists (fragmentation counts: free_frames() may exceed `count`
+  // and this can still fail).
+  std::optional<FrameNumber> TryAllocContiguousFrames(uint32_t count,
+                                                      FrameKind kind);
+
+  // Infallible wrappers: SAT_CHECK-abort instead of returning failure.
+  FrameNumber AllocFrame(FrameKind kind);
   FrameNumber AllocContiguousFrames(uint32_t count, FrameKind kind);
 
   // Drops one reference; frees the frame when the count reaches zero.
@@ -107,6 +129,7 @@ class PhysicalMemory {
   std::vector<bool> free_listed_;
   uint64_t free_count_ = 0;
   FrameNumber zero_frame_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace sat

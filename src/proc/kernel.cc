@@ -2,11 +2,25 @@
 
 #include <cassert>
 
+#include "src/arch/check.h"
+
 namespace sat {
+
+namespace {
+
+// Pages a direct-reclaim pass tries to free per allocation failure (the
+// kernel's batch; small enough to keep the cache warm, large enough that
+// one pass usually unblocks the allocation).
+constexpr uint32_t kDirectReclaimBatch = 256;
+
+}  // namespace
 
 Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   tracer_ = std::make_unique<Tracer>(params.trace);
+  fault_injector_ =
+      std::make_unique<FaultInjector>(params.fault_injection_seed);
   phys_ = std::make_unique<PhysicalMemory>(params.phys_bytes);
+  phys_->set_fault_injector(fault_injector_.get());
   page_cache_ = std::make_unique<PageCache>(phys_.get());
   ptp_allocator_ = std::make_unique<PtpAllocator>(phys_.get(), &counters_);
   vm_ = std::make_unique<VmManager>(phys_.get(), page_cache_.get(), &counters_,
@@ -113,8 +127,30 @@ Task* Kernel::Fork(Task& parent, const std::string& name) {
     child->mm->set_user_domain(parent.mm->user_domain());
   }
 
-  last_fork_result_ =
-      vm_->Fork(*parent.mm, *child->mm, FlushFnFor(parent));
+  while (true) {
+    last_fork_result_ =
+        vm_->Fork(*parent.mm, *child->mm, FlushFnFor(parent));
+    if (last_fork_result_.ok) {
+      break;
+    }
+    // ENOMEM mid-copy: tear the partial child address space down (regions,
+    // PTEs, PTPs, sharer and frame references), then try to free memory.
+    // The parent is immune — killing the forking task to satisfy its own
+    // fork would be absurd.
+    vm_->ExitMm(*child->mm);
+    if (!RelieveMemoryPressure(&parent, child)) {
+      // Nothing reclaimable and nobody to kill: the fork fails. Undo the
+      // task creation entirely — the child is the youngest task, so its
+      // pid and ASID are simply un-issued again.
+      counters_.forks_failed++;
+      assert(tasks_.back().get() == child);
+      tasks_.pop_back();
+      next_pid_--;
+      next_asid_--;
+      span.set_args(0, 0);
+      return nullptr;
+    }
+  }
   machine_->core(parent.last_core)
       .RunKernelPath(KernelPath::kFork, last_fork_result_.cycles,
                      /*text_lines=*/180);
@@ -164,23 +200,57 @@ VirtAddr Kernel::Mmap(Task& task, MmapRequest request) {
   if (task.zygote) {
     request.zygote_preloaded = true;
   }
-  return vm_->Mmap(*task.mm, request, FlushFnFor(task));
+  while (true) {
+    bool oom = false;
+    const VirtAddr addr = vm_->Mmap(*task.mm, request, FlushFnFor(task), &oom);
+    if (addr != 0 || !oom) {
+      return addr;
+    }
+    if (!RelieveMemoryPressure(&task)) {
+      return 0;  // ENOMEM with nothing left to free
+    }
+  }
 }
 
 void Kernel::Munmap(Task& task, VirtAddr start, uint32_t length) {
-  vm_->Munmap(*task.mm, start, length, FlushFnFor(task));
+  while (true) {
+    bool oom = false;
+    vm_->Munmap(*task.mm, start, length, FlushFnFor(task), &oom);
+    if (!oom) {
+      break;
+    }
+    if (!RelieveMemoryPressure(&task)) {
+      // Nothing left to free and the unmap's unshare step cannot proceed:
+      // the caller is the last resort (its teardown completes the unmap).
+      OomKill(task);
+      return;
+    }
+  }
   FlushRange(task, start, start + length);
 }
 
 void Kernel::Mprotect(Task& task, VirtAddr start, uint32_t length, VmProt prot) {
-  vm_->Mprotect(*task.mm, start, length, prot, FlushFnFor(task));
+  while (true) {
+    bool oom = false;
+    vm_->Mprotect(*task.mm, start, length, prot, FlushFnFor(task), &oom);
+    if (!oom) {
+      break;
+    }
+    if (!RelieveMemoryPressure(&task)) {
+      OomKill(task);
+      return;
+    }
+  }
   FlushRange(task, start, start + length);
 }
 
-bool Kernel::TouchPage(Task& task, VirtAddr va, AccessType access) {
+TouchStatus Kernel::TouchPageStatus(Task& task, VirtAddr va,
+                                    AccessType access) {
   assert(task.mm != nullptr);
   PageTable& pt = task.mm->page_table();
-  for (int attempt = 0; attempt < 4; ++attempt) {
+  // Each iteration either succeeds, makes fault progress, or frees
+  // memory; the cap only guards against a livelocked fault handler.
+  for (int attempt = 0; attempt < 64; ++attempt) {
     const auto ref = pt.FindPte(va);
     if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
       const HwPte hw = ref->ptp->hw(ref->index);
@@ -207,7 +277,7 @@ bool Kernel::TouchPage(Task& task, VirtAddr va, AccessType access) {
           sw.set_young(true);
           pt.UpdatePte(va, hw, sw, /*allow_shared=*/true);
         }
-        return true;
+        return TouchStatus::kOk;
       }
     }
     MemoryAbort abort;
@@ -219,12 +289,29 @@ bool Kernel::TouchPage(Task& task, VirtAddr va, AccessType access) {
     abort.is_prefetch_abort = access == AccessType::kExecute;
     const FaultOutcome outcome =
         vm_->HandleFault(*task.mm, abort, FlushFnFor(task));
-    if (!outcome.ok) {
-      return false;
+    if (outcome.ok) {
+      continue;
+    }
+    if (!outcome.oom) {
+      return TouchStatus::kSigSegv;
+    }
+    // The fault handler could not allocate. Reclaim / kill and retry; the
+    // toucher itself is a legitimate victim (no immunity), and if nothing
+    // else can be freed it falls on its own sword, Linux-style.
+    if (!RelieveMemoryPressure(nullptr)) {
+      OomKill(task);
+      return TouchStatus::kOomKill;
+    }
+    if (!task.alive) {
+      return TouchStatus::kOomKill;  // we were the chosen victim
     }
   }
-  assert(false && "TouchPage made no progress");
-  return false;
+  SAT_CHECK(false && "TouchPage made no progress");
+  return TouchStatus::kSigSegv;
+}
+
+bool Kernel::TouchPage(Task& task, VirtAddr va, AccessType access) {
+  return TouchPageStatus(task, va, access) == TouchStatus::kOk;
 }
 
 ReclaimStats Kernel::ReclaimFileCache(uint32_t target) {
@@ -232,6 +319,96 @@ ReclaimStats Kernel::ReclaimFileCache(uint32_t target) {
   return reclaimer_->ReclaimFileCache(target, [this, all](VirtAddr va) {
     machine_->ShootdownVa(va, all, /*initiator=*/0);
   });
+}
+
+uint64_t Kernel::TaskRssPages(const Task& task) const {
+  return task.mm == nullptr ? 0 : task.mm->page_table().PresentPteCount();
+}
+
+Task* Kernel::PickOomVictim(const Task* immune, const Task* immune2) {
+  Task* victim = nullptr;
+  uint64_t victim_rss = 0;
+  for (const auto& candidate : tasks_) {
+    Task* t = candidate.get();
+    if (!t->alive || t->zygote || t == immune || t == immune2 ||
+        t->mm == nullptr) {
+      continue;  // the zygote is sacred (Android's oom_score_adj analogue)
+    }
+    const uint64_t rss = TaskRssPages(*t);
+    // Largest RSS wins; ties go to the younger task (higher pid), which
+    // matches "kill the most recently spawned of equals".
+    if (victim == nullptr || rss > victim_rss ||
+        (rss == victim_rss && t->pid > victim->pid)) {
+      victim = t;
+      victim_rss = rss;
+    }
+  }
+  return victim;
+}
+
+void Kernel::OomKill(Task& victim) {
+  counters_.oom_kills++;
+  Tracer::Emit(tracer_.get(), TraceEventType::kOomKill, victim.pid,
+               victim.pid, TaskRssPages(victim));
+  victim.oom_killed = true;
+  Exit(victim);
+}
+
+bool Kernel::RelieveMemoryPressure(const Task* immune, const Task* immune2) {
+  // Stage 1: direct reclaim of clean file-cache pages. Their contents are
+  // refetchable, so dropping them is free apart from future soft faults.
+  counters_.direct_reclaims++;
+  const ReclaimStats stats = ReclaimFileCache(kDirectReclaimBatch);
+  Tracer::Emit(tracer_.get(), TraceEventType::kDirectReclaim, 0,
+               stats.pages_reclaimed, phys_->free_frames());
+  if (stats.pages_reclaimed > 0) {
+    return true;
+  }
+  // Stage 2: the OOM killer.
+  Task* victim = PickOomVictim(immune, immune2);
+  if (victim == nullptr) {
+    return false;
+  }
+  OomKill(*victim);
+  return true;
+}
+
+AuditReport Kernel::AuditInvariants() const {
+  AuditInput input;
+  input.phys = phys_.get();
+  input.page_cache = page_cache_.get();
+  input.ptps = ptp_allocator_.get();
+  input.rmap = &rmap_;
+  input.hw_l1_write_protect = vm_->config().hw_l1_write_protect;
+  for (const auto& task : tasks_) {
+    if (!task->alive || task->mm == nullptr) {
+      continue;
+    }
+    input.spaces.push_back(AuditSpace{task->mm.get(), task->pid, task->asid,
+                                      task->IsZygoteLike(), task->dacr});
+  }
+  for (uint32_t c = 0; c < machine_->num_cores(); ++c) {
+    Core& core = machine_->core(c);
+    const MainTlb& main = core.main_tlb();
+    for (uint32_t set = 0; set < main.num_sets(); ++set) {
+      for (uint32_t way = 0; way < main.ways(); ++way) {
+        const TlbEntry& entry = main.EntryAt(set, way);
+        if (entry.valid) {
+          input.tlb_entries.push_back(AuditTlbEntry{entry, c, "main"});
+        }
+      }
+    }
+    const auto collect_micro = [&](const MicroTlb& micro, const char* which) {
+      for (uint32_t i = 0; i < micro.num_entries(); ++i) {
+        if (micro.EntryAt(i).valid) {
+          input.tlb_entries.push_back(AuditTlbEntry{micro.EntryAt(i), c, which});
+        }
+      }
+    };
+    collect_micro(core.micro_itlb(), "micro-i");
+    collect_micro(core.micro_dtlb(), "micro-d");
+  }
+  return sat::AuditInvariants(input);
 }
 
 void Kernel::ScheduleTo(Task& task, uint32_t core_id) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/hw/machine.h"
+#include "src/mem/fault_injector.h"
 #include "src/mem/page_cache.h"
 #include "src/mem/phys_memory.h"
 #include "src/pt/ptp.h"
@@ -28,6 +29,7 @@
 #include "src/stats/counters.h"
 #include "src/proc/task.h"
 #include "src/trace/trace.h"
+#include "src/vm/audit.h"
 #include "src/vm/reclaim.h"
 #include "src/vm/vm_manager.h"
 
@@ -44,6 +46,16 @@ struct KernelParams {
   CostModel costs = CostModel::Default();
   // Event tracing (off by default; never charges simulated cycles).
   TraceConfig trace;
+  // Seed for the deterministic allocation-failure injector (inert until a
+  // rule is set via kernel.fault_injector().SetRule(...)).
+  uint64_t fault_injection_seed = 42;
+};
+
+// How a TouchPage access ended.
+enum class TouchStatus : uint8_t {
+  kOk = 0,
+  kSigSegv,   // unresolvable fault (bad address / permission)
+  kOomKill,   // the touching task was OOM-killed while faulting
 };
 
 class Kernel {
@@ -63,7 +75,10 @@ class Kernel {
   // Forks `parent`. Copies the address space under the configured kernel
   // (stock / copied-PTEs / shared-PTPs), propagates the zygote-child flag
   // and DACR, assigns a fresh ASID, and charges the modelled fork cost to
-  // the core. Returns the child.
+  // the core. Returns the child, or nullptr on ENOMEM — after direct
+  // reclaim and OOM-kills (never of the parent) have failed to free
+  // enough memory. On failure every piece of partially-built child state
+  // (task slot, pid, ASID, page tables, frame references) is rolled back.
   Task* Fork(Task& parent, const std::string& name);
 
   // Replaces the task's address space (execve). `is_zygote` sets the
@@ -83,7 +98,10 @@ class Kernel {
 
   // The kernel-side global-region policy rides on mmap (Section 3.2.2): a
   // file-backed executable mapping created by a task with the zygote flag
-  // is marked global (when TLB sharing is configured).
+  // is marked global (when TLB sharing is configured). Under memory
+  // pressure the kernel reclaims / OOM-kills (never `task`) and retries;
+  // Mmap returns 0 if memory stays exhausted. Munmap/Mprotect OOM-kill
+  // the caller as the very last resort (check task.alive afterwards).
   VirtAddr Mmap(Task& task, MmapRequest request);
   void Munmap(Task& task, VirtAddr start, uint32_t length);
   void Mprotect(Task& task, VirtAddr start, uint32_t length, VmProt prot);
@@ -93,7 +111,12 @@ class Kernel {
   // -------------------------------------------------------------------------
 
   // Page-granular access on behalf of `task` (no TLB/cache simulation).
-  // Returns false on SIGSEGV.
+  // Distinguishes a bad access (kSigSegv) from death under memory
+  // pressure (kOomKill: the task was chosen — or fell back to — as the
+  // OOM victim while faulting; it is no longer alive).
+  TouchStatus TouchPageStatus(Task& task, VirtAddr va, AccessType access);
+
+  // Convenience wrapper: true iff the access succeeded.
   bool TouchPage(Task& task, VirtAddr va, AccessType access);
 
   // Installs `task` on a core with full context-switch modelling.
@@ -110,6 +133,33 @@ class Kernel {
   // Reclaims up to `target` clean page-cache pages, unmapping them from
   // every mapping page table via the reverse map, with TLB shootdowns.
   ReclaimStats ReclaimFileCache(uint32_t target);
+
+  // The allocate → direct-reclaim → OOM-kill chain (run automatically by
+  // the fault/fork/mmap paths; public so tests can drive it). Returns
+  // true if it freed anything: first a direct-reclaim pass over the file
+  // cache, then — if that freed nothing — the OOM killer picks the
+  // largest-RSS task that is not the zygote and not in `immune` and
+  // kills it. Returns false when there is nothing left to reclaim or
+  // kill. `immune2` exists for fork, which must protect both the parent
+  // and the half-built child.
+  bool RelieveMemoryPressure(const Task* immune, const Task* immune2 = nullptr);
+
+  // The victim the OOM killer would pick right now (nullptr when none).
+  Task* PickOomVictim(const Task* immune, const Task* immune2 = nullptr);
+
+  // A task's resident set in pages (valid PTEs across its page table) —
+  // the OOM killer's badness metric.
+  uint64_t TaskRssPages(const Task& task) const;
+
+  // Deterministic allocation-failure injection (inert until rules are
+  // set); wired into PhysicalMemory's fallible allocators.
+  FaultInjector& fault_injector() { return *fault_injector_; }
+
+  // Cross-checks every redundant piece of kernel state — frame reference
+  // counts, rmap, PTP sharer counts, NEED_COPY write protection, TLB
+  // contents, DACR/domain assignments — over all live tasks and cores.
+  // Read-only; see src/vm/audit.h. Tests assert report.ok().
+  AuditReport AuditInvariants() const;
 
   Machine& machine() { return *machine_; }
   Core& core(uint32_t index = 0) { return machine_->core(index); }
@@ -131,6 +181,8 @@ class Kernel {
 
  private:
   Asid AllocateAsid();
+  // Kills `victim`: counters, trace, oom_killed flag, then Exit.
+  void OomKill(Task& victim);
   MmuContext ContextFor(Task& task);
   // The flush-current-process callback handed to VM operations: an ASID
   // shootdown over the task's cpumask.
@@ -141,6 +193,7 @@ class Kernel {
   CostModel costs_;
   KernelCounters counters_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<PhysicalMemory> phys_;
   std::unique_ptr<PageCache> page_cache_;
   std::unique_ptr<PtpAllocator> ptp_allocator_;

@@ -33,6 +33,8 @@ struct Task {
   DomainAccessControl dacr = DomainAccessControl::StockDefault();
 
   bool alive = true;
+  // Set when the OOM killer (not a voluntary Exit) terminated the task.
+  bool oom_killed = false;
 
   bool IsZygoteLike() const { return zygote || zygote_child; }
 };

@@ -2,35 +2,33 @@
 
 #include <cassert>
 
+#include "src/arch/check.h"
 #include "src/trace/trace.h"
 
 namespace sat {
 
 PageTable::~PageTable() { ReleaseAll(); }
 
-namespace {
-
-// The frame a PTE at `index` actually maps. ARM large-page descriptors
-// are 16 identical replicas all naming the *base* frame of the 64 KB
-// block; the replica at offset i maps base + i.
-FrameNumber MappedFrameOf(const HwPte& pte, uint32_t index) {
-  if (!pte.large()) {
-    return pte.frame();
-  }
-  return pte.frame() + (index & (kPtesPerLargePage - 1));
-}
-
-}  // namespace
-
-PageTablePage& PageTable::EnsurePtp(VirtAddr va, DomainId domain) {
-  assert(IsUserAddress(va));
+PageTablePage* PageTable::TryEnsurePtp(VirtAddr va, DomainId domain) {
+  SAT_CHECK(IsUserAddress(va));
   L1Entry& entry = l1_[PtpSlotIndex(va)];
-  assert(!entry.need_copy && "mutating access to a NEED_COPY slot; unshare first");
+  SAT_CHECK(!entry.need_copy &&
+            "mutating access to a NEED_COPY slot; unshare first");
   if (!entry.present()) {
-    entry.ptp = alloc_->Alloc();
+    const std::optional<PtpId> id = alloc_->TryAlloc();
+    if (!id.has_value()) {
+      return nullptr;
+    }
+    entry.ptp = *id;
     entry.domain = domain;
   }
-  return alloc_->Get(entry.ptp);
+  return &alloc_->Get(entry.ptp);
+}
+
+PageTablePage& PageTable::EnsurePtp(VirtAddr va, DomainId domain) {
+  PageTablePage* ptp = TryEnsurePtp(va, domain);
+  SAT_CHECK(ptp != nullptr && "out of physical memory for page tables");
+  return *ptp;
 }
 
 std::optional<PteRef> PageTable::FindPte(VirtAddr va) const {
@@ -67,11 +65,11 @@ void PageTable::DropFrame(const HwPte& pte, PtpId ptp, uint32_t index) {
 void PageTable::SetPte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
                        bool allow_shared) {
   const L1Entry& entry = l1_[PtpSlotIndex(va)];
-  assert(entry.present() && "SetPte without a PTP; call EnsurePtp");
-  assert((!entry.need_copy || allow_shared) &&
-         "mutating a NEED_COPY slot; unshare first");
-  assert((!entry.need_copy || hw_pte.perm() != PtePerm::kReadWrite) &&
-         "a PTE installed in a shared PTP must be write-protected");
+  SAT_CHECK(entry.present() && "SetPte without a PTP; call EnsurePtp");
+  SAT_CHECK((!entry.need_copy || allow_shared) &&
+            "mutating a NEED_COPY slot; unshare first");
+  SAT_CHECK((!entry.need_copy || hw_pte.perm() != PtePerm::kReadWrite) &&
+            "a PTE installed in a shared PTP must be write-protected");
   (void)allow_shared;
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   const uint32_t index = PteIndexInPtp(va);
@@ -89,7 +87,8 @@ void PageTable::ClearPte(VirtAddr va) {
   if (!entry.present()) {
     return;
   }
-  assert(!entry.need_copy && "clearing a PTE in a NEED_COPY slot; unshare first");
+  SAT_CHECK(!entry.need_copy &&
+            "clearing a PTE in a NEED_COPY slot; unshare first");
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   const uint32_t index = PteIndexInPtp(va);
   DropFrame(ptp.hw(index), entry.ptp, index);
@@ -99,9 +98,9 @@ void PageTable::ClearPte(VirtAddr va) {
 void PageTable::UpdatePte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
                           bool allow_shared) {
   const L1Entry& entry = l1_[PtpSlotIndex(va)];
-  assert(entry.present());
-  assert((!entry.need_copy || allow_shared) &&
-         "updating a PTE in a NEED_COPY slot; unshare first");
+  SAT_CHECK(entry.present());
+  SAT_CHECK((!entry.need_copy || allow_shared) &&
+            "updating a PTE in a NEED_COPY slot; unshare first");
   (void)allow_shared;
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   const uint32_t index = PteIndexInPtp(va);
@@ -149,8 +148,8 @@ uint32_t PageTable::CountPresentInRange(VirtAddr start, VirtAddr end) const {
 uint32_t PageTable::ShareSlotInto(PageTable& child, uint32_t slot,
                                   bool skip_write_protect_pass) {
   L1Entry& entry = l1_[slot];
-  assert(entry.present() && "cannot share an empty slot");
-  assert(!child.l1_[slot].present() && "child slot already populated");
+  SAT_CHECK(entry.present() && "cannot share an empty slot");
+  SAT_CHECK(!child.l1_[slot].present() && "child slot already populated");
 
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   uint32_t protected_count = 0;
@@ -191,23 +190,45 @@ uint32_t PageTable::ShareSlotInto(PageTable& child, uint32_t slot,
 uint32_t PageTable::UnshareSlot(uint32_t slot, bool copy_referenced_only,
                                 const std::function<void()>& flush_tlb,
                                 bool write_protect_on_copy) {
+  std::optional<uint32_t> copied =
+      TryUnshareSlot(slot, copy_referenced_only, flush_tlb,
+                     write_protect_on_copy);
+  SAT_CHECK(copied.has_value() &&
+            "out of physical memory for page tables while unsharing");
+  return *copied;
+}
+
+std::optional<uint32_t> PageTable::TryUnshareSlot(
+    uint32_t slot, bool copy_referenced_only,
+    const std::function<void()>& flush_tlb, bool write_protect_on_copy) {
   L1Entry& entry = l1_[slot];
-  assert(entry.present());
+  SAT_CHECK(entry.present());
   if (!entry.need_copy) {
     return 0;  // already private
   }
-  counters_->ptps_unshared++;
-  // The span brackets the flush + copy work; `b` carries the copy count
-  // (0 on the sole-sharer fast path, which only drops the COW mark).
-  TraceSpan span(tracer_, TraceEventType::kUnshareSlot);
-  span.set_args(slot, 0);
   if (alloc_->SharerCount(entry.ptp) == 1) {
     // Sole remaining user: the PTP is ours again; just drop the COW mark.
+    counters_->ptps_unshared++;
+    TraceSpan span(tracer_, TraceEventType::kUnshareSlot);
+    span.set_args(slot, 0);
     entry.need_copy = false;
     return 0;
   }
 
-  // Figure 6, shared path: detach, flush our TLB entries, copy into a
+  // Allocate the private PTP before detaching anything, so an allocation
+  // failure is invisible: both sharers keep their (still valid) view of
+  // the shared slot and the caller can reclaim and retry.
+  const std::optional<PtpId> fresh_opt = alloc_->TryAlloc();
+  if (!fresh_opt.has_value()) {
+    return std::nullopt;
+  }
+  const PtpId fresh_id = *fresh_opt;
+  counters_->ptps_unshared++;
+  // The span brackets the flush + copy work; `b` carries the copy count.
+  TraceSpan span(tracer_, TraceEventType::kUnshareSlot);
+  span.set_args(slot, 0);
+
+  // Figure 6, shared path: detach, flush our TLB entries, copy into the
   // fresh private PTP, release the shared one.
   const PtpId shared_id = entry.ptp;
   const DomainId domain = entry.domain;
@@ -216,7 +237,6 @@ uint32_t PageTable::UnshareSlot(uint32_t slot, bool copy_referenced_only,
     flush_tlb();
   }
 
-  const PtpId fresh_id = alloc_->Alloc();
   PageTablePage& fresh = alloc_->Get(fresh_id);
   PageTablePage& shared = alloc_->Get(shared_id);
   uint32_t copied = 0;
@@ -240,7 +260,7 @@ uint32_t PageTable::UnshareSlot(uint32_t slot, bool copy_referenced_only,
   counters_->ptes_copied += copied;
 
   const bool destroyed = alloc_->DropSharer(shared_id);
-  assert(!destroyed && "sharer count said >1");
+  SAT_CHECK(!destroyed && "sharer count said >1");
   (void)destroyed;
 
   entry = L1Entry{fresh_id, domain, /*need_copy=*/false};
@@ -288,6 +308,16 @@ uint32_t PageTable::SharedSlotCount() const {
   for (const L1Entry& entry : l1_) {
     if (entry.present() && entry.need_copy) {
       count++;
+    }
+  }
+  return count;
+}
+
+uint64_t PageTable::PresentPteCount() const {
+  uint64_t count = 0;
+  for (const L1Entry& entry : l1_) {
+    if (entry.present()) {
+      count += alloc_->Get(entry.ptp).present_count();
     }
   }
   return count;

@@ -38,6 +38,17 @@ struct PteRef {
   uint32_t index = 0;
 };
 
+// The frame a PTE at `index` actually maps. ARM large-page descriptors
+// are 16 identical replicas all naming the *base* frame of the 64 KB
+// block; the replica at offset i maps base + i. Shared with the invariant
+// auditor, which recounts frame references from raw PTEs.
+inline FrameNumber MappedFrameOf(const HwPte& pte, uint32_t index) {
+  if (!pte.large()) {
+    return pte.frame();
+  }
+  return pte.frame() + (index & (kPtesPerLargePage - 1));
+}
+
 class PageTable {
  public:
   // `rmap` is the kernel-wide reverse map; pass nullptr in page-table-only
@@ -64,8 +75,12 @@ class PageTable {
 
   // Returns the PTP of `va`'s slot, allocating a fresh (private) one if the
   // slot is empty. Must not be called on a NEED_COPY slot for a mutating
-  // purpose — unshare first; asserts on that misuse.
+  // purpose — unshare first; aborts on that misuse.
   PageTablePage& EnsurePtp(VirtAddr va, DomainId domain);
+
+  // Fallible variant: returns nullptr if an empty slot needs a PTP and no
+  // physical frame is available. The slot is left untouched on failure.
+  PageTablePage* TryEnsurePtp(VirtAddr va, DomainId domain);
 
   // -------------------------------------------------------------------------
   // Second level.
@@ -135,6 +150,15 @@ class PageTable {
                        const std::function<void()>& flush_tlb,
                        bool write_protect_on_copy = false);
 
+  // Fallible variant: returns nullopt if the private copy's PTP cannot be
+  // allocated. The fresh PTP is allocated *before* the slot is detached,
+  // so failure leaves the slot (and both sharers' view of it) untouched —
+  // callers can reclaim and retry.
+  std::optional<uint32_t> TryUnshareSlot(uint32_t slot,
+                                         bool copy_referenced_only,
+                                         const std::function<void()>& flush_tlb,
+                                         bool write_protect_on_copy = false);
+
   // Releases `slot` entirely (process exit / full teardown): drops the
   // sharer reference, destroying the PTP and releasing its mapped frames
   // if this was the last sharer.
@@ -151,6 +175,10 @@ class PageTable {
   uint32_t PresentSlotCount() const;
   // Number of slots whose PTP is marked NEED_COPY here.
   uint32_t SharedSlotCount() const;
+  // Number of valid PTEs across all present slots — the space's resident
+  // set, counting pages in shared PTPs for every sharer (the OOM killer's
+  // RSS metric).
+  uint64_t PresentPteCount() const;
 
   PtpAllocator& allocator() { return *alloc_; }
 

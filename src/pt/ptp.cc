@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/arch/check.h"
+
 namespace sat {
 
 void PageTablePage::Set(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
@@ -34,21 +36,32 @@ void PageTablePage::UpdateFlags(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
   sw_[index] = sw_pte;
 }
 
-PtpId PtpAllocator::Alloc() {
-  const FrameNumber frame = phys_->AllocFrame(FrameKind::kPageTable);
-  phys_->frame(frame).map_count = 1;
+std::optional<PtpId> PtpAllocator::TryAlloc() {
+  const std::optional<FrameNumber> frame =
+      phys_->TryAllocFrame(FrameKind::kPageTable);
+  if (!frame.has_value()) {
+    return std::nullopt;
+  }
+  phys_->frame(*frame).map_count = 1;
   PtpId id;
   if (!free_ids_.empty()) {
     id = free_ids_.back();
     free_ids_.pop_back();
-    slab_[static_cast<size_t>(id)] = std::make_unique<PageTablePage>(id, frame);
+    slab_[static_cast<size_t>(id)] =
+        std::make_unique<PageTablePage>(id, *frame);
   } else {
     id = static_cast<PtpId>(slab_.size());
-    slab_.push_back(std::make_unique<PageTablePage>(id, frame));
+    slab_.push_back(std::make_unique<PageTablePage>(id, *frame));
   }
   counters_->ptps_allocated++;
   live_count_++;
   return id;
+}
+
+PtpId PtpAllocator::Alloc() {
+  std::optional<PtpId> id = TryAlloc();
+  SAT_CHECK(id.has_value() && "out of physical memory for page tables");
+  return *id;
 }
 
 PageTablePage& PtpAllocator::Get(PtpId id) {
@@ -61,6 +74,13 @@ const PageTablePage& PtpAllocator::Get(PtpId id) const {
   assert(id >= 0 && static_cast<size_t>(id) < slab_.size());
   assert(slab_[static_cast<size_t>(id)] != nullptr && "use of freed PTP");
   return *slab_[static_cast<size_t>(id)];
+}
+
+const PageTablePage* PtpAllocator::GetIfLive(PtpId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= slab_.size()) {
+    return nullptr;
+  }
+  return slab_[static_cast<size_t>(id)].get();
 }
 
 uint32_t PtpAllocator::SharerCount(PtpId id) const {

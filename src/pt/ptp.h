@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/arch/pte.h"
@@ -82,11 +83,19 @@ class PtpAllocator {
   PtpAllocator(const PtpAllocator&) = delete;
   PtpAllocator& operator=(const PtpAllocator&) = delete;
 
-  // Allocates a PTP with sharer count 1 and bumps ptps_allocated.
+  // Allocates a PTP with sharer count 1 and bumps ptps_allocated, or
+  // returns nullopt if no physical frame is available.
+  std::optional<PtpId> TryAlloc();
+
+  // Infallible wrapper: SAT_CHECK-aborts instead of returning failure.
   PtpId Alloc();
 
   PageTablePage& Get(PtpId id);
   const PageTablePage& Get(PtpId id) const;
+
+  // Like Get but returns nullptr for freed/out-of-range ids (for the
+  // invariant auditor, which must not abort on the corruption it reports).
+  const PageTablePage* GetIfLive(PtpId id) const;
 
   // Sharer-count (map_count) manipulation.
   uint32_t SharerCount(PtpId id) const;
@@ -98,6 +107,16 @@ class PtpAllocator {
   bool DropSharer(PtpId id);
 
   uint64_t live_ptps() const { return live_count_; }
+
+  // Visits every live PTP (for the invariant auditor).
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const auto& ptp : slab_) {
+      if (ptp != nullptr) {
+        fn(*ptp);
+      }
+    }
+  }
 
  private:
   PhysicalMemory* phys_;

@@ -34,7 +34,10 @@ namespace sat {
   X(ptes_faulted_around)             \
   X(pages_reclaimed)                 \
   X(ptes_cleared_by_reclaim)         \
+  X(direct_reclaims)                 \
   X(forks)                           \
+  X(forks_failed)                    \
+  X(oom_kills)                       \
   X(tlb_full_flushes)                \
   X(tlb_asid_flushes)                \
   X(tlb_va_flushes)
@@ -82,9 +85,14 @@ struct KernelCounters {
   // Reclaim statistics (the rmap-driven shrink path).
   uint64_t pages_reclaimed = 0;
   uint64_t ptes_cleared_by_reclaim = 0;
+  uint64_t direct_reclaims = 0;       // allocation-failure reclaim passes
 
   // Fork statistics.
   uint64_t forks = 0;
+  uint64_t forks_failed = 0;          // ENOMEM even after reclaim/OOM-kill
+
+  // Tasks killed by the OOM killer.
+  uint64_t oom_kills = 0;
 
   // TLB maintenance issued by the kernel.
   uint64_t tlb_full_flushes = 0;

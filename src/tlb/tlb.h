@@ -167,6 +167,10 @@ class MicroTlb {
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
 
+  // Raw-entry inspection (for the invariant auditor).
+  uint32_t num_entries() const { return static_cast<uint32_t>(entries_.size()); }
+  const TlbEntry& EntryAt(uint32_t index) const { return entries_[index]; }
+
  private:
   std::vector<TlbEntry> entries_;
   uint32_t fifo_cursor_ = 0;

@@ -30,12 +30,15 @@ constexpr TypeInfo kTypeInfo[kTraceEventTypeCount] = {
     {"fault_cow", "va_page", "ptes_copied"},
     {"fault_hard", "va_page", ""},
     {"fault_segv", "va_page", ""},
+    {"fault_oom", "va_page", ""},
     {"domain_fault", "va_page", "domain"},
     {"tlb_shootdown", "payload", "cpu_mask"},
     {"tlb_ipi", "target_core", ""},
     {"tlb_flush", "kind", "entries_flushed"},
     {"reclaim_pass", "target_pages", "pages_reclaimed"},
     {"reclaim_page", "frame", "ptes_cleared"},
+    {"direct_reclaim", "pages_reclaimed", "free_frames"},
+    {"oom_kill", "victim_pid", "victim_rss_pages"},
     {"app_phase", "phase", ""},
 };
 

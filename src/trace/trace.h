@@ -50,6 +50,7 @@ enum class TraceEventType : uint8_t {
   kFaultCow,
   kFaultHard,
   kFaultSegv,
+  kFaultOom,     // fault handler could not allocate (reclaim-and-retry)
   kDomainFault,  // non-member touched a zygote-domain global entry
   // TLB maintenance.
   kTlbShootdown,  // one broadcast operation (machine level)
@@ -58,6 +59,9 @@ enum class TraceEventType : uint8_t {
   // Reclaim (the rmap-driven shrink path).
   kReclaimPass,
   kReclaimPage,
+  // Memory-pressure recovery (allocate → direct reclaim → OOM-kill).
+  kDirectReclaim,  // a=pages reclaimed, b=free frames afterwards
+  kOomKill,        // a=victim pid, b=victim RSS in pages
   // Android launch phases (fork / map / replay / window).
   kAppPhase,
   kCount,  // sentinel, not a recordable type

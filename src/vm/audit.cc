@@ -1,0 +1,501 @@
+#include "src/vm/audit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/arch/check.h"
+#include "src/arch/pte.h"
+#include "src/pt/page_table.h"
+
+namespace sat {
+
+namespace {
+
+// Accumulates the audit state one pass builds for the next to consume.
+class Auditor {
+ public:
+  explicit Auditor(const AuditInput& input) : in_(input) {
+    SAT_CHECK(in_.phys != nullptr && in_.ptps != nullptr);
+    pte_maps_.assign(in_.phys->total_frames(), 0);
+  }
+
+  AuditReport Run() {
+    RecountPtps();
+    CheckFrames();
+    CheckPtpSharers();
+    CheckSpaces();
+    CheckTlb();
+    return std::move(report_);
+  }
+
+ private:
+  void Fail(const char* check, const std::string& detail) {
+    report_.violations.push_back(AuditViolation{check, detail});
+  }
+
+  // One verified fact. Returns `fact` so call sites read as assertions.
+  bool Checked(bool fact) {
+    report_.checks++;
+    return fact;
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 1: walk every live PTP, recounting present entries and frame
+  // mappings from the raw descriptors.
+  // -------------------------------------------------------------------
+  void RecountPtps() {
+    in_.ptps->ForEachLive([&](const PageTablePage& ptp) {
+      uint32_t present = 0;
+      for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+        const HwPte& hw = ptp.hw(i);
+        const LinuxPte& sw = ptp.sw(i);
+        if (!Checked(hw.valid() == sw.present())) {
+          Fail("shadow-desync",
+               "ptp " + std::to_string(ptp.id()) + " index " +
+                   std::to_string(i) + ": hw valid=" +
+                   std::to_string(hw.valid()) +
+                   " but sw present=" + std::to_string(sw.present()));
+        }
+        if (!hw.valid()) {
+          continue;
+        }
+        present++;
+        if (hw.large() &&
+            !Checked(hw.frame() % kPtesPerLargePage == 0)) {
+          Fail("large-misaligned",
+               "ptp " + std::to_string(ptp.id()) + " index " +
+                   std::to_string(i) + ": large-page base frame " +
+                   std::to_string(hw.frame()) + " not 64 KB aligned");
+        }
+        const FrameNumber frame = MappedFrameOf(hw, i);
+        if (!Checked(frame < pte_maps_.size())) {
+          Fail("pte-frame-range",
+               "ptp " + std::to_string(ptp.id()) + " index " +
+                   std::to_string(i) + " maps frame " +
+                   std::to_string(frame) + " beyond physical memory");
+          continue;
+        }
+        pte_maps_[frame]++;
+      }
+      if (!Checked(present == ptp.present_count())) {
+        Fail("present-count",
+             "ptp " + std::to_string(ptp.id()) + ": present_count says " +
+                 std::to_string(ptp.present_count()) + ", recount found " +
+                 std::to_string(present));
+      }
+    });
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 2: every frame's metadata against the mappings found in pass 1
+  // and the page cache's residency.
+  // -------------------------------------------------------------------
+  void CheckFrames() {
+    // Residency: frame -> (file, page) from the cache's own map, with the
+    // per-frame back-pointers verified on the way.
+    std::unordered_set<FrameNumber> resident;
+    if (in_.page_cache != nullptr) {
+      in_.page_cache->ForEach([&](FileId file, uint32_t page_index,
+                                  FrameNumber frame) {
+        const PageFrame& meta = in_.phys->frame(frame);
+        if (!Checked(meta.kind == FrameKind::kFileCache)) {
+          Fail("cache-kind", "cache entry (" + std::to_string(file) + ", " +
+                                 std::to_string(page_index) +
+                                 ") names frame " + std::to_string(frame) +
+                                 " of kind " + FrameKindName(meta.kind));
+        }
+        if (!Checked(meta.file == file && meta.file_page_index == page_index)) {
+          Fail("cache-backpointer",
+               "frame " + std::to_string(frame) + " says (" +
+                   std::to_string(meta.file) + ", " +
+                   std::to_string(meta.file_page_index) +
+                   ") but the cache holds it as (" + std::to_string(file) +
+                   ", " + std::to_string(page_index) + ")");
+        }
+        if (!Checked(resident.insert(frame).second)) {
+          Fail("cache-duplicate", "frame " + std::to_string(frame) +
+                                      " cached under two (file, page) keys");
+        }
+      });
+    }
+
+    uint64_t free_frames = 0;
+    for (FrameNumber f = 0; f < pte_maps_.size(); ++f) {
+      const PageFrame& meta = in_.phys->frame(f);
+      const uint32_t maps = pte_maps_[f];
+      const bool cached = resident.count(f) != 0;
+      switch (meta.kind) {
+        case FrameKind::kFree: {
+          free_frames++;
+          if (!Checked(meta.ref_count == 0 && meta.map_count == 0)) {
+            Fail("free-refcount",
+                 "free frame " + std::to_string(f) + " has ref_count " +
+                     std::to_string(meta.ref_count) + ", map_count " +
+                     std::to_string(meta.map_count));
+          }
+          if (!Checked(maps == 0)) {
+            Fail("free-mapped", "free frame " + std::to_string(f) +
+                                    " is mapped by " + std::to_string(maps) +
+                                    " PTE(s)");
+          }
+          if (!Checked(!cached)) {
+            Fail("free-cached",
+                 "free frame " + std::to_string(f) + " is page-cache resident");
+          }
+          break;
+        }
+        case FrameKind::kAnon:
+        case FrameKind::kFileCache: {
+          const uint32_t expected = maps + (cached ? 1u : 0u);
+          if (!Checked(meta.ref_count == expected)) {
+            Fail("frame-refcount",
+                 std::string(FrameKindName(meta.kind)) + " frame " +
+                     std::to_string(f) + ": ref_count " +
+                     std::to_string(meta.ref_count) + ", but " +
+                     std::to_string(maps) + " PTE mapping(s) + " +
+                     (cached ? "1" : "0") + " cache reference");
+          }
+          if (!Checked(expected > 0)) {
+            Fail("frame-leak", std::string(FrameKindName(meta.kind)) +
+                                   " frame " + std::to_string(f) +
+                                   " has no mapping and no cache reference");
+          }
+          if (meta.kind == FrameKind::kAnon && !Checked(!cached)) {
+            Fail("anon-cached",
+                 "anon frame " + std::to_string(f) + " is page-cache resident");
+          }
+          if (in_.rmap_maintained && in_.rmap != nullptr) {
+            const uint32_t rmap_maps = in_.rmap->MapCount(f);
+            if (!Checked(rmap_maps == maps)) {
+              Fail("rmap-count", "frame " + std::to_string(f) + ": rmap has " +
+                                     std::to_string(rmap_maps) +
+                                     " entries, page tables hold " +
+                                     std::to_string(maps) + " PTE(s)");
+            }
+          }
+          break;
+        }
+        case FrameKind::kPageTable: {
+          if (!Checked(meta.ref_count == 1)) {
+            Fail("ptp-frame-refcount",
+                 "page-table frame " + std::to_string(f) + " has ref_count " +
+                     std::to_string(meta.ref_count) + " (expected 1)");
+          }
+          if (!Checked(maps == 0)) {
+            Fail("ptp-frame-mapped",
+                 "page-table frame " + std::to_string(f) + " is mapped by " +
+                     std::to_string(maps) + " user PTE(s)");
+          }
+          break;
+        }
+        case FrameKind::kZero: {
+          if (!Checked(f == in_.phys->zero_frame() && meta.ref_count == 1 &&
+                       meta.map_count == 0)) {
+            Fail("zero-frame", "zero frame " + std::to_string(f) +
+                                   " has ref_count " +
+                                   std::to_string(meta.ref_count) +
+                                   ", map_count " +
+                                   std::to_string(meta.map_count));
+          }
+          break;
+        }
+        case FrameKind::kKernel:
+          break;  // permanent, unrefcounted, never user-mapped by policy
+      }
+    }
+    if (!Checked(free_frames == in_.phys->free_frames())) {
+      Fail("free-count", "free_frames() says " +
+                             std::to_string(in_.phys->free_frames()) +
+                             ", recount found " + std::to_string(free_frames));
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 3: PTP sharer counts against the L1 entries naming each PTP.
+  // -------------------------------------------------------------------
+  struct PtpRefs {
+    uint32_t count = 0;
+    uint32_t need_copy = 0;
+    DomainId domain = 0;
+    bool domain_mixed = false;
+  };
+
+  void CheckPtpSharers() {
+    std::unordered_map<PtpId, PtpRefs> refs;
+    for (const AuditSpace& space : in_.spaces) {
+      const PageTable& pt = space.mm->page_table();
+      for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+        const L1Entry& entry = pt.l1(slot);
+        if (!entry.present()) {
+          continue;
+        }
+        if (!Checked(in_.ptps->GetIfLive(entry.ptp) != nullptr)) {
+          Fail("l1-dangling", "pid " + std::to_string(space.pid) + " slot " +
+                                  std::to_string(slot) +
+                                  " references dead ptp " +
+                                  std::to_string(entry.ptp));
+          continue;
+        }
+        PtpRefs& r = refs[entry.ptp];
+        if (r.count == 0) {
+          r.domain = entry.domain;
+        } else if (r.domain != entry.domain) {
+          r.domain_mixed = true;
+        }
+        r.count++;
+        if (entry.need_copy) {
+          r.need_copy++;
+        }
+      }
+    }
+
+    in_.ptps->ForEachLive([&](const PageTablePage& ptp) {
+      const auto it = refs.find(ptp.id());
+      const PtpRefs r = it == refs.end() ? PtpRefs{} : it->second;
+      const uint32_t sharers = in_.ptps->SharerCount(ptp.id());
+      if (!Checked(sharers == r.count)) {
+        Fail("ptp-sharers", "ptp " + std::to_string(ptp.id()) +
+                                ": map_count says " + std::to_string(sharers) +
+                                " sharer(s), " + std::to_string(r.count) +
+                                " L1 entr(ies) reference it");
+      }
+      if (!Checked(r.count > 0)) {
+        Fail("ptp-orphan", "live ptp " + std::to_string(ptp.id()) +
+                               " is referenced by no audited address space");
+      }
+      // Shared by two or more: every reference must carry NEED_COPY —
+      // that flag is the only thing standing between a sharer's write and
+      // every other sharer's address space.
+      if (r.count >= 2 && !Checked(r.need_copy == r.count)) {
+        Fail("need-copy-missing",
+             "ptp " + std::to_string(ptp.id()) + " has " +
+                 std::to_string(r.count) + " sharers but only " +
+                 std::to_string(r.need_copy) + " NEED_COPY reference(s)");
+      }
+      if (!Checked(!r.domain_mixed)) {
+        Fail("ptp-domain-mixed", "ptp " + std::to_string(ptp.id()) +
+                                     " is referenced under differing domains");
+      }
+      // A NEED_COPY (COW-shared) PTP must hold no hardware-writable PTE,
+      // or a sharer's store would skip the unshare. The hw-L1-write-
+      // protect ablation enforces this in the walker instead.
+      if (r.need_copy > 0 && !in_.hw_l1_write_protect) {
+        for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+          const HwPte& hw = ptp.hw(i);
+          if (hw.valid() &&
+              !Checked(hw.perm() != PtePerm::kReadWrite)) {
+            Fail("need-copy-writable",
+                 "ptp " + std::to_string(ptp.id()) + " index " +
+                     std::to_string(i) +
+                     " is hardware-writable inside a NEED_COPY PTP");
+          }
+        }
+      }
+    });
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 4: per-space task-state consistency (domains, DACR, ASIDs).
+  // -------------------------------------------------------------------
+  void CheckSpaces() {
+    std::unordered_map<uint32_t, Pid> asid_owner;
+    for (const AuditSpace& space : in_.spaces) {
+      const std::string who = "pid " + std::to_string(space.pid);
+      if (!Checked(space.mm != nullptr)) {
+        Fail("space-no-mm", who + " audited without an address space");
+        continue;
+      }
+      const auto [it, fresh] = asid_owner.emplace(space.asid, space.pid);
+      if (!Checked(fresh)) {
+        Fail("asid-duplicate", who + " and pid " + std::to_string(it->second) +
+                                   " both hold ASID " +
+                                   std::to_string(space.asid));
+      }
+      if (!Checked(space.asid != 0)) {
+        Fail("asid-zero", who + " holds the reserved ASID 0");
+      }
+
+      // The zygote triple: flag, DACR grant, and user-domain assignment
+      // stand or fall together (Section 3.2.2).
+      const bool grants_zygote =
+          space.dacr.Get(kDomainZygote) == DomainAccess::kClient;
+      const bool in_zygote_domain =
+          space.mm->user_domain() == kDomainZygote;
+      if (!Checked(space.zygote_like == grants_zygote)) {
+        Fail("dacr-zygote", who + (space.zygote_like
+                                       ? " is zygote-like without DACR access "
+                                         "to the zygote domain"
+                                       : " has DACR access to the zygote "
+                                         "domain without being zygote-like"));
+      }
+      if (!Checked(space.zygote_like == in_zygote_domain)) {
+        Fail("domain-zygote",
+             who + ": zygote_like=" + std::to_string(space.zygote_like) +
+                 " but user domain is " +
+                 std::to_string(space.mm->user_domain()));
+      }
+      if (!Checked(space.dacr.Get(kDomainKernel) == DomainAccess::kClient &&
+                   space.dacr.Get(kDomainUser) == DomainAccess::kClient)) {
+        Fail("dacr-base", who + " lost client access to the kernel or user "
+                                "domain (DACR " +
+                              space.dacr.ToString() + ")");
+      }
+
+      const PageTable& pt = space.mm->page_table();
+      for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+        const L1Entry& entry = pt.l1(slot);
+        if (entry.present() &&
+            !Checked(entry.domain == space.mm->user_domain())) {
+          Fail("l1-domain", who + " slot " + std::to_string(slot) +
+                                " is in domain " +
+                                std::to_string(entry.domain) +
+                                " but the space's user domain is " +
+                                std::to_string(space.mm->user_domain()));
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 5: every valid TLB entry against the page tables it caches.
+  // -------------------------------------------------------------------
+  void CheckTlb() {
+    std::unordered_map<uint32_t, const AuditSpace*> by_asid;
+    for (const AuditSpace& space : in_.spaces) {
+      by_asid.emplace(space.asid, &space);
+    }
+
+    for (const AuditTlbEntry& snap : in_.tlb_entries) {
+      const TlbEntry& e = snap.entry;
+      if (!e.valid) {
+        continue;
+      }
+      const std::string where = std::string(snap.which) + " TLB of core " +
+                                std::to_string(snap.core) + ", vpn " +
+                                std::to_string(e.vpn);
+      if (!Checked(e.size_pages == 1 || e.size_pages == 16) ||
+          !Checked(e.vpn % e.size_pages == 0)) {
+        Fail("tlb-geometry", where + ": size_pages " +
+                                 std::to_string(e.size_pages) +
+                                 " / misaligned base");
+        continue;
+      }
+      const VirtAddr va = e.vpn << kPageShift;
+      if (e.global) {
+        // Only zygote-preloaded shared code is ever marked global, and it
+        // lives in the zygote domain — that is the whole protection story.
+        if (!Checked(e.domain == kDomainZygote)) {
+          Fail("tlb-global-domain",
+               where + ": global entry in domain " + std::to_string(e.domain));
+        }
+        // A global entry left behind by exited sharers is legal (domains
+        // quarantine it); one that *contradicts* a live sharer's page
+        // table is not.
+        bool any_backing = false;
+        bool any_match = false;
+        for (const AuditSpace& space : in_.spaces) {
+          if (!space.zygote_like) {
+            continue;
+          }
+          const HwPte* hw = HwPteAt(space, va);
+          if (hw == nullptr) {
+            continue;
+          }
+          any_backing = true;
+          if (EntryMatchesPte(e, *hw)) {
+            any_match = true;
+            break;
+          }
+        }
+        if (any_backing && !Checked(any_match)) {
+          Fail("tlb-global-mismatch",
+               where + ": global entry matches no zygote-like space's "
+                       "current PTE");
+        }
+        continue;
+      }
+
+      const auto it = by_asid.find(e.asid);
+      if (!Checked(it != by_asid.end())) {
+        Fail("tlb-stale-asid", where + ": entry for ASID " +
+                                   std::to_string(e.asid) +
+                                   ", which no live task holds");
+        continue;
+      }
+      const AuditSpace& space = *it->second;
+      const HwPte* hw = HwPteAt(space, va);
+      if (!Checked(hw != nullptr)) {
+        Fail("tlb-unbacked", where + ": no valid PTE at va " +
+                                 std::to_string(va) + " in pid " +
+                                 std::to_string(space.pid));
+        continue;
+      }
+      if (!EntryMatchesPte(e, *hw)) {
+        Fail("tlb-pte-mismatch",
+             where + ": entry (frame " + std::to_string(e.frame) +
+                 ", size " + std::to_string(e.size_pages) + ", perm " +
+                 std::to_string(static_cast<int>(e.perm)) +
+                 ") contradicts PTE " + hw->ToString());
+      }
+      const L1Entry& l1 = space.mm->page_table().l1(PtpSlotIndex(va));
+      if (!Checked(l1.present() && e.domain == l1.domain)) {
+        Fail("tlb-domain", where + ": entry domain " +
+                               std::to_string(e.domain) +
+                               " vs first-level domain " +
+                               std::to_string(l1.domain));
+      }
+    }
+  }
+
+  // The valid hardware PTE backing `va` in `space`, or nullptr.
+  static const HwPte* HwPteAt(const AuditSpace& space, VirtAddr va) {
+    const auto ref = space.mm->page_table().FindPte(va);
+    if (!ref.has_value() || !ref->ptp->hw(ref->index).valid()) {
+      return nullptr;
+    }
+    return &ref->ptp->hw(ref->index);
+  }
+
+  // Does the current PTE justify this TLB entry? The entry must name the
+  // right frame and granularity and must not grant rights the PTE lacks
+  // (equal-or-weaker permissions are fine: a benignly stale read-only
+  // entry after a COW upgrade only causes an extra fault).
+  bool EntryMatchesPte(const TlbEntry& e, const HwPte& hw) {
+    const bool size_ok =
+        Checked((e.size_pages == 16) == hw.large());
+    const bool frame_ok =
+        Checked(e.size_pages == 16
+                    ? e.frame == hw.frame()
+                    : e.frame == MappedFrameOf(hw, PteIndexInPtp(
+                                                       e.vpn << kPageShift)));
+    const bool perm_ok = Checked(static_cast<uint8_t>(e.perm) <=
+                                 static_cast<uint8_t>(hw.perm()));
+    const bool exec_ok = Checked(!e.executable || hw.executable());
+    return size_ok && frame_ok && perm_ok && exec_ok;
+  }
+
+  const AuditInput& in_;
+  AuditReport report_;
+  // PTE mappings per frame, recounted from the raw descriptors.
+  std::vector<uint32_t> pte_maps_;
+};
+
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  os << "audit: " << violations.size() << " violation(s) over " << checks
+     << " checks";
+  for (const AuditViolation& v : violations) {
+    os << "\n  [" << v.check << "] " << v.detail;
+  }
+  return os.str();
+}
+
+AuditReport AuditInvariants(const AuditInput& input) {
+  return Auditor(input).Run();
+}
+
+}  // namespace sat

@@ -1,0 +1,92 @@
+// The kernel invariant auditor: a from-scratch cross-check of every piece
+// of redundant state the simulated kernel keeps — frame reference counts
+// against the PTEs and page-cache residency that justify them, PTP sharer
+// counts against the first-level entries naming each PTP, NEED_COPY
+// against the write-protection it promises, TLB contents against the page
+// tables they cache, and DACR/domain assignments against the zygote
+// policy.
+//
+// The auditor never mutates anything and never aborts: corruption is what
+// it exists to *report*, so every walk tolerates the inconsistent state it
+// flags (e.g. PTPs are fetched with GetIfLive, which returns nullptr for a
+// dangling id instead of asserting). It is deliberately slow — full
+// recounts over all of physical memory and every live PTP — because it
+// runs in tests (after every fuzz step, at integration-test teardown), not
+// on any measured path.
+//
+// Use via Kernel::AuditInvariants(), which assembles the AuditInput from
+// the live subsystems, or build an AuditInput by hand in page-table-only
+// tests.
+
+#ifndef SRC_VM_AUDIT_H_
+#define SRC_VM_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/domain.h"
+#include "src/arch/types.h"
+#include "src/mem/page_cache.h"
+#include "src/mem/phys_memory.h"
+#include "src/pt/ptp.h"
+#include "src/pt/rmap.h"
+#include "src/tlb/tlb.h"
+#include "src/vm/mm.h"
+
+namespace sat {
+
+// One broken invariant: which check tripped and what was found.
+struct AuditViolation {
+  std::string check;   // short stable name, e.g. "frame-refcount"
+  std::string detail;  // expected-vs-found, with the offending ids
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  // Number of individual facts verified (so tests can assert the audit
+  // actually covered something, not just vacuously passed).
+  uint64_t checks = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// One audited address space: the mm plus the task-side state whose
+// consistency with it is part of what is audited.
+struct AuditSpace {
+  const MmStruct* mm = nullptr;
+  Pid pid = 0;
+  Asid asid = 0;
+  bool zygote_like = false;
+  DomainAccessControl dacr;
+};
+
+// A snapshot of one valid TLB entry and where it was found.
+struct AuditTlbEntry {
+  TlbEntry entry;
+  uint32_t core = 0;
+  const char* which = "?";  // "main" / "micro-i" / "micro-d"
+};
+
+struct AuditInput {
+  const PhysicalMemory* phys = nullptr;
+  const PageCache* page_cache = nullptr;  // may be null (no file mappings)
+  const PtpAllocator* ptps = nullptr;
+  const ReverseMap* rmap = nullptr;       // may be null
+  std::vector<AuditSpace> spaces;         // every *live* address space
+  std::vector<AuditTlbEntry> tlb_entries;
+  // Mirror of VmConfig::hw_l1_write_protect: under that ablation shared
+  // PTPs legitimately contain hardware-writable PTEs.
+  bool hw_l1_write_protect = false;
+  // False when the page tables were built without a reverse map (rmap
+  // checks are skipped; everything else still runs).
+  bool rmap_maintained = true;
+};
+
+// Runs every check and returns the violations found (empty == healthy).
+AuditReport AuditInvariants(const AuditInput& input);
+
+}  // namespace sat
+
+#endif  // SRC_VM_AUDIT_H_

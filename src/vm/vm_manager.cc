@@ -28,18 +28,21 @@ bool RegionAllows(const VmArea& vma, AccessType access) {
 
 }  // namespace
 
-uint32_t VmManager::UnshareIfNeeded(MmStruct& mm, VirtAddr va,
-                                    const TlbFlushFn& flush_tlb,
-                                    Cycles* cycles) {
+std::optional<uint32_t> VmManager::UnshareIfNeeded(MmStruct& mm, VirtAddr va,
+                                                   const TlbFlushFn& flush_tlb,
+                                                   Cycles* cycles) {
   PageTable& pt = mm.page_table();
   const uint32_t slot = PtpSlotIndex(va);
   if (!pt.l1(slot).present() || !pt.l1(slot).need_copy) {
     return 0;
   }
-  const uint32_t copied =
-      pt.UnshareSlot(slot, config_.copy_referenced_only_on_unshare, flush_tlb,
-                     config_.hw_l1_write_protect);
-  *cycles += costs_->unshare_base + copied * costs_->unshare_per_pte_copy;
+  const std::optional<uint32_t> copied =
+      pt.TryUnshareSlot(slot, config_.copy_referenced_only_on_unshare,
+                        flush_tlb, config_.hw_l1_write_protect);
+  if (!copied.has_value()) {
+    return std::nullopt;
+  }
+  *cycles += costs_->unshare_base + *copied * costs_->unshare_per_pte_copy;
   return copied;
 }
 
@@ -68,7 +71,7 @@ FaultOutcome VmManager::HandleFault(MmStruct& mm, const MemoryAbort& abort,
   TraceEventType type = TraceEventType::kFaultFile;
   uint64_t extra = counters_->ptes_faulted_around - before.ptes_faulted_around;
   if (!out.ok) {
-    type = TraceEventType::kFaultSegv;
+    type = out.oom ? TraceEventType::kFaultOom : TraceEventType::kFaultSegv;
     extra = 0;
   } else if (out.hard) {
     type = TraceEventType::kFaultHard;
@@ -108,7 +111,14 @@ FaultOutcome VmManager::HandleFaultImpl(MmStruct& mm, const MemoryAbort& abort,
   PageTable& pt = mm.page_table();
   if (pt.SlotNeedsCopy(va) &&
       (abort.access == AccessType::kWrite || !vma->inherited)) {
-    out.ptes_copied = UnshareIfNeeded(mm, va, flush_tlb, &out.kernel_cycles);
+    const std::optional<uint32_t> copied =
+        UnshareIfNeeded(mm, va, flush_tlb, &out.kernel_cycles);
+    if (!copied.has_value()) {
+      out.ok = false;
+      out.oom = true;
+      return out;
+    }
+    out.ptes_copied = *copied;
     out.unshared = true;
   }
 
@@ -128,25 +138,32 @@ FaultOutcome VmManager::HandleTranslationFault(MmStruct& mm, const VmArea& vma,
   FaultOutcome out;
   PageTable& pt = mm.page_table();
   if (!pt.FindPte(va)) {
-    pt.EnsurePtp(va, mm.user_domain());
+    if (pt.TryEnsurePtp(va, mm.user_domain()) == nullptr) {
+      out.oom = true;
+      return out;
+    }
     out.kernel_cycles += costs_->fork_per_ptp_alloc;
   }
 
   if (IsFileBacked(vma.kind)) {
     counters_->faults_file_backed++;
     if (vma.use_large_pages && access != AccessType::kWrite &&
-        CanMapLargeBlock(mm, vma, va)) {
+        CanMapLargeBlock(mm, vma, va) && InstallLargeBlock(mm, vma, va)) {
       // One fault populates the whole 64 KB block (Section 2.3.3's
       // large-page complement): 16 replicated descriptors over 16
       // contiguous frames, installable into shared PTPs like any other
-      // read-only entry.
-      InstallLargeBlock(mm, vma, va);
+      // read-only entry. When no contiguous run is free the install
+      // declines and the fault falls through to a plain 4 KB fill.
       out.ok = true;
       return out;
     }
     bool hard = false;
     const FrameNumber file_frame =
         page_cache_->GetOrLoad(vma.file, vma.FilePageFor(va), &hard);
+    if (file_frame == PageCache::kNoFrame) {
+      out.oom = true;
+      return out;
+    }
     out.hard = hard;
     if (hard) {
       counters_->faults_hard++;
@@ -155,7 +172,13 @@ FaultOutcome VmManager::HandleTranslationFault(MmStruct& mm, const VmArea& vma,
 
     if (access == AccessType::kWrite && IsPrivate(vma.kind)) {
       // First write to a private file page: read + copy in one fault.
-      const FrameNumber anon = phys_->AllocFrame(FrameKind::kAnon);
+      const std::optional<FrameNumber> anon_opt =
+          phys_->TryAllocFrame(FrameKind::kAnon);
+      if (!anon_opt.has_value()) {
+        out.oom = true;
+        return out;
+      }
+      const FrameNumber anon = *anon_opt;
       LinuxPte sw;
       sw.set_present(true);
       sw.set_young(true);
@@ -192,7 +215,13 @@ FaultOutcome VmManager::HandleTranslationFault(MmStruct& mm, const VmArea& vma,
   // Anonymous memory.
   counters_->faults_anonymous++;
   if (access == AccessType::kWrite) {
-    const FrameNumber anon = phys_->AllocFrame(FrameKind::kAnon);
+    const std::optional<FrameNumber> anon_opt =
+        phys_->TryAllocFrame(FrameKind::kAnon);
+    if (!anon_opt.has_value()) {
+      out.oom = true;
+      return out;
+    }
+    const FrameNumber anon = *anon_opt;
     LinuxPte sw;
     sw.set_present(true);
     sw.set_young(true);
@@ -260,12 +289,17 @@ FaultOutcome VmManager::HandlePermissionFault(MmStruct& mm, const VmArea& vma,
     hw.set_perm(PtePerm::kReadWrite);
     pt.UpdatePte(va, hw, sw);
   } else {
-    const FrameNumber anon = phys_->AllocFrame(FrameKind::kAnon);
+    const std::optional<FrameNumber> anon_opt =
+        phys_->TryAllocFrame(FrameKind::kAnon);
+    if (!anon_opt.has_value()) {
+      out.oom = true;
+      return out;
+    }
     pt.SetPte(va,
-              HwPte::MakePage(anon, PtePerm::kReadWrite, /*global=*/false,
+              HwPte::MakePage(*anon_opt, PtePerm::kReadWrite, /*global=*/false,
                               vma.prot.execute),
               sw);
-    phys_->UnrefFrame(anon);
+    phys_->UnrefFrame(*anon_opt);
     counters_->faults_cow++;
   }
   out.ok = true;
@@ -333,13 +367,16 @@ bool VmManager::CanMapLargeBlock(MmStruct& mm, const VmArea& vma,
   return true;
 }
 
-void VmManager::InstallLargeBlock(MmStruct& mm, const VmArea& vma,
+bool VmManager::InstallLargeBlock(MmStruct& mm, const VmArea& vma,
                                   VirtAddr va) {
   const VirtAddr block_va = va & ~(kLargePageSize - 1);
   bool hard = false;
   const uint32_t block_index = vma.FilePageFor(block_va) / kPtesPerLargePage;
   const FrameNumber base =
       page_cache_->GetOrLoadLargeBlock(vma.file, block_index, &hard);
+  if (base == PageCache::kNoFrame) {
+    return false;
+  }
   if (hard) {
     counters_->faults_hard++;
   }
@@ -353,6 +390,7 @@ void VmManager::InstallLargeBlock(MmStruct& mm, const VmArea& vma,
                                vma.prot.execute, /*large=*/true),
                sw);
   }
+  return true;
 }
 
 bool VmManager::SlotSharable(const MmStruct& mm, uint32_t slot) const {
@@ -391,7 +429,7 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
   PageTable& cpt = child.page_table();
   bool parent_mappings_downgraded = false;
 
-  for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+  for (uint32_t slot = 0; slot < kUserPtpSlots && result.ok; ++slot) {
     if (!ppt.l1(slot).present()) {
       continue;
     }
@@ -419,7 +457,8 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
     assert(!ppt.l1(slot).need_copy &&
            "a previously shared slot became unsharable without an unshare");
     const VirtAddr base = PtpSlotBase(slot);
-    for (const VmArea* vma : vmas) {
+    for (size_t v = 0; v < vmas.size() && result.ok; ++v) {
+      const VmArea* vma = vmas[v];
       const VirtAddr lo = std::max(vma->start, base);
       const VirtAddr hi = static_cast<VirtAddr>(
           std::min<uint64_t>(vma->end, static_cast<uint64_t>(base) + kPtpSpan));
@@ -440,6 +479,13 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
           continue;  // refilled by a soft fault in the child
         }
 
+        // Allocate the child's PTP before downgrading anything in the
+        // parent, so an ENOMEM fork leaves the parent untouched apart
+        // from already-downgraded (still correct, COW-safe) mappings.
+        if (cpt.TryEnsurePtp(va, child.user_domain()) == nullptr) {
+          result.ok = false;
+          break;
+        }
         HwPte child_hw = parent_hw;
         if (IsPrivate(vma->kind) && vma->prot.write &&
             parent_hw.perm() == PtePerm::kReadWrite) {
@@ -450,7 +496,6 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
           child_hw.WriteProtect();
           parent_mappings_downgraded = true;
         }
-        cpt.EnsurePtp(va, child.user_domain());
         cpt.SetPte(va, child_hw, parent_sw);
         result.ptes_copied++;
         counters_->ptes_copied++;
@@ -471,8 +516,11 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
 }
 
 VirtAddr VmManager::Mmap(MmStruct& mm, const MmapRequest& request,
-                         const TlbFlushFn& flush_tlb) {
+                         const TlbFlushFn& flush_tlb, bool* out_oom) {
   assert(request.length > 0 && IsPageAligned(request.length));
+  if (out_oom != nullptr) {
+    *out_oom = false;
+  }
   VirtAddr addr;
   if (request.fixed_address != 0) {
     assert(IsPageAligned(request.fixed_address));
@@ -496,7 +544,12 @@ VirtAddr VmManager::Mmap(MmStruct& mm, const MmapRequest& request,
     const uint32_t first = PtpSlotIndex(addr);
     const uint32_t last = PtpSlotIndex(addr + request.length - 1);
     for (uint32_t slot = first; slot <= last; ++slot) {
-      UnshareIfNeeded(mm, PtpSlotBase(slot), flush_tlb, &cycles);
+      if (!UnshareIfNeeded(mm, PtpSlotBase(slot), flush_tlb, &cycles)) {
+        if (out_oom != nullptr) {
+          *out_oom = true;
+        }
+        return 0;  // no region inserted; earlier unshares stay (harmless)
+      }
     }
   }
 
@@ -518,17 +571,54 @@ VirtAddr VmManager::Mmap(MmStruct& mm, const MmapRequest& request,
 }
 
 void VmManager::Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
-                       const TlbFlushFn& flush_tlb) {
+                       const TlbFlushFn& flush_tlb, bool* out_oom) {
   assert(IsPageAligned(start) && IsPageAligned(length) && length > 0);
-  const VirtAddr end = start + length;
-  const auto removed = mm.RemoveRange(start, end);
-  if (removed.empty()) {
-    return;
+  if (out_oom != nullptr) {
+    *out_oom = false;
   }
-
+  const VirtAddr end = start + length;
+  if (mm.VmasOverlapping(start, end).empty()) {
+    return;  // nothing mapped here
+  }
   PageTable& pt = mm.page_table();
   const uint32_t first = PtpSlotIndex(start);
   const uint32_t last = PtpSlotIndex(end - 1);
+
+  // Unshare (Section 3.1.2 case 4) *before* touching any region, so an
+  // allocation failure leaves the address space exactly as it was. A
+  // spanned slot needs its private copy only if some region will survive
+  // in it after the removal; slots emptied entirely are released instead
+  // (case 5), which never allocates.
+  for (uint32_t slot = first; slot <= last; ++slot) {
+    if (!pt.l1(slot).present() || !pt.l1(slot).need_copy) {
+      continue;
+    }
+    const VirtAddr base = PtpSlotBase(slot);
+    const VirtAddr slot_end =
+        static_cast<VirtAddr>(static_cast<uint64_t>(base) + kPtpSpan);
+    bool survivor = false;
+    for (const VmArea* vma : mm.VmasInSlot(slot)) {
+      const VirtAddr lo = std::max(vma->start, base);
+      const VirtAddr hi = std::min(vma->end, slot_end);
+      if (!(start <= lo && hi <= end)) {
+        survivor = true;  // part of this region's slice outlives the unmap
+        break;
+      }
+    }
+    if (!survivor) {
+      continue;
+    }
+    Cycles cycles = 0;
+    if (!UnshareIfNeeded(mm, base, flush_tlb, &cycles)) {
+      if (out_oom != nullptr) {
+        *out_oom = true;
+      }
+      return;
+    }
+  }
+
+  mm.RemoveRange(start, end);
+
   for (uint32_t slot = first; slot <= last; ++slot) {
     if (!pt.l1(slot).present()) {
       continue;
@@ -545,9 +635,6 @@ void VmManager::Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
       pt.ReleaseSlot(slot);
       continue;
     }
-    // Section 3.1.2 case 4: unshare before clearing the PTEs.
-    Cycles cycles = 0;
-    UnshareIfNeeded(mm, base, flush_tlb, &cycles);
     pt.ClearRange(lo, hi);
   }
   if (flush_tlb) {
@@ -556,9 +643,30 @@ void VmManager::Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
 }
 
 void VmManager::Mprotect(MmStruct& mm, VirtAddr start, uint32_t length,
-                         VmProt prot, const TlbFlushFn& flush_tlb) {
+                         VmProt prot, const TlbFlushFn& flush_tlb,
+                         bool* out_oom) {
   assert(IsPageAligned(start) && IsPageAligned(length) && length > 0);
+  if (out_oom != nullptr) {
+    *out_oom = false;
+  }
   const VirtAddr end = start + length;
+
+  // Section 3.1.2 case 2: region modification unshares every spanned PTP.
+  // Done before the region split so an allocation failure changes nothing.
+  PageTable& pt = mm.page_table();
+  Cycles cycles = 0;
+  const uint32_t first = PtpSlotIndex(start);
+  const uint32_t last = PtpSlotIndex(end - 1);
+  for (uint32_t slot = first; slot <= last; ++slot) {
+    if (pt.l1(slot).present()) {
+      if (!UnshareIfNeeded(mm, PtpSlotBase(slot), flush_tlb, &cycles)) {
+        if (out_oom != nullptr) {
+          *out_oom = true;
+        }
+        return;
+      }
+    }
+  }
 
   // Split at the boundaries and re-insert the covered pieces with the new
   // protection.
@@ -566,17 +674,6 @@ void VmManager::Mprotect(MmStruct& mm, VirtAddr start, uint32_t length,
   for (VmArea& piece : pieces) {
     piece.prot = prot;
     mm.InsertVma(std::move(piece));
-  }
-
-  // Section 3.1.2 case 2: region modification unshares every spanned PTP.
-  PageTable& pt = mm.page_table();
-  Cycles cycles = 0;
-  const uint32_t first = PtpSlotIndex(start);
-  const uint32_t last = PtpSlotIndex(end - 1);
-  for (uint32_t slot = first; slot <= last; ++slot) {
-    if (pt.l1(slot).present()) {
-      UnshareIfNeeded(mm, PtpSlotBase(slot), flush_tlb, &cycles);
-    }
   }
 
   if (!prot.read) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "src/arch/fault.h"
 #include "src/mem/page_cache.h"
@@ -27,7 +28,10 @@ class Tracer;
 using TlbFlushFn = std::function<void()>;
 
 struct FaultOutcome {
-  bool ok = false;            // false => SIGSEGV (unresolvable)
+  bool ok = false;            // false => SIGSEGV (unresolvable) or OOM
+  bool oom = false;           // false fault result was a failed allocation,
+                              // not a bad access: reclaim-and-retry, not
+                              // SIGSEGV
   bool hard = false;          // missed the page cache ("disk" read)
   bool unshared = false;      // the fault triggered a PTP unshare
   uint32_t ptes_copied = 0;   // unshare copy volume
@@ -35,6 +39,9 @@ struct FaultOutcome {
 };
 
 struct ForkResult {
+  bool ok = true;                      // false => ENOMEM; the child's mm
+                                       // holds partial state the caller
+                                       // must tear down (ExitMm)
   uint32_t vmas_copied = 0;
   uint32_t slots_shared = 0;           // PTPs shared into the child
   uint32_t ptes_copied = 0;            // PTEs copied the stock way
@@ -102,17 +109,24 @@ class VmManager {
   // The mmap family.
   // -------------------------------------------------------------------------
 
-  // Returns the mapped address, or 0 on failure (no free range). Eagerly
-  // unshares overlapped shared PTPs (Section 3.1.2 case 3) unless the
-  // lazy-unshare ablation is on.
+  // Returns the mapped address, or 0 on failure (no free range, or — when
+  // `out_oom` reports true — an eager unshare that could not allocate its
+  // private PTP). Eagerly unshares overlapped shared PTPs (Section 3.1.2
+  // case 3) unless the lazy-unshare ablation is on. On OOM no region is
+  // inserted; any slots already unshared stay unshared (harmless — the
+  // address space remains consistent, just less shared), so the caller
+  // can reclaim and retry.
   VirtAddr Mmap(MmStruct& mm, const MmapRequest& request,
-                const TlbFlushFn& flush_tlb);
+                const TlbFlushFn& flush_tlb, bool* out_oom = nullptr);
 
+  // Munmap/Mprotect can also hit OOM in their unshare step. They unshare
+  // *before* mutating regions or PTEs, so an OOM (reported via `out_oom`)
+  // leaves the address space exactly as it was.
   void Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
-              const TlbFlushFn& flush_tlb);
+              const TlbFlushFn& flush_tlb, bool* out_oom = nullptr);
 
   void Mprotect(MmStruct& mm, VirtAddr start, uint32_t length, VmProt prot,
-                const TlbFlushFn& flush_tlb);
+                const TlbFlushFn& flush_tlb, bool* out_oom = nullptr);
 
   // Releases every region and page-table page (process exit).
   void ExitMm(MmStruct& mm);
@@ -123,9 +137,12 @@ class VmManager {
                                const TlbFlushFn& flush_tlb);
 
   // Unshares the slot containing `va` if this mm holds it NEED_COPY.
-  // Returns PTEs copied; accumulates modelled cost into *cycles.
-  uint32_t UnshareIfNeeded(MmStruct& mm, VirtAddr va, const TlbFlushFn& flush_tlb,
-                           Cycles* cycles);
+  // Returns PTEs copied, or nullopt if the private PTP could not be
+  // allocated (the slot is then untouched); accumulates modelled cost
+  // into *cycles.
+  std::optional<uint32_t> UnshareIfNeeded(MmStruct& mm, VirtAddr va,
+                                          const TlbFlushFn& flush_tlb,
+                                          Cycles* cycles);
 
   // Installs the PTE for a resolved fault, routing through the shared-PTP
   // populate path when the slot is shared.
@@ -137,9 +154,11 @@ class VmManager {
   // fault-around ablation).
   void FaultAround(MmStruct& mm, const VmArea& vma, VirtAddr va);
   // Whether `va`'s 64 KB block can be mapped with one large page, and the
-  // install itself (16 replicated PTEs over 16 contiguous frames).
+  // install itself (16 replicated PTEs over 16 contiguous frames). The
+  // install returns false when no contiguous run is available; the fault
+  // then falls back to ordinary 4 KB pages.
   bool CanMapLargeBlock(MmStruct& mm, const VmArea& vma, VirtAddr va) const;
-  void InstallLargeBlock(MmStruct& mm, const VmArea& vma, VirtAddr va);
+  bool InstallLargeBlock(MmStruct& mm, const VmArea& vma, VirtAddr va);
   FaultOutcome HandlePermissionFault(MmStruct& mm, const VmArea& vma,
                                      VirtAddr va, AccessType access);
 

@@ -1,0 +1,277 @@
+// The kernel invariant auditor (src/vm/audit): its own correctness, and
+// its use as a fuzzing oracle.
+//
+//   * A freshly booted system audits clean; so does one that has run the
+//     full cycle-level pipeline (populated TLBs, shared PTPs, globals).
+//   * The auditor actually detects corruption (a deliberately skewed
+//     frame reference count is reported, not absorbed).
+//   * Randomized kernel-op fuzzing with deterministic allocation-failure
+//     injection, auditing after EVERY step: >= 10k steps across the
+//     suite, every intermediate state must be internally consistent —
+//     including the states reached through ENOMEM rollback, direct
+//     reclaim, and OOM kills.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "src/core/sat.h"
+
+namespace sat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Clean-state audits.
+// ---------------------------------------------------------------------------
+
+TEST(AuditTest, FreshBootedSystemAuditsClean) {
+  System system(SystemConfig::SharedPtpAndTlb2Mb());
+  const AuditReport report = system.kernel().AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks, 1000u);  // it really looked at things
+}
+
+TEST(AuditTest, CycleLevelRunAuditsClean) {
+  // Drive the full pipeline so the TLBs hold live entries (global and
+  // per-ASID, small and large pages) when the audit runs.
+  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  config.large_pages_for_code = true;
+  System system(config);
+  Kernel& kernel = system.kernel();
+
+  Task* app = system.android().ForkApp("audited");
+  ASSERT_NE(app, nullptr);
+  kernel.ScheduleTo(*app);
+  const AppFootprint& boot = system.android().zygote_boot_footprint();
+  for (size_t i = 0; i < 300; ++i) {
+    const TouchedPage& page = boot.pages[(i * 13) % boot.pages.size()];
+    kernel.core().FetchLine(
+        system.android().CodePageVa(page.lib, page.page_index));
+  }
+  AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+
+  kernel.Exit(*app);
+  report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditTest, DetectsRefcountCorruption) {
+  KernelParams params;
+  params.phys_bytes = 16ull * 1024 * 1024;
+  Kernel kernel(params);
+  Task* task = kernel.CreateTask("victim");
+  MmapRequest request;
+  request.length = 4 * kPageSize;
+  request.prot = VmProt::ReadWrite();
+  request.kind = VmKind::kAnonPrivate;
+  const VirtAddr at = kernel.Mmap(*task, request);
+  ASSERT_NE(at, 0u);
+  ASSERT_TRUE(kernel.TouchPage(*task, at, AccessType::kWrite));
+  ASSERT_TRUE(kernel.AuditInvariants().ok());
+
+  // Skew one anon frame's reference count behind the kernel's back.
+  const auto ref = task->mm->page_table().FindPte(at);
+  ASSERT_TRUE(ref.has_value());
+  const FrameNumber frame = ref->ptp->hw(ref->index).frame();
+  kernel.phys().RefFrame(frame);
+
+  const AuditReport report = kernel.AuditInvariants();
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const AuditViolation& violation : report.violations) {
+    if (violation.check == "frame-refcount") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.ToString();
+
+  kernel.phys().UnrefFrame(frame);  // restore for a clean teardown
+  EXPECT_TRUE(kernel.AuditInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzing with the auditor as oracle, under allocation-failure injection.
+// ---------------------------------------------------------------------------
+
+struct AuditFuzzCase {
+  uint64_t seed;
+  bool share_ptps;
+  bool hw_l1_wp;
+};
+
+class AuditFuzzTest : public ::testing::TestWithParam<AuditFuzzCase> {};
+
+TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
+  const AuditFuzzCase fuzz = GetParam();
+  KernelParams params;
+  // Small enough that genuine exhaustion happens on top of the injected
+  // failures: both OOM paths (rollback and kill) run many times.
+  params.phys_bytes = 24ull * 1024 * 1024;
+  params.vm.share_ptps = fuzz.share_ptps;
+  params.vm.hw_l1_write_protect = fuzz.hw_l1_wp;
+  params.fault_injection_seed = fuzz.seed * 97 + 1;
+  Kernel kernel(params);
+  kernel.fault_injector().SetRule(AllocSite::kFrame, FaultRule{0, 0, 0.02});
+  kernel.fault_injector().SetRule(AllocSite::kPtp, FaultRule{0, 0, 0.02});
+  kernel.fault_injector().SetRule(AllocSite::kContiguous,
+                                  FaultRule{0, 0, 0.02});
+
+  std::mt19937_64 rng(fuzz.seed);
+  std::vector<Task*> live = {kernel.CreateTask("root")};
+  std::map<Task*, std::vector<std::pair<VirtAddr, uint32_t>>> regions;
+
+  for (int op = 0; op < 2000; ++op) {
+    // Any op can OOM-kill bystanders: drop the dead before choosing.
+    for (size_t i = live.size(); i-- > 0;) {
+      if (!live[i]->alive) {
+        regions.erase(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if (live.empty()) {
+      live.push_back(kernel.CreateTask("respawn"));
+    }
+    Task* task = live[rng() % live.size()];
+
+    switch (rng() % 12) {
+      case 0:
+      case 1: {  // mmap
+        MmapRequest request;
+        const uint32_t pages = 1 + static_cast<uint32_t>(rng() % 64);
+        request.length = pages * kPageSize;
+        if (rng() % 2 == 0) {
+          request.prot = VmProt::ReadWrite();
+          request.kind = VmKind::kAnonPrivate;
+        } else {
+          request.prot =
+              (rng() % 2 == 0) ? VmProt::ReadExec() : VmProt::ReadWrite();
+          request.kind = VmKind::kFilePrivate;
+          request.file = static_cast<FileId>(rng() % 8);
+          request.file_page_offset = static_cast<uint32_t>(rng() % 32);
+        }
+        const VirtAddr at = kernel.Mmap(*task, request);
+        if (at != 0 && task->alive) {
+          regions[task].push_back({at, pages});
+        }
+        break;
+      }
+      case 2: {  // munmap (may OOM-kill the caller as last resort)
+        auto& list = regions[task];
+        if (list.empty()) {
+          break;
+        }
+        const size_t index = rng() % list.size();
+        auto [start, pages] = list[index];
+        const uint32_t drop = 1 + static_cast<uint32_t>(rng() % pages);
+        kernel.Munmap(*task, start, drop * kPageSize);
+        if (drop == pages) {
+          list.erase(list.begin() + static_cast<std::ptrdiff_t>(index));
+        } else {
+          list[index] = {start + drop * kPageSize, pages - drop};
+        }
+        break;
+      }
+      case 3: {  // mprotect
+        auto& list = regions[task];
+        if (list.empty()) {
+          break;
+        }
+        auto [start, pages] = list[rng() % list.size()];
+        const VmProt prot =
+            (rng() % 2 == 0) ? VmProt::ReadOnly() : VmProt::ReadWrite();
+        kernel.Mprotect(*task, start, pages * kPageSize, prot);
+        break;
+      }
+      case 4:
+      case 5:
+      case 6:
+      case 7: {  // touch (every outcome is legal; state must stay sound)
+        auto& list = regions[task];
+        if (list.empty()) {
+          break;
+        }
+        auto [start, pages] = list[rng() % list.size()];
+        const VirtAddr va =
+            start + static_cast<uint32_t>(rng() % pages) * kPageSize;
+        const VmArea* vma = task->mm->FindVma(va);
+        if (vma == nullptr) {
+          break;
+        }
+        const AccessType access = vma->prot.write && (rng() % 2 == 0)
+                                      ? AccessType::kWrite
+                                      : AccessType::kRead;
+        kernel.TouchPageStatus(*task, va, access);
+        break;
+      }
+      case 8:
+      case 9: {  // fork (nullptr on ENOMEM is a legal outcome)
+        if (live.size() >= 10) {
+          break;
+        }
+        Task* child = kernel.Fork(*task, "child");
+        if (child != nullptr) {
+          live.push_back(child);
+          regions[child] = regions[task];
+        }
+        break;
+      }
+      case 10: {  // exec (occasionally into a zygote-like space)
+        kernel.Exec(*task, "fuzz-exec", rng() % 8 == 0);
+        regions[task].clear();
+        break;
+      }
+      case 11: {  // exit
+        if (live.size() <= 1) {
+          break;
+        }
+        const size_t index = rng() % live.size();
+        Task* dying = live[index];
+        kernel.Exit(*dying);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+        regions.erase(dying);
+        break;
+      }
+    }
+
+    const AuditReport report = kernel.AuditInvariants();
+    ASSERT_TRUE(report.ok())
+        << "after op " << op << ":\n"
+        << report.ToString();
+  }
+
+  for (Task* task : live) {
+    if (task->alive) {
+      kernel.Exit(*task);
+    }
+  }
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(kernel.ptp_allocator().live_ptps(), 0u);
+  EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kAnon), 0u);
+  // The injector really fired; the suite fuzzes the failure paths, not
+  // just the happy ones.
+  EXPECT_GT(kernel.fault_injector().total_injected(), 0u);
+}
+
+std::vector<AuditFuzzCase> AuditFuzzCases() {
+  return {
+      {101, false, false}, {202, false, false}, {303, true, false},
+      {404, true, false},  {505, true, true},   {606, true, true},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AuditFuzzTest, ::testing::ValuesIn(AuditFuzzCases()),
+    [](const ::testing::TestParamInfo<AuditFuzzCase>& param_info) {
+      const AuditFuzzCase& c = param_info.param;
+      std::string name = "seed" + std::to_string(c.seed);
+      name += c.share_ptps ? "_shared" : "_stock";
+      if (c.hw_l1_wp) name += "_l1wp";
+      return name;
+    });
+
+}  // namespace
+}  // namespace sat

@@ -28,6 +28,8 @@ TEST(SystemTest, AllNamedConfigsBoot) {
     System system(config);
     EXPECT_NE(system.android().zygote(), nullptr) << config.Name();
     EXPECT_EQ(system.loader().zygote_layout().size(), 88u) << config.Name();
+    const AuditReport report = system.kernel().AuditInvariants();
+    EXPECT_TRUE(report.ok()) << config.Name() << ":\n" << report.ToString();
   }
 }
 
@@ -97,6 +99,8 @@ TEST(SystemTest, ManyAppLifecyclesBalanceResources) {
   EXPECT_EQ(kernel.phys().used_frames() - frames_baseline,
             kernel.phys().CountFrames(FrameKind::kFileCache) -
                 fresh.kernel().phys().CountFrames(FrameKind::kFileCache));
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST(SystemTest, ConcurrentAppsShareUnsharedIndependently) {
@@ -192,6 +196,11 @@ TEST(SystemTest, DomainIsolationAcrossTheWholeStack) {
   const FrameNumber daemon_frame = daemon_pte->ptp->hw(daemon_pte->index).frame();
   const auto app_pte = app->mm->page_table().FindPte(va);
   EXPECT_NE(daemon_frame, app_pte->ptp->hw(app_pte->index).frame());
+
+  // With global and per-ASID TLB entries live on the core, every
+  // structure still agrees.
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST(SystemTest, LargePageMappingsWorkEndToEnd) {
@@ -223,6 +232,10 @@ TEST(SystemTest, LargePageMappingsWorkEndToEnd) {
     EXPECT_TRUE(kernel.core().FetchLine(0x70000000 + i * kPageSize));
   }
   EXPECT_EQ(kernel.core().counters().itlb_main_misses, misses);
+
+  // A live large-page TLB entry audits against its 16 replicated PTEs.
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 }  // namespace

@@ -123,13 +123,15 @@ TEST_P(KernelFuzzTest, RandomOpsPreserveResourceBalance) {
         break;
       }
       case 7:
-      case 8: {  // fork
+      case 8: {  // fork (nullptr on ENOMEM is a legal outcome)
         if (live.size() >= 12) {
           break;
         }
         Task* child = kernel.Fork(*task, "child");
-        live.push_back(child);
-        regions[child] = regions[task];  // inherited regions
+        if (child != nullptr) {
+          live.push_back(child);
+          regions[child] = regions[task];  // inherited regions
+        }
         break;
       }
       case 9: {  // exit (keep at least one task)
@@ -146,11 +148,19 @@ TEST_P(KernelFuzzTest, RandomOpsPreserveResourceBalance) {
     }
   }
 
+  // Every redundant structure must agree before teardown...
+  const AuditReport mid_report = kernel.AuditInvariants();
+  EXPECT_TRUE(mid_report.ok()) << mid_report.ToString();
+
   // Teardown: exit everything. All anonymous memory and all PTPs must be
   // gone; only page-cache frames may outlive the processes.
   for (Task* task : live) {
-    kernel.Exit(*task);
+    if (task->alive) {
+      kernel.Exit(*task);
+    }
   }
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
   EXPECT_EQ(kernel.ptp_allocator().live_ptps(), 0u);
   EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kAnon), 0u);
   EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kPageTable), 0u);
@@ -495,6 +505,8 @@ TEST_P(ConfigMatrixTest, BootRunExitStaysBalanced) {
 
   EXPECT_EQ(kernel.ptp_allocator().live_ptps(), ptps_baseline);
   EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kAnon), anon_baseline);
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
   // The sound isolation models never leak instruction translations.
   if (m.isolation != IsolationModel::kMpkDataOnly) {
     EXPECT_EQ(kernel.machine().TotalCounters().unsound_global_hits, 0u);
