@@ -109,7 +109,68 @@ int Run() {
   return ok ? 0 : 1;
 }
 
+// --phys-mb / --swap-mb pressure mode: the same N-process shared-code
+// workload, but on a machine small enough that keeping all N apps (and
+// their anonymous heaps) resident forces the reclaim chain to run. Each
+// app also dirties a private heap so there is anonymous memory for the
+// swap stage to compress; the per-config summaries show how the stock and
+// shared-PTP kernels fare on identical pressure.
+void RunPressureMode(uint64_t phys_mb, uint64_t swap_mb) {
+  std::cout << "\npressure mode (8 apps, " << phys_mb << " MB machine";
+  if (swap_mb > 0) {
+    std::cout << " + " << swap_mb << " MB zram";
+  }
+  std::cout << "):\n";
+  for (const SystemConfig& base :
+       {SystemConfig::Stock(), SystemConfig::SharedPtp()}) {
+    const SystemConfig config =
+        WithSwapMb(WithPhysMb(base, phys_mb), swap_mb);
+    System system(config);
+    Kernel& kernel = system.kernel();
+    const AppFootprint& boot = system.android().zygote_boot_footprint();
+    std::vector<Task*> live;
+    for (uint32_t i = 0; i < 8; ++i) {
+      Task* app = system.android().ForkApp("app" + std::to_string(i));
+      if (app == nullptr) {
+        continue;  // fork refused under pressure; counted in the summary
+      }
+      for (size_t p = 0; p < boot.pages.size(); p += 4) {
+        kernel.TouchPage(*app,
+                         system.android().CodePageVa(
+                             boot.pages[p].lib, boot.pages[p].page_index),
+                         AccessType::kExecute);
+      }
+      // A 1 MB private heap per app: the anonymous working set that the
+      // file-cache-only reclaimer cannot touch but swap can.
+      MmapRequest request;
+      request.length = 256 * kPageSize;
+      request.prot = VmProt::ReadWrite();
+      request.kind = VmKind::kAnonPrivate;
+      const VirtAddr heap = kernel.Mmap(*app, request);
+      for (uint32_t page = 0; heap != 0 && page < 256 && app->alive; ++page) {
+        kernel.TouchPage(*app, heap + page * kPageSize, AccessType::kWrite);
+      }
+      live.push_back(app);
+    }
+    kernel.ReclaimFileCache(200);
+    std::cout << "  ";
+    PrintPressureSummary(system);
+    for (Task* app : live) {
+      if (app->alive) {
+        kernel.Exit(*app);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const int status = sat::Run();
+  const uint64_t phys_mb = sat::PhysMbArg(argc, argv);
+  if (phys_mb > 0) {
+    sat::RunPressureMode(phys_mb, sat::SwapMbArg(argc, argv));
+  }
+  return status;
+}

@@ -70,10 +70,16 @@ int Run() {
 // kernel runs), so the small-memory regime is exercised by one Email
 // replay on a booted system of the requested size — reporting whether the
 // run survived and how hard the reclaim/OOM machinery had to work.
-void RunPressureReplay(uint64_t phys_mb) {
-  const SystemConfig config =
-      WithPhysMb(SystemConfig::SharedPtpAndTlb(), phys_mb);
-  std::cout << "\npressure replay (Email, " << phys_mb << " MB machine):\n";
+// --swap-mb adds a zram device, letting the replay ride out pressure by
+// compressing cold anonymous pages instead of killing the app.
+void RunPressureReplay(uint64_t phys_mb, uint64_t swap_mb) {
+  const SystemConfig config = WithSwapMb(
+      WithPhysMb(SystemConfig::SharedPtpAndTlb(), phys_mb), swap_mb);
+  std::cout << "\npressure replay (Email, " << phys_mb << " MB machine";
+  if (swap_mb > 0) {
+    std::cout << " + " << swap_mb << " MB zram";
+  }
+  std::cout << "):\n";
   System system(config);
   AppRunner runner(&system.android());
   const AppFootprint fp =
@@ -88,8 +94,10 @@ void RunPressureReplay(uint64_t phys_mb) {
 
 // --trace-out: the traced slice is the same single-app replay on a booted
 // system under the full sharing mechanism (at --phys-mb size if given).
-bool WriteReplayTrace(const std::string& path, uint64_t phys_mb) {
-  SystemConfig config = WithPhysMb(SystemConfig::SharedPtpAndTlb(), phys_mb);
+bool WriteReplayTrace(const std::string& path, uint64_t phys_mb,
+                      uint64_t swap_mb) {
+  SystemConfig config = WithSwapMb(
+      WithPhysMb(SystemConfig::SharedPtpAndTlb(), phys_mb), swap_mb);
   config.trace.enabled = true;
   System system(config);
   AppRunner runner(&system.android());
@@ -105,11 +113,13 @@ bool WriteReplayTrace(const std::string& path, uint64_t phys_mb) {
 int main(int argc, char** argv) {
   const std::string trace_path = sat::TraceOutPath(argc, argv);
   const uint64_t phys_mb = sat::PhysMbArg(argc, argv);
+  const uint64_t swap_mb = sat::SwapMbArg(argc, argv);
   const int status = sat::Run();
   if (phys_mb > 0) {
-    sat::RunPressureReplay(phys_mb);
+    sat::RunPressureReplay(phys_mb, swap_mb);
   }
-  if (!trace_path.empty() && !sat::WriteReplayTrace(trace_path, phys_mb)) {
+  if (!trace_path.empty() &&
+      !sat::WriteReplayTrace(trace_path, phys_mb, swap_mb)) {
     return 1;
   }
   return status;

@@ -110,15 +110,54 @@ inline SystemConfig WithPhysMb(SystemConfig config, uint64_t phys_mb) {
   return config;
 }
 
+// Parses `--swap-mb=<N>` from argv: the size of the compressed zram swap
+// device in MB. Returns 0 when the flag is absent (swap disabled).
+// Combined with --phys-mb, this puts runs in the regime where anonymous
+// memory survives pressure by being compressed instead of OOM-killed.
+inline uint64_t SwapMbArg(int argc, char** argv) {
+  const std::string prefix = "--swap-mb=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoull(arg.substr(prefix.size()));
+    }
+  }
+  return 0;
+}
+
+// Applies a --swap-mb override to a config (no-op when mb == 0).
+inline SystemConfig WithSwapMb(SystemConfig config, uint64_t swap_mb) {
+  if (swap_mb > 0) {
+    config.swap_bytes = swap_mb * 1024 * 1024;
+  }
+  return config;
+}
+
 // Prints the memory-pressure outcome of a finished system: how often the
-// allocate → direct-reclaim → OOM-kill chain ran. All zeros on the
-// default 512 MB machine; nonzero under --phys-mb pressure runs.
+// allocate → reclaim → swap-out → OOM-kill chain ran. All zeros on the
+// default 512 MB machine; nonzero under --phys-mb pressure runs. With
+// --swap-mb the swap traffic and the achieved compression ratio are
+// reported too.
 inline void PrintPressureSummary(System& system) {
   const KernelCounters& c = system.kernel().counters();
   std::cout << "memory pressure [" << system.name()
             << "]: " << c.direct_reclaims << " direct reclaim(s), "
             << c.oom_kills << " OOM kill(s), " << c.forks_failed
             << " failed fork(s)\n";
+  const ZramStore& zram = system.kernel().zram();
+  if (zram.enabled()) {
+    std::cout << "  swap: " << c.swap_outs << " out, " << c.swap_ins << " in ("
+              << c.swap_ins_cache_hit << " cache hit(s)), "
+              << c.swap_clean_drops << " clean drop(s), " << c.kswapd_runs
+              << " kswapd run(s)";
+    if (zram.bytes_compressed_total() > 0) {
+      const double ratio =
+          static_cast<double>(zram.pages_stored_total()) * kPageSize /
+          static_cast<double>(zram.bytes_compressed_total());
+      std::cout << ", compression ratio " << FormatDouble(ratio, 2) << ":1";
+    }
+    std::cout << "\n";
+  }
 }
 
 // Exports `system`'s recorded trace as Chrome trace_event JSON (loadable

@@ -105,9 +105,18 @@ class HwPte {
   uint32_t raw_ = 0;
 };
 
+// Identifier of a compressed swap slot in the zram store (src/mem/zram).
+using SwapSlotId = uint32_t;
+
 // The parallel Linux software entry. ARMv7 second-level descriptors have no
 // referenced/dirty bits, so Linux keeps them in a shadow table that shares
 // the PTP's 4 KB frame with the hardware tables.
+//
+// A non-present software entry can instead hold a *swap entry* — the ARM
+// Linux trick of encoding the swap slot in the free bits of the invalid
+// descriptor. The hardware entry stays invalid (type 0) so the walker
+// faults; the fault handler recognises the swap bit and decompresses the
+// page from the zram store.
 class LinuxPte {
  public:
   constexpr LinuxPte() = default;
@@ -124,6 +133,18 @@ class LinuxPte {
   void set_dirty(bool v) { SetBit(kDirtyBit, v); }
   void set_writable(bool v) { SetBit(kWritableBit, v); }
 
+  // Swap-entry encoding: slot number in the high bits, swap marker in a
+  // free low bit, present bit clear. A swap entry carries no other flags.
+  static LinuxPte MakeSwap(SwapSlotId slot) {
+    LinuxPte pte;
+    pte.raw_ = kSwapBit | (slot << kSwapSlotShift);
+    return pte;
+  }
+  constexpr bool is_swap() const { return (raw_ & kSwapBit) != 0; }
+  constexpr SwapSlotId swap_slot() const { return raw_ >> kSwapSlotShift; }
+  static constexpr SwapSlotId kMaxSwapSlot =
+      (1u << (32 - 5 /*kSwapSlotShift*/)) - 1;
+
   void Clear() { raw_ = 0; }
 
   constexpr uint32_t raw() const { return raw_; }
@@ -134,6 +155,8 @@ class LinuxPte {
   static constexpr uint32_t kYoungBit = 1u << 1;
   static constexpr uint32_t kDirtyBit = 1u << 2;
   static constexpr uint32_t kWritableBit = 1u << 3;
+  static constexpr uint32_t kSwapBit = 1u << 4;
+  static constexpr uint32_t kSwapSlotShift = 5;
 
   void SetBit(uint32_t bit, bool v) {
     if (v) {

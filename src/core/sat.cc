@@ -37,12 +37,16 @@ std::string SystemConfig::Name() const {
   if (isolation != IsolationModel::kArmDomains) {
     name += std::string(" [") + IsolationModelName(isolation) + "]";
   }
+  if (swap_bytes > 0) {
+    name += " [zram " + std::to_string(swap_bytes >> 20) + "MB]";
+  }
   return name;
 }
 
 ZygoteParams SystemConfig::ToZygoteParams() const {
   ZygoteParams params;
   params.kernel.phys_bytes = phys_bytes;
+  params.kernel.swap_bytes = swap_bytes;
   params.kernel.vm.share_ptps = share_ptps;
   params.kernel.vm.share_tlb_global = share_tlb;
   params.kernel.vm.copy_zygote_code_ptes_at_fork = copy_ptes_at_fork;

@@ -71,6 +71,10 @@ struct SystemConfig {
   IsolationModel isolation = IsolationModel::kArmDomains;
 
   uint64_t phys_bytes = 512ull * 1024 * 1024;
+  // Compressed (zram) swap capacity; 0 disables swap. With swap on, the
+  // kernel ages anonymous pages, kswapd runs between the low/high
+  // watermarks, and direct reclaim swaps before OOM-killing.
+  uint64_t swap_bytes = 0;
   uint64_t seed = 42;
 
   // Kernel event tracing (src/trace): off by default; when enabled the

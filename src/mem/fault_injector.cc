@@ -12,6 +12,8 @@ const char* AllocSiteName(AllocSite site) {
       return "contiguous";
     case AllocSite::kPtp:
       return "ptp";
+    case AllocSite::kZram:
+      return "zram";
     case AllocSite::kCount:
       break;
   }

@@ -28,7 +28,8 @@ enum class AllocSite : uint32_t {
   kFrame = 0,       // single-frame allocations (anon, file cache, kernel)
   kContiguous = 1,  // naturally-aligned contiguous runs (large pages)
   kPtp = 2,         // page-table-page frame allocations
-  kCount = 3,
+  kZram = 3,        // compressed-store pool growth (swap-out path)
+  kCount = 4,
 };
 
 const char* AllocSiteName(AllocSite site);

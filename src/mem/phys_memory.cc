@@ -32,6 +32,7 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
   SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero);
   if (injector_ != nullptr) {
     const AllocSite site = kind == FrameKind::kPageTable ? AllocSite::kPtp
+                           : kind == FrameKind::kZram    ? AllocSite::kZram
                                                          : AllocSite::kFrame;
     if (injector_->ShouldFail(site)) {
       return std::nullopt;
@@ -56,6 +57,9 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
   f.map_count = 0;
   f.file = kNoFile;
   f.file_page_index = 0;
+  if (observer_ != nullptr) {
+    observer_->OnFrameAllocated(number, kind);
+  }
   return number;
 }
 
@@ -91,6 +95,9 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
       f.file_page_index = 0;
       // Remove from the free list lazily: TryAllocFrame skips non-free
       // entries it pops.
+      if (observer_ != nullptr) {
+        observer_->OnFrameAllocated(base + i, kind);
+      }
     }
     free_count_ -= count;
     return base;
@@ -121,6 +128,7 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
   if (--f.ref_count > 0) {
     return false;
   }
+  const FrameKind freed_kind = f.kind;
   f.kind = FrameKind::kFree;
   f.map_count = 0;
   f.file = kNoFile;
@@ -129,6 +137,9 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
     free_listed_[number] = true;
   }
   free_count_++;
+  if (observer_ != nullptr) {
+    observer_->OnFrameFreed(number, freed_kind);
+  }
   return true;
 }
 

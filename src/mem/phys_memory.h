@@ -29,6 +29,7 @@ enum class FrameKind : uint8_t {
   kPageTable,   // holds a page-table page
   kKernel,      // kernel text/data (never freed)
   kZero,        // the shared zero page
+  kZram,        // backing pool of the compressed swap store
 };
 
 constexpr const char* FrameKindName(FrameKind kind) {
@@ -45,9 +46,22 @@ constexpr const char* FrameKindName(FrameKind kind) {
       return "kernel";
     case FrameKind::kZero:
       return "zero";
+    case FrameKind::kZram:
+      return "zram";
   }
   return "?";
 }
+
+// Observes frame allocation and free events — the hook the anonymous /
+// file-cache LRU lists (src/vm/swap.h) use to track membership without
+// PhysicalMemory knowing about reclaim policy. The permanent zero frame is
+// set up before any observer can attach and is never reported.
+class FrameLifecycleObserver {
+ public:
+  virtual ~FrameLifecycleObserver() = default;
+  virtual void OnFrameAllocated(FrameNumber frame, FrameKind kind) = 0;
+  virtual void OnFrameFreed(FrameNumber frame, FrameKind kind) = 0;
+};
 
 struct PageFrame {
   FrameKind kind = FrameKind::kFree;
@@ -80,6 +94,9 @@ class PhysicalMemory {
   // allocators. Not owned. Pass nullptr to detach.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
+
+  // Optional lifecycle observer (LRU maintenance). Not owned; at most one.
+  void set_observer(FrameLifecycleObserver* observer) { observer_ = observer; }
 
   // Allocates one frame of the given kind with ref_count 1, or nullopt if
   // physical memory is exhausted (or a fault was injected).
@@ -130,6 +147,7 @@ class PhysicalMemory {
   uint64_t free_count_ = 0;
   FrameNumber zero_frame_ = 0;
   FaultInjector* injector_ = nullptr;
+  FrameLifecycleObserver* observer_ = nullptr;
 };
 
 }  // namespace sat

@@ -1,0 +1,169 @@
+#include "src/mem/zram.h"
+
+#include "src/arch/check.h"
+
+namespace sat {
+
+ZramStore::ZramStore(PhysicalMemory* phys, uint64_t disksize_bytes,
+                     uint64_t seed)
+    : phys_(phys), disksize_bytes_(disksize_bytes), rng_(seed) {
+  SAT_CHECK(phys_ != nullptr);
+}
+
+ZramStore::~ZramStore() {
+  // Slots must have been released by task teardown before the store dies;
+  // the pool frames are ours to return.
+  for (const FrameNumber frame : pool_) {
+    phys_->UnrefFrame(frame);
+  }
+}
+
+uint32_t ZramStore::SampleCompressedSize() {
+  // ~5% of pages are incompressible and stored raw; the rest compress to
+  // somewhere between 1/8 and 3/4 of a page.
+  if (rng_() % 100 < 5) {
+    return kPageSize;
+  }
+  return 512 + static_cast<uint32_t>(rng_() % 2561);
+}
+
+bool ZramStore::TryGrowPoolFor(uint32_t extra_bytes) {
+  const uint64_t needed =
+      (stored_bytes_ + extra_bytes + kPageSize - 1) / kPageSize;
+  while (pool_.size() < needed) {
+    const std::optional<FrameNumber> frame =
+        phys_->TryAllocFrame(FrameKind::kZram);
+    if (!frame.has_value()) {
+      return false;
+    }
+    pool_.push_back(*frame);
+  }
+  return true;
+}
+
+void ZramStore::ShrinkPool() {
+  const uint64_t needed = (stored_bytes_ + kPageSize - 1) / kPageSize;
+  while (pool_.size() > needed) {
+    phys_->UnrefFrame(pool_.back());
+    pool_.pop_back();
+  }
+}
+
+std::optional<SwapSlotId> ZramStore::TryStore() {
+  if (!enabled()) {
+    return std::nullopt;
+  }
+  if ((live_slot_count_ + 1) * kPageSize > disksize_bytes_) {
+    return std::nullopt;  // logical device full
+  }
+  // Sample the size first so the PRNG stream is independent of pool-growth
+  // failures, then grow the pool before committing any slot state.
+  const uint32_t bytes = SampleCompressedSize();
+  if (!TryGrowPoolFor(bytes)) {
+    return std::nullopt;
+  }
+  SwapSlotId id;
+  if (!free_slot_ids_.empty()) {
+    id = free_slot_ids_.back();
+    free_slot_ids_.pop_back();
+  } else {
+    id = static_cast<SwapSlotId>(slots_.size());
+    SAT_CHECK(id <= LinuxPte::kMaxSwapSlot);
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[id];
+  slot.live = true;
+  slot.ref_count = 1;
+  slot.bytes = bytes;
+  slot.cached = kNoFrame;
+  live_slot_count_++;
+  stored_bytes_ += bytes;
+  pages_stored_total_++;
+  bytes_compressed_total_ += bytes;
+  return id;
+}
+
+void ZramStore::Ref(SwapSlotId id) {
+  SAT_CHECK(id < slots_.size() && slots_[id].live && "ref of a dead slot");
+  slots_[id].ref_count++;
+}
+
+void ZramStore::Unref(SwapSlotId id) {
+  SAT_CHECK(id < slots_.size() && slots_[id].live && "unref of a dead slot");
+  Slot& slot = slots_[id];
+  SAT_CHECK(slot.ref_count > 0);
+  if (--slot.ref_count == 0) {
+    SAT_CHECK(slot.cached == kNoFrame &&
+              "a cache entry must hold a slot reference");
+    FreeSlot(id);
+    return;
+  }
+  if (slot.ref_count == 1 && slot.cached != kNoFrame) {
+    // Only the cache still holds the slot: no swap PTE can fault this copy
+    // back in, so drop the compressed copy (try_to_free_swap). This
+    // re-enters Unref and frees the slot.
+    RemoveFromCache(id);
+  }
+}
+
+void ZramStore::FreeSlot(SwapSlotId id) {
+  Slot& slot = slots_[id];
+  SAT_CHECK(stored_bytes_ >= slot.bytes);
+  stored_bytes_ -= slot.bytes;
+  live_slot_count_--;
+  slot = Slot{};
+  free_slot_ids_.push_back(id);
+  ShrinkPool();
+}
+
+void ZramStore::AddToCache(SwapSlotId id, FrameNumber frame) {
+  SAT_CHECK(id < slots_.size() && slots_[id].live);
+  SAT_CHECK(slots_[id].cached == kNoFrame && "slot already cached");
+  SAT_CHECK(cache_by_frame_.find(frame) == cache_by_frame_.end() &&
+            "frame already caches another slot");
+  slots_[id].cached = frame;
+  cache_by_slot_.emplace(id, frame);
+  cache_by_frame_.emplace(frame, id);
+  slots_[id].ref_count++;
+  phys_->RefFrame(frame);
+}
+
+void ZramStore::RemoveFromCache(SwapSlotId id) {
+  SAT_CHECK(id < slots_.size() && slots_[id].live);
+  const FrameNumber frame = slots_[id].cached;
+  SAT_CHECK(frame != kNoFrame && "slot not cached");
+  slots_[id].cached = kNoFrame;
+  cache_by_slot_.erase(id);
+  cache_by_frame_.erase(frame);
+  phys_->UnrefFrame(frame);
+  Unref(id);
+}
+
+FrameNumber ZramStore::CacheLookup(SwapSlotId id) const {
+  const auto it = cache_by_slot_.find(id);
+  return it == cache_by_slot_.end() ? kNoFrame : it->second;
+}
+
+std::optional<SwapSlotId> ZramStore::CacheSlotOf(FrameNumber frame) const {
+  const auto it = cache_by_frame_.find(frame);
+  if (it == cache_by_frame_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool ZramStore::SlotLive(SwapSlotId id) const {
+  return id < slots_.size() && slots_[id].live;
+}
+
+uint32_t ZramStore::SlotRefCount(SwapSlotId id) const {
+  SAT_CHECK(SlotLive(id));
+  return slots_[id].ref_count;
+}
+
+uint32_t ZramStore::SlotBytes(SwapSlotId id) const {
+  SAT_CHECK(SlotLive(id));
+  return slots_[id].bytes;
+}
+
+}  // namespace sat

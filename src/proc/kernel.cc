@@ -1,5 +1,6 @@
 #include "src/proc/kernel.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/arch/check.h"
@@ -13,6 +14,10 @@ namespace {
 // one pass usually unblocks the allocation).
 constexpr uint32_t kDirectReclaimBatch = 256;
 
+// Anonymous pages one swap-out pass targets (SWAP_CLUSTER_MAX scaled to
+// the simulated machine).
+constexpr uint32_t kSwapOutBatch = 64;
+
 }  // namespace
 
 Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
@@ -21,13 +26,27 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
       std::make_unique<FaultInjector>(params.fault_injection_seed);
   phys_ = std::make_unique<PhysicalMemory>(params.phys_bytes);
   phys_->set_fault_injector(fault_injector_.get());
+  lru_ = std::make_unique<FrameLru>(phys_->total_frames());
+  phys_->set_observer(lru_.get());
   page_cache_ = std::make_unique<PageCache>(phys_.get());
   ptp_allocator_ = std::make_unique<PtpAllocator>(phys_.get(), &counters_);
+  // The zram store is always constructed; swap_bytes == 0 leaves it
+  // disabled (TryStore always fails, no swap PTE is ever created).
+  zram_ = std::make_unique<ZramStore>(phys_.get(), params.swap_bytes,
+                                      params.fault_injection_seed);
   vm_ = std::make_unique<VmManager>(phys_.get(), page_cache_.get(), &counters_,
                                     &costs_, params.vm);
+  vm_->set_zram(zram_.get());
   reclaimer_ = std::make_unique<Reclaimer>(phys_.get(), page_cache_.get(),
                                            ptp_allocator_.get(), &rmap_,
-                                           &counters_);
+                                           &counters_, lru_.get());
+  swap_mgr_ = std::make_unique<SwapManager>(phys_.get(), zram_.get(),
+                                            ptp_allocator_.get(), &rmap_,
+                                            lru_.get(), &counters_);
+  // Watermarks, Linux-style: wake kswapd below `low`, stop at `high`.
+  kswapd_low_watermark_ = static_cast<uint32_t>(
+      std::max<uint64_t>(64, phys_->total_frames() / 16));
+  kswapd_high_watermark_ = kswapd_low_watermark_ + kswapd_low_watermark_ / 2;
   // Kernel text lives just past the end of simulated RAM: a unique,
   // collision-free physical window for the cache model (the kernel image
   // itself is not simulated as data).
@@ -41,6 +60,7 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   machine_->set_tracer(tracer_.get());
   vm_->set_tracer(tracer_.get());
   reclaimer_->set_tracer(tracer_.get());
+  swap_mgr_->set_tracer(tracer_.get());
   current_.resize(machine_->num_cores(), nullptr);
   for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
     machine_->core(i).set_abort_handler([this, i](const MemoryAbort& abort) {
@@ -108,6 +128,7 @@ Task* Kernel::CreateTask(const std::string& name) {
   task->mm = std::make_unique<MmStruct>(ptp_allocator_.get(), phys_.get(),
                                         &counters_, kDomainUser, &rmap_);
   task->mm->page_table().set_tracer(tracer_.get());
+  task->mm->page_table().set_zram(zram_.get());
   Task* raw = task.get();
   tasks_.push_back(std::move(task));
   return raw;
@@ -156,6 +177,7 @@ Task* Kernel::Fork(Task& parent, const std::string& name) {
                      /*text_lines=*/180);
   span.set_args(child->pid, last_fork_result_.ptes_copied);
   span.set_duration(last_fork_result_.cycles);
+  RunKswapdIfNeeded();
   return child;
 }
 
@@ -204,6 +226,9 @@ VirtAddr Kernel::Mmap(Task& task, MmapRequest request) {
     bool oom = false;
     const VirtAddr addr = vm_->Mmap(*task.mm, request, FlushFnFor(task), &oom);
     if (addr != 0 || !oom) {
+      if (addr != 0) {
+        RunKswapdIfNeeded();
+      }
       return addr;
     }
     if (!RelieveMemoryPressure(&task)) {
@@ -272,11 +297,22 @@ TouchStatus Kernel::TouchPageStatus(Task& task, VirtAddr va,
         }
       }
       if (allowed) {
-        if (!ref->ptp->sw(ref->index).young()) {
-          LinuxPte sw = ref->ptp->sw(ref->index);
+        // Emulated referenced/dirty bits: the hardware format has none, so
+        // the "MMU" sets them in the shadow PTE on access. The swap-out
+        // aging pass harvests young (second chance) and uses dirty to
+        // decide whether a swap-cached page can be dropped without
+        // recompressing.
+        LinuxPte sw = ref->ptp->sw(ref->index);
+        const bool need_dirty =
+            access == AccessType::kWrite && !sw.dirty();
+        if (!sw.young() || need_dirty) {
           sw.set_young(true);
+          if (access == AccessType::kWrite) {
+            sw.set_dirty(true);
+          }
           pt.UpdatePte(va, hw, sw, /*allow_shared=*/true);
         }
+        RunKswapdIfNeeded();
         return TouchStatus::kOk;
       }
     }
@@ -319,6 +355,46 @@ ReclaimStats Kernel::ReclaimFileCache(uint32_t target) {
   return reclaimer_->ReclaimFileCache(target, [this, all](VirtAddr va) {
     machine_->ShootdownVa(va, all, /*initiator=*/0);
   });
+}
+
+uint32_t Kernel::SwapOutAnonPages(uint32_t target) {
+  if (!zram_->enabled()) {
+    return 0;
+  }
+  const CpuMask all = (1u << machine_->num_cores()) - 1;
+  return swap_mgr_->SwapOut(target, [this, all](VirtAddr va) {
+    machine_->ShootdownVa(va, all, /*initiator=*/0);
+  });
+}
+
+void Kernel::RunKswapdIfNeeded() {
+  if (in_kswapd_ || !zram_->enabled()) {
+    return;
+  }
+  if (phys_->free_frames() >= kswapd_low_watermark_) {
+    return;
+  }
+  in_kswapd_ = true;
+  counters_.kswapd_runs++;
+  TraceSpan span(tracer_.get(), TraceEventType::kKswapd);
+  uint64_t freed_total = 0;
+  while (phys_->free_frames() < kswapd_high_watermark_) {
+    // Cheap memory first (clean file pages: refetchable), anonymous
+    // swap-out second (costs compression now and a decompress fault
+    // later). kswapd never OOM-kills; if neither pass makes progress it
+    // goes back to sleep and the allocation paths handle the shortfall.
+    uint64_t freed = ReclaimFileCache(kSwapOutBatch).pages_reclaimed;
+    if (phys_->free_frames() < kswapd_high_watermark_) {
+      freed += SwapOutAnonPages(kSwapOutBatch);
+    }
+    freed_total += freed;
+    if (freed == 0) {
+      break;
+    }
+  }
+  counters_.kswapd_pages += freed_total;
+  span.set_args(freed_total, phys_->free_frames());
+  in_kswapd_ = false;
 }
 
 uint64_t Kernel::TaskRssPages(const Task& task) const {
@@ -364,7 +440,13 @@ bool Kernel::RelieveMemoryPressure(const Task* immune, const Task* immune2) {
   if (stats.pages_reclaimed > 0) {
     return true;
   }
-  // Stage 2: the OOM killer.
+  // Stage 2: swap out anonymous pages to the compressed store. More
+  // expensive than dropping clean file pages (compression now, a
+  // decompress fault later) but far cheaper than killing someone.
+  if (SwapOutAnonPages(kSwapOutBatch) > 0) {
+    return true;
+  }
+  // Stage 3: the OOM killer.
   Task* victim = PickOomVictim(immune, immune2);
   if (victim == nullptr) {
     return false;
@@ -379,6 +461,8 @@ AuditReport Kernel::AuditInvariants() const {
   input.page_cache = page_cache_.get();
   input.ptps = ptp_allocator_.get();
   input.rmap = &rmap_;
+  input.zram = zram_.get();
+  input.lru = lru_.get();
   input.hw_l1_write_protect = vm_->config().hw_l1_write_protect;
   for (const auto& task : tasks_) {
     if (!task->alive || task->mm == nullptr) {

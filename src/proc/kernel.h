@@ -24,6 +24,7 @@
 #include "src/mem/fault_injector.h"
 #include "src/mem/page_cache.h"
 #include "src/mem/phys_memory.h"
+#include "src/mem/zram.h"
 #include "src/pt/ptp.h"
 #include "src/stats/cost_model.h"
 #include "src/stats/counters.h"
@@ -31,12 +32,16 @@
 #include "src/trace/trace.h"
 #include "src/vm/audit.h"
 #include "src/vm/reclaim.h"
+#include "src/vm/swap.h"
 #include "src/vm/vm_manager.h"
 
 namespace sat {
 
 struct KernelParams {
   uint64_t phys_bytes = 512ull * 1024 * 1024;
+  // Capacity of the compressed swap store (zram disksize). 0 disables
+  // swap entirely: no swap PTEs, no kswapd, reclaim behaves as before.
+  uint64_t swap_bytes = 0;
   VmConfig vm;
   CoreConfig core;
   // Number of simulated cores (the paper's Tegra 3 has four; its
@@ -134,6 +139,12 @@ class Kernel {
   // every mapping page table via the reverse map, with TLB shootdowns.
   ReclaimStats ReclaimFileCache(uint32_t target);
 
+  // Swaps out up to `target` anonymous pages to the compressed store,
+  // scanning the inactive-anonymous LRU with second-chance aging (see
+  // SwapManager). Returns the pages actually freed; 0 when swap is
+  // disabled or nothing is evictable.
+  uint32_t SwapOutAnonPages(uint32_t target);
+
   // The allocate → direct-reclaim → OOM-kill chain (run automatically by
   // the fault/fork/mmap paths; public so tests can drive it). Returns
   // true if it freed anything: first a direct-reclaim pass over the file
@@ -168,6 +179,10 @@ class Kernel {
   PageCache& page_cache() { return *page_cache_; }
   PtpAllocator& ptp_allocator() { return *ptp_allocator_; }
   ReverseMap& rmap() { return rmap_; }
+  ZramStore& zram() { return *zram_; }
+  FrameLru& lru() { return *lru_; }
+  uint32_t kswapd_low_watermark() const { return kswapd_low_watermark_; }
+  uint32_t kswapd_high_watermark() const { return kswapd_high_watermark_; }
   VmManager& vm() { return *vm_; }
   KernelCounters& counters() { return counters_; }
   const CostModel& costs() const { return costs_; }
@@ -183,6 +198,12 @@ class Kernel {
   Asid AllocateAsid();
   // Kills `victim`: counters, trace, oom_killed flag, then Exit.
   void OomKill(Task& victim);
+  // Background-reclaim analogue: when free memory sinks below the low
+  // watermark (and swap is enabled), reclaims file cache and swaps out
+  // anonymous pages until the high watermark is restored or no further
+  // progress is possible. Never OOM-kills. Called from the success paths
+  // of TouchPage / Fork / Mmap (where a real kswapd would be woken).
+  void RunKswapdIfNeeded();
   MmuContext ContextFor(Task& task);
   // The flush-current-process callback handed to VM operations: an ASID
   // shootdown over the task's cpumask.
@@ -195,17 +216,29 @@ class Kernel {
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<PhysicalMemory> phys_;
+  // Declared after phys_ (it observes frame lifecycle) and before zram_
+  // (whose destructor frees pool frames, which notifies the observer).
+  std::unique_ptr<FrameLru> lru_;
   std::unique_ptr<PageCache> page_cache_;
   std::unique_ptr<PtpAllocator> ptp_allocator_;
+  std::unique_ptr<ZramStore> zram_;
   ReverseMap rmap_;
   std::unique_ptr<VmManager> vm_;
   std::unique_ptr<Reclaimer> reclaimer_;
+  std::unique_ptr<SwapManager> swap_mgr_;
   std::unique_ptr<Machine> machine_;
+  // Declared after every subsystem: tasks are destroyed first, so page-
+  // table teardown can still release swap slots and frames.
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<Task*> current_;
   Pid next_pid_ = 1;
   uint32_t next_asid_ = 1;
   ForkResult last_fork_result_;
+  // kswapd state: watermarks in frames, plus a reentrancy guard (the
+  // reclaim work kswapd runs must not wake kswapd again).
+  uint32_t kswapd_low_watermark_ = 0;
+  uint32_t kswapd_high_watermark_ = 0;
+  bool in_kswapd_ = false;
 };
 
 }  // namespace sat

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/arch/check.h"
+#include "src/mem/zram.h"
 #include "src/trace/trace.h"
 
 namespace sat {
@@ -62,6 +63,14 @@ void PageTable::DropFrame(const HwPte& pte, PtpId ptp, uint32_t index) {
   phys_->UnrefFrame(frame);
 }
 
+void PageTable::DropSwap(const LinuxPte& sw_pte) {
+  if (!sw_pte.is_swap()) {
+    return;
+  }
+  SAT_CHECK(zram_ != nullptr && "swap entry without a zram store attached");
+  zram_->Unref(sw_pte.swap_slot());
+}
+
 void PageTable::SetPte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
                        bool allow_shared) {
   const L1Entry& entry = l1_[PtpSlotIndex(va)];
@@ -74,12 +83,20 @@ void PageTable::SetPte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   const uint32_t index = PteIndexInPtp(va);
   // Take the new reference before dropping the old one so replacing a frame
-  // with itself stays safe.
+  // (or swap slot) with itself stays safe.
+  if (sw_pte.is_swap()) {
+    SAT_CHECK(!hw_pte.valid() && "a swap entry has no hardware mapping");
+    SAT_CHECK(!sw_pte.present());
+    SAT_CHECK(zram_ != nullptr && "swap entry without a zram store attached");
+    zram_->Ref(sw_pte.swap_slot());
+  }
   if (hw_pte.valid()) {
     TakeFrame(hw_pte, entry.ptp, index, PageAlignDown(va));
   }
+  const LinuxPte old_sw = ptp.sw(index);
   DropFrame(ptp.hw(index), entry.ptp, index);
   ptp.Set(index, hw_pte, sw_pte);
+  DropSwap(old_sw);
 }
 
 void PageTable::ClearPte(VirtAddr va) {
@@ -91,8 +108,10 @@ void PageTable::ClearPte(VirtAddr va) {
             "clearing a PTE in a NEED_COPY slot; unshare first");
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   const uint32_t index = PteIndexInPtp(va);
+  const LinuxPte old_sw = ptp.sw(index);
   DropFrame(ptp.hw(index), entry.ptp, index);
   ptp.Clear(index);
+  DropSwap(old_sw);
 }
 
 void PageTable::UpdatePte(VirtAddr va, HwPte hw_pte, LinuxPte sw_pte,
@@ -243,6 +262,16 @@ std::optional<uint32_t> PageTable::TryUnshareSlot(
   for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
     const HwPte& hw = shared.hw(i);
     if (!hw.valid()) {
+      // Swap entries are copied unconditionally — even under the
+      // copy-referenced-only ablation — because a dropped swap entry
+      // cannot be repopulated by a soft fault: it is the only name the
+      // compressed page has in this address space.
+      if (shared.sw(i).is_swap()) {
+        SAT_CHECK(zram_ != nullptr);
+        zram_->Ref(shared.sw(i).swap_slot());
+        fresh.Set(i, HwPte{}, shared.sw(i));
+        copied++;
+      }
       continue;
     }
     if (copy_referenced_only && !shared.sw(i).young()) {
@@ -275,11 +304,16 @@ void PageTable::ReleaseSlot(uint32_t slot) {
   }
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   if (alloc_->SharerCount(entry.ptp) == 1) {
-    // Last sharer: release every mapped frame, then the PTP itself.
+    // Last sharer: release every mapped frame and swap slot, then the PTP
+    // itself.
     for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
       if (ptp.hw(i).valid()) {
         DropFrame(ptp.hw(i), entry.ptp, i);
         ptp.Clear(i);
+      } else if (ptp.sw(i).is_swap()) {
+        const LinuxPte old_sw = ptp.sw(i);
+        ptp.Clear(i);
+        DropSwap(old_sw);
       }
     }
   }

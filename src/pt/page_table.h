@@ -11,6 +11,13 @@
 // frame if the entry was valid); ClearPte releases it; unsharing copies
 // entries into the new private PTP and thereby re-references the frames.
 // Destroying a PTP (last sharer gone) releases every remaining reference.
+//
+// Swap entries follow the same discipline against the zram store: a swap
+// PTE (LinuxPte::is_swap, hardware entry invalid) holds exactly one swap
+// slot reference, owned by the PTP. Installing one refs the slot,
+// overwriting or clearing one unrefs it, unsharing copies it into the
+// private PTP with a fresh reference, and PTP teardown releases the rest.
+// Attach the store with set_zram() before any swap entry can appear.
 
 #ifndef SRC_PT_PAGE_TABLE_H_
 #define SRC_PT_PAGE_TABLE_H_
@@ -31,6 +38,7 @@
 namespace sat {
 
 class Tracer;
+class ZramStore;
 
 // Location of one PTE: which PTP and which index within it.
 struct PteRef {
@@ -185,18 +193,26 @@ class PageTable {
   // Share/unshare operations report trace events when a tracer is set.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Swap-slot refcounting target. Required before swap PTEs are installed;
+  // tables that never see swap entries can leave it unset.
+  void set_zram(ZramStore* zram) { zram_ = zram; }
+
  private:
   // Reference + rmap bookkeeping for the frame a PTE maps. Every valid
   // PTE holds one frame reference and (for reclaimable frames) one rmap
   // entry; Take/Drop keep the two in lockstep.
   void TakeFrame(const HwPte& pte, PtpId ptp, uint32_t index, VirtAddr va);
   void DropFrame(const HwPte& pte, PtpId ptp, uint32_t index);
+  // Releases the swap-slot reference a swap software entry holds (no-op
+  // for non-swap entries).
+  void DropSwap(const LinuxPte& sw_pte);
 
   PtpAllocator* alloc_;
   PhysicalMemory* phys_;
   KernelCounters* counters_;
   ReverseMap* rmap_;
   Tracer* tracer_ = nullptr;
+  ZramStore* zram_ = nullptr;
   std::array<L1Entry, kUserPtpSlots> l1_{};
 };
 

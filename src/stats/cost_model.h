@@ -94,6 +94,16 @@ struct CostModel {
   Cycles unshare_per_pte_copy = 120;   // in-kernel memcpy-style copy loop
 
   // -------------------------------------------------------------------------
+  // Swap path (zram-style compressed store, so no disk latency).
+  // -------------------------------------------------------------------------
+  // LZO-class compression of one 4 KB page on a Cortex-A9 runs on the
+  // order of a few microseconds; decompression is roughly half that.
+  // These charge the CPU work of zram store/load on top of the fault
+  // trap / reclaim bookkeeping modelled elsewhere.
+  Cycles swap_compress_page = 9000;
+  Cycles swap_decompress_page = 5000;
+
+  // -------------------------------------------------------------------------
   // Kernel instruction footprints (drive I-cache pollution).
   // -------------------------------------------------------------------------
   // Cache lines of kernel text executed per soft page fault. ~6 KB of

@@ -35,6 +35,15 @@ namespace sat {
   X(pages_reclaimed)                 \
   X(ptes_cleared_by_reclaim)         \
   X(direct_reclaims)                 \
+  X(swap_outs)                       \
+  X(swap_ins)                        \
+  X(swap_ins_cache_hit)              \
+  X(swap_clean_drops)                \
+  X(swap_out_failures)               \
+  X(lru_rotations)                   \
+  X(lru_activations)                 \
+  X(kswapd_runs)                     \
+  X(kswapd_pages)                    \
   X(forks)                           \
   X(forks_failed)                    \
   X(oom_kills)                       \
@@ -86,6 +95,17 @@ struct KernelCounters {
   uint64_t pages_reclaimed = 0;
   uint64_t ptes_cleared_by_reclaim = 0;
   uint64_t direct_reclaims = 0;       // allocation-failure reclaim passes
+
+  // Anonymous swap (zram) statistics.
+  uint64_t swap_outs = 0;             // pages compressed out (incl. clean drops)
+  uint64_t swap_ins = 0;              // swap faults resolved
+  uint64_t swap_ins_cache_hit = 0;    // subset served by the swap cache
+  uint64_t swap_clean_drops = 0;      // cached clean pages dropped, no recompress
+  uint64_t swap_out_failures = 0;     // zram full / pool allocation failed
+  uint64_t lru_rotations = 0;         // unreclaimable candidates rotated to tail
+  uint64_t lru_activations = 0;       // referenced pages promoted to active
+  uint64_t kswapd_runs = 0;           // background reclaim activations
+  uint64_t kswapd_pages = 0;          // pages freed by those runs
 
   // Fork statistics.
   uint64_t forks = 0;

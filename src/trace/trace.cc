@@ -39,6 +39,9 @@ constexpr TypeInfo kTypeInfo[kTraceEventTypeCount] = {
     {"reclaim_page", "frame", "ptes_cleared"},
     {"direct_reclaim", "pages_reclaimed", "free_frames"},
     {"oom_kill", "victim_pid", "victim_rss_pages"},
+    {"swap_out", "frame", "slot"},
+    {"swap_in", "va_page", "cache_hit"},
+    {"kswapd", "pages_freed", "free_frames"},
     {"app_phase", "phase", ""},
 };
 

@@ -62,6 +62,10 @@ enum class TraceEventType : uint8_t {
   // Memory-pressure recovery (allocate → direct reclaim → OOM-kill).
   kDirectReclaim,  // a=pages reclaimed, b=free frames afterwards
   kOomKill,        // a=victim pid, b=victim RSS in pages
+  // Anonymous swap (zram).
+  kSwapOut,        // a=frame evicted, b=swap slot
+  kSwapIn,         // a=faulting va page, b=1 if served by the swap cache
+  kKswapd,         // a=pages freed, b=free frames afterwards
   // Android launch phases (fork / map / replay / window).
   kAppPhase,
   kCount,  // sentinel, not a recordable type

@@ -7,7 +7,9 @@
 
 #include "src/arch/check.h"
 #include "src/arch/pte.h"
+#include "src/mem/zram.h"
 #include "src/pt/page_table.h"
+#include "src/vm/swap.h"
 
 namespace sat {
 
@@ -22,8 +24,10 @@ class Auditor {
   }
 
   AuditReport Run() {
+    CollectSwapCache();
     RecountPtps();
     CheckFrames();
+    CheckSwapStore();
     CheckPtpSharers();
     CheckSpaces();
     CheckTlb();
@@ -42,6 +46,28 @@ class Auditor {
   }
 
   // -------------------------------------------------------------------
+  // Pass 0: snapshot the swap cache (frame -> slot) so the frame pass can
+  // count cache references; the cache's own bidirectionality is verified
+  // in CheckSwapStore.
+  // -------------------------------------------------------------------
+  void CollectSwapCache() {
+    if (in_.zram == nullptr) {
+      return;
+    }
+    in_.zram->ForEachSlot([&](SwapSlotId id, uint32_t /*ref_count*/,
+                              uint32_t /*bytes*/, FrameNumber cached) {
+      if (cached == ZramStore::kNoFrame) {
+        return;
+      }
+      if (!Checked(swap_cache_frames_.emplace(cached, id).second)) {
+        Fail("swap-cache-duplicate",
+             "frame " + std::to_string(cached) +
+                 " is the swap-cache residence of two slots");
+      }
+    });
+  }
+
+  // -------------------------------------------------------------------
   // Pass 1: walk every live PTP, recounting present entries and frame
   // mappings from the raw descriptors.
   // -------------------------------------------------------------------
@@ -57,6 +83,37 @@ class Auditor {
                    std::to_string(i) + ": hw valid=" +
                    std::to_string(hw.valid()) +
                    " but sw present=" + std::to_string(sw.present()));
+        }
+        if (sw.is_swap()) {
+          // A swap entry is strictly a non-present software PTE: the
+          // hardware descriptor must be invalid (enforced redundantly
+          // with shadow-desync above, since present implies valid).
+          if (!Checked(!sw.present())) {
+            Fail("swap-pte-present",
+                 "ptp " + std::to_string(ptp.id()) + " index " +
+                     std::to_string(i) + ": swap entry for slot " +
+                     std::to_string(sw.swap_slot()) + " is marked present");
+          }
+          if (!Checked(!hw.valid())) {
+            Fail("swap-pte-mapped",
+                 "ptp " + std::to_string(ptp.id()) + " index " +
+                     std::to_string(i) + ": swap entry for slot " +
+                     std::to_string(sw.swap_slot()) +
+                     " coexists with a valid hardware PTE");
+          }
+          if (!Checked(in_.zram != nullptr)) {
+            Fail("swap-pte-no-store",
+                 "ptp " + std::to_string(ptp.id()) + " index " +
+                     std::to_string(i) +
+                     " holds a swap entry but no zram store was audited");
+          } else if (!Checked(in_.zram->SlotLive(sw.swap_slot()))) {
+            Fail("swap-pte-dead-slot",
+                 "ptp " + std::to_string(ptp.id()) + " index " +
+                     std::to_string(i) + " references freed swap slot " +
+                     std::to_string(sw.swap_slot()));
+          } else {
+            swap_pte_refs_[sw.swap_slot()]++;
+          }
         }
         if (!hw.valid()) {
           continue;
@@ -148,14 +205,22 @@ class Auditor {
         }
         case FrameKind::kAnon:
         case FrameKind::kFileCache: {
-          const uint32_t expected = maps + (cached ? 1u : 0u);
+          const bool swap_cached = swap_cache_frames_.count(f) != 0;
+          if (meta.kind == FrameKind::kFileCache && !Checked(!swap_cached)) {
+            Fail("swap-cache-file",
+                 "file-cache frame " + std::to_string(f) +
+                     " is swap-cache resident");
+          }
+          const uint32_t expected =
+              maps + (cached ? 1u : 0u) + (swap_cached ? 1u : 0u);
           if (!Checked(meta.ref_count == expected)) {
             Fail("frame-refcount",
                  std::string(FrameKindName(meta.kind)) + " frame " +
                      std::to_string(f) + ": ref_count " +
                      std::to_string(meta.ref_count) + ", but " +
                      std::to_string(maps) + " PTE mapping(s) + " +
-                     (cached ? "1" : "0") + " cache reference");
+                     (cached ? "1" : "0") + " page-cache + " +
+                     (swap_cached ? "1" : "0") + " swap-cache reference");
           }
           if (!Checked(expected > 0)) {
             Fail("frame-leak", std::string(FrameKindName(meta.kind)) +
@@ -190,6 +255,20 @@ class Auditor {
           }
           break;
         }
+        case FrameKind::kZram: {
+          zram_frame_count_++;
+          // Pool frames belong to the store alone: one reference (the
+          // pool's), never user-mapped, never cache-resident.
+          if (!Checked(meta.ref_count == 1 && maps == 0 && !cached &&
+                       swap_cache_frames_.count(f) == 0)) {
+            Fail("zram-frame",
+                 "zram pool frame " + std::to_string(f) + " has ref_count " +
+                     std::to_string(meta.ref_count) + ", " +
+                     std::to_string(maps) + " PTE mapping(s), cached=" +
+                     std::to_string(cached));
+          }
+          break;
+        }
         case FrameKind::kZero: {
           if (!Checked(f == in_.phys->zero_frame() && meta.ref_count == 1 &&
                        meta.map_count == 0)) {
@@ -204,11 +283,143 @@ class Auditor {
         case FrameKind::kKernel:
           break;  // permanent, unrefcounted, never user-mapped by policy
       }
+      if (in_.lru != nullptr) {
+        const LruList list = in_.lru->ListOf(f);
+        lru_counts_[static_cast<uint32_t>(list)]++;
+        bool list_ok;
+        switch (meta.kind) {
+          case FrameKind::kAnon:
+            list_ok = list == LruList::kAnonActive ||
+                      list == LruList::kAnonInactive;
+            break;
+          case FrameKind::kFileCache:
+            list_ok = list == LruList::kFile;
+            break;
+          default:
+            list_ok = list == LruList::kNone;
+            break;
+        }
+        if (!Checked(list_ok)) {
+          Fail("lru-membership",
+               std::string(FrameKindName(meta.kind)) + " frame " +
+                   std::to_string(f) + " is on LRU list " +
+                   std::to_string(static_cast<int>(list)));
+        }
+      }
     }
     if (!Checked(free_frames == in_.phys->free_frames())) {
       Fail("free-count", "free_frames() says " +
                              std::to_string(in_.phys->free_frames()) +
                              ", recount found " + std::to_string(free_frames));
+    }
+    if (in_.lru != nullptr) {
+      for (const LruList list : {LruList::kAnonActive, LruList::kAnonInactive,
+                                 LruList::kFile}) {
+        const uint32_t index = static_cast<uint32_t>(list);
+        if (!Checked(lru_counts_[index] == in_.lru->size(list))) {
+          Fail("lru-size", "LRU list " + std::to_string(index) + " says " +
+                               std::to_string(in_.lru->size(list)) +
+                               " frame(s), recount found " +
+                               std::to_string(lru_counts_[index]));
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 2b: the compressed store — every slot's reference count against
+  // the swap PTEs and swap-cache entries that justify it, plus the
+  // byte/pool accounting.
+  // -------------------------------------------------------------------
+  void CheckSwapStore() {
+    if (in_.zram == nullptr) {
+      return;
+    }
+    uint64_t live = 0;
+    uint64_t stored = 0;
+    in_.zram->ForEachSlot([&](SwapSlotId id, uint32_t ref_count,
+                              uint32_t bytes, FrameNumber cached) {
+      live++;
+      stored += bytes;
+      if (!Checked(bytes > 0 && bytes <= kPageSize)) {
+        Fail("swap-slot-bytes", "slot " + std::to_string(id) + " stores " +
+                                    std::to_string(bytes) + " bytes");
+      }
+      const auto it = swap_pte_refs_.find(id);
+      const uint32_t pte_refs = it == swap_pte_refs_.end() ? 0 : it->second;
+      const uint32_t expected = pte_refs + (cached != ZramStore::kNoFrame);
+      if (!Checked(ref_count == expected)) {
+        Fail("swap-slot-refcount",
+             "slot " + std::to_string(id) + ": ref_count " +
+                 std::to_string(ref_count) + ", but " +
+                 std::to_string(pte_refs) + " swap PTE(s) + " +
+                 (cached != ZramStore::kNoFrame ? "1" : "0") +
+                 " swap-cache reference");
+      }
+      if (!Checked(expected > 0)) {
+        Fail("swap-slot-leak",
+             "live slot " + std::to_string(id) +
+                 " has no swap PTE and no swap-cache entry");
+      }
+      if (cached != ZramStore::kNoFrame) {
+        // The cached copy must be a live anonymous frame, and the cache's
+        // reverse direction must agree.
+        if (!Checked(cached < in_.phys->total_frames() &&
+                     in_.phys->frame(cached).kind == FrameKind::kAnon)) {
+          Fail("swap-cache-kind",
+               "slot " + std::to_string(id) + " is cached in frame " +
+                   std::to_string(cached) + " of kind " +
+                   (cached < in_.phys->total_frames()
+                        ? FrameKindName(in_.phys->frame(cached).kind)
+                        : "out-of-range"));
+        }
+        const auto back = in_.zram->CacheSlotOf(cached);
+        if (!Checked(back.has_value() && *back == id)) {
+          Fail("swap-cache-backpointer",
+               "slot " + std::to_string(id) + " caches frame " +
+                   std::to_string(cached) +
+                   " but the frame index disagrees");
+        }
+      }
+    });
+    // PTEs must not reference slots the store does not list as live (the
+    // per-PTE pass already flagged dead slots; this catches a map that is
+    // internally inconsistent about liveness).
+    for (const auto& [slot, refs] : swap_pte_refs_) {
+      if (!Checked(in_.zram->SlotLive(slot))) {
+        Fail("swap-pte-untracked",
+             std::to_string(refs) + " swap PTE(s) reference slot " +
+                 std::to_string(slot) + ", which the store has freed");
+      }
+    }
+    if (!Checked(live == in_.zram->live_slots())) {
+      Fail("swap-live-count", "live_slots() says " +
+                                  std::to_string(in_.zram->live_slots()) +
+                                  ", recount found " + std::to_string(live));
+    }
+    if (!Checked(stored == in_.zram->stored_bytes())) {
+      Fail("swap-stored-bytes",
+           "stored_bytes() says " + std::to_string(in_.zram->stored_bytes()) +
+               ", recount found " + std::to_string(stored));
+    }
+    const uint64_t pool_needed = (stored + kPageSize - 1) / kPageSize;
+    if (!Checked(in_.zram->pool_frame_count() == pool_needed)) {
+      Fail("swap-pool-size",
+           "pool holds " + std::to_string(in_.zram->pool_frame_count()) +
+               " frame(s) for " + std::to_string(stored) +
+               " stored bytes (expected " + std::to_string(pool_needed) + ")");
+    }
+    if (!Checked(in_.zram->pool_frame_count() == zram_frame_count_)) {
+      Fail("swap-pool-frames",
+           "pool claims " + std::to_string(in_.zram->pool_frame_count()) +
+               " frame(s), physical memory holds " +
+               std::to_string(zram_frame_count_) + " kZram frame(s)");
+    }
+    if (!Checked(in_.zram->cached_entries() == swap_cache_frames_.size())) {
+      Fail("swap-cache-count",
+           "cache index holds " + std::to_string(in_.zram->cached_entries()) +
+               " entr(ies), slots list " +
+               std::to_string(swap_cache_frames_.size()));
     }
   }
 
@@ -480,6 +691,13 @@ class Auditor {
   AuditReport report_;
   // PTE mappings per frame, recounted from the raw descriptors.
   std::vector<uint32_t> pte_maps_;
+  // Swap PTE references per slot, recounted in pass 1.
+  std::unordered_map<SwapSlotId, uint32_t> swap_pte_refs_;
+  // frame -> slot snapshot of the swap cache (pass 0).
+  std::unordered_map<FrameNumber, SwapSlotId> swap_cache_frames_;
+  // kZram frames seen in pass 2, and frames per LRU list.
+  uint64_t zram_frame_count_ = 0;
+  uint64_t lru_counts_[4] = {};
 };
 
 }  // namespace

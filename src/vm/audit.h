@@ -36,6 +36,9 @@
 
 namespace sat {
 
+class FrameLru;
+class ZramStore;
+
 // One broken invariant: which check tripped and what was found.
 struct AuditViolation {
   std::string check;   // short stable name, e.g. "frame-refcount"
@@ -74,6 +77,13 @@ struct AuditInput {
   const PageCache* page_cache = nullptr;  // may be null (no file mappings)
   const PtpAllocator* ptps = nullptr;
   const ReverseMap* rmap = nullptr;       // may be null
+  // May be null when the page tables hold no swap entries; with one set,
+  // swap-slot reference counts, swap-cache residency, and the compressed
+  // pool's byte/frame accounting are audited too.
+  const ZramStore* zram = nullptr;
+  // May be null; with one set, every frame's LRU-list membership is
+  // checked against its kind.
+  const FrameLru* lru = nullptr;
   std::vector<AuditSpace> spaces;         // every *live* address space
   std::vector<AuditTlbEntry> tlb_entries;
   // Mirror of VmConfig::hw_l1_write_protect: under that ablation shared

@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "src/arch/check.h"
 #include "src/trace/trace.h"
+#include "src/vm/swap.h"
 
 namespace sat {
 
@@ -64,14 +66,34 @@ ReclaimStats Reclaimer::ReclaimFileCache(uint32_t target,
                                          const ReclaimFlushFn& flush) {
   TraceSpan span(tracer_, TraceEventType::kReclaimPass);
   ReclaimStats stats;
-  const auto total = static_cast<FrameNumber>(phys_->total_frames());
-  for (FrameNumber frame = 1; frame < total && stats.pages_reclaimed < target;
-       ++frame) {
-    const PageFrame& meta = phys_->frame(frame);
-    if (meta.kind != FrameKind::kFileCache) {
-      continue;
+  if (lru_ != nullptr) {
+    // Scan the file LRU from its head, at most one full list length per
+    // call. Unreclaimable candidates (dirty-mapped, large-page blocks)
+    // rotate to the tail so the next pass starts with fresh candidates
+    // instead of rescanning the same skips.
+    uint64_t budget = lru_->size(LruList::kFile);
+    while (budget-- > 0 && stats.pages_reclaimed < target) {
+      const FrameNumber frame = lru_->PopHead(LruList::kFile);
+      const PageFrame& meta = phys_->frame(frame);
+      SAT_CHECK(meta.kind == FrameKind::kFileCache);
+      if (!ReclaimPage(meta.file, meta.file_page_index, flush, &stats)) {
+        lru_->PushTail(LruList::kFile, frame);
+        counters_->lru_rotations++;
+      }
+      // On success the frame was freed and left the LRU via the
+      // lifecycle observer.
     }
-    ReclaimPage(meta.file, meta.file_page_index, flush, &stats);
+  } else {
+    // No LRU attached (standalone construction): physical-order scan.
+    const auto total = static_cast<FrameNumber>(phys_->total_frames());
+    for (FrameNumber frame = 1;
+         frame < total && stats.pages_reclaimed < target; ++frame) {
+      const PageFrame& meta = phys_->frame(frame);
+      if (meta.kind != FrameKind::kFileCache) {
+        continue;
+      }
+      ReclaimPage(meta.file, meta.file_page_index, flush, &stats);
+    }
   }
   span.set_args(target, stats.pages_reclaimed);
   return stats;

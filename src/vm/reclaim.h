@@ -23,6 +23,7 @@
 
 namespace sat {
 
+class FrameLru;
 class Tracer;
 
 struct ReclaimStats {
@@ -37,20 +38,26 @@ using ReclaimFlushFn = std::function<void(VirtAddr)>;
 
 class Reclaimer {
  public:
+  // `lru` is optional: with one attached, ReclaimFileCache scans the
+  // file-cache LRU list from its head, rotating unreclaimable candidates
+  // to the tail (second chance) with a scan budget of one list length —
+  // no O(physical frames) rescans per call. Without one (standalone test
+  // construction), it falls back to a physical-order scan.
   Reclaimer(PhysicalMemory* phys, PageCache* page_cache, PtpAllocator* ptps,
-            ReverseMap* rmap, KernelCounters* counters)
+            ReverseMap* rmap, KernelCounters* counters,
+            FrameLru* lru = nullptr)
       : phys_(phys),
         page_cache_(page_cache),
         ptps_(ptps),
         rmap_(rmap),
-        counters_(counters) {}
+        counters_(counters),
+        lru_(lru) {}
 
   Reclaimer(const Reclaimer&) = delete;
   Reclaimer& operator=(const Reclaimer&) = delete;
 
-  // Attempts to reclaim `target` clean file-cache pages, scanning frames
-  // in physical order (a stand-in for the LRU; eviction/refault dynamics
-  // are not the object of study). Returns what happened.
+  // Attempts to reclaim `target` clean file-cache pages (see the
+  // constructor comment for scan order). Returns what happened.
   ReclaimStats ReclaimFileCache(uint32_t target, const ReclaimFlushFn& flush);
 
   // Unmaps and frees one specific file page if it is resident and clean.
@@ -71,6 +78,7 @@ class Reclaimer {
   PtpAllocator* ptps_;
   ReverseMap* rmap_;
   KernelCounters* counters_;
+  FrameLru* lru_ = nullptr;
   Tracer* tracer_ = nullptr;
 };
 

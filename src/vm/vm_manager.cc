@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/arch/check.h"
+#include "src/mem/zram.h"
 #include "src/trace/trace.h"
 
 namespace sat {
@@ -76,6 +78,9 @@ FaultOutcome VmManager::HandleFault(MmStruct& mm, const MemoryAbort& abort,
   } else if (out.hard) {
     type = TraceEventType::kFaultHard;
     extra = 0;
+  } else if (counters_->swap_ins > before.swap_ins) {
+    type = TraceEventType::kSwapIn;
+    extra = counters_->swap_ins_cache_hit > before.swap_ins_cache_hit ? 1 : 0;
   } else if (counters_->faults_cow > before.faults_cow) {
     type = TraceEventType::kFaultCow;
     extra = out.ptes_copied;
@@ -137,6 +142,14 @@ FaultOutcome VmManager::HandleTranslationFault(MmStruct& mm, const VmArea& vma,
                                                VirtAddr va, AccessType access) {
   FaultOutcome out;
   PageTable& pt = mm.page_table();
+  {
+    // A swapped-out page: its PTE is hardware-invalid but carries the
+    // swap slot in the software entry.
+    const auto ref = pt.FindPte(va);
+    if (ref.has_value() && ref->ptp->sw(ref->index).is_swap()) {
+      return HandleSwapInFault(mm, vma, va);
+    }
+  }
   if (!pt.FindPte(va)) {
     if (pt.TryEnsurePtp(va, mm.user_domain()) == nullptr) {
       out.oom = true;
@@ -243,6 +256,62 @@ FaultOutcome VmManager::HandleTranslationFault(MmStruct& mm, const VmArea& vma,
                                /*global=*/false, vma.prot.execute),
                sw);
   }
+  out.ok = true;
+  return out;
+}
+
+FaultOutcome VmManager::HandleSwapInFault(MmStruct& mm, const VmArea& vma,
+                                          VirtAddr va) {
+  FaultOutcome out;
+  SAT_CHECK(zram_ != nullptr && "swap PTE without a zram store attached");
+  // Besides kAnonPrivate regions, a swap PTE can sit under a *private*
+  // file mapping: a COW write there makes a private-dirty page, which is
+  // anonymous memory in everything but its VMA's kind. Shared file pages
+  // are never anonymous, so they can never have been swapped.
+  SAT_CHECK((!IsFileBacked(vma.kind) || IsPrivate(vma.kind)) &&
+            "a shared file page cannot have a swap entry");
+  PageTable& pt = mm.page_table();
+  const auto ref = pt.FindPte(va);
+  const SwapSlotId slot = ref->ptp->sw(ref->index).swap_slot();
+  counters_->faults_anonymous++;
+
+  FrameNumber frame = zram_->CacheLookup(slot);
+  const bool cache_hit = frame != ZramStore::kNoFrame;
+  if (cache_hit) {
+    // Another sharer (or an earlier fault of ours) already decompressed
+    // this slot; reuse its frame.
+    counters_->swap_ins_cache_hit++;
+  } else {
+    const std::optional<FrameNumber> anon_opt =
+        phys_->TryAllocFrame(FrameKind::kAnon);
+    if (!anon_opt.has_value()) {
+      // Nothing was touched: the swap PTE, the slot and its refcount are
+      // exactly as before. The caller reclaims and retries.
+      out.oom = true;
+      return out;
+    }
+    frame = *anon_opt;
+    zram_->AddToCache(slot, frame);  // takes its own frame + slot refs
+    phys_->UnrefFrame(frame);        // drop the allocator's reference
+    out.kernel_cycles += costs_->swap_decompress_page;
+  }
+  counters_->swap_ins++;
+
+  // Install read-only regardless of the access: a write retries into the
+  // COW permission-fault path, which either copies (frame still shared
+  // with the swap cache or other mappings) or upgrades in place (the
+  // cache entry was auto-dropped with the last swap PTE). That keeps
+  // cache-resident frames clean, so a re-swap-out needn't recompress.
+  LinuxPte sw;
+  sw.set_present(true);
+  sw.set_young(true);
+  sw.set_writable(vma.prot.write);
+  InstallPte(mm, va,
+             HwPte::MakePage(frame, PtePerm::kReadOnly, /*global=*/false,
+                             vma.prot.execute),
+             sw);
+  Tracer::Emit(tracer_, TraceEventType::kSwapIn, 0, VirtPageNumber(va),
+               cache_hit ? 1 : 0);
   out.ok = true;
   return out;
 }
@@ -468,6 +537,18 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
         const auto va = static_cast<VirtAddr>(va64);
         const auto ref = ppt.FindPte(va);
         if (!ref || !ref->ptp->hw(ref->index).valid()) {
+          // A swapped-out page is inherited as a swap PTE: the child gets
+          // its own slot reference and faults the page in on demand.
+          if (ref && ref->ptp->sw(ref->index).is_swap()) {
+            if (cpt.TryEnsurePtp(va, child.user_domain()) == nullptr) {
+              result.ok = false;
+              break;
+            }
+            cpt.SetPte(va, HwPte{}, ref->ptp->sw(ref->index));
+            result.ptes_copied++;
+            counters_->ptes_copied++;
+            result.cycles += costs_->fork_per_pte_copy;
+          }
           continue;
         }
         const HwPte parent_hw = ref->ptp->hw(ref->index);

@@ -21,6 +21,7 @@
 namespace sat {
 
 class Tracer;
+class ZramStore;
 
 // Invoked whenever the kernel must flush the current process's TLB entries
 // (unshare, fork COW protection). Supplied by the process layer, which
@@ -84,6 +85,10 @@ class VmManager {
 
   // Fault handling reports per-fault spans (classified by kind) when set.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Swap store for resolving swap-entry faults. Without one, swap PTEs
+  // never exist and the fault paths are unchanged.
+  void set_zram(ZramStore* zram) { zram_ = zram; }
 
   // -------------------------------------------------------------------------
   // Page faults.
@@ -150,6 +155,10 @@ class VmManager {
 
   FaultOutcome HandleTranslationFault(MmStruct& mm, const VmArea& vma,
                                       VirtAddr va, AccessType access);
+  // Resolves a fault on a swap PTE: swap-cache lookup or a fresh frame
+  // "decompressed" from the zram store, installed read-only so the COW
+  // machinery keeps cache-shared frames clean.
+  FaultOutcome HandleSwapInFault(MmStruct& mm, const VmArea& vma, VirtAddr va);
   // Speculatively populates resident neighbours of a read fault (the
   // fault-around ablation).
   void FaultAround(MmStruct& mm, const VmArea& vma, VirtAddr va);
@@ -171,6 +180,7 @@ class VmManager {
   const CostModel* costs_;
   VmConfig config_;
   Tracer* tracer_ = nullptr;
+  ZramStore* zram_ = nullptr;
 };
 
 }  // namespace sat

@@ -7,9 +7,10 @@
 //     frame reference count is reported, not absorbed).
 //   * Randomized kernel-op fuzzing with deterministic allocation-failure
 //     injection, auditing after EVERY step: >= 10k steps across the
-//     suite, every intermediate state must be internally consistent —
-//     including the states reached through ENOMEM rollback, direct
-//     reclaim, and OOM kills.
+//     suite (>= 12k of them with zram swap enabled), every intermediate
+//     state must be internally consistent — including the states reached
+//     through ENOMEM rollback, direct reclaim, swap-out/swap-in under
+//     injected pool-allocation failures, and OOM kills.
 
 #include <gtest/gtest.h>
 
@@ -100,6 +101,7 @@ struct AuditFuzzCase {
   uint64_t seed;
   bool share_ptps;
   bool hw_l1_wp;
+  uint64_t swap_mb = 0;  // zram size; 0 disables swap for the case
 };
 
 class AuditFuzzTest : public ::testing::TestWithParam<AuditFuzzCase> {};
@@ -112,12 +114,17 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
   params.phys_bytes = 24ull * 1024 * 1024;
   params.vm.share_ptps = fuzz.share_ptps;
   params.vm.hw_l1_write_protect = fuzz.hw_l1_wp;
+  params.swap_bytes = fuzz.swap_mb * 1024 * 1024;
   params.fault_injection_seed = fuzz.seed * 97 + 1;
   Kernel kernel(params);
   kernel.fault_injector().SetRule(AllocSite::kFrame, FaultRule{0, 0, 0.02});
   kernel.fault_injector().SetRule(AllocSite::kPtp, FaultRule{0, 0, 0.02});
   kernel.fault_injector().SetRule(AllocSite::kContiguous,
                                   FaultRule{0, 0, 0.02});
+  if (fuzz.swap_mb > 0) {
+    // Compressed-pool growth must also survive ENOMEM mid-swap-out.
+    kernel.fault_injector().SetRule(AllocSite::kZram, FaultRule{0, 0, 0.02});
+  }
 
   std::mt19937_64 rng(fuzz.seed);
   std::vector<Task*> live = {kernel.CreateTask("root")};
@@ -136,7 +143,8 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
     }
     Task* task = live[rng() % live.size()];
 
-    switch (rng() % 12) {
+    const uint64_t op_count = fuzz.swap_mb > 0 ? 13 : 12;
+    switch (rng() % op_count) {
       case 0:
       case 1: {  // mmap
         MmapRequest request;
@@ -234,6 +242,10 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
         regions.erase(dying);
         break;
       }
+      case 12: {  // swap-out pressure (only when the case enables zram)
+        kernel.SwapOutAnonPages(1 + static_cast<uint32_t>(rng() % 16));
+        break;
+      }
     }
 
     const AuditReport report = kernel.AuditInvariants();
@@ -251,6 +263,11 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
   EXPECT_TRUE(report.ok()) << report.ToString();
   EXPECT_EQ(kernel.ptp_allocator().live_ptps(), 0u);
   EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kAnon), 0u);
+  // Every swap slot was released with its last swap PTE; the compressed
+  // pool returned its frames.
+  EXPECT_EQ(kernel.zram().live_slots(), 0u);
+  EXPECT_EQ(kernel.zram().stored_bytes(), 0u);
+  EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kZram), 0u);
   // The injector really fired; the suite fuzzes the failure paths, not
   // just the happy ones.
   EXPECT_GT(kernel.fault_injector().total_injected(), 0u);
@@ -260,6 +277,11 @@ std::vector<AuditFuzzCase> AuditFuzzCases() {
   return {
       {101, false, false}, {202, false, false}, {303, true, false},
       {404, true, false},  {505, true, true},   {606, true, true},
+      // Swap-enabled cases: the same op mix plus explicit swap-out
+      // pressure, with zram pool allocations also failure-injected.
+      {711, false, false, 16}, {812, false, false, 16},
+      {913, true, false, 16},  {1014, true, false, 16},
+      {1115, true, true, 16},  {1216, true, true, 16},
   };
 }
 
@@ -270,6 +292,7 @@ INSTANTIATE_TEST_SUITE_P(
       std::string name = "seed" + std::to_string(c.seed);
       name += c.share_ptps ? "_shared" : "_stock";
       if (c.hw_l1_wp) name += "_l1wp";
+      if (c.swap_mb > 0) name += "_swap";
       return name;
     });
 
