@@ -2,38 +2,81 @@
 // each application's full execution, shared-PTP kernel vs stock, for both
 // alignments. Paper shape: average 38% reduction; Angrybirds and Google
 // Calendar above 70%.
+//
+// One harness job per (configuration, application) pair — 44 independent
+// systems that run concurrently under --jobs.
+
+#include <array>
 
 #include "bench/common.h"
 
 namespace sat {
 namespace {
 
-constexpr int kRuns = 3;
+const char* kKeys[] = {"stock", "shared-ptp", "stock-2mb", "shared-ptp-2mb"};
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 10",
               "Percent reduction in file-backed page faults (vs stock)");
+
+  const auto apps = AppProfile::PaperBenchmarks();
+  // Warm reruns are part of Figure 10's shape (the Angrybirds/Calendar
+  // floor needs the 3-run mean), and the full bench runs in under a
+  // second — so --smoke does not reduce the run count here.
+  const int runs = 3;
+  std::vector<std::array<double, 4>> faults(apps.size());
+  Harness harness("fig10", options);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    for (size_t c = 0; c < 4; ++c) {
+      harness.AddJob(
+          std::string(kKeys[c]) + "/" + apps[i].name, ConfigByName(kKeys[c]),
+          [&faults, i, c, name = apps[i].name, runs](System& system,
+                                                     JobRecord& record) {
+            AppRunner runner(&system.android());
+            const AppFootprint fp =
+                system.workload().Generate(AppProfile::Named(name));
+            std::vector<AppRunStats> stats;
+            for (int r = 0; r < runs; ++r) {
+              stats.push_back(runner.Run(fp));
+            }
+            faults[i][c] = MeanFileFaults(stats);
+            record.Metric("mean_file_faults", faults[i][c]);
+          });
+    }
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
+  if (!harness.ran_all()) {
+    TablePrinter partial({"Job", "mean file faults"});
+    for (const JobRecord& record : harness.records()) {
+      if (!record.metrics.empty()) {
+        partial.AddRow({record.config,
+                        FormatDouble(MetricOr(record, "mean_file_faults"), 0)});
+      }
+    }
+    partial.Print(std::cout);
+    std::cout << "\n--config filter active: reductions and shape checks "
+                 "skipped\n";
+    return 0;
+  }
 
   TablePrinter table({"Benchmark", "original align", "2MB align",
                       "stock faults", "shared faults"});
   double reduction_sum = 0;
   double angry_calendar_min = 100;
-  const auto apps = AppProfile::PaperBenchmarks();
-  for (const AppProfile& app : apps) {
-    const double stock = MeanFileFaults(RunApp(SystemConfig::Stock(), app.name, kRuns));
-    const double shared =
-        MeanFileFaults(RunApp(SystemConfig::SharedPtp(), app.name, kRuns));
-    const double stock_2mb =
-        MeanFileFaults(RunApp(SystemConfig::Stock2Mb(), app.name, kRuns));
-    const double shared_2mb =
-        MeanFileFaults(RunApp(SystemConfig::SharedPtp2Mb(), app.name, kRuns));
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const double stock = faults[i][0];
+    const double shared = faults[i][1];
+    const double stock_2mb = faults[i][2];
+    const double shared_2mb = faults[i][3];
     const double reduction = (1.0 - shared / stock) * 100.0;
     const double reduction_2mb = (1.0 - shared_2mb / stock_2mb) * 100.0;
-    table.AddRow({app.name, FormatDouble(reduction, 1) + "%",
+    table.AddRow({apps[i].name, FormatDouble(reduction, 1) + "%",
                   FormatDouble(reduction_2mb, 1) + "%",
                   FormatDouble(stock, 0), FormatDouble(shared, 0)});
     reduction_sum += reduction;
-    if (app.name == "Angrybirds" || app.name == "Google Calendar") {
+    if (apps[i].name == "Angrybirds" || apps[i].name == "Google Calendar") {
       angry_calendar_min = std::min(angry_calendar_min, reduction);
     }
   }
@@ -52,4 +95,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -3,33 +3,72 @@
 // allocation 35% with the original alignment and 26% with 2 MB alignment
 // (the 2 MB layout spreads data over more slots, so its absolute counts
 // are higher for both kernels).
+//
+// One harness job per (configuration, application) pair, as in Figure 10.
+
+#include <array>
 
 #include "bench/common.h"
 
 namespace sat {
 namespace {
 
-constexpr int kRuns = 3;
+const char* kKeys[] = {"stock", "shared-ptp", "stock-2mb", "shared-ptp-2mb"};
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 11",
               "# of PTPs allocated (normalized to stock, original alignment)");
+
+  const auto apps = AppProfile::PaperBenchmarks();
+  const int runs = options.smoke ? 1 : 3;
+  std::vector<std::array<double, 4>> ptps(apps.size());
+  Harness harness("fig11", options);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    for (size_t c = 0; c < 4; ++c) {
+      harness.AddJob(
+          std::string(kKeys[c]) + "/" + apps[i].name, ConfigByName(kKeys[c]),
+          [&ptps, i, c, name = apps[i].name, runs](System& system,
+                                                   JobRecord& record) {
+            AppRunner runner(&system.android());
+            const AppFootprint fp =
+                system.workload().Generate(AppProfile::Named(name));
+            std::vector<AppRunStats> stats;
+            for (int r = 0; r < runs; ++r) {
+              stats.push_back(runner.Run(fp));
+            }
+            ptps[i][c] = MeanPtpsAllocated(stats);
+            record.Metric("mean_ptps_allocated", ptps[i][c]);
+          });
+    }
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
+  if (!harness.ran_all()) {
+    TablePrinter partial({"Job", "mean PTPs allocated"});
+    for (const JobRecord& record : harness.records()) {
+      if (!record.metrics.empty()) {
+        partial.AddRow(
+            {record.config,
+             FormatDouble(MetricOr(record, "mean_ptps_allocated"), 1)});
+      }
+    }
+    partial.Print(std::cout);
+    std::cout << "\n--config filter active: normalized columns and shape "
+                 "checks skipped\n";
+    return 0;
+  }
 
   TablePrinter table({"Benchmark", "Stock", "Shared PTP", "Stock-2MB",
                       "Shared PTP-2MB"});
   double reduction_sum = 0;
   double reduction_2mb_sum = 0;
-  const auto apps = AppProfile::PaperBenchmarks();
-  for (const AppProfile& app : apps) {
-    const double stock =
-        MeanPtpsAllocated(RunApp(SystemConfig::Stock(), app.name, kRuns));
-    const double shared =
-        MeanPtpsAllocated(RunApp(SystemConfig::SharedPtp(), app.name, kRuns));
-    const double stock_2mb =
-        MeanPtpsAllocated(RunApp(SystemConfig::Stock2Mb(), app.name, kRuns));
-    const double shared_2mb =
-        MeanPtpsAllocated(RunApp(SystemConfig::SharedPtp2Mb(), app.name, kRuns));
-    table.AddRow({app.name, FormatPercent(stock / stock),
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const double stock = ptps[i][0];
+    const double shared = ptps[i][1];
+    const double stock_2mb = ptps[i][2];
+    const double shared_2mb = ptps[i][3];
+    table.AddRow({apps[i].name, FormatPercent(stock / stock),
                   FormatPercent(shared / stock),
                   FormatPercent(stock_2mb / stock),
                   FormatPercent(shared_2mb / stock)});
@@ -59,4 +98,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

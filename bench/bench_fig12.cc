@@ -2,35 +2,68 @@
 // shared across address spaces at the end of its execution. Paper shape:
 // 39% of PTPs shared with the original alignment, 60% with 2 MB alignment
 // (data writes can no longer unshare code PTPs).
+//
+// One harness job per (configuration, application) pair — 22 independent
+// systems.
+
+#include <array>
 
 #include "bench/common.h"
 
 namespace sat {
 namespace {
 
-// Shared-slot fraction at steady state: run the app and inspect its
-// address-space shape before exit.
-double SharedFraction(const SystemConfig& config, const std::string& app_name) {
-  System system(config);
-  AppRunner runner(&system.android());
-  const AppFootprint fp = system.workload().Generate(AppProfile::Named(app_name));
-  const AppRunStats stats = runner.Run(fp, /*exit_after=*/false);
-  return stats.SharedSlotFraction();
-}
+const char* kKeys[] = {"shared-ptp", "shared-ptp-2mb"};
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 12", "% of the total PTPs that are shared");
+
+  const auto apps = AppProfile::PaperBenchmarks();
+  std::vector<std::array<double, 2>> fractions(apps.size());
+  Harness harness("fig12", options);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    for (size_t c = 0; c < 2; ++c) {
+      // Shared-slot fraction at steady state: run the app and inspect its
+      // address-space shape before exit.
+      harness.AddJob(std::string(kKeys[c]) + "/" + apps[i].name,
+                     ConfigByName(kKeys[c]),
+                     [&fractions, i, c, name = apps[i].name](
+                         System& system, JobRecord& record) {
+                       AppRunner runner(&system.android());
+                       const AppFootprint fp = system.workload().Generate(
+                           AppProfile::Named(name));
+                       const AppRunStats stats =
+                           runner.Run(fp, /*exit_after=*/false);
+                       fractions[i][c] = stats.SharedSlotFraction();
+                       record.Metric("shared_slot_fraction", fractions[i][c]);
+                     });
+    }
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
+  if (!harness.ran_all()) {
+    TablePrinter partial({"Job", "shared slot fraction"});
+    for (const JobRecord& record : harness.records()) {
+      if (!record.metrics.empty()) {
+        partial.AddRow(
+            {record.config,
+             FormatPercent(MetricOr(record, "shared_slot_fraction"))});
+      }
+    }
+    partial.Print(std::cout);
+    std::cout << "\n--config filter active: shape checks skipped\n";
+    return 0;
+  }
 
   TablePrinter table({"Benchmark", "Shared PTP", "Shared PTP - 2MB"});
   double original_sum = 0;
   double aligned_sum = 0;
-  const auto apps = AppProfile::PaperBenchmarks();
-  for (const AppProfile& app : apps) {
-    const double original = SharedFraction(SystemConfig::SharedPtp(), app.name);
-    const double aligned = SharedFraction(SystemConfig::SharedPtp2Mb(), app.name);
-    table.AddRow({app.name, FormatPercent(original), FormatPercent(aligned)});
-    original_sum += original;
-    aligned_sum += aligned;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    table.AddRow({apps[i].name, FormatPercent(fractions[i][0]),
+                  FormatPercent(fractions[i][1])});
+    original_sum += fractions[i][0];
+    aligned_sum += fractions[i][1];
   }
   table.Print(std::cout);
 
@@ -49,4 +82,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

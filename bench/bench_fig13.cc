@@ -7,6 +7,8 @@
 // up to 36% and server stalls by 19%; ASIDs themselves beat flush-on-
 // switch by 34% (client) / 86% (server); shared PTPs alone change little
 // here (the working set fits the L1I).
+//
+// One harness job per (ASID, kernel) cell — six independent systems.
 
 #include "bench/common.h"
 
@@ -18,31 +20,59 @@ struct Cell {
   double server = 0;
 };
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 13",
               "Binder IPC instruction main-TLB stall cycles (normalized to "
               "Stock Android, ASIDs enabled)");
 
   BinderParams bench_params;
-  bench_params.transactions = 6000;
-  bench_params.warmup_transactions = 1000;
+  bench_params.transactions = options.smoke ? 2000 : 6000;
+  bench_params.warmup_transactions = options.smoke ? 400 : 1000;
 
-  const SystemConfig kernels[] = {SystemConfig::Stock(),
-                                  SystemConfig::SharedPtp(),
-                                  SystemConfig::SharedPtpAndTlb()};
+  const char* kKeys[] = {"stock", "shared-ptp", "shared-ptp-tlb"};
+  const SystemConfig kernels[] = {ConfigByName("stock"),
+                                  ConfigByName("shared-ptp"),
+                                  ConfigByName("shared-ptp-tlb")};
   Cell results[2][3];  // [asid disabled=0 / enabled=1][kernel]
+  Harness harness("fig13", options);
   for (int asid = 0; asid < 2; ++asid) {
     for (int k = 0; k < 3; ++k) {
       SystemConfig config = kernels[k];
       config.asids_enabled = asid == 1;
-      System system(config);
-      BinderBenchmark bench(&system.android(), bench_params);
-      const BinderResult result = bench.Run();
-      results[asid][k].client =
-          static_cast<double>(result.client.itlb_stall_cycles);
-      results[asid][k].server =
-          static_cast<double>(result.server.itlb_stall_cycles);
+      harness.AddJob(
+          std::string(kKeys[k]) + (asid == 1 ? "/asid" : "/no-asid"), config,
+          [&results, asid, k, bench_params](System& system,
+                                            JobRecord& record) {
+            BinderBenchmark bench(&system.android(), bench_params);
+            const BinderResult result = bench.Run();
+            results[asid][k].client =
+                static_cast<double>(result.client.itlb_stall_cycles);
+            results[asid][k].server =
+                static_cast<double>(result.server.itlb_stall_cycles);
+            record.Metric("binder.client_itlb_stalls",
+                          results[asid][k].client);
+            record.Metric("binder.server_itlb_stalls",
+                          results[asid][k].server);
+          });
     }
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
+  if (!harness.ran_all()) {
+    TablePrinter partial({"Job", "client iTLB stalls", "server iTLB stalls"});
+    for (const JobRecord& record : harness.records()) {
+      if (!record.metrics.empty()) {
+        partial.AddRow(
+            {record.config,
+             FormatDouble(MetricOr(record, "binder.client_itlb_stalls"), 0),
+             FormatDouble(MetricOr(record, "binder.server_itlb_stalls"), 0)});
+      }
+    }
+    partial.Print(std::cout);
+    std::cout << "\n--config filter active: normalized columns and shape "
+                 "checks skipped\n";
+    return 0;
   }
 
   const double base_client = results[1][0].client;
@@ -90,4 +120,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

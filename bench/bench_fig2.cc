@@ -1,6 +1,10 @@
 // Figure 2: breakdown of the instruction pages accessed per application,
 // by code category (private code / non-preloaded shared libs / zygote
 // program binary / zygote Java libs / zygote dynamic libs).
+//
+// Pure workload characterization: the factory's random stream is
+// order-dependent across apps, so the whole generation runs as a single
+// harness job (the numbers must not depend on --jobs).
 
 #include "bench/common.h"
 #include "src/workload/analysis.h"
@@ -8,22 +12,39 @@
 namespace sat {
 namespace {
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 2", "Breakdown of the instruction pages accessed");
 
-  LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
-  WorkloadFactory factory(&catalog);
+  const auto apps = AppProfile::PaperBenchmarks();
+  std::vector<CategoryBreakdown> breakdowns(apps.size());
+
+  Harness harness("fig2", options);
+  harness.AddCustomJob("characterization", [&](JobRecord& record) {
+    LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
+    WorkloadFactory factory(&catalog);
+    double shared_fraction_sum = 0;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      const AppFootprint fp = factory.Generate(apps[i]);
+      breakdowns[i] = AnalyzeCategories(fp);
+      shared_fraction_sum += breakdowns[i].SharedCodePageFraction();
+    }
+    record.Metric("apps", static_cast<double>(apps.size()));
+    record.Metric(
+        "avg.shared_code_page_pct",
+        shared_fraction_sum / static_cast<double>(apps.size()) * 100);
+  });
+  if (!harness.Run()) {
+    return 1;
+  }
 
   TablePrinter table({"Benchmark", "total", "private", "other .so",
                       "app_process", "zygote Java", "zygote .so"});
   double share_sum[5] = {};
   double shared_fraction_sum = 0;
-  const auto apps = AppProfile::PaperBenchmarks();
-  for (const AppProfile& app : apps) {
-    const AppFootprint fp = factory.Generate(app);
-    const CategoryBreakdown b = AnalyzeCategories(fp);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const CategoryBreakdown& b = breakdowns[i];
     table.AddRow(
-        {app.name, std::to_string(b.TotalPages()),
+        {apps[i].name, std::to_string(b.TotalPages()),
          std::to_string(b.pages[static_cast<int>(CodeCategory::kPrivateCode)]),
          std::to_string(b.pages[static_cast<int>(CodeCategory::kOtherSharedLib)]),
          std::to_string(
@@ -69,4 +90,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -1,5 +1,8 @@
 // Figure 3: breakdown of the % of instructions fetched by code category,
 // normalized to the total user-mode instructions executed.
+//
+// Like Figure 2, a single-job characterization: the factory stream is
+// order-dependent, so generation is not split across workers.
 
 #include "bench/common.h"
 #include "src/workload/analysis.h"
@@ -7,24 +10,40 @@
 namespace sat {
 namespace {
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 3", "Breakdown of % of instructions fetched");
 
-  LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
-  WorkloadFactory factory(&catalog);
+  const auto apps = AppProfile::PaperBenchmarks();
+  std::vector<CategoryBreakdown> breakdowns(apps.size());
+
+  Harness harness("fig3", options);
+  harness.AddCustomJob("characterization", [&](JobRecord& record) {
+    LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
+    WorkloadFactory factory(&catalog);
+    double shared_sum = 0;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      const AppFootprint fp = factory.Generate(apps[i]);
+      breakdowns[i] = AnalyzeCategories(fp);
+      shared_sum += breakdowns[i].SharedCodeFetchFraction();
+    }
+    record.Metric("apps", static_cast<double>(apps.size()));
+    record.Metric("avg.shared_code_fetch_pct",
+                  shared_sum / static_cast<double>(apps.size()) * 100);
+  });
+  if (!harness.Run()) {
+    return 1;
+  }
 
   TablePrinter table({"Benchmark", "private", "other .so", "app_process",
                       "zygote Java", "zygote .so", "shared total"});
   double share_sum[5] = {};
   double shared_sum = 0;
-  const auto apps = AppProfile::PaperBenchmarks();
-  for (const AppProfile& app : apps) {
-    const AppFootprint fp = factory.Generate(app);
-    const CategoryBreakdown b = AnalyzeCategories(fp);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const CategoryBreakdown& b = breakdowns[i];
     auto pct = [&](CodeCategory c) {
       return FormatPercent(b.fetch_share[static_cast<int>(c)]);
     };
-    table.AddRow({app.name, pct(CodeCategory::kPrivateCode),
+    table.AddRow({apps[i].name, pct(CodeCategory::kPrivateCode),
                   pct(CodeCategory::kOtherSharedLib),
                   pct(CodeCategory::kZygoteProgramBinary),
                   pct(CodeCategory::kZygoteJavaLib),
@@ -61,4 +80,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

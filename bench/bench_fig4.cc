@@ -1,6 +1,8 @@
 // Figure 4: CDF of the number of 4 KB pages untouched within each 64 KB
 // page of the zygote-preloaded shared code an application maps — the
 // sparsity argument against simply using 64 KB large pages for code.
+//
+// Single-job characterization (the factory stream is order-dependent).
 
 #include "bench/common.h"
 #include "src/workload/analysis.h"
@@ -22,17 +24,36 @@ double FractionOverNine(const SparsityResult& sparsity) {
          static_cast<double>(sparsity.untouched_per_chunk.size());
 }
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 4",
               "CDF of # of 4KB pages untouched within a 64KB page of the "
               "zygote-preloaded shared code");
 
-  LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
-  WorkloadFactory factory(&catalog);
-
   std::vector<AppFootprint> fps;
-  for (const AppProfile& app : AppProfile::PaperBenchmarks()) {
-    fps.push_back(factory.Generate(app));
+  Harness harness("fig4", options);
+  harness.AddCustomJob("sparsity", [&](JobRecord& record) {
+    LibraryCatalog catalog = LibraryCatalog::AndroidDefault();
+    WorkloadFactory factory(&catalog);
+    for (const AppProfile& app : AppProfile::PaperBenchmarks()) {
+      fps.push_back(factory.Generate(app));
+    }
+    double over9_sum = 0;
+    double ratio_sum = 0;
+    for (const AppFootprint& fp : fps) {
+      const SparsityResult sparsity = AnalyzeSparsity(fp);
+      over9_sum += FractionOverNine(sparsity);
+      ratio_sum += sparsity.MemoryBytes64k() / sparsity.MemoryBytes4k();
+    }
+    const SparsityResult union_sparsity = AnalyzeSparsityUnion(fps);
+    const auto n = static_cast<double>(fps.size());
+    record.Metric("apps", n);
+    record.Metric("avg.over9_pct", over9_sum / n * 100);
+    record.Metric("avg.ratio_64k_4k", ratio_sum / n);
+    record.Metric("union.ratio_64k_4k", union_sparsity.MemoryBytes64k() /
+                                            union_sparsity.MemoryBytes4k());
+  });
+  if (!harness.Run()) {
+    return 1;
   }
 
   TablePrinter table({"Benchmark", ">9 untouched", "4KB mem (MB)",
@@ -89,4 +110,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -9,13 +9,21 @@
 namespace sat {
 namespace {
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 7", "Application launch execution time (cycles)");
 
-  const auto series = RunLaunchExperiment(/*rounds=*/30, /*warmup=*/3);
+  LaunchExperiment experiment = MakeLaunchExperiment(
+      "fig7", options, /*rounds=*/options.smoke ? 10 : 30, /*warmup=*/3);
+  if (!experiment.Run()) {
+    return 1;
+  }
+  const std::vector<LaunchSeries>& series = experiment.series;
 
   TablePrinter table({"Config", "min", "Q1", "median", "Q3", "max"});
   for (const LaunchSeries& s : series) {
+    if (s.rounds.empty()) {
+      continue;  // filtered out by --config
+    }
     const FiveNumberSummary summary = Summarize(s.ExecCycles());
     table.AddRow({s.config.Name(), FormatDouble(summary.minimum / 1e6, 2),
                   FormatDouble(summary.q1 / 1e6, 2),
@@ -25,6 +33,14 @@ int Run() {
   }
   std::cout << "(all values x10^6 cycles)\n";
   table.Print(std::cout);
+  if (options.phys_mb > 0) {
+    PrintLaunchPressureSummaries(experiment);
+  }
+  if (!experiment.ran_all()) {
+    std::cout << "\n--config filter active: cross-config shape checks "
+                 "skipped\n";
+    return 0;
+  }
 
   const double stock = Median(series[0].ExecCycles());
   const double shared = Median(series[1].ExecCycles());
@@ -46,4 +62,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -11,17 +11,39 @@
 namespace sat {
 namespace {
 
-int Run(uint64_t phys_mb) {
+int Run(const BenchOptions& options) {
   PrintHeader("Figure 9",
               "PTPs allocated and file-backed page faults during launch "
               "(normalized to stock, original alignment)");
-  if (phys_mb > 0) {
-    std::cout << "physical memory override: " << phys_mb
+  if (options.phys_mb > 0) {
+    std::cout << "physical memory override: " << options.phys_mb
               << " MB (small-memory pressure regime; shape checks are "
                  "calibrated for the 512 MB default)\n\n";
   }
 
-  const auto series = RunLaunchExperiment(/*rounds=*/30, /*warmup=*/3, phys_mb);
+  LaunchExperiment experiment = MakeLaunchExperiment(
+      "fig9", options, /*rounds=*/options.smoke ? 10 : 30, /*warmup=*/3);
+  if (!experiment.Run()) {
+    return 1;
+  }
+  const std::vector<LaunchSeries>& series = experiment.series;
+  if (options.phys_mb > 0) {
+    PrintLaunchPressureSummaries(experiment);
+  }
+  if (!experiment.ran_all()) {
+    TablePrinter partial({"Config", "PTPs", "file faults"});
+    for (const LaunchSeries& s : series) {
+      if (s.rounds.empty()) {
+        continue;
+      }
+      partial.AddRow({s.config.Name(), FormatDouble(s.MedianPtps(), 0),
+                      FormatDouble(s.MedianFileFaults(), 0)});
+    }
+    partial.Print(std::cout);
+    std::cout << "\n--config filter active: normalized columns and shape "
+                 "checks skipped\n";
+    return 0;
+  }
 
   const double base_faults = series[0].MedianFileFaults();
   const double base_ptps = series[0].MedianPtps();
@@ -63,25 +85,25 @@ int Run(uint64_t phys_mb) {
 // --trace-out: replay a few launches under the full mechanism with tracing
 // on and export the timeline (fork, faults, unshares, shootdowns, launch
 // phases). A separate run so the figure's numbers stay untouched.
-bool WriteLaunchTrace(const std::string& path, uint64_t phys_mb) {
-  SystemConfig config = WithPhysMb(SystemConfig::SharedPtpAndTlb2Mb(), phys_mb);
+bool WriteLaunchTrace(const BenchOptions& options) {
+  SystemConfig config =
+      WithPhysMb(ConfigByName("shared-ptp-tlb-2mb"), options.phys_mb);
   config.trace.enabled = true;
   System system(config);
   LaunchSimulator simulator(&system.android(), LaunchParams{});
   for (uint32_t round = 0; round < 3; ++round) {
     simulator.LaunchOnce(round);
   }
-  return DumpTrace(system, path);
+  return DumpTrace(system, options.trace_out);
 }
 
 }  // namespace
 }  // namespace sat
 
 int main(int argc, char** argv) {
-  const std::string trace_path = sat::TraceOutPath(argc, argv);
-  const uint64_t phys_mb = sat::PhysMbArg(argc, argv);
-  const int status = sat::Run(phys_mb);
-  if (!trace_path.empty() && !sat::WriteLaunchTrace(trace_path, phys_mb)) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  const int status = sat::Run(options);
+  if (!options.trace_out.empty() && !sat::WriteLaunchTrace(options)) {
     return 1;
   }
   return status;

@@ -3,9 +3,11 @@
 // way as 4KB pages", and large pages trade physical memory for fewer
 // faults and TLB entries (Figure 4's cost, measured live).
 //
-// Four machines: {4KB, 64KB code} x {stock, shared PTPs+TLB}. For each:
-// boot-time faults and physical memory, fork-time sharing statistics, and
-// a steady-state instruction TLB pressure probe.
+// Four machines: {4KB, 64KB code} x {stock, shared PTPs+TLB}, one harness
+// job each. For each: boot-time faults and physical memory, fork-time
+// sharing statistics, and a steady-state instruction TLB pressure probe.
+
+#include <array>
 
 #include "bench/common.h"
 
@@ -21,27 +23,29 @@ struct Row {
   uint64_t itlb_misses = 0;
 };
 
-Row Measure(SystemConfig config) {
-  config.phys_bytes = 1024ull * 1024 * 1024;
-  System system(config);
+Row Measure(System& system) {
   Kernel& kernel = system.kernel();
 
   Row row;
   row.name = system.name();
   row.boot_faults = kernel.counters().faults_file_backed;
-  row.boot_phys_mb = static_cast<double>(kernel.phys().used_bytes()) / 1048576.0;
+  row.boot_phys_mb =
+      static_cast<double>(kernel.phys().used_bytes()) / 1048576.0;
 
-  Task* app = system.android().ForkApp("probe");
-  row.fork_shared = kernel.last_fork_result().slots_shared;
-  row.fork_ptes_copied = kernel.last_fork_result().ptes_copied;
+  const ForkOutcome fork = system.android().ForkAppWithStats("probe");
+  Task* app = fork.child;
+  row.fork_shared = fork.stats.slots_shared;
+  row.fork_ptes_copied = fork.stats.ptes_copied;
 
   // Steady-state TLB probe: stream over a 4 MB slice of boot-image code.
   kernel.ScheduleTo(*app);
-  const LibraryImage* boot_image = system.android().catalog().FindByName("boot.oat");
+  const LibraryImage* boot_image =
+      system.android().catalog().FindByName("boot.oat");
   const CoreCounters before = kernel.core().counters();
   for (int pass = 0; pass < 4; ++pass) {
     for (uint32_t page = 0; page < 1024; ++page) {
-      kernel.core().FetchLine(system.android().CodePageVa(boot_image->id, page));
+      kernel.core().FetchLine(
+          system.android().CodePageVa(boot_image->id, page));
     }
   }
   row.itlb_misses = (kernel.core().counters() - before).itlb_main_misses;
@@ -49,25 +53,53 @@ Row Measure(SystemConfig config) {
   return row;
 }
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Extension",
               "64KB large pages for shared code: sharing works identically, "
               "memory/faults/TLB trade-offs");
 
-  SystemConfig small_stock = SystemConfig::Stock();
-  SystemConfig small_shared = SystemConfig::SharedPtpAndTlb();
-  SystemConfig large_stock = SystemConfig::Stock();
-  large_stock.large_pages_for_code = true;
-  SystemConfig large_shared = SystemConfig::SharedPtpAndTlb();
-  large_shared.large_pages_for_code = true;
+  struct Variant {
+    const char* job;
+    const char* key;
+    bool large;
+  };
+  const Variant variants[] = {{"4kb/stock", "stock", false},
+                              {"4kb/shared-ptp-tlb", "shared-ptp-tlb", false},
+                              {"64kb/stock", "stock", true},
+                              {"64kb/shared-ptp-tlb", "shared-ptp-tlb", true}};
 
-  const Row rows[] = {Measure(small_stock), Measure(small_shared),
-                      Measure(large_stock), Measure(large_shared)};
+  std::array<Row, 4> rows;
+  Harness harness("largepage", options);
+  for (size_t i = 0; i < 4; ++i) {
+    SystemConfig config = ConfigByName(variants[i].key);
+    config.large_pages_for_code = variants[i].large;
+    config.phys_bytes = 1024ull * 1024 * 1024;
+    harness.AddJob(variants[i].job, config,
+                   [&rows, i](System& system, JobRecord& record) {
+                     rows[i] = Measure(system);
+                     record.Metric("boot.file_faults",
+                                   static_cast<double>(rows[i].boot_faults));
+                     record.Metric("boot.phys_mb", rows[i].boot_phys_mb);
+                     record.Metric("fork.slots_shared",
+                                   static_cast<double>(rows[i].fork_shared));
+                     record.Metric(
+                         "fork.ptes_copied",
+                         static_cast<double>(rows[i].fork_ptes_copied));
+                     record.Metric("probe.itlb_misses",
+                                   static_cast<double>(rows[i].itlb_misses));
+                   });
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
 
   TablePrinter table({"Config", "boot faults", "boot phys (MB)",
                       "fork: shared PTPs", "fork: PTEs copied",
                       "iTLB misses (4MB stream)"});
   for (const Row& row : rows) {
+    if (row.name.empty()) {
+      continue;  // Skipped by --config.
+    }
     table.AddRow({row.name, std::to_string(row.boot_faults),
                   FormatDouble(row.boot_phys_mb, 0),
                   std::to_string(row.fork_shared),
@@ -75,6 +107,12 @@ int Run() {
                   std::to_string(row.itlb_misses)});
   }
   table.Print(std::cout);
+
+  if (!harness.ran_all()) {
+    std::cout << "\n--config filter active: cross-config shape checks "
+                 "skipped\n";
+    return 0;
+  }
 
   std::cout << "\n";
   bool ok = true;
@@ -106,4 +144,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -16,6 +16,9 @@
 //
 // Workload: two zygote apps and one non-zygote daemon time-slicing on one
 // core; apps run shared code (global entries), the daemon runs its own.
+// One harness job per isolation model — three independent systems.
+
+#include <array>
 
 #include "bench/common.h"
 
@@ -30,10 +33,7 @@ struct ProtectionRow {
   uint64_t global_flushes = 0;  // full-flush operations issued
 };
 
-ProtectionRow RunMix(IsolationModel isolation) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
-  config.isolation = isolation;
-  System system(config);
+ProtectionRow RunMix(System& system, IsolationModel isolation) {
   Kernel& kernel = system.kernel();
 
   Task* app_a = system.android().ForkApp("app_a");
@@ -43,9 +43,10 @@ ProtectionRow RunMix(IsolationModel isolation) {
   // The apps' shared working set: hot pages of the preload set.
   std::vector<VirtAddr> shared_pages;
   const AppFootprint& boot = system.android().zygote_boot_footprint();
-  for (size_t i = 0; i < boot.pages.size() && shared_pages.size() < 48; i += 9) {
-    shared_pages.push_back(
-        system.android().CodePageVa(boot.pages[i].lib, boot.pages[i].page_index));
+  for (size_t i = 0; i < boot.pages.size() && shared_pages.size() < 48;
+       i += 9) {
+    shared_pages.push_back(system.android().CodePageVa(
+        boot.pages[i].lib, boot.pages[i].page_index));
   }
 
   // The daemon's code: private pages, some at the same VAs as shared code
@@ -84,24 +85,60 @@ ProtectionRow RunMix(IsolationModel isolation) {
   return row;
 }
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Extension",
               "Protecting shared TLB entries: ARM domains vs MPK vs "
               "flush-on-switch (2 apps + 1 daemon, time-sliced)");
 
-  const ProtectionRow rows[] = {RunMix(IsolationModel::kArmDomains),
-                                RunMix(IsolationModel::kMpkDataOnly),
-                                RunMix(IsolationModel::kFlushOnSwitch)};
+  const struct {
+    const char* job;
+    IsolationModel isolation;
+  } kModels[] = {{"arm-domains", IsolationModel::kArmDomains},
+                 {"mpk-data-only", IsolationModel::kMpkDataOnly},
+                 {"flush-on-switch", IsolationModel::kFlushOnSwitch}};
+
+  std::array<ProtectionRow, 3> rows;
+  Harness harness("protection", options);
+  for (size_t i = 0; i < 3; ++i) {
+    SystemConfig config = ConfigByName("shared-ptp-tlb");
+    config.isolation = kModels[i].isolation;
+    harness.AddJob(kModels[i].job, config,
+                   [&rows, i, isolation = kModels[i].isolation](
+                       System& system, JobRecord& record) {
+                     rows[i] = RunMix(system, isolation);
+                     record.Metric("prot.unsound_hits",
+                                   static_cast<double>(rows[i].unsound_hits));
+                     record.Metric("prot.domain_faults",
+                                   static_cast<double>(rows[i].domain_faults));
+                     record.Metric("prot.app_walks",
+                                   static_cast<double>(rows[i].app_walks));
+                     record.Metric(
+                         "prot.global_flushes",
+                         static_cast<double>(rows[i].global_flushes));
+                   });
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
 
   TablePrinter table({"Model", "unsound I-fetches", "domain faults",
                       "app iTLB walks", "global flushes"});
   for (const ProtectionRow& row : rows) {
+    if (row.name.empty()) {
+      continue;  // Skipped by --config.
+    }
     table.AddRow({row.name, std::to_string(row.unsound_hits),
                   std::to_string(row.domain_faults),
                   std::to_string(row.app_walks),
                   std::to_string(row.global_flushes)});
   }
   table.Print(std::cout);
+
+  if (!harness.ran_all()) {
+    std::cout << "\n--config filter active: cross-model shape checks "
+                 "skipped\n";
+    return 0;
+  }
 
   std::cout << "\n";
   bool ok = true;
@@ -124,4 +161,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -12,6 +12,9 @@
 //
 // The bench sweeps N and reports both curves, plus the machine-wide rmap
 // size (the memory cost of *tracking* the duplicated translations).
+//
+// The sweep runs as custom harness jobs pinned to the default machine
+// size, so --phys-mb only affects the explicit pressure-mode jobs below.
 
 #include "bench/common.h"
 
@@ -19,7 +22,7 @@ namespace sat {
 namespace {
 
 struct ReclaimRow {
-  uint32_t apps;
+  uint32_t apps = 0;
   uint64_t rmap_entries_stock = 0;
   uint64_t rmap_entries_shared = 0;
   double clears_per_page_stock = 0;
@@ -30,7 +33,7 @@ struct ReclaimRow {
 // slice of preloaded code), reclaims 200 pages, and reports the unmap
 // work per reclaimed page.
 double MeasureClears(const SystemConfig& config, uint32_t apps,
-                     uint64_t* rmap_entries) {
+                     uint64_t* rmap_entries, JobRecord& record) {
   System system(config);
   Kernel& kernel = system.kernel();
   const AppFootprint& boot = system.android().zygote_boot_footprint();
@@ -41,10 +44,10 @@ double MeasureClears(const SystemConfig& config, uint32_t apps,
     // Under stock, each app must fault the code in itself; under sharing
     // the touches find the inherited PTEs and fault nothing.
     for (size_t p = 0; p < boot.pages.size(); p += 4) {
-      kernel.TouchPage(
-          *app,
-          system.android().CodePageVa(boot.pages[p].lib, boot.pages[p].page_index),
-          AccessType::kExecute);
+      kernel.TouchPage(*app,
+                       system.android().CodePageVa(boot.pages[p].lib,
+                                                   boot.pages[p].page_index),
+                       AccessType::kExecute);
     }
     live.push_back(app);
   }
@@ -54,6 +57,7 @@ double MeasureClears(const SystemConfig& config, uint32_t apps,
   for (Task* app : live) {
     kernel.Exit(*app);
   }
+  Harness::CaptureSystem(system, &record);
   if (stats.pages_reclaimed == 0) {
     return 0;
   }
@@ -61,27 +65,107 @@ double MeasureClears(const SystemConfig& config, uint32_t apps,
          static_cast<double>(stats.pages_reclaimed);
 }
 
-int Run() {
+// --phys-mb / --swap-mb pressure mode: the same N-process shared-code
+// workload, but on a machine small enough that keeping all N apps (and
+// their anonymous heaps) resident forces the reclaim chain to run. Each
+// app also dirties a private heap so there is anonymous memory for the
+// swap stage to compress; the per-config summaries show how the stock and
+// shared-PTP kernels fare on identical pressure.
+void RunPressureWorkload(System& system) {
+  Kernel& kernel = system.kernel();
+  const AppFootprint& boot = system.android().zygote_boot_footprint();
+  std::vector<Task*> live;
+  for (uint32_t i = 0; i < 8; ++i) {
+    Task* app = system.android().ForkApp("app" + std::to_string(i));
+    if (app == nullptr) {
+      continue;  // fork refused under pressure; counted in the summary
+    }
+    for (size_t p = 0; p < boot.pages.size(); p += 4) {
+      kernel.TouchPage(*app,
+                       system.android().CodePageVa(boot.pages[p].lib,
+                                                   boot.pages[p].page_index),
+                       AccessType::kExecute);
+    }
+    // A 1 MB private heap per app: the anonymous working set that the
+    // file-cache-only reclaimer cannot touch but swap can.
+    MmapRequest request;
+    request.length = 256 * kPageSize;
+    request.prot = VmProt::ReadWrite();
+    request.kind = VmKind::kAnonPrivate;
+    const VirtAddr heap = kernel.Mmap(*app, request).value;
+    for (uint32_t page = 0; heap != 0 && page < 256 && app->alive; ++page) {
+      kernel.TouchPage(*app, heap + page * kPageSize, AccessType::kWrite);
+    }
+    live.push_back(app);
+  }
+  kernel.ReclaimFileCache(200);
+  for (Task* app : live) {
+    if (app->alive) {
+      kernel.Exit(*app);
+    }
+  }
+}
+
+int Run(const BenchOptions& options) {
   PrintHeader("Extension",
               "Reclaim cost vs number of processes: rmap entries and PTE "
               "clears per reclaimed shared-code page");
 
+  const uint32_t kAppCounts[] = {1, 2, 4, 8};
+  std::vector<ReclaimRow> rows(4);
+  Harness harness("reclaim", options);
+  for (size_t n = 0; n < 4; ++n) {
+    const uint32_t apps = kAppCounts[n];
+    rows[n].apps = apps;
+    harness.AddCustomJob(
+        "sweep/stock/apps" + std::to_string(apps),
+        [&rows, n, apps](JobRecord& record) {
+          rows[n].clears_per_page_stock = MeasureClears(
+              ConfigByName("stock"), apps, &rows[n].rmap_entries_stock,
+              record);
+          record.Metric("reclaim.rmap_entries",
+                        static_cast<double>(rows[n].rmap_entries_stock));
+          record.Metric("reclaim.clears_per_page",
+                        rows[n].clears_per_page_stock);
+        });
+    harness.AddCustomJob(
+        "sweep/shared-ptp/apps" + std::to_string(apps),
+        [&rows, n, apps](JobRecord& record) {
+          rows[n].clears_per_page_shared = MeasureClears(
+              ConfigByName("shared-ptp"), apps, &rows[n].rmap_entries_shared,
+              record);
+          record.Metric("reclaim.rmap_entries",
+                        static_cast<double>(rows[n].rmap_entries_shared));
+          record.Metric("reclaim.clears_per_page",
+                        rows[n].clears_per_page_shared);
+        });
+  }
+
+  // Pressure mode rides the harness overrides: --phys-mb/--swap-mb reach
+  // these jobs through the normal AddJob config resolution.
+  const size_t pressure_first = 8;  // jobs added by the sweep above
+  if (options.phys_mb > 0) {
+    for (const char* key : {"stock", "shared-ptp"}) {
+      harness.AddJob(std::string("pressure/") + key, ConfigByName(key),
+                     [](System& system, JobRecord&) {
+                       RunPressureWorkload(system);
+                     });
+    }
+  }
+
+  if (!harness.Run()) {
+    return 1;
+  }
+
   TablePrinter table({"live apps", "rmap entries (stock)",
                       "rmap entries (shared)", "clears/page (stock)",
                       "clears/page (shared)"});
-  std::vector<ReclaimRow> rows;
-  for (uint32_t apps : {1u, 2u, 4u, 8u}) {
-    ReclaimRow row;
-    row.apps = apps;
-    row.clears_per_page_stock =
-        MeasureClears(SystemConfig::Stock(), apps, &row.rmap_entries_stock);
-    row.clears_per_page_shared =
-        MeasureClears(SystemConfig::SharedPtp(), apps, &row.rmap_entries_shared);
-    table.AddRow({std::to_string(apps), std::to_string(row.rmap_entries_stock),
+  for (const ReclaimRow& row : rows) {
+    table.AddRow({std::to_string(row.apps),
+                  std::to_string(row.rmap_entries_stock),
                   std::to_string(row.rmap_entries_shared),
                   FormatDouble(row.clears_per_page_stock, 2),
                   FormatDouble(row.clears_per_page_shared, 2)});
-    rows.push_back(row);
   }
   table.Print(std::cout);
 
@@ -106,71 +190,30 @@ int Run() {
           (static_cast<double>(rows[3].rmap_entries_shared) /
            static_cast<double>(rows[0].rmap_entries_shared)),
       0.7);
-  return ok ? 0 : 1;
-}
 
-// --phys-mb / --swap-mb pressure mode: the same N-process shared-code
-// workload, but on a machine small enough that keeping all N apps (and
-// their anonymous heaps) resident forces the reclaim chain to run. Each
-// app also dirties a private heap so there is anonymous memory for the
-// swap stage to compress; the per-config summaries show how the stock and
-// shared-PTP kernels fare on identical pressure.
-void RunPressureMode(uint64_t phys_mb, uint64_t swap_mb) {
-  std::cout << "\npressure mode (8 apps, " << phys_mb << " MB machine";
-  if (swap_mb > 0) {
-    std::cout << " + " << swap_mb << " MB zram";
-  }
-  std::cout << "):\n";
-  for (const SystemConfig& base :
-       {SystemConfig::Stock(), SystemConfig::SharedPtp()}) {
-    const SystemConfig config =
-        WithSwapMb(WithPhysMb(base, phys_mb), swap_mb);
-    System system(config);
-    Kernel& kernel = system.kernel();
-    const AppFootprint& boot = system.android().zygote_boot_footprint();
-    std::vector<Task*> live;
-    for (uint32_t i = 0; i < 8; ++i) {
-      Task* app = system.android().ForkApp("app" + std::to_string(i));
-      if (app == nullptr) {
-        continue;  // fork refused under pressure; counted in the summary
-      }
-      for (size_t p = 0; p < boot.pages.size(); p += 4) {
-        kernel.TouchPage(*app,
-                         system.android().CodePageVa(
-                             boot.pages[p].lib, boot.pages[p].page_index),
-                         AccessType::kExecute);
-      }
-      // A 1 MB private heap per app: the anonymous working set that the
-      // file-cache-only reclaimer cannot touch but swap can.
-      MmapRequest request;
-      request.length = 256 * kPageSize;
-      request.prot = VmProt::ReadWrite();
-      request.kind = VmKind::kAnonPrivate;
-      const VirtAddr heap = kernel.Mmap(*app, request);
-      for (uint32_t page = 0; heap != 0 && page < 256 && app->alive; ++page) {
-        kernel.TouchPage(*app, heap + page * kPageSize, AccessType::kWrite);
-      }
-      live.push_back(app);
+  if (options.phys_mb > 0) {
+    std::cout << "\npressure mode (8 apps, " << options.phys_mb
+              << " MB machine";
+    if (options.swap_mb > 0) {
+      std::cout << " + " << options.swap_mb << " MB zram";
     }
-    kernel.ReclaimFileCache(200);
-    std::cout << "  ";
-    PrintPressureSummary(system);
-    for (Task* app : live) {
-      if (app->alive) {
-        kernel.Exit(*app);
+    std::cout << "):\n";
+    const auto& records = harness.records();
+    for (size_t i = pressure_first; i < records.size(); ++i) {
+      if (records[i].metrics.empty()) {
+        continue;  // Skipped by --config.
       }
+      std::cout << "  ";
+      PrintPressureSummary(records[i]);
     }
   }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace sat
 
 int main(int argc, char** argv) {
-  const int status = sat::Run();
-  const uint64_t phys_mb = sat::PhysMbArg(argc, argv);
-  if (phys_mb > 0) {
-    sat::RunPressureMode(phys_mb, sat::SwapMbArg(argc, argv));
-  }
-  return status;
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
 }

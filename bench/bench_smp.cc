@@ -8,7 +8,9 @@
 // cores under the stock and shared kernels, and reports shootdown
 // broadcasts, IPIs, and the initiator cycles burned waiting for them —
 // quantifying how much of the fork/fault savings SMP maintenance gives
-// back (answer: very little).
+// back (answer: very little). One harness job per (cores, kernel) cell.
+
+#include <array>
 
 #include "bench/common.h"
 
@@ -16,8 +18,9 @@ namespace sat {
 namespace {
 
 struct SmpRow {
-  uint32_t cores;
-  bool shared;
+  uint32_t cores = 0;
+  bool shared = false;
+  bool ran = false;
   uint64_t shootdowns = 0;
   uint64_t ipis = 0;
   double ipi_mcycles = 0;
@@ -25,11 +28,7 @@ struct SmpRow {
   uint64_t unshares = 0;
 };
 
-SmpRow RunConcurrentApps(uint32_t cores, bool shared) {
-  SystemConfig config = shared ? SystemConfig::SharedPtpAndTlb()
-                               : SystemConfig::Stock();
-  config.num_cores = cores;
-  System system(config);
+SmpRow RunConcurrentApps(System& system, uint32_t cores, bool shared) {
   Kernel& kernel = system.kernel();
 
   // One app per core; each executes shared code and dirties library data
@@ -48,7 +47,6 @@ SmpRow RunConcurrentApps(uint32_t cores, bool shared) {
 
   kernel.machine().ResetShootdownStats();
   const KernelCounters kernel_before = kernel.counters();
-  Cycles ipi_cycles = 0;
 
   // Interleave: each round, every app fetches a slice of its code and
   // performs one library-data write. Apps migrate across cores every few
@@ -81,6 +79,7 @@ SmpRow RunConcurrentApps(uint32_t cores, bool shared) {
   SmpRow row;
   row.cores = cores;
   row.shared = shared;
+  row.ran = true;
   row.shootdowns = kernel.machine().shootdown_stats().shootdowns;
   row.ipis = kernel.machine().shootdown_stats().ipis;
   row.ipi_mcycles = static_cast<double>(row.ipis) *
@@ -88,36 +87,66 @@ SmpRow RunConcurrentApps(uint32_t cores, bool shared) {
   const KernelCounters delta = kernel.counters() - kernel_before;
   row.file_faults = delta.faults_file_backed;
   row.unshares = delta.ptps_unshared;
-  (void)ipi_cycles;
   for (Task* app : apps) {
     kernel.Exit(*app);
   }
   return row;
 }
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Extension",
               "TLB shootdown cost of PTP sharing on 1-4 cores (concurrent "
               "apps, one per core)");
 
-  TablePrinter table({"Cores", "Kernel", "unshares", "shootdowns", "IPIs",
-                      "IPI wait (Mcycles)", "file faults"});
-  SmpRow rows[8];
-  int n = 0;
+  std::array<SmpRow, 6> rows;
+  Harness harness("smp", options);
+  size_t n = 0;
   for (uint32_t cores : {1u, 2u, 4u}) {
     for (bool shared : {false, true}) {
-      rows[n] = RunConcurrentApps(cores, shared);
-      table.AddRow({std::to_string(rows[n].cores),
-                    shared ? "Shared PTP & TLB" : "Stock Android",
-                    std::to_string(rows[n].unshares),
-                    std::to_string(rows[n].shootdowns),
-                    std::to_string(rows[n].ipis),
-                    FormatDouble(rows[n].ipi_mcycles, 3),
-                    std::to_string(rows[n].file_faults)});
+      SystemConfig config =
+          shared ? ConfigByName("shared-ptp-tlb") : ConfigByName("stock");
+      config.num_cores = cores;
+      harness.AddJob(
+          std::string(shared ? "shared-ptp-tlb" : "stock") + "/cores" +
+              std::to_string(cores),
+          config,
+          [&rows, n, cores, shared](System& system, JobRecord& record) {
+            rows[n] = RunConcurrentApps(system, cores, shared);
+            record.Metric("smp.unshares",
+                          static_cast<double>(rows[n].unshares));
+            record.Metric("smp.shootdowns",
+                          static_cast<double>(rows[n].shootdowns));
+            record.Metric("smp.ipis", static_cast<double>(rows[n].ipis));
+            record.Metric("smp.ipi_mcycles", rows[n].ipi_mcycles);
+            record.Metric("smp.file_faults",
+                          static_cast<double>(rows[n].file_faults));
+          });
       n++;
     }
   }
+  if (!harness.Run()) {
+    return 1;
+  }
+
+  TablePrinter table({"Cores", "Kernel", "unshares", "shootdowns", "IPIs",
+                      "IPI wait (Mcycles)", "file faults"});
+  for (const SmpRow& row : rows) {
+    if (!row.ran) {
+      continue;  // Skipped by --config.
+    }
+    table.AddRow({std::to_string(row.cores),
+                  row.shared ? "Shared PTP & TLB" : "Stock Android",
+                  std::to_string(row.unshares), std::to_string(row.shootdowns),
+                  std::to_string(row.ipis), FormatDouble(row.ipi_mcycles, 3),
+                  std::to_string(row.file_faults)});
+  }
   table.Print(std::cout);
+
+  if (!harness.ran_all()) {
+    std::cout << "\n--config filter active: cross-config shape checks "
+                 "skipped\n";
+    return 0;
+  }
 
   std::cout << "\n";
   bool ok = true;
@@ -147,4 +176,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

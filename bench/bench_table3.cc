@@ -2,6 +2,10 @@
 // zygote when PTPs are shared — cold start (first run after boot) versus
 // warm start (reinvoked after its first instantiation, by which time its
 // own faults populated the shared PTPs).
+//
+// One harness job per application: each already used a fresh system (the
+// paper's cold start is "application is the first to run"), so the jobs
+// are independent and run concurrently under --jobs.
 
 #include "bench/common.h"
 
@@ -23,10 +27,40 @@ constexpr PaperRow kPaper[] = {
     {"WPS", 15.0, 24},
 };
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Table 3",
               "# of instruction PTEs inherited from the zygote with shared "
               "PTPs (x10^2): cold vs warm start");
+
+  const size_t n = std::size(kPaper);
+  std::vector<AppRunStats> colds(n);
+  std::vector<AppRunStats> warms(n);
+  Harness harness("table3", options);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string app = kPaper[i].name;
+    harness.AddJob(app, ConfigByName("shared-ptp"),
+                   [app, &colds, &warms, i](System& system, JobRecord& record) {
+                     AppRunner runner(&system.android());
+                     const AppFootprint fp =
+                         system.workload().Generate(AppProfile::Named(app));
+                     colds[i] = runner.Run(fp);  // run and exit
+                     warms[i] = runner.Run(fp);  // reinvoked
+                     record.Metric(
+                         "cold.inherited_ptes",
+                         static_cast<double>(colds[i].inherited_ptes));
+                     record.Metric(
+                         "warm.inherited_ptes",
+                         static_cast<double>(warms[i].inherited_ptes));
+                   });
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
+  if (!harness.ran_all()) {
+    std::cout << "--config filter active: Table 3 only runs under "
+                 "shared-ptp; nothing to report\n";
+    return 0;
+  }
 
   TablePrinter table({"Benchmark", "Cold (x10^2)", "Warm (x10^2)",
                       "paper cold", "paper warm"});
@@ -35,23 +69,16 @@ int Run() {
   double paper_cold_sum = 0;
   double paper_warm_sum = 0;
   double warm_gain_apps = 0;
-  for (const PaperRow& row : kPaper) {
-    // Fresh system per app: the paper's cold start is "application is the
-    // first to run".
-    System system(SystemConfig::SharedPtp());
-    AppRunner runner(&system.android());
-    const AppFootprint fp =
-        system.workload().Generate(AppProfile::Named(row.name));
-    const AppRunStats cold = runner.Run(fp);   // run and exit
-    const AppRunStats warm = runner.Run(fp);   // reinvoked
-    table.AddRow({row.name, FormatDouble(cold.inherited_ptes / 100.0, 1),
-                  FormatDouble(warm.inherited_ptes / 100.0, 1),
+  for (size_t i = 0; i < n; ++i) {
+    const PaperRow& row = kPaper[i];
+    table.AddRow({row.name, FormatDouble(colds[i].inherited_ptes / 100.0, 1),
+                  FormatDouble(warms[i].inherited_ptes / 100.0, 1),
                   FormatDouble(row.cold_h, 1), FormatDouble(row.warm_h, 0)});
-    cold_sum += cold.inherited_ptes / 100.0;
-    warm_sum += warm.inherited_ptes / 100.0;
+    cold_sum += colds[i].inherited_ptes / 100.0;
+    warm_sum += warms[i].inherited_ptes / 100.0;
     paper_cold_sum += row.cold_h;
     paper_warm_sum += row.warm_h;
-    if (warm.inherited_ptes > cold.inherited_ptes) {
+    if (warms[i].inherited_ptes > colds[i].inherited_ptes) {
       warm_gain_apps++;
     }
   }
@@ -59,11 +86,12 @@ int Run() {
 
   std::cout << "\n";
   bool ok = true;
-  const double n = std::size(kPaper);
   ok &= ShapeCheck(std::cout, "mean cold inherited PTEs (x10^2)",
-                   paper_cold_sum / n, cold_sum / n, 0.5);
+                   paper_cold_sum / static_cast<double>(n),
+                   cold_sum / static_cast<double>(n), 0.5);
   ok &= ShapeCheck(std::cout, "mean warm inherited PTEs (x10^2)",
-                   paper_warm_sum / n, warm_sum / n, 0.5);
+                   paper_warm_sum / static_cast<double>(n),
+                   warm_sum / static_cast<double>(n), 0.5);
   ok &= ShapeCheck(std::cout, "# apps where warm > cold", 11, warm_gain_apps,
                    0.01);
   return ok ? 0 : 1;
@@ -72,4 +100,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -1,6 +1,9 @@
 // Table 4: zygote fork performance under the three kernels — Shared PTPs,
 // Stock Android, Copied PTEs. Execution cycles (minimum over 40 rounds, as
 // in the paper), PTPs allocated for the child, shared PTPs, PTEs copied.
+//
+// One harness job per kernel; the three systems fork concurrently under
+// --jobs and the table prints in the paper's order afterwards.
 
 #include "bench/common.h"
 
@@ -15,40 +18,61 @@ struct PaperRow {
   double ptes_copied;
 };
 
-int Run() {
+int Run(const BenchOptions& options) {
   PrintHeader("Table 4", "Zygote fork performance");
 
-  const SystemConfig configs[] = {SystemConfig::SharedPtp(),
-                                  SystemConfig::Stock(),
-                                  SystemConfig::CopiedPtes()};
+  const char* kKeys[] = {"shared-ptp", "stock", "copied-ptes"};
   const PaperRow paper[] = {
       {"Shared PTPs", 1.4, 1, 81, 7},
       {"Stock Android", 2.9, 38, 0, 3900},
       {"Copied PTEs", 4.6, 51, 0, 9800},
   };
+  const int rounds = options.smoke ? 10 : 40;
+
+  ForkResult results[3];
+  Harness harness("table4", options);
+  for (int i = 0; i < 3; ++i) {
+    harness.AddJob(
+        kKeys[i], ConfigByName(kKeys[i]),
+        [&results, i, rounds](System& system, JobRecord& record) {
+          Kernel& kernel = system.kernel();
+          // Minimum over the rounds. Each round forks an app from the
+          // zygote and exits it; warm-up noise disappears in the minimum
+          // the same way it does in the paper's.
+          ForkResult best;
+          best.cycles = ~0ull;
+          for (int round = 0; round < rounds; ++round) {
+            const ForkOutcome outcome =
+                system.android().ForkAppWithStats("fork_probe");
+            Task* app = outcome.child;
+            const ForkResult& fork = outcome.stats;
+            if (fork.cycles < best.cycles) {
+              best = fork;
+            }
+            kernel.Exit(*app);
+          }
+          results[i] = best;
+          record.Metric("fork.min_cycles", static_cast<double>(best.cycles));
+          record.Metric("fork.child_ptps_allocated",
+                        static_cast<double>(best.child_ptps_allocated));
+          record.Metric("fork.slots_shared",
+                        static_cast<double>(best.slots_shared));
+          record.Metric("fork.ptes_copied",
+                        static_cast<double>(best.ptes_copied));
+        });
+  }
+  if (!harness.Run()) {
+    return 1;
+  }
 
   TablePrinter table({"Kernel", "Cycles (x10^6)", "PTPs alloc", "Shared PTPs",
                       "PTEs copied", "paper cycles", "paper PTPs",
                       "paper shared", "paper PTEs"});
-
-  ForkResult results[3];
   for (int i = 0; i < 3; ++i) {
-    System system(configs[i]);
-    Kernel& kernel = system.kernel();
-    // Minimum over 40 rounds. Each round forks an app from the zygote and
-    // exits it; round 0 is excluded from the minimum the same way warm-up
-    // noise disappears in the paper's minimum.
-    ForkResult best;
-    best.cycles = ~0ull;
-    for (int round = 0; round < 40; ++round) {
-      Task* app = system.android().ForkApp("fork_probe");
-      const ForkResult& fork = kernel.last_fork_result();
-      if (fork.cycles < best.cycles) {
-        best = fork;
-      }
-      kernel.Exit(*app);
+    if (harness.record(static_cast<size_t>(i)).metrics.empty()) {
+      continue;  // filtered out by --config
     }
-    results[i] = best;
+    const ForkResult& best = results[i];
     table.AddRow({paper[i].name,
                   FormatDouble(static_cast<double>(best.cycles) / 1e6, 2),
                   std::to_string(best.child_ptps_allocated),
@@ -60,6 +84,11 @@ int Run() {
                   FormatDouble(paper[i].ptes_copied, 0)});
   }
   table.Print(std::cout);
+  if (!harness.ran_all()) {
+    std::cout << "\n--config filter active: cross-kernel shape checks "
+                 "skipped\n";
+    return 0;
+  }
 
   std::cout << "\n";
   bool ok = true;
@@ -86,4 +115,7 @@ int Run() {
 }  // namespace
 }  // namespace sat
 
-int main() { return sat::Run(); }
+int main(int argc, char** argv) {
+  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  return sat::Run(options);
+}

@@ -10,11 +10,17 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <chrono>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/sat.h"
+#include "src/driver/results.h"
+#include "src/driver/worker_pool.h"
 #include "src/stats/summary.h"
 
 namespace sat {
@@ -28,13 +34,13 @@ inline void PrintHeader(const std::string& id, const std::string& title) {
 // The four kernel/alignment configurations of the launch and steady-state
 // experiments (Figures 7-12), in the paper's order.
 inline std::vector<SystemConfig> LaunchConfigs() {
-  return {SystemConfig::Stock(), SystemConfig::SharedPtpAndTlb(),
-          SystemConfig::Stock2Mb(), SystemConfig::SharedPtpAndTlb2Mb()};
+  return {ConfigByName("stock"), ConfigByName("shared-ptp-tlb"),
+          ConfigByName("stock-2mb"), ConfigByName("shared-ptp-tlb-2mb")};
 }
 
 inline std::vector<SystemConfig> SteadyStateConfigs() {
-  return {SystemConfig::Stock(), SystemConfig::SharedPtp(),
-          SystemConfig::Stock2Mb(), SystemConfig::SharedPtp2Mb()};
+  return {ConfigByName("stock"), ConfigByName("shared-ptp"),
+          ConfigByName("stock-2mb"), ConfigByName("shared-ptp-2mb")};
 }
 
 // Runs one app under one configuration: a fresh booted system, `runs`
@@ -70,59 +76,12 @@ inline double MeanPtpsAllocated(const std::vector<AppRunStats>& runs) {
   return total / static_cast<double>(runs.size());
 }
 
-// Parses `--trace-out=<path>` from argv. Returns the path, or "" when the
-// flag is absent. When present, the bench re-runs a representative slice
-// of its workload with tracing enabled and exports the event timeline —
-// the benchmark's normal (tracing-off) output and cycle totals are never
-// affected.
-inline std::string TraceOutPath(int argc, char** argv) {
-  const std::string prefix = "--trace-out=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) {
-      return arg.substr(prefix.size());
-    }
-  }
-  return {};
-}
-
-// Parses `--phys-mb=<N>` from argv: the simulated machine's physical
-// memory size in MB. Returns 0 when the flag is absent (each config keeps
-// its 512 MB default). Small values put the bench in the memory-pressure
-// regime the paper targets (Section 2.1's 1 GB-class devices): runs then
-// exercise direct reclaim and, below the working set, the OOM killer.
-inline uint64_t PhysMbArg(int argc, char** argv) {
-  const std::string prefix = "--phys-mb=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) {
-      return std::stoull(arg.substr(prefix.size()));
-    }
-  }
-  return 0;
-}
-
 // Applies a --phys-mb override to a config (no-op when mb == 0).
 inline SystemConfig WithPhysMb(SystemConfig config, uint64_t phys_mb) {
   if (phys_mb > 0) {
     config.phys_bytes = phys_mb * 1024 * 1024;
   }
   return config;
-}
-
-// Parses `--swap-mb=<N>` from argv: the size of the compressed zram swap
-// device in MB. Returns 0 when the flag is absent (swap disabled).
-// Combined with --phys-mb, this puts runs in the regime where anonymous
-// memory survives pressure by being compressed instead of OOM-killed.
-inline uint64_t SwapMbArg(int argc, char** argv) {
-  const std::string prefix = "--swap-mb=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) {
-      return std::stoull(arg.substr(prefix.size()));
-    }
-  }
-  return 0;
 }
 
 // Applies a --swap-mb override to a config (no-op when mb == 0).
@@ -172,6 +131,304 @@ inline bool DumpTrace(System& system, const std::string& path) {
             << system.tracer().SummaryText();
   return true;
 }
+
+// Looks up a numeric metric captured in a JobRecord; `fallback` when the
+// record does not have it (e.g. the job was skipped by --config).
+inline double MetricOr(const JobRecord& record, std::string_view name,
+                       double fallback = 0.0) {
+  for (const auto& metric : record.metrics) {
+    if (metric.first == name) {
+      return metric.second;
+    }
+  }
+  return fallback;
+}
+
+// PrintPressureSummary for a job record collected on a worker thread: the
+// same allocate → reclaim → swap-out → OOM-kill summary, read back from
+// the captured counters instead of a live System.
+inline void PrintPressureSummary(const JobRecord& record) {
+  std::cout << "memory pressure [" << record.config
+            << "]: " << MetricOr(record, "counters.direct_reclaims")
+            << " direct reclaim(s), " << MetricOr(record, "counters.oom_kills")
+            << " OOM kill(s), " << MetricOr(record, "counters.forks_failed")
+            << " failed fork(s)\n";
+  if (MetricOr(record, "swap.pages_stored", -1.0) >= 0.0) {
+    std::cout << "  swap: " << MetricOr(record, "counters.swap_outs")
+              << " out, " << MetricOr(record, "counters.swap_ins") << " in ("
+              << MetricOr(record, "counters.swap_ins_cache_hit")
+              << " cache hit(s)), "
+              << MetricOr(record, "counters.swap_clean_drops")
+              << " clean drop(s), " << MetricOr(record, "counters.kswapd_runs")
+              << " kswapd run(s)";
+    const double ratio = MetricOr(record, "swap.compression_ratio");
+    if (ratio > 0) {
+      std::cout << ", compression ratio " << FormatDouble(ratio, 2) << ":1";
+    }
+    std::cout << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The experiment harness: every bench binary parses BenchOptions, hands its
+// independent measurement units to a Harness as jobs, and prints its tables
+// and shape checks from the collected records after Run(). The driver
+// (src/driver/) runs the jobs on --jobs workers; records come back in
+// submission order, so parallel output is bit-identical to a serial run.
+// ---------------------------------------------------------------------------
+
+// Common command-line options, shared by every bench binary.
+//
+//   --jobs=N / --jobs N          worker threads (default: all host cores)
+//   --json-out=PATH              write BENCH_<bench>.json; PATH ending in
+//                                ".json" is the file, otherwise a directory
+//   --config=KEY                 run only jobs whose configuration matches
+//                                the named registry entry (see
+//                                NamedConfigKeyList())
+//   --smoke                      reduced footprints for CI smoke runs
+//   --seed=S                     base seed; each job derives its own via
+//                                DeriveJobSeed (default: per-config seeds)
+//   --phys-mb=N / --swap-mb=N    simulated DRAM / zram size overrides
+//   --trace-out=PATH             export a Chrome trace of a representative
+//                                slice (bench-specific; tracing-off results
+//                                are never affected)
+struct BenchOptions {
+  uint32_t jobs = 0;  // 0 until parsed; ParseBenchOptions defaults it
+  std::string json_out;
+  std::string only_config;
+  bool smoke = false;
+  uint64_t seed = 0;
+  bool seed_set = false;
+  uint64_t phys_mb = 0;
+  uint64_t swap_mb = 0;
+  std::string trace_out;
+};
+
+// Parses and REMOVES the harness flags from argv (so flags meant for other
+// consumers — e.g. google-benchmark in bench_pagefault — pass through
+// untouched). Exits with a usage message on a malformed or unknown
+// --config value.
+inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
+  BenchOptions options;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    // Accepts both --flag=value and --flag value.
+    const auto value = [&](const char* flag, std::string* v) {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        *v = arg.substr(prefix.size());
+        return true;
+      }
+      if (arg == flag && i + 1 < *argc) {
+        *v = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string v;
+    if (value("--jobs", &v)) {
+      options.jobs = static_cast<uint32_t>(std::stoul(v));
+    } else if (value("--json-out", &v)) {
+      options.json_out = v;
+    } else if (value("--config", &v)) {
+      options.only_config = v;
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (value("--seed", &v)) {
+      options.seed = std::stoull(v);
+      options.seed_set = true;
+    } else if (value("--phys-mb", &v)) {
+      options.phys_mb = std::stoull(v);
+    } else if (value("--swap-mb", &v)) {
+      options.swap_mb = std::stoull(v);
+    } else if (value("--trace-out", &v)) {
+      options.trace_out = v;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[*argc] = nullptr;
+  if (options.jobs == 0) {
+    options.jobs = HardwareJobs();
+  }
+  if (!options.only_config.empty() &&
+      !TryConfigByName(options.only_config).has_value()) {
+    std::cerr << "error: unknown --config '" << options.only_config
+              << "'; known configs: " << NamedConfigKeyList() << "\n";
+    std::exit(2);
+  }
+  return options;
+}
+
+// Runs a bench's jobs through the driver and collects one JobRecord per
+// job, in submission order. System-backed jobs get their System built on
+// the worker thread (with --seed/--phys-mb/--swap-mb applied) and their
+// kernel/core counters captured automatically; custom jobs fill their
+// record themselves. Job bodies must not print — all output happens after
+// Run(), from the records, so stdout is identical at any --jobs value.
+class Harness {
+ public:
+  Harness(std::string bench, BenchOptions options)
+      : bench_(std::move(bench)), options_(std::move(options)) {
+    if (!options_.only_config.empty()) {
+      only_name_ = ConfigByName(options_.only_config).Name();
+    }
+  }
+
+  const BenchOptions& options() const { return options_; }
+  bool smoke() const { return options_.smoke; }
+
+  // A job that measures one System. The harness owns the System's
+  // lifecycle; `body` runs the workload and may add bench-specific
+  // metrics/labels to the record.
+  void AddJob(const std::string& job_name, const SystemConfig& config,
+              std::function<void(System&, JobRecord&)> body) {
+    const bool skip = !only_name_.empty() && config.Name() != only_name_;
+    PendingJob job;
+    job.name = job_name;
+    job.skip = skip;
+    if (skip) {
+      skipped_++;
+    } else {
+      const SystemConfig resolved = Resolve(config, job_name);
+      job.run = [resolved, body = std::move(body)](JobRecord* record) {
+        System system(resolved);
+        body(system, *record);
+        CaptureSystem(system, record);
+      };
+    }
+    jobs_.push_back(std::move(job));
+  }
+
+  // A job that manages its own systems (multi-system comparisons,
+  // raw-Kernel setups, factory-only work). Never filtered by --config.
+  void AddCustomJob(const std::string& job_name,
+                    std::function<void(JobRecord&)> body) {
+    PendingJob job;
+    job.name = job_name;
+    job.run = [body = std::move(body)](JobRecord* record) { body(*record); };
+    jobs_.push_back(std::move(job));
+  }
+
+  // Applies the harness overrides to a config, exactly as AddJob would —
+  // for custom jobs that build their own Systems.
+  SystemConfig Resolve(const SystemConfig& config,
+                       const std::string& job_name) const {
+    SystemConfig resolved =
+        WithSwapMb(WithPhysMb(config, options_.phys_mb), options_.swap_mb);
+    if (options_.seed_set) {
+      resolved.seed = DeriveJobSeed(options_.seed, job_name);
+    }
+    return resolved;
+  }
+
+  // Captures the standard per-System metrics into a record: every kernel
+  // counter, every core-0 counter, and the swap/pressure summary fields.
+  static void CaptureSystem(System& system, JobRecord* record) {
+    record->Label("system", system.name());
+    const KernelCounters& kernel = system.kernel().counters();
+#define SAT_BENCH_CAPTURE(field) \
+  record->Metric("counters." #field, static_cast<double>(kernel.field));
+    SAT_KERNEL_COUNTER_FIELDS(SAT_BENCH_CAPTURE)
+#undef SAT_BENCH_CAPTURE
+    const CoreCounters& core = system.core().counters();
+#define SAT_BENCH_CAPTURE(field) \
+  record->Metric("core." #field, static_cast<double>(core.field));
+    SAT_CORE_COUNTER_FIELDS(SAT_BENCH_CAPTURE)
+#undef SAT_BENCH_CAPTURE
+    const ZramStore& zram = system.kernel().zram();
+    if (zram.enabled()) {
+      record->Metric("swap.pages_stored",
+                     static_cast<double>(zram.pages_stored_total()));
+      record->Metric("swap.bytes_compressed",
+                     static_cast<double>(zram.bytes_compressed_total()));
+      if (zram.bytes_compressed_total() > 0) {
+        record->Metric("swap.compression_ratio",
+                       static_cast<double>(zram.pages_stored_total()) *
+                           kPageSize /
+                           static_cast<double>(zram.bytes_compressed_total()));
+      }
+    }
+  }
+
+  // Runs every non-skipped job on options().jobs workers and, when
+  // --json-out is set, writes BENCH_<bench>.json. Returns false only if
+  // the JSON write failed.
+  bool Run() {
+    records_.assign(jobs_.size(), JobRecord{});
+    std::vector<std::function<void()>> work;
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+      records_[i].config = jobs_[i].name;
+      if (jobs_[i].skip) {
+        records_[i].Label("skipped", "config-filter");
+        continue;
+      }
+      JobRecord* record = &records_[i];
+      std::function<void(JobRecord*)> run = std::move(jobs_[i].run);
+      work.push_back([record, run = std::move(run)] {
+        const auto start = std::chrono::steady_clock::now();
+        run(record);
+        record->host_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+      });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    RunJobs(std::move(work), options_.jobs);
+    const double host_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (options_.json_out.empty()) {
+      return true;
+    }
+    ExperimentResult result;
+    result.bench = bench_;
+    result.jobs = options_.jobs;
+    result.seed = options_.seed_set ? options_.seed : 0;
+    result.smoke = options_.smoke;
+    result.host_ms = host_ms;
+    result.records = records_;
+    std::string error;
+    if (!WriteJsonFile(result, JsonPath(), &error)) {
+      std::cerr << "error: writing " << JsonPath() << ": " << error << "\n";
+      return false;
+    }
+    std::cout << "\nwrote " << JsonPath() << "\n";
+    return true;
+  }
+
+  const std::vector<JobRecord>& records() const { return records_; }
+  const JobRecord& record(size_t i) const { return records_[i]; }
+
+  // False when --config filtered out jobs: cross-config tables and shape
+  // checks are not meaningful on a partial run.
+  bool ran_all() const { return skipped_ == 0; }
+
+ private:
+  struct PendingJob {
+    std::string name;
+    bool skip = false;
+    std::function<void(JobRecord*)> run;
+  };
+
+  std::string JsonPath() const {
+    const std::string& out = options_.json_out;
+    if (out.size() >= 5 && out.substr(out.size() - 5) == ".json") {
+      return out;
+    }
+    return out + "/BENCH_" + bench_ + ".json";
+  }
+
+  std::string bench_;
+  BenchOptions options_;
+  std::string only_name_;
+  std::vector<PendingJob> jobs_;
+  std::vector<JobRecord> records_;
+  size_t skipped_ = 0;
+};
 
 }  // namespace sat
 

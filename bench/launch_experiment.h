@@ -1,10 +1,15 @@
 // Shared driver for the application-launch experiments (Figures 7-9):
 // repeated Helloworld launches under the four kernel/alignment
 // configurations, through the full cycle-level pipeline.
+//
+// Each configuration is one independent harness job (its own System), so
+// the four series run concurrently under --jobs and come back in the
+// paper's presentation order regardless of worker count.
 
 #ifndef BENCH_LAUNCH_EXPERIMENT_H_
 #define BENCH_LAUNCH_EXPERIMENT_H_
 
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
@@ -45,33 +50,70 @@ struct LaunchSeries {
   }
 };
 
-// Runs `rounds` launches per configuration. The first `warmup` rounds are
-// dropped from the series: the paper's 100-execution box plots are
-// dominated by the steady state, which sharing reaches after the shared
-// PTPs are populated. `phys_mb` overrides each machine's physical memory
-// (0 keeps the 512 MB default); pressure outcomes are printed per config.
-inline std::vector<LaunchSeries> RunLaunchExperiment(int rounds, int warmup,
-                                                     uint64_t phys_mb = 0) {
-  std::vector<LaunchSeries> out;
-  for (const SystemConfig& base : LaunchConfigs()) {
-    const SystemConfig config = WithPhysMb(base, phys_mb);
-    LaunchSeries series;
-    series.config = config;
-    System system(config);
-    LaunchSimulator simulator(&system.android(), LaunchParams{});
-    for (int round = 0; round < rounds + warmup; ++round) {
-      const LaunchResult result =
-          simulator.LaunchOnce(static_cast<uint32_t>(round));
-      if (round >= warmup) {
-        series.rounds.push_back(result);
-      }
-    }
-    if (phys_mb > 0) {
-      PrintPressureSummary(system);
-    }
-    out.push_back(std::move(series));
+// Registry keys of LaunchConfigs(), in the same order.
+inline const std::vector<std::string>& LaunchConfigKeys() {
+  static const std::vector<std::string> keys = {
+      "stock", "shared-ptp-tlb", "stock-2mb", "shared-ptp-tlb-2mb"};
+  return keys;
+}
+
+// A launch experiment bound to a harness: one job per configuration,
+// `rounds` launches each after `warmup` dropped rounds (the paper's
+// 100-execution box plots are dominated by the steady state, which
+// sharing reaches after the shared PTPs are populated). series[i] stays
+// empty when --config filtered configuration i out.
+struct LaunchExperiment {
+  Harness harness;
+  std::vector<LaunchSeries> series;
+
+  bool Run() { return harness.Run(); }
+  bool ran_all() const { return harness.ran_all(); }
+};
+
+inline LaunchExperiment MakeLaunchExperiment(std::string bench,
+                                             const BenchOptions& options,
+                                             int rounds, int warmup) {
+  LaunchExperiment experiment{Harness(std::move(bench), options), {}};
+  const std::vector<std::string>& keys = LaunchConfigKeys();
+  experiment.series.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const SystemConfig config = ConfigByName(keys[i]);
+    LaunchSeries* series = &experiment.series[i];
+    series->config = config;
+    experiment.harness.AddJob(
+        keys[i], config,
+        [series, rounds, warmup](System& system, JobRecord& record) {
+          LaunchSimulator simulator(&system.android(), LaunchParams{});
+          for (int round = 0; round < rounds + warmup; ++round) {
+            const LaunchResult result =
+                simulator.LaunchOnce(static_cast<uint32_t>(round));
+            if (round >= warmup) {
+              series->rounds.push_back(result);
+            }
+          }
+          record.Metric("launch.rounds",
+                        static_cast<double>(series->rounds.size()));
+          record.Metric("launch.exec_cycles_median",
+                        Median(series->ExecCycles()));
+          record.Metric("launch.icache_stalls_median",
+                        Median(series->IcacheStalls()));
+          record.Metric("launch.file_faults_median",
+                        series->MedianFileFaults());
+          record.Metric("launch.ptps_median", series->MedianPtps());
+        });
   }
-  return out;
+  return experiment;
+}
+
+// Prints the pressure summaries of every executed job (used by the
+// launch benches when --phys-mb puts the machines under memory pressure).
+inline void PrintLaunchPressureSummaries(const LaunchExperiment& experiment) {
+  std::cout << "\n";
+  for (const JobRecord& record : experiment.harness.records()) {
+    if (!record.metrics.empty()) {
+      PrintPressureSummary(record);
+    }
+  }
 }
 
 }  // namespace sat

@@ -38,15 +38,15 @@ int main() {
 
   // The ASID dimension: without ASIDs every context switch flushes all
   // non-global TLB entries.
-  sat::SystemConfig stock_no_asid = sat::SystemConfig::Stock();
+  sat::SystemConfig stock_no_asid = sat::ConfigByName("stock");
   stock_no_asid.asids_enabled = false;
   RunIpc(stock_no_asid, "   <- flush on every switch");
-  RunIpc(sat::SystemConfig::Stock(), "");
-  RunIpc(sat::SystemConfig::SharedPtp(), "   <- page tables shared, TLB not");
-  RunIpc(sat::SystemConfig::SharedPtpAndTlb(),
+  RunIpc(sat::ConfigByName("stock"), "");
+  RunIpc(sat::ConfigByName("shared-ptp"), "   <- page tables shared, TLB not");
+  RunIpc(sat::ConfigByName("shared-ptp-tlb"),
          "   <- libbinder pages: one global entry each");
 
-  sat::SystemConfig shared_no_asid = sat::SystemConfig::SharedPtpAndTlb();
+  sat::SystemConfig shared_no_asid = sat::ConfigByName("shared-ptp-tlb");
   shared_no_asid.asids_enabled = false;
   RunIpc(shared_no_asid, "   <- global entries survive even the flushes");
 

@@ -62,8 +62,8 @@ void InspectUnder(const sat::SystemConfig& config) {
 }  // namespace
 
 int main() {
-  InspectUnder(sat::SystemConfig::Stock());
-  InspectUnder(sat::SystemConfig::SharedPtpAndTlb());
+  InspectUnder(sat::ConfigByName("stock"));
+  InspectUnder(sat::ConfigByName("shared-ptp-tlb"));
   std::printf(
       "Rss is identical either way — physical sharing was never the\n"
       "problem (data PSS differs only because shared PTPs make the\n"

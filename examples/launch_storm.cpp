@@ -45,10 +45,10 @@ void RunStorm(const sat::SystemConfig& config) {
 }  // namespace
 
 int main() {
-  RunStorm(sat::SystemConfig::Stock());
-  RunStorm(sat::SystemConfig::SharedPtp());
-  RunStorm(sat::SystemConfig::Stock2Mb());
-  RunStorm(sat::SystemConfig::SharedPtp2Mb());
+  RunStorm(sat::ConfigByName("stock"));
+  RunStorm(sat::ConfigByName("shared-ptp"));
+  RunStorm(sat::ConfigByName("stock-2mb"));
+  RunStorm(sat::ConfigByName("shared-ptp-2mb"));
 
   std::printf(
       "Things to notice:\n"

@@ -45,8 +45,8 @@ int main() {
   std::printf("%6s %14s %14s %10s\n", "N apps", "stock (KB)", "shared (KB)",
               "saved");
   for (unsigned apps : {1u, 2u, 4u, 8u, 16u, 24u}) {
-    sat::System stock(sat::SystemConfig::Stock());
-    sat::System shared(sat::SystemConfig::SharedPtp());
+    sat::System stock(sat::ConfigByName("stock"));
+    sat::System shared(sat::ConfigByName("shared-ptp"));
     const uint64_t stock_kb = PageTableKb(stock, apps);
     const uint64_t shared_kb = PageTableKb(shared, apps);
     std::printf("%6u %14llu %14llu %9.0f%%\n", apps,

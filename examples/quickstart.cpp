@@ -14,7 +14,7 @@
 int main() {
   // 1. Pick a kernel configuration. Stock() is unmodified Android;
   //    SharedPtpAndTlb() enables both of the paper's mechanisms.
-  const sat::SystemConfig config = sat::SystemConfig::SharedPtpAndTlb();
+  const sat::SystemConfig config = sat::ConfigByName("shared-ptp-tlb");
 
   // 2. Boot. This creates init, forks and execs the zygote, preloads the
   //    88 shared objects, runs the zygote's boot work (populating ~5,900
@@ -28,8 +28,9 @@ int main() {
   // 3. Fork an application. No exec follows — the Android process model —
   //    so the child inherits the preloaded address space, and with shared
   //    PTPs it inherits the page tables themselves.
-  sat::Task* app = system.android().ForkApp("my_app");
-  const sat::ForkResult& fork = system.kernel().last_fork_result();
+  const sat::ForkOutcome outcome = system.android().ForkAppWithStats("my_app");
+  sat::Task* app = outcome.child;
+  const sat::ForkResult& fork = outcome.stats;
   std::printf("\nzygote fork:\n");
   std::printf("  cycles            : %.2f x10^6\n",
               static_cast<double>(fork.cycles) / 1e6);

@@ -99,8 +99,9 @@ Cli Parse(int argc, char** argv) {
 
 int RunFork(const Cli& cli) {
   sat::System system(cli.config);
-  sat::Task* app = system.android().ForkApp("cli_app");
-  const sat::ForkResult& fork = system.kernel().last_fork_result();
+  const sat::ForkOutcome outcome = system.android().ForkAppWithStats("cli_app");
+  sat::Task* app = outcome.child;
+  const sat::ForkResult& fork = outcome.stats;
   std::printf("%s\n", system.name().c_str());
   std::printf("zygote fork: %.2f Mcycles, %u PTPs allocated, %u shared, "
               "%u PTEs copied, %u write-protected\n",

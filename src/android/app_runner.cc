@@ -33,7 +33,7 @@ VirtAddr MapScattered(Kernel& kernel, Task& task, uint32_t pages, VmProt prot,
   request.file = file;
   request.fixed_address = *spot;
   request.name = name;
-  const VirtAddr at = kernel.Mmap(task, request);
+  const VirtAddr at = kernel.Mmap(task, request).value;
   SAT_CHECK(at == *spot || at == 0);
   return at;
 }

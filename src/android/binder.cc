@@ -71,7 +71,7 @@ void BinderBenchmark::BuildWorkingSets() {
     request.prot = VmProt::ReadWrite();
     request.kind = VmKind::kAnonPrivate;
     request.name = name;
-    const VirtAddr base = kernel.Mmap(task, request);
+    const VirtAddr base = kernel.Mmap(task, request).value;
     assert(base != 0);
     return base;
   };
@@ -88,7 +88,7 @@ BinderResult BinderBenchmark::Run() {
   // runtime for exactly this reason — it must exercise the preloaded
   // libbinder).
   server_ = system_->ForkApp("binder_service");
-  client_ = kernel.Fork(*server_, "binder_client");
+  client_ = kernel.Fork(*server_, "binder_client").child;
   BuildWorkingSets();
 
   const KernelCounters kernel_before = kernel.counters();

@@ -83,7 +83,7 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   file_request.kind = VmKind::kFilePrivate;
   file_request.file = app_file_;
   file_request.name = "helloworld:oat";
-  const VirtAddr private_base = kernel.Mmap(*app, file_request);
+  const VirtAddr private_base = kernel.Mmap(*app, file_request).value;
   SAT_CHECK(private_base != 0 && "launch mmap failed: out of physical memory");
 
   MmapRequest heap_request;
@@ -91,7 +91,7 @@ LaunchResult LaunchSimulator::LaunchOnce(uint32_t round) {
   heap_request.prot = VmProt::ReadWrite();
   heap_request.kind = VmKind::kAnonPrivate;
   heap_request.name = "helloworld:heap";
-  const VirtAddr heap_base = kernel.Mmap(*app, heap_request);
+  const VirtAddr heap_base = kernel.Mmap(*app, heap_request).value;
   SAT_CHECK(heap_base != 0 && "launch mmap failed: out of physical memory");
 
   // -------------------------------------------------------------------

@@ -30,7 +30,7 @@ void ZygoteSystem::Boot() {
   Kernel& kernel = *kernel_;
 
   init_ = kernel.CreateTask("init");
-  zygote_ = kernel.Fork(*init_, "zygote");
+  zygote_ = kernel.Fork(*init_, "zygote").child;
   kernel.Exec(*zygote_, "app_process(zygote)", /*is_zygote=*/true);
   kernel.SetCurrent(*zygote_);
 
@@ -46,7 +46,7 @@ void ZygoteSystem::Boot() {
   stack_request.fixed_address = kStackTop - 1024 * kPageSize;
   stack_request.is_stack = true;
   stack_request.name = "[stack]";
-  const VirtAddr stack_base = kernel.Mmap(*zygote_, stack_request);
+  const VirtAddr stack_base = kernel.Mmap(*zygote_, stack_request).value;
   for (uint32_t i = 0; i < params_.stack_pages; ++i) {
     kernel.TouchPage(*zygote_,
                      kStackTop - (i + 1) * kPageSize, AccessType::kWrite);
@@ -61,7 +61,7 @@ void ZygoteSystem::Boot() {
     anon_request.kind = VmKind::kAnonPrivate;
     anon_request.fixed_address = kAnonHeapBase + region * kPtpSpan;
     anon_request.name = "[anon:heap" + std::to_string(region) + "]";
-    const VirtAddr base = kernel.Mmap(*zygote_, anon_request);
+    const VirtAddr base = kernel.Mmap(*zygote_, anon_request).value;
     for (uint32_t page = 0; page < params_.anon_pages_per_region; ++page) {
       kernel.TouchPage(*zygote_, base + page * kPageSize, AccessType::kWrite);
     }
@@ -106,10 +106,14 @@ void ZygoteSystem::Boot() {
 
   // The system_server: the first zygote child, running Android's core
   // services (it is the peer of every app-launch IPC).
-  system_server_ = kernel.Fork(*zygote_, "system_server");
+  system_server_ = kernel.Fork(*zygote_, "system_server").child;
 }
 
 Task* ZygoteSystem::ForkApp(const std::string& name) {
+  return ForkAppWithStats(name).child;
+}
+
+ForkOutcome ZygoteSystem::ForkAppWithStats(const std::string& name) {
   return kernel_->Fork(*zygote_, name);
 }
 

@@ -57,8 +57,10 @@ class ZygoteSystem {
   Task* system_server() { return system_server_; }
 
   // Forks an application process from the zygote (no exec — the Android
-  // model). Fork statistics are available via kernel().last_fork_result().
+  // model). ForkApp keeps the child-or-nullptr convenience shape; use
+  // ForkAppWithStats when the per-fork statistics (Table 4) matter.
   Task* ForkApp(const std::string& name);
+  ForkOutcome ForkAppWithStats(const std::string& name);
 
   // Resolves a footprint page to its virtual address in the canonical
   // (zygote-inherited) layout. Only valid for zygote-preloaded libraries;

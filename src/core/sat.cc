@@ -1,6 +1,76 @@
 #include "src/core/sat.h"
 
+#include "src/arch/check.h"
+
 namespace sat {
+
+namespace {
+
+SystemConfig MakeConfig(bool share_ptps, bool share_tlb, bool two_mb,
+                        bool copy_ptes) {
+  SystemConfig config;
+  config.share_ptps = share_ptps;
+  config.share_tlb = share_tlb;
+  config.two_mb_alignment = two_mb;
+  config.copy_ptes_at_fork = copy_ptes;
+  return config;
+}
+
+}  // namespace
+
+const std::vector<NamedSystemConfig>& NamedConfigs() {
+  static const std::vector<NamedSystemConfig>* registry =
+      new std::vector<NamedSystemConfig>{
+          {"stock", MakeConfig(false, false, false, false)},
+          {"stock-2mb", MakeConfig(false, false, true, false)},
+          {"shared-ptp", MakeConfig(true, false, false, false)},
+          {"shared-ptp-2mb", MakeConfig(true, false, true, false)},
+          {"shared-ptp-tlb", MakeConfig(true, true, false, false)},
+          {"shared-ptp-tlb-2mb", MakeConfig(true, true, true, false)},
+          {"copied-ptes", MakeConfig(false, false, false, true)},
+      };
+  return *registry;
+}
+
+SystemConfig ConfigByName(std::string_view key) {
+  const std::optional<SystemConfig> config = TryConfigByName(key);
+  SAT_CHECK(config.has_value() && "unknown config key");
+  return *config;
+}
+
+std::optional<SystemConfig> TryConfigByName(std::string_view key) {
+  for (const NamedSystemConfig& entry : NamedConfigs()) {
+    if (entry.key == key) {
+      return entry.config;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string NamedConfigKeyList() {
+  std::string list;
+  for (const NamedSystemConfig& entry : NamedConfigs()) {
+    if (!list.empty()) {
+      list += ", ";
+    }
+    list += entry.key;
+  }
+  return list;
+}
+
+SystemConfig SystemConfig::Stock() { return ConfigByName("stock"); }
+SystemConfig SystemConfig::SharedPtp() { return ConfigByName("shared-ptp"); }
+SystemConfig SystemConfig::SharedPtpAndTlb() {
+  return ConfigByName("shared-ptp-tlb");
+}
+SystemConfig SystemConfig::Stock2Mb() { return ConfigByName("stock-2mb"); }
+SystemConfig SystemConfig::SharedPtp2Mb() {
+  return ConfigByName("shared-ptp-2mb");
+}
+SystemConfig SystemConfig::SharedPtpAndTlb2Mb() {
+  return ConfigByName("shared-ptp-tlb-2mb");
+}
+SystemConfig SystemConfig::CopiedPtes() { return ConfigByName("copied-ptes"); }
 
 std::string SystemConfig::Name() const {
   std::string name;

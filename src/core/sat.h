@@ -1,7 +1,7 @@
 // The public entry point of libsat: one header, one config struct, one
 // System class.
 //
-//   sat::SystemConfig config = sat::SystemConfig::SharedPtpAndTlb2Mb();
+//   sat::SystemConfig config = sat::ConfigByName("shared-ptp-tlb-2mb");
 //   sat::System system(config);
 //   sat::AppRunner runner(&system.android());
 //   auto stats = runner.Run(footprint);
@@ -16,7 +16,10 @@
 #define SRC_CORE_SAT_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/android/app_runner.h"
 #include "src/android/binder.h"
@@ -84,53 +87,52 @@ struct SystemConfig {
 
   std::string Name() const;
 
-  // -----------------------------------------------------------------
-  // The named configurations used throughout the evaluation.
-  // -----------------------------------------------------------------
-  static SystemConfig Stock() { return SystemConfig{}; }
-
-  static SystemConfig SharedPtp() {
-    SystemConfig config;
-    config.share_ptps = true;
-    return config;
-  }
-
-  static SystemConfig SharedPtpAndTlb() {
-    SystemConfig config;
-    config.share_ptps = true;
-    config.share_tlb = true;
-    return config;
-  }
-
-  static SystemConfig Stock2Mb() {
-    SystemConfig config;
-    config.two_mb_alignment = true;
-    return config;
-  }
-
-  static SystemConfig SharedPtp2Mb() {
-    SystemConfig config;
-    config.share_ptps = true;
-    config.two_mb_alignment = true;
-    return config;
-  }
-
-  static SystemConfig SharedPtpAndTlb2Mb() {
-    SystemConfig config;
-    config.share_ptps = true;
-    config.share_tlb = true;
-    config.two_mb_alignment = true;
-    return config;
-  }
-
-  static SystemConfig CopiedPtes() {
-    SystemConfig config;
-    config.copy_ptes_at_fork = true;
-    return config;
-  }
+  // Deprecated pre-registry named constructors (one PR): use
+  // sat::ConfigByName("<key>") / sat::NamedConfigs() instead.
+  [[deprecated("use ConfigByName(\"stock\")")]]
+  static SystemConfig Stock();
+  [[deprecated("use ConfigByName(\"shared-ptp\")")]]
+  static SystemConfig SharedPtp();
+  [[deprecated("use ConfigByName(\"shared-ptp-tlb\")")]]
+  static SystemConfig SharedPtpAndTlb();
+  [[deprecated("use ConfigByName(\"stock-2mb\")")]]
+  static SystemConfig Stock2Mb();
+  [[deprecated("use ConfigByName(\"shared-ptp-2mb\")")]]
+  static SystemConfig SharedPtp2Mb();
+  [[deprecated("use ConfigByName(\"shared-ptp-tlb-2mb\")")]]
+  static SystemConfig SharedPtpAndTlb2Mb();
+  [[deprecated("use ConfigByName(\"copied-ptes\")")]]
+  static SystemConfig CopiedPtes();
 
   ZygoteParams ToZygoteParams() const;
 };
+
+// -----------------------------------------------------------------
+// The registry of named configurations used throughout the evaluation.
+// -----------------------------------------------------------------
+
+// One registry entry: the stable machine-friendly key (usable as a
+// --config=<key> flag value and in filenames) plus the configuration.
+struct NamedSystemConfig {
+  std::string_view key;
+  SystemConfig config;
+};
+
+// Every named configuration, in the paper's canonical presentation order
+// (stock first, the full shared design last, the Table-4 comparison
+// kernel after that). Benches, tests, and --config flags all derive
+// their config lists from this one table.
+const std::vector<NamedSystemConfig>& NamedConfigs();
+
+// Looks up a registry key; dies on an unknown key (call sites pass
+// compile-time constants). For user input use TryConfigByName.
+SystemConfig ConfigByName(std::string_view key);
+
+// Flag-parsing variant: nullopt on an unknown key.
+std::optional<SystemConfig> TryConfigByName(std::string_view key);
+
+// "stock, stock-2mb, ..." — for --help text and error messages.
+std::string NamedConfigKeyList();
 
 class System {
  public:

@@ -1,0 +1,104 @@
+#include "src/driver/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sat {
+
+uint32_t HardwareJobs() {
+  const uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view job_name) {
+  // FNV-1a over the name, seeded by folding in the base seed first, so
+  // different --seed values give fully decorrelated per-job streams.
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](uint64_t byte) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  };
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix((base_seed >> shift) & 0xff);
+  }
+  for (const char c : job_name) {
+    mix(static_cast<unsigned char>(c));
+  }
+  // Seed 0 is legal but some generators treat it specially; avoid it.
+  return hash == 0 ? 1 : hash;
+}
+
+WorkerPool::WorkerPool(uint32_t jobs) {
+  const uint32_t count = std::max(1u, jobs);
+  workers_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    in_flight_++;
+  }
+  work_available_.notify_one();
+}
+
+void WorkerPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_--;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void RunJobs(std::vector<std::function<void()>> work, uint32_t jobs) {
+  if (jobs <= 1 || work.size() <= 1) {
+    for (std::function<void()>& task : work) {
+      task();
+    }
+    return;
+  }
+  WorkerPool pool(std::min<uint32_t>(jobs,
+                                     static_cast<uint32_t>(work.size())));
+  for (std::function<void()>& task : work) {
+    pool.Submit(std::move(task));
+  }
+  pool.Wait();
+}
+
+}  // namespace sat

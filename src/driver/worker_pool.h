@@ -1,0 +1,71 @@
+// The experiment driver's worker pool: a fixed-size pool of host threads
+// running independent simulation jobs concurrently.
+//
+// Each job is fully self-contained (one simulated System per job, no
+// shared mutable state), so parallelism is free of simulation-level
+// races by construction: a job writes only its own result slot, and the
+// caller reads the slots back in submission order. The output of a
+// parallel run is therefore bit-identical to a serial run of the same
+// job list — the determinism contract of DESIGN.md section 5f.
+
+#ifndef SRC_DRIVER_WORKER_POOL_H_
+#define SRC_DRIVER_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace sat {
+
+// The default worker count: the host's hardware concurrency (at least 1).
+uint32_t HardwareJobs();
+
+// Deterministic per-job seed: folds `job_name` into `base_seed` with
+// FNV-1a, so every named configuration gets a distinct, reproducible
+// seed that does not depend on submission order, worker count, or
+// scheduling. Used by the bench harness when an explicit --seed is given.
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view job_name);
+
+// A fixed-size pool. Submit() enqueues a task; Wait() blocks until every
+// submitted task has finished. With `jobs` == 1 the pool still runs its
+// single worker thread — callers wanting strictly in-process execution
+// (e.g. under a debugger) use RunJobs below, which inlines that case.
+class WorkerPool {
+ public:
+  explicit WorkerPool(uint32_t jobs);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  void Wait();
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  uint32_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs every element of `work` on a pool of `jobs` workers and returns
+// when all are done. Jobs must be independent: each writes only its own
+// output slot. With `jobs` <= 1 the work runs inline on the calling
+// thread, in order — the serial baseline the parallel runs must match.
+void RunJobs(std::vector<std::function<void()>> work, uint32_t jobs);
+
+}  // namespace sat
+
+#endif  // SRC_DRIVER_WORKER_POOL_H_

@@ -57,7 +57,7 @@ MappedLibrary DynamicLoader::MapLibrary(Task& task, LibraryId lib,
   code_request.file_page_offset = 0;
   code_request.fixed_address = mapped.code_base;
   code_request.name = image.name + ":code";
-  const VirtAddr code_at = kernel_->Mmap(task, code_request);
+  const VirtAddr code_at = kernel_->Mmap(task, code_request).value;
   assert(code_at == mapped.code_base);
   (void)code_at;
 
@@ -70,7 +70,7 @@ MappedLibrary DynamicLoader::MapLibrary(Task& task, LibraryId lib,
     data_request.file_page_offset = image.code_pages;  // data follows code
     data_request.fixed_address = mapped.data_base;
     data_request.name = image.name + ":data";
-    const VirtAddr data_at = kernel_->Mmap(task, data_request);
+    const VirtAddr data_at = kernel_->Mmap(task, data_request).value;
     assert(data_at == mapped.data_base);
     (void)data_at;
   }

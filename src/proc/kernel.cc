@@ -20,6 +20,22 @@ constexpr uint32_t kSwapOutBatch = 64;
 
 }  // namespace
 
+const char* ErrnoName(Errno error) {
+  switch (error) {
+    case Errno::kOk:
+      return "OK";
+    case Errno::kEnomem:
+      return "ENOMEM";
+    case Errno::kEfault:
+      return "EFAULT";
+    case Errno::kEinval:
+      return "EINVAL";
+    case Errno::kKilled:
+      return "KILLED";
+  }
+  return "?";
+}
+
 Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   tracer_ = std::make_unique<Tracer>(params.trace);
   fault_injector_ =
@@ -134,9 +150,10 @@ Task* Kernel::CreateTask(const std::string& name) {
   return raw;
 }
 
-Task* Kernel::Fork(Task& parent, const std::string& name) {
+ForkOutcome Kernel::Fork(Task& parent, const std::string& name) {
   assert(parent.mm != nullptr);
   TraceSpan span(tracer_.get(), TraceEventType::kFork, parent.pid);
+  ForkOutcome outcome;
   Task* child = CreateTask(name);
 
   // Section 3.2.2: children of the zygote get the zygote-child flag and
@@ -149,9 +166,8 @@ Task* Kernel::Fork(Task& parent, const std::string& name) {
   }
 
   while (true) {
-    last_fork_result_ =
-        vm_->Fork(*parent.mm, *child->mm, FlushFnFor(parent));
-    if (last_fork_result_.ok) {
+    outcome.stats = vm_->Fork(*parent.mm, *child->mm, FlushFnFor(parent));
+    if (outcome.stats.ok) {
       break;
     }
     // ENOMEM mid-copy: tear the partial child address space down (regions,
@@ -169,16 +185,18 @@ Task* Kernel::Fork(Task& parent, const std::string& name) {
       next_pid_--;
       next_asid_--;
       span.set_args(0, 0);
-      return nullptr;
+      outcome.error = Errno::kEnomem;
+      return outcome;
     }
   }
   machine_->core(parent.last_core)
-      .RunKernelPath(KernelPath::kFork, last_fork_result_.cycles,
+      .RunKernelPath(KernelPath::kFork, outcome.stats.cycles,
                      /*text_lines=*/180);
-  span.set_args(child->pid, last_fork_result_.ptes_copied);
-  span.set_duration(last_fork_result_.cycles);
+  span.set_args(child->pid, outcome.stats.ptes_copied);
+  span.set_duration(outcome.stats.cycles);
   RunKswapdIfNeeded();
-  return child;
+  outcome.child = child;
+  return outcome;
 }
 
 void Kernel::Exec(Task& task, const std::string& name, bool is_zygote) {
@@ -211,7 +229,11 @@ void Kernel::Exit(Task& task) {
   }
 }
 
-VirtAddr Kernel::Mmap(Task& task, MmapRequest request) {
+SyscallResult<VirtAddr> Kernel::Mmap(Task& task, MmapRequest request) {
+  if (request.length == 0 || !IsPageAligned(request.length) ||
+      !IsPageAligned(request.fixed_address)) {
+    return SyscallResult<VirtAddr>::Err(Errno::kEinval);
+  }
   // Section 3.2.2's global-region policy: the zygote mapping shared
   // library code marks the region global (only meaningful when TLB
   // sharing is on; the bit is still recorded so experiments can observe
@@ -225,19 +247,29 @@ VirtAddr Kernel::Mmap(Task& task, MmapRequest request) {
   while (true) {
     bool oom = false;
     const VirtAddr addr = vm_->Mmap(*task.mm, request, FlushFnFor(task), &oom);
-    if (addr != 0 || !oom) {
-      if (addr != 0) {
-        RunKswapdIfNeeded();
-      }
-      return addr;
+    if (addr != 0) {
+      RunKswapdIfNeeded();
+      return SyscallResult<VirtAddr>::Ok(addr);
+    }
+    if (!oom) {
+      // No free range in the address space.
+      return SyscallResult<VirtAddr>::Err(Errno::kEnomem);
     }
     if (!RelieveMemoryPressure(&task)) {
-      return 0;  // ENOMEM with nothing left to free
+      // ENOMEM with nothing left to free.
+      return SyscallResult<VirtAddr>::Err(Errno::kEnomem);
     }
   }
 }
 
-void Kernel::Munmap(Task& task, VirtAddr start, uint32_t length) {
+SyscallResult<void> Kernel::Munmap(Task& task, VirtAddr start,
+                                   uint32_t length) {
+  if (length == 0 || !IsPageAligned(start) || !IsPageAligned(length)) {
+    return SyscallResult<void>::Err(Errno::kEinval);
+  }
+  if (task.mm->VmasOverlapping(start, start + length).empty()) {
+    return SyscallResult<void>::Err(Errno::kEfault);
+  }
   while (true) {
     bool oom = false;
     vm_->Munmap(*task.mm, start, length, FlushFnFor(task), &oom);
@@ -248,13 +280,21 @@ void Kernel::Munmap(Task& task, VirtAddr start, uint32_t length) {
       // Nothing left to free and the unmap's unshare step cannot proceed:
       // the caller is the last resort (its teardown completes the unmap).
       OomKill(task);
-      return;
+      return SyscallResult<void>::Err(Errno::kKilled);
     }
   }
   FlushRange(task, start, start + length);
+  return SyscallResult<void>::Ok();
 }
 
-void Kernel::Mprotect(Task& task, VirtAddr start, uint32_t length, VmProt prot) {
+SyscallResult<void> Kernel::Mprotect(Task& task, VirtAddr start,
+                                     uint32_t length, VmProt prot) {
+  if (length == 0 || !IsPageAligned(start) || !IsPageAligned(length)) {
+    return SyscallResult<void>::Err(Errno::kEinval);
+  }
+  if (task.mm->VmasOverlapping(start, start + length).empty()) {
+    return SyscallResult<void>::Err(Errno::kEfault);
+  }
   while (true) {
     bool oom = false;
     vm_->Mprotect(*task.mm, start, length, prot, FlushFnFor(task), &oom);
@@ -263,10 +303,11 @@ void Kernel::Mprotect(Task& task, VirtAddr start, uint32_t length, VmProt prot) 
     }
     if (!RelieveMemoryPressure(&task)) {
       OomKill(task);
-      return;
+      return SyscallResult<void>::Err(Errno::kKilled);
     }
   }
   FlushRange(task, start, start + length);
+  return SyscallResult<void>::Ok();
 }
 
 TouchStatus Kernel::TouchPageStatus(Task& task, VirtAddr va,

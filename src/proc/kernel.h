@@ -28,6 +28,7 @@
 #include "src/pt/ptp.h"
 #include "src/stats/cost_model.h"
 #include "src/stats/counters.h"
+#include "src/proc/syscall.h"
 #include "src/proc/task.h"
 #include "src/trace/trace.h"
 #include "src/vm/audit.h"
@@ -80,11 +81,19 @@ class Kernel {
   // Forks `parent`. Copies the address space under the configured kernel
   // (stock / copied-PTEs / shared-PTPs), propagates the zygote-child flag
   // and DACR, assigns a fresh ASID, and charges the modelled fork cost to
-  // the core. Returns the child, or nullptr on ENOMEM — after direct
-  // reclaim and OOM-kills (never of the parent) have failed to free
-  // enough memory. On failure every piece of partially-built child state
+  // the core. The outcome carries the child and the per-fork statistics
+  // (Table 4's cycles/PTPs/PTEs); on kEnomem — after direct reclaim and
+  // OOM-kills (never of the parent) have failed to free enough memory —
+  // `child` is nullptr and every piece of partially-built child state
   // (task slot, pid, ASID, page tables, frame references) is rolled back.
-  Task* Fork(Task& parent, const std::string& name);
+  ForkOutcome Fork(Task& parent, const std::string& name);
+
+  // Deprecated pre-errno shim (one PR): the child-or-nullptr convention,
+  // discarding the per-fork statistics.
+  [[deprecated("use Fork(), which returns ForkOutcome")]]
+  Task* ForkLegacy(Task& parent, const std::string& name) {
+    return Fork(parent, name).child;
+  }
 
   // Replaces the task's address space (execve). `is_zygote` sets the
   // zygote flag and grants the zygote-domain DACR (Section 3.2.2).
@@ -94,9 +103,6 @@ class Kernel {
   // (performing the unshare-at-free logic, Section 3.1.2 case 5).
   void Exit(Task& task);
 
-  // The result of the last Fork (Table 4's per-fork statistics).
-  const ForkResult& last_fork_result() const { return last_fork_result_; }
-
   // -------------------------------------------------------------------------
   // The mmap family.
   // -------------------------------------------------------------------------
@@ -104,12 +110,34 @@ class Kernel {
   // The kernel-side global-region policy rides on mmap (Section 3.2.2): a
   // file-backed executable mapping created by a task with the zygote flag
   // is marked global (when TLB sharing is configured). Under memory
-  // pressure the kernel reclaims / OOM-kills (never `task`) and retries;
-  // Mmap returns 0 if memory stays exhausted. Munmap/Mprotect OOM-kill
-  // the caller as the very last resort (check task.alive afterwards).
-  VirtAddr Mmap(Task& task, MmapRequest request);
-  void Munmap(Task& task, VirtAddr start, uint32_t length);
-  void Mprotect(Task& task, VirtAddr start, uint32_t length, VmProt prot);
+  // pressure the kernel reclaims / OOM-kills (never `task`) and retries.
+  //
+  // Errnos: Mmap — kEinval (zero-length or unaligned request), kEnomem
+  // (no free range, or memory exhausted even after reclaim). Munmap —
+  // kEinval (unaligned/zero range), kEfault (the range touches no
+  // mapping), kKilled (the unmap's unshare step could not allocate and
+  // the caller was OOM-killed as the very last resort). Mprotect — like
+  // Munmap.
+  SyscallResult<VirtAddr> Mmap(Task& task, MmapRequest request);
+  SyscallResult<void> Munmap(Task& task, VirtAddr start, uint32_t length);
+  SyscallResult<void> Mprotect(Task& task, VirtAddr start, uint32_t length,
+                               VmProt prot);
+
+  // Deprecated pre-errno shims (one PR): the 0-on-failure / silent-kill
+  // conventions. Check task.alive after the void ones.
+  [[deprecated("use Mmap(), which returns SyscallResult<VirtAddr>")]]
+  VirtAddr MmapLegacy(Task& task, MmapRequest request) {
+    return Mmap(task, std::move(request)).value;
+  }
+  [[deprecated("use Munmap(), which returns SyscallResult<void>")]]
+  void MunmapLegacy(Task& task, VirtAddr start, uint32_t length) {
+    Munmap(task, start, length);
+  }
+  [[deprecated("use Mprotect(), which returns SyscallResult<void>")]]
+  void MprotectLegacy(Task& task, VirtAddr start, uint32_t length,
+                      VmProt prot) {
+    Mprotect(task, start, length, prot);
+  }
 
   // -------------------------------------------------------------------------
   // Memory access.
@@ -233,7 +261,6 @@ class Kernel {
   std::vector<Task*> current_;
   Pid next_pid_ = 1;
   uint32_t next_asid_ = 1;
-  ForkResult last_fork_result_;
   // kswapd state: watermarks in frames, plus a reentrancy guard (the
   // reclaim work kswapd runs must not wake kswapd again).
   uint32_t kswapd_low_watermark_ = 0;

@@ -67,18 +67,15 @@ TEST(ZygoteTest, Table4ForkShape) {
   // The zygote fork under the three kernels (Table 4): sharing is fastest
   // and allocates only the stack PTP; copying PTEs is slowest.
   ZygoteSystem shared(Params(true));
-  shared.ForkApp("a");
-  const ForkResult shared_fork = shared.kernel().last_fork_result();
+  const ForkResult shared_fork = shared.ForkAppWithStats("a").stats;
 
   ZygoteSystem stock(Params(false));
-  stock.ForkApp("a");
-  const ForkResult stock_fork = stock.kernel().last_fork_result();
+  const ForkResult stock_fork = stock.ForkAppWithStats("a").stats;
 
   ZygoteParams copied_params = Params(false);
   copied_params.kernel.vm.copy_zygote_code_ptes_at_fork = true;
   ZygoteSystem copied(copied_params);
-  copied.ForkApp("a");
-  const ForkResult copied_fork = copied.kernel().last_fork_result();
+  const ForkResult copied_fork = copied.ForkAppWithStats("a").stats;
 
   EXPECT_EQ(shared_fork.child_ptps_allocated, 1u);  // just the stack
   EXPECT_LE(shared_fork.ptes_copied, 10u);

@@ -28,7 +28,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(AuditTest, FreshBootedSystemAuditsClean) {
-  System system(SystemConfig::SharedPtpAndTlb2Mb());
+  System system(ConfigByName("shared-ptp-tlb-2mb"));
   const AuditReport report = system.kernel().AuditInvariants();
   EXPECT_TRUE(report.ok()) << report.ToString();
   EXPECT_GT(report.checks, 1000u);  // it really looked at things
@@ -37,7 +37,7 @@ TEST(AuditTest, FreshBootedSystemAuditsClean) {
 TEST(AuditTest, CycleLevelRunAuditsClean) {
   // Drive the full pipeline so the TLBs hold live entries (global and
   // per-ASID, small and large pages) when the audit runs.
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
   config.large_pages_for_code = true;
   System system(config);
   Kernel& kernel = system.kernel();
@@ -68,7 +68,7 @@ TEST(AuditTest, DetectsRefcountCorruption) {
   request.length = 4 * kPageSize;
   request.prot = VmProt::ReadWrite();
   request.kind = VmKind::kAnonPrivate;
-  const VirtAddr at = kernel.Mmap(*task, request);
+  const VirtAddr at = kernel.Mmap(*task, request).value;
   ASSERT_NE(at, 0u);
   ASSERT_TRUE(kernel.TouchPage(*task, at, AccessType::kWrite));
   ASSERT_TRUE(kernel.AuditInvariants().ok());
@@ -160,7 +160,7 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
           request.file = static_cast<FileId>(rng() % 8);
           request.file_page_offset = static_cast<uint32_t>(rng() % 32);
         }
-        const VirtAddr at = kernel.Mmap(*task, request);
+        const VirtAddr at = kernel.Mmap(*task, request).value;
         if (at != 0 && task->alive) {
           regions[task].push_back({at, pages});
         }
@@ -219,7 +219,7 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
         if (live.size() >= 10) {
           break;
         }
-        Task* child = kernel.Fork(*task, "child");
+        Task* child = kernel.Fork(*task, "child").child;
         if (child != nullptr) {
           live.push_back(child);
           regions[child] = regions[task];

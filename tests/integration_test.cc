@@ -10,21 +10,21 @@ namespace sat {
 namespace {
 
 TEST(SystemTest, ConfigNamesAreDescriptive) {
-  EXPECT_EQ(SystemConfig::Stock().Name(), "Stock Android");
-  EXPECT_EQ(SystemConfig::SharedPtp().Name(), "Shared PTP");
-  EXPECT_EQ(SystemConfig::SharedPtpAndTlb2Mb().Name(), "Shared PTP & TLB - 2MB");
-  EXPECT_EQ(SystemConfig::CopiedPtes().Name(), "Copied PTEs");
-  SystemConfig no_asid = SystemConfig::Stock();
+  EXPECT_EQ(ConfigByName("stock").Name(), "Stock Android");
+  EXPECT_EQ(ConfigByName("shared-ptp").Name(), "Shared PTP");
+  EXPECT_EQ(ConfigByName("shared-ptp-tlb-2mb").Name(), "Shared PTP & TLB - 2MB");
+  EXPECT_EQ(ConfigByName("copied-ptes").Name(), "Copied PTEs");
+  SystemConfig no_asid = ConfigByName("stock");
   no_asid.asids_enabled = false;
   EXPECT_EQ(no_asid.Name(), "Stock Android (no ASID)");
 }
 
 TEST(SystemTest, AllNamedConfigsBoot) {
   for (const SystemConfig& config :
-       {SystemConfig::Stock(), SystemConfig::SharedPtp(),
-        SystemConfig::SharedPtpAndTlb(), SystemConfig::Stock2Mb(),
-        SystemConfig::SharedPtp2Mb(), SystemConfig::SharedPtpAndTlb2Mb(),
-        SystemConfig::CopiedPtes()}) {
+       {ConfigByName("stock"), ConfigByName("shared-ptp"),
+        ConfigByName("shared-ptp-tlb"), ConfigByName("stock-2mb"),
+        ConfigByName("shared-ptp-2mb"), ConfigByName("shared-ptp-tlb-2mb"),
+        ConfigByName("copied-ptes")}) {
     System system(config);
     EXPECT_NE(system.android().zygote(), nullptr) << config.Name();
     EXPECT_EQ(system.loader().zygote_layout().size(), 88u) << config.Name();
@@ -37,7 +37,7 @@ TEST(SystemTest, IdenticalTranslationsAcrossAppsUnderSharing) {
   // The paper's foundational observation: translations of preloaded code
   // are identical across apps. With shared PTPs they are not merely
   // identical — they are the same physical PTEs.
-  System system(SystemConfig::SharedPtp());
+  System system(ConfigByName("shared-ptp"));
   Task* a = system.android().ForkApp("a");
   Task* b = system.android().ForkApp("b");
   const AppFootprint& boot = system.android().zygote_boot_footprint();
@@ -57,7 +57,7 @@ TEST(SystemTest, IdenticalTranslationsAcrossAppsUnderSharing) {
 }
 
 TEST(SystemTest, StockAppsHavePrivateTablesButSharedFrames) {
-  System system(SystemConfig::Stock());
+  System system(ConfigByName("stock"));
   Kernel& kernel = system.kernel();
   Task* a = system.android().ForkApp("a");
   Task* b = system.android().ForkApp("b");
@@ -75,7 +75,7 @@ TEST(SystemTest, StockAppsHavePrivateTablesButSharedFrames) {
 TEST(SystemTest, ManyAppLifecyclesBalanceResources) {
   // Fork/run/exit 12 apps under sharing; afterwards the machine is back
   // to its post-boot resource footprint.
-  System system(SystemConfig::SharedPtp2Mb());
+  System system(ConfigByName("shared-ptp-2mb"));
   Kernel& kernel = system.kernel();
   const uint64_t frames_baseline = kernel.phys().used_frames();
   const uint64_t ptps_baseline = kernel.ptp_allocator().live_ptps();
@@ -92,7 +92,7 @@ TEST(SystemTest, ManyAppLifecyclesBalanceResources) {
   EXPECT_EQ(kernel.ptp_allocator().live_ptps(), ptps_baseline);
   // Frames: only page-cache growth (new libraries read) may remain above
   // the baseline — no anonymous-memory leak across app lifecycles.
-  System fresh(SystemConfig::SharedPtp2Mb());
+  System fresh(ConfigByName("shared-ptp-2mb"));
   EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kAnon),
             fresh.kernel().phys().CountFrames(FrameKind::kAnon));
   EXPECT_GE(kernel.phys().used_frames(), frames_baseline);
@@ -106,7 +106,7 @@ TEST(SystemTest, ManyAppLifecyclesBalanceResources) {
 TEST(SystemTest, ConcurrentAppsShareUnsharedIndependently) {
   // Two live apps diverge independently: one writes library data (and
   // unshares), the other keeps sharing.
-  System system(SystemConfig::SharedPtp());
+  System system(ConfigByName("shared-ptp"));
   Kernel& kernel = system.kernel();
   Task* writer = system.android().ForkApp("writer");
   Task* reader = system.android().ForkApp("reader");
@@ -141,7 +141,7 @@ TEST(SystemTest, CycleSimAndTouchReplayAgreeOnFaultCounts) {
   // The two drive modes must produce the same page-fault arithmetic for
   // the same access pattern.
   auto faults_via = [](bool cycle_sim) {
-    System system(SystemConfig::SharedPtp());
+    System system(ConfigByName("shared-ptp"));
     Kernel& kernel = system.kernel();
     Task* app = system.android().ForkApp("app");
     const LibraryImage* libskia =
@@ -166,7 +166,7 @@ TEST(SystemTest, CycleSimAndTouchReplayAgreeOnFaultCounts) {
 TEST(SystemTest, DomainIsolationAcrossTheWholeStack) {
   // A non-zygote daemon running on the same core as zygote apps never
   // consumes their global TLB entries — end-to-end.
-  System system(SystemConfig::SharedPtpAndTlb());
+  System system(ConfigByName("shared-ptp-tlb"));
   Kernel& kernel = system.kernel();
   Task* app = system.android().ForkApp("app");
   Task* daemon = kernel.CreateTask("daemon");
@@ -207,7 +207,7 @@ TEST(SystemTest, LargePageMappingsWorkEndToEnd) {
   // The complement experiment: a 64 KB large-page mapping flows from mmap
   // through the fault handler (16 replicated PTEs over 16 contiguous
   // frames) and occupies a single TLB entry.
-  System system(SystemConfig::Stock());
+  System system(ConfigByName("stock"));
   Kernel& kernel = system.kernel();
   Task* task = kernel.CreateTask("large");
   MmapRequest request;

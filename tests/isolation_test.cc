@@ -14,7 +14,7 @@ namespace {
 // hazard scenario of Section 3.2.3.
 struct HazardRig {
   explicit HazardRig(IsolationModel isolation) {
-    SystemConfig config = SystemConfig::SharedPtpAndTlb();
+    SystemConfig config = ConfigByName("shared-ptp-tlb");
     config.isolation = isolation;
     system = std::make_unique<System>(config);
     Kernel& kernel = system->kernel();
@@ -80,7 +80,7 @@ TEST(IsolationTest, MpkDataOnlyLeaksInstructionTranslations) {
 TEST(IsolationTest, MpkStillProtectsDataAccesses) {
   // Loads/stores are checked: a daemon data access to a zygote-domain
   // global entry takes the (pkey) fault path and lands on its own page.
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
   config.isolation = IsolationModel::kMpkDataOnly;
   System system(config);
   Kernel& kernel = system.kernel();
@@ -128,7 +128,7 @@ TEST(IsolationTest, FlushOnSwitchIsSoundButDropsGlobals) {
 }
 
 TEST(IsolationTest, FlushOnSwitchSparesGlobalsBetweenGroupMembers) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
   config.isolation = IsolationModel::kFlushOnSwitch;
   System system(config);
   Kernel& kernel = system.kernel();
@@ -147,7 +147,7 @@ TEST(IsolationTest, FlushOnSwitchSparesGlobalsBetweenGroupMembers) {
 }
 
 TEST(IsolationTest, ConfigNamesIncludeTheModel) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
   config.isolation = IsolationModel::kMpkDataOnly;
   EXPECT_EQ(config.Name(), "Shared PTP & TLB [MPK (data-only)]");
   config.isolation = IsolationModel::kFlushOnSwitch;

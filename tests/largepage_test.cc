@@ -214,7 +214,7 @@ TEST_F(LargePageVmTest, ExitBalancesBlockFrameReferences) {
 // ---------------------------------------------------------------------------
 
 TEST(LargePageSystemTest, BootsAndServesFetchesWithFewTlbEntries) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
   config.large_pages_for_code = true;
   config.phys_bytes = 1024ull * 1024 * 1024;
   System system(config);
@@ -238,7 +238,7 @@ TEST(LargePageSystemTest, BootsAndServesFetchesWithFewTlbEntries) {
 }
 
 TEST(LargePageSystemTest, AppLifecyclesBalanceWithLargePages) {
-  SystemConfig config = SystemConfig::SharedPtp2Mb();
+  SystemConfig config = ConfigByName("shared-ptp-2mb");
   config.large_pages_for_code = true;
   config.phys_bytes = 1024ull * 1024 * 1024;
   System system(config);

@@ -182,7 +182,7 @@ TEST_F(LoaderTest, TwoMbPolicyComposesWithLargeCodePages) {
 TEST_F(LoaderTest, AppLibraryWindowIsSeparate) {
   DynamicLoader loader(kernel_.get(), &catalog_, MappingPolicy::kOriginal);
   loader.PreloadAll(*zygote_);
-  Task* app = kernel_->Fork(*zygote_, "app");
+  Task* app = kernel_->Fork(*zygote_, "app").child;
   LibraryCatalog& catalog = catalog_;
   const LibraryId own = catalog.Register("own.so", CodeCategory::kOtherSharedLib,
                                          16, 4);

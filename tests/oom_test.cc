@@ -28,7 +28,7 @@ Task* MakeTouchedTask(Kernel& kernel, const std::string& name,
     request.prot = VmProt::ReadWrite();
     request.kind = VmKind::kAnonPrivate;
     request.fixed_address = base + r * kPtpSpan;
-    EXPECT_NE(kernel.Mmap(*task, request), 0u);
+    EXPECT_NE(kernel.Mmap(*task, request).value, 0u);
     for (uint32_t i = 0; i < pages; ++i) {
       EXPECT_TRUE(kernel.TouchPage(*task, request.fixed_address + i * kPageSize,
                                    AccessType::kWrite));
@@ -55,7 +55,9 @@ TEST(OomTest, ForkEnomemRollsBackCompletely) {
   // are immune, so the fork must fail and fully undo itself.
   kernel.fault_injector().SetRule(AllocSite::kPtp, FaultRule{0, 1, 0.0});
   kernel.fault_injector().SetRule(AllocSite::kFrame, FaultRule{0, 1, 0.0});
-  EXPECT_EQ(kernel.Fork(*parent, "child"), nullptr);
+  const ForkOutcome failed = kernel.Fork(*parent, "child");
+  EXPECT_EQ(failed.child, nullptr);
+  EXPECT_EQ(failed.error, Errno::kEnomem);
   EXPECT_EQ(kernel.counters().forks_failed, 1u);
 
   EXPECT_EQ(kernel.phys().used_frames(), frames_before);
@@ -67,7 +69,7 @@ TEST(OomTest, ForkEnomemRollsBackCompletely) {
   // With injection off the retry succeeds — and gets the pid and ASID the
   // failed attempt un-issued (nothing leaked from the id spaces either).
   kernel.fault_injector().Reset();
-  Task* child = kernel.Fork(*parent, "child");
+  Task* child = kernel.Fork(*parent, "child").child;
   ASSERT_NE(child, nullptr);
   EXPECT_EQ(child->pid, parent->pid + 1);
   EXPECT_EQ(child->asid, parent->asid + 1);
@@ -91,7 +93,7 @@ TEST(OomTest, ForkRollbackLeaksNothingAtAnyDepth) {
     kernel.fault_injector().Reset();
     kernel.fault_injector().SetRule(AllocSite::kPtp,
                                     FaultRule{depth, 0, 0.0});
-    Task* child = kernel.Fork(*parent, "child");
+    Task* child = kernel.Fork(*parent, "child").child;
     if (child == nullptr) {
       EXPECT_EQ(kernel.phys().used_frames(), frames_before)
           << "frames leaked at rollback depth " << depth;
@@ -130,7 +132,7 @@ TEST(OomTest, TouchDistinguishesSegvFromOomKill) {
   request.length = 3000 * kPageSize;  // > 2048 frames of an 8 MB machine
   request.prot = VmProt::ReadWrite();
   request.kind = VmKind::kAnonPrivate;
-  const VirtAddr base = kernel.Mmap(*task, request);
+  const VirtAddr base = kernel.Mmap(*task, request).value;
   ASSERT_NE(base, 0u);
 
   TouchStatus status = TouchStatus::kOk;
@@ -170,7 +172,7 @@ TEST(OomTest, OomKillerPrefersLargestRssAndSparesZygote) {
   request.prot = VmProt::ReadWrite();
   request.kind = VmKind::kAnonPrivate;
   request.fixed_address = 0x40000000;
-  ASSERT_NE(kernel.Mmap(*zygote, request), 0u);
+  ASSERT_NE(kernel.Mmap(*zygote, request).value, 0u);
   for (uint32_t i = 0; i < 64; ++i) {
     ASSERT_TRUE(kernel.TouchPage(*zygote, 0x40000000 + i * kPageSize,
                                  AccessType::kWrite));
@@ -209,7 +211,7 @@ TEST(OomTest, DirectReclaimRunsBeforeAnyKill) {
   request.prot = VmProt::ReadOnly();
   request.kind = VmKind::kFilePrivate;
   request.file = 7;
-  const VirtAddr base = kernel.Mmap(*reader, request);
+  const VirtAddr base = kernel.Mmap(*reader, request).value;
   ASSERT_NE(base, 0u);
   for (uint32_t i = 0; i < 300; ++i) {
     ASSERT_TRUE(
@@ -233,7 +235,7 @@ TEST(OomTest, DirectReclaimRunsBeforeAnyKill) {
 // ---------------------------------------------------------------------------
 
 TEST(OomTest, ForkBombOn32MbMachineTerminatesCleanly) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
   config.phys_bytes = 32ull * 1024 * 1024;
   System system(config);
   Kernel& kernel = system.kernel();
@@ -255,7 +257,7 @@ TEST(OomTest, ForkBombOn32MbMachineTerminatesCleanly) {
     request.length = 192 * kPageSize;
     request.prot = VmProt::ReadWrite();
     request.kind = VmKind::kAnonPrivate;
-    const VirtAddr base = kernel.Mmap(*child, request);
+    const VirtAddr base = kernel.Mmap(*child, request).value;
     if (base == 0 || !child->alive) {
       continue;
     }

@@ -58,9 +58,9 @@ TEST(KernelTest, ExecSetsZygoteFlagAndDomain) {
 TEST(KernelTest, ForkPropagatesZygoteChildFlag) {
   Kernel kernel{KernelParams{}};
   Task* init = kernel.CreateTask("init");
-  Task* zygote = kernel.Fork(*init, "zygote");
+  Task* zygote = kernel.Fork(*init, "zygote").child;
   kernel.Exec(*zygote, "app_process", true);
-  Task* app = kernel.Fork(*zygote, "app");
+  Task* app = kernel.Fork(*zygote, "app").child;
   EXPECT_TRUE(app->zygote_child);
   EXPECT_FALSE(app->zygote);
   EXPECT_TRUE(app->IsZygoteLike());
@@ -68,11 +68,11 @@ TEST(KernelTest, ForkPropagatesZygoteChildFlag) {
   EXPECT_EQ(app->mm->user_domain(), kDomainZygote);
 
   // Grandchildren keep the flag.
-  Task* grandchild = kernel.Fork(*app, "svc");
+  Task* grandchild = kernel.Fork(*app, "svc").child;
   EXPECT_TRUE(grandchild->zygote_child);
 
   // Children of plain processes do not acquire it.
-  Task* plain = kernel.Fork(*init, "daemon");
+  Task* plain = kernel.Fork(*init, "daemon").child;
   EXPECT_FALSE(plain->IsZygoteLike());
   EXPECT_EQ(plain->mm->user_domain(), kDomainUser);
 }
@@ -132,7 +132,7 @@ TEST(KernelTest, SharedForkThenTouchSharesSoftFaults) {
   kernel.Mmap(*zygote, CodeRequest(0x40000000, 8, 7));
   kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
 
-  Task* app = kernel.Fork(*zygote, "app");
+  Task* app = kernel.Fork(*zygote, "app").child;
   // The PTE populated by the zygote is inherited: no fault.
   const uint64_t faults = kernel.counters().faults_file_backed;
   EXPECT_TRUE(kernel.TouchPage(*app, 0x40000000, AccessType::kExecute));
@@ -140,7 +140,7 @@ TEST(KernelTest, SharedForkThenTouchSharesSoftFaults) {
 
   // A page the app faults in becomes visible to a *later* fork.
   kernel.TouchPage(*app, 0x40001000, AccessType::kExecute);
-  Task* app2 = kernel.Fork(*zygote, "app2");
+  Task* app2 = kernel.Fork(*zygote, "app2").child;
   const uint64_t faults2 = kernel.counters().faults_file_backed;
   EXPECT_TRUE(kernel.TouchPage(*app2, 0x40001000, AccessType::kExecute));
   EXPECT_EQ(kernel.counters().faults_file_backed, faults2);
@@ -154,7 +154,7 @@ TEST(KernelTest, ExitFreesSharedPtpsByRefcount) {
   kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
 
   const uint64_t live_before = kernel.ptp_allocator().live_ptps();
-  Task* app = kernel.Fork(*zygote, "app");
+  Task* app = kernel.Fork(*zygote, "app").child;
   EXPECT_EQ(kernel.ptp_allocator().live_ptps(), live_before);  // shared
   kernel.Exit(*app);
   EXPECT_EQ(kernel.ptp_allocator().live_ptps(), live_before);
@@ -170,8 +170,7 @@ TEST(KernelTest, LastForkResultExposesTable4Stats) {
   kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
   kernel.TouchPage(*zygote, 0xB0000000, AccessType::kWrite);
 
-  kernel.Fork(*zygote, "app");
-  const ForkResult& result = kernel.last_fork_result();
+  const ForkResult result = kernel.Fork(*zygote, "app").stats;
   EXPECT_EQ(result.slots_shared, 1u);           // the code slot
   EXPECT_EQ(result.ptes_copied, 1u);            // the stack page
   EXPECT_EQ(result.child_ptps_allocated, 1u);   // the stack PTP
@@ -208,13 +207,13 @@ TEST(SchedulerTest, GroupingReducesCrossGroupSwitches) {
   auto run = [](bool grouped) {
     Kernel kernel{KernelParams{}};
     Task* init = kernel.CreateTask("init");
-    Task* zygote = kernel.Fork(*init, "zygote");
+    Task* zygote = kernel.Fork(*init, "zygote").child;
     kernel.Exec(*zygote, "app_process", true);
     Scheduler scheduler(&kernel, grouped);
     // Two zygote-like apps and two plain daemons.
-    scheduler.AddTask(kernel.Fork(*zygote, "app1"));
+    scheduler.AddTask(kernel.Fork(*zygote, "app1").child);
     scheduler.AddTask(kernel.CreateTask("daemon1"));
-    scheduler.AddTask(kernel.Fork(*zygote, "app2"));
+    scheduler.AddTask(kernel.Fork(*zygote, "app2").child);
     scheduler.AddTask(kernel.CreateTask("daemon2"));
     for (int i = 0; i < 100; ++i) {
       scheduler.RunQuantum();

@@ -70,7 +70,7 @@ TEST_P(KernelFuzzTest, RandomOpsPreserveResourceBalance) {
           request.file = static_cast<FileId>(rng() % 8);
           request.file_page_offset = static_cast<uint32_t>(rng() % 32);
         }
-        const VirtAddr at = kernel.Mmap(*task, request);
+        const VirtAddr at = kernel.Mmap(*task, request).value;
         if (at != 0) {
           regions[task].push_back({at, pages});
         }
@@ -127,7 +127,7 @@ TEST_P(KernelFuzzTest, RandomOpsPreserveResourceBalance) {
         if (live.size() >= 12) {
           break;
         }
-        Task* child = kernel.Fork(*task, "child");
+        Task* child = kernel.Fork(*task, "child").child;
         if (child != nullptr) {
           live.push_back(child);
           regions[child] = regions[task];  // inherited regions
@@ -233,8 +233,8 @@ TEST_P(TranslationEquivalenceTest, SharingNeverChangesTranslations) {
     return out;
   };
 
-  const auto stock = translations(SystemConfig::Stock());
-  const auto shared = translations(SystemConfig::SharedPtpAndTlb());
+  const auto stock = translations(ConfigByName("stock"));
+  const auto shared = translations(ConfigByName("shared-ptp-tlb"));
   EXPECT_EQ(stock, shared);
   EXPECT_FALSE(stock.empty());
 }
@@ -265,9 +265,9 @@ TEST_P(FaultDominanceTest, SharedKernelNeverFaultsMore) {
         system.workload().Generate(AppProfile::Named(app_name));
     return runner.Run(fp).file_faults;
   };
-  EXPECT_LE(faults(SystemConfig::SharedPtp()), faults(SystemConfig::Stock()));
-  EXPECT_LE(faults(SystemConfig::SharedPtp2Mb()),
-            faults(SystemConfig::Stock2Mb()));
+  EXPECT_LE(faults(ConfigByName("shared-ptp")), faults(ConfigByName("stock")));
+  EXPECT_LE(faults(ConfigByName("shared-ptp-2mb")),
+            faults(ConfigByName("stock-2mb")));
 }
 
 INSTANTIATE_TEST_SUITE_P(Apps, FaultDominanceTest,
@@ -579,7 +579,7 @@ TEST_P(ForkChainTest, SharerCountsMatchChainDepth) {
 
   std::vector<Task*> chain = {zygote};
   for (int i = 0; i < depth; ++i) {
-    chain.push_back(kernel.Fork(*chain.back(), "c" + std::to_string(i)));
+    chain.push_back(kernel.Fork(*chain.back(), "c" + std::to_string(i)).child);
   }
   const PtpId shared = zygote->mm->page_table().l1(PtpSlotIndex(0x40000000)).ptp;
   EXPECT_EQ(kernel.ptp_allocator().SharerCount(shared),

@@ -51,7 +51,7 @@ TEST(RmapTest, ForEachVisitsAllMappings) {
 
 class ReclaimTest : public ::testing::Test {
  protected:
-  ReclaimTest() : system_(SystemConfig::SharedPtp()) {}
+  ReclaimTest() : system_(ConfigByName("shared-ptp")) {}
 
   Kernel& kernel() { return system_.kernel(); }
 
@@ -77,7 +77,7 @@ TEST_F(ReclaimTest, SharedPtpPageHasOneRmapEntryForAllSharers) {
 }
 
 TEST_F(ReclaimTest, StockPagesHaveOneEntryPerProcess) {
-  System stock(SystemConfig::Stock());
+  System stock(ConfigByName("stock"));
   Task* a = stock.android().ForkApp("a");
   Task* b = stock.android().ForkApp("b");
   Task* c = stock.android().ForkApp("c");
@@ -154,7 +154,7 @@ TEST_F(ReclaimTest, DirtyAndLargeMappingsAreSkipped) {
   EXPECT_EQ(stats.pages_skipped, 1u);
 
   // A large-page mapping: skipped (the block would need splitting).
-  SystemConfig large_config = SystemConfig::SharedPtp();
+  SystemConfig large_config = ConfigByName("shared-ptp");
   large_config.large_pages_for_code = true;
   large_config.phys_bytes = 1024ull * 1024 * 1024;
   System large_system(large_config);

@@ -110,7 +110,7 @@ TEST(SmpKernelTest, UnshareShootsDownEveryCoreTheTaskUsed) {
   data.fixed_address = 0x40008000;  // same 2 MB slot as the code
   kernel.Mmap(*zygote, data);
   kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
-  Task* app = kernel.Fork(*zygote, "app");
+  Task* app = kernel.Fork(*zygote, "app").child;
 
   // The app executes the shared code on cores 0 and 2, loading TLB
   // entries on both.

@@ -30,7 +30,7 @@ VirtAddr MapAndWrite(Kernel& kernel, Task& task, uint32_t pages,
   request.prot = VmProt::ReadWrite();
   request.kind = VmKind::kAnonPrivate;
   request.fixed_address = base;
-  EXPECT_NE(kernel.Mmap(task, request), 0u);
+  EXPECT_NE(kernel.Mmap(task, request).value, 0u);
   for (uint32_t i = 0; i < pages; ++i) {
     EXPECT_TRUE(
         kernel.TouchPage(task, base + i * kPageSize, AccessType::kWrite));
@@ -137,9 +137,10 @@ TEST(SwapTest, SharedPtpSwapsOnceAndServesAllSharers) {
   Task* parent = kernel.CreateTask("parent");
   const VirtAddr base = MapAndWrite(kernel, *parent, 8, 0x40000000);
 
-  Task* child = kernel.Fork(*parent, "child");
+  const ForkOutcome fork = kernel.Fork(*parent, "child");
+  Task* child = fork.child;
   ASSERT_NE(child, nullptr);
-  EXPECT_GT(kernel.last_fork_result().slots_shared, 0u);
+  EXPECT_GT(fork.stats.slots_shared, 0u);
 
   // Swapping a page out of a shared PTP clears exactly one PTE and leaves
   // exactly one slot reference — the entry serves both sharers.
@@ -180,9 +181,10 @@ TEST(SwapTest, WriteFaultUnsharesPtpAndCowsSwappedPage) {
   Kernel kernel(params);
   Task* parent = kernel.CreateTask("parent");
   const VirtAddr base = MapAndWrite(kernel, *parent, 8, 0x40000000);
-  Task* child = kernel.Fork(*parent, "child");
+  const ForkOutcome fork = kernel.Fork(*parent, "child");
+  Task* child = fork.child;
   ASSERT_NE(child, nullptr);
-  ASSERT_GT(kernel.last_fork_result().slots_shared, 0u);
+  ASSERT_GT(fork.stats.slots_shared, 0u);
 
   ASSERT_EQ(SwapOutAll(kernel, 8), 8u);
   const auto swaps = SwapPtesIn(*parent, base, 8);
@@ -238,10 +240,11 @@ TEST(SwapTest, StockForkCopiesSwapPtesAndExitReleasesSlots) {
 
   // A stock fork duplicates each swap PTE into the child's own page
   // table, with a slot reference per copy.
-  Task* child = kernel.Fork(*parent, "child");
+  const ForkOutcome fork = kernel.Fork(*parent, "child");
+  Task* child = fork.child;
   ASSERT_NE(child, nullptr);
-  EXPECT_EQ(kernel.last_fork_result().slots_shared, 0u);
-  EXPECT_GE(kernel.last_fork_result().ptes_copied, 16u);
+  EXPECT_EQ(fork.stats.slots_shared, 0u);
+  EXPECT_GE(fork.stats.ptes_copied, 16u);
   const auto swaps = SwapPtesIn(*parent, base, 16);
   ASSERT_EQ(swaps.size(), 16u);
   EXPECT_EQ(SwapPtesIn(*child, base, 16).size(), 16u);
@@ -326,7 +329,7 @@ TEST(SwapTest, CleanCachedPageIsDroppedWithoutRecompressing) {
   ASSERT_EQ(SwapOutAll(kernel, 4), 4u);
   // A stock fork keeps a second swap PTE per slot, so slots survive the
   // parent's swap-ins and the cache association persists.
-  Task* child = kernel.Fork(*parent, "child");
+  Task* child = kernel.Fork(*parent, "child").child;
   ASSERT_NE(child, nullptr);
 
   for (uint32_t i = 0; i < 4; ++i) {
@@ -418,7 +421,7 @@ TEST(SwapTest, KswapdHoldsWatermarksWithoutOomKills) {
   request.prot = VmProt::ReadWrite();
   request.kind = VmKind::kAnonPrivate;
   request.fixed_address = 0x40000000;
-  ASSERT_NE(kernel.Mmap(*task, request), 0u);
+  ASSERT_NE(kernel.Mmap(*task, request).value, 0u);
   for (uint32_t i = 0; i < pages; ++i) {
     ASSERT_EQ(kernel.TouchPageStatus(*task, 0x40000000 + i * kPageSize,
                                      AccessType::kWrite),

@@ -13,7 +13,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(SmapsTest, RssCountsResidentPagesOnly) {
-  System system(SystemConfig::Stock());
+  System system(ConfigByName("stock"));
   Kernel& kernel = system.kernel();
   Task* task = kernel.CreateTask("t");
   MmapRequest request;
@@ -42,7 +42,7 @@ TEST(SmapsTest, RssCountsResidentPagesOnly) {
 TEST(SmapsTest, PssSplitsSharedFramesAcrossProcesses) {
   // Under the stock kernel, N processes mapping the same file page each
   // get a 1/N PSS share.
-  System system(SystemConfig::Stock());
+  System system(ConfigByName("stock"));
   Kernel& kernel = system.kernel();
   Task* a = system.android().ForkApp("a");
   Task* b = system.android().ForkApp("b");
@@ -65,7 +65,7 @@ TEST(SmapsTest, PssSplitsSharedFramesAcrossProcesses) {
 TEST(SmapsTest, SharedPtpPssCountsSharersThroughOnePte) {
   // Under shared PTPs, one PTE serves both apps; PSS must still split the
   // page between the two processes (via the PTP's sharer count).
-  System system(SystemConfig::SharedPtp());
+  System system(ConfigByName("shared-ptp"));
   Kernel& kernel = system.kernel();
   Task* a = system.android().ForkApp("a");
   Task* b = system.android().ForkApp("b");
@@ -110,9 +110,9 @@ TEST(SmapsTest, PageTablePssShowsTheTranslationSaving) {
                                        report.page_table_pss_kb);
   };
 
-  const auto [stock_kb, stock_pss] = page_table_columns(SystemConfig::Stock());
+  const auto [stock_kb, stock_pss] = page_table_columns(ConfigByName("stock"));
   const auto [shared_kb, shared_pss] =
-      page_table_columns(SystemConfig::SharedPtp());
+      page_table_columns(ConfigByName("shared-ptp"));
   // Stock: every PTP is private; PSS equals the classic footprint.
   EXPECT_DOUBLE_EQ(stock_pss, static_cast<double>(stock_kb));
   // Shared: the app's table footprint is mostly inherited PTPs whose cost

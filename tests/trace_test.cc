@@ -195,7 +195,7 @@ TEST(TextExporterTest, SummaryListsRecordedTypes) {
 // the ISSUE's acceptance criteria name — fork, faults, unshares,
 // shootdowns — and the exporter writes them all out.
 TEST(TracedRunTest, LaunchRecordsTheAdvertisedEventKinds) {
-  SystemConfig config = SystemConfig::SharedPtpAndTlb();
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
   config.num_cores = 2;  // so shootdowns have a remote core to IPI
   config.trace.enabled = true;
   System system(config);
@@ -225,7 +225,7 @@ TEST(TracedRunTest, LaunchRecordsTheAdvertisedEventKinds) {
 // produces identical counters and cycle totals.
 TEST(TracedRunTest, TracingNeverPerturbsTheExperiment) {
   auto run = [](bool traced) {
-    SystemConfig config = SystemConfig::SharedPtpAndTlb();
+    SystemConfig config = ConfigByName("shared-ptp-tlb");
     config.trace.enabled = traced;
     System system(config);
     LaunchSimulator simulator(&system.android(), LaunchParams{});
