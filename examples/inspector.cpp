@@ -29,7 +29,8 @@ void InspectUnder(const sat::SystemConfig& config) {
 
   const sat::SampleBreakdown profile = sampler.Analyze(*app);
   const sat::SmapsReport smaps =
-      GenerateSmaps(*app->mm, kernel.ptp_allocator(), &kernel.rmap());
+      GenerateSmaps(*app->mm, kernel.ptp_allocator(), &kernel.rmap(),
+                    &kernel.phys());
 
   std::printf("--- %s ---\n", system.name().c_str());
   std::printf("perf: %zu samples, %.1f%% kernel, %.1f%% shared code\n",

@@ -178,7 +178,8 @@ int RunSmaps(const Cli& cli) {
         sat::AccessType::kExecute);
   }
   const sat::SmapsReport report = GenerateSmaps(
-      *app->mm, system.kernel().ptp_allocator(), &system.kernel().rmap());
+      *app->mm, system.kernel().ptp_allocator(), &system.kernel().rmap(),
+      &system.kernel().phys());
   std::printf("%s\n%s", system.name().c_str(), report.ToString().c_str());
   return 0;
 }

@@ -58,20 +58,6 @@ std::string NamedConfigKeyList() {
   return list;
 }
 
-SystemConfig SystemConfig::Stock() { return ConfigByName("stock"); }
-SystemConfig SystemConfig::SharedPtp() { return ConfigByName("shared-ptp"); }
-SystemConfig SystemConfig::SharedPtpAndTlb() {
-  return ConfigByName("shared-ptp-tlb");
-}
-SystemConfig SystemConfig::Stock2Mb() { return ConfigByName("stock-2mb"); }
-SystemConfig SystemConfig::SharedPtp2Mb() {
-  return ConfigByName("shared-ptp-2mb");
-}
-SystemConfig SystemConfig::SharedPtpAndTlb2Mb() {
-  return ConfigByName("shared-ptp-tlb-2mb");
-}
-SystemConfig SystemConfig::CopiedPtes() { return ConfigByName("copied-ptes"); }
-
 std::string SystemConfig::Name() const {
   std::string name;
   if (copy_ptes_at_fork) {
@@ -110,6 +96,9 @@ std::string SystemConfig::Name() const {
   if (swap_bytes > 0) {
     name += " [zram " + std::to_string(swap_bytes >> 20) + "MB]";
   }
+  if (ksm) {
+    name += " [ksm]";
+  }
   return name;
 }
 
@@ -129,6 +118,8 @@ ZygoteParams SystemConfig::ToZygoteParams() const {
   params.kernel.core.isolation = isolation;
   params.kernel.num_cores = num_cores;
   params.kernel.trace = trace;
+  params.kernel.ksm_enabled = ksm;
+  params.kernel.ksm_wake_interval = ksm_wake_interval;
   params.mapping_policy = two_mb_alignment ? MappingPolicy::kTwoMbAligned
                                            : MappingPolicy::kOriginal;
   params.large_code_pages = large_pages_for_code;

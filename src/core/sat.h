@@ -78,6 +78,10 @@ struct SystemConfig {
   // kernel ages anonymous pages, kswapd runs between the low/high
   // watermarks, and direct reclaim swaps before OOM-killing.
   uint64_t swap_bytes = 0;
+  // KSM same-page merging: ksmd scans madvise(MERGEABLE) anonymous
+  // regions and deduplicates content-identical pages (src/ksm).
+  bool ksm = false;
+  uint32_t ksm_wake_interval = 1024;
   uint64_t seed = 42;
 
   // Kernel event tracing (src/trace): off by default; when enabled the
@@ -86,23 +90,6 @@ struct SystemConfig {
   TraceConfig trace;
 
   std::string Name() const;
-
-  // Deprecated pre-registry named constructors (one PR): use
-  // sat::ConfigByName("<key>") / sat::NamedConfigs() instead.
-  [[deprecated("use ConfigByName(\"stock\")")]]
-  static SystemConfig Stock();
-  [[deprecated("use ConfigByName(\"shared-ptp\")")]]
-  static SystemConfig SharedPtp();
-  [[deprecated("use ConfigByName(\"shared-ptp-tlb\")")]]
-  static SystemConfig SharedPtpAndTlb();
-  [[deprecated("use ConfigByName(\"stock-2mb\")")]]
-  static SystemConfig Stock2Mb();
-  [[deprecated("use ConfigByName(\"shared-ptp-2mb\")")]]
-  static SystemConfig SharedPtp2Mb();
-  [[deprecated("use ConfigByName(\"shared-ptp-tlb-2mb\")")]]
-  static SystemConfig SharedPtpAndTlb2Mb();
-  [[deprecated("use ConfigByName(\"copied-ptes\")")]]
-  static SystemConfig CopiedPtes();
 
   ZygoteParams ToZygoteParams() const;
 };

@@ -57,8 +57,10 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
   f.map_count = 0;
   f.file = kNoFile;
   f.file_page_index = 0;
-  if (observer_ != nullptr) {
-    observer_->OnFrameAllocated(number, kind);
+  f.content = 0;
+  f.ksm_stable = false;
+  for (FrameLifecycleObserver* observer : observers_) {
+    observer->OnFrameAllocated(number, kind);
   }
   return number;
 }
@@ -93,10 +95,12 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
       f.map_count = 0;
       f.file = kNoFile;
       f.file_page_index = 0;
+      f.content = 0;
+      f.ksm_stable = false;
       // Remove from the free list lazily: TryAllocFrame skips non-free
       // entries it pops.
-      if (observer_ != nullptr) {
-        observer_->OnFrameAllocated(base + i, kind);
+      for (FrameLifecycleObserver* observer : observers_) {
+        observer->OnFrameAllocated(base + i, kind);
       }
     }
     free_count_ -= count;
@@ -132,13 +136,15 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
   f.kind = FrameKind::kFree;
   f.map_count = 0;
   f.file = kNoFile;
+  f.content = 0;
+  f.ksm_stable = false;
   if (!free_listed_[number]) {
     free_list_.push_back(number);
     free_listed_[number] = true;
   }
   free_count_++;
-  if (observer_ != nullptr) {
-    observer_->OnFrameFreed(number, freed_kind);
+  for (FrameLifecycleObserver* observer : observers_) {
+    observer->OnFrameFreed(number, freed_kind);
   }
   return true;
 }

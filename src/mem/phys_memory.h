@@ -53,9 +53,10 @@ constexpr const char* FrameKindName(FrameKind kind) {
 }
 
 // Observes frame allocation and free events — the hook the anonymous /
-// file-cache LRU lists (src/vm/swap.h) use to track membership without
-// PhysicalMemory knowing about reclaim policy. The permanent zero frame is
-// set up before any observer can attach and is never reported.
+// file-cache LRU lists (src/vm/swap.h) and the KSM daemon (src/ksm) use to
+// track membership without PhysicalMemory knowing about reclaim or merge
+// policy. The permanent zero frame is set up before any observer can
+// attach and is never reported.
 class FrameLifecycleObserver {
  public:
   virtual ~FrameLifecycleObserver() = default;
@@ -73,6 +74,13 @@ struct PageFrame {
   // For kFileCache frames: which file page this caches.
   FileId file = kNoFile;
   uint32_t file_page_index = 0;
+  // Content tag: the simulator models no page bytes, so a 64-bit value
+  // stands in for the page's content. Two anon pages are byte-identical
+  // iff their tags are equal — this is what KSM keys its trees on.
+  uint64_t content = 0;
+  // True for a KSM stable frame (the analogue of PageKsm): write faults
+  // must always COW away from it, never reuse it in place.
+  bool ksm_stable = false;
 };
 
 // Allocation is fallible: the Try* entry points return std::nullopt when
@@ -95,8 +103,11 @@ class PhysicalMemory {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
-  // Optional lifecycle observer (LRU maintenance). Not owned; at most one.
-  void set_observer(FrameLifecycleObserver* observer) { observer_ = observer; }
+  // Lifecycle observers (LRU maintenance, KSM stable-tree pruning). Not
+  // owned; notified in registration order.
+  void AddObserver(FrameLifecycleObserver* observer) {
+    observers_.push_back(observer);
+  }
 
   // Allocates one frame of the given kind with ref_count 1, or nullopt if
   // physical memory is exhausted (or a fault was injected).
@@ -147,7 +158,7 @@ class PhysicalMemory {
   uint64_t free_count_ = 0;
   FrameNumber zero_frame_ = 0;
   FaultInjector* injector_ = nullptr;
-  FrameLifecycleObserver* observer_ = nullptr;
+  std::vector<FrameLifecycleObserver*> observers_;
 };
 
 }  // namespace sat

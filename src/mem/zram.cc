@@ -49,7 +49,7 @@ void ZramStore::ShrinkPool() {
   }
 }
 
-std::optional<SwapSlotId> ZramStore::TryStore() {
+std::optional<SwapSlotId> ZramStore::TryStore(uint64_t content) {
   if (!enabled()) {
     return std::nullopt;
   }
@@ -76,6 +76,7 @@ std::optional<SwapSlotId> ZramStore::TryStore() {
   slot.ref_count = 1;
   slot.bytes = bytes;
   slot.cached = kNoFrame;
+  slot.content = content;
   live_slot_count_++;
   stored_bytes_ += bytes;
   pages_stored_total_++;
@@ -164,6 +165,11 @@ uint32_t ZramStore::SlotRefCount(SwapSlotId id) const {
 uint32_t ZramStore::SlotBytes(SwapSlotId id) const {
   SAT_CHECK(SlotLive(id));
   return slots_[id].bytes;
+}
+
+uint64_t ZramStore::SlotContent(SwapSlotId id) const {
+  SAT_CHECK(SlotLive(id));
+  return slots_[id].content;
 }
 
 }  // namespace sat

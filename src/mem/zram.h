@@ -60,9 +60,12 @@ class ZramStore {
 
   // Compresses one page into a fresh slot and returns it holding one
   // reference (the caller's, typically handed over to the first swap
-  // PTE). Fails when the logical device is full or the pool cannot grow
-  // (physical exhaustion or injected fault) — nothing is mutated then.
-  std::optional<SwapSlotId> TryStore();
+  // PTE). `content` is the page's content tag (PageFrame::content); it is
+  // preserved across the compress/decompress round trip so KSM can still
+  // recognise the page after swap-in. Fails when the logical device is
+  // full or the pool cannot grow (physical exhaustion or injected fault)
+  // — nothing is mutated then.
+  std::optional<SwapSlotId> TryStore(uint64_t content);
 
   void Ref(SwapSlotId slot);
   // Drops one reference; frees the slot at zero. If the drop leaves the
@@ -80,6 +83,7 @@ class ZramStore {
   bool SlotLive(SwapSlotId slot) const;
   uint32_t SlotRefCount(SwapSlotId slot) const;
   uint32_t SlotBytes(SwapSlotId slot) const;
+  uint64_t SlotContent(SwapSlotId slot) const;
 
   // Live usage.
   uint64_t live_slots() const { return live_slot_count_; }
@@ -108,6 +112,7 @@ class ZramStore {
     uint32_t bytes = 0;
     FrameNumber cached = kNoFrame;
     bool live = false;
+    uint64_t content = 0;
   };
 
   uint32_t SampleCompressedSize();

@@ -43,7 +43,7 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   phys_ = std::make_unique<PhysicalMemory>(params.phys_bytes);
   phys_->set_fault_injector(fault_injector_.get());
   lru_ = std::make_unique<FrameLru>(phys_->total_frames());
-  phys_->set_observer(lru_.get());
+  phys_->AddObserver(lru_.get());
   page_cache_ = std::make_unique<PageCache>(phys_.get());
   ptp_allocator_ = std::make_unique<PtpAllocator>(phys_.get(), &counters_);
   // The zram store is always constructed; swap_bytes == 0 leaves it
@@ -59,6 +59,15 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   swap_mgr_ = std::make_unique<SwapManager>(phys_.get(), zram_.get(),
                                             ptp_allocator_.get(), &rmap_,
                                             lru_.get(), &counters_);
+  // The KSM daemon is always constructed (so madvise(MERGEABLE) always
+  // works and tests can drive scans directly); ksm_enabled only gates the
+  // periodic wake-ups. It observes frame lifecycle to prune stable-tree
+  // nodes whose frame is freed by any path.
+  ksm_ = std::make_unique<KsmDaemon>(phys_.get(), ptp_allocator_.get(), &rmap_,
+                                     vm_.get(), &counters_);
+  phys_->AddObserver(ksm_.get());
+  ksm_enabled_ = params.ksm_enabled;
+  ksm_wake_interval_ = std::max<uint32_t>(1, params.ksm_wake_interval);
   // Watermarks, Linux-style: wake kswapd below `low`, stop at `high`.
   kswapd_low_watermark_ = static_cast<uint32_t>(
       std::max<uint64_t>(64, phys_->total_frames() / 16));
@@ -77,6 +86,13 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   vm_->set_tracer(tracer_.get());
   reclaimer_->set_tracer(tracer_.get());
   swap_mgr_->set_tracer(tracer_.get());
+  ksm_->set_tracer(tracer_.get());
+  // ksmd edits PTEs from outside any one task's context, so its per-VA
+  // shootdowns broadcast to every core (like the reclaimer's).
+  ksm_->set_flush_va([this](VirtAddr va) {
+    const CpuMask all = (1u << machine_->num_cores()) - 1;
+    machine_->ShootdownVa(va, all, /*initiator=*/0);
+  });
   current_.resize(machine_->num_cores(), nullptr);
   for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
     machine_->core(i).set_abort_handler([this, i](const MemoryAbort& abort) {
@@ -310,8 +326,33 @@ SyscallResult<void> Kernel::Mprotect(Task& task, VirtAddr start,
   return SyscallResult<void>::Ok();
 }
 
+SyscallResult<void> Kernel::Madvise(Task& task, VirtAddr start,
+                                    uint32_t length, MadviseAdvice advice) {
+  if (length == 0 || !IsPageAligned(start) || !IsPageAligned(length)) {
+    return SyscallResult<void>::Err(Errno::kEinval);
+  }
+  if (task.mm->VmasOverlapping(start, start + length).empty()) {
+    return SyscallResult<void>::Err(Errno::kEfault);
+  }
+  // Split at the boundaries by removing and re-inserting the covered
+  // pieces with the flag flipped. RemoveRange is pure region bookkeeping;
+  // no PTE changes, so nothing to flush and nothing can fail.
+  const bool mergeable = advice == MadviseAdvice::kMergeable;
+  for (VmArea piece : task.mm->RemoveRange(start, start + length)) {
+    piece.mergeable = mergeable;
+    task.mm->InsertVma(piece);
+  }
+  return SyscallResult<void>::Ok();
+}
+
 TouchStatus Kernel::TouchPageStatus(Task& task, VirtAddr va,
                                     AccessType access) {
+  return TouchAndMaybeStore(task, va, access, nullptr);
+}
+
+TouchStatus Kernel::TouchAndMaybeStore(Task& task, VirtAddr va,
+                                       AccessType access,
+                                       const uint64_t* store) {
   assert(task.mm != nullptr);
   PageTable& pt = task.mm->page_table();
   // Each iteration either succeeds, makes fault progress, or frees
@@ -353,6 +394,16 @@ TouchStatus Kernel::TouchPageStatus(Task& task, VirtAddr va,
           }
           pt.UpdatePte(va, hw, sw, /*allow_shared=*/true);
         }
+        if (store != nullptr) {
+          // The store retires the instant the access is allowed — before
+          // the daemon wake point below, where ksmd could otherwise merge
+          // the page between the fault and the store and the new content
+          // would land on a stable frame.
+          const FrameNumber frame = MappedFrameOf(hw, ref->index);
+          SAT_CHECK(frame != phys_->zero_frame());
+          SAT_CHECK(!phys_->frame(frame).ksm_stable);
+          phys_->frame(frame).content = *store;
+        }
         RunKswapdIfNeeded();
         return TouchStatus::kOk;
       }
@@ -391,6 +442,13 @@ bool Kernel::TouchPage(Task& task, VirtAddr va, AccessType access) {
   return TouchPageStatus(task, va, access) == TouchStatus::kOk;
 }
 
+TouchStatus Kernel::WritePage(Task& task, VirtAddr va, uint64_t value) {
+  // A successful write access always lands on a private writable frame
+  // (the fault path COWed away from anything shared, including stable
+  // frames); the simulated content is stamped as part of the access.
+  return TouchAndMaybeStore(task, va, AccessType::kWrite, &value);
+}
+
 ReclaimStats Kernel::ReclaimFileCache(uint32_t target) {
   const CpuMask all = (1u << machine_->num_cores()) - 1;
   return reclaimer_->ReclaimFileCache(target, [this, all](VirtAddr va) {
@@ -408,7 +466,29 @@ uint32_t Kernel::SwapOutAnonPages(uint32_t target) {
   });
 }
 
+uint32_t Kernel::RunKsmScan() {
+  std::vector<KsmScanTarget> targets;
+  for (const auto& task : tasks_) {
+    Task* t = task.get();
+    if (!t->alive || t->mm == nullptr) {
+      continue;
+    }
+    targets.push_back(KsmScanTarget{t->mm.get(), t->pid, FlushFnFor(*t)});
+  }
+  return ksm_->ScanOnce(targets);
+}
+
 void Kernel::RunKswapdIfNeeded() {
+  // ksmd shares kswapd's wake points but fires on a wake-count period,
+  // not the watermark — merging saves memory even before pressure. Placed
+  // ahead of the zram gate so KSM works with swap disabled.
+  if (ksm_enabled_ && !in_ksmd_ && !in_kswapd_ &&
+      ++ksm_wake_ticks_ >= ksm_wake_interval_) {
+    ksm_wake_ticks_ = 0;
+    in_ksmd_ = true;
+    RunKsmScan();
+    in_ksmd_ = false;
+  }
   if (in_kswapd_ || !zram_->enabled()) {
     return;
   }
@@ -505,6 +585,10 @@ AuditReport Kernel::AuditInvariants() const {
   input.zram = zram_.get();
   input.lru = lru_.get();
   input.hw_l1_write_protect = vm_->config().hw_l1_write_protect;
+  input.ksm_audited = true;
+  ksm_->ForEachStable([&](uint64_t content, FrameNumber frame) {
+    input.ksm_stable.emplace_back(content, frame);
+  });
   for (const auto& task : tasks_) {
     if (!task->alive || task->mm == nullptr) {
       continue;

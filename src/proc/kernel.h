@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/hw/machine.h"
+#include "src/ksm/ksm.h"
 #include "src/mem/fault_injector.h"
 #include "src/mem/page_cache.h"
 #include "src/mem/phys_memory.h"
@@ -55,6 +56,12 @@ struct KernelParams {
   // Seed for the deterministic allocation-failure injector (inert until a
   // rule is set via kernel.fault_injector().SetRule(...)).
   uint64_t fault_injection_seed = 42;
+  // KSM same-page merging (src/ksm). When enabled, a ksmd scan pass runs
+  // from the same wake points as kswapd, every `ksm_wake_interval`-th
+  // wake-up; RunKsmScan() also drives passes directly. The daemon itself
+  // is always constructed so madvise(MERGEABLE) is always accepted.
+  bool ksm_enabled = false;
+  uint32_t ksm_wake_interval = 1024;
 };
 
 // How a TouchPage access ended.
@@ -62,6 +69,13 @@ enum class TouchStatus : uint8_t {
   kOk = 0,
   kSigSegv,   // unresolvable fault (bad address / permission)
   kOomKill,   // the touching task was OOM-killed while faulting
+};
+
+// The madvise subset the simulator models.
+enum class MadviseAdvice : uint8_t {
+  kMergeable,    // MADV_MERGEABLE: register the range with KSM
+  kUnmergeable,  // MADV_UNMERGEABLE: deregister (already-merged pages stay
+                 // merged until written; Linux additionally breaks them)
 };
 
 class Kernel {
@@ -87,13 +101,6 @@ class Kernel {
   // `child` is nullptr and every piece of partially-built child state
   // (task slot, pid, ASID, page tables, frame references) is rolled back.
   ForkOutcome Fork(Task& parent, const std::string& name);
-
-  // Deprecated pre-errno shim (one PR): the child-or-nullptr convention,
-  // discarding the per-fork statistics.
-  [[deprecated("use Fork(), which returns ForkOutcome")]]
-  Task* ForkLegacy(Task& parent, const std::string& name) {
-    return Fork(parent, name).child;
-  }
 
   // Replaces the task's address space (execve). `is_zygote` sets the
   // zygote flag and grants the zygote-domain DACR (Section 3.2.2).
@@ -123,21 +130,11 @@ class Kernel {
   SyscallResult<void> Mprotect(Task& task, VirtAddr start, uint32_t length,
                                VmProt prot);
 
-  // Deprecated pre-errno shims (one PR): the 0-on-failure / silent-kill
-  // conventions. Check task.alive after the void ones.
-  [[deprecated("use Mmap(), which returns SyscallResult<VirtAddr>")]]
-  VirtAddr MmapLegacy(Task& task, MmapRequest request) {
-    return Mmap(task, std::move(request)).value;
-  }
-  [[deprecated("use Munmap(), which returns SyscallResult<void>")]]
-  void MunmapLegacy(Task& task, VirtAddr start, uint32_t length) {
-    Munmap(task, start, length);
-  }
-  [[deprecated("use Mprotect(), which returns SyscallResult<void>")]]
-  void MprotectLegacy(Task& task, VirtAddr start, uint32_t length,
-                      VmProt prot) {
-    Mprotect(task, start, length, prot);
-  }
+  // Flips the MERGEABLE flag on [start, start+length), splitting regions
+  // at the boundaries. Pure region bookkeeping: no PTE is touched, so it
+  // can never OOM. Errnos like Munmap's (kEinval, kEfault).
+  SyscallResult<void> Madvise(Task& task, VirtAddr start, uint32_t length,
+                              MadviseAdvice advice);
 
   // -------------------------------------------------------------------------
   // Memory access.
@@ -151,6 +148,11 @@ class Kernel {
 
   // Convenience wrapper: true iff the access succeeded.
   bool TouchPage(Task& task, VirtAddr va, AccessType access);
+
+  // A write access that also stamps the page's content tag (the
+  // simulator's stand-in for the bytes written — see PageFrame::content).
+  // Two pages written with the same value are "byte-identical" to KSM.
+  TouchStatus WritePage(Task& task, VirtAddr va, uint64_t value);
 
   // Installs `task` on a core with full context-switch modelling.
   void ScheduleTo(Task& task, uint32_t core_id = 0);
@@ -172,6 +174,11 @@ class Kernel {
   // SwapManager). Returns the pages actually freed; 0 when swap is
   // disabled or nothing is evictable.
   uint32_t SwapOutAnonPages(uint32_t target);
+
+  // One full ksmd pass over every live task's mergeable regions (also run
+  // periodically from the kswapd wake points when ksm_enabled). Returns
+  // the number of PTEs merged.
+  uint32_t RunKsmScan();
 
   // The allocate → direct-reclaim → OOM-kill chain (run automatically by
   // the fault/fork/mmap paths; public so tests can drive it). Returns
@@ -209,6 +216,7 @@ class Kernel {
   ReverseMap& rmap() { return rmap_; }
   ZramStore& zram() { return *zram_; }
   FrameLru& lru() { return *lru_; }
+  KsmDaemon& ksm() { return *ksm_; }
   uint32_t kswapd_low_watermark() const { return kswapd_low_watermark_; }
   uint32_t kswapd_high_watermark() const { return kswapd_high_watermark_; }
   VmManager& vm() { return *vm_; }
@@ -224,6 +232,10 @@ class Kernel {
 
  private:
   Asid AllocateAsid();
+  // The common access path: fault until the access is allowed, then (for
+  // WritePage) stamp the frame's content before the daemon wake point.
+  TouchStatus TouchAndMaybeStore(Task& task, VirtAddr va, AccessType access,
+                                 const uint64_t* store);
   // Kills `victim`: counters, trace, oom_killed flag, then Exit.
   void OomKill(Task& victim);
   // Background-reclaim analogue: when free memory sinks below the low
@@ -254,6 +266,7 @@ class Kernel {
   std::unique_ptr<VmManager> vm_;
   std::unique_ptr<Reclaimer> reclaimer_;
   std::unique_ptr<SwapManager> swap_mgr_;
+  std::unique_ptr<KsmDaemon> ksm_;
   std::unique_ptr<Machine> machine_;
   // Declared after every subsystem: tasks are destroyed first, so page-
   // table teardown can still release swap slots and frames.
@@ -266,6 +279,14 @@ class Kernel {
   uint32_t kswapd_low_watermark_ = 0;
   uint32_t kswapd_high_watermark_ = 0;
   bool in_kswapd_ = false;
+  // ksmd state: scans fire from the same wake points as kswapd but on a
+  // wake-count period, not a watermark (KSM trades CPU for memory even
+  // without pressure). The guard keeps a scan's own allocations (the lazy
+  // PTP unshare) from waking another scan.
+  bool ksm_enabled_ = false;
+  uint32_t ksm_wake_interval_ = 0;
+  uint32_t ksm_wake_ticks_ = 0;
+  bool in_ksmd_ = false;
 };
 
 }  // namespace sat

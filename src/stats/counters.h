@@ -49,7 +49,14 @@ namespace sat {
   X(oom_kills)                       \
   X(tlb_full_flushes)                \
   X(tlb_asid_flushes)                \
-  X(tlb_va_flushes)
+  X(tlb_va_flushes)                  \
+  X(ksm_scans)                       \
+  X(ksm_pages_scanned)               \
+  X(ksm_pages_merged)                \
+  X(ksm_ptes_write_protected)        \
+  X(ksm_unmerge_faults)              \
+  X(ksm_unshares)                    \
+  X(ksm_merge_failures)
 
 #define SAT_CORE_COUNTER_FIELDS(X) \
   X(cycles)                        \
@@ -118,6 +125,15 @@ struct KernelCounters {
   uint64_t tlb_full_flushes = 0;
   uint64_t tlb_asid_flushes = 0;
   uint64_t tlb_va_flushes = 0;
+
+  // KSM same-page merging (src/ksm).
+  uint64_t ksm_scans = 0;                 // completed ksmd scan passes
+  uint64_t ksm_pages_scanned = 0;         // merge candidates examined
+  uint64_t ksm_pages_merged = 0;          // PTEs repointed at a stable frame
+  uint64_t ksm_ptes_write_protected = 0;  // RW PTEs downgraded for merging
+  uint64_t ksm_unmerge_faults = 0;        // COW breaks away from stable frames
+  uint64_t ksm_unshares = 0;              // shared PTPs privatized to merge
+  uint64_t ksm_merge_failures = 0;        // merges abandoned (ENOMEM unshare)
 
   KernelCounters operator-(const KernelCounters& rhs) const;
   KernelCounters& operator+=(const KernelCounters& rhs);

@@ -42,6 +42,9 @@ constexpr TypeInfo kTypeInfo[kTraceEventTypeCount] = {
     {"swap_out", "frame", "slot"},
     {"swap_in", "va_page", "cache_hit"},
     {"kswapd", "pages_freed", "free_frames"},
+    {"ksm_scan", "pages_scanned", "pages_merged"},
+    {"ksm_merge", "va_page", "stable_frame"},
+    {"ksm_unmerge", "va_page", "stable_frame"},
     {"app_phase", "phase", ""},
 };
 

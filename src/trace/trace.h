@@ -66,6 +66,10 @@ enum class TraceEventType : uint8_t {
   kSwapOut,        // a=frame evicted, b=swap slot
   kSwapIn,         // a=faulting va page, b=1 if served by the swap cache
   kKswapd,         // a=pages freed, b=free frames afterwards
+  // KSM same-page merging (src/ksm).
+  kKsmScan,        // a=pages scanned, b=pages merged this pass
+  kKsmMerge,       // a=merged va page, b=stable frame
+  kKsmUnmerge,     // a=faulting va page, b=former stable frame
   // Android launch phases (fork / map / replay / window).
   kAppPhase,
   kCount,  // sentinel, not a recordable type

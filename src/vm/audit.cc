@@ -28,6 +28,7 @@ class Auditor {
     RecountPtps();
     CheckFrames();
     CheckSwapStore();
+    CheckKsm();
     CheckPtpSharers();
     CheckSpaces();
     CheckTlb();
@@ -135,6 +136,18 @@ class Auditor {
           continue;
         }
         pte_maps_[frame]++;
+        // A KSM stable frame is shared by content: a writable mapping
+        // would let one sharer corrupt every other's "bytes". This is the
+        // analogue of NEED_COPY write protection, and it is unconditional
+        // (even under the hw-L1-write-protect ablation the daemon
+        // downgrades the PTE itself).
+        if (in_.phys->frame(frame).ksm_stable &&
+            !Checked(hw.perm() != PtePerm::kReadWrite)) {
+          Fail("ksm-stable-writable",
+               "ptp " + std::to_string(ptp.id()) + " index " +
+                   std::to_string(i) + " maps KSM stable frame " +
+                   std::to_string(frame) + " hardware-writable");
+        }
       }
       if (!Checked(present == ptp.present_count())) {
         Fail("present-count",
@@ -183,6 +196,14 @@ class Auditor {
       const PageFrame& meta = in_.phys->frame(f);
       const uint32_t maps = pte_maps_[f];
       const bool cached = resident.count(f) != 0;
+      if (meta.ksm_stable) {
+        ksm_stable_frames_++;
+        if (!Checked(meta.kind == FrameKind::kAnon)) {
+          Fail("ksm-stable-kind",
+               std::string(FrameKindName(meta.kind)) + " frame " +
+                   std::to_string(f) + " is marked ksm_stable");
+        }
+      }
       switch (meta.kind) {
         case FrameKind::kFree: {
           free_frames++;
@@ -420,6 +441,46 @@ class Auditor {
            "cache index holds " + std::to_string(in_.zram->cached_entries()) +
                " entr(ies), slots list " +
                std::to_string(swap_cache_frames_.size()));
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 2c: the KSM stable tree against the frames it names.
+  // -------------------------------------------------------------------
+  void CheckKsm() {
+    if (!in_.ksm_audited) {
+      return;
+    }
+    std::unordered_set<FrameNumber> seen;
+    for (const auto& [content, frame] : in_.ksm_stable) {
+      const std::string node = "stable-tree node (content " +
+                               std::to_string(content) + ", frame " +
+                               std::to_string(frame) + ")";
+      if (!Checked(frame < in_.phys->total_frames())) {
+        Fail("ksm-node-range", node + " is beyond physical memory");
+        continue;
+      }
+      const PageFrame& meta = in_.phys->frame(frame);
+      if (!Checked(meta.kind == FrameKind::kAnon && meta.ksm_stable)) {
+        Fail("ksm-node-frame",
+             node + " names a " + FrameKindName(meta.kind) +
+                 " frame with ksm_stable=" + std::to_string(meta.ksm_stable));
+      }
+      if (!Checked(meta.content == content)) {
+        Fail("ksm-node-content",
+             node + ": the frame's content is " + std::to_string(meta.content));
+      }
+      if (!Checked(seen.insert(frame).second)) {
+        Fail("ksm-node-duplicate", node + ": frame appears under two keys");
+      }
+    }
+    // Together with ksm-node-frame this makes tree <-> frames a bijection:
+    // every node names a distinct ksm_stable frame, and the counts match.
+    if (!Checked(in_.ksm_stable.size() == ksm_stable_frames_)) {
+      Fail("ksm-tree-size",
+           "stable tree holds " + std::to_string(in_.ksm_stable.size()) +
+               " node(s), physical memory holds " +
+               std::to_string(ksm_stable_frames_) + " ksm_stable frame(s)");
     }
   }
 
@@ -698,6 +759,8 @@ class Auditor {
   // kZram frames seen in pass 2, and frames per LRU list.
   uint64_t zram_frame_count_ = 0;
   uint64_t lru_counts_[4] = {};
+  // ksm_stable frames seen in pass 2 (for the tree-size cross-check).
+  uint64_t ksm_stable_frames_ = 0;
 };
 
 }  // namespace

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/arch/domain.h"
@@ -92,6 +93,16 @@ struct AuditInput {
   // False when the page tables were built without a reverse map (rmap
   // checks are skipped; everything else still runs).
   bool rmap_maintained = true;
+  // KSM stable-tree snapshot as (content, frame) pairs — plain data, so
+  // the auditor needs no dependency on the daemon. With ksm_audited set,
+  // the tree is cross-checked against frame state: every node's frame
+  // must be a live anonymous ksm_stable frame whose content equals the
+  // node's key, no frame may appear under two keys, and the node count
+  // must equal the ksm_stable frame count (the tree <-> frame bijection).
+  // Independently of this snapshot, no PTE mapping a ksm_stable frame may
+  // be hardware-writable (checked whenever such a frame exists).
+  bool ksm_audited = false;
+  std::vector<std::pair<uint64_t, FrameNumber>> ksm_stable;
 };
 
 // Runs every check and returns the violations found (empty == healthy).

@@ -24,7 +24,8 @@ uint32_t ProcessMapCount(FrameNumber frame, const PtpAllocator& ptps,
 }  // namespace
 
 SmapsReport GenerateSmaps(const MmStruct& mm, const PtpAllocator& ptps,
-                          const ReverseMap* rmap) {
+                          const ReverseMap* rmap,
+                          const PhysicalMemory* phys) {
   SmapsReport report;
   const PageTable& pt = mm.page_table();
 
@@ -43,7 +44,8 @@ SmapsReport GenerateSmaps(const MmStruct& mm, const PtpAllocator& ptps,
         continue;
       }
       row.rss_kb += 4;
-      const FrameNumber frame = ref->ptp->hw(ref->index).frame();
+      const FrameNumber frame =
+          MappedFrameOf(ref->ptp->hw(ref->index), ref->index);
       const uint32_t mappers = ProcessMapCount(frame, ptps, rmap);
       row.pss_kb += 4.0 / mappers;
       if (mappers > 1) {
@@ -51,11 +53,15 @@ SmapsReport GenerateSmaps(const MmStruct& mm, const PtpAllocator& ptps,
       } else {
         row.private_kb += 4;
       }
+      if (phys != nullptr && phys->frame(frame).ksm_stable) {
+        row.ksm_merged_kb += 4;
+      }
     }
 
     report.total_size_kb += row.size_kb;
     report.total_rss_kb += row.rss_kb;
     report.total_pss_kb += row.pss_kb;
+    report.total_ksm_merged_kb += row.ksm_merged_kb;
     report.vmas.push_back(std::move(row));
   });
 
@@ -81,10 +87,11 @@ std::string SmapsReport::ToString() const {
        << "  Size: " << vma.size_kb << " kB  Rss: " << vma.rss_kb
        << " kB  Pss: " << vma.pss_kb << " kB  Shared_Clean: "
        << vma.shared_clean_kb << " kB  Private: " << vma.private_kb
-       << " kB\n";
+       << " kB  KsmMerged: " << vma.ksm_merged_kb << " kB\n";
   }
   os << "Total: Size " << total_size_kb << " kB, Rss " << total_rss_kb
-     << " kB, Pss " << total_pss_kb << " kB\n"
+     << " kB, Pss " << total_pss_kb << " kB, KsmMerged "
+     << total_ksm_merged_kb << " kB\n"
      << "PageTables: " << page_table_kb << " kB (Pss " << page_table_pss_kb
      << " kB, " << shared_ptps << " shared PTPs)\n";
   return os.str();

@@ -36,6 +36,7 @@ struct VmaReport {
   double pss_kb = 0;             // proportional share
   uint32_t shared_clean_kb = 0;  // resident pages mapped by >1 process
   uint32_t private_kb = 0;       // resident pages mapped by this one only
+  uint32_t ksm_merged_kb = 0;    // resident pages backed by KSM stable frames
 };
 
 struct SmapsReport {
@@ -43,6 +44,10 @@ struct SmapsReport {
   uint32_t total_size_kb = 0;
   uint32_t total_rss_kb = 0;
   double total_pss_kb = 0;
+  // Linux's per-smaps KsmMerged accounting: pages whose frame is a KSM
+  // stable page. Such pages also count fractionally in PSS — their rmap
+  // lists every sharer's mapping.
+  uint32_t total_ksm_merged_kb = 0;
   // Translation memory: classic per-process footprint and its
   // sharing-aware proportional counterpart.
   uint32_t page_table_kb = 0;
@@ -54,9 +59,11 @@ struct SmapsReport {
 
 // Generates the report for one address space. `rmap` may be null (PSS
 // then assumes the classic mapcount of 1 per PTE, as in page-table-only
-// tests).
+// tests). `phys` may be null (KsmMerged then reads 0 — frame metadata is
+// where the KSM stable bit lives).
 SmapsReport GenerateSmaps(const MmStruct& mm, const PtpAllocator& ptps,
-                          const ReverseMap* rmap);
+                          const ReverseMap* rmap,
+                          const PhysicalMemory* phys = nullptr);
 
 }  // namespace sat
 

@@ -157,7 +157,8 @@ bool SwapManager::SwapOutOne(const ReclaimFlushFn& flush) {
         // possible for shared-anon mappings); sever it before storing.
         zram_->RemoveFromCache(*cached);
       }
-      const std::optional<SwapSlotId> stored = zram_->TryStore();
+      const std::optional<SwapSlotId> stored =
+          zram_->TryStore(phys_->frame(frame).content);
       if (!stored.has_value()) {
         lru_->PushTail(LruList::kAnonInactive, frame);
         counters_->swap_out_failures++;

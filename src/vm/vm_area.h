@@ -85,6 +85,12 @@ struct VmArea {
   // lazy-unshare ablation.
   bool inherited = false;
 
+  // Registered with KSM via madvise(MADV_MERGEABLE) (or at mmap). Like
+  // Linux's VM_MERGEABLE the flag rides along at fork — regions are copied
+  // wholesale into the child — so zygote-advised heaps stay mergeable in
+  // every app. Only anonymous private pages are ever merge candidates.
+  bool mergeable = false;
+
   std::string name;
 
   uint32_t PageCount() const { return (end - start) / kPageSize; }

@@ -192,6 +192,8 @@ FaultOutcome VmManager::HandleTranslationFault(MmStruct& mm, const VmArea& vma,
         return out;
       }
       const FrameNumber anon = *anon_opt;
+      // The private copy starts with the file page's content.
+      phys_->frame(anon).content = phys_->frame(file_frame).content;
       LinuxPte sw;
       sw.set_present(true);
       sw.set_young(true);
@@ -291,6 +293,8 @@ FaultOutcome VmManager::HandleSwapInFault(MmStruct& mm, const VmArea& vma,
       return out;
     }
     frame = *anon_opt;
+    // "Decompression" restores the page's content tag from the slot.
+    phys_->frame(frame).content = zram_->SlotContent(slot);
     zram_->AddToCache(slot, frame);  // takes its own frame + slot refs
     phys_->UnrefFrame(frame);        // drop the allocator's reference
     out.kernel_cycles += costs_->swap_decompress_page;
@@ -350,10 +354,13 @@ FaultOutcome VmManager::HandlePermissionFault(MmStruct& mm, const VmArea& vma,
     return out;
   }
 
-  // Private mapping: COW. Reuse the frame only when it is anonymous and
-  // this PTE is its sole reference.
+  // Private mapping: COW. Reuse the frame only when it is anonymous, this
+  // PTE is its sole reference, and it is not a KSM stable frame — a stable
+  // frame must never be written in place (the analogue of PageKsm in
+  // do_wp_page), because the stable tree indexes it by its content.
   const PageFrame& frame_meta = phys_->frame(old_hw.frame());
-  if (frame_meta.kind == FrameKind::kAnon && frame_meta.ref_count == 1) {
+  if (frame_meta.kind == FrameKind::kAnon && frame_meta.ref_count == 1 &&
+      !frame_meta.ksm_stable) {
     HwPte hw = old_hw;
     hw.set_perm(PtePerm::kReadWrite);
     pt.UpdatePte(va, hw, sw);
@@ -364,12 +371,24 @@ FaultOutcome VmManager::HandlePermissionFault(MmStruct& mm, const VmArea& vma,
       out.oom = true;
       return out;
     }
+    // Read the old frame's metadata before SetPte: dropping the PTE's
+    // reference may free the frame (last sharer of a stable page).
+    const FrameNumber old_frame = old_hw.frame();
+    const uint64_t old_content = frame_meta.content;
+    const bool was_ksm = frame_meta.ksm_stable;
+    phys_->frame(*anon_opt).content = old_content;
     pt.SetPte(va,
               HwPte::MakePage(*anon_opt, PtePerm::kReadWrite, /*global=*/false,
                               vma.prot.execute),
               sw);
     phys_->UnrefFrame(*anon_opt);
     counters_->faults_cow++;
+    if (was_ksm) {
+      // COW away from a stable frame: this sharer just unmerged.
+      counters_->ksm_unmerge_faults++;
+      Tracer::Emit(tracer_, TraceEventType::kKsmUnmerge, 0,
+                   VirtPageNumber(va), old_frame);
+    }
   }
   out.ok = true;
   return out;
@@ -645,6 +664,7 @@ VirtAddr VmManager::Mmap(MmStruct& mm, const MmapRequest& request,
   vma.is_stack = request.is_stack;
   vma.zygote_preloaded = request.zygote_preloaded;
   vma.use_large_pages = request.use_large_pages;
+  vma.mergeable = request.mergeable;
   vma.inherited = false;
   vma.name = request.name;
   mm.InsertVma(std::move(vma));

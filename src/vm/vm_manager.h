@@ -64,6 +64,9 @@ struct MmapRequest {
   bool is_stack = false;
   bool zygote_preloaded = false;
   bool use_large_pages = false;
+  // Register the region with KSM at creation (equivalent to an immediate
+  // madvise(MADV_MERGEABLE); Kernel::Madvise can also set it later).
+  bool mergeable = false;
   std::string name;
 };
 
@@ -136,18 +139,19 @@ class VmManager {
   // Releases every region and page-table page (process exit).
   void ExitMm(MmStruct& mm);
 
+  // Unshares the slot containing `va` if this mm holds it NEED_COPY.
+  // Returns PTEs copied, or nullopt if the private PTP could not be
+  // allocated (the slot is then untouched); accumulates modelled cost
+  // into *cycles. Public because the KSM daemon must privatize a shared
+  // PTP before repointing one of its PTEs at a stable frame.
+  std::optional<uint32_t> UnshareIfNeeded(MmStruct& mm, VirtAddr va,
+                                          const TlbFlushFn& flush_tlb,
+                                          Cycles* cycles);
+
  private:
   // HandleFault minus the tracing wrapper.
   FaultOutcome HandleFaultImpl(MmStruct& mm, const MemoryAbort& abort,
                                const TlbFlushFn& flush_tlb);
-
-  // Unshares the slot containing `va` if this mm holds it NEED_COPY.
-  // Returns PTEs copied, or nullopt if the private PTP could not be
-  // allocated (the slot is then untouched); accumulates modelled cost
-  // into *cycles.
-  std::optional<uint32_t> UnshareIfNeeded(MmStruct& mm, VirtAddr va,
-                                          const TlbFlushFn& flush_tlb,
-                                          Cycles* cycles);
 
   // Installs the PTE for a resolved fault, routing through the shared-PTP
   // populate path when the slot is shared.

@@ -7,10 +7,11 @@
 //     frame reference count is reported, not absorbed).
 //   * Randomized kernel-op fuzzing with deterministic allocation-failure
 //     injection, auditing after EVERY step: >= 10k steps across the
-//     suite (>= 12k of them with zram swap enabled), every intermediate
-//     state must be internally consistent — including the states reached
-//     through ENOMEM rollback, direct reclaim, swap-out/swap-in under
-//     injected pool-allocation failures, and OOM kills.
+//     suite (>= 12k of them with zram swap enabled, and another >= 12k
+//     with KSM merging active), every intermediate state must be
+//     internally consistent — including the states reached through
+//     ENOMEM rollback, direct reclaim, swap-out/swap-in under injected
+//     pool-allocation failures, OOM kills, and ksmd merge/unmerge.
 
 #include <gtest/gtest.h>
 
@@ -102,6 +103,7 @@ struct AuditFuzzCase {
   bool share_ptps;
   bool hw_l1_wp;
   uint64_t swap_mb = 0;  // zram size; 0 disables swap for the case
+  bool ksm = false;      // interleave madvise/WritePage/ksmd scans
 };
 
 class AuditFuzzTest : public ::testing::TestWithParam<AuditFuzzCase> {};
@@ -116,6 +118,12 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
   params.vm.hw_l1_write_protect = fuzz.hw_l1_wp;
   params.swap_bytes = fuzz.swap_mb * 1024 * 1024;
   params.fault_injection_seed = fuzz.seed * 97 + 1;
+  if (fuzz.ksm) {
+    // Periodic ksmd wakes fire from inside TouchPage/Fork/Mmap, on top of
+    // the explicit scan op below — merges happen at awkward moments.
+    params.ksm_enabled = true;
+    params.ksm_wake_interval = 7;
+  }
   Kernel kernel(params);
   kernel.fault_injector().SetRule(AllocSite::kFrame, FaultRule{0, 0, 0.02});
   kernel.fault_injector().SetRule(AllocSite::kPtp, FaultRule{0, 0, 0.02});
@@ -143,7 +151,7 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
     }
     Task* task = live[rng() % live.size()];
 
-    const uint64_t op_count = fuzz.swap_mb > 0 ? 13 : 12;
+    const uint64_t op_count = fuzz.ksm ? 16 : (fuzz.swap_mb > 0 ? 13 : 12);
     switch (rng() % op_count) {
       case 0:
       case 1: {  // mmap
@@ -153,6 +161,9 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
         if (rng() % 2 == 0) {
           request.prot = VmProt::ReadWrite();
           request.kind = VmKind::kAnonPrivate;
+          if (fuzz.ksm) {
+            request.mergeable = rng() % 2 == 0;
+          }
         } else {
           request.prot =
               (rng() % 2 == 0) ? VmProt::ReadExec() : VmProt::ReadWrite();
@@ -246,6 +257,42 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
         kernel.SwapOutAnonPages(1 + static_cast<uint32_t>(rng() % 16));
         break;
       }
+      case 13: {  // madvise (KSM cases only)
+        auto& list = regions[task];
+        if (list.empty()) {
+          break;
+        }
+        auto [start, pages] = list[rng() % list.size()];
+        const uint32_t first = static_cast<uint32_t>(rng() % pages);
+        const uint32_t count =
+            1 + static_cast<uint32_t>(rng() % (pages - first));
+        const MadviseAdvice advice = rng() % 4 == 0
+                                         ? MadviseAdvice::kUnmergeable
+                                         : MadviseAdvice::kMergeable;
+        kernel.Madvise(*task, start + first * kPageSize, count * kPageSize,
+                       advice);
+        break;
+      }
+      case 14: {  // write content (small alphabet => duplicates to merge,
+                  // and rewrites that unmerge/defeat the checksum skip)
+        auto& list = regions[task];
+        if (list.empty()) {
+          break;
+        }
+        auto [start, pages] = list[rng() % list.size()];
+        const VirtAddr va =
+            start + static_cast<uint32_t>(rng() % pages) * kPageSize;
+        const VmArea* vma = task->mm->FindVma(va);
+        if (vma == nullptr || !vma->prot.write) {
+          break;
+        }
+        kernel.WritePage(*task, va, rng() % 5);
+        break;
+      }
+      case 15: {  // explicit full ksmd pass
+        kernel.RunKsmScan();
+        break;
+      }
     }
 
     const AuditReport report = kernel.AuditInvariants();
@@ -268,6 +315,9 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
   EXPECT_EQ(kernel.zram().live_slots(), 0u);
   EXPECT_EQ(kernel.zram().stored_bytes(), 0u);
   EXPECT_EQ(kernel.phys().CountFrames(FrameKind::kZram), 0u);
+  // Every stable frame died with its last mapping and was pruned from the
+  // stable tree (the daemon observes frame frees).
+  EXPECT_EQ(kernel.ksm().pages_shared(), 0u);
   // The injector really fired; the suite fuzzes the failure paths, not
   // just the happy ones.
   EXPECT_GT(kernel.fault_injector().total_injected(), 0u);
@@ -282,6 +332,12 @@ std::vector<AuditFuzzCase> AuditFuzzCases() {
       {711, false, false, 16}, {812, false, false, 16},
       {913, true, false, 16},  {1014, true, false, 16},
       {1115, true, true, 16},  {1216, true, true, 16},
+      // KSM cases: ksmd scans (periodic and explicit) interleaved with
+      // fork/swap/munmap/fault under the same failure injection. 6 cases
+      // x 2000 ops = 12k audited steps with merging active.
+      {1317, false, false, 0, true}, {1418, false, false, 16, true},
+      {1519, true, false, 0, true},  {1620, true, false, 16, true},
+      {1721, true, true, 16, true},  {1822, true, true, 16, true},
   };
 }
 
@@ -293,6 +349,7 @@ INSTANTIATE_TEST_SUITE_P(
       name += c.share_ptps ? "_shared" : "_stock";
       if (c.hw_l1_wp) name += "_l1wp";
       if (c.swap_mb > 0) name += "_swap";
+      if (c.ksm) name += "_ksm";
       return name;
     });
 

@@ -6,8 +6,10 @@
 
 #include "src/mem/page_cache.h"
 #include "src/mem/phys_memory.h"
+#include "src/proc/kernel.h"
 #include "src/pt/ptp.h"
 #include "src/vm/mm.h"
+#include "src/vm/smaps.h"
 #include "src/vm/vm_manager.h"
 
 namespace sat {
@@ -674,6 +676,48 @@ TEST_F(VmTest, ExitReleasesEverything) {
   EXPECT_EQ(phys_.used_frames(), used_before + 8);
   EXPECT_EQ(phys_.CountFrames(FrameKind::kAnon), 0u);
   EXPECT_EQ(alloc_.live_ptps(), 0u);
+}
+
+TEST(SmapsKsmTest, MergedPagesAreReportedAndCountFractionallyInPss) {
+  KernelParams params;
+  params.phys_bytes = 32ull * 1024 * 1024;
+  Kernel kernel(params);
+  Task* task = kernel.CreateTask("app");
+  MmapRequest request;
+  request.length = 3 * kPageSize;
+  request.prot = VmProt::ReadWrite();
+  request.kind = VmKind::kAnonPrivate;
+  request.fixed_address = 0x40000000;
+  request.mergeable = true;
+  request.name = "heap";
+  ASSERT_EQ(kernel.Mmap(*task, request).value, 0x40000000u);
+  ASSERT_EQ(kernel.WritePage(*task, 0x40000000, 11), TouchStatus::kOk);
+  ASSERT_EQ(kernel.WritePage(*task, 0x40001000, 11), TouchStatus::kOk);
+  ASSERT_EQ(kernel.WritePage(*task, 0x40002000, 12), TouchStatus::kOk);
+
+  const SmapsReport before = GenerateSmaps(
+      *task->mm, kernel.ptp_allocator(), &kernel.rmap(), &kernel.phys());
+  EXPECT_EQ(before.total_ksm_merged_kb, 0u);
+
+  kernel.RunKsmScan();
+  ASSERT_EQ(kernel.RunKsmScan(), 1u);
+  const SmapsReport after = GenerateSmaps(
+      *task->mm, kernel.ptp_allocator(), &kernel.rmap(), &kernel.phys());
+  ASSERT_EQ(after.vmas.size(), 1u);
+  // Rss is unchanged (the PTEs are still resident) but the two merged
+  // pages now show as KsmMerged and split their stable frame in PSS: both
+  // rmap entries of the shared frame count as co-mappers.
+  EXPECT_EQ(after.vmas[0].rss_kb, before.vmas[0].rss_kb);
+  EXPECT_EQ(after.vmas[0].ksm_merged_kb, 8u);
+  EXPECT_EQ(after.total_ksm_merged_kb, 8u);
+  EXPECT_DOUBLE_EQ(after.vmas[0].pss_kb, 4.0 / 2 + 4.0 / 2 + 4.0);
+  EXPECT_EQ(after.vmas[0].shared_clean_kb, 8u);
+  EXPECT_EQ(after.vmas[0].private_kb, 4u);
+  // Passing no PhysicalMemory degrades gracefully: KsmMerged reads 0.
+  const SmapsReport blind =
+      GenerateSmaps(*task->mm, kernel.ptp_allocator(), &kernel.rmap());
+  EXPECT_EQ(blind.total_ksm_merged_kb, 0u);
+  EXPECT_NE(blind.ToString().find("KsmMerged"), std::string::npos);
 }
 
 }  // namespace
