@@ -67,6 +67,10 @@ KsmOutcome RunFleet(System& system, uint32_t heap_pages, bool scan) {
   std::vector<VirtAddr> heaps;
   for (uint32_t c = 0; c < kChildren; ++c) {
     Task* child = system.android().ForkApp("app" + std::to_string(c));
+    // Spread the fleet: merges then write-protect PTEs whose owners ran
+    // on other cores, so the rmap-derived sharer masks really span cores
+    // (all-on-one-core would make every shootdown a local flush).
+    kernel.ScheduleTo(*child, c % kernel.machine().num_cores());
     MmapRequest request;
     request.length = heap_pages * kPageSize;
     request.prot = VmProt::ReadWrite();

@@ -99,6 +99,16 @@ std::string SystemConfig::Name() const {
   if (ksm) {
     name += " [ksm]";
   }
+  if (num_cores > 1) {
+    name += " [" + std::to_string(num_cores) + " cores";
+    if (num_nodes > 1) {
+      name += ", " + std::to_string(num_nodes) + " nodes";
+    }
+    name += "]";
+  }
+  if (shootdown_policy == ShootdownPolicy::kBatched) {
+    name += " [batched shootdown]";
+  }
   return name;
 }
 
@@ -117,6 +127,8 @@ ZygoteParams SystemConfig::ToZygoteParams() const {
   params.kernel.core.asids_enabled = asids_enabled;
   params.kernel.core.isolation = isolation;
   params.kernel.num_cores = num_cores;
+  params.kernel.num_nodes = num_nodes;
+  params.kernel.shootdown_policy = shootdown_policy;
   params.kernel.trace = trace;
   params.kernel.ksm_enabled = ksm;
   params.kernel.ksm_wake_interval = ksm_wake_interval;

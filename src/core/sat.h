@@ -69,6 +69,16 @@ struct SystemConfig {
   // IPI shootdowns over each address space's cpumask.
   uint32_t num_cores = 1;
 
+  // Extension: NUMA nodes the cores and physical frames split into (must
+  // divide num_cores). Off-node L2 misses and cross-node IPIs pay the
+  // cost model's remote surcharges.
+  uint32_t num_nodes = 1;
+
+  // Extension: immediate per-PTE shootdown IPIs, or batched per-core
+  // deferred-flush queues drained at kernel sync points (the many-core
+  // scaling knob bench_smp sweeps).
+  ShootdownPolicy shootdown_policy = ShootdownPolicy::kImmediate;
+
   // Extension: how shared TLB entries are protected from non-members
   // (Section 5.2's design space: ARM domains / MPK / flush-on-switch).
   IsolationModel isolation = IsolationModel::kArmDomains;

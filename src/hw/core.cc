@@ -133,10 +133,13 @@ FaultStatus Core::Walk(VirtAddr va, AccessType access, TlbEntry* entry) {
   const auto ref = pt->FindPte(va);
   assert(ref.has_value());
   // The walker's PTE fetch goes through the cache hierarchy — with shared
-  // PTPs this line is physically shared by every sharer.
-  const Cycles pte_fetch = caches_.AccessPtw(
-      ref->ptp->HwEntryPhysAddr(ref->index), &counters_);
+  // PTPs this line is physically shared by every sharer, and it can live
+  // on a remote NUMA node.
+  const PhysAddr pte_pa = ref->ptp->HwEntryPhysAddr(ref->index);
+  const uint64_t l2_misses_before = counters_.l2_misses;
+  const Cycles pte_fetch = caches_.AccessPtw(pte_pa, &counters_);
   counters_.cycles += pte_fetch;
+  ChargeNumaIfRemote(pte_pa, l2_misses_before);
 
   const HwPte hw = ref->ptp->hw(ref->index);
   if (!hw.valid()) {
@@ -226,9 +229,11 @@ bool Core::AccessMemory(VirtAddr va, AccessType access, bool is_fetch) {
       case TlbResult::kHit: {
         const PhysAddr pa = FrameToPhys(entry.frame) +
                             (va - (static_cast<PhysAddr>(entry.vpn) << kPageShift));
+        const uint64_t l2_misses_before = counters_.l2_misses;
         const Cycles latency = is_fetch ? caches_.AccessInst(pa, &counters_)
                                         : caches_.AccessData(pa, &counters_);
         counters_.cycles += latency;
+        ChargeNumaIfRemote(pa, l2_misses_before);
         return true;
       }
       case TlbResult::kDomainFault: {
@@ -291,6 +296,18 @@ void Core::RunKernelPath(KernelPath path, Cycles cycles, uint32_t text_lines) {
     counters_.cycles +=
         caches_.AccessInst(window + cursor * kKernelLineSize, &counters_);
     cursor = (cursor + 1) % window_lines;
+  }
+}
+
+void Core::ChargeNumaIfRemote(PhysAddr pa, uint64_t l2_misses_before) {
+  if (numa_frames_per_node_ == 0 ||
+      counters_.l2_misses == l2_misses_before) {
+    return;  // NUMA off, or the access never left the cache hierarchy
+  }
+  const uint64_t frame = pa >> kPageShift;
+  if (frame / numa_frames_per_node_ != numa_node_) {
+    counters_.numa_remote_accesses++;
+    counters_.cycles += costs_->numa_remote_dram;
   }
 }
 

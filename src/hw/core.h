@@ -172,6 +172,16 @@ class Core {
   void FlushTlbAsid(Asid asid);
   void FlushTlbVa(VirtAddr va);
 
+  // Places this core on a NUMA node: an L2-missing access whose frame
+  // lives outside [node * frames_per_node, (node+1) * frames_per_node)
+  // pays the remote-DRAM surcharge. `frames_per_node == 0` disables NUMA
+  // accounting (the single-node default).
+  void ConfigureNuma(uint32_t node, uint64_t frames_per_node) {
+    numa_node_ = node;
+    numa_frames_per_node_ = frames_per_node;
+  }
+  uint32_t numa_node() const { return numa_node_; }
+
   // ---------------------------------------------------------------------
   // Observation.
   // ---------------------------------------------------------------------
@@ -201,6 +211,10 @@ class Core {
   // *entry on success.
   FaultStatus Walk(VirtAddr va, AccessType access, TlbEntry* entry);
 
+  // Charges the remote-DRAM surcharge when the access to `pa` missed the
+  // L2 (detected by the miss-counter delta) and `pa` is off-node.
+  void ChargeNumaIfRemote(PhysAddr pa, uint64_t l2_misses_before);
+
   const CostModel* costs_;
   KernelCounters* kernel_counters_;
   CoreConfig config_;
@@ -214,6 +228,9 @@ class Core {
   Cycles sample_interval_ = 0;
   Cycles next_sample_at_ = 0;
   PhysAddr kernel_text_base_;
+  // NUMA placement (see ConfigureNuma); 0 frames per node = NUMA off.
+  uint32_t numa_node_ = 0;
+  uint64_t numa_frames_per_node_ = 0;
   // Per-path rotation cursor through the kernel text windows.
   std::array<uint32_t, 6> kernel_path_cursor_{};
   CoreCounters counters_;

@@ -1,38 +1,167 @@
 #include "src/hw/machine.h"
 
-#include <cassert>
-
+#include "src/arch/check.h"
 #include "src/trace/trace.h"
 
 namespace sat {
 
+namespace {
+
+// Pending-queue cap per initiator. A mutator that outruns its own sync
+// points (a huge munmap, a full swap-out pass) collapses the queue into
+// one flush-everything entry instead of growing without bound — exactly
+// the kernel's full-flush heuristic for large ranges.
+constexpr size_t kPendingFlushCap = 64;
+
+}  // namespace
+
 Machine::Machine(const CostModel* costs, KernelCounters* kernel_counters,
                  PhysAddr kernel_text_base, const CoreConfig& config,
-                 uint32_t num_cores)
-    : costs_(costs), l2_(CacheHierarchy::MakeL2()) {
-  assert(num_cores >= 1 && num_cores <= 32);
+                 uint32_t num_cores, uint32_t num_nodes,
+                 ShootdownPolicy shootdown_policy)
+    : costs_(costs),
+      kernel_counters_(kernel_counters),
+      l2_(CacheHierarchy::MakeL2()),
+      num_nodes_(num_nodes),
+      policy_(shootdown_policy) {
+  // CpuMask is 64-bit: more cores than mask bits would overflow every
+  // cpumask the kernel keeps.
+  SAT_CHECK(num_cores >= 1 && num_cores <= 64 &&
+            "core count exceeds the cpumask width");
+  SAT_CHECK(num_nodes >= 1 && num_nodes <= num_cores &&
+            num_cores % num_nodes == 0 &&
+            "cores must split evenly across NUMA nodes");
   for (uint32_t i = 0; i < num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(costs, &l2_, kernel_counters,
                                             kernel_text_base, config));
   }
+  pending_.resize(num_cores);
 }
 
 template <typename FlushFn>
 void Machine::Broadcast(CpuMask mask, uint32_t initiator, FlushFn&& flush) {
   stats_.shootdowns++;
+  CpuMask remote = 0;
   for (uint32_t i = 0; i < num_cores(); ++i) {
-    if ((mask & (1u << i)) == 0) {
+    if ((mask & CpuBit(i)) == 0) {
       continue;
     }
     flush(*cores_[i]);
     if (i != initiator) {
-      // IPI round trip, charged to the initiating core, which waits for
-      // the acknowledgement.
-      stats_.ipis++;
-      cores_[initiator]->counters().cycles += costs_->tlb_shootdown_ipi;
-      Tracer::Emit(tracer_, TraceEventType::kTlbIpi, 0, i);
+      remote |= CpuBit(i);
     }
   }
+  DeliverIpis(remote, initiator);
+}
+
+void Machine::DeliverIpis(CpuMask targets, uint32_t initiator) {
+  // A CPU never interrupts itself: local flushes are synchronous.
+  SAT_CHECK((targets & CpuBit(initiator)) == 0 &&
+            "self-IPI: the initiator belongs in no remote target mask");
+  for (uint32_t i = 0; i < num_cores(); ++i) {
+    if ((targets & CpuBit(i)) == 0) {
+      continue;
+    }
+    // IPI round trip, charged to the initiating core, which waits for
+    // the acknowledgement. Crossing the interconnect to another NUMA
+    // node costs extra.
+    stats_.ipis++;
+    if (kernel_counters_ != nullptr) {
+      kernel_counters_->tlb_shootdown_ipis++;
+    }
+    Cycles cost = costs_->tlb_shootdown_ipi;
+    if (NodeOfCore(i) != NodeOfCore(initiator)) {
+      cost += costs_->numa_remote_ipi;
+    }
+    cores_[initiator]->counters().cycles += cost;
+    Tracer::Emit(tracer_, TraceEventType::kTlbIpi, 0, i);
+  }
+}
+
+void Machine::Enqueue(uint32_t initiator, PendingFlush flush) {
+  flush.mask &= AllCoresMask(num_cores()) & ~CpuBit(initiator);
+  if (flush.mask == 0) {
+    return;  // no remote core to reach — nothing deferred
+  }
+  stats_.batched_entries++;
+  if (kernel_counters_ != nullptr) {
+    kernel_counters_->tlb_batched_flushes++;
+  }
+  std::vector<PendingFlush>& queue = pending_[initiator];
+  if (queue.size() >= kPendingFlushCap) {
+    CpuMask all = flush.mask;
+    for (const PendingFlush& p : queue) {
+      all |= p.mask;
+    }
+    queue.clear();
+    queue.push_back(PendingFlush{PendingFlush::Kind::kAll, 0, 0, all});
+    stats_.batch_overflows++;
+    return;
+  }
+  queue.push_back(flush);
+}
+
+void Machine::ApplyFlush(const PendingFlush& flush, Core& core) {
+  switch (flush.kind) {
+    case PendingFlush::Kind::kAsid:
+      core.FlushTlbAsid(flush.asid);
+      break;
+    case PendingFlush::Kind::kVa:
+      core.FlushTlbVa(flush.va);
+      break;
+    case PendingFlush::Kind::kAll:
+      core.FlushTlbAll();
+      break;
+  }
+}
+
+void Machine::DrainPendingFlushes(uint32_t initiator) {
+  std::vector<PendingFlush>& queue = pending_[initiator];
+  if (queue.empty()) {
+    return;
+  }
+  stats_.batch_drains++;
+  if (kernel_counters_ != nullptr) {
+    kernel_counters_->tlb_batch_drains++;
+  }
+  TraceSpan span(tracer_, TraceEventType::kTlbShootdown);
+  CpuMask targets = 0;
+  for (const PendingFlush& p : queue) {
+    targets |= p.mask;
+    for (uint32_t i = 0; i < num_cores(); ++i) {
+      if (p.mask & CpuBit(i)) {
+        ApplyFlush(p, *cores_[i]);
+      }
+    }
+  }
+  span.set_args(queue.size(), targets);
+  queue.clear();
+  // One batched IPI per distinct remote core, however many flush entries
+  // targeted it — the whole point of deferring.
+  DeliverIpis(targets, initiator);
+}
+
+void Machine::DrainAllPendingFlushes() {
+  for (uint32_t i = 0; i < num_cores(); ++i) {
+    DrainPendingFlushes(i);
+  }
+}
+
+bool Machine::HasPendingFlushes() const {
+  for (const std::vector<PendingFlush>& queue : pending_) {
+    if (!queue.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PendingFlush> Machine::PendingFlushesSnapshot() const {
+  std::vector<PendingFlush> all;
+  for (const std::vector<PendingFlush>& queue : pending_) {
+    all.insert(all.end(), queue.begin(), queue.end());
+  }
+  return all;
 }
 
 void Machine::ShootdownAsid(Asid asid, CpuMask mask, uint32_t initiator) {
@@ -40,18 +169,43 @@ void Machine::ShootdownAsid(Asid asid, CpuMask mask, uint32_t initiator) {
   // cycles the initiator spends waiting.
   TraceSpan span(tracer_, TraceEventType::kTlbShootdown);
   span.set_args(asid, mask);
+  if (policy_ == ShootdownPolicy::kBatched) {
+    stats_.shootdowns++;
+    if (mask & CpuBit(initiator)) {
+      cores_[initiator]->FlushTlbAsid(asid);
+    }
+    Enqueue(initiator,
+            PendingFlush{PendingFlush::Kind::kAsid, asid, 0, mask});
+    return;
+  }
   Broadcast(mask, initiator, [asid](Core& core) { core.FlushTlbAsid(asid); });
 }
 
 void Machine::ShootdownVa(VirtAddr va, CpuMask mask, uint32_t initiator) {
   TraceSpan span(tracer_, TraceEventType::kTlbShootdown);
   span.set_args(VirtPageNumber(va), mask);
+  if (policy_ == ShootdownPolicy::kBatched) {
+    stats_.shootdowns++;
+    if (mask & CpuBit(initiator)) {
+      cores_[initiator]->FlushTlbVa(va);
+    }
+    Enqueue(initiator, PendingFlush{PendingFlush::Kind::kVa, 0, va, mask});
+    return;
+  }
   Broadcast(mask, initiator, [va](Core& core) { core.FlushTlbVa(va); });
 }
 
 void Machine::ShootdownAll(CpuMask mask, uint32_t initiator) {
   TraceSpan span(tracer_, TraceEventType::kTlbShootdown);
   span.set_args(0, mask);
+  if (policy_ == ShootdownPolicy::kBatched) {
+    stats_.shootdowns++;
+    if (mask & CpuBit(initiator)) {
+      cores_[initiator]->FlushTlbAll();
+    }
+    Enqueue(initiator, PendingFlush{PendingFlush::Kind::kAll, 0, 0, mask});
+    return;
+  }
   Broadcast(mask, initiator, [](Core& core) { core.FlushTlbAll(); });
 }
 

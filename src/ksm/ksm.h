@@ -77,9 +77,11 @@ class KsmDaemon : public FrameLifecycleObserver {
 
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
-  // Per-VA TLB shootdown over every core, used when a PTE is downgraded
-  // or repointed. May be left unset in page-table-only tests.
-  void set_flush_va(std::function<void(VirtAddr)> flush_va) {
+  // Per-VA TLB shootdown used when a PTE is downgraded or repointed; the
+  // PTP whose entry changed rides along so the kernel can derive the
+  // shootdown cpumask from its sharer set. May be left unset in
+  // page-table-only tests.
+  void set_flush_va(std::function<void(VirtAddr, PtpId)> flush_va) {
     flush_va_ = std::move(flush_va);
   }
 
@@ -142,9 +144,9 @@ class KsmDaemon : public FrameLifecycleObserver {
   bool MergeInto(const KsmScanTarget& target, VirtAddr va,
                  FrameNumber stable);
 
-  void FlushVa(VirtAddr va) {
+  void FlushVa(VirtAddr va, PtpId ptp) {
     if (flush_va_) {
-      flush_va_(va);
+      flush_va_(va, ptp);
     }
   }
 
@@ -154,7 +156,7 @@ class KsmDaemon : public FrameLifecycleObserver {
   VmManager* vm_;
   KernelCounters* counters_;
   Tracer* tracer_ = nullptr;
-  std::function<void(VirtAddr)> flush_va_;
+  std::function<void(VirtAddr, PtpId)> flush_va_;
 
   // Stable tree: content -> canonical frame. Ordered by content so every
   // iteration over it is deterministic.

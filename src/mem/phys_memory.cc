@@ -8,17 +8,24 @@
 
 namespace sat {
 
-PhysicalMemory::PhysicalMemory(uint64_t size_bytes) {
+PhysicalMemory::PhysicalMemory(uint64_t size_bytes, uint32_t num_nodes)
+    : num_nodes_(num_nodes) {
   assert(size_bytes % kPageSize == 0 && "physical memory must be page-sized");
   const uint64_t n = size_bytes / kPageSize;
   assert(n >= 2 && "need at least a zero frame and one usable frame");
+  SAT_CHECK(num_nodes >= 1 && "at least one NUMA node");
   frames_.resize(n);
   free_listed_.assign(n, false);
-  free_list_.reserve(n);
-  // Push high frames first so low frame numbers are handed out first,
-  // which keeps test expectations simple and deterministic.
+  frames_per_node_ = (n + num_nodes - 1) / num_nodes;
+  SAT_CHECK(frames_per_node_ >= 1 && "more NUMA nodes than frames");
+  free_lists_.resize(num_nodes);
+  // Push high frames first so low frame numbers are handed out first
+  // (within each node), which keeps test expectations simple and
+  // deterministic. On a single-node machine this is the classic global
+  // free list, bit for bit.
   for (uint64_t i = n; i-- > 1;) {
-    free_list_.push_back(static_cast<FrameNumber>(i));
+    free_lists_[NodeOfFrame(static_cast<FrameNumber>(i))].push_back(
+        static_cast<FrameNumber>(i));
     free_listed_[i] = true;
   }
   free_count_ = n - 1;
@@ -26,6 +33,23 @@ PhysicalMemory::PhysicalMemory(uint64_t size_bytes) {
   zero_frame_ = 0;
   frames_[0].kind = FrameKind::kZero;
   frames_[0].ref_count = 1;
+}
+
+std::optional<FrameNumber> PhysicalMemory::PopFreeFrame(uint32_t node) {
+  std::vector<FrameNumber>& free_list = free_lists_[node];
+  // Drop entries claimed out-of-band by TryAllocContiguousFrames.
+  while (!free_list.empty() &&
+         frames_[free_list.back()].kind != FrameKind::kFree) {
+    free_listed_[free_list.back()] = false;
+    free_list.pop_back();
+  }
+  if (free_list.empty()) {
+    return std::nullopt;
+  }
+  const FrameNumber number = free_list.back();
+  free_list.pop_back();
+  free_listed_[number] = false;
+  return number;
 }
 
 std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
@@ -38,18 +62,20 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
       return std::nullopt;
     }
   }
-  // Drop entries claimed out-of-band by TryAllocContiguousFrames.
-  while (!free_list_.empty() &&
-         frames_[free_list_.back()].kind != FrameKind::kFree) {
-    free_listed_[free_list_.back()] = false;
-    free_list_.pop_back();
+  // First-touch placement: the preferred node first, then the others in
+  // ascending order (an off-node fallback beats an allocation failure).
+  std::optional<FrameNumber> popped = PopFreeFrame(
+      preferred_node_ < num_nodes_ ? preferred_node_ : 0);
+  for (uint32_t node = 0; !popped.has_value() && node < num_nodes_; ++node) {
+    if (node == preferred_node_) {
+      continue;
+    }
+    popped = PopFreeFrame(node);
   }
-  if (free_list_.empty()) {
+  if (!popped.has_value()) {
     return std::nullopt;
   }
-  const FrameNumber number = free_list_.back();
-  free_list_.pop_back();
-  free_listed_[number] = false;
+  const FrameNumber number = *popped;
   free_count_--;
   PageFrame& f = frames_[number];
   f.kind = kind;
@@ -139,7 +165,7 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
   f.content = 0;
   f.ksm_stable = false;
   if (!free_listed_[number]) {
-    free_list_.push_back(number);
+    free_lists_[NodeOfFrame(number)].push_back(number);
     free_listed_[number] = true;
   }
   free_count_++;

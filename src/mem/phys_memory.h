@@ -92,8 +92,13 @@ struct PageFrame {
 // double-free) is always a programming error and aborts.
 class PhysicalMemory {
  public:
-  // `size_bytes` must be a multiple of the page size.
-  explicit PhysicalMemory(uint64_t size_bytes);
+  // `size_bytes` must be a multiple of the page size. With more than one
+  // NUMA node, frames are split into `num_nodes` equal contiguous blocks
+  // (frames [0, per_node) are node 0, and so on) with a free list per
+  // node; TryAllocFrame serves the preferred node first and falls back to
+  // the others in ascending order. A single-node machine behaves exactly
+  // as before.
+  explicit PhysicalMemory(uint64_t size_bytes, uint32_t num_nodes = 1);
 
   PhysicalMemory(const PhysicalMemory&) = delete;
   PhysicalMemory& operator=(const PhysicalMemory&) = delete;
@@ -138,6 +143,17 @@ class PhysicalMemory {
   // The always-present shared zero page backing untouched anon reads.
   FrameNumber zero_frame() const { return zero_frame_; }
 
+  // NUMA topology.
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t frames_per_node() const { return frames_per_node_; }
+  uint32_t NodeOfFrame(FrameNumber frame) const {
+    return static_cast<uint32_t>(frame / frames_per_node_);
+  }
+  // First-touch policy: the kernel sets this to the node of the core that
+  // is about to fault a page in, so new frames land node-local.
+  void set_preferred_node(uint32_t node) { preferred_node_ = node; }
+  uint32_t preferred_node() const { return preferred_node_; }
+
   uint64_t total_frames() const { return frames_.size(); }
   uint64_t free_frames() const { return free_count_; }
   uint64_t used_frames() const { return frames_.size() - free_count_; }
@@ -149,13 +165,22 @@ class PhysicalMemory {
   std::string ToString() const;
 
  private:
+  // Pops the next genuinely free frame of `node`'s list, skipping entries
+  // claimed out-of-band by TryAllocContiguousFrames. Returns nullopt when
+  // the node is exhausted.
+  std::optional<FrameNumber> PopFreeFrame(uint32_t node);
+
   std::vector<PageFrame> frames_;
-  std::vector<FrameNumber> free_list_;
-  // Whether a frame currently has an entry in free_list_ (entries can go
-  // stale when AllocContiguousFrames claims frames out-of-band; stale
-  // entries are skipped and discarded by AllocFrame).
+  // One free list per NUMA node (a single list on single-node machines).
+  std::vector<std::vector<FrameNumber>> free_lists_;
+  // Whether a frame currently has an entry in its node's free list
+  // (entries can go stale when AllocContiguousFrames claims frames
+  // out-of-band; stale entries are skipped and discarded by AllocFrame).
   std::vector<bool> free_listed_;
   uint64_t free_count_ = 0;
+  uint32_t num_nodes_ = 1;
+  uint64_t frames_per_node_ = 0;
+  uint32_t preferred_node_ = 0;
   FrameNumber zero_frame_ = 0;
   FaultInjector* injector_ = nullptr;
   std::vector<FrameLifecycleObserver*> observers_;

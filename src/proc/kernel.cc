@@ -40,7 +40,8 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   tracer_ = std::make_unique<Tracer>(params.trace);
   fault_injector_ =
       std::make_unique<FaultInjector>(params.fault_injection_seed);
-  phys_ = std::make_unique<PhysicalMemory>(params.phys_bytes);
+  phys_ = std::make_unique<PhysicalMemory>(params.phys_bytes,
+                                           params.num_nodes);
   phys_->set_fault_injector(fault_injector_.get());
   lru_ = std::make_unique<FrameLru>(phys_->total_frames());
   phys_->AddObserver(lru_.get());
@@ -78,7 +79,15 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   const PhysAddr kernel_text_base = FrameToPhys(
       static_cast<FrameNumber>(phys_->total_frames()));
   machine_ = std::make_unique<Machine>(&costs_, &counters_, kernel_text_base,
-                                       params.core, params.num_cores);
+                                       params.core, params.num_cores,
+                                       params.num_nodes,
+                                       params.shootdown_policy);
+  if (params.num_nodes > 1) {
+    for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
+      machine_->core(i).ConfigureNuma(machine_->NodeOfCore(i),
+                                      phys_->frames_per_node());
+    }
+  }
   // Thread the tracer through every instrumented subsystem; its clock is
   // the machine's summed execution cycles.
   tracer_->set_clock([this] { return machine_->TotalCycles(); });
@@ -87,36 +96,62 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   reclaimer_->set_tracer(tracer_.get());
   swap_mgr_->set_tracer(tracer_.get());
   ksm_->set_tracer(tracer_.get());
-  // ksmd edits PTEs from outside any one task's context, so its per-VA
-  // shootdowns broadcast to every core (like the reclaimer's).
-  ksm_->set_flush_va([this](VirtAddr va) {
-    const CpuMask all = (1u << machine_->num_cores()) - 1;
-    machine_->ShootdownVa(va, all, /*initiator=*/0);
+  // ksmd edits PTEs from outside any one task's context; the shootdown
+  // mask comes from the rmap sharer set of the PTP it edited (KSM pages
+  // are anonymous, never global), and the IPIs are attributed to the
+  // core whose kernel entry woke the daemon.
+  ksm_->set_flush_va([this](VirtAddr va, PtpId ptp) {
+    machine_->ShootdownVa(va, SharerMaskFor(va, ptp, /*global=*/false),
+                          active_core_);
   });
   current_.resize(machine_->num_cores(), nullptr);
   for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
     machine_->core(i).set_abort_handler([this, i](const MemoryAbort& abort) {
       Task* task = current_[i];
       assert(task != nullptr && "abort with no current task");
+      SetActiveCore(i);
       const FaultOutcome outcome =
           vm_->HandleFault(*task->mm, abort, FlushFnFor(*task));
       machine_->core(i).RunKernelPath(KernelPath::kFaultHandler,
                                       outcome.kernel_cycles,
                                       costs_.fault_kernel_lines);
+      // Fault-handler exit is a batched-shootdown sync point.
+      SyncShootdowns();
       return outcome.ok;
     });
   }
 }
 
 Asid Kernel::AllocateAsid() {
-  if (next_asid_ > 255) {
-    // ASID rollover: new generation, flush everything everywhere (the
-    // Linux/ARM rollover analogue, kept simple).
-    const CpuMask all = (1u << machine_->num_cores()) - 1;
-    machine_->ShootdownAll(all, /*initiator=*/0);
-    next_asid_ = 1;
+  // Scan from next_asid_, skipping ASIDs still held by live tasks. The
+  // old "reset to 1 and reissue" rollover aliased the 256th task with a
+  // live one: two address spaces under one ASID means one can hit the
+  // other's TLB entries.
+  for (uint32_t scanned = 0; scanned <= 255; ++scanned) {
+    if (next_asid_ > 255) {
+      // ASID rollover: new generation, flush everything everywhere (the
+      // Linux/ARM rollover analogue, kept simple). Live tasks keep their
+      // ASIDs — their entries are refetched after the flush. Rollover is
+      // a correctness point, so the flush may not linger in a pending
+      // queue: drain immediately.
+      machine_->ShootdownAll(AllCoresMask(machine_->num_cores()),
+                             active_core_);
+      machine_->DrainAllPendingFlushes();
+      next_asid_ = 1;
+    }
+    const Asid asid = static_cast<Asid>(next_asid_++);
+    if (!asid_live_[asid]) {
+      asid_live_[asid] = true;
+      return asid;
+    }
   }
-  return static_cast<Asid>(next_asid_++);
+  SAT_CHECK(false && "ASID space exhausted: 255 live tasks");
+  return 0;
+}
+
+void Kernel::ReleaseAsid(Asid asid) {
+  SAT_CHECK(asid_live_[asid] && "releasing an ASID that was never issued");
+  asid_live_[asid] = false;
 }
 
 MmuContext Kernel::ContextFor(Task& task) {
@@ -132,23 +167,71 @@ TlbFlushFn Kernel::FlushFnFor(Task& task) {
   return [this, &task]() {
     // "Flush all TLB entries occupied by the current process": an ASID
     // shootdown over every core the address space has run on.
-    const CpuMask mask = task.cpu_mask | (1u << task.last_core);
+    const CpuMask mask = task.cpu_mask | CpuBit(task.last_core);
     machine_->ShootdownAsid(task.asid, mask, task.last_core);
   };
 }
 
-void Kernel::FlushRange(Task& task, VirtAddr start, VirtAddr end) {
+void Kernel::FlushRange(Task& task, VirtAddr start, VirtAddr end,
+                        CpuMask extra_mask) {
   // Linux-style heuristic: a handful of page flushes for small ranges, a
   // full flush otherwise. Per-VA flushes also evict matching *global*
-  // entries, which matters when global mappings are modified.
+  // entries, which matters when global mappings are modified — the caller
+  // widens the mask past the task's own cores for that case, because a
+  // global entry is cached wherever the *sharing group* ran, not just
+  // where this task did.
   constexpr uint32_t kMaxPageFlushes = 64;
-  const CpuMask mask = task.cpu_mask | (1u << task.last_core);
+  const CpuMask mask = (task.cpu_mask | CpuBit(task.last_core) | extra_mask) &
+                       AllCoresMask(machine_->num_cores());
   if ((end - start) / kPageSize <= kMaxPageFlushes) {
     for (uint64_t va = start; va < end; va += kPageSize) {
       machine_->ShootdownVa(static_cast<VirtAddr>(va), mask, task.last_core);
     }
   } else {
     machine_->ShootdownAll(mask, task.last_core);
+  }
+}
+
+CpuMask Kernel::SharerMaskFor(VirtAddr va, PtpId ptp, bool global) const {
+  // The rmap tells the daemons *which PTPs* map a frame; which *cores*
+  // may cache the translation follows from the tasks whose L1 points at
+  // that PTP — exactly the sharer set a shared PTP accumulates.
+  CpuMask mask = CpuBit(active_core_);
+  const uint32_t slot = PtpSlotIndex(va);
+  for (const auto& t : tasks_) {
+    if (!t->alive || t->mm == nullptr) {
+      continue;
+    }
+    if (t->mm->page_table().l1(slot).ptp != ptp) {
+      continue;
+    }
+    mask |= t->cpu_mask | CpuBit(t->last_core);
+  }
+  if (global) {
+    mask |= zygote_cpu_mask_;
+  }
+  return mask & AllCoresMask(machine_->num_cores());
+}
+
+CpuMask Kernel::GlobalFlushExtraMask(Task& task, VirtAddr start,
+                                     VirtAddr end) const {
+  if (!vm_->config().share_tlb_global) {
+    return 0;
+  }
+  for (const VmArea* vma : task.mm->VmasOverlapping(start, end)) {
+    if (vma->global) {
+      return zygote_cpu_mask_;
+    }
+  }
+  return 0;
+}
+
+void Kernel::SyncShootdowns() { machine_->DrainAllPendingFlushes(); }
+
+void Kernel::SetActiveCore(uint32_t core_id) {
+  active_core_ = core_id;
+  if (machine_->num_nodes() > 1) {
+    phys_->set_preferred_node(machine_->NodeOfCore(core_id));
   }
 }
 
@@ -168,6 +251,7 @@ Task* Kernel::CreateTask(const std::string& name) {
 
 ForkOutcome Kernel::Fork(Task& parent, const std::string& name) {
   assert(parent.mm != nullptr);
+  SetActiveCore(parent.last_core);
   TraceSpan span(tracer_.get(), TraceEventType::kFork, parent.pid);
   ForkOutcome outcome;
   Task* child = CreateTask(name);
@@ -197,11 +281,17 @@ ForkOutcome Kernel::Fork(Task& parent, const std::string& name) {
       // pid and ASID are simply un-issued again.
       counters_.forks_failed++;
       assert(tasks_.back().get() == child);
+      ReleaseAsid(child->asid);
+      // Un-issue the ASID number too when it was the newest, so a failed
+      // fork leaves the allocator exactly where it started.
+      if (next_asid_ == static_cast<uint32_t>(child->asid) + 1) {
+        next_asid_--;
+      }
       tasks_.pop_back();
       next_pid_--;
-      next_asid_--;
       span.set_args(0, 0);
       outcome.error = Errno::kEnomem;
+      SyncShootdowns();
       return outcome;
     }
   }
@@ -212,13 +302,16 @@ ForkOutcome Kernel::Fork(Task& parent, const std::string& name) {
   span.set_duration(outcome.stats.cycles);
   RunKswapdIfNeeded();
   outcome.child = child;
+  SyncShootdowns();
   return outcome;
 }
 
 void Kernel::Exec(Task& task, const std::string& name, bool is_zygote) {
+  SetActiveCore(task.last_core);
   Tracer::Emit(tracer_.get(), TraceEventType::kExec, task.pid, task.pid);
   vm_->ExitMm(*task.mm);
   FlushFnFor(task)();
+  SyncShootdowns();
   task.name = name;
   task.zygote = is_zygote;
   task.zygote_child = false;
@@ -233,9 +326,23 @@ void Kernel::Exec(Task& task, const std::string& name, bool is_zygote) {
 
 void Kernel::Exit(Task& task) {
   assert(task.alive);
+  SetActiveCore(task.last_core);
   Tracer::Emit(tracer_.get(), TraceEventType::kExit, task.pid, task.pid);
   vm_->ExitMm(*task.mm);
   FlushFnFor(task)();
+  if (task.zygote && vm_->config().share_tlb_global) {
+    // The zygote's global entries are not ASID-tagged, so the ASID flush
+    // above leaves them cached on every core the sharing group ever ran
+    // on. Zygote exit is rare enough to pay for a full shootdown there.
+    machine_->ShootdownAll(
+        (zygote_cpu_mask_ | task.cpu_mask | CpuBit(task.last_core)) &
+            AllCoresMask(machine_->num_cores()),
+        task.last_core);
+  }
+  // Drain before the ASID goes back in the pool: reissuing an ASID whose
+  // flush is still queued would alias the new task with this one.
+  SyncShootdowns();
+  ReleaseAsid(task.asid);
   task.alive = false;
   task.cpu_mask = 0;
   for (Task*& current : current_) {
@@ -250,6 +357,7 @@ SyscallResult<VirtAddr> Kernel::Mmap(Task& task, MmapRequest request) {
       !IsPageAligned(request.fixed_address)) {
     return SyscallResult<VirtAddr>::Err(Errno::kEinval);
   }
+  SetActiveCore(task.last_core);
   // Section 3.2.2's global-region policy: the zygote mapping shared
   // library code marks the region global (only meaningful when TLB
   // sharing is on; the bit is still recorded so experiments can observe
@@ -265,6 +373,7 @@ SyscallResult<VirtAddr> Kernel::Mmap(Task& task, MmapRequest request) {
     const VirtAddr addr = vm_->Mmap(*task.mm, request, FlushFnFor(task), &oom);
     if (addr != 0) {
       RunKswapdIfNeeded();
+      SyncShootdowns();
       return SyscallResult<VirtAddr>::Ok(addr);
     }
     if (!oom) {
@@ -286,6 +395,10 @@ SyscallResult<void> Kernel::Munmap(Task& task, VirtAddr start,
   if (task.mm->VmasOverlapping(start, start + length).empty()) {
     return SyscallResult<void>::Err(Errno::kEfault);
   }
+  SetActiveCore(task.last_core);
+  // A global mapping's stale entries live on the whole sharing group's
+  // cores; the vmas are gone after the unmap, so widen the mask now.
+  const CpuMask extra = GlobalFlushExtraMask(task, start, start + length);
   while (true) {
     bool oom = false;
     vm_->Munmap(*task.mm, start, length, FlushFnFor(task), &oom);
@@ -299,7 +412,8 @@ SyscallResult<void> Kernel::Munmap(Task& task, VirtAddr start,
       return SyscallResult<void>::Err(Errno::kKilled);
     }
   }
-  FlushRange(task, start, start + length);
+  FlushRange(task, start, start + length, extra);
+  SyncShootdowns();
   return SyscallResult<void>::Ok();
 }
 
@@ -311,6 +425,8 @@ SyscallResult<void> Kernel::Mprotect(Task& task, VirtAddr start,
   if (task.mm->VmasOverlapping(start, start + length).empty()) {
     return SyscallResult<void>::Err(Errno::kEfault);
   }
+  SetActiveCore(task.last_core);
+  const CpuMask extra = GlobalFlushExtraMask(task, start, start + length);
   while (true) {
     bool oom = false;
     vm_->Mprotect(*task.mm, start, length, prot, FlushFnFor(task), &oom);
@@ -322,7 +438,8 @@ SyscallResult<void> Kernel::Mprotect(Task& task, VirtAddr start,
       return SyscallResult<void>::Err(Errno::kKilled);
     }
   }
-  FlushRange(task, start, start + length);
+  FlushRange(task, start, start + length, extra);
+  SyncShootdowns();
   return SyscallResult<void>::Ok();
 }
 
@@ -354,6 +471,7 @@ TouchStatus Kernel::TouchAndMaybeStore(Task& task, VirtAddr va,
                                        AccessType access,
                                        const uint64_t* store) {
   assert(task.mm != nullptr);
+  SetActiveCore(task.last_core);
   PageTable& pt = task.mm->page_table();
   // Each iteration either succeeds, makes fault progress, or frees
   // memory; the cap only guards against a livelocked fault handler.
@@ -405,6 +523,7 @@ TouchStatus Kernel::TouchAndMaybeStore(Task& task, VirtAddr va,
           phys_->frame(frame).content = *store;
         }
         RunKswapdIfNeeded();
+        SyncShootdowns();
         return TouchStatus::kOk;
       }
     }
@@ -417,6 +536,7 @@ TouchStatus Kernel::TouchAndMaybeStore(Task& task, VirtAddr va,
     abort.is_prefetch_abort = access == AccessType::kExecute;
     const FaultOutcome outcome =
         vm_->HandleFault(*task.mm, abort, FlushFnFor(task));
+    SyncShootdowns();  // fault-handler exit
     if (outcome.ok) {
       continue;
     }
@@ -450,20 +570,29 @@ TouchStatus Kernel::WritePage(Task& task, VirtAddr va, uint64_t value) {
 }
 
 ReclaimStats Kernel::ReclaimFileCache(uint32_t target) {
-  const CpuMask all = (1u << machine_->num_cores()) - 1;
-  return reclaimer_->ReclaimFileCache(target, [this, all](VirtAddr va) {
-    machine_->ShootdownVa(va, all, /*initiator=*/0);
-  });
+  // Each cleared PTE is flushed over its PTP's sharer set (not a blind
+  // all-cores broadcast), attributed to the core whose kernel entry is
+  // doing the reclaiming.
+  const ReclaimStats stats = reclaimer_->ReclaimFileCache(
+      target, [this](VirtAddr va, PtpId ptp, bool global) {
+        machine_->ShootdownVa(va, SharerMaskFor(va, ptp, global),
+                              active_core_);
+      });
+  SyncShootdowns();  // daemon tick
+  return stats;
 }
 
 uint32_t Kernel::SwapOutAnonPages(uint32_t target) {
   if (!zram_->enabled()) {
     return 0;
   }
-  const CpuMask all = (1u << machine_->num_cores()) - 1;
-  return swap_mgr_->SwapOut(target, [this, all](VirtAddr va) {
-    machine_->ShootdownVa(va, all, /*initiator=*/0);
-  });
+  const uint32_t freed = swap_mgr_->SwapOut(
+      target, [this](VirtAddr va, PtpId ptp, bool global) {
+        machine_->ShootdownVa(va, SharerMaskFor(va, ptp, global),
+                              active_core_);
+      });
+  SyncShootdowns();  // daemon tick
+  return freed;
 }
 
 uint32_t Kernel::RunKsmScan() {
@@ -475,7 +604,9 @@ uint32_t Kernel::RunKsmScan() {
     }
     targets.push_back(KsmScanTarget{t->mm.get(), t->pid, FlushFnFor(*t)});
   }
-  return ksm_->ScanOnce(targets);
+  const uint32_t merged = ksm_->ScanOnce(targets);
+  SyncShootdowns();  // daemon tick
+  return merged;
 }
 
 void Kernel::RunKswapdIfNeeded() {
@@ -516,6 +647,7 @@ void Kernel::RunKswapdIfNeeded() {
   counters_.kswapd_pages += freed_total;
   span.set_args(freed_total, phys_->free_frames());
   in_kswapd_ = false;
+  SyncShootdowns();  // daemon tick
 }
 
 uint64_t Kernel::TaskRssPages(const Task& task) const {
@@ -596,6 +728,18 @@ AuditReport Kernel::AuditInvariants() const {
     input.spaces.push_back(AuditSpace{task->mm.get(), task->pid, task->asid,
                                       task->IsZygoteLike(), task->dacr});
   }
+  // A TLB entry may legally be stale while a covering flush sits in a
+  // pending queue; hand the auditor the queues so it can tell that
+  // window from a genuine under-flush.
+  for (const PendingFlush& p : machine_->PendingFlushesSnapshot()) {
+    AuditPendingFlush pending;
+    pending.kind =
+        static_cast<AuditPendingFlush::Kind>(static_cast<uint8_t>(p.kind));
+    pending.asid = p.asid;
+    pending.va = p.va;
+    pending.cpu_mask = p.mask;
+    input.pending_flushes.push_back(pending);
+  }
   for (uint32_t c = 0; c < machine_->num_cores(); ++c) {
     Core& core = machine_->core(c);
     const MainTlb& main = core.main_tlb();
@@ -623,9 +767,16 @@ AuditReport Kernel::AuditInvariants() const {
 void Kernel::ScheduleTo(Task& task, uint32_t core_id) {
   assert(task.alive);
   assert(core_id < machine_->num_cores());
+  // Context switch is a batched-shootdown sync point: no stale window may
+  // outlive the switch into another address space.
+  SyncShootdowns();
   current_[core_id] = &task;
-  task.cpu_mask |= 1u << core_id;
+  task.cpu_mask |= CpuBit(core_id);
   task.last_core = core_id;
+  SetActiveCore(core_id);
+  if (task.IsZygoteLike()) {
+    zygote_cpu_mask_ |= CpuBit(core_id);
+  }
   Tracer::Emit(tracer_.get(), TraceEventType::kContextSwitch, task.pid,
                task.asid, core_id);
   machine_->core(core_id).SwitchContext(ContextFor(task));
@@ -633,9 +784,14 @@ void Kernel::ScheduleTo(Task& task, uint32_t core_id) {
 
 void Kernel::SetCurrent(Task& task, uint32_t core_id) {
   assert(core_id < machine_->num_cores());
+  SyncShootdowns();
   current_[core_id] = &task;
-  task.cpu_mask |= 1u << core_id;
+  task.cpu_mask |= CpuBit(core_id);
   task.last_core = core_id;
+  SetActiveCore(core_id);
+  if (task.IsZygoteLike()) {
+    zygote_cpu_mask_ |= CpuBit(core_id);
+  }
   machine_->core(core_id).SetContext(ContextFor(task));
 }
 

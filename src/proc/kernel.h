@@ -15,6 +15,7 @@
 #ifndef SRC_PROC_KERNEL_H_
 #define SRC_PROC_KERNEL_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,6 +51,15 @@ struct KernelParams {
   // experiments pin to one). TLB maintenance becomes an IPI shootdown
   // over each address space's cpumask when > 1.
   uint32_t num_cores = 1;
+  // NUMA nodes: cores and physical frames are split into this many equal
+  // contiguous blocks. Off-node L2 misses and cross-node IPIs pay the
+  // cost model's remote surcharges. Must divide num_cores.
+  uint32_t num_nodes = 1;
+  // How TLB shootdowns reach remote cores: kImmediate IPIs on every
+  // flush; kBatched defers remote flushes to per-core queues drained at
+  // the kernel's sync points (context switch, syscall return, fault
+  // return, daemon tick) — one IPI per distinct target per drain.
+  ShootdownPolicy shootdown_policy = ShootdownPolicy::kImmediate;
   CostModel costs = CostModel::Default();
   // Event tracing (off by default; never charges simulated cycles).
   TraceConfig trace;
@@ -231,7 +241,14 @@ class Kernel {
   const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
 
  private:
+  // Hands out an ASID no live task holds (scanning from next_asid_ and
+  // wrapping). On rollover — the search passes 255 — every TLB is flushed
+  // before the generation restarts, exactly like Linux/ARM's rollover.
   Asid AllocateAsid();
+  // Returns a dead task's ASID to the allocator. Call only after the
+  // ASID's TLB entries are flushed (pending queues drained): reissuing a
+  // still-cached ASID would alias two address spaces.
+  void ReleaseAsid(Asid asid);
   // The common access path: fault until the access is allowed, then (for
   // WritePage) stamp the frame's content before the daemon wake point.
   TouchStatus TouchAndMaybeStore(Task& task, VirtAddr va, AccessType access,
@@ -248,8 +265,27 @@ class Kernel {
   // The flush-current-process callback handed to VM operations: an ASID
   // shootdown over the task's cpumask.
   TlbFlushFn FlushFnFor(Task& task);
-  // Precise range flush after PTE-clearing operations.
-  void FlushRange(Task& task, VirtAddr start, VirtAddr end);
+  // Precise range flush after PTE-clearing operations. `extra_mask` adds
+  // cores beyond the task's own cpumask — the global-entry case, where
+  // the stale translations live wherever the sharing group ran.
+  void FlushRange(Task& task, VirtAddr start, VirtAddr end,
+                  CpuMask extra_mask = 0);
+  // The rmap-derived shootdown mask for a PTE edit at `va` through `ptp`:
+  // every core used by any address space whose L1 points at that PTP,
+  // plus (for global entries) every core the zygote sharing group ran on.
+  CpuMask SharerMaskFor(VirtAddr va, PtpId ptp, bool global) const;
+  // Extra flush targets for [start, end): the zygote group's cores when
+  // the range covers a global mapping, else 0. Computed *before* the VM
+  // operation drops the vma.
+  CpuMask GlobalFlushExtraMask(Task& task, VirtAddr start, VirtAddr end) const;
+  // A batched-shootdown sync point: drains every pending flush queue.
+  void SyncShootdowns();
+
+  // Records which core entered the kernel (every syscall, fault, and
+  // schedule path calls this first): daemon shootdowns attribute their
+  // IPIs here, and under NUMA the first-touch allocation preference
+  // follows the entering core's node.
+  void SetActiveCore(uint32_t core_id);
 
   CostModel costs_;
   KernelCounters counters_;
@@ -274,6 +310,16 @@ class Kernel {
   std::vector<Task*> current_;
   Pid next_pid_ = 1;
   uint32_t next_asid_ = 1;
+  // Which ASIDs are held by live tasks. AllocateAsid skips these: the
+  // 8-bit space wraps after 255 tasks, and blindly reissuing a live ASID
+  // lets a new address space hit the old one's TLB entries.
+  std::array<bool, 256> asid_live_{};
+  // The core driving the current kernel entry (syscall or fault) — the
+  // initiator of any shootdown a daemon path issues on its behalf.
+  uint32_t active_core_ = 0;
+  // Every core any zygote-like task has run on: where global (shared
+  // group) TLB entries may be cached.
+  CpuMask zygote_cpu_mask_ = 0;
   // kswapd state: watermarks in frames, plus a reentrancy guard (the
   // reclaim work kswapd runs must not wake kswapd again).
   uint32_t kswapd_low_watermark_ = 0;

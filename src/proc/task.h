@@ -19,8 +19,9 @@ struct Task {
   Asid asid = 0;
 
   // Cores this task has run on since its last full TLB purge — the
-  // mm_cpumask analogue bounding TLB-shootdown broadcasts.
-  uint32_t cpu_mask = 0;
+  // mm_cpumask analogue bounding TLB-shootdown broadcasts. 64-bit, like
+  // CpuMask: the machine scales to 64 cores.
+  uint64_t cpu_mask = 0;
   uint32_t last_core = 0;
 
   // The paper's two new task_struct flags (Section 3.2.2): `zygote` is set

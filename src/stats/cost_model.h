@@ -64,6 +64,15 @@ struct CostModel {
   Cycles tlb_shootdown_ipi = 1800;
 
   // -------------------------------------------------------------------------
+  // NUMA (the scale-out extension; single-node machines never pay these).
+  // -------------------------------------------------------------------------
+  // Extra latency of an L2-missing access whose frame lives on another
+  // node's memory (interconnect hop on top of `dram`).
+  Cycles numa_remote_dram = 120;
+  // Extra cost of an IPI that crosses the node interconnect.
+  Cycles numa_remote_ipi = 900;
+
+  // -------------------------------------------------------------------------
   // Fork path (Table 4 decomposition).
   // -------------------------------------------------------------------------
   // Fixed fork overhead: task allocation, descriptor table copy, runtime

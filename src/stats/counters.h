@@ -50,6 +50,9 @@ namespace sat {
   X(tlb_full_flushes)                \
   X(tlb_asid_flushes)                \
   X(tlb_va_flushes)                  \
+  X(tlb_shootdown_ipis)              \
+  X(tlb_batched_flushes)             \
+  X(tlb_batch_drains)                \
   X(ksm_scans)                       \
   X(ksm_pages_scanned)               \
   X(ksm_pages_merged)                \
@@ -75,7 +78,8 @@ namespace sat {
   X(user_inst_lines)               \
   X(kernel_inst_lines)             \
   X(context_switches)              \
-  X(unsound_global_hits)
+  X(unsound_global_hits)           \
+  X(numa_remote_accesses)
 
 // Counters maintained by the simulated kernel, system-wide or snapshot-able
 // per experiment window (snapshots subtract).
@@ -125,6 +129,9 @@ struct KernelCounters {
   uint64_t tlb_full_flushes = 0;
   uint64_t tlb_asid_flushes = 0;
   uint64_t tlb_va_flushes = 0;
+  uint64_t tlb_shootdown_ipis = 0;    // remote cores interrupted for flushes
+  uint64_t tlb_batched_flushes = 0;   // remote flushes deferred to a queue
+  uint64_t tlb_batch_drains = 0;      // pending-queue drains performed
 
   // KSM same-page merging (src/ksm).
   uint64_t ksm_scans = 0;                 // completed ksmd scan passes
@@ -169,6 +176,9 @@ struct CoreCounters {
   // running process has no rights to — permitted (and therefore unsound)
   // under the MPK data-only isolation model.
   uint64_t unsound_global_hits = 0;
+
+  // L2-missing accesses served by DRAM on a remote NUMA node.
+  uint64_t numa_remote_accesses = 0;
 
   CoreCounters operator-(const CoreCounters& rhs) const;
   CoreCounters& operator+=(const CoreCounters& rhs);

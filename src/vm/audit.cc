@@ -654,6 +654,14 @@ class Auditor {
                                  " / misaligned base");
         continue;
       }
+      // Under the batched shootdown policy an entry may disagree with the
+      // page tables while a covering flush sits undelivered in a pending
+      // queue — the kernel has issued the invalidation, the IPI just has
+      // not fired yet. Such entries are exempt from the staleness checks.
+      if (PendingFlushCovers(snap.core, e)) {
+        Checked(true);
+        continue;
+      }
       const VirtAddr va = e.vpn << kPageShift;
       if (e.global) {
         // Only zygote-preloaded shared code is ever marked global, and it
@@ -719,6 +727,33 @@ class Auditor {
                                std::to_string(l1.domain));
       }
     }
+  }
+
+  // Does an undelivered pending flush targeting `core` cover this entry?
+  bool PendingFlushCovers(uint32_t core, const TlbEntry& e) const {
+    for (const AuditPendingFlush& p : in_.pending_flushes) {
+      if ((p.cpu_mask & (uint64_t{1} << core)) == 0) {
+        continue;
+      }
+      switch (p.kind) {
+        case AuditPendingFlush::Kind::kAll:
+          return true;
+        case AuditPendingFlush::Kind::kAsid:
+          // ASID flushes never touch global entries.
+          if (!e.global && e.asid == p.asid) {
+            return true;
+          }
+          break;
+        case AuditPendingFlush::Kind::kVa: {
+          const uint64_t vpn = VirtPageNumber(p.va);
+          if (vpn >= e.vpn && vpn < e.vpn + e.size_pages) {
+            return true;
+          }
+          break;
+        }
+      }
+    }
+    return false;
   }
 
   // The valid hardware PTE backing `va` in `space`, or nullptr.

@@ -73,6 +73,19 @@ struct AuditTlbEntry {
   const char* which = "?";  // "main" / "micro-i" / "micro-d"
 };
 
+// A deferred TLB flush still sitting in a pending shootdown queue
+// (mirrors hw::PendingFlush without depending on the machine layer). A
+// TLB entry on a core in `cpu_mask` may disagree with the page tables as
+// long as a covering entry sits here: the flush has been issued, just not
+// yet delivered.
+struct AuditPendingFlush {
+  enum class Kind : uint8_t { kAsid = 0, kVa, kAll };
+  Kind kind = Kind::kAll;
+  Asid asid = 0;
+  VirtAddr va = 0;
+  uint64_t cpu_mask = 0;
+};
+
 struct AuditInput {
   const PhysicalMemory* phys = nullptr;
   const PageCache* page_cache = nullptr;  // may be null (no file mappings)
@@ -87,6 +100,9 @@ struct AuditInput {
   const FrameLru* lru = nullptr;
   std::vector<AuditSpace> spaces;         // every *live* address space
   std::vector<AuditTlbEntry> tlb_entries;
+  // Undelivered batched shootdowns; entries they cover are exempt from
+  // the stale-TLB checks (but not from the geometry checks).
+  std::vector<AuditPendingFlush> pending_flushes;
   // Mirror of VmConfig::hw_l1_write_protect: under that ablation shared
   // PTPs legitimately contain hardware-writable PTEs.
   bool hw_l1_write_protect = false;

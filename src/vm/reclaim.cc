@@ -16,11 +16,14 @@ uint32_t Reclaimer::UnmapAll(FrameNumber frame, const ReclaimFlushFn& flush,
   for (const RmapEntry& mapping : mappings) {
     PageTablePage& ptp = ptps_->Get(mapping.ptp);
     assert(ptp.hw(mapping.index).valid());
+    // Read the global bit before the clear destroys it: it decides how
+    // wide the shootdown must reach.
+    const bool global = ptp.hw(mapping.index).global();
     ptp.Clear(mapping.index);
     rmap_->Remove(frame, mapping.ptp, mapping.index);
     phys_->UnrefFrame(frame);
     if (flush) {
-      flush(mapping.va);
+      flush(mapping.va, mapping.ptp, global);
     }
     stats->tlb_flushes++;
     cleared++;

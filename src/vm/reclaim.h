@@ -33,8 +33,12 @@ struct ReclaimStats {
   uint32_t tlb_flushes = 0;       // per-VA invalidations requested
 };
 
-// Flush callback: invalidate every core's TLB entries covering `va`.
-using ReclaimFlushFn = std::function<void(VirtAddr)>;
+// Flush callback: invalidate stale TLB entries covering `va`. `ptp` is
+// the page-table page whose PTE was just cleared — the kernel derives the
+// shootdown cpumask from its sharer set — and `global` reports whether
+// the cleared entry was a global (sharing-group) translation, which is
+// cached beyond the mapping tasks' own cores.
+using ReclaimFlushFn = std::function<void(VirtAddr, PtpId, bool)>;
 
 class Reclaimer {
  public:

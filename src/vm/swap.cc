@@ -121,7 +121,7 @@ bool SwapManager::SwapOutOne(const ReclaimFlushFn& flush) {
         sw.set_young(false);
         ptp.UpdateFlags(mapping.index, ptp.hw(mapping.index), sw);
         if (flush) {
-          flush(mapping.va);
+          flush(mapping.va, mapping.ptp, ptp.hw(mapping.index).global());
         }
       }
       lru_->PushTail(LruList::kAnonActive, frame);
@@ -173,12 +173,13 @@ bool SwapManager::SwapOutOne(const ReclaimFlushFn& flush) {
     for (const RmapEntry& mapping : mappings) {
       PageTablePage& ptp = ptps_->Get(mapping.ptp);
       SAT_CHECK(ptp.hw(mapping.index).valid());
+      const bool global = ptp.hw(mapping.index).global();
       zram_->Ref(slot);
       ptp.Set(mapping.index, HwPte{}, LinuxPte::MakeSwap(slot));
       rmap_->Remove(frame, mapping.ptp, mapping.index);
       phys_->UnrefFrame(frame);
       if (flush) {
-        flush(mapping.va);
+        flush(mapping.va, mapping.ptp, global);
       }
     }
     if (reuse_slot) {

@@ -104,6 +104,8 @@ struct AuditFuzzCase {
   bool hw_l1_wp;
   uint64_t swap_mb = 0;  // zram size; 0 disables swap for the case
   bool ksm = false;      // interleave madvise/WritePage/ksmd scans
+  uint32_t cores = 1;    // >1 adds random cross-core migration
+  bool batched = false;  // defer shootdowns to per-core queues
 };
 
 class AuditFuzzTest : public ::testing::TestWithParam<AuditFuzzCase> {};
@@ -118,6 +120,9 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
   params.vm.hw_l1_write_protect = fuzz.hw_l1_wp;
   params.swap_bytes = fuzz.swap_mb * 1024 * 1024;
   params.fault_injection_seed = fuzz.seed * 97 + 1;
+  params.num_cores = fuzz.cores;
+  params.shootdown_policy = fuzz.batched ? ShootdownPolicy::kBatched
+                                         : ShootdownPolicy::kImmediate;
   if (fuzz.ksm) {
     // Periodic ksmd wakes fire from inside TouchPage/Fork/Mmap, on top of
     // the explicit scan op below — merges happen at awkward moments.
@@ -150,6 +155,13 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
       live.push_back(kernel.CreateTask("respawn"));
     }
     Task* task = live[rng() % live.size()];
+
+    // On multi-core cases, migrate: the chosen task lands on a random
+    // core, spreading TLB state (and shootdown masks) across cores. Each
+    // switch is also a batched-drain sync point.
+    if (fuzz.cores > 1 && rng() % 4 == 0) {
+      kernel.ScheduleTo(*task, static_cast<uint32_t>(rng() % fuzz.cores));
+    }
 
     const uint64_t op_count = fuzz.ksm ? 16 : (fuzz.swap_mb > 0 ? 13 : 12);
     switch (rng() % op_count) {
@@ -338,6 +350,14 @@ std::vector<AuditFuzzCase> AuditFuzzCases() {
       {1317, false, false, 0, true}, {1418, false, false, 16, true},
       {1519, true, false, 0, true},  {1620, true, false, 16, true},
       {1721, true, true, 16, true},  {1822, true, true, 16, true},
+      // SMP cases: 4 cores with random migration, under both shootdown
+      // policies — every audited step may have flushes still sitting in
+      // pending queues (the auditor's exemption logic is on trial too).
+      {1923, true, false, 0, false, 4, false},
+      {2024, true, false, 0, false, 4, true},
+      {2125, true, false, 16, true, 4, false},
+      {2226, true, false, 16, true, 4, true},
+      {2327, true, true, 16, true, 4, true},
   };
 }
 
@@ -350,6 +370,8 @@ INSTANTIATE_TEST_SUITE_P(
       if (c.hw_l1_wp) name += "_l1wp";
       if (c.swap_mb > 0) name += "_swap";
       if (c.ksm) name += "_ksm";
+      if (c.cores > 1) name += "_c" + std::to_string(c.cores);
+      if (c.batched) name += "_batched";
       return name;
     });
 

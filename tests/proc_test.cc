@@ -177,17 +177,27 @@ TEST(KernelTest, LastForkResultExposesTable4Stats) {
   EXPECT_GT(result.cycles, 0u);
 }
 
-TEST(KernelTest, AsidRolloverFlushesAndRestarts) {
+// Regression: the old rollover reset next_asid_ to 1 and reissued ASIDs
+// still held by live tasks, so the 256th allocation aliased a live
+// address space (two tasks sharing one ASID can hit each other's TLB
+// entries). The allocator must skip live ASIDs across the wrap.
+TEST(KernelTest, AsidRolloverSkipsLiveTasks) {
   Kernel kernel{KernelParams{}};
-  Task* first = kernel.CreateTask("t0");
-  std::vector<Task*> tasks;
+  Task* keeper = kernel.CreateTask("keeper");
+  const Asid kept = keeper->asid;
+  // 300 short-lived tasks push the 8-bit ASID space around the horn
+  // while `keeper` stays alive holding the first ASID.
   for (int i = 0; i < 300; ++i) {
-    tasks.push_back(kernel.CreateTask("t" + std::to_string(i + 1)));
+    Task* t = kernel.CreateTask("t" + std::to_string(i));
+    ASSERT_NE(t->asid, kept) << "live ASID reissued at iteration " << i;
+    ASSERT_NE(t->asid, 0);
+    kernel.Exit(*t);
   }
-  // ASIDs are 8-bit: the 300th allocation must have wrapped.
+  // The wrap flushed a generation and the survivor kept its ASID.
   EXPECT_GE(kernel.counters().tlb_full_flushes, 1u);
-  EXPECT_NE(tasks.back()->asid, 0);
-  (void)first;
+  EXPECT_EQ(keeper->asid, kept);
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST(SchedulerTest, RoundRobinCyclesThroughTasks) {

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <compare>
+#include <vector>
+
 #include "src/core/sat.h"
 
 namespace sat {
@@ -176,6 +180,311 @@ TEST(SmpKernelTest, TwoAppsOnTwoCoresShareAndDivergeCorrectly) {
   EXPECT_NE(ra->ptp->hw(ra->index).frame(), rb->ptp->hw(rb->index).frame());
   EXPECT_TRUE(a->mm->page_table().SlotNeedsCopy(data_va));
   EXPECT_FALSE(b->mm->page_table().SlotNeedsCopy(data_va));
+}
+
+// Regression (shared-PTP under-flush): a munmap of a *global* mapping
+// used to flush only the unmapping task's own cpu_mask, so a global TLB
+// entry cached by some other zygote descendant on another core kept
+// serving the dead translation (globals match every ASID, so any
+// zygote-like task scheduled there could hit it). The flush mask must
+// widen to every core zygote-domain code has run on.
+TEST(SmpKernelTest, GlobalEntryFlushedOnCoresOtherSharersUsed) {
+  Kernel kernel{SmpParams(2)};
+  Task* zygote = kernel.CreateTask("zygote");
+  kernel.Exec(*zygote, "app_process", /*is_zygote=*/true);
+  MmapRequest code;
+  code.length = 8 * kPageSize;
+  code.prot = VmProt::ReadExec();
+  code.kind = VmKind::kFilePrivate;
+  code.file = 7;
+  code.fixed_address = 0x40000000;
+  kernel.Mmap(*zygote, code);
+  kernel.ScheduleTo(*zygote, 0);
+  kernel.TouchPage(*zygote, 0x40000000, AccessType::kExecute);
+
+  // A forked app executes the shared code on core 1 and caches a GLOBAL
+  // entry there, then exits (a non-zygote exit legitimately leaves
+  // global entries in place — their translations are still live).
+  Task* app = kernel.Fork(*zygote, "app").child;
+  kernel.ScheduleTo(*app, 1);
+  EXPECT_TRUE(kernel.core(1).FetchLine(0x40000000));
+  kernel.Exit(*app);
+
+  // The zygote, on core 0, unmaps the region. Pre-fix the flush mask was
+  // {core 0}; core 1's global entry survived and kept translating.
+  kernel.ScheduleTo(*zygote, 0);
+  kernel.Munmap(*zygote, 0x40000000, 8 * kPageSize);
+
+  kernel.ScheduleTo(*zygote, 1);
+  EXPECT_FALSE(kernel.core(1).FetchLine(0x40000000));
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// Satellite: cpumask arithmetic at 64 cores. With a 32-bit mask (or
+// `1u << core`), scheduling to core 63 is UB and the shootdown below
+// would never reach it.
+TEST(SmpKernelTest, SixtyFourCoreSmokeUsesHighMaskBits) {
+  Kernel kernel{SmpParams(64)};
+  Task* task = kernel.CreateTask("t");
+  kernel.Mmap(*task, Anon(0x50000000, 4));
+  kernel.ScheduleTo(*task, 63);
+  for (uint32_t i = 0; i < 4; ++i) {
+    kernel.TouchPage(*task, 0x50000000 + i * kPageSize, AccessType::kWrite);
+  }
+  EXPECT_EQ(task->cpu_mask, 1ull << 63);
+  kernel.ScheduleTo(*task, 0);
+  EXPECT_EQ(task->cpu_mask, (1ull << 63) | 1u);
+
+  kernel.machine().ResetShootdownStats();
+  kernel.Munmap(*task, 0x50000000, 4 * kPageSize);  // must reach core 63
+  EXPECT_GE(kernel.machine().shootdown_stats().ipis, 1u);
+  const AuditReport report = kernel.AuditInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// Regression (initiator mis-attribution): daemon-path shootdowns
+// (swap-out, reclaim, ksmd) used to hardcode initiator=0, charging the
+// IPI round trips to core 0 no matter where the daemon actually ran.
+// They must bill the core whose kernel entry drove the pass.
+TEST(SmpKernelTest, DaemonShootdownsChargeTheInitiatingCore) {
+  KernelParams params = SmpParams(4);
+  params.swap_bytes = 16ull * 1024 * 1024;
+  Kernel kernel(params);
+  Task* task = kernel.CreateTask("t");
+  kernel.Mmap(*task, Anon(0x50000000, 16));
+  kernel.ScheduleTo(*task, 1);
+  for (uint32_t i = 0; i < 16; ++i) {
+    kernel.TouchPage(*task, 0x50000000 + i * kPageSize, AccessType::kWrite);
+  }
+  // The swap pass runs from core 3's kernel entry; the sharer mask spans
+  // cores 1 and 3, so the IPIs (to core 1) are core 3's to pay.
+  kernel.ScheduleTo(*task, 3);
+  kernel.machine().ResetShootdownStats();
+  const Cycles core0_before = kernel.core(0).counters().cycles;
+  kernel.SwapOutAnonPages(16);
+  EXPECT_GT(kernel.machine().shootdown_stats().ipis, 0u);
+  EXPECT_EQ(kernel.core(0).counters().cycles, core0_before);
+}
+
+// ---------------------------------------------------------------------------
+// Batched (deferred) shootdowns.
+// ---------------------------------------------------------------------------
+
+// The visibility window itself: under the batched policy a remote TLB
+// keeps serving the stale entry — with zero IPIs sent — until the next
+// drain, which applies every queued flush with one IPI per distinct
+// remote target.
+TEST(MachineTest, BatchedPolicyDefersRemoteFlushesUntilDrain) {
+  KernelParams params = SmpParams(4);
+  params.shootdown_policy = ShootdownPolicy::kBatched;
+  Kernel kernel(params);
+  Machine& machine = kernel.machine();
+  TlbEntry entry;
+  entry.valid = true;
+  entry.vpn = 0x40000;
+  entry.size_pages = 1;
+  entry.asid = 9;
+  entry.domain = kDomainUser;
+  entry.perm = PtePerm::kReadOnly;
+  entry.executable = true;
+  for (uint32_t core : {0u, 1u, 2u}) {
+    machine.core(core).main_tlb().Insert(entry);
+  }
+
+  machine.ShootdownAsid(9, /*mask=*/0b0111, /*initiator=*/0);
+  // The initiator flushes synchronously; the remotes are only enqueued.
+  EXPECT_EQ(machine.core(0).main_tlb().ValidEntryCount(), 0u);
+  EXPECT_EQ(machine.core(1).main_tlb().ValidEntryCount(), 1u);
+  EXPECT_EQ(machine.core(2).main_tlb().ValidEntryCount(), 1u);
+  EXPECT_EQ(machine.shootdown_stats().ipis, 0u);
+  EXPECT_TRUE(machine.HasPendingFlushes());
+  // The auditor's exemption input sees the window: a covering entry with
+  // both remote cores in its mask.
+  const auto pending = machine.PendingFlushesSnapshot();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].asid, 9);
+  EXPECT_EQ(pending[0].mask, 0b0110u);
+
+  machine.DrainPendingFlushes(0);
+  EXPECT_EQ(machine.core(1).main_tlb().ValidEntryCount(), 0u);
+  EXPECT_EQ(machine.core(2).main_tlb().ValidEntryCount(), 0u);
+  EXPECT_EQ(machine.shootdown_stats().ipis, 2u);  // one per remote target
+  EXPECT_EQ(machine.shootdown_stats().batch_drains, 1u);
+  EXPECT_FALSE(machine.HasPendingFlushes());
+}
+
+// Queue overflow collapses to a full flush instead of dropping entries.
+TEST(MachineTest, BatchedQueueOverflowCollapsesToFullFlush) {
+  KernelParams params = SmpParams(2);
+  params.shootdown_policy = ShootdownPolicy::kBatched;
+  Kernel kernel(params);
+  Machine& machine = kernel.machine();
+  TlbEntry entry;
+  entry.valid = true;
+  entry.vpn = 0x90000;
+  entry.size_pages = 1;
+  entry.asid = 3;
+  entry.domain = kDomainUser;
+  entry.perm = PtePerm::kReadOnly;
+  machine.core(1).main_tlb().Insert(entry);
+
+  // Far more distinct VAs than the queue holds — none covering the entry
+  // above, so only the overflow collapse can flush it.
+  for (uint32_t i = 0; i < 100; ++i) {
+    machine.ShootdownVa(0x50000000 + i * kPageSize, 0b11, /*initiator=*/0);
+  }
+  EXPECT_GT(machine.shootdown_stats().batch_overflows, 0u);
+  machine.DrainPendingFlushes(0);
+  EXPECT_EQ(machine.core(1).main_tlb().ValidEntryCount(), 0u);
+  EXPECT_EQ(machine.shootdown_stats().ipis, 1u);
+}
+
+// One element of a per-core TLB state snapshot, ordered so two runs'
+// snapshots can be compared wholesale.
+struct TlbKey {
+  uint32_t core;
+  uint32_t vpn;
+  uint32_t size_pages;
+  Asid asid;
+  bool global;
+  FrameNumber frame;
+  auto operator<=>(const TlbKey&) const = default;
+};
+
+std::vector<TlbKey> SnapshotTlbs(Kernel& kernel) {
+  std::vector<TlbKey> keys;
+  for (uint32_t c = 0; c < kernel.machine().num_cores(); ++c) {
+    const MainTlb& tlb = kernel.core(c).main_tlb();
+    for (uint32_t set = 0; set < tlb.num_sets(); ++set) {
+      for (uint32_t way = 0; way < tlb.ways(); ++way) {
+        const TlbEntry& e = tlb.EntryAt(set, way);
+        if (e.valid) {
+          keys.push_back({c, e.vpn, e.size_pages, e.asid, e.global, e.frame});
+        }
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+struct PolicyRun {
+  std::vector<TlbKey> tlb;
+  uint64_t ipis = 0;
+  uint64_t faults = 0;
+  bool audit_ok = false;
+};
+
+// One deterministic unshare-heavy workload, parameterized only by the
+// shootdown policy.
+PolicyRun RunShootdownWorkload(ShootdownPolicy policy) {
+  KernelParams params = SmpParams(4);
+  params.shootdown_policy = policy;
+  Kernel kernel(params);
+  Task* parent = kernel.CreateTask("parent");
+  MmapRequest code;
+  code.length = 8 * kPageSize;
+  code.prot = VmProt::ReadExec();
+  code.kind = VmKind::kFilePrivate;
+  code.file = 7;
+  code.fixed_address = 0x40000000;
+  kernel.Mmap(*parent, code);
+  MmapRequest data;
+  data.length = 8 * kPageSize;
+  data.prot = VmProt::ReadWrite();
+  data.kind = VmKind::kFilePrivate;
+  data.file = 7;
+  data.file_page_offset = 8;
+  data.fixed_address = 0x40008000;
+  kernel.Mmap(*parent, data);
+  kernel.ScheduleTo(*parent, 0);
+  for (uint32_t i = 0; i < 8; ++i) {
+    kernel.TouchPage(*parent, 0x40000000 + i * kPageSize,
+                     AccessType::kExecute);
+  }
+
+  Task* apps[3];
+  for (uint32_t a = 0; a < 3; ++a) {
+    apps[a] = kernel.Fork(*parent, "app").child;
+  }
+  // Each app executes shared code on two cores, then unshares by writing
+  // library data from a third — every write shoots down the other cores.
+  for (uint32_t a = 0; a < 3; ++a) {
+    kernel.ScheduleTo(*apps[a], a % 4);
+    kernel.core(a % 4).FetchLine(0x40000000 + a * kPageSize);
+    kernel.ScheduleTo(*apps[a], (a + 1) % 4);
+    kernel.core((a + 1) % 4).FetchLine(0x40000000 + a * kPageSize);
+  }
+  for (uint32_t a = 0; a < 3; ++a) {
+    kernel.ScheduleTo(*apps[a], (a + 2) % 4);
+    kernel.TouchPage(*apps[a], 0x40008000 + a * kPageSize,
+                     AccessType::kWrite);
+  }
+  kernel.Munmap(*apps[0], 0x40008000, 8 * kPageSize);
+  kernel.Exit(*apps[2]);
+
+  PolicyRun run;
+  run.tlb = SnapshotTlbs(kernel);
+  run.ipis = kernel.machine().shootdown_stats().ipis;
+  run.faults = kernel.counters().faults_file_backed;
+  run.audit_ok = kernel.AuditInvariants().ok();
+  return run;
+}
+
+// Batched and immediate shootdowns must converge to the same machine
+// state at every sync point — batching only coalesces the IPIs. The
+// simulator is sequential, so no core can observe the window between a
+// mutation and the drain that ends its kernel entry.
+TEST(SmpKernelTest, BatchedAndImmediatePoliciesConverge) {
+  const PolicyRun immediate = RunShootdownWorkload(ShootdownPolicy::kImmediate);
+  const PolicyRun batched = RunShootdownWorkload(ShootdownPolicy::kBatched);
+  EXPECT_TRUE(immediate.audit_ok);
+  EXPECT_TRUE(batched.audit_ok);
+  EXPECT_EQ(immediate.faults, batched.faults);
+  EXPECT_EQ(immediate.tlb.size(), batched.tlb.size());
+  EXPECT_TRUE(immediate.tlb == batched.tlb);
+  EXPECT_GT(immediate.ipis, 0u);
+  EXPECT_LT(batched.ipis, immediate.ipis);
+}
+
+// ---------------------------------------------------------------------------
+// NUMA.
+// ---------------------------------------------------------------------------
+
+// First-touch placement: the frame lands on the faulting core's node,
+// and only off-node L2 misses pay the remote-DRAM surcharge.
+TEST(SmpKernelTest, FirstTouchPlacementAndRemoteAccessCharging) {
+  KernelParams params = SmpParams(4);
+  params.num_nodes = 2;  // cores {0,1} node 0, cores {2,3} node 1
+  Kernel kernel(params);
+  Task* task = kernel.CreateTask("t");
+  kernel.Mmap(*task, Anon(0x50000000, 1));
+  kernel.ScheduleTo(*task, 2);
+  kernel.TouchPage(*task, 0x50000000, AccessType::kWrite);
+  const auto ref = task->mm->page_table().FindPte(0x50000000);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(kernel.phys().NodeOfFrame(ref->ptp->hw(ref->index).frame()), 1u);
+
+  // Core 0 (node 0) takes the cold L2 misses against node-1 memory.
+  kernel.SetCurrent(*task, 0);
+  EXPECT_TRUE(kernel.core(0).Load(0x50000000));
+  EXPECT_GE(kernel.core(0).counters().numa_remote_accesses, 1u);
+  // Core 2 is node-local to the frame and is never charged.
+  EXPECT_EQ(kernel.core(2).counters().numa_remote_accesses, 0u);
+}
+
+TEST(MachineTest, CrossNodeIpiPaysRemoteSurcharge) {
+  KernelParams params = SmpParams(4);
+  params.num_nodes = 2;
+  Kernel kernel(params);
+  Machine& machine = kernel.machine();
+  const Cycles before = machine.core(0).counters().cycles;
+  // Targets: core 1 (same node as the initiator) and core 2 (remote).
+  machine.ShootdownVa(0x40000000, /*mask=*/0b0110, /*initiator=*/0);
+  EXPECT_EQ(machine.core(0).counters().cycles - before,
+            2 * kernel.costs().tlb_shootdown_ipi +
+                kernel.costs().numa_remote_ipi);
 }
 
 TEST(SmpKernelTest, SingleCoreMachineNeverSendsIpis) {

@@ -290,6 +290,55 @@ TEST(MainTlbTest, DomainFaultCountedInStats) {
 }
 
 // ---------------------------------------------------------------------------
+// Deferred-flush visibility windows.
+// ---------------------------------------------------------------------------
+
+// The premise of the batched-shootdown design, stated at the TLB model:
+// a TLB never self-invalidates, so after the page tables change, an
+// entry keeps serving the *old* translation until the (possibly
+// deferred) flush lands. The flush is the only event that closes the
+// window, and the flushed-entry count it reports is what the drain
+// accounting consumes.
+TEST(MainTlbTest, StaleEntryServesOldTranslationUntilFlushLands) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(100, 1));  // frame = 1100
+  // The PTE now points elsewhere; the TLB cannot know. Every lookup in
+  // the window still returns the old frame.
+  TlbEntry out;
+  for (int probe = 0; probe < 3; ++probe) {
+    ASSERT_EQ(tlb.Lookup(100 << 12, 1, AccessType::kRead, UserDacr(), &out),
+              TlbResult::kHit);
+    EXPECT_EQ(out.frame, 1100u);
+  }
+  const uint64_t flushed_before = tlb.stats().entries_flushed;
+  tlb.FlushVa(100 << 12);  // the deferred flush arrives
+  EXPECT_EQ(tlb.stats().entries_flushed, flushed_before + 1);
+  EXPECT_EQ(tlb.Lookup(100 << 12, 1, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+}
+
+// A deferred ASID flush closes the window only for that address space:
+// entries under other ASIDs (and globals) keep their translations, which
+// is why a pending kAsid queue entry exempts exactly one ASID in the
+// auditor.
+TEST(MainTlbTest, DeferredAsidFlushClosesOnlyThatAddressSpacesWindow) {
+  MainTlb tlb(128, 2);
+  tlb.Insert(MakeEntry(1, 5));
+  tlb.Insert(MakeEntry(2, 5));
+  tlb.Insert(MakeEntry(3, 6));
+  tlb.Insert(MakeEntry(4, 5, /*global=*/true));
+  tlb.FlushAsid(5);
+  EXPECT_EQ(tlb.Lookup(1 << 12, 5, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+  EXPECT_EQ(tlb.Lookup(2 << 12, 5, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kMiss);
+  EXPECT_EQ(tlb.Lookup(3 << 12, 6, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+  EXPECT_EQ(tlb.Lookup(4 << 12, 9, AccessType::kRead, UserDacr(), nullptr),
+            TlbResult::kHit);
+}
+
+// ---------------------------------------------------------------------------
 // Micro TLB.
 // ---------------------------------------------------------------------------
 
