@@ -76,6 +76,86 @@ int Run(const BenchOptions& options) {
           record.Metric("replay.oom_killed", oom_killed ? 1.0 : 0.0);
         });
   }
+  // The graceful-degradation demo (DESIGN.md section 5i): a 16-core
+  // machine under the full sharing mechanism, with scrubd on and seeded
+  // bit flips landing in live PTE words and TLB tags while a stream of
+  // apps forks, replays, and exits. The metrics pin the chaos contract:
+  // the process never aborts, the overwhelming majority of apps finish,
+  // the scrubber actually repairs damage, and the unrepairable rest is
+  // contained to oops kills of the sharers.
+  const uint32_t chaos_apps = options.smoke ? 8 : 24;
+  harness.AddCustomJob("chaos-demo", [&harness, chaos_apps](
+                                         JobRecord& record) {
+    SystemConfig config = ConfigByName("shared-ptp-tlb");
+    config.num_cores = 16;
+    config.scrub = true;
+    config.scrub_wake_interval = 64;
+    System system(harness.Resolve(config, "chaos-demo"));
+    Kernel& kernel = system.kernel();
+    kernel.fault_injector().SetCorruptRule(CorruptSite::kPteWord,
+                                           FaultRule{0, 0, 1e-4});
+    kernel.fault_injector().SetCorruptRule(CorruptSite::kTlbTag,
+                                           FaultRule{0, 0, 1e-4});
+
+    AppRunner runner(&system.android());
+    uint32_t finished = 0;
+    uint32_t oops_killed = 0;
+    uint32_t oom_killed = 0;
+    for (uint32_t a = 0; a < chaos_apps; ++a) {
+      // Spread the fork source across the machine: each app forks and
+      // replays from a different core, so repairs and oops kills exercise
+      // cross-core shootdowns too.
+      kernel.ScheduleTo(*system.android().zygote(),
+                        a % kernel.num_cores());
+      const AppFootprint fp = system.workload().Generate(
+          AppProfile::Named(kPaper[a % std::size(kPaper)].name));
+      const AppRunStats stats = runner.Run(fp, /*exit_after=*/true);
+      if (stats.completed) {
+        finished++;
+      }
+      if (stats.oops_killed) {
+        oops_killed++;
+      }
+      if (stats.oom_killed) {
+        oom_killed++;
+      }
+    }
+    // Cycle-level coda: fill every core's TLB from the zygote's boot
+    // footprint, then keep touching with TLB-tag rot turned up — rotted
+    // entries must be flushed by the scrubber's TLB cross-check, not left
+    // to serve stale translations.
+    const AppFootprint& boot = system.android().zygote_boot_footprint();
+    Task* zygote = system.android().zygote();
+    for (uint32_t c = 0; c < kernel.num_cores(); ++c) {
+      kernel.ScheduleTo(*zygote, c);
+      for (size_t i = 0; i < 64; ++i) {
+        const TouchedPage& page =
+            boot.pages[(c * 64 + i * 13) % boot.pages.size()];
+        kernel.core(c).FetchLine(
+            system.android().CodePageVa(page.lib, page.page_index));
+      }
+    }
+    kernel.fault_injector().SetCorruptRule(CorruptSite::kTlbTag,
+                                           FaultRule{0, 0, 0.01});
+    for (size_t i = 0; i < 4096; ++i) {
+      const TouchedPage& page = boot.pages[(i * 7) % boot.pages.size()];
+      kernel.TouchPage(*zygote,
+                       system.android().CodePageVa(page.lib, page.page_index),
+                       AccessType::kRead);
+    }
+    kernel.RunScrubPass();
+
+    record.Metric("chaos.apps", chaos_apps);
+    record.Metric("chaos.apps_finished", finished);
+    record.Metric("chaos.finish_rate",
+                  static_cast<double>(finished) / chaos_apps);
+    record.Metric("chaos.apps_oops_killed", oops_killed);
+    record.Metric("chaos.apps_oom_killed", oom_killed);
+    record.Metric(
+        "chaos.corruptions_injected",
+        static_cast<double>(kernel.fault_injector().total_corruptions()));
+    Harness::CaptureSystem(system, &record);
+  });
   if (!harness.Run()) {
     return 1;
   }
@@ -146,6 +226,18 @@ int Run(const BenchOptions& options) {
          outcome});
   }
   replay_table.Print(std::cout);
+
+  const JobRecord& chaos = harness.record(n);
+  std::cout << "\nchaos demo (16 cores, scrubd on, seeded bit flips): "
+            << MetricOr(chaos, "chaos.apps_finished") << "/"
+            << MetricOr(chaos, "chaos.apps") << " apps finished, "
+            << MetricOr(chaos, "chaos.corruptions_injected")
+            << " corruption(s) injected, "
+            << MetricOr(chaos, "counters.scrub_repairs") << " repair(s), "
+            << MetricOr(chaos, "counters.oops_kills") << " oops kill(s), "
+            << MetricOr(chaos, "counters.frames_quarantined")
+            << " frame(s) quarantined\n";
+
   if (options.phys_mb > 0) {
     std::cout << "\n";
     for (size_t i = 0; i < n; ++i) {

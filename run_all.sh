@@ -5,6 +5,10 @@
 #   ./run_all.sh                 normal build + tests + benches
 #   ./run_all.sh --asan          ASan+UBSan build (separate build dir) + tests
 #   ./run_all.sh --tsan          TSan build (separate build dir) + tests
+#   ./run_all.sh --chaos         ASan build + the chaos suite only: audit
+#                                fuzz under bit-flip + allocation-failure
+#                                injection, and the oops/quarantine death
+#                                tests (graceful degradation end to end)
 #   ./run_all.sh --jobs N        worker threads per bench (default: cores)
 #   ./run_all.sh --json-out DIR  write BENCH_<name>.json files into DIR
 #   ./run_all.sh --smoke         reduced footprints (CI-sized runs)
@@ -25,6 +29,13 @@ while [ $# -gt 0 ]; do
       cmake -B build-tsan -G Ninja -DSAT_SANITIZE=TSAN
       cmake --build build-tsan
       ctest --test-dir build-tsan --output-on-failure
+      exit 0
+      ;;
+    --chaos)
+      cmake -B build-asan -G Ninja -DSAT_SANITIZE=ASAN
+      cmake --build build-asan
+      ctest --test-dir build-asan --output-on-failure \
+        -R '_chaos|OopsRecovery|InvariantDeath|Watchdog'
       exit 0
       ;;
     --jobs)

@@ -98,6 +98,8 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   // Under memory pressure any of the mappings below can fail outright
   // (Mmap returns 0 once reclaim and the OOM killer are both spent); the
   // run then replays whatever was established and reports !completed.
+  // An Mmap can also come back with the app itself dead: the OOM killer
+  // or an oops chose it as a victim mid-syscall.
   bool out_of_memory = false;
 
   // Private file mappings (apk, resources, fonts, databases): many small
@@ -106,7 +108,7 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   {
     uint32_t remaining = fp.private_file_pages;
     uint32_t region_index = 0;
-    while (remaining > 0 && !out_of_memory) {
+    while (remaining > 0 && !out_of_memory && app->alive) {
       const uint32_t here = std::min(remaining, 48u);
       const VirtAddr base = MapScattered(
           kernel, *app, here, VmProt::ReadOnly(), VmKind::kFilePrivate,
@@ -128,7 +130,7 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   {
     uint32_t remaining = fp.anon_pages;
     uint32_t region_index = 0;
-    while (remaining > 0 && !out_of_memory) {
+    while (remaining > 0 && !out_of_memory && app->alive) {
       const uint32_t here = std::min(remaining, 256u);
       const VirtAddr base = MapScattered(
           kernel, *app, kPtpSpan / kPageSize, VmProt::ReadWrite(),
@@ -151,7 +153,8 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   {
     const uint32_t misc_regions =
         50 + std::min<uint32_t>(fp.TotalPages() / 80, 80);
-    for (uint32_t region = 0; region < misc_regions && !out_of_memory;
+    for (uint32_t region = 0; region < misc_regions && !out_of_memory &&
+                             app->alive;
          ++region) {
       const uint32_t pages = 8 + static_cast<uint32_t>(rng() % 17);
       const VirtAddr base = MapScattered(
@@ -215,7 +218,7 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
   std::shuffle(events.begin(), events.end(), rng);
   map_span.reset();
 
-  {
+  if (app->alive) {
     TraceSpan replay_span(tracer, TraceEventType::kAppPhase, app->pid);
     replay_span.set_args(static_cast<uint64_t>(AppPhase::kReplay));
     for (const Event& event : events) {
@@ -227,11 +230,21 @@ AppRunStats AppRunner::Run(const AppFootprint& fp, bool exit_after) {
         stats.oom_killed = true;
         break;
       }
+      if (status == TouchStatus::kOopsKill) {
+        // A recoverable oops killed the app to contain corrupted state it
+        // was touching or sharing; the rest of the system keeps running.
+        stats.oops_killed = true;
+        break;
+      }
       SAT_CHECK(status == TouchStatus::kOk &&
                 "replay touched an unmapped address");
     }
   }
-  stats.completed = !out_of_memory && !stats.oom_killed;
+  // A kill can also land while a *mapping* syscall above was in progress;
+  // fold that in from the task flags.
+  stats.oom_killed = stats.oom_killed || app->oom_killed;
+  stats.oops_killed = stats.oops_killed || app->oops_killed;
+  stats.completed = !out_of_memory && !stats.oom_killed && !stats.oops_killed;
 
   const KernelCounters delta = kernel.counters() - before;
   stats.file_faults = delta.faults_file_backed;

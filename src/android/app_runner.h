@@ -34,12 +34,15 @@ struct AppRunStats {
   uint32_t shared_slots = 0;
   // PTEs of the app's zygote-preloaded footprint already valid at fork.
   uint32_t inherited_ptes = 0;
-  // Memory-pressure outcome. `completed` is false when the run was cut
-  // short: the fork failed (ENOMEM), a mapping could not be established,
-  // or the app was OOM-killed mid-replay (`oom_killed`). Counter deltas
-  // above still cover whatever portion did run.
+  // Memory-pressure and damage outcomes. `completed` is false when the
+  // run was cut short: the fork failed (ENOMEM), a mapping could not be
+  // established, the app was OOM-killed mid-replay (`oom_killed`), or a
+  // recoverable kernel oops killed it to contain corrupted state
+  // (`oops_killed`). Counter deltas above still cover whatever portion
+  // did run.
   bool completed = true;
   bool oom_killed = false;
+  bool oops_killed = false;
 
   double SharedSlotFraction() const {
     return present_slots == 0

@@ -4,12 +4,47 @@
 #include <cstdlib>
 
 namespace sat {
+namespace {
+
+// Per-thread so parallel driver workers each get their own recovery
+// window; a worker mid-oops must not flip a sibling's failures from
+// abort to throw.
+thread_local int g_recovery_depth = 0;
+
+}  // namespace
+
+OopsRecoveryScope::OopsRecoveryScope() { ++g_recovery_depth; }
+
+OopsRecoveryScope::~OopsRecoveryScope() { --g_recovery_depth; }
+
+bool OopsRecoveryScope::Active() { return g_recovery_depth > 0; }
+
+void KernelPanic(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "%s:%d: KERNEL PANIC: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
 namespace internal {
 
 void CheckFailed(const char* file, int line, const char* expr) {
   std::fprintf(stderr, "%s:%d: SAT_CHECK failed: %s\n", file, line, expr);
   std::fflush(stderr);
   std::abort();
+}
+
+void OopsFailed(const char* file, int line, const char* expr,
+                OopsDamage damage) {
+  if (!OopsRecoveryScope::Active()) {
+    // No one offered to recover: keep the SAT_CHECK abort contract.
+    std::fprintf(stderr, "%s:%d: SAT_CHECK failed: %s\n", file, line, expr);
+    std::fflush(stderr);
+    std::abort();
+  }
+  std::fprintf(stderr, "%s:%d: kernel oops (recovering): %s\n", file, line,
+               expr);
+  std::fflush(stderr);
+  throw KernelOops{file, line, expr, damage};
 }
 
 }  // namespace internal

@@ -1,16 +1,26 @@
-// SAT_CHECK: an always-on invariant check.
+// SAT_CHECK / SAT_OOPS / KernelPanic: the simulator's invariant net.
 //
 // The simulator's safety net — reference counts, sharer counts, COW
 // discipline — must hold in every build. Plain assert() happens to stay
 // live here because the top-level CMakeLists strips -DNDEBUG, but anything
 // embedding these sources with standard Release flags would silently lose
-// the net and corrupt state instead of stopping. SAT_CHECK does not depend
-// on NDEBUG at all: the condition is always evaluated, and a failure
-// prints the site and aborts.
+// the net and corrupt state instead of stopping. Neither macro depends
+// on NDEBUG at all: the condition is always evaluated.
 //
-// Use it for checks that guard state integrity (the ones whose failure
-// means later behaviour is undefined). Cheap debug-only sanity checks can
-// stay assert().
+// Two severities:
+//
+//  - SAT_CHECK(expr): unconditional. A failure prints the site and
+//    aborts the whole process. Use it for states where continuing is
+//    meaningless — broken allocator metadata, corrupt zygote state,
+//    programming errors in the simulator itself.
+//
+//  - SAT_OOPS_CHECK(expr, damage): recoverable when an OopsRecoveryScope
+//    is active on the current thread (the kernel opens one around each
+//    syscall / fault entry). Inside a scope a failure throws KernelOops,
+//    which the kernel catches to kill only the tasks that depend on the
+//    damaged state, quarantine the damage, and keep serving everyone
+//    else. Outside any scope it behaves exactly like SAT_CHECK, so unit
+//    tests and embedders that never opt in keep the abort contract.
 //
 // The failure message includes the stringified condition, so the
 //   SAT_CHECK(cond && "explanation");
@@ -20,10 +30,62 @@
 #ifndef SRC_ARCH_CHECK_H_
 #define SRC_ARCH_CHECK_H_
 
+#include <cstdint>
+
 namespace sat {
+
+// What a recoverable oops found damaged, so the catcher can scope the
+// kill set and quarantine precisely instead of guessing.
+struct OopsDamage {
+  enum class Kind : uint8_t {
+    kNone = 0,   // no specific object; kill the current task only
+    kFrame,      // id = FrameNumber of a corrupt physical frame
+    kPtp,        // id = PtpId of a corrupt page-table page
+    kSwapSlot,   // id = SwapSlotId of a corrupt zram slot
+  };
+  Kind kind = Kind::kNone;
+  int64_t id = -1;
+};
+
+// Thrown by SAT_OOPS_CHECK inside an OopsRecoveryScope. Deliberately not
+// derived from std::exception: nothing but the kernel's recovery handlers
+// should catch it, and a stray catch (const std::exception&) must not
+// swallow an oops by accident.
+struct KernelOops {
+  const char* file = nullptr;
+  int line = 0;
+  const char* what = nullptr;
+  OopsDamage damage;
+};
+
+// Opens a recovery window on the current thread: SAT_OOPS_CHECK failures
+// throw KernelOops instead of aborting while at least one scope is alive.
+// Nests (syscall entry may sit above a fault handler's own scope).
+class OopsRecoveryScope {
+ public:
+  OopsRecoveryScope();
+  ~OopsRecoveryScope();
+  OopsRecoveryScope(const OopsRecoveryScope&) = delete;
+  OopsRecoveryScope& operator=(const OopsRecoveryScope&) = delete;
+
+  // True while any scope is alive on this thread.
+  static bool Active();
+};
+
+// Unconditional panic for states where recovery would lie: prints the
+// reason dmesg-style and aborts even inside a recovery scope. Used when
+// an oops handler discovers the damage reaches the zygote triple or
+// allocator metadata.
+[[noreturn]] void KernelPanic(const char* file, int line, const char* what);
+
 namespace internal {
 
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+// Throws KernelOops when a recovery scope is active; aborts like
+// CheckFailed otherwise.
+void OopsFailed(const char* file, int line, const char* expr,
+                OopsDamage damage);
 
 }  // namespace internal
 }  // namespace sat
@@ -31,5 +93,14 @@ namespace internal {
 #define SAT_CHECK(expr)                                          \
   ((expr) ? static_cast<void>(0)                                 \
           : ::sat::internal::CheckFailed(__FILE__, __LINE__, #expr))
+
+// Recoverable variant: `damage` is an ::sat::OopsDamage describing what
+// is corrupt (use {} when no specific object is implicated).
+#define SAT_OOPS_CHECK(expr, damage)                                     \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::sat::internal::OopsFailed(__FILE__, __LINE__, #expr,       \
+                                        (damage)))
+
+#define SAT_PANIC(msg) ::sat::KernelPanic(__FILE__, __LINE__, (msg))
 
 #endif  // SRC_ARCH_CHECK_H_

@@ -57,6 +57,15 @@ class HwPte {
     return pte;
   }
 
+  // Reconstitutes an entry from its raw 4-byte image. Chaos injection and
+  // scrub repair operate on the raw word, the same view the hardware
+  // walker has.
+  static constexpr HwPte FromRaw(uint32_t raw) {
+    HwPte pte;
+    pte.raw_ = raw;
+    return pte;
+  }
+
   constexpr bool valid() const { return (raw_ & kTypeMask) == kTypePage; }
   constexpr FrameNumber frame() const { return raw_ >> kPageShift; }
   constexpr bool global() const { return valid() && (raw_ & kNotGlobalBit) == 0; }

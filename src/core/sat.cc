@@ -99,6 +99,9 @@ std::string SystemConfig::Name() const {
   if (ksm) {
     name += " [ksm]";
   }
+  if (scrub) {
+    name += " [scrub]";
+  }
   if (num_cores > 1) {
     name += " [" + std::to_string(num_cores) + " cores";
     if (num_nodes > 1) {
@@ -132,6 +135,8 @@ ZygoteParams SystemConfig::ToZygoteParams() const {
   params.kernel.trace = trace;
   params.kernel.ksm_enabled = ksm;
   params.kernel.ksm_wake_interval = ksm_wake_interval;
+  params.kernel.scrub = scrub;
+  params.kernel.scrub_wake_interval = scrub_wake_interval;
   params.mapping_policy = two_mb_alignment ? MappingPolicy::kTwoMbAligned
                                            : MappingPolicy::kOriginal;
   params.large_code_pages = large_pages_for_code;

@@ -92,6 +92,13 @@ struct SystemConfig {
   // regions and deduplicates content-identical pages (src/ksm).
   bool ksm = false;
   uint32_t ksm_wake_interval = 1024;
+  // Background corruption scrubbing (scrubd): at kswapd/ksmd-style wake
+  // points the kernel incrementally re-validates page-table pages against
+  // the rmap, repairs what it can, and oops-kills only the sharers of
+  // damage it cannot repair. Mainly useful together with fault injection
+  // (chaos testing); harmless but pure overhead on a healthy system.
+  bool scrub = false;
+  uint32_t scrub_wake_interval = 1024;
   uint64_t seed = 42;
 
   // Kernel event tracing (src/trace): off by default; when enabled the

@@ -86,6 +86,74 @@ void WorkerPool::WorkerLoop() {
   }
 }
 
+JobWatchdog::JobWatchdog(double timeout_s,
+                         std::function<void(size_t)> on_timeout)
+    : timeout_s_(timeout_s), on_timeout_(std::move(on_timeout)) {
+  if (enabled()) {
+    watcher_ = std::thread([this] { WatchLoop(); });
+  }
+}
+
+JobWatchdog::~JobWatchdog() {
+  if (!watcher_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  watcher_.join();
+}
+
+void JobWatchdog::JobStarted(size_t token) {
+  if (!enabled()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_[token] = InFlight{std::chrono::steady_clock::now(), false};
+  }
+  wake_.notify_all();
+}
+
+void JobWatchdog::JobFinished(size_t token) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.erase(token);
+}
+
+void JobWatchdog::WatchLoop() {
+  // Poll at a fraction of the deadline so detection lag stays small
+  // relative to the timeout itself.
+  const auto poll = std::chrono::duration<double>(
+      std::min(timeout_s_ / 4.0, 0.05) + 1e-4);
+  const auto deadline = std::chrono::duration<double>(timeout_s_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutting_down_) {
+    wake_.wait_for(lock, poll);
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<size_t> expired;
+    for (auto& [token, job] : active_) {
+      if (!job.fired && now - job.start >= deadline) {
+        job.fired = true;
+        expired.push_back(token);
+      }
+    }
+    if (expired.empty()) {
+      continue;
+    }
+    // The callback may take arbitrary locks; never hold ours across it.
+    lock.unlock();
+    for (const size_t token : expired) {
+      on_timeout_(token);
+    }
+    lock.lock();
+  }
+}
+
 void RunJobs(std::vector<std::function<void()>> work, uint32_t jobs) {
   if (jobs <= 1 || work.size() <= 1) {
     for (std::function<void()>& task : work) {

@@ -11,10 +11,12 @@
 #ifndef SRC_DRIVER_WORKER_POOL_H_
 #define SRC_DRIVER_WORKER_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string_view>
 #include <thread>
@@ -65,6 +67,45 @@ class WorkerPool {
 // output slot. With `jobs` <= 1 the work runs inline on the calling
 // thread, in order — the serial baseline the parallel runs must match.
 void RunJobs(std::vector<std::function<void()>> work, uint32_t jobs);
+
+// Per-job deadline watchdog. Job wrappers report start/finish; a watcher
+// thread polls the in-flight set and invokes `on_timeout(token)` exactly
+// once per started job whose deadline passes. The callback runs on the
+// watcher thread and must be thread-safe (typical use: set an atomic flag
+// the job wrapper inspects when — if ever — it finishes). A hung job
+// cannot be killed portably, so the watchdog's contract is detection and
+// reporting, not preemption. With `timeout_s` <= 0 every call is a no-op
+// and no thread is started. The destructor always joins the watcher.
+class JobWatchdog {
+ public:
+  JobWatchdog(double timeout_s, std::function<void(size_t)> on_timeout);
+  ~JobWatchdog();
+
+  JobWatchdog(const JobWatchdog&) = delete;
+  JobWatchdog& operator=(const JobWatchdog&) = delete;
+
+  bool enabled() const { return timeout_s_ > 0; }
+
+  // Starts (or restarts, for a retry) the clock for `token`.
+  void JobStarted(size_t token);
+  void JobFinished(size_t token);
+
+ private:
+  struct InFlight {
+    std::chrono::steady_clock::time_point start;
+    bool fired = false;
+  };
+
+  void WatchLoop();
+
+  const double timeout_s_;
+  const std::function<void(size_t)> on_timeout_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool shutting_down_ = false;
+  std::map<size_t, InFlight> active_;
+  std::thread watcher_;
+};
 
 }  // namespace sat
 

@@ -53,7 +53,8 @@ std::optional<FrameNumber> PhysicalMemory::PopFreeFrame(uint32_t node) {
 }
 
 std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
-  SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero);
+  SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero &&
+            kind != FrameKind::kQuarantined);
   if (injector_ != nullptr) {
     const AllocSite site = kind == FrameKind::kPageTable ? AllocSite::kPtp
                            : kind == FrameKind::kZram    ? AllocSite::kZram
@@ -85,6 +86,7 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
   f.file_page_index = 0;
   f.content = 0;
   f.ksm_stable = false;
+  f.quarantine_on_free = false;
   for (FrameLifecycleObserver* observer : observers_) {
     observer->OnFrameAllocated(number, kind);
   }
@@ -95,7 +97,8 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
     uint32_t count, FrameKind kind) {
   SAT_CHECK(count > 0 && (count & (count - 1)) == 0 &&
             "count must be a power of two");
-  SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero);
+  SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero &&
+            kind != FrameKind::kQuarantined);
   if (injector_ != nullptr &&
       injector_->ShouldFail(AllocSite::kContiguous)) {
     return std::nullopt;
@@ -123,6 +126,7 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
       f.file_page_index = 0;
       f.content = 0;
       f.ksm_stable = false;
+      f.quarantine_on_free = false;
       // Remove from the free list lazily: TryAllocFrame skips non-free
       // entries it pops.
       for (FrameLifecycleObserver* observer : observers_) {
@@ -159,25 +163,53 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
     return false;
   }
   const FrameKind freed_kind = f.kind;
-  f.kind = FrameKind::kFree;
+  const bool condemned = f.quarantine_on_free;
+  f.kind = condemned ? FrameKind::kQuarantined : FrameKind::kFree;
   f.map_count = 0;
   f.file = kNoFile;
   f.content = 0;
   f.ksm_stable = false;
-  if (!free_listed_[number]) {
-    free_lists_[NodeOfFrame(number)].push_back(number);
-    free_listed_[number] = true;
+  f.quarantine_on_free = false;
+  if (condemned) {
+    // Never re-enters the free list (a stale free-list entry, if any, is
+    // skipped and dropped by PopFreeFrame); counted as used forever.
+    quarantined_count_++;
+  } else {
+    if (!free_listed_[number]) {
+      free_lists_[NodeOfFrame(number)].push_back(number);
+      free_listed_[number] = true;
+    }
+    free_count_++;
   }
-  free_count_++;
   for (FrameLifecycleObserver* observer : observers_) {
     observer->OnFrameFreed(number, freed_kind);
   }
   return true;
 }
 
+bool PhysicalMemory::QuarantineFrame(FrameNumber number) {
+  PageFrame& f = frame(number);
+  if (f.kind == FrameKind::kZero || f.kind == FrameKind::kKernel) {
+    return false;  // permanent frames cannot leave circulation
+  }
+  if (f.kind == FrameKind::kQuarantined || f.quarantine_on_free) {
+    return false;  // already condemned
+  }
+  if (f.kind == FrameKind::kFree) {
+    f.kind = FrameKind::kQuarantined;
+    free_count_--;
+    quarantined_count_++;
+    return true;
+  }
+  f.quarantine_on_free = true;
+  return true;
+}
+
 void PhysicalMemory::RefFrame(FrameNumber number) {
   PageFrame& f = frame(number);
   SAT_CHECK(f.kind != FrameKind::kFree && "ref of a free frame");
+  SAT_CHECK(f.kind != FrameKind::kQuarantined &&
+            "ref of a quarantined frame");
   if (f.kind == FrameKind::kZero || f.kind == FrameKind::kKernel) {
     return;  // permanent frames are not reference counted (see UnrefFrame)
   }

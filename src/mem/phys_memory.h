@@ -30,6 +30,7 @@ enum class FrameKind : uint8_t {
   kKernel,      // kernel text/data (never freed)
   kZero,        // the shared zero page
   kZram,        // backing pool of the compressed swap store
+  kQuarantined, // pulled from circulation after corruption; never re-issued
 };
 
 constexpr const char* FrameKindName(FrameKind kind) {
@@ -48,6 +49,8 @@ constexpr const char* FrameKindName(FrameKind kind) {
       return "zero";
     case FrameKind::kZram:
       return "zram";
+    case FrameKind::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }
@@ -81,6 +84,10 @@ struct PageFrame {
   // True for a KSM stable frame (the analogue of PageKsm): write faults
   // must always COW away from it, never reuse it in place.
   bool ksm_stable = false;
+  // Set by QuarantineFrame on a frame that is still referenced: the frame
+  // keeps serving its existing users, but when the last reference drops it
+  // becomes kQuarantined instead of returning to the free list.
+  bool quarantine_on_free = false;
 };
 
 // Allocation is fallible: the Try* entry points return std::nullopt when
@@ -137,6 +144,17 @@ class PhysicalMemory {
 
   void RefFrame(FrameNumber frame);
 
+  // Pulls a suspect frame out of circulation: a free frame flips to
+  // kQuarantined immediately; a live frame is flagged and quarantined when
+  // its last reference drops. Quarantined frames are never re-issued by
+  // any allocator path. Returns true if the frame was newly condemned
+  // (false when it was already quarantined or flagged, or is a permanent
+  // zero/kernel frame).
+  bool QuarantineFrame(FrameNumber frame);
+
+  // Frames currently in the kQuarantined state (pending flags excluded).
+  uint64_t quarantined_frames() const { return quarantined_count_; }
+
   PageFrame& frame(FrameNumber number);
   const PageFrame& frame(FrameNumber number) const;
 
@@ -178,6 +196,7 @@ class PhysicalMemory {
   // out-of-band; stale entries are skipped and discarded by AllocFrame).
   std::vector<bool> free_listed_;
   uint64_t free_count_ = 0;
+  uint64_t quarantined_count_ = 0;
   uint32_t num_nodes_ = 1;
   uint64_t frames_per_node_ = 0;
   uint32_t preferred_node_ = 0;

@@ -49,17 +49,24 @@ void ZramStore::ShrinkPool() {
   }
 }
 
-std::optional<SwapSlotId> ZramStore::TryStore(uint64_t content) {
+std::optional<SwapSlotId> ZramStore::TryStore(uint64_t content,
+                                              ZramStoreFailure* why) {
+  if (why != nullptr) {
+    *why = ZramStoreFailure::kNone;
+  }
   if (!enabled()) {
+    if (why != nullptr) *why = ZramStoreFailure::kDisabled;
     return std::nullopt;
   }
   if ((live_slot_count_ + 1) * kPageSize > disksize_bytes_) {
+    if (why != nullptr) *why = ZramStoreFailure::kStoreFull;
     return std::nullopt;  // logical device full
   }
   // Sample the size first so the PRNG stream is independent of pool-growth
   // failures, then grow the pool before committing any slot state.
   const uint32_t bytes = SampleCompressedSize();
   if (!TryGrowPoolFor(bytes)) {
+    if (why != nullptr) *why = ZramStoreFailure::kPoolEnomem;
     return std::nullopt;
   }
   SwapSlotId id;
@@ -77,6 +84,7 @@ std::optional<SwapSlotId> ZramStore::TryStore(uint64_t content) {
   slot.bytes = bytes;
   slot.cached = kNoFrame;
   slot.content = content;
+  slot.checksum = ChecksumOf(content);
   live_slot_count_++;
   stored_bytes_ += bytes;
   pages_stored_total_++;
@@ -170,6 +178,39 @@ uint32_t ZramStore::SlotBytes(SwapSlotId id) const {
 uint64_t ZramStore::SlotContent(SwapSlotId id) const {
   SAT_CHECK(SlotLive(id));
   return slots_[id].content;
+}
+
+bool ZramStore::SlotChecksumOk(SwapSlotId id) const {
+  SAT_CHECK(SlotLive(id));
+  return slots_[id].checksum == ChecksumOf(slots_[id].content);
+}
+
+void ZramStore::CorruptSlotForChaos(SwapSlotId id, uint64_t xor_mask) {
+  SAT_CHECK(SlotLive(id));
+  SAT_CHECK(xor_mask != 0 && "corruption must change something");
+  slots_[id].content ^= xor_mask;
+}
+
+void ZramStore::RepairSlotContent(SwapSlotId id, uint64_t content) {
+  SAT_CHECK(SlotLive(id));
+  slots_[id].content = content;
+  slots_[id].checksum = ChecksumOf(content);
+}
+
+std::optional<SwapSlotId> ZramStore::AnyLiveSlot(uint64_t rand) const {
+  if (live_slot_count_ == 0) {
+    return std::nullopt;
+  }
+  const SwapSlotId start =
+      static_cast<SwapSlotId>(rand % slots_.size());
+  for (SwapSlotId i = 0; i < slots_.size(); ++i) {
+    const SwapSlotId id =
+        static_cast<SwapSlotId>((start + i) % slots_.size());
+    if (slots_[id].live) {
+      return id;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace sat

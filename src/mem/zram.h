@@ -43,9 +43,30 @@
 
 namespace sat {
 
+// Why a TryStore attempt failed: the logical device being at disksize is
+// permanent pressure (writing more pages is pointless), while pool ENOMEM
+// is transient physical exhaustion worth distinguishing in summaries.
+enum class ZramStoreFailure : uint8_t {
+  kNone = 0,
+  kDisabled,    // store configured off (disksize 0)
+  kStoreFull,   // logical device at disksize capacity
+  kPoolEnomem,  // backing-pool frame allocation failed / fault injected
+};
+
 class ZramStore {
  public:
   static constexpr FrameNumber kNoFrame = static_cast<FrameNumber>(-1);
+
+  // Content checksum stored per slot at compression time and verified on
+  // decompress; a mismatch means the compressed copy rotted in the pool.
+  // splitmix64's finalizer: cheap, and any single bit flip in the content
+  // tag changes the checksum.
+  static uint64_t ChecksumOf(uint64_t content) {
+    uint64_t z = content + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
 
   // `disksize_bytes` is the logical device size (uncompressed capacity),
   // like /sys/block/zram0/disksize. Zero disables the store entirely.
@@ -64,8 +85,10 @@ class ZramStore {
   // preserved across the compress/decompress round trip so KSM can still
   // recognise the page after swap-in. Fails when the logical device is
   // full or the pool cannot grow (physical exhaustion or injected fault)
-  // — nothing is mutated then.
-  std::optional<SwapSlotId> TryStore(uint64_t content);
+  // — nothing is mutated then. `why`, when non-null, receives the failure
+  // cause (kNone on success).
+  std::optional<SwapSlotId> TryStore(uint64_t content,
+                                     ZramStoreFailure* why = nullptr);
 
   void Ref(SwapSlotId slot);
   // Drops one reference; frees the slot at zero. If the drop leaves the
@@ -84,6 +107,25 @@ class ZramStore {
   uint32_t SlotRefCount(SwapSlotId slot) const;
   uint32_t SlotBytes(SwapSlotId slot) const;
   uint64_t SlotContent(SwapSlotId slot) const;
+
+  // True when the slot's stored content still matches the checksum taken
+  // at store time. Swap-in verifies this before trusting the decompressed
+  // bytes.
+  bool SlotChecksumOk(SwapSlotId slot) const;
+
+  // Chaos backdoor: flips bits of the stored compressed copy without
+  // updating the checksum, exactly what pool rot would do.
+  void CorruptSlotForChaos(SwapSlotId slot, uint64_t xor_mask);
+
+  // Repair path: overwrite the slot with a freshly compressed copy of
+  // `content` (re-duplication from a still-intact decompressed frame) and
+  // restamp the checksum. Slot identity, size accounting and references
+  // are unchanged, so sharers' swap PTEs stay valid.
+  void RepairSlotContent(SwapSlotId slot, uint64_t content);
+
+  // Deterministically picks a live slot (scan from rand % capacity), or
+  // nullopt when no slot is live. For chaos injection target selection.
+  std::optional<SwapSlotId> AnyLiveSlot(uint64_t rand) const;
 
   // Live usage.
   uint64_t live_slots() const { return live_slot_count_; }
@@ -113,6 +155,7 @@ class ZramStore {
     FrameNumber cached = kNoFrame;
     bool live = false;
     uint64_t content = 0;
+    uint64_t checksum = 0;  // ChecksumOf(content) at store/repair time
   };
 
   uint32_t SampleCompressedSize();

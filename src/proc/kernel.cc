@@ -60,6 +60,16 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   swap_mgr_ = std::make_unique<SwapManager>(phys_.get(), zram_.get(),
                                             ptp_allocator_.get(), &rmap_,
                                             lru_.get(), &counters_);
+  // scrubd, like ksmd, is always constructed (RunScrubPass and the touch
+  // path's inline repair work regardless); `scrub` only gates the periodic
+  // wake-ups.
+  scrubber_ = std::make_unique<Scrubber>(phys_.get(), ptp_allocator_.get(),
+                                         &rmap_, zram_.get(), &counters_);
+  scrubber_->set_flush_site([this](PtpId ptp, uint32_t index, VirtAddr va) {
+    FlushScrubSite(ptp, index, va);
+  });
+  scrub_enabled_ = params.scrub;
+  scrub_wake_interval_ = std::max<uint32_t>(1, params.scrub_wake_interval);
   // The KSM daemon is always constructed (so madvise(MERGEABLE) always
   // works and tests can drive scans directly); ksm_enabled only gates the
   // periodic wake-ups. It observes frame lifecycle to prune stable-tree
@@ -108,10 +118,22 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
     machine_->core(i).set_abort_handler([this, i](const MemoryAbort& abort) {
       Task* task = current_[i];
-      assert(task != nullptr && "abort with no current task");
+      SAT_CHECK(task != nullptr && "abort with no current task");
       SetActiveCore(i);
-      const FaultOutcome outcome =
-          vm_->HandleFault(*task->mm, abort, FlushFnFor(*task));
+      FaultOutcome outcome;
+      {
+        // A recoverable oops in the fault handler (e.g. a corrupt swap
+        // slot discovered at decompress) kills the sharers and fails the
+        // access instead of taking the machine down.
+        OopsRecoveryScope oops_scope;
+        try {
+          outcome = vm_->HandleFault(*task->mm, abort, FlushFnFor(*task));
+        } catch (const KernelOops& oops) {
+          OopsKillByDamage(oops.damage, task);
+          SyncShootdowns();
+          return false;
+        }
+      }
       machine_->core(i).RunKernelPath(KernelPath::kFaultHandler,
                                       outcome.kernel_cycles,
                                       costs_.fault_kernel_lines);
@@ -250,7 +272,7 @@ Task* Kernel::CreateTask(const std::string& name) {
 }
 
 ForkOutcome Kernel::Fork(Task& parent, const std::string& name) {
-  assert(parent.mm != nullptr);
+  SAT_CHECK(parent.mm != nullptr && "fork from a task without an mm");
   SetActiveCore(parent.last_core);
   TraceSpan span(tracer_.get(), TraceEventType::kFork, parent.pid);
   ForkOutcome outcome;
@@ -266,7 +288,29 @@ ForkOutcome Kernel::Fork(Task& parent, const std::string& name) {
   }
 
   while (true) {
-    outcome.stats = vm_->Fork(*parent.mm, *child->mm, FlushFnFor(parent));
+    try {
+      OopsRecoveryScope oops_scope;
+      outcome.stats = vm_->Fork(*parent.mm, *child->mm, FlushFnFor(parent));
+    } catch (const KernelOops& oops) {
+      // Corrupt parent page table discovered mid-copy: roll the fork back
+      // exactly as an ENOMEM would, then contain the damage (which kills
+      // the parent as a sharer of the damaged PTP).
+      vm_->ExitMm(*child->mm);
+      counters_.forks_failed++;
+      SAT_CHECK(tasks_.back().get() == child &&
+                "fork rollback: child is not the youngest task");
+      ReleaseAsid(child->asid);
+      if (next_asid_ == static_cast<uint32_t>(child->asid) + 1) {
+        next_asid_--;
+      }
+      tasks_.pop_back();
+      next_pid_--;
+      span.set_args(0, 0);
+      outcome.error = Errno::kKilled;
+      OopsKillByDamage(oops.damage, &parent);
+      SyncShootdowns();
+      return outcome;
+    }
     if (outcome.stats.ok) {
       break;
     }
@@ -280,7 +324,8 @@ ForkOutcome Kernel::Fork(Task& parent, const std::string& name) {
       // task creation entirely — the child is the youngest task, so its
       // pid and ASID are simply un-issued again.
       counters_.forks_failed++;
-      assert(tasks_.back().get() == child);
+      SAT_CHECK(tasks_.back().get() == child &&
+                "fork rollback: child is not the youngest task");
       ReleaseAsid(child->asid);
       // Un-issue the ASID number too when it was the newest, so a failed
       // fork leaves the allocator exactly where it started.
@@ -325,7 +370,7 @@ void Kernel::Exec(Task& task, const std::string& name, bool is_zygote) {
 }
 
 void Kernel::Exit(Task& task) {
-  assert(task.alive);
+  SAT_CHECK(task.alive && "exit of a task that is already dead");
   SetActiveCore(task.last_core);
   Tracer::Emit(tracer_.get(), TraceEventType::kExit, task.pid, task.pid);
   vm_->ExitMm(*task.mm);
@@ -374,6 +419,11 @@ SyscallResult<VirtAddr> Kernel::Mmap(Task& task, MmapRequest request) {
     if (addr != 0) {
       RunKswapdIfNeeded();
       SyncShootdowns();
+      if (!task.alive) {
+        // A scrubd pass at the wake point found unrepairable damage whose
+        // blast radius included the caller.
+        return SyscallResult<VirtAddr>::Err(Errno::kKilled);
+      }
       return SyscallResult<VirtAddr>::Ok(addr);
     }
     if (!oom) {
@@ -470,92 +520,115 @@ TouchStatus Kernel::TouchPageStatus(Task& task, VirtAddr va,
 TouchStatus Kernel::TouchAndMaybeStore(Task& task, VirtAddr va,
                                        AccessType access,
                                        const uint64_t* store) {
-  assert(task.mm != nullptr);
+  SAT_CHECK(task.mm != nullptr && "touch through a task without an mm");
   SetActiveCore(task.last_core);
+  MaybeInjectChaos();
   PageTable& pt = task.mm->page_table();
-  // Each iteration either succeeds, makes fault progress, or frees
-  // memory; the cap only guards against a livelocked fault handler.
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    const auto ref = pt.FindPte(va);
-    if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
-      const HwPte hw = ref->ptp->hw(ref->index);
-      const bool l1_write_block = vm_->config().hw_l1_write_protect &&
-                                  pt.SlotNeedsCopy(va) &&
-                                  access == AccessType::kWrite;
-      bool allowed = !l1_write_block;
-      if (allowed) {
-        switch (access) {
-          case AccessType::kRead:
-            allowed = hw.perm() != PtePerm::kNone;
-            break;
-          case AccessType::kWrite:
-            allowed = hw.perm() == PtePerm::kReadWrite;
-            break;
-          case AccessType::kExecute:
-            allowed = hw.perm() != PtePerm::kNone && hw.executable();
-            break;
-        }
+  // Every kernel entry on the touch path runs under a recovery scope: a
+  // corrupt descriptor or swap slot becomes a KernelOops that unwinds to
+  // the catch below, which kills only the sharers of the damaged state
+  // and quarantines it — the rest of the machine keeps running.
+  OopsRecoveryScope oops_scope;
+  try {
+    // Each iteration either succeeds, makes fault progress, or frees
+    // memory; the cap only guards against a livelocked fault handler.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto ref = pt.FindPte(va);
+      if (ref.has_value() && !ValidateOrRepairSite(*ref)) {
+        SAT_OOPS_CHECK(
+            false && "unrepairable corrupt PTE at touch",
+            (OopsDamage{OopsDamage::Kind::kPtp, ref->ptp->id()}));
       }
-      if (allowed) {
-        // Emulated referenced/dirty bits: the hardware format has none, so
-        // the "MMU" sets them in the shadow PTE on access. The swap-out
-        // aging pass harvests young (second chance) and uses dirty to
-        // decide whether a swap-cached page can be dropped without
-        // recompressing.
-        LinuxPte sw = ref->ptp->sw(ref->index);
-        const bool need_dirty =
-            access == AccessType::kWrite && !sw.dirty();
-        if (!sw.young() || need_dirty) {
-          sw.set_young(true);
-          if (access == AccessType::kWrite) {
-            sw.set_dirty(true);
+      if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
+        const HwPte hw = ref->ptp->hw(ref->index);
+        const bool l1_write_block = vm_->config().hw_l1_write_protect &&
+                                    pt.SlotNeedsCopy(va) &&
+                                    access == AccessType::kWrite;
+        bool allowed = !l1_write_block;
+        if (allowed) {
+          switch (access) {
+            case AccessType::kRead:
+              allowed = hw.perm() != PtePerm::kNone;
+              break;
+            case AccessType::kWrite:
+              allowed = hw.perm() == PtePerm::kReadWrite;
+              break;
+            case AccessType::kExecute:
+              allowed = hw.perm() != PtePerm::kNone && hw.executable();
+              break;
           }
-          pt.UpdatePte(va, hw, sw, /*allow_shared=*/true);
         }
-        if (store != nullptr) {
-          // The store retires the instant the access is allowed — before
-          // the daemon wake point below, where ksmd could otherwise merge
-          // the page between the fault and the store and the new content
-          // would land on a stable frame.
-          const FrameNumber frame = MappedFrameOf(hw, ref->index);
-          SAT_CHECK(frame != phys_->zero_frame());
-          SAT_CHECK(!phys_->frame(frame).ksm_stable);
-          phys_->frame(frame).content = *store;
+        if (allowed) {
+          // Emulated referenced/dirty bits: the hardware format has none,
+          // so the "MMU" sets them in the shadow PTE on access. The
+          // swap-out aging pass harvests young (second chance) and uses
+          // dirty to decide whether a swap-cached page can be dropped
+          // without recompressing.
+          LinuxPte sw = ref->ptp->sw(ref->index);
+          const bool need_dirty =
+              access == AccessType::kWrite && !sw.dirty();
+          if (!sw.young() || need_dirty) {
+            sw.set_young(true);
+            if (access == AccessType::kWrite) {
+              sw.set_dirty(true);
+            }
+            pt.UpdatePte(va, hw, sw, /*allow_shared=*/true);
+          }
+          if (store != nullptr) {
+            // The store retires the instant the access is allowed —
+            // before the daemon wake point below, where ksmd could
+            // otherwise merge the page between the fault and the store
+            // and the new content would land on a stable frame.
+            const FrameNumber frame = MappedFrameOf(hw, ref->index);
+            SAT_CHECK(frame != phys_->zero_frame());
+            SAT_CHECK(!phys_->frame(frame).ksm_stable);
+            phys_->frame(frame).content = *store;
+          }
+          RunKswapdIfNeeded();
+          SyncShootdowns();
+          if (!task.alive) {
+            // The access itself succeeded, but a scrubd pass at the wake
+            // point found unrepairable damage whose blast radius included
+            // the toucher.
+            return TouchStatus::kOopsKill;
+          }
+          return TouchStatus::kOk;
         }
-        RunKswapdIfNeeded();
-        SyncShootdowns();
-        return TouchStatus::kOk;
+      }
+      MemoryAbort abort;
+      abort.status = (ref.has_value() && ref->ptp->hw(ref->index).valid())
+                         ? FaultStatus::kPermission
+                         : FaultStatus::kTranslation;
+      abort.fault_address = va;
+      abort.access = access;
+      abort.is_prefetch_abort = access == AccessType::kExecute;
+      const FaultOutcome outcome =
+          vm_->HandleFault(*task.mm, abort, FlushFnFor(task));
+      SyncShootdowns();  // fault-handler exit
+      if (outcome.ok) {
+        continue;
+      }
+      if (!outcome.oom) {
+        return TouchStatus::kSigSegv;
+      }
+      // The fault handler could not allocate. Reclaim / kill and retry;
+      // the toucher itself is a legitimate victim (no immunity), and if
+      // nothing else can be freed it falls on its own sword, Linux-style.
+      if (!RelieveMemoryPressure(nullptr)) {
+        OomKill(task);
+        return TouchStatus::kOomKill;
+      }
+      if (!task.alive) {
+        return TouchStatus::kOomKill;  // we were the chosen victim
       }
     }
-    MemoryAbort abort;
-    abort.status = (ref.has_value() && ref->ptp->hw(ref->index).valid())
-                       ? FaultStatus::kPermission
-                       : FaultStatus::kTranslation;
-    abort.fault_address = va;
-    abort.access = access;
-    abort.is_prefetch_abort = access == AccessType::kExecute;
-    const FaultOutcome outcome =
-        vm_->HandleFault(*task.mm, abort, FlushFnFor(task));
-    SyncShootdowns();  // fault-handler exit
-    if (outcome.ok) {
-      continue;
-    }
-    if (!outcome.oom) {
-      return TouchStatus::kSigSegv;
-    }
-    // The fault handler could not allocate. Reclaim / kill and retry; the
-    // toucher itself is a legitimate victim (no immunity), and if nothing
-    // else can be freed it falls on its own sword, Linux-style.
-    if (!RelieveMemoryPressure(nullptr)) {
-      OomKill(task);
-      return TouchStatus::kOomKill;
-    }
-    if (!task.alive) {
-      return TouchStatus::kOomKill;  // we were the chosen victim
-    }
+    SAT_CHECK(false && "TouchPage made no progress");
+    return TouchStatus::kSigSegv;
+  } catch (const KernelOops& oops) {
+    OopsKillByDamage(oops.damage, &task);
+    SyncShootdowns();
+    return TouchStatus::kOopsKill;
   }
-  SAT_CHECK(false && "TouchPage made no progress");
-  return TouchStatus::kSigSegv;
 }
 
 bool Kernel::TouchPage(Task& task, VirtAddr va, AccessType access) {
@@ -620,6 +693,17 @@ void Kernel::RunKswapdIfNeeded() {
     RunKsmScan();
     in_ksmd_ = false;
   }
+  // scrubd shares the wake points the same way: a wake-count period, not
+  // the watermark — corruption does not wait for memory pressure. Callers
+  // on a task's behalf must re-check task.alive afterwards: a pass that
+  // found unrepairable damage kills the sharers right here.
+  if (scrub_enabled_ && !in_scrubd_ && !in_ksmd_ && !in_kswapd_ &&
+      ++scrub_wake_ticks_ >= scrub_wake_interval_) {
+    scrub_wake_ticks_ = 0;
+    in_scrubd_ = true;
+    RunScrubPass();
+    in_scrubd_ = false;
+  }
   if (in_kswapd_ || !zram_->enabled()) {
     return;
   }
@@ -648,6 +732,377 @@ void Kernel::RunKswapdIfNeeded() {
   span.set_args(freed_total, phys_->free_frames());
   in_kswapd_ = false;
   SyncShootdowns();  // daemon tick
+}
+
+void Kernel::MaybeInjectChaos() {
+  FaultInjector& inj = *fault_injector_;
+  if (inj.ShouldCorrupt(CorruptSite::kPteWord)) {
+    const std::optional<PtpId> id = ptp_allocator_->AnyLiveId(inj.Rand64());
+    if (id.has_value()) {
+      PageTablePage& ptp = ptp_allocator_->Get(*id);
+      uint32_t index = static_cast<uint32_t>(inj.Rand64() % kPtesPerPtp);
+      // Bias the flip toward a live descriptor: rot in a word that maps
+      // nothing (and shadows nothing) is semantically inert, and page
+      // tables are sparse enough that a uniform pick would mostly land
+      // there. Real corruption studies weight by payload for the same
+      // reason.
+      for (uint32_t probe = 0; probe < kPtesPerPtp; ++probe) {
+        const uint32_t i = (index + probe) % kPtesPerPtp;
+        if (ptp.hw(i).valid() || ptp.sw(i).raw() != 0) {
+          index = i;
+          break;
+        }
+      }
+      const uint32_t bit = static_cast<uint32_t>(inj.Rand64() % 32);
+      ptp.CorruptHwForChaos(index, 1u << bit);
+    }
+  }
+  if (inj.ShouldCorrupt(CorruptSite::kZramByte)) {
+    const std::optional<SwapSlotId> slot = zram_->AnyLiveSlot(inj.Rand64());
+    if (slot.has_value()) {
+      const uint32_t byte = static_cast<uint32_t>(inj.Rand64() % 8);
+      uint64_t flip = (inj.Rand64() & 0xffull) << (8 * byte);
+      if (flip == 0) {
+        flip = 1ull << (8 * byte);
+      }
+      zram_->CorruptSlotForChaos(*slot, flip);
+    }
+  }
+  if (inj.ShouldCorrupt(CorruptSite::kTlbTag)) {
+    const uint32_t core_id =
+        static_cast<uint32_t>(inj.Rand64() % machine_->num_cores());
+    MainTlb& tlb = machine_->core(core_id).main_tlb();
+    const uint32_t set = static_cast<uint32_t>(inj.Rand64() % tlb.num_sets());
+    const uint32_t way = static_cast<uint32_t>(inj.Rand64() % tlb.ways());
+    TlbEntry& entry = tlb.EntryAtForChaos(set, way);
+    if (entry.valid) {
+      switch (inj.Rand64() % 4) {
+        case 0:
+          entry.vpn ^= 1u << (inj.Rand64() % 20);
+          break;
+        case 1:
+          entry.asid = static_cast<Asid>(entry.asid ^
+                                         (1u << (inj.Rand64() % 8)));
+          break;
+        case 2:
+          entry.global = !entry.global;
+          break;
+        case 3:
+          entry.frame ^= 1u << (inj.Rand64() % 16);
+          break;
+      }
+    }
+  }
+}
+
+bool Kernel::ScrubSiteNow(PageTablePage& ptp, uint32_t index) {
+  return scrubber_->ScrubSite(ptp, index, BuildScrubContext()) !=
+         ScrubSiteResult::kUnrepairable;
+}
+
+bool Kernel::ValidateOrRepairSite(const PteRef& ref) {
+  const HwPte hw = ref.ptp->hw(ref.index);
+  const LinuxPte sw = ref.ptp->sw(ref.index);
+  bool suspicious;
+  if (hw.valid()) {
+    suspicious = !sw.present();
+    if (!suspicious) {
+      const uint8_t perm_raw = static_cast<uint8_t>(hw.perm());
+      suspicious = perm_raw == 0 || perm_raw == 3;
+    }
+    if (!suspicious) {
+      const FrameNumber frame = MappedFrameOf(hw, ref.index);
+      if (frame >= phys_->total_frames()) {
+        suspicious = true;
+      } else {
+        const PageFrame& meta = phys_->frame(frame);
+        switch (meta.kind) {
+          case FrameKind::kAnon:
+          case FrameKind::kFileCache:
+          case FrameKind::kZero:
+          case FrameKind::kKernel:
+            break;
+          default:
+            suspicious = true;
+            break;
+        }
+        if (!suspicious && hw.perm() == PtePerm::kReadWrite &&
+            (frame == phys_->zero_frame() || meta.ksm_stable)) {
+          suspicious = true;  // COW-only frames are never writable
+        }
+      }
+    }
+  } else {
+    // Invalid hardware entry over a present shadow entry: the validity
+    // bits rotted off a live mapping (a legal invalid entry is either
+    // empty or a swap entry, both non-present).
+    suspicious = sw.present();
+  }
+  if (!suspicious) {
+    // No rmap cross-check here: this runs on every touch, and the rmap
+    // walk is what the suspicion-driven ScrubSiteNow path is for.
+    return true;
+  }
+  return ScrubSiteNow(*ref.ptp, ref.index);
+}
+
+uint32_t Kernel::RunScrubPass() {
+  counters_.scrub_runs++;
+  // PTPs validated per pass: large enough to cover a small system in one
+  // pass, small enough that a wake point stays cheap on a big one.
+  constexpr uint32_t kScrubPtpBudget = 64;
+  const ScrubPassResult result =
+      scrubber_->RunPass(BuildScrubContext(), kScrubPtpBudget);
+  uint32_t repairs = result.repairs;
+  repairs += ScrubTlbs();
+  // Unrepairable damage is acted on after the walk, never during it: the
+  // kills below tear down page tables the walk may still be indexing.
+  for (const ScrubSiteRef& site : result.unrepairable_sites) {
+    if (ptp_allocator_->GetIfLive(site.ptp) == nullptr) {
+      continue;  // an earlier kill this pass already tore it down
+    }
+    counters_.scrub_unrepairable++;
+    OopsKillByDamage(OopsDamage{OopsDamage::Kind::kPtp, site.ptp}, nullptr);
+  }
+  for (const SwapSlotId slot : result.unrepairable_slots) {
+    if (!zram_->SlotLive(slot)) {
+      continue;
+    }
+    counters_.scrub_unrepairable++;
+    OopsKillByDamage(OopsDamage{OopsDamage::Kind::kSwapSlot, slot}, nullptr);
+  }
+  counters_.frames_quarantined = phys_->quarantined_frames();
+  SyncShootdowns();
+  return repairs;
+}
+
+ScrubContext Kernel::BuildScrubContext() const {
+  // One walk over every live task's L1 table up front; the per-PTP lambdas
+  // the scrubber calls per suspicious site then cost a hash lookup, not a
+  // task scan.
+  struct L1Facts {
+    DomainId domain = kDomainUser;
+    bool need_copy = false;
+  };
+  auto facts = std::make_shared<std::unordered_map<PtpId, L1Facts>>();
+  for (const auto& t : tasks_) {
+    if (!t->alive || t->mm == nullptr) {
+      continue;
+    }
+    const PageTable& pt = t->mm->page_table();
+    for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+      const L1Entry& entry = pt.l1(slot);
+      if (!entry.present()) {
+        continue;
+      }
+      L1Facts& f = (*facts)[entry.ptp];
+      f.domain = entry.domain;
+      f.need_copy = f.need_copy || entry.need_copy;
+    }
+  }
+  ScrubContext ctx;
+  ctx.share_tlb_global = vm_->config().share_tlb_global;
+  ctx.hw_l1_write_protect = vm_->config().hw_l1_write_protect;
+  ctx.domain_of = [facts](PtpId ptp) {
+    const auto it = facts->find(ptp);
+    return it == facts->end() ? kDomainUser : it->second.domain;
+  };
+  ctx.need_copy_of = [facts](PtpId ptp) {
+    const auto it = facts->find(ptp);
+    return it != facts->end() && it->second.need_copy;
+  };
+  return ctx;
+}
+
+void Kernel::FlushScrubSite(PtpId ptp, uint32_t index, VirtAddr va_hint) {
+  VirtAddr va = va_hint;
+  if (va == 0) {
+    // The rmap did not know the address; recover it from any live task's
+    // L1 slot referencing the PTP (sharers map it at the same address —
+    // the zygote model).
+    for (const auto& t : tasks_) {
+      if (!t->alive || t->mm == nullptr) {
+        continue;
+      }
+      const PageTable& pt = t->mm->page_table();
+      for (uint32_t slot = 0; slot < kUserPtpSlots && va == 0; ++slot) {
+        if (pt.l1(slot).ptp == ptp) {
+          va = PtpSlotBase(slot) + index * kPageSize;
+        }
+      }
+      if (va != 0) {
+        break;
+      }
+    }
+  }
+  if (va == 0) {
+    return;  // unreferenced PTP: no TLB can be caching it
+  }
+  // global=true widens the mask over the zygote group's cores — the
+  // repaired entry's old global bit is exactly what may have rotted, so
+  // assume the worst.
+  machine_->ShootdownVa(va, SharerMaskFor(va, ptp, /*global=*/true),
+                        active_core_);
+}
+
+uint32_t Kernel::ScrubTlbs() {
+  uint32_t flushed = 0;
+  const auto backs_entry = [&](const Task& t, const TlbEntry& entry,
+                               VirtAddr va) {
+    const PageTable& pt = t.mm->page_table();
+    const auto ref = pt.FindPte(va);
+    if (!ref.has_value()) {
+      return false;
+    }
+    const HwPte hw = ref->ptp->hw(ref->index);
+    if (!hw.valid()) {
+      return false;
+    }
+    if ((entry.size_pages == kPtesPerLargePage) != hw.large()) {
+      return false;
+    }
+    const FrameNumber frame = entry.size_pages == kPtesPerLargePage
+                                  ? hw.frame()
+                                  : MappedFrameOf(hw, ref->index);
+    return entry.frame == frame && entry.perm == hw.perm() &&
+           entry.executable == hw.executable() &&
+           entry.global == hw.global() &&
+           entry.domain == pt.l1(PtpSlotIndex(va)).domain;
+  };
+  for (uint32_t c = 0; c < machine_->num_cores(); ++c) {
+    MainTlb& tlb = machine_->core(c).main_tlb();
+    for (uint32_t set = 0; set < tlb.num_sets(); ++set) {
+      for (uint32_t way = 0; way < tlb.ways(); ++way) {
+        const TlbEntry& entry = tlb.EntryAt(set, way);
+        if (!entry.valid) {
+          continue;
+        }
+        const VirtAddr va = entry.vpn << kPageShift;
+        if (!IsUserAddress(va)) {
+          tlb.FlushVa(va);  // no modelled mapping is outside user space
+          counters_.scrub_repairs++;
+          flushed++;
+          continue;
+        }
+        bool ok = false;
+        for (const auto& t : tasks_) {
+          if (!t->alive || t->mm == nullptr) {
+            continue;
+          }
+          if (!entry.global && t->asid != entry.asid) {
+            continue;
+          }
+          if (backs_entry(*t, entry, va)) {
+            ok = true;
+            break;
+          }
+        }
+        if (!ok) {
+          // Stale or rotten (possibly legitimately stale under a pending
+          // batched flush — flushing early is always safe).
+          tlb.FlushVa(va);
+          counters_.scrub_repairs++;
+          flushed++;
+        }
+      }
+    }
+  }
+  return flushed;
+}
+
+void Kernel::CollectPtpSharers(PtpId ptp, std::vector<Task*>* victims) {
+  for (const auto& t : tasks_) {
+    if (!t->alive || t->mm == nullptr) {
+      continue;
+    }
+    const PageTable& pt = t->mm->page_table();
+    for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+      if (pt.l1(slot).ptp == ptp) {
+        victims->push_back(t.get());
+        break;
+      }
+    }
+  }
+}
+
+void Kernel::OopsKillByDamage(const OopsDamage& damage, Task* offender) {
+  std::vector<Task*> victims;
+  switch (damage.kind) {
+    case OopsDamage::Kind::kNone:
+      break;
+    case OopsDamage::Kind::kPtp: {
+      const PtpId ptp = static_cast<PtpId>(damage.id);
+      CollectPtpSharers(ptp, &victims);
+      const PageTablePage* page = ptp_allocator_->GetIfLive(ptp);
+      if (page != nullptr) {
+        phys_->QuarantineFrame(page->frame());
+      }
+      break;
+    }
+    case OopsDamage::Kind::kFrame: {
+      const FrameNumber frame = static_cast<FrameNumber>(damage.id);
+      if (frame < phys_->total_frames()) {
+        for (const RmapEntry& entry : rmap_.MappingsOf(frame)) {
+          CollectPtpSharers(entry.ptp, &victims);
+        }
+        phys_->QuarantineFrame(frame);
+      }
+      break;
+    }
+    case OopsDamage::Kind::kSwapSlot: {
+      const SwapSlotId slot = static_cast<SwapSlotId>(damage.id);
+      // Victims: every task whose page table holds a swap PTE naming the
+      // slot. (The swap-cache reference, if any, is torn down with them.)
+      for (const auto& t : tasks_) {
+        if (!t->alive || t->mm == nullptr) {
+          continue;
+        }
+        const PageTable& pt = t->mm->page_table();
+        bool references = false;
+        for (uint32_t s = 0; s < kUserPtpSlots && !references; ++s) {
+          const L1Entry& l1 = pt.l1(s);
+          if (!l1.present()) {
+            continue;
+          }
+          const PageTablePage& page = ptp_allocator_->Get(l1.ptp);
+          for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+            const LinuxPte& sw = page.sw(i);
+            if (sw.is_swap() && sw.swap_slot() == slot) {
+              references = true;
+              break;
+            }
+          }
+        }
+        if (references) {
+          victims.push_back(t.get());
+        }
+      }
+      break;
+    }
+  }
+  if (offender != nullptr &&
+      std::find(victims.begin(), victims.end(), offender) == victims.end()) {
+    victims.push_back(offender);
+  }
+  // Damage reaching the zygote itself is unrecoverable: every future app
+  // is forked from that address space, so killing it (or limping on with
+  // it corrupt) would be a lie. Zygote *children* are ordinary victims.
+  for (const Task* victim : victims) {
+    if (victim->zygote) {
+      SAT_PANIC("oops damage reaches the zygote address space");
+    }
+  }
+  for (Task* victim : victims) {
+    if (!victim->alive) {
+      continue;  // double-listed, or torn down by an earlier kill
+    }
+    counters_.oops_kills++;
+    Tracer::Emit(tracer_.get(), TraceEventType::kOomKill, victim->pid,
+                 victim->pid, TaskRssPages(*victim));
+    victim->oops_killed = true;
+    Exit(*victim);
+  }
+  counters_.frames_quarantined = phys_->quarantined_frames();
 }
 
 uint64_t Kernel::TaskRssPages(const Task& task) const {
@@ -765,8 +1220,8 @@ AuditReport Kernel::AuditInvariants() const {
 }
 
 void Kernel::ScheduleTo(Task& task, uint32_t core_id) {
-  assert(task.alive);
-  assert(core_id < machine_->num_cores());
+  SAT_CHECK(task.alive && "scheduling a dead task");
+  SAT_CHECK(core_id < machine_->num_cores());
   // Context switch is a batched-shootdown sync point: no stale window may
   // outlive the switch into another address space.
   SyncShootdowns();
@@ -783,7 +1238,7 @@ void Kernel::ScheduleTo(Task& task, uint32_t core_id) {
 }
 
 void Kernel::SetCurrent(Task& task, uint32_t core_id) {
-  assert(core_id < machine_->num_cores());
+  SAT_CHECK(core_id < machine_->num_cores());
   SyncShootdowns();
   current_[core_id] = &task;
   task.cpu_mask |= CpuBit(core_id);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/arch/check.h"
 #include "src/hw/machine.h"
 #include "src/ksm/ksm.h"
 #include "src/mem/fault_injector.h"
@@ -35,6 +36,7 @@
 #include "src/trace/trace.h"
 #include "src/vm/audit.h"
 #include "src/vm/reclaim.h"
+#include "src/vm/scrub.h"
 #include "src/vm/swap.h"
 #include "src/vm/vm_manager.h"
 
@@ -72,6 +74,13 @@ struct KernelParams {
   // is always constructed so madvise(MERGEABLE) is always accepted.
   bool ksm_enabled = false;
   uint32_t ksm_wake_interval = 1024;
+  // scrubd corruption scrubbing (src/vm/scrub). When enabled, an
+  // incremental scrub pass — PTPs cross-checked against the rmap, zram
+  // slots against their checksums, TLB entries against the page tables —
+  // runs from the kswapd/ksmd wake points every `scrub_wake_interval`-th
+  // wake-up. RunScrubPass() also drives passes directly.
+  bool scrub = false;
+  uint32_t scrub_wake_interval = 512;
 };
 
 // How a TouchPage access ended.
@@ -79,6 +88,8 @@ enum class TouchStatus : uint8_t {
   kOk = 0,
   kSigSegv,   // unresolvable fault (bad address / permission)
   kOomKill,   // the touching task was OOM-killed while faulting
+  kOopsKill,  // a recoverable kernel oops killed the task (corruption in
+              // state it shared; see SAT_OOPS_CHECK / OopsDamage)
 };
 
 // The madvise subset the simulator models.
@@ -190,6 +201,17 @@ class Kernel {
   // the number of PTEs merged.
   uint32_t RunKsmScan();
 
+  // One incremental scrubd pass (also run periodically from the kswapd
+  // wake points when KernelParams::scrub is set): walks a batch of live
+  // PTPs validating hardware descriptors against the shadow entries and
+  // the rmap, checks zram slot checksums, and cross-checks main-TLB
+  // entries against the page tables. Repairs what it can (rebuild from
+  // the rmap, drop-and-refault clean file pages, re-duplicate a cached
+  // swap slot, flush a rotten TLB entry); what it cannot repair
+  // oops-kills exactly the sharers of the damaged state. Returns the
+  // number of repairs made this pass.
+  uint32_t RunScrubPass();
+
   // The allocate → direct-reclaim → OOM-kill chain (run automatically by
   // the fault/fork/mmap paths; public so tests can drive it). Returns
   // true if it freed anything: first a direct-reclaim pass over the file
@@ -255,6 +277,33 @@ class Kernel {
                                  const uint64_t* store);
   // Kills `victim`: counters, trace, oom_killed flag, then Exit.
   void OomKill(Task& victim);
+  // The recoverable-oops back end: quarantines the damaged frame/PTP and
+  // SIGKILL-style kills every task sharing the damaged state (plus
+  // `offender`, the task whose kernel entry tripped the oops, if any).
+  // Damage reaching the zygote's address space is treated as
+  // unrecoverable and escalates to a kernel panic.
+  void OopsKillByDamage(const OopsDamage& damage, Task* offender);
+  // Every live task whose L1 references `ptp` (the oops blast radius).
+  void CollectPtpSharers(PtpId ptp, std::vector<Task*>* victims);
+  // Chaos injection (inert until a corrupt rule is set on the fault
+  // injector): flips one seeded bit in a live PTE word, zram slot, or
+  // main-TLB entry. Called once per TouchPage entry.
+  void MaybeInjectChaos();
+  // Scrubs one PTE site immediately (the touch path's detect-and-repair
+  // step before it resorts to an oops). True when the site was repaired.
+  bool ScrubSiteNow(PageTablePage& ptp, uint32_t index);
+  // Cheap per-touch validation of the PTE about to be used; on suspicion
+  // runs ScrubSiteNow. False only when the site is corrupt AND
+  // unrepairable — the caller's cue to oops.
+  bool ValidateOrRepairSite(const PteRef& ref);
+  // The scrub context for the current pass: PTP -> L1 domain, resolved
+  // from every live task's first-level table.
+  ScrubContext BuildScrubContext() const;
+  // Flush one repaired site over its sharer set (scrubd's TLB hook).
+  void FlushScrubSite(PtpId ptp, uint32_t index, VirtAddr va_hint);
+  // Cross-checks every core's main TLB against the page tables, flushing
+  // entries that no longer match (chaos-rotted tags). Returns flush count.
+  uint32_t ScrubTlbs();
   // Background-reclaim analogue: when free memory sinks below the low
   // watermark (and swap is enabled), reclaims file cache and swaps out
   // anonymous pages until the high watermark is restored or no further
@@ -303,6 +352,7 @@ class Kernel {
   std::unique_ptr<Reclaimer> reclaimer_;
   std::unique_ptr<SwapManager> swap_mgr_;
   std::unique_ptr<KsmDaemon> ksm_;
+  std::unique_ptr<Scrubber> scrubber_;
   std::unique_ptr<Machine> machine_;
   // Declared after every subsystem: tasks are destroyed first, so page-
   // table teardown can still release swap slots and frames.
@@ -333,6 +383,12 @@ class Kernel {
   uint32_t ksm_wake_interval_ = 0;
   uint32_t ksm_wake_ticks_ = 0;
   bool in_ksmd_ = false;
+  // scrubd state: same wake-point pattern as ksmd. The guard keeps a
+  // pass's own work (flushes, oops kills) from waking another pass.
+  bool scrub_enabled_ = false;
+  uint32_t scrub_wake_interval_ = 0;
+  uint32_t scrub_wake_ticks_ = 0;
+  bool in_scrubd_ = false;
 };
 
 }  // namespace sat

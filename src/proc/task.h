@@ -36,6 +36,9 @@ struct Task {
   bool alive = true;
   // Set when the OOM killer (not a voluntary Exit) terminated the task.
   bool oom_killed = false;
+  // Set when a recoverable kernel oops killed the task (blast-radius
+  // containment for corrupted state it was sharing; see src/arch/check.h).
+  bool oops_killed = false;
 
   bool IsZygoteLike() const { return zygote || zygote_child; }
 };

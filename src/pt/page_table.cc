@@ -56,11 +56,36 @@ void PageTable::DropFrame(const HwPte& pte, PtpId ptp, uint32_t index) {
   if (!pte.valid()) {
     return;
   }
+  // Teardown must survive descriptors whose frame bits rotted (chaos
+  // injection): the frame number is untrusted until the rmap confirms it.
   const FrameNumber frame = MappedFrameOf(pte, index);
-  if (rmap_ != nullptr) {
-    rmap_->Remove(frame, ptp, index);
+  const bool in_range = frame < phys_->total_frames();
+  if (in_range) {
+    const FrameKind kind = phys_->frame(frame).kind;
+    if (kind == FrameKind::kZero || kind == FrameKind::kKernel) {
+      phys_->UnrefFrame(frame);  // permanent frames: no rmap, no refcount
+      return;
+    }
   }
-  phys_->UnrefFrame(frame);
+  if (rmap_ == nullptr) {
+    if (in_range) {
+      phys_->UnrefFrame(frame);
+    }
+    return;
+  }
+  if (in_range && rmap_->Remove(frame, ptp, index)) {
+    phys_->UnrefFrame(frame);  // the normal path: rmap agreed
+    return;
+  }
+  // The descriptor lied. Release whatever the rmap says was really mapped
+  // here; if it knows nothing, no reference was ever taken through this
+  // descriptor (spurious-valid corruption, or a zero-page mapping whose
+  // frame bits rotted) and there is nothing to drop.
+  const auto truth = rmap_->FindAtSite(ptp, index);
+  if (truth.has_value()) {
+    rmap_->Remove(truth->first, ptp, index);
+    phys_->UnrefFrame(truth->first);
+  }
 }
 
 void PageTable::DropSwap(const LinuxPte& sw_pte) {
@@ -258,6 +283,33 @@ std::optional<uint32_t> PageTable::TryUnshareSlot(
 
   PageTablePage& fresh = alloc_->Get(fresh_id);
   PageTablePage& shared = alloc_->Get(shared_id);
+
+  // Is this descriptor's frame number confirmed by a trusted source? Wrong
+  // bits must not be copied into the private PTP (TakeFrame on them would
+  // corrupt someone else's reference counts).
+  const auto frame_trusted = [&](const HwPte& hw, uint32_t i) {
+    const FrameNumber f = MappedFrameOf(hw, i);
+    if (f >= phys_->total_frames()) {
+      return false;
+    }
+    const FrameKind kind = phys_->frame(f).kind;
+    if (kind == FrameKind::kZero || kind == FrameKind::kKernel) {
+      return true;  // not rmap-tracked; nothing further to confirm
+    }
+    if (kind != FrameKind::kAnon && kind != FrameKind::kFileCache) {
+      return false;
+    }
+    if (rmap_ == nullptr) {
+      return true;
+    }
+    for (const RmapEntry& entry : rmap_->MappingsOf(f)) {
+      if (entry.ptp == shared_id && entry.index == i) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   uint32_t copied = 0;
   for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
     const HwPte& hw = shared.hw(i);
@@ -278,6 +330,28 @@ std::optional<uint32_t> PageTable::TryUnshareSlot(
       continue;  // ablation: let a soft fault repopulate it on demand
     }
     HwPte copy = hw;
+    if (!frame_trusted(hw, i)) {
+      // Rotted descriptor: rebuild the private copy from the rmap's record
+      // of this site (conservatively read-only and small — a permission
+      // fault restores precise attributes), or as a zero-page mapping when
+      // nothing was ever installed through it. A dirty page with no rmap
+      // record has no surviving copy; leave the private slot empty rather
+      // than copy garbage — the shared PTP's scrub/oops machinery owns
+      // that damage.
+      const auto truth =
+          rmap_ != nullptr
+              ? rmap_->FindAtSite(shared_id, i)
+              : std::optional<std::pair<FrameNumber, VirtAddr>>{};
+      if (truth.has_value()) {
+        copy = HwPte::MakePage(truth->first, PtePerm::kReadOnly,
+                               /*global=*/false, /*executable=*/true);
+      } else if (!shared.sw(i).dirty()) {
+        copy = HwPte::MakePage(phys_->zero_frame(), PtePerm::kReadOnly,
+                               /*global=*/false, /*executable=*/true);
+      } else {
+        continue;
+      }
+    }
     if (write_protect_on_copy) {
       copy.WriteProtect();
     }
@@ -305,16 +379,19 @@ void PageTable::ReleaseSlot(uint32_t slot) {
   PageTablePage& ptp = alloc_->Get(entry.ptp);
   if (alloc_->SharerCount(entry.ptp) == 1) {
     // Last sharer: release every mapped frame and swap slot, then the PTP
-    // itself.
+    // itself. Resync the present count first and release the swap slot even
+    // when the hardware half claims to be valid — flipped validity bits
+    // must not trip Clear's bookkeeping or leak a slot reference.
+    ptp.RecountPresentForScrub();
     for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+      const LinuxPte old_sw = ptp.sw(i);
       if (ptp.hw(i).valid()) {
         DropFrame(ptp.hw(i), entry.ptp, i);
-        ptp.Clear(i);
-      } else if (ptp.sw(i).is_swap()) {
-        const LinuxPte old_sw = ptp.sw(i);
-        ptp.Clear(i);
-        DropSwap(old_sw);
       }
+      if (ptp.hw(i).valid() || old_sw.raw() != 0) {
+        ptp.Clear(i);
+      }
+      DropSwap(old_sw);
     }
   }
   alloc_->DropSharer(entry.ptp);

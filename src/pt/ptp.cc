@@ -36,6 +36,29 @@ void PageTablePage::UpdateFlags(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
   sw_[index] = sw_pte;
 }
 
+void PageTablePage::CorruptHwForChaos(uint32_t index, uint32_t xor_mask) {
+  SAT_CHECK(index < kPtesPerPtp);
+  SAT_CHECK(xor_mask != 0 && "corruption must change something");
+  hw_[index] = HwPte::FromRaw(hw_[index].raw() ^ xor_mask);
+}
+
+void PageTablePage::RepairHw(uint32_t index, HwPte hw_pte) {
+  SAT_CHECK(index < kPtesPerPtp);
+  hw_[index] = hw_pte;
+  RecountPresentForScrub();
+}
+
+uint32_t PageTablePage::RecountPresentForScrub() {
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+    if (hw_[i].valid()) {
+      count++;
+    }
+  }
+  present_count_ = count;
+  return count;
+}
+
 std::optional<PtpId> PtpAllocator::TryAlloc() {
   const std::optional<FrameNumber> frame =
       phys_->TryAllocFrame(FrameKind::kPageTable);
@@ -81,6 +104,21 @@ const PageTablePage* PtpAllocator::GetIfLive(PtpId id) const {
     return nullptr;
   }
   return slab_[static_cast<size_t>(id)].get();
+}
+
+std::optional<PtpId> PtpAllocator::AnyLiveId(uint64_t rand) const {
+  if (slab_.empty()) {
+    return std::nullopt;
+  }
+  const size_t n = slab_.size();
+  const size_t start = static_cast<size_t>(rand % n);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = (start + k) % n;
+    if (slab_[i] != nullptr) {
+      return static_cast<PtpId>(i);
+    }
+  }
+  return std::nullopt;
 }
 
 uint32_t PtpAllocator::SharerCount(PtpId id) const {

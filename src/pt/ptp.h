@@ -57,6 +57,20 @@ class PageTablePage {
   // stays trivially correct.
   void UpdateFlags(uint32_t index, HwPte hw_pte, LinuxPte sw_pte);
 
+  // Chaos backdoor: XORs the raw hardware descriptor word at `index`
+  // without maintaining present_count_ or the shadow entry — exactly what
+  // a stray bit flip in the PTP's frame does. The Linux shadow entry and
+  // the rmap survive as the redundant copy scrubd repairs from.
+  void CorruptHwForChaos(uint32_t index, uint32_t xor_mask);
+
+  // Scrub repair: overwrites the hardware descriptor from a trusted
+  // source and resynchronises present_count_ with the table.
+  void RepairHw(uint32_t index, HwPte hw_pte);
+
+  // Recounts present_count_ from the hardware table (hygiene after
+  // corruption was detected and healed). Returns the fresh count.
+  uint32_t RecountPresentForScrub();
+
   // Physical address of the hardware PTE for `index` (the address the
   // hardware walker loads, and thus the address the cache model sees).
   PhysAddr HwEntryPhysAddr(uint32_t index) const {
@@ -107,6 +121,10 @@ class PtpAllocator {
   bool DropSharer(PtpId id);
 
   uint64_t live_ptps() const { return live_count_; }
+
+  // Deterministically picks a live PTP (scan from rand % slab size), or
+  // nullopt when none is live. For chaos-injection target selection.
+  std::optional<PtpId> AnyLiveId(uint64_t rand) const;
 
   // Visits every live PTP (for the invariant auditor).
   template <typename Fn>

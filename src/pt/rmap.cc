@@ -12,10 +12,10 @@ void ReverseMap::Add(FrameNumber frame, PtpId ptp, uint32_t index,
   total_entries_++;
 }
 
-void ReverseMap::Remove(FrameNumber frame, PtpId ptp, uint32_t index) {
+bool ReverseMap::Remove(FrameNumber frame, PtpId ptp, uint32_t index) {
   const auto it = map_.find(frame);
   if (it == map_.end()) {
-    return;
+    return false;
   }
   auto& entries = it->second;
   const auto match = std::find_if(
@@ -23,13 +23,14 @@ void ReverseMap::Remove(FrameNumber frame, PtpId ptp, uint32_t index) {
         return entry.ptp == ptp && entry.index == index;
       });
   if (match == entries.end()) {
-    return;
+    return false;
   }
   entries.erase(match);
   total_entries_--;
   if (entries.empty()) {
     map_.erase(it);
   }
+  return true;
 }
 
 uint32_t ReverseMap::MapCount(FrameNumber frame) const {
@@ -51,6 +52,18 @@ void ReverseMap::ForEach(
 std::vector<RmapEntry> ReverseMap::MappingsOf(FrameNumber frame) const {
   const auto it = map_.find(frame);
   return it == map_.end() ? std::vector<RmapEntry>{} : it->second;
+}
+
+std::optional<std::pair<FrameNumber, VirtAddr>> ReverseMap::FindAtSite(
+    PtpId ptp, uint32_t index) const {
+  for (const auto& [frame, entries] : map_) {
+    for (const RmapEntry& entry : entries) {
+      if (entry.ptp == ptp && entry.index == index) {
+        return std::make_pair(frame, entry.va);
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace sat

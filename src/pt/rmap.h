@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/arch/pte.h"
@@ -40,8 +42,11 @@ class ReverseMap {
 
   void Add(FrameNumber frame, PtpId ptp, uint32_t index, VirtAddr va);
 
-  // Removes one (ptp, index) mapping of `frame`; no-op if absent.
-  void Remove(FrameNumber frame, PtpId ptp, uint32_t index);
+  // Removes one (ptp, index) mapping of `frame`. Returns whether an entry
+  // was actually there — false is the O(1) tell that the PTE's frame bits
+  // and the rmap disagree (corruption), since every legal teardown removes
+  // an entry its install added.
+  bool Remove(FrameNumber frame, PtpId ptp, uint32_t index);
 
   // Number of PTEs mapping `frame` (NOT the number of processes — a
   // shared PTP contributes one).
@@ -53,6 +58,13 @@ class ReverseMap {
                const std::function<void(const RmapEntry&)>& fn) const;
 
   std::vector<RmapEntry> MappingsOf(FrameNumber frame) const;
+
+  // Which frame does the rmap believe is mapped at (ptp, index)? Linear
+  // scan over all entries — only used by scrub repair, where the hardware
+  // PTE's frame bits are suspect and the rmap is the surviving copy of
+  // the truth. Returns nullopt when no entry names the site.
+  std::optional<std::pair<FrameNumber, VirtAddr>> FindAtSite(
+      PtpId ptp, uint32_t index) const;
 
   uint64_t total_entries() const { return total_entries_; }
 

@@ -40,6 +40,8 @@ namespace sat {
   X(swap_ins_cache_hit)              \
   X(swap_clean_drops)                \
   X(swap_out_failures)               \
+  X(swap_out_store_full)             \
+  X(swap_out_pool_enomem)            \
   X(lru_rotations)                   \
   X(lru_activations)                 \
   X(kswapd_runs)                     \
@@ -59,7 +61,12 @@ namespace sat {
   X(ksm_ptes_write_protected)        \
   X(ksm_unmerge_faults)              \
   X(ksm_unshares)                    \
-  X(ksm_merge_failures)
+  X(ksm_merge_failures)              \
+  X(oops_kills)                      \
+  X(frames_quarantined)              \
+  X(scrub_runs)                      \
+  X(scrub_repairs)                   \
+  X(scrub_unrepairable)
 
 #define SAT_CORE_COUNTER_FIELDS(X) \
   X(cycles)                        \
@@ -113,6 +120,8 @@ struct KernelCounters {
   uint64_t swap_ins_cache_hit = 0;    // subset served by the swap cache
   uint64_t swap_clean_drops = 0;      // cached clean pages dropped, no recompress
   uint64_t swap_out_failures = 0;     // zram full / pool allocation failed
+  uint64_t swap_out_store_full = 0;   // subset: compressed store at disksize cap
+  uint64_t swap_out_pool_enomem = 0;  // subset: backing pool frame alloc failed
   uint64_t lru_rotations = 0;         // unreclaimable candidates rotated to tail
   uint64_t lru_activations = 0;       // referenced pages promoted to active
   uint64_t kswapd_runs = 0;           // background reclaim activations
@@ -141,6 +150,13 @@ struct KernelCounters {
   uint64_t ksm_unmerge_faults = 0;        // COW breaks away from stable frames
   uint64_t ksm_unshares = 0;              // shared PTPs privatized to merge
   uint64_t ksm_merge_failures = 0;        // merges abandoned (ENOMEM unshare)
+
+  // Graceful degradation (recoverable oops + scrubd).
+  uint64_t oops_kills = 0;            // tasks killed by a recoverable oops
+  uint64_t frames_quarantined = 0;    // frames pulled from circulation
+  uint64_t scrub_runs = 0;            // scrubd incremental passes
+  uint64_t scrub_repairs = 0;         // corruptions scrubd healed in place
+  uint64_t scrub_unrepairable = 0;    // corruptions that forced an oops
 
   KernelCounters operator-(const KernelCounters& rhs) const;
   KernelCounters& operator+=(const KernelCounters& rhs);

@@ -127,6 +127,13 @@ class MainTlb {
     return entries_[set * ways_ + way];
   }
 
+  // Chaos backdoor: mutable access to a stored entry so the injector can
+  // flip tag/attribute bits in place, bypassing Insert's dedup scrubbing.
+  // Never used by the lookup/insert machinery itself.
+  TlbEntry& EntryAtForChaos(uint32_t set, uint32_t way) {
+    return entries_[set * ways_ + way];
+  }
+
   // Flush operations report entries-flushed counts as trace events.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 

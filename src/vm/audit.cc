@@ -301,6 +301,20 @@ class Auditor {
           }
           break;
         }
+        case FrameKind::kQuarantined: {
+          // Condemned by the oops/scrub path: held out of circulation
+          // until reboot — no references, no mappings, no cache presence,
+          // and (checked against free_frames() below) not counted free.
+          if (!Checked(meta.ref_count == 0 && maps == 0 && !cached &&
+                       swap_cache_frames_.count(f) == 0)) {
+            Fail("quarantined-frame",
+                 "quarantined frame " + std::to_string(f) + " has ref_count " +
+                     std::to_string(meta.ref_count) + ", " +
+                     std::to_string(maps) + " PTE mapping(s), cached=" +
+                     std::to_string(cached));
+          }
+          break;
+        }
         case FrameKind::kKernel:
           break;  // permanent, unrefcounted, never user-mapped by policy
       }

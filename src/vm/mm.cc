@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/arch/check.h"
+
 namespace sat {
 
 const VmArea* MmStruct::FindVma(VirtAddr va) const {
@@ -19,17 +21,17 @@ VmArea* MmStruct::FindVmaMutable(VirtAddr va) {
 }
 
 void MmStruct::InsertVma(VmArea vma) {
-  assert(IsPageAligned(vma.start) && IsPageAligned(vma.end));
-  assert(vma.start < vma.end);
-  assert(vma.end <= kUserSpaceEnd);
+  SAT_CHECK(IsPageAligned(vma.start) && IsPageAligned(vma.end));
+  SAT_CHECK(vma.start < vma.end);
+  SAT_CHECK(vma.end <= kUserSpaceEnd);
   // Overlap check against neighbours.
   auto next = vmas_.lower_bound(vma.start);
   if (next != vmas_.end()) {
-    assert(next->second.start >= vma.end && "overlapping vma insert");
+    SAT_CHECK(next->second.start >= vma.end && "overlapping vma insert");
   }
   if (next != vmas_.begin()) {
     auto prev = std::prev(next);
-    assert(prev->second.end <= vma.start && "overlapping vma insert");
+    SAT_CHECK(prev->second.end <= vma.start && "overlapping vma insert");
   }
   const VirtAddr start = vma.start;
   vmas_.emplace(start, std::move(vma));

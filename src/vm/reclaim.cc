@@ -15,10 +15,12 @@ uint32_t Reclaimer::UnmapAll(FrameNumber frame, const ReclaimFlushFn& flush,
   uint32_t cleared = 0;
   for (const RmapEntry& mapping : mappings) {
     PageTablePage& ptp = ptps_->Get(mapping.ptp);
-    assert(ptp.hw(mapping.index).valid());
-    // Read the global bit before the clear destroys it: it decides how
-    // wide the shootdown must reach.
-    const bool global = ptp.hw(mapping.index).global();
+    // The validity bits may have rotted off under fault injection; the
+    // rmap entry is the ground truth that a reference is held here, so
+    // tear the mapping down either way. Read the global bit before the
+    // clear destroys it: it decides how wide the shootdown must reach.
+    const bool global =
+        ptp.hw(mapping.index).valid() && ptp.hw(mapping.index).global();
     ptp.Clear(mapping.index);
     rmap_->Remove(frame, mapping.ptp, mapping.index);
     phys_->UnrefFrame(frame);

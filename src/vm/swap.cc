@@ -157,11 +157,19 @@ bool SwapManager::SwapOutOne(const ReclaimFlushFn& flush) {
         // possible for shared-anon mappings); sever it before storing.
         zram_->RemoveFromCache(*cached);
       }
+      ZramStoreFailure why = ZramStoreFailure::kNone;
       const std::optional<SwapSlotId> stored =
-          zram_->TryStore(phys_->frame(frame).content);
+          zram_->TryStore(phys_->frame(frame).content, &why);
       if (!stored.has_value()) {
         lru_->PushTail(LruList::kAnonInactive, frame);
         counters_->swap_out_failures++;
+        // Pressure summaries want the split: a full compressed store is a
+        // sizing problem, pool ENOMEM is the machine genuinely out of RAM.
+        if (why == ZramStoreFailure::kStoreFull) {
+          counters_->swap_out_store_full++;
+        } else if (why == ZramStoreFailure::kPoolEnomem) {
+          counters_->swap_out_pool_enomem++;
+        }
         return false;  // store full or pool exhausted; retrying won't help
       }
       slot = *stored;
@@ -172,8 +180,16 @@ bool SwapManager::SwapOutOne(const ReclaimFlushFn& flush) {
     // entry, not per process.
     for (const RmapEntry& mapping : mappings) {
       PageTablePage& ptp = ptps_->Get(mapping.ptp);
-      SAT_CHECK(ptp.hw(mapping.index).valid());
-      const bool global = ptp.hw(mapping.index).global();
+      // The rmap entry is ground truth that a reference is held through
+      // this site; the hardware word may have rotted (chaos injection), so
+      // tolerate an invalid descriptor and swap the site out regardless.
+      // A recount keeps Set's present-count bookkeeping consistent with
+      // the (possibly flipped) validity bits.
+      if (!ptp.hw(mapping.index).valid()) {
+        ptp.RecountPresentForScrub();
+      }
+      const bool global =
+          ptp.hw(mapping.index).valid() && ptp.hw(mapping.index).global();
       zram_->Ref(slot);
       ptp.Set(mapping.index, HwPte{}, LinuxPte::MakeSwap(slot));
       rmap_->Remove(frame, mapping.ptp, mapping.index);

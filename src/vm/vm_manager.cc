@@ -283,7 +283,19 @@ FaultOutcome VmManager::HandleSwapInFault(MmStruct& mm, const VmArea& vma,
     // Another sharer (or an earlier fault of ours) already decompressed
     // this slot; reuse its frame.
     counters_->swap_ins_cache_hit++;
+    if (!zram_->SlotChecksumOk(slot)) {
+      // The compressed copy rotted, but the decompressed frame in the
+      // swap cache is intact: recompress from it in place.
+      zram_->RepairSlotContent(slot, phys_->frame(frame).content);
+      counters_->scrub_repairs++;
+    }
   } else {
+    // Verify the compressed bytes *before* allocating a frame: on damage
+    // nothing was touched, and the oops path sees the slot exactly as the
+    // scrubber would.
+    SAT_OOPS_CHECK(zram_->SlotChecksumOk(slot),
+                   (OopsDamage{OopsDamage::Kind::kSwapSlot,
+                               static_cast<int64_t>(slot)}));
     const std::optional<FrameNumber> anon_opt =
         phys_->TryAllocFrame(FrameKind::kAnon);
     if (!anon_opt.has_value()) {
@@ -323,17 +335,35 @@ FaultOutcome VmManager::HandleSwapInFault(MmStruct& mm, const VmArea& vma,
 FaultOutcome VmManager::HandlePermissionFault(MmStruct& mm, const VmArea& vma,
                                               VirtAddr va, AccessType access) {
   FaultOutcome out;
+  PageTable& pt = mm.page_table();
   if (access != AccessType::kWrite) {
-    // The region allows the access and a valid PTE exists; read/execute
-    // permission faults should not reach here (stale TLB entries are the
-    // hardware layer's problem).
-    out.ok = false;
+    // A read or execute permission fault on a valid PTE cannot happen
+    // with intact attributes: every installed entry is at least
+    // read-only, and XN is only ever set from the region's protection.
+    // The region allows this access (checked by the caller), so the
+    // attribute bits rotted — restore them from the VMA instead of
+    // delivering a spurious SIGSEGV.
+    const auto rref = pt.FindPte(va);
+    SAT_CHECK(rref.has_value());
+    const HwPte rot_hw = rref->ptp->hw(rref->index);
+    PtePerm perm = rot_hw.perm();
+    if (perm != PtePerm::kReadOnly && perm != PtePerm::kReadWrite) {
+      // Read-only is always safe: a later write COW-faults and upgrades.
+      perm = PtePerm::kReadOnly;
+    }
+    LinuxPte sw = rref->ptp->sw(rref->index);
+    sw.set_young(true);
+    pt.UpdatePte(va,
+                 HwPte::MakePage(rot_hw.frame(), perm, rot_hw.global(),
+                                 vma.prot.execute, rot_hw.large()),
+                 sw);
+    counters_->scrub_repairs++;
+    out.ok = true;
     return out;
   }
 
-  PageTable& pt = mm.page_table();
   const auto ref = pt.FindPte(va);
-  assert(ref.has_value());
+  SAT_CHECK(ref.has_value());
   const HwPte old_hw = ref->ptp->hw(ref->index);
   LinuxPte sw = ref->ptp->sw(ref->index);
   sw.set_young(true);
@@ -542,8 +572,8 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
     // Stock path for this slot. File-backed PTEs that a soft fault can
     // recreate are skipped (Linux's fork optimization); anonymous memory
     // and COW-dirtied pages must be copied.
-    assert(!ppt.l1(slot).need_copy &&
-           "a previously shared slot became unsharable without an unshare");
+    SAT_CHECK(!ppt.l1(slot).need_copy &&
+              "a previously shared slot became unsharable without an unshare");
     const VirtAddr base = PtpSlotBase(slot);
     for (size_t v = 0; v < vmas.size() && result.ok; ++v) {
       const VmArea* vma = vmas[v];
@@ -572,6 +602,10 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
         }
         const HwPte parent_hw = ref->ptp->hw(ref->index);
         const LinuxPte parent_sw = ref->ptp->sw(ref->index);
+        // A rotted parent PTE must not be propagated into the child (nor
+        // fed to frame(), which trusts its argument).
+        SAT_OOPS_CHECK(parent_hw.frame() < phys_->total_frames(),
+                       (OopsDamage{OopsDamage::Kind::kPtp, ref->ptp->id()}));
         const FrameKind frame_kind = phys_->frame(parent_hw.frame()).kind;
         const bool anon_frame =
             frame_kind == FrameKind::kAnon || frame_kind == FrameKind::kZero;
@@ -617,17 +651,17 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
 
 VirtAddr VmManager::Mmap(MmStruct& mm, const MmapRequest& request,
                          const TlbFlushFn& flush_tlb, bool* out_oom) {
-  assert(request.length > 0 && IsPageAligned(request.length));
+  SAT_CHECK(request.length > 0 && IsPageAligned(request.length));
   if (out_oom != nullptr) {
     *out_oom = false;
   }
   VirtAddr addr;
   if (request.fixed_address != 0) {
-    assert(IsPageAligned(request.fixed_address));
-    assert(mm.VmasOverlapping(request.fixed_address,
-                              request.fixed_address + request.length)
-               .empty() &&
-           "MAP_FIXED over an existing mapping is not supported");
+    SAT_CHECK(IsPageAligned(request.fixed_address));
+    SAT_CHECK(mm.VmasOverlapping(request.fixed_address,
+                                 request.fixed_address + request.length)
+                  .empty() &&
+              "MAP_FIXED over an existing mapping is not supported");
     addr = request.fixed_address;
   } else {
     const auto found = mm.FindFreeRange(request.length, kMmapLow, kMmapHigh);
@@ -673,7 +707,7 @@ VirtAddr VmManager::Mmap(MmStruct& mm, const MmapRequest& request,
 
 void VmManager::Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
                        const TlbFlushFn& flush_tlb, bool* out_oom) {
-  assert(IsPageAligned(start) && IsPageAligned(length) && length > 0);
+  SAT_CHECK(IsPageAligned(start) && IsPageAligned(length) && length > 0);
   if (out_oom != nullptr) {
     *out_oom = false;
   }
@@ -746,7 +780,7 @@ void VmManager::Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
 void VmManager::Mprotect(MmStruct& mm, VirtAddr start, uint32_t length,
                          VmProt prot, const TlbFlushFn& flush_tlb,
                          bool* out_oom) {
-  assert(IsPageAligned(start) && IsPageAligned(length) && length > 0);
+  SAT_CHECK(IsPageAligned(start) && IsPageAligned(length) && length > 0);
   if (out_oom != nullptr) {
     *out_oom = false;
   }

@@ -106,6 +106,7 @@ struct AuditFuzzCase {
   bool ksm = false;      // interleave madvise/WritePage/ksmd scans
   uint32_t cores = 1;    // >1 adds random cross-core migration
   bool batched = false;  // defer shootdowns to per-core queues
+  bool chaos = false;    // seeded bit flips in PTEs/zram/TLB + scrubd
 };
 
 class AuditFuzzTest : public ::testing::TestWithParam<AuditFuzzCase> {};
@@ -129,6 +130,13 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
     params.ksm_enabled = true;
     params.ksm_wake_interval = 7;
   }
+  if (fuzz.chaos) {
+    // Chaos cases: seeded bit flips land in live PTE words, zram slot
+    // bytes, and TLB tags (MaybeInjectChaos, fired from the touch path).
+    // Periodic scrubd wakes run on top of the explicit sweeps below.
+    params.scrub = true;
+    params.scrub_wake_interval = 17;
+  }
   Kernel kernel(params);
   kernel.fault_injector().SetRule(AllocSite::kFrame, FaultRule{0, 0, 0.02});
   kernel.fault_injector().SetRule(AllocSite::kPtp, FaultRule{0, 0, 0.02});
@@ -137,6 +145,16 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
   if (fuzz.swap_mb > 0) {
     // Compressed-pool growth must also survive ENOMEM mid-swap-out.
     kernel.fault_injector().SetRule(AllocSite::kZram, FaultRule{0, 0, 0.02});
+  }
+  if (fuzz.chaos) {
+    kernel.fault_injector().SetCorruptRule(CorruptSite::kPteWord,
+                                           FaultRule{0, 0, 0.01});
+    kernel.fault_injector().SetCorruptRule(CorruptSite::kTlbTag,
+                                           FaultRule{0, 0, 0.01});
+    if (fuzz.swap_mb > 0) {
+      kernel.fault_injector().SetCorruptRule(CorruptSite::kZramByte,
+                                             FaultRule{0, 0, 0.01});
+    }
   }
 
   std::mt19937_64 rng(fuzz.seed);
@@ -249,8 +267,10 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
         }
         break;
       }
-      case 10: {  // exec (occasionally into a zygote-like space)
-        kernel.Exec(*task, "fuzz-exec", rng() % 8 == 0);
+      case 10: {  // exec (occasionally into a zygote-like space — but not
+                  // under chaos, where random damage reaching a zygote is
+                  // a legitimate panic; the panic path has its own test)
+        kernel.Exec(*task, "fuzz-exec", !fuzz.chaos && rng() % 8 == 0);
         regions[task].clear();
         break;
       }
@@ -307,6 +327,19 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
       }
     }
 
+    if (fuzz.chaos) {
+      // A flipped bit is only guaranteed visible to scrubd (the cheap
+      // touch-time checks deliberately skip the rmap cross-check), so
+      // sweep the whole PTP population — the pass budget is 64 — before
+      // handing the state to the auditor: every audited state is
+      // post-detection, with repairs applied and unrepairable damage
+      // contained to oops kills, never an abort.
+      const uint64_t passes =
+          1 + kernel.ptp_allocator().live_ptps() / 64;
+      for (uint64_t pass = 0; pass < passes; ++pass) {
+        kernel.RunScrubPass();
+      }
+    }
     const AuditReport report = kernel.AuditInvariants();
     ASSERT_TRUE(report.ok())
         << "after op " << op << ":\n"
@@ -317,6 +350,10 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
     if (task->alive) {
       kernel.Exit(*task);
     }
+  }
+  if (fuzz.chaos) {
+    kernel.RunScrubPass();  // final orphan sweep before the teardown audit
+    EXPECT_GT(kernel.fault_injector().total_corruptions(), 0u);
   }
   const AuditReport report = kernel.AuditInvariants();
   EXPECT_TRUE(report.ok()) << report.ToString();
@@ -358,6 +395,16 @@ std::vector<AuditFuzzCase> AuditFuzzCases() {
       {2125, true, false, 16, true, 4, false},
       {2226, true, false, 16, true, 4, true},
       {2327, true, true, 16, true, 4, true},
+      // Chaos cases: on top of the allocation-failure injection, seeded
+      // bit flips corrupt live PTE words, TLB tags, and (with swap) zram
+      // slot bytes. scrubd repairs what it can; the unrepairable rest is
+      // contained to oops kills of the sharers — never a whole-process
+      // abort, and never an audit violation.
+      {2428, true, false, 0, false, 1, false, true},
+      {2529, true, true, 0, false, 1, false, true},
+      {2630, true, false, 16, false, 1, false, true},
+      {2731, true, false, 16, true, 1, false, true},
+      {2832, true, false, 0, false, 4, true, true},
   };
 }
 
@@ -372,6 +419,7 @@ INSTANTIATE_TEST_SUITE_P(
       if (c.ksm) name += "_ksm";
       if (c.cores > 1) name += "_c" + std::to_string(c.cores);
       if (c.batched) name += "_batched";
+      if (c.chaos) name += "_chaos";
       return name;
     });
 

@@ -113,5 +113,99 @@ TEST_F(InvariantDeathTest, MisalignedTlbEntryInsertAborts) {
   EXPECT_DEATH(tlb.Insert(entry), "size-aligned");
 }
 
+TEST_F(InvariantDeathTest, ReissuingAQuarantinedFrameAborts) {
+  const FrameNumber frame = phys_.AllocFrame(FrameKind::kAnon);
+  phys_.QuarantineFrame(frame);  // live: flagged, condemned on last unref
+  phys_.UnrefFrame(frame);
+  EXPECT_EQ(phys_.frame(frame).kind, FrameKind::kQuarantined);
+  EXPECT_DEATH(phys_.RefFrame(frame), "quarantined");
+}
+
+// ---------------------------------------------------------------------------
+// Recoverable oops: unrepairable corruption kills exactly the sharers of
+// the damaged state; damage reaching the zygote still panics the kernel.
+// ---------------------------------------------------------------------------
+
+class OopsRecoveryTest : public ::testing::Test {
+ protected:
+  OopsRecoveryTest() {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    params_.phys_bytes = 16ull * 1024 * 1024;
+    params_.vm.share_ptps = true;
+  }
+
+  // Maps one anonymous RW page into `task` and dirties it. Returns the VA.
+  static VirtAddr MapDirtyPage(Kernel& kernel, Task& task) {
+    MmapRequest request;
+    request.length = kPageSize;
+    request.prot = VmProt::ReadWrite();
+    request.kind = VmKind::kAnonPrivate;
+    const VirtAddr at = kernel.Mmap(task, request).value;
+    EXPECT_NE(at, 0u);
+    EXPECT_EQ(kernel.WritePage(task, at, 7), TouchStatus::kOk);
+    return at;
+  }
+
+  // Unrepairable compound damage at `task`'s PTE for `va`: flip a frame
+  // bit in the hardware word AND lose the rmap entry, so no trusted copy
+  // of the dirty page's location survives.
+  static void InflictCompoundDamage(Kernel& kernel, Task& task, VirtAddr va) {
+    const auto ref = task.mm->page_table().FindPte(va);
+    ASSERT_TRUE(ref.has_value());
+    ASSERT_TRUE(ref->ptp->sw(ref->index).dirty());
+    const FrameNumber frame = ref->ptp->hw(ref->index).frame();
+    ref->ptp->CorruptHwForChaos(ref->index, 1u << kPageShift);
+    kernel.rmap().Remove(frame, ref->ptp->id(), ref->index);
+  }
+
+  KernelParams params_;
+};
+
+TEST_F(OopsRecoveryTest, UnrepairableSiteOopsKillsExactlyTheSharers) {
+  Kernel kernel(params_);
+  Task* parent = kernel.CreateTask("parent");
+  Task* bystander = kernel.CreateTask("bystander");
+  const VirtAddr va = MapDirtyPage(kernel, *parent);
+  MapDirtyPage(kernel, *bystander);
+
+  Task* child = kernel.Fork(*parent, "child").child;
+  ASSERT_NE(child, nullptr);
+  ASSERT_TRUE(kernel.AuditInvariants().ok());
+  InflictCompoundDamage(kernel, *parent, va);
+
+  kernel.RunScrubPass();
+
+  // Blast radius: both sharers of the damaged PTP die as oops kills; the
+  // bystander (own PTP, untouched state) keeps running.
+  EXPECT_FALSE(parent->alive);
+  EXPECT_TRUE(parent->oops_killed);
+  EXPECT_FALSE(child->alive);
+  EXPECT_TRUE(child->oops_killed);
+  EXPECT_TRUE(bystander->alive);
+  EXPECT_FALSE(bystander->oops_killed);
+  EXPECT_EQ(kernel.counters().oops_kills, 2u);
+  EXPECT_GE(kernel.counters().scrub_unrepairable, 1u);
+  // The orphaned dirty frame and the damaged PTP's frame both left
+  // circulation instead of being re-issued.
+  EXPECT_GE(kernel.counters().frames_quarantined, 1u);
+
+  // The surviving system is internally consistent and keeps working.
+  kernel.RunScrubPass();
+  EXPECT_TRUE(kernel.AuditInvariants().ok());
+  EXPECT_TRUE(kernel.TouchPage(*bystander, MapDirtyPage(kernel, *bystander),
+                               AccessType::kRead));
+  kernel.Exit(*bystander);
+  EXPECT_TRUE(kernel.AuditInvariants().ok());
+}
+
+TEST_F(OopsRecoveryTest, UnrepairableZygoteDamageStillPanics) {
+  Kernel kernel(params_);
+  Task* zygote = kernel.CreateTask("zygote");
+  kernel.Exec(*zygote, "zygote", /*is_zygote=*/true);
+  const VirtAddr va = MapDirtyPage(kernel, *zygote);
+  InflictCompoundDamage(kernel, *zygote, va);
+  EXPECT_DEATH(kernel.RunScrubPass(), "KERNEL PANIC");
+}
+
 }  // namespace
 }  // namespace sat

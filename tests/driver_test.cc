@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.h"
@@ -54,6 +58,29 @@ TEST(WorkerPoolTest, WaitBlocksUntilAllSubmittedTasksFinish) {
   pool.Submit([&done] { done.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(done.load(), 65);
+}
+
+TEST(WorkerPoolTest, WatchdogFiresOncePerExpiredJobOnly) {
+  std::mutex mu;
+  std::vector<size_t> fired;
+  JobWatchdog dog(0.05, [&](size_t token) {
+    std::lock_guard<std::mutex> lock(mu);
+    fired.push_back(token);
+  });
+  ASSERT_TRUE(dog.enabled());
+  dog.JobStarted(1);
+  dog.JobStarted(2);
+  dog.JobFinished(2);  // beats the deadline: must never fire
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  dog.JobFinished(1);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(fired, std::vector<size_t>{1});  // once, despite many polls
+}
+
+TEST(WorkerPoolTest, WatchdogWithZeroTimeoutIsInert) {
+  JobWatchdog dog(0, [](size_t) { FAIL() << "must not fire"; });
+  EXPECT_FALSE(dog.enabled());
+  dog.JobStarted(1);  // no-op; the destructor must not hang either
 }
 
 TEST(WorkerPoolTest, DeriveJobSeedIsDeterministicAndDistinct) {
@@ -176,6 +203,68 @@ TEST(HarnessTest, PhysAndSwapOverridesReachResolvedConfigs) {
       harness.Resolve(ConfigByName("stock"), "job");
   EXPECT_EQ(resolved.phys_bytes, 96ull * 1024 * 1024);
   EXPECT_EQ(resolved.swap_bytes, 64ull * 1024 * 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Crash containment: job failures become status labels, not bench deaths.
+// ---------------------------------------------------------------------------
+
+std::string LabelOr(const JobRecord& record, std::string_view name) {
+  for (const auto& [key, value] : record.labels) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return "";
+}
+
+TEST(HarnessTest, ThrowingJobIsContainedAndRetriedWithStatusLabels) {
+  BenchOptions options = TestOptions(2);
+  options.retries = 1;
+  Harness harness("driver_test", options);
+  std::atomic<int> attempts{0};
+  harness.AddCustomJob("flaky", [&attempts](JobRecord& record) {
+    record.Metric("partial", 1);  // must not survive into the retry
+    if (attempts.fetch_add(1) == 0) {
+      throw std::runtime_error("injected job crash");
+    }
+    record.Metric("final", 2);
+  });
+  harness.AddCustomJob("hopeless", [](JobRecord&) -> void {
+    throw std::runtime_error("always down");
+  });
+  harness.AddCustomJob("healthy",
+                       [](JobRecord& record) { record.Metric("final", 3); });
+  ASSERT_TRUE(harness.Run());
+
+  const JobRecord& flaky = harness.records()[0];
+  EXPECT_EQ(LabelOr(flaky, "status"), "ok");
+  EXPECT_EQ(MetricOr(flaky, "driver.jobs_retried"), 1.0);
+  EXPECT_EQ(MetricOr(flaky, "final"), 2.0);
+  EXPECT_EQ(attempts.load(), 2);
+
+  const JobRecord& hopeless = harness.records()[1];
+  EXPECT_EQ(LabelOr(hopeless, "status"), "error");
+  EXPECT_EQ(LabelOr(hopeless, "status_reason"), "always down");
+
+  const JobRecord& healthy = harness.records()[2];
+  EXPECT_EQ(LabelOr(healthy, "status"), "ok");
+  EXPECT_EQ(LabelOr(healthy, "status_reason"), "");
+  EXPECT_EQ(MetricOr(healthy, "driver.jobs_retried"), 0.0);
+}
+
+TEST(HarnessTest, JobExceedingItsDeadlineGetsTimeoutStatus) {
+  BenchOptions options = TestOptions(1);
+  options.job_timeout_s = 0.02;
+  Harness harness("driver_test", options);
+  harness.AddCustomJob("slow", [](JobRecord&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  });
+  ASSERT_TRUE(harness.Run());
+  const JobRecord& slow = harness.records()[0];
+  EXPECT_EQ(LabelOr(slow, "status"), "timeout");
+  EXPECT_NE(LabelOr(slow, "status_reason").find("--job-timeout"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

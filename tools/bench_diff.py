@@ -13,9 +13,12 @@ Usage:
 
 Host-side measurements (host_ms) and run-shape fields (jobs) are
 ignored; every simulated metric is compared exactly by default, or to a
-relative tolerance with --tolerance. Exit status is 0 when the sweeps
-match, 1 when anything differs (including added/removed benches or
-jobs), 2 on usage errors.
+relative tolerance with --tolerance. Any job in the current sweep whose
+"status" label is not "ok" (the harness records "error" for a job that
+threw and "timeout" for one that blew its --job-timeout deadline) fails
+the diff outright, even where the baseline agrees. Exit status is 0
+when the sweeps match, 1 when anything differs (including added/removed
+benches or jobs, or a non-ok status), 2 on usage errors.
 
 Only the Python standard library is used.
 """
@@ -110,6 +113,24 @@ def diff_file(rel, base_path, cur_path, tolerance, report):
         diff_job(rel, base_jobs[name], cur_jobs[name], tolerance, report)
 
 
+def check_statuses(files, report):
+    """Fails any job that crashed, hung, or was cut short.
+
+    Checked over the *current* sweep only, and independently of the
+    baseline: two sweeps that broke identically still must not pass.
+    Skipped jobs carry no "status" label and are exempt.
+    """
+    for rel in sorted(files):
+        for job in load(files[rel]).get("configs", []):
+            labels = job.get("labels", {})
+            status = labels.get("status")
+            if status is not None and status != "ok":
+                reason = labels.get("status_reason", "")
+                suffix = f" ({reason})" if reason else ""
+                report.append(f"{rel} [{job.get('config', '?')}] "
+                              f"non-ok status: {status}{suffix}")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Diff two directories of BENCH_*.json results.")
@@ -133,6 +154,7 @@ def main(argv):
     compared = sorted(base_files.keys() & cur_files.keys())
     for rel in compared:
         diff_file(rel, base_files[rel], cur_files[rel], args.tolerance, report)
+    check_statuses(cur_files, report)
 
     if report:
         print(f"{len(report)} difference(s) across {len(compared)} "
