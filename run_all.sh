@@ -9,6 +9,9 @@
 #                                fuzz under bit-flip + allocation-failure
 #                                injection, and the oops/quarantine death
 #                                tests (graceful degradation end to end)
+#   ./run_all.sh --huge          the translation-reach suite only: huged
+#                                collapse/split tests, the huge audit-fuzz
+#                                cases, and the promotion-policy bench
 #   ./run_all.sh --jobs N        worker threads per bench (default: cores)
 #   ./run_all.sh --json-out DIR  write BENCH_<name>.json files into DIR
 #   ./run_all.sh --smoke         reduced footprints (CI-sized runs)
@@ -35,7 +38,14 @@ while [ $# -gt 0 ]; do
       cmake -B build-asan -G Ninja -DSAT_SANITIZE=ASAN
       cmake --build build-asan
       ctest --test-dir build-asan --output-on-failure \
-        -R '_chaos|OopsRecovery|InvariantDeath|Watchdog'
+        -R '_chaos|OopsRecovery|InvariantDeath|Watchdog|ScrubRepairsRottenLargeReplica'
+      exit 0
+      ;;
+    --huge)
+      cmake -B build -G Ninja
+      cmake --build build
+      ctest --test-dir build --output-on-failure -R 'Huge|_huge'
+      ./build/bench/bench_largepage --smoke
       exit 0
       ;;
     --jobs)

@@ -38,6 +38,10 @@ void ZygoteSystem::Boot() {
   // segments global because the caller holds the zygote flag.
   loader_->PreloadAll(*zygote_);
 
+  // Eager 1 MB sections over the preload set's code (the translation-
+  // reach engine's boot-time contribution; no-op unless `huge` is on).
+  kernel.MapZygoteSections(*zygote_);
+
   // Stack (excluded from PTP sharing as a design choice).
   MmapRequest stack_request;
   stack_request.length = 1024 * kPageSize;  // 4 MB reservation

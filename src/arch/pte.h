@@ -185,22 +185,60 @@ class LinuxPte {
 using PtpId = int32_t;
 inline constexpr PtpId kNoPtp = -1;
 
+// One half of an L1 pair mapped as an ARMv7 1 MB *section*: a single
+// first-level descriptor naming 256 physically contiguous frames, no
+// second level at all. kNoSectionFrame marks the half as not
+// section-mapped (the normal case).
+inline constexpr FrameNumber kNoSectionFrame = 0xFFFFFFFFu;
+
+struct SectionDesc {
+  FrameNumber base = kNoSectionFrame;  // first of 256 contiguous frames
+  bool global = false;                 // nG clear (zygote shared code)
+  bool executable = false;
+
+  bool present() const { return base != kNoSectionFrame; }
+
+  void Clear() {
+    base = kNoSectionFrame;
+    global = false;
+    executable = false;
+  }
+
+  bool operator==(const SectionDesc& other) const = default;
+};
+
 // A first-level entry at 2 MB (PTP-pair) granularity.
 //
 // The NEED_COPY flag is the paper's spare-bit annotation: it marks the
 // referenced PTP as shared copy-on-write, meaning any modification of the
 // 2 MB range must first unshare (privatize) the PTP.
+//
+// The two `section` halves model the pair's hardware descriptors being
+// *section* mappings (1 MB each) instead of pointers into the PTP: a half
+// that is section-mapped translates without any second-level walk, and
+// takes precedence over any PTE the PTP might hold for the same range
+// (the kernel never installs both). Sections here always map permanent
+// read-only kernel-owned frames (the eager zygote-code mapping), so they
+// carry no refcounts and are copied by value at fork.
 struct L1Entry {
   PtpId ptp = kNoPtp;
   DomainId domain = 0;
   bool need_copy = false;
+  SectionDesc section[2];
 
   bool present() const { return ptp != kNoPtp; }
+
+  bool has_section(uint32_t half) const { return section[half].present(); }
+  bool any_section() const {
+    return section[0].present() || section[1].present();
+  }
 
   void Clear() {
     ptp = kNoPtp;
     domain = 0;
     need_copy = false;
+    section[0].Clear();
+    section[1].Clear();
   }
 
   bool operator==(const L1Entry& other) const = default;

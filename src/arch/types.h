@@ -62,6 +62,7 @@ inline constexpr uint32_t kPtesPerLargePage = kLargePageSize / kPageSize;
 // ARMv7 "section": 1 MB, mapped by a single first-level entry.
 inline constexpr uint32_t kSectionShift = 20;
 inline constexpr uint32_t kSectionSize = 1u << kSectionShift;     // 1 MB
+inline constexpr uint32_t kPtesPerSection = kSectionSize / kPageSize;  // 256
 
 // One hardware second-level table covers 1 MB (256 entries x 4 KB).
 inline constexpr uint32_t kL2EntriesPerTable = 256;
@@ -102,6 +103,15 @@ constexpr uint32_t PteIndexInPtp(VirtAddr va) {
 
 // First virtual address of the 2 MB slot with the given index.
 constexpr VirtAddr PtpSlotBase(uint32_t slot) { return slot << kPtpSpanShift; }
+
+// First address of the 1 MB section containing `va`, and the section's
+// index (0 or 1) within its 2 MB PTP slot.
+constexpr VirtAddr SectionAlignDown(VirtAddr va) {
+  return va & ~(kSectionSize - 1);
+}
+constexpr uint32_t SectionHalfIndex(VirtAddr va) {
+  return (va >> kSectionShift) & 1u;
+}
 
 constexpr VirtAddr PageAlignDown(VirtAddr va) { return va & ~kPageOffsetMask; }
 

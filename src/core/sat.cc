@@ -16,6 +16,14 @@ SystemConfig MakeConfig(bool share_ptps, bool share_tlb, bool two_mb,
   return config;
 }
 
+SystemConfig MakeHugeConfig() {
+  // The translation-reach configuration: the full shared design plus the
+  // promotion daemon and eager zygote-code sections.
+  SystemConfig config = MakeConfig(true, true, false, false);
+  config.huge = true;
+  return config;
+}
+
 }  // namespace
 
 const std::vector<NamedSystemConfig>& NamedConfigs() {
@@ -28,6 +36,7 @@ const std::vector<NamedSystemConfig>& NamedConfigs() {
           {"shared-ptp-tlb", MakeConfig(true, true, false, false)},
           {"shared-ptp-tlb-2mb", MakeConfig(true, true, true, false)},
           {"copied-ptes", MakeConfig(false, false, false, true)},
+          {"huge", MakeHugeConfig()},
       };
   return *registry;
 }
@@ -102,6 +111,9 @@ std::string SystemConfig::Name() const {
   if (scrub) {
     name += " [scrub]";
   }
+  if (huge) {
+    name += huge_unmerge_ksm ? " [huge+unmerge]" : " [huge]";
+  }
   if (num_cores > 1) {
     name += " [" + std::to_string(num_cores) + " cores";
     if (num_nodes > 1) {
@@ -137,6 +149,9 @@ ZygoteParams SystemConfig::ToZygoteParams() const {
   params.kernel.ksm_wake_interval = ksm_wake_interval;
   params.kernel.scrub = scrub;
   params.kernel.scrub_wake_interval = scrub_wake_interval;
+  params.kernel.huge = huge;
+  params.kernel.huge_wake_interval = huge_wake_interval;
+  params.kernel.huge_unmerge_ksm = huge_unmerge_ksm;
   params.mapping_policy = two_mb_alignment ? MappingPolicy::kTwoMbAligned
                                            : MappingPolicy::kOriginal;
   params.large_code_pages = large_pages_for_code;

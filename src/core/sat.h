@@ -99,6 +99,16 @@ struct SystemConfig {
   // (chaos testing); harmless but pure overhead on a healthy system.
   bool scrub = false;
   uint32_t scrub_wake_interval = 1024;
+  // Automatic large-page promotion (huged, src/huge): a khugepaged-style
+  // daemon collapses eligible 64 KB runs of 4 KB PTEs into large PTEs
+  // (migrating frames into contiguous blocks when needed) at ksmd-style
+  // wake points, and the zygote's preloaded code is eagerly mapped with
+  // 1 MB L1 sections at boot — the translation-reach engine.
+  bool huge = false;
+  uint32_t huge_wake_interval = 1024;
+  // Let huged unmerge KSM-stable frames when a collapse needs them
+  // (trading dedup back for reach).
+  bool huge_unmerge_ksm = false;
   uint64_t seed = 42;
 
   // Kernel event tracing (src/trace): off by default; when enabled the

@@ -126,6 +126,25 @@ FaultStatus Core::Walk(VirtAddr va, AccessType access, TlbEntry* entry) {
 
   const uint32_t slot = PtpSlotIndex(va);
   const L1Entry& l1 = pt->l1(slot);
+
+  // 1 MB sections translate at the first level: no second-level PTE fetch
+  // at all, and one TLB entry covers 256 pages — the reach win the eager
+  // zygote-code mapping buys. Sections take precedence over any PTEs.
+  if (const SectionDesc* section = pt->SectionAt(va)) {
+    TlbEntry walked;
+    walked.valid = true;
+    walked.size_pages = kPtesPerSection;
+    walked.vpn = VirtPageNumber(SectionAlignDown(va));
+    walked.asid = context_.asid;
+    walked.global = section->global;
+    walked.domain = l1.domain;
+    walked.perm = PtePerm::kReadOnly;
+    walked.executable = section->executable;
+    walked.frame = section->base;
+    *entry = walked;
+    return FaultStatus::kNone;
+  }
+
   if (!l1.present()) {
     return FaultStatus::kTranslation;
   }

@@ -79,6 +79,13 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   phys_->AddObserver(ksm_.get());
   ksm_enabled_ = params.ksm_enabled;
   ksm_wake_interval_ = std::max<uint32_t>(1, params.ksm_wake_interval);
+  // huged is always constructed (RunHugeScan and MapZygoteSections can be
+  // driven directly); `huge` only gates the periodic wake-ups and the
+  // boot-time section mapping.
+  huge_ = std::make_unique<HugeDaemon>(phys_.get(), vm_.get(), &counters_);
+  huge_->set_unmerge_ksm(params.huge_unmerge_ksm);
+  huge_enabled_ = params.huge;
+  huge_wake_interval_ = std::max<uint32_t>(1, params.huge_wake_interval);
   // Watermarks, Linux-style: wake kswapd below `low`, stop at `high`.
   kswapd_low_watermark_ = static_cast<uint32_t>(
       std::max<uint64_t>(64, phys_->total_frames() / 16));
@@ -111,6 +118,13 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   // are anonymous, never global), and the IPIs are attributed to the
   // core whose kernel entry woke the daemon.
   ksm_->set_flush_va([this](VirtAddr va, PtpId ptp) {
+    machine_->ShootdownVa(va, SharerMaskFor(va, ptp, /*global=*/false),
+                          active_core_);
+  });
+  // huged edits PTEs the same way ksmd does (from outside any one task's
+  // context, over anonymous memory): same rmap-derived shootdown mask.
+  huge_->set_tracer(tracer_.get());
+  huge_->set_flush_va([this](VirtAddr va, PtpId ptp) {
     machine_->ShootdownVa(va, SharerMaskFor(va, ptp, /*global=*/false),
                           active_core_);
   });
@@ -533,6 +547,19 @@ TouchStatus Kernel::TouchAndMaybeStore(Task& task, VirtAddr va,
     // Each iteration either succeeds, makes fault progress, or frees
     // memory; the cap only guards against a livelocked fault handler.
     for (int attempt = 0; attempt < 64; ++attempt) {
+      if (const SectionDesc* section = pt.SectionAt(va)) {
+        // Served at the first level: no PTE exists (or may be installed)
+        // under a live section. Sections map read-only code, so only a
+        // write is refused — and a real write would have cleared the
+        // section via mprotect first.
+        if (access == AccessType::kWrite ||
+            (access == AccessType::kExecute && !section->executable)) {
+          return TouchStatus::kSigSegv;
+        }
+        RunKswapdIfNeeded();
+        SyncShootdowns();
+        return task.alive ? TouchStatus::kOk : TouchStatus::kOopsKill;
+      }
       const auto ref = pt.FindPte(va);
       if (ref.has_value() && !ValidateOrRepairSite(*ref)) {
         SAT_OOPS_CHECK(
@@ -682,6 +709,106 @@ uint32_t Kernel::RunKsmScan() {
   return merged;
 }
 
+uint32_t Kernel::RunHugeScan() {
+  std::vector<HugeScanTarget> targets;
+  for (const auto& task : tasks_) {
+    Task* t = task.get();
+    if (!t->alive || t->mm == nullptr) {
+      continue;
+    }
+    targets.push_back(HugeScanTarget{t->mm.get(), t->pid, FlushFnFor(*t)});
+  }
+  const uint32_t collapsed = huge_->ScanOnce(targets);
+  SyncShootdowns();  // daemon tick
+  return collapsed;
+}
+
+uint32_t Kernel::MapZygoteSections(Task& task) {
+  if (!huge_enabled_) {
+    return 0;
+  }
+  SAT_CHECK(task.mm != nullptr);
+  MmStruct& mm = *task.mm;
+  PageTable& pt = mm.page_table();
+  // Snapshot the candidate code regions (the loop below loads cache pages,
+  // which never mutates the region list, but a snapshot keeps that a
+  // non-assumption).
+  struct Candidate {
+    VirtAddr start;
+    VirtAddr end;
+    FileId file;
+    uint32_t first_file_page;
+    bool global;
+  };
+  std::vector<Candidate> candidates;
+  mm.ForEachVma([&](const VmArea& vma) {
+    // The preload set's code: read-only, executable, file-backed, mapped
+    // at 4 KB (the 64 KB file-block policy caches the file at a
+    // granularity GetOrLoad must not mix with).
+    if (vma.zygote_preloaded && vma.prot.execute && !vma.prot.write &&
+        IsFileBacked(vma.kind) && !vma.use_large_pages) {
+      candidates.push_back(Candidate{vma.start, vma.end, vma.file,
+                                     vma.FilePageFor(vma.start), vma.global});
+    }
+  });
+  const bool share_global = vm_->config().share_tlb_global;
+  uint32_t mapped = 0;
+  for (const Candidate& c : candidates) {
+    const uint64_t first =
+        (static_cast<uint64_t>(c.start) + kSectionSize - 1) &
+        ~static_cast<uint64_t>(kSectionSize - 1);
+    for (uint64_t va64 = first; va64 + kSectionSize <= c.end;
+         va64 += kSectionSize) {
+      const auto va = static_cast<VirtAddr>(va64);
+      if (pt.SectionAt(va) != nullptr) {
+        continue;  // already mapped (idempotent re-run)
+      }
+      // Bring the whole megabyte of file content into the page cache
+      // *before* allocating the permanent frames, so a load failure is a
+      // clean skip with nothing to unwind.
+      const uint32_t file_page =
+          c.first_file_page + static_cast<uint32_t>((va64 - c.start) >> kPageShift);
+      bool resident = true;
+      for (uint32_t i = 0; i < kPtesPerSection && resident; ++i) {
+        bool hard = false;
+        resident =
+            page_cache_->GetOrLoad(c.file, file_page + i, &hard) !=
+            PageCache::kNoFrame;
+      }
+      if (!resident) {
+        counters_.huge_collapse_failures++;
+        continue;
+      }
+      const std::optional<FrameNumber> base =
+          phys_->TryAllocContiguousFrames(kPtesPerSection, FrameKind::kKernel);
+      if (!base.has_value()) {
+        // No megabyte of contiguous frames this early would be unusual,
+        // but fragmentation is a clean abandon like any failed collapse.
+        counters_.huge_collapse_failures++;
+        continue;
+      }
+      for (uint32_t i = 0; i < kPtesPerSection; ++i) {
+        const FrameNumber src = page_cache_->Lookup(c.file, file_page + i);
+        SAT_CHECK(src != PageCache::kNoFrame);
+        phys_->frame(*base + i).content = phys_->frame(src).content;
+      }
+      // Any 4 KB PTEs already faulted in under the half would shadow the
+      // section; drop them (they refault harmlessly if the section is
+      // ever cleared again).
+      pt.ClearRange(va, va + kSectionSize);
+      pt.InstallSection(va, *base, c.global && share_global,
+                        /*executable=*/true, mm.user_domain());
+      counters_.huge_sections_mapped++;
+      mapped++;
+    }
+  }
+  if (mapped > 0) {
+    FlushFnFor(task)();
+    SyncShootdowns();
+  }
+  return mapped;
+}
+
 void Kernel::RunKswapdIfNeeded() {
   // ksmd shares kswapd's wake points but fires on a wake-count period,
   // not the watermark — merging saves memory even before pressure. Placed
@@ -703,6 +830,16 @@ void Kernel::RunKswapdIfNeeded() {
     in_scrubd_ = true;
     RunScrubPass();
     in_scrubd_ = false;
+  }
+  // huged: the same wake-count pattern once more. Promotion is a reach
+  // optimization, not a pressure response, so it fires regardless of the
+  // watermark (and regardless of whether swap exists).
+  if (huge_enabled_ && !in_huged_ && !in_scrubd_ && !in_ksmd_ &&
+      !in_kswapd_ && ++huge_wake_ticks_ >= huge_wake_interval_) {
+    huge_wake_ticks_ = 0;
+    in_huged_ = true;
+    RunHugeScan();
+    in_huged_ = false;
   }
   if (in_kswapd_ || !zram_->enabled()) {
     return;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/arch/check.h"
+#include "src/huge/huge.h"
 #include "src/hw/machine.h"
 #include "src/ksm/ksm.h"
 #include "src/mem/fault_injector.h"
@@ -81,6 +82,18 @@ struct KernelParams {
   // wake-up. RunScrubPass() also drives passes directly.
   bool scrub = false;
   uint32_t scrub_wake_interval = 512;
+  // huged large-page promotion (src/huge). When enabled, a khugepaged-
+  // style pass — collapsing eligible 64 KB runs of 4 KB PTEs into large
+  // PTEs, migrating frames when they are not contiguous — runs from the
+  // same wake points every `huge_wake_interval`-th wake-up, and the
+  // zygote's preloaded code is eagerly mapped with 1 MB sections at boot.
+  // RunHugeScan() also drives passes directly.
+  bool huge = false;
+  uint32_t huge_wake_interval = 1024;
+  // Let huged trade KSM dedup back for reach: a collapse may copy stable
+  // frames' content into the new contiguous block (an unmerge). Off by
+  // default — deduplicated memory usually wins on a memory-tight phone.
+  bool huge_unmerge_ksm = false;
 };
 
 // How a TouchPage access ended.
@@ -212,6 +225,20 @@ class Kernel {
   // number of repairs made this pass.
   uint32_t RunScrubPass();
 
+  // One huged pass over every live task's anonymous regions (also run
+  // periodically from the kswapd wake points when KernelParams::huge is
+  // set): collapses eligible 64 KB runs into large PTEs. Returns blocks
+  // collapsed.
+  uint32_t RunHugeScan();
+
+  // Eagerly maps `task`'s zygote-preloaded executable regions with 1 MB
+  // L1 sections (boot-time reach for the code every app inherits): each
+  // fully covered, resident 1 MB half gets a permanent kernel-owned
+  // contiguous copy of the file content, the underlying 4 KB PTEs are
+  // cleared, and the section descriptor serves translations from then
+  // on. Returns sections mapped; 0 when KernelParams::huge is off.
+  uint32_t MapZygoteSections(Task& task);
+
   // The allocate → direct-reclaim → OOM-kill chain (run automatically by
   // the fault/fork/mmap paths; public so tests can drive it). Returns
   // true if it freed anything: first a direct-reclaim pass over the file
@@ -249,6 +276,7 @@ class Kernel {
   ZramStore& zram() { return *zram_; }
   FrameLru& lru() { return *lru_; }
   KsmDaemon& ksm() { return *ksm_; }
+  HugeDaemon& huge() { return *huge_; }
   uint32_t kswapd_low_watermark() const { return kswapd_low_watermark_; }
   uint32_t kswapd_high_watermark() const { return kswapd_high_watermark_; }
   VmManager& vm() { return *vm_; }
@@ -352,6 +380,7 @@ class Kernel {
   std::unique_ptr<Reclaimer> reclaimer_;
   std::unique_ptr<SwapManager> swap_mgr_;
   std::unique_ptr<KsmDaemon> ksm_;
+  std::unique_ptr<HugeDaemon> huge_;
   std::unique_ptr<Scrubber> scrubber_;
   std::unique_ptr<Machine> machine_;
   // Declared after every subsystem: tasks are destroyed first, so page-
@@ -389,6 +418,13 @@ class Kernel {
   uint32_t scrub_wake_interval_ = 0;
   uint32_t scrub_wake_ticks_ = 0;
   bool in_scrubd_ = false;
+  // huged state: same wake-point pattern again. The guard keeps a pass's
+  // own allocations (contiguous blocks, unshare PTPs) from waking a
+  // nested pass.
+  bool huge_enabled_ = false;
+  uint32_t huge_wake_interval_ = 0;
+  uint32_t huge_wake_ticks_ = 0;
+  bool in_huged_ = false;
 };
 
 }  // namespace sat

@@ -178,6 +178,97 @@ void PageTable::WriteProtectRange(VirtAddr start, VirtAddr end) {
   }
 }
 
+void PageTable::PromoteRunInPlace(VirtAddr block_base) {
+  SAT_CHECK((block_base & (kLargePageSize - 1)) == 0 &&
+            "promotion target must be 64 KB aligned");
+  const L1Entry& entry = l1_[PtpSlotIndex(block_base)];
+  SAT_CHECK(entry.present());
+  PageTablePage& ptp = alloc_->Get(entry.ptp);
+  const uint32_t index0 = PteIndexInPtp(block_base);
+  const HwPte first = ptp.hw(index0);
+  SAT_CHECK(first.valid() && !first.large());
+  const FrameNumber base = first.frame();
+  SAT_CHECK(base % kPtesPerLargePage == 0 &&
+            "promotion base frame must be 16-aligned");
+  for (uint32_t i = 0; i < kPtesPerLargePage; ++i) {
+    const HwPte hw = ptp.hw(index0 + i);
+    SAT_CHECK(hw.valid() && !hw.large() && hw.frame() == base + i &&
+              hw.perm() == first.perm() && hw.global() == first.global() &&
+              hw.executable() == first.executable() &&
+              "promotion run must be uniform and contiguous");
+    // Same frame (MappedFrameOf of the replica is base + i), same
+    // permissions: no reference or rmap changes, just the descriptor.
+    ptp.UpdateFlags(index0 + i,
+                    HwPte::MakePage(base, first.perm(), first.global(),
+                                    first.executable(), /*large=*/true),
+                    ptp.sw(index0 + i));
+  }
+}
+
+uint32_t PageTable::SplitLargeRun(VirtAddr block_base) {
+  SAT_CHECK((block_base & (kLargePageSize - 1)) == 0 &&
+            "split target must be 64 KB aligned");
+  const L1Entry& entry = l1_[PtpSlotIndex(block_base)];
+  if (!entry.present()) {
+    return 0;
+  }
+  SAT_CHECK(!entry.need_copy && "splitting in a NEED_COPY slot; unshare first");
+  PageTablePage& ptp = alloc_->Get(entry.ptp);
+  const uint32_t index0 = PteIndexInPtp(block_base);
+  uint32_t split = 0;
+  for (uint32_t i = 0; i < kPtesPerLargePage; ++i) {
+    const HwPte hw = ptp.hw(index0 + i);
+    if (!hw.valid() || !hw.large()) {
+      continue;
+    }
+    // The replica at offset i maps frame() + i; the small replacement
+    // names that frame directly, so again no reference churn.
+    ptp.UpdateFlags(index0 + i,
+                    HwPte::MakePage(MappedFrameOf(hw, index0 + i), hw.perm(),
+                                    hw.global(), hw.executable(),
+                                    /*large=*/false),
+                    ptp.sw(index0 + i));
+    split++;
+  }
+  return split;
+}
+
+void PageTable::InstallSection(VirtAddr va, FrameNumber base, bool global,
+                               bool executable, DomainId domain) {
+  SAT_CHECK(IsUserAddress(va) && (va & (kSectionSize - 1)) == 0 &&
+            "section target must be 1 MB aligned");
+  SAT_CHECK(base % kPtesPerSection == 0 &&
+            "section base frame must be 256-aligned");
+  L1Entry& entry = l1_[PtpSlotIndex(va)];
+  SAT_CHECK(!entry.need_copy &&
+            "installing a section over a NEED_COPY slot; unshare first");
+  SectionDesc& half = entry.section[SectionHalfIndex(va)];
+  SAT_CHECK(!half.present() && "section half already mapped");
+  if (!entry.present()) {
+    entry.domain = domain;
+  }
+  half.base = base;
+  half.global = global;
+  half.executable = executable;
+}
+
+void PageTable::ClearSection(VirtAddr va) {
+  l1_[PtpSlotIndex(va)].section[SectionHalfIndex(va)].Clear();
+}
+
+void PageTable::CopySectionsInto(PageTable& child, uint32_t slot) const {
+  const L1Entry& entry = l1_[slot];
+  if (!entry.any_section()) {
+    return;
+  }
+  L1Entry& child_entry = child.l1_[slot];
+  child_entry.section[0] = entry.section[0];
+  child_entry.section[1] = entry.section[1];
+  if (!child_entry.present()) {
+    child_entry.domain = entry.domain;
+  }
+}
+
 uint32_t PageTable::CountPresentInRange(VirtAddr start, VirtAddr end) const {
   uint32_t count = 0;
   for (uint64_t va = start; va < end; va += kPageSize) {
@@ -273,9 +364,12 @@ std::optional<uint32_t> PageTable::TryUnshareSlot(
   span.set_args(slot, 0);
 
   // Figure 6, shared path: detach, flush our TLB entries, copy into the
-  // fresh private PTP, release the shared one.
+  // fresh private PTP, release the shared one. Section halves are value
+  // descriptors over permanent frames — they survive the unshare as-is.
   const PtpId shared_id = entry.ptp;
   const DomainId domain = entry.domain;
+  const SectionDesc section0 = entry.section[0];
+  const SectionDesc section1 = entry.section[1];
   entry.Clear();
   if (flush_tlb) {
     flush_tlb();
@@ -367,6 +461,8 @@ std::optional<uint32_t> PageTable::TryUnshareSlot(
   (void)destroyed;
 
   entry = L1Entry{fresh_id, domain, /*need_copy=*/false};
+  entry.section[0] = section0;
+  entry.section[1] = section1;
   span.set_args(slot, copied);
   return copied;
 }

@@ -124,6 +124,57 @@ class PageTable {
   // Write-protects every present PTE in [start, end) (mprotect support).
   void WriteProtectRange(VirtAddr start, VirtAddr end);
 
+  // -------------------------------------------------------------------------
+  // Large-page representation changes (the translation-reach engine).
+  //
+  // Both operations rewrite descriptors in place without touching frame
+  // reference counts or the rmap: a large PTE's replica at offset i and a
+  // small PTE at the same index map the same frame (MappedFrameOf), so
+  // promotion and demotion are pure representation changes.
+  // -------------------------------------------------------------------------
+
+  // Rewrites the 16 PTEs of the 64 KB block at `block_base` (all valid,
+  // small, uniform attributes, mapping frames base..base+15 in order;
+  // asserts otherwise) as one large PTE — 16 replicas naming `base`.
+  // Legal even in a shared (NEED_COPY) PTP: the translation every sharer
+  // sees is unchanged, so one promotion serves all of them.
+  void PromoteRunInPlace(VirtAddr block_base);
+
+  // Rewrites a large PTE's replicas in the 64 KB block at `block_base`
+  // back to 4 KB PTEs mapping the same frames. The slot must be private
+  // (unshare first). Returns the number of replicas rewritten (0 when the
+  // block holds no large replicas).
+  uint32_t SplitLargeRun(VirtAddr block_base);
+
+  // -------------------------------------------------------------------------
+  // 1 MB section mappings (first-level, no second level).
+  //
+  // Sections map permanent kernel-owned frames (the eager zygote-code
+  // mapping), so they carry no frame references: install/clear/copy are
+  // pure descriptor edits. A section half takes precedence over any PTE
+  // for the same range; the kernel never installs both.
+  // -------------------------------------------------------------------------
+
+  // The section descriptor covering `va`, or nullptr.
+  const SectionDesc* SectionAt(VirtAddr va) const {
+    const L1Entry& entry = l1_[PtpSlotIndex(va)];
+    const SectionDesc& half = entry.section[SectionHalfIndex(va)];
+    return half.present() ? &half : nullptr;
+  }
+
+  // Installs a 1 MB section at `va` (section-aligned) over `base` (first
+  // of 256 contiguous frames). The half must not already be mapped.
+  void InstallSection(VirtAddr va, FrameNumber base, bool global,
+                      bool executable, DomainId domain);
+
+  // Drops the section descriptor covering `va` (no-op when absent). This
+  // mm's view only; the permanent frames are untouched.
+  void ClearSection(VirtAddr va);
+
+  // Copies `slot`'s section descriptors into `child` (fork). Pure value
+  // copy; both parents and children translate through the same frames.
+  void CopySectionsInto(PageTable& child, uint32_t slot) const;
+
   // Number of present PTEs in [start, end) (diagnostic / fork costing).
   uint32_t CountPresentInRange(VirtAddr start, VirtAddr end) const;
 

@@ -66,7 +66,16 @@ namespace sat {
   X(frames_quarantined)              \
   X(scrub_runs)                      \
   X(scrub_repairs)                   \
-  X(scrub_unrepairable)
+  X(scrub_unrepairable)              \
+  X(huge_scans)                      \
+  X(huge_pages_scanned)              \
+  X(huge_collapses)                  \
+  X(huge_collapse_failures)          \
+  X(huge_splits)                     \
+  X(huge_pages_migrated)             \
+  X(huge_unshares)                   \
+  X(huge_ksm_unmerges)               \
+  X(huge_sections_mapped)
 
 #define SAT_CORE_COUNTER_FIELDS(X) \
   X(cycles)                        \
@@ -157,6 +166,17 @@ struct KernelCounters {
   uint64_t scrub_runs = 0;            // scrubd incremental passes
   uint64_t scrub_repairs = 0;         // corruptions scrubd healed in place
   uint64_t scrub_unrepairable = 0;    // corruptions that forced an oops
+
+  // Translation-reach engine (src/huge): khugepaged-style promotion.
+  uint64_t huge_scans = 0;              // completed huged scan passes
+  uint64_t huge_pages_scanned = 0;      // candidate 4 KB PTEs examined
+  uint64_t huge_collapses = 0;          // 64 KB runs promoted to large PTEs
+  uint64_t huge_collapse_failures = 0;  // abandons (ENOMEM migrate/unshare)
+  uint64_t huge_splits = 0;             // large runs demoted back to 4 KB
+  uint64_t huge_pages_migrated = 0;     // pages copied into contiguous runs
+  uint64_t huge_unshares = 0;           // shared PTPs privatized to collapse
+  uint64_t huge_ksm_unmerges = 0;       // stable frames copied out of a run
+  uint64_t huge_sections_mapped = 0;    // eager 1 MB sections at boot
 
   KernelCounters operator-(const KernelCounters& rhs) const;
   KernelCounters& operator+=(const KernelCounters& rhs);

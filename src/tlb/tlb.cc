@@ -85,6 +85,18 @@ TlbResult MainTlb::Lookup(VirtAddr va, Asid asid, AccessType access,
     }
   }
   if (entry == nullptr) {
+    // A 1 MB section entry lives in the set of its section-aligned base.
+    const uint32_t section_vpn = vpn & ~(kPtesPerSection - 1);
+    const uint32_t large_vpn = vpn & ~(kPtesPerLargePage - 1);
+    if (SetIndexOf(section_vpn) != SetIndexOf(vpn) &&
+        SetIndexOf(section_vpn) != SetIndexOf(large_vpn)) {
+      entry = FindInSet(SetIndexOf(section_vpn), vpn, asid);
+      if (entry != nullptr && entry->size_pages != kPtesPerSection) {
+        entry = nullptr;  // only section entries are valid matches there
+      }
+    }
+  }
+  if (entry == nullptr) {
     stats_.misses++;
     return TlbResult::kMiss;
   }
@@ -121,8 +133,8 @@ void MainTlb::Insert(const TlbEntry& entry) {
   // FindInSet returning whichever way comes first. Re-inserting a VPN with a
   // changed attribute (the zygote global-bit promotion, a 4 KB→64 KB
   // upgrade, an ASID reused after rollover) must replace, never duplicate.
-  // Conflicts can sit in the home set of any covered VPN or in the 64 KB
-  // base-index set that Lookup also probes.
+  // Conflicts can sit in the home set of any covered VPN or in the 64 KB /
+  // 1 MB base-index sets that Lookup also probes.
   int64_t reuse_way = -1;
   const auto scrub = [&](uint32_t set) {
     for (uint32_t w = 0; w < ways_; ++w) {
@@ -141,9 +153,15 @@ void MainTlb::Insert(const TlbEntry& entry) {
   if (SetIndexOf(large_base) != home) {
     scrub(SetIndexOf(large_base));
   }
+  const uint32_t section_base = entry.vpn & ~(kPtesPerSection - 1);
+  if (SetIndexOf(section_base) != home &&
+      SetIndexOf(section_base) != SetIndexOf(large_base)) {
+    scrub(SetIndexOf(section_base));
+  }
   for (uint32_t i = 1; i < entry.size_pages; ++i) {
     const uint32_t set = SetIndexOf(entry.vpn + i);
-    if (set != home && set != SetIndexOf(large_base)) {
+    if (set != home && set != SetIndexOf(large_base) &&
+        set != SetIndexOf(section_base)) {
       scrub(set);
     }
   }
@@ -245,6 +263,16 @@ uint32_t MainTlb::ValidEntryCount() const {
     }
   }
   return count;
+}
+
+uint64_t MainTlb::ReachBytes() const {
+  uint64_t bytes = 0;
+  for (const TlbEntry& entry : entries_) {
+    if (entry.valid) {
+      bytes += static_cast<uint64_t>(entry.size_pages) * kPageSize;
+    }
+  }
+  return bytes;
 }
 
 MicroTlb::MicroTlb(uint32_t num_entries) { entries_.resize(num_entries); }

@@ -27,7 +27,8 @@ class Tracer;
 struct TlbEntry {
   bool valid = false;
   uint32_t vpn = 0;          // virtual page number of the entry's base
-  uint32_t size_pages = 1;   // 1 (4 KB) or 16 (64 KB large page)
+  uint32_t size_pages = 1;   // 1 (4 KB), 16 (64 KB large page) or
+                             // 256 (1 MB section)
   Asid asid = 0;
   bool global = false;
   DomainId domain = 0;
@@ -82,8 +83,9 @@ TlbResult CheckEntryAccess(const TlbEntry& entry, AccessType access,
                            const DomainAccessControl& dacr);
 
 // The unified main TLB: set-associative, round-robin replacement per set.
-// 64 KB entries are indexed by their aligned base VPN; lookups therefore
-// probe both the 4 KB-index set and the 64 KB-index set.
+// 64 KB and 1 MB entries are indexed by their aligned base VPN; lookups
+// therefore probe the 4 KB-index set, the 64 KB-index set and the
+// 1 MB-index set.
 class MainTlb {
  public:
   MainTlb(uint32_t num_entries, uint32_t ways);
@@ -118,6 +120,9 @@ class MainTlb {
   void ResetStats() { stats_ = TlbStats{}; }
 
   uint32_t ValidEntryCount() const;
+  // Bytes of virtual address space the valid entries currently translate —
+  // the translation-reach metric the promotion engine exists to grow.
+  uint64_t ReachBytes() const;
   uint32_t num_entries() const { return static_cast<uint32_t>(entries_.size()); }
 
   // Geometry and raw-entry inspection, for invariant-checking tests.

@@ -45,6 +45,8 @@ constexpr TypeInfo kTypeInfo[kTraceEventTypeCount] = {
     {"ksm_scan", "pages_scanned", "pages_merged"},
     {"ksm_merge", "va_page", "stable_frame"},
     {"ksm_unmerge", "va_page", "stable_frame"},
+    {"huge_collapse", "va_page", "migrated"},
+    {"huge_split", "va_page", "reason"},
     {"app_phase", "phase", ""},
 };
 

@@ -70,6 +70,9 @@ enum class TraceEventType : uint8_t {
   kKsmScan,        // a=pages scanned, b=pages merged this pass
   kKsmMerge,       // a=merged va page, b=stable frame
   kKsmUnmerge,     // a=faulting va page, b=former stable frame
+  // Translation-reach engine (src/huge).
+  kHugeCollapse,   // a=block base va page, b=1 if frames were migrated
+  kHugeSplit,      // a=block base va page, b=trigger (HugeSplitReason)
   // Android launch phases (fork / map / replay / window).
   kAppPhase,
   kCount,  // sentinel, not a recordable type

@@ -155,6 +155,40 @@ class Auditor {
                  std::to_string(ptp.present_count()) + ", recount found " +
                  std::to_string(present));
       }
+      // The all-16-or-none replica invariant: promotion and demotion
+      // rewrite every word of a 64 KB block identically, and no PTE path
+      // (reclaim, swap-out, clear) touches a single replica — so a run
+      // with some-but-not-all large words, or large words that disagree,
+      // is torn (only chaos can do that, and scrubd's vote repairs it).
+      for (uint32_t run = 0; run < kPtesPerPtp; run += kPtesPerLargePage) {
+        uint32_t large_words = 0;
+        bool identical = true;
+        for (uint32_t i = run; i < run + kPtesPerLargePage; ++i) {
+          const HwPte& word = ptp.hw(i);
+          if (!word.valid() || !word.large()) {
+            continue;
+          }
+          if (large_words > 0 && !(word == ptp.hw(run))) {
+            identical = false;
+          }
+          large_words++;
+        }
+        if (large_words == 0) {
+          continue;
+        }
+        if (!Checked(large_words == kPtesPerLargePage)) {
+          Fail("large-run-torn",
+               "ptp " + std::to_string(ptp.id()) + " run at index " +
+                   std::to_string(run) + ": " + std::to_string(large_words) +
+                   " of " + std::to_string(kPtesPerLargePage) +
+                   " words are large replicas");
+        } else if (!Checked(identical)) {
+          Fail("large-run-nonuniform",
+               "ptp " + std::to_string(ptp.id()) + " run at index " +
+                   std::to_string(run) +
+                   ": large replicas are not bit-identical");
+        }
+      }
     });
   }
 
@@ -640,6 +674,53 @@ class Auditor {
                                 " but the space's user domain is " +
                                 std::to_string(space.mm->user_domain()));
         }
+        for (uint32_t half = 0; half < 2; ++half) {
+          const SectionDesc& section = entry.section[half];
+          if (!section.present()) {
+            continue;
+          }
+          const VirtAddr section_va = static_cast<VirtAddr>(
+              PtpSlotBase(slot) + half * kSectionSize);
+          const std::string where =
+              who + " section at va " + std::to_string(section_va);
+          if (!Checked(section.base % kPtesPerSection == 0) ||
+              !Checked(static_cast<uint64_t>(section.base) + kPtesPerSection <=
+                       in_.phys->total_frames())) {
+            Fail("section-base", where + ": base frame " +
+                                     std::to_string(section.base) +
+                                     " misaligned or out of range");
+            continue;
+          }
+          // Sections map permanent kernel-owned frames only; they carry
+          // no references, so anything reclaimable underneath would be a
+          // use-after-free waiting to happen.
+          for (uint32_t i = 0; i < kPtesPerSection; ++i) {
+            if (!Checked(in_.phys->frame(section.base + i).kind ==
+                         FrameKind::kKernel)) {
+              Fail("section-frame-kind",
+                   where + ": frame " + std::to_string(section.base + i) +
+                       " is not a kernel frame");
+              break;
+            }
+          }
+          // No valid PTE may hide under a live section: the walker never
+          // reaches the second level there, so such a PTE would pin its
+          // frame invisibly forever.
+          if (entry.present()) {
+            for (uint32_t i = 0; i < kPtesPerSection; ++i) {
+              const auto ref =
+                  pt.FindPte(section_va + i * kPageSize);
+              if (ref.has_value() &&
+                  !Checked(!ref->ptp->hw(ref->index).valid())) {
+                Fail("section-shadowed-pte",
+                     where + ": valid PTE at index " +
+                         std::to_string(ref->index) +
+                         " hides under the section");
+                break;
+              }
+            }
+          }
+        }
       }
     }
   }
@@ -661,7 +742,8 @@ class Auditor {
       const std::string where = std::string(snap.which) + " TLB of core " +
                                 std::to_string(snap.core) + ", vpn " +
                                 std::to_string(e.vpn);
-      if (!Checked(e.size_pages == 1 || e.size_pages == 16) ||
+      if (!Checked(e.size_pages == 1 || e.size_pages == 16 ||
+                   e.size_pages == kPtesPerSection) ||
           !Checked(e.vpn % e.size_pages == 0)) {
         Fail("tlb-geometry", where + ": size_pages " +
                                  std::to_string(e.size_pages) +
@@ -693,6 +775,20 @@ class Auditor {
           if (!space.zygote_like) {
             continue;
           }
+          if (e.size_pages == kPtesPerSection) {
+            // A section entry is backed by a first-level descriptor, not
+            // a PTE.
+            const SectionDesc* section = space.mm->page_table().SectionAt(va);
+            if (section == nullptr) {
+              continue;
+            }
+            any_backing = true;
+            if (EntryMatchesSection(e, *section)) {
+              any_match = true;
+              break;
+            }
+            continue;
+          }
           const HwPte* hw = HwPteAt(space, va);
           if (hw == nullptr) {
             continue;
@@ -719,11 +815,52 @@ class Auditor {
         continue;
       }
       const AuditSpace& space = *it->second;
+      if (e.size_pages == kPtesPerSection) {
+        const SectionDesc* section = space.mm->page_table().SectionAt(va);
+        if (!Checked(section != nullptr)) {
+          Fail("tlb-section-unbacked",
+               where + ": section entry with no section descriptor at va " +
+                   std::to_string(va) + " in pid " +
+                   std::to_string(space.pid));
+          continue;
+        }
+        if (!EntryMatchesSection(e, *section)) {
+          Fail("tlb-section-mismatch",
+               where + ": section entry (frame " + std::to_string(e.frame) +
+                   ") contradicts the first-level descriptor (base " +
+                   std::to_string(section->base) + ")");
+        }
+        const L1Entry& sl1 = space.mm->page_table().l1(PtpSlotIndex(va));
+        if (!Checked(e.domain == sl1.domain)) {
+          Fail("tlb-domain", where + ": entry domain " +
+                                 std::to_string(e.domain) +
+                                 " vs first-level domain " +
+                                 std::to_string(sl1.domain));
+        }
+        continue;
+      }
+      // A smaller entry must not shadow a live section: the walker serves
+      // the section, so a 4 KB/64 KB entry for the same range is a relic
+      // of a mapping the section replaced.
+      if (!Checked(space.mm->page_table().SectionAt(va) == nullptr)) {
+        Fail("tlb-shadows-section",
+             where + ": " + std::to_string(e.size_pages) +
+                 "-page entry shadows a live 1 MB section");
+        continue;
+      }
       const HwPte* hw = HwPteAt(space, va);
       if (!Checked(hw != nullptr)) {
         Fail("tlb-unbacked", where + ": no valid PTE at va " +
                                  std::to_string(va) + " in pid " +
                                  std::to_string(space.pid));
+        continue;
+      }
+      // The explicit no-shadowing invariant: a 4 KB entry whose backing
+      // PTE is (now) a large replica is stale — promotion flushed the run,
+      // so one that survived would double-translate the block.
+      if (e.size_pages == 1 && hw->large()) {
+        Fail("tlb-shadows-large",
+             where + ": 4 KB entry shadows a live 64 KB large PTE");
         continue;
       }
       if (!EntryMatchesPte(e, *hw)) {
@@ -783,6 +920,17 @@ class Auditor {
   // right frame and granularity and must not grant rights the PTE lacks
   // (equal-or-weaker permissions are fine: a benignly stale read-only
   // entry after a COW upgrade only causes an extra fault).
+  // Does the first-level descriptor justify this section entry? Sections
+  // are read-only by construction, so the permission bound is fixed.
+  bool EntryMatchesSection(const TlbEntry& e, const SectionDesc& s) {
+    const bool frame_ok = Checked(e.frame == s.base);
+    const bool perm_ok = Checked(static_cast<uint8_t>(e.perm) <=
+                                 static_cast<uint8_t>(PtePerm::kReadOnly));
+    const bool exec_ok = Checked(!e.executable || s.executable);
+    const bool global_ok = Checked(e.global == s.global);
+    return frame_ok && perm_ok && exec_ok && global_ok;
+  }
+
   bool EntryMatchesPte(const TlbEntry& e, const HwPte& hw) {
     const bool size_ok =
         Checked((e.size_pages == 16) == hw.large());

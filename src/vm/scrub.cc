@@ -47,6 +47,44 @@ void Scrubber::RebuildFromFrame(PageTablePage& ptp, uint32_t index,
   }
 }
 
+bool Scrubber::TryRepairRunReplica(PageTablePage& ptp, uint32_t index) {
+  // A legitimately small (or empty) PTE can never sit inside a live run:
+  // promotion and demotion rewrite all 16 words or none, so a clear
+  // majority of identical large replicas among the 16-aligned neighbours
+  // convicts any disagreeing word of rot.
+  const uint32_t run_first = index & ~(kPtesPerLargePage - 1);
+  HwPte exemplar;
+  bool have_exemplar = false;
+  uint32_t votes = 0;
+  for (uint32_t i = run_first; i < run_first + kPtesPerLargePage; ++i) {
+    if (i == index) {
+      continue;
+    }
+    const HwPte sibling = ptp.hw(i);
+    if (!sibling.valid() || !sibling.large() ||
+        sibling.frame() % kPtesPerLargePage != 0) {
+      continue;
+    }
+    if (!have_exemplar) {
+      exemplar = sibling;
+      have_exemplar = true;
+      votes = 1;
+    } else if (sibling == exemplar) {
+      votes++;
+    }
+  }
+  if (votes < kPtesPerLargePage / 2 || ptp.hw(index) == exemplar) {
+    return false;
+  }
+  ptp.RecountPresentForScrub();
+  ptp.RepairHw(index, exemplar);
+  counters_->scrub_repairs++;
+  if (flush_site_) {
+    flush_site_(ptp.id(), index, 0);
+  }
+  return true;
+}
+
 void Scrubber::DropSite(PageTablePage& ptp, uint32_t index, FrameNumber frame,
                         VirtAddr va) {
   // Clean refetchable page: tear the mapping down entirely; the next touch
@@ -74,8 +112,13 @@ ScrubSiteResult Scrubber::ScrubSite(PageTablePage& ptp, uint32_t index,
     }
     // Validity rotted off a mapped entry. The shadow says present, so the
     // rmap (or, for a zero-page mapping, the zero frame) still knows what
-    // was mapped here.
+    // was mapped here. A replica of a collapsed run is rebuilt from its
+    // neighbours instead — the rmap rebuild below would install a small
+    // PTE and leave the run torn.
     ptp.RecountPresentForScrub();
+    if (TryRepairRunReplica(ptp, index)) {
+      return ScrubSiteResult::kRepaired;
+    }
     const auto truth = rmap_->FindAtSite(id, index);
     if (truth.has_value()) {
       RebuildFromFrame(ptp, index, truth->first, truth->second);
@@ -104,7 +147,12 @@ ScrubSiteResult Scrubber::ScrubSite(PageTablePage& ptp, uint32_t index,
     return ScrubSiteResult::kRepaired;
   }
 
-  // Valid and present: the mapped case. First the frame bits.
+  // Valid and present: the mapped case. Run-replica voting first — a
+  // torn run must be made whole again before the per-word checks below
+  // "repair" the word into an even more torn small PTE.
+  if (TryRepairRunReplica(ptp, index)) {
+    return ScrubSiteResult::kRepaired;
+  }
   const FrameNumber frame = MappedFrameOf(hw, index);
   bool frame_ok = FrameLooksMapped(frame);
   if (frame_ok && frame != phys_->zero_frame() &&

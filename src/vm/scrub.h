@@ -126,6 +126,11 @@ class Scrubber {
   // Drop-and-refault repair for a clean refetchable page.
   void DropSite(PageTablePage& ptp, uint32_t index, FrameNumber frame,
                 VirtAddr va);
+  // Run-replica voting: the 16 words of a collapsed 64 KB run are
+  // bit-identical, so a word that disagrees with a clear majority of its
+  // 16-aligned neighbours (rotted valid/large/frame/attribute bits) is
+  // outvoted and rewritten as a copy of theirs. True when repaired.
+  bool TryRepairRunReplica(PageTablePage& ptp, uint32_t index);
 
   PhysicalMemory* phys_;
   PtpAllocator* ptps_;

@@ -39,13 +39,29 @@ SmapsReport GenerateSmaps(const MmStruct& mm, const PtpAllocator& ptps,
     // The sharer count of the vma's own mapping PTP, per page.
     for (uint64_t va64 = vma.start; va64 < vma.end; va64 += kPageSize) {
       const auto va = static_cast<VirtAddr>(va64);
+      if (pt.SectionAt(va) != nullptr) {
+        // Translated by a 1 MB section: resident and huge, but the frames
+        // are permanent kernel text shared by the whole zygote group, so
+        // — like the vdso — they charge no process's PSS and count as
+        // shared.
+        row.rss_kb += 4;
+        row.huge_kb += 4;
+        row.shared_clean_kb += 4;
+        continue;
+      }
       const auto ref = pt.FindPte(va);
       if (!ref || !ref->ptp->hw(ref->index).valid()) {
         continue;
       }
       row.rss_kb += 4;
-      const FrameNumber frame =
-          MappedFrameOf(ref->ptp->hw(ref->index), ref->index);
+      const HwPte hw = ref->ptp->hw(ref->index);
+      if (hw.large()) {
+        // A 64 KB replica. PSS stays fractional the same way as for 4 KB
+        // pages: the replica's frame has one rmap entry per mapping PTP,
+        // each standing for that PTP's sharers.
+        row.huge_kb += 4;
+      }
+      const FrameNumber frame = MappedFrameOf(hw, ref->index);
       const uint32_t mappers = ProcessMapCount(frame, ptps, rmap);
       row.pss_kb += 4.0 / mappers;
       if (mappers > 1) {
@@ -62,6 +78,7 @@ SmapsReport GenerateSmaps(const MmStruct& mm, const PtpAllocator& ptps,
     report.total_rss_kb += row.rss_kb;
     report.total_pss_kb += row.pss_kb;
     report.total_ksm_merged_kb += row.ksm_merged_kb;
+    report.total_huge_kb += row.huge_kb;
     report.vmas.push_back(std::move(row));
   });
 
@@ -87,11 +104,12 @@ std::string SmapsReport::ToString() const {
        << "  Size: " << vma.size_kb << " kB  Rss: " << vma.rss_kb
        << " kB  Pss: " << vma.pss_kb << " kB  Shared_Clean: "
        << vma.shared_clean_kb << " kB  Private: " << vma.private_kb
-       << " kB  KsmMerged: " << vma.ksm_merged_kb << " kB\n";
+       << " kB  KsmMerged: " << vma.ksm_merged_kb
+       << " kB  HugePages: " << vma.huge_kb << " kB\n";
   }
   os << "Total: Size " << total_size_kb << " kB, Rss " << total_rss_kb
      << " kB, Pss " << total_pss_kb << " kB, KsmMerged "
-     << total_ksm_merged_kb << " kB\n"
+     << total_ksm_merged_kb << " kB, HugePages " << total_huge_kb << " kB\n"
      << "PageTables: " << page_table_kb << " kB (Pss " << page_table_pss_kb
      << " kB, " << shared_ptps << " shared PTPs)\n";
   return os.str();

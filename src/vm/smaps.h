@@ -37,6 +37,10 @@ struct VmaReport {
   uint32_t shared_clean_kb = 0;  // resident pages mapped by >1 process
   uint32_t private_kb = 0;       // resident pages mapped by this one only
   uint32_t ksm_merged_kb = 0;    // resident pages backed by KSM stable frames
+  // Resident pages translated at large granularity — 64 KB large-PTE
+  // replicas or 1 MB section halves (Linux's AnonHugePages/FilePmdMapped
+  // analogue, folded into one field for the two-level ARM table).
+  uint32_t huge_kb = 0;
 };
 
 struct SmapsReport {
@@ -48,6 +52,8 @@ struct SmapsReport {
   // stable page. Such pages also count fractionally in PSS — their rmap
   // lists every sharer's mapping.
   uint32_t total_ksm_merged_kb = 0;
+  // Pages translated at large granularity across every region.
+  uint32_t total_huge_kb = 0;
   // Translation memory: classic per-process footprint and its
   // sharing-aware proportional counterpart.
   uint32_t page_table_kb = 0;

@@ -30,6 +30,27 @@ bool RegionAllows(const VmArea& vma, AccessType access) {
 
 }  // namespace
 
+uint32_t VmManager::SplitLargeBlock(MmStruct& mm, VirtAddr va,
+                                    HugeSplitReason reason) {
+  const VirtAddr block = va & ~(kLargePageSize - 1);
+  PageTable& pt = mm.page_table();
+  const auto ref = pt.FindPte(block);
+  if (!ref.has_value()) {
+    return 0;
+  }
+  const HwPte hw = ref->ptp->hw(ref->index);
+  if (!hw.valid() || !hw.large()) {
+    return 0;  // no run here (a run's base replica is always large)
+  }
+  const uint32_t split = pt.SplitLargeRun(block);
+  if (split > 0) {
+    counters_->huge_splits++;
+    Tracer::Emit(tracer_, TraceEventType::kHugeSplit, 0, VirtPageNumber(block),
+                 static_cast<uint64_t>(reason));
+  }
+  return split;
+}
+
 std::optional<uint32_t> VmManager::UnshareIfNeeded(MmStruct& mm, VirtAddr va,
                                                    const TlbFlushFn& flush_tlb,
                                                    Cycles* cycles) {
@@ -362,8 +383,17 @@ FaultOutcome VmManager::HandlePermissionFault(MmStruct& mm, const VmArea& vma,
     return out;
   }
 
-  const auto ref = pt.FindPte(va);
+  auto ref = pt.FindPte(va);
   SAT_CHECK(ref.has_value());
+  if (ref->ptp->hw(ref->index).large()) {
+    // A COW write into a collapsed run: the written page is about to
+    // diverge from its neighbours, so the block loses uniformity. Demote
+    // it to 4 KB PTEs first (the slot is already private — the caller
+    // unshared on the write path); the faulting PTE is then small and
+    // the ordinary COW logic below applies unchanged.
+    SplitLargeBlock(mm, va, HugeSplitReason::kCow);
+    ref = pt.FindPte(va);
+  }
   const HwPte old_hw = ref->ptp->hw(ref->index);
   LinuxPte sw = ref->ptp->sw(ref->index);
   sw.set_young(true);
@@ -441,6 +471,9 @@ void VmManager::FaultAround(MmStruct& mm, const VmArea& vma, VirtAddr va) {
     if (around == PageAlignDown(va)) {
       continue;
     }
+    if (pt.SectionAt(around) != nullptr) {
+      continue;  // already translated by a 1 MB section — no PTE wanted
+    }
     const auto ref = pt.FindPte(around);
     if (ref.has_value() && ref->ptp->hw(ref->index).valid()) {
       continue;
@@ -474,6 +507,9 @@ bool VmManager::CanMapLargeBlock(MmStruct& mm, const VmArea& vma,
   }
   if (vma.prot.write) {
     return false;  // large pages are for read-only/executable mappings
+  }
+  if (mm.page_table().SectionAt(block_va) != nullptr) {
+    return false;  // a 1 MB section already covers this block
   }
   // No page of the block may already be mapped at 4 KB granularity.
   for (uint32_t i = 0; i < kPtesPerLargePage; ++i) {
@@ -643,6 +679,18 @@ ForkResult VmManager::Fork(MmStruct& parent, MmStruct& child,
   result.cycles += static_cast<Cycles>(result.child_ptps_allocated) *
                    costs_->fork_per_ptp_alloc;
 
+  // Sections copy by value after the slot loop: ShareSlotInto overwrites
+  // the child's whole L1 entry, so copying here keeps them regardless of
+  // which path handled the slot. They carry no refcounts (permanent
+  // kernel frames), so a failed fork's teardown needs no undo.
+  if (result.ok) {
+    for (uint32_t slot = 0; slot < kUserPtpSlots; ++slot) {
+      if (ppt.l1(slot).any_section()) {
+        ppt.CopySectionsInto(cpt, slot);
+      }
+    }
+  }
+
   if (parent_mappings_downgraded && flush_parent_tlb) {
     flush_parent_tlb();
   }
@@ -752,6 +800,32 @@ void VmManager::Munmap(MmStruct& mm, VirtAddr start, uint32_t length,
     }
   }
 
+  // Demote before clearing: a partially unmapped 64 KB run must not be
+  // left as a torn set of large replicas. Only the two boundary blocks
+  // can be cut (interior blocks are removed whole), and a run cut by a
+  // boundary always extends into surviving pages, so its slot was just
+  // unshared above.
+  if ((start & (kLargePageSize - 1)) != 0) {
+    SplitLargeBlock(mm, start, HugeSplitReason::kMunmap);
+  }
+  if ((end & (kLargePageSize - 1)) != 0) {
+    SplitLargeBlock(mm, end, HugeSplitReason::kMunmap);
+  }
+  // An unmapped range overlapping a 1 MB section drops the whole section
+  // descriptor (this mm's view only): any surviving pages of the half
+  // simply refault as ordinary 4 KB file pages.
+  for (uint64_t half = SectionAlignDown(start); half < end;
+       half += kSectionSize) {
+    const auto section_va = static_cast<VirtAddr>(half);
+    if (pt.SectionAt(section_va) != nullptr) {
+      pt.ClearSection(section_va);
+      counters_->huge_splits++;
+      Tracer::Emit(tracer_, TraceEventType::kHugeSplit, 0,
+                   VirtPageNumber(section_va),
+                   static_cast<uint64_t>(HugeSplitReason::kMunmap));
+    }
+  }
+
   mm.RemoveRange(start, end);
 
   for (uint32_t slot = first; slot <= last; ++slot) {
@@ -800,6 +874,32 @@ void VmManager::Mprotect(MmStruct& mm, VirtAddr start, uint32_t length,
         }
         return;
       }
+    }
+  }
+
+  // A protection change cutting through a 64 KB run makes the block
+  // non-uniform, so the boundary blocks demote first (every spanned slot
+  // is private after the loop above). Fully covered blocks keep their
+  // large replicas: ClearRange and WriteProtectRange rewrite whole runs
+  // uniformly.
+  if ((start & (kLargePageSize - 1)) != 0) {
+    SplitLargeBlock(mm, start, HugeSplitReason::kMprotect);
+  }
+  if ((end & (kLargePageSize - 1)) != 0) {
+    SplitLargeBlock(mm, end, HugeSplitReason::kMprotect);
+  }
+  // A section's permission is baked into its descriptor (read-only,
+  // maybe-executable), so any mprotect overlapping one drops it and lets
+  // the pages refault at 4 KB with the new protection.
+  for (uint64_t half = SectionAlignDown(start); half < end;
+       half += kSectionSize) {
+    const auto section_va = static_cast<VirtAddr>(half);
+    if (pt.SectionAt(section_va) != nullptr) {
+      pt.ClearSection(section_va);
+      counters_->huge_splits++;
+      Tracer::Emit(tracer_, TraceEventType::kHugeSplit, 0,
+                   VirtPageNumber(section_va),
+                   static_cast<uint64_t>(HugeSplitReason::kMprotect));
     }
   }
 

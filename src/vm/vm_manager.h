@@ -28,6 +28,14 @@ class ZramStore;
 // knows ASIDs and owns the TLB; may be empty in page-table-only tests.
 using TlbFlushFn = std::function<void()>;
 
+// Why a collapsed 64 KB run (or an eager 1 MB section) was demoted —
+// carried in the `b` payload of kHugeSplit trace events.
+enum class HugeSplitReason : uint8_t {
+  kMunmap = 0,   // partial munmap cut through the block
+  kMprotect,     // partial mprotect made the block non-uniform
+  kCow,          // a COW write diverged one page of the run
+};
+
 struct FaultOutcome {
   bool ok = false;            // false => SIGSEGV (unresolvable) or OOM
   bool oom = false;           // false fault result was a failed allocation,
@@ -147,6 +155,14 @@ class VmManager {
   std::optional<uint32_t> UnshareIfNeeded(MmStruct& mm, VirtAddr va,
                                           const TlbFlushFn& flush_tlb,
                                           Cycles* cycles);
+
+  // Demotes the 64 KB large-page run covering `va` back to 4 KB PTEs (a
+  // pure representation change: same frames, same permissions). No-op
+  // when the block holds no large run. The containing slot must be
+  // private — every call site either just unshared it or proved no run
+  // can span the boundary otherwise. Returns replicas rewritten. Public
+  // because reclaim-adjacent callers (tests, future policies) demote too.
+  uint32_t SplitLargeBlock(MmStruct& mm, VirtAddr va, HugeSplitReason reason);
 
  private:
   // HandleFault minus the tracing wrapper.

@@ -107,6 +107,7 @@ struct AuditFuzzCase {
   uint32_t cores = 1;    // >1 adds random cross-core migration
   bool batched = false;  // defer shootdowns to per-core queues
   bool chaos = false;    // seeded bit flips in PTEs/zram/TLB + scrubd
+  bool huge = false;     // huged collapse/split (periodic and explicit)
 };
 
 class AuditFuzzTest : public ::testing::TestWithParam<AuditFuzzCase> {};
@@ -136,6 +137,15 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
     // Periodic scrubd wakes run on top of the explicit sweeps below.
     params.scrub = true;
     params.scrub_wake_interval = 17;
+  }
+  if (fuzz.huge) {
+    // Periodic huged wakes collapse runs at awkward moments, on top of
+    // the explicit scans below; munmap/mprotect/COW then split them
+    // again. With KSM active the unmerge policy is on too, so collapses
+    // eat stable frames back.
+    params.huge = true;
+    params.huge_wake_interval = 13;
+    params.huge_unmerge_ksm = fuzz.ksm;
   }
   Kernel kernel(params);
   kernel.fault_injector().SetRule(AllocSite::kFrame, FaultRule{0, 0, 0.02});
@@ -327,6 +337,14 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
       }
     }
 
+    // Huge cases run explicit scans on top of the periodic wakes; gating
+    // the draw on fuzz.huge keeps every other case's rng stream (and so
+    // its whole op sequence) bit-identical to what it was before huged
+    // existed.
+    if (fuzz.huge && rng() % 29 == 0) {
+      kernel.RunHugeScan();
+    }
+
     if (fuzz.chaos) {
       // A flipped bit is only guaranteed visible to scrubd (the cheap
       // touch-time checks deliberately skip the rmap cross-check), so
@@ -405,6 +423,17 @@ std::vector<AuditFuzzCase> AuditFuzzCases() {
       {2630, true, false, 16, false, 1, false, true},
       {2731, true, false, 16, true, 1, false, true},
       {2832, true, false, 0, false, 4, true, true},
+      // Huge cases: huged collapses (in place and by migration, with the
+      // lazy unshare under shared PTPs) interleaved with the splits that
+      // munmap/mprotect/COW force, under the same allocation-failure
+      // injection — including the contiguous-run site migration depends
+      // on. The KSM case also runs the unmerge policy; the chaos case
+      // lets scrubd's replica vote race against live collapses.
+      {2933, false, false, 0, false, 1, false, false, true},
+      {3034, true, false, 0, false, 1, false, false, true},
+      {3135, true, false, 16, true, 1, false, false, true},
+      {3236, true, false, 0, false, 1, false, true, true},
+      {3337, true, true, 16, true, 4, true, false, true},
   };
 }
 
@@ -420,6 +449,7 @@ INSTANTIATE_TEST_SUITE_P(
       if (c.cores > 1) name += "_c" + std::to_string(c.cores);
       if (c.batched) name += "_batched";
       if (c.chaos) name += "_chaos";
+      if (c.huge) name += "_huge";
       return name;
     });
 
