@@ -99,6 +99,6 @@ int Run(const BenchOptions& options) {
 }  // namespace sat
 
 int main(int argc, char** argv) {
-  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  const sat::BenchOptions options = sat::ParseHarnessArgs(&argc, argv);
   return sat::Run(options);
 }

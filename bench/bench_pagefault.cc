@@ -152,7 +152,7 @@ BENCHMARK(BM_MainTlbLookup);
 
 int main(int argc, char** argv) {
   // Strip harness flags first so google-benchmark doesn't reject them.
-  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  const sat::BenchOptions options = sat::ParseHarnessArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

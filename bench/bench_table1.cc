@@ -266,7 +266,7 @@ bool WriteReplayTrace(const BenchOptions& options) {
 }  // namespace sat
 
 int main(int argc, char** argv) {
-  const sat::BenchOptions options = sat::ParseBenchOptions(&argc, argv);
+  const sat::BenchOptions options = sat::ParseHarnessArgs(&argc, argv);
   const int status = sat::Run(options);
   if (!options.trace_out.empty() && !sat::WriteReplayTrace(options)) {
     return 1;

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "src/core/sat.h"
 #include "src/driver/results.h"
 #include "src/driver/worker_pool.h"
+#include "src/scenario/runner.h"
 #include "src/stats/summary.h"
 
 namespace sat {
@@ -197,8 +199,13 @@ inline void PrintPressureSummary(const JobRecord& record) {
 //                                recorded with status "timeout" (0 = off)
 //   --retries=N                  re-run a failed/timed-out job up to N
 //                                times with the same derived seed
+//   --scenario=FILE.scn          precondition every System-backed job by
+//                                running the scenario's element graph on
+//                                its System first (fleet state — page
+//                                cache, zram, KSM merges — before the
+//                                bench's own measurement)
 struct BenchOptions {
-  uint32_t jobs = 0;  // 0 until parsed; ParseBenchOptions defaults it
+  uint32_t jobs = 0;  // 0 until parsed; ParseHarnessArgs defaults it
   std::string json_out;
   std::string only_config;
   bool smoke = false;
@@ -209,13 +216,21 @@ struct BenchOptions {
   std::string trace_out;
   double job_timeout_s = 0;
   uint32_t retries = 0;
+  std::string scenario;  // .scn path; empty = no preconditioning
+  ScenarioGraph scenario_graph;
+  bool scenario_set = false;
 };
+
+// --smoke shrink factor applied to scenario populations, rates, and ticks.
+inline constexpr double kScenarioSmokeScale = 0.05;
 
 // Parses and REMOVES the harness flags from argv (so flags meant for other
 // consumers — e.g. google-benchmark in bench_pagefault — pass through
-// untouched). Exits with a usage message on a malformed or unknown
-// --config value.
-inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
+// untouched). The single argument parser every bench binary shares: one
+// flag vocabulary, one validation pass, one error style. Exits with a
+// usage message on a malformed or unknown --config, and with the parser's
+// file:line:column diagnostic on a bad --scenario file.
+inline BenchOptions ParseHarnessArgs(int* argc, char** argv) {
   BenchOptions options;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -255,6 +270,8 @@ inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
       options.job_timeout_s = std::stod(v);
     } else if (value("--retries", &v)) {
       options.retries = static_cast<uint32_t>(std::stoul(v));
+    } else if (value("--scenario", &v)) {
+      options.scenario = v;
     } else {
       argv[out++] = argv[i];
     }
@@ -270,7 +287,37 @@ inline BenchOptions ParseBenchOptions(int* argc, char** argv) {
               << "'; known configs: " << NamedConfigKeyList() << "\n";
     std::exit(2);
   }
+  if (!options.scenario.empty()) {
+    ScenarioParseResult parsed =
+        ParseScenarioFile(options.scenario, &ElementRegistry::Default());
+    if (!parsed.ok()) {
+      std::cerr << parsed.FormatError(options.scenario) << "\n";
+      std::exit(2);
+    }
+    options.scenario_graph = std::move(parsed.graph);
+    options.scenario_set = true;
+  }
   return options;
+}
+
+// Records a scenario run's workload-side stats into a job record,
+// alongside the kernel counters CaptureSystem collects.
+inline void RecordScenarioStats(const ScenarioStats& stats,
+                                JobRecord* record) {
+  record->Metric("scenario.processes_spawned",
+                 static_cast<double>(stats.processes_spawned));
+  record->Metric("scenario.processes_exited",
+                 static_cast<double>(stats.processes_exited));
+  record->Metric("scenario.processes_lost",
+                 static_cast<double>(stats.processes_lost));
+  record->Metric("scenario.pages_touched",
+                 static_cast<double>(stats.pages_touched));
+  record->Metric("scenario.launches", static_cast<double>(stats.launches));
+  record->Metric("scenario.launches_incomplete",
+                 static_cast<double>(stats.launches_incomplete));
+  record->Metric("scenario.ipc_transactions",
+                 static_cast<double>(stats.ipc_transactions));
+  record->Metric("scenario.ticks_run", static_cast<double>(stats.ticks_run));
 }
 
 // Runs a bench's jobs through the driver and collects one JobRecord per
@@ -293,7 +340,9 @@ class Harness {
 
   // A job that measures one System. The harness owns the System's
   // lifecycle; `body` runs the workload and may add bench-specific
-  // metrics/labels to the record.
+  // metrics/labels to the record. With --scenario the parsed element
+  // graph runs on the System first (fleet preconditioning), then `body`
+  // measures the warmed machine.
   void AddJob(const std::string& job_name, const SystemConfig& config,
               std::function<void(System&, JobRecord&)> body) {
     const bool skip = !only_name_.empty() && config.Name() != only_name_;
@@ -304,11 +353,34 @@ class Harness {
       skipped_++;
     } else {
       const SystemConfig resolved = Resolve(config, job_name);
-      job.run = [resolved, body = std::move(body)](JobRecord* record) {
-        System system(resolved);
-        body(system, *record);
-        CaptureSystem(system, record);
-      };
+      if (options_.scenario_set) {
+        const ScenarioGraph graph = options_.scenario_graph;
+        ScenarioRunConfig run;
+        run.rng_seed = DeriveJobSeed(resolved.seed, graph.name, job_name);
+        run.scale = options_.smoke ? kScenarioSmokeScale : 1.0;
+        job.run = [resolved, graph, run,
+                   body = std::move(body)](JobRecord* record) {
+          System system(resolved);
+          ApplyScenarioChaos(graph, &system);
+          const ScenarioRunOutcome pre = RunScenarioOnSystem(
+              &system, graph, ElementRegistry::Default(), run);
+          record->Label("scenario", graph.name);
+          RecordScenarioStats(pre.stats, record);
+          if (!pre.ok()) {
+            throw std::runtime_error(
+                "scenario preconditioning failed: " +
+                (pre.status.ok() ? pre.audit_report : pre.status.message));
+          }
+          body(system, *record);
+          CaptureSystem(system, record);
+        };
+      } else {
+        job.run = [resolved, body = std::move(body)](JobRecord* record) {
+          System system(resolved);
+          body(system, *record);
+          CaptureSystem(system, record);
+        };
+      }
     }
     jobs_.push_back(std::move(job));
   }
@@ -324,13 +396,16 @@ class Harness {
   }
 
   // Applies the harness overrides to a config, exactly as AddJob would —
-  // for custom jobs that build their own Systems.
+  // for custom jobs that build their own Systems. The derived seed folds
+  // the bench name in as a length-delimited scope, so two benches whose
+  // job lists share config-key names still get decorrelated streams (and
+  // "ab"+"c" vs "a"+"bc" concatenation collisions cannot happen).
   SystemConfig Resolve(const SystemConfig& config,
                        const std::string& job_name) const {
     SystemConfig resolved =
         WithSwapMb(WithPhysMb(config, options_.phys_mb), options_.swap_mb);
     if (options_.seed_set) {
-      resolved.seed = DeriveJobSeed(options_.seed, job_name);
+      resolved.seed = DeriveJobSeed(options_.seed, bench_, job_name);
     }
     return resolved;
   }

@@ -1,54 +1,77 @@
-// Binder IPC walkthrough: the paper's Section 4.2.4 microbenchmark as an
-// API example — a client process binds to a service and calls it in a
-// tight loop, two context switches per transaction, both processes pinned
-// to one simulated core. Shows how the global bit + zygote domain turn
-// the shared libbinder pages into single TLB entries.
+// Binder IPC walkthrough, scenario-engine edition: the paper's Section
+// 4.2.4 microbenchmark as a one-line element graph — client/server pairs
+// ping-pong over the zygote-preloaded call path, two context switches
+// per transaction, both processes pinned to one simulated core. Run
+// under a ladder of configurations, it shows how the global bit + zygote
+// domain turn the shared libbinder pages into single TLB entries.
 //
 //   $ ./build/examples/binder_ipc
 
 #include <cstdio>
 
-#include "src/core/sat.h"
+#include "src/scenario/parser.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/runner.h"
 
 namespace {
 
-void RunIpc(sat::SystemConfig config, const char* note) {
+constexpr char kIpcLoop[] =
+    "set ticks 40;\n"
+    "ipc :: BinderIpcLoop(pairs 1, transactions 100, shared_pages 32, "
+    "own_pages 12, hop_pages 6);\n";
+
+void RunIpc(const sat::ScenarioGraph& graph, sat::SystemConfig config,
+            const char* note) {
   sat::System system(config);
-  sat::BinderParams params;
-  params.transactions = 4000;
-  params.warmup_transactions = 800;
+  sat::ScenarioRunConfig run;
+  run.rng_seed = config.seed;
+  const sat::ScenarioRunOutcome outcome = sat::RunScenarioOnSystem(
+      &system, graph, sat::ElementRegistry::Default(), run);
 
-  sat::BinderBenchmark bench(&system.android(), params);
-  const sat::BinderResult result = bench.Run();
-
-  const double per_txn_client =
-      static_cast<double>(result.client.itlb_stall_cycles) /
-      static_cast<double>(result.transactions);
-  const double per_txn_server =
-      static_cast<double>(result.server.itlb_stall_cycles) /
-      static_cast<double>(result.transactions);
-  std::printf("%-34s client iTLB stalls/txn: %7.1f   server: %7.1f%s\n",
-              system.name().c_str(), per_txn_client, per_txn_server, note);
+  sat::Cycles itlb_stalls = 0;
+  for (uint32_t c = 0; c < config.num_cores; ++c) {
+    itlb_stalls += system.kernel().core(c).counters().itlb_stall_cycles;
+  }
+  const double per_txn =
+      outcome.stats.ipc_transactions == 0
+          ? 0.0
+          : static_cast<double>(itlb_stalls) /
+                static_cast<double>(outcome.stats.ipc_transactions);
+  std::printf("%-34s %6llu txns   iTLB stalls/txn: %8.1f%s\n",
+              system.name().c_str(),
+              static_cast<unsigned long long>(outcome.stats.ipc_transactions),
+              per_txn, note);
 }
 
 }  // namespace
 
 int main() {
-  std::printf("Binder ping-pong, 4000 transactions, one core:\n\n");
+  const sat::ScenarioParseResult parsed = sat::ParseScenario(
+      kIpcLoop, "binder_ipc", &sat::ElementRegistry::Default());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 parsed.FormatError("binder_ipc (inline)").c_str());
+    return 2;
+  }
+
+  std::printf("Binder ping-pong as a scenario graph:\n\n%s\n",
+              parsed.graph.ToString().c_str());
 
   // The ASID dimension: without ASIDs every context switch flushes all
   // non-global TLB entries.
   sat::SystemConfig stock_no_asid = sat::ConfigByName("stock");
   stock_no_asid.asids_enabled = false;
-  RunIpc(stock_no_asid, "   <- flush on every switch");
-  RunIpc(sat::ConfigByName("stock"), "");
-  RunIpc(sat::ConfigByName("shared-ptp"), "   <- page tables shared, TLB not");
-  RunIpc(sat::ConfigByName("shared-ptp-tlb"),
+  RunIpc(parsed.graph, stock_no_asid, "   <- flush on every switch");
+  RunIpc(parsed.graph, sat::ConfigByName("stock"), "");
+  RunIpc(parsed.graph, sat::ConfigByName("shared-ptp"),
+         "   <- page tables shared, TLB not");
+  RunIpc(parsed.graph, sat::ConfigByName("shared-ptp-tlb"),
          "   <- libbinder pages: one global entry each");
 
   sat::SystemConfig shared_no_asid = sat::ConfigByName("shared-ptp-tlb");
   shared_no_asid.asids_enabled = false;
-  RunIpc(shared_no_asid, "   <- global entries survive even the flushes");
+  RunIpc(parsed.graph, shared_no_asid,
+         "   <- global entries survive even the flushes");
 
   std::printf(
       "\nThe shared-TLB configurations win because the client and server\n"

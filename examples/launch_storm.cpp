@@ -1,63 +1,77 @@
-// Launch storm: run the paper's 11-app suite back to back under all four
-// kernel/alignment configurations and watch the system-level effects —
-// page faults eliminated, page-table memory saved, and the warm-start
-// snowball (each app's faults populate the shared PTPs for the next one).
+// Launch storm, scenario-engine edition: the storm is no longer
+// hand-coded — it is a three-line element graph handed to the scenario
+// runner, executed under all four kernel/alignment configurations to
+// watch the system-level effects: page faults eliminated, page-table
+// memory saved, and the warm-start snowball (each app's faults populate
+// the shared PTPs for the next one).
 //
 //   $ ./build/examples/launch_storm
+//
+// The same graph runs from any bench binary via `--scenario file.scn`,
+// or at fleet scale via bench_scenario.
 
 #include <cstdio>
-#include <vector>
 
-#include "src/core/sat.h"
+#include "src/scenario/parser.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/runner.h"
 
 namespace {
 
-void RunStorm(const sat::SystemConfig& config) {
-  sat::System system(config);
-  sat::AppRunner runner(&system.android());
+// The whole workload, as the DSL the scenario engine parses: replay the
+// paper's 11-app suite back to back, each app exiting before the next
+// starts (its shared-PTP populations outlive it).
+constexpr char kStorm[] =
+    "set ticks 11;\n"
+    "storm :: LaunchReplay(app paper, count 11, rate 1);\n";
 
-  std::printf("--- %s ---\n", system.name().c_str());
-  std::printf("%-18s %10s %10s %12s %10s\n", "app", "faults", "inherited",
-              "PTPs alloc", "shared%");
+void RunStorm(const sat::ScenarioGraph& graph, const std::string& config) {
+  const sat::SystemConfig system_config = sat::ConfigByName(config);
+  sat::System system(system_config);
+  sat::ScenarioRunConfig run;
+  run.rng_seed = system_config.seed;
+  const sat::ScenarioRunOutcome outcome = sat::RunScenarioOnSystem(
+      &system, graph, sat::ElementRegistry::Default(), run);
 
-  uint64_t total_faults = 0;
-  uint64_t total_ptps = 0;
-  for (const sat::AppProfile& profile : sat::AppProfile::PaperBenchmarks()) {
-    const sat::AppFootprint footprint = system.workload().Generate(profile);
-    // exit_after keeps the storm realistic: each app quits before the
-    // next starts, but its shared-PTP populations outlive it.
-    const sat::AppRunStats stats = runner.Run(footprint, /*exit_after=*/true);
-    std::printf("%-18s %10llu %10u %12llu %9.0f%%\n", profile.name.c_str(),
-                static_cast<unsigned long long>(stats.file_faults),
-                stats.inherited_ptes,
-                static_cast<unsigned long long>(stats.ptps_allocated),
-                stats.SharedSlotFraction() * 100);
-    total_faults += stats.file_faults;
-    total_ptps += stats.ptps_allocated;
-  }
-  std::printf("%-18s %10llu %10s %12llu\n", "TOTAL",
-              static_cast<unsigned long long>(total_faults), "",
-              static_cast<unsigned long long>(total_ptps));
-  std::printf("page-table memory allocated over the storm: %.1f KB\n\n",
-              static_cast<double>(total_ptps) * 4.0);
+  const sat::KernelCounters& c = system.kernel().counters();
+  std::printf("%-24s %8llu launches %10llu file faults %8llu PTPs "
+              "(%6.1f KB)  audit %s\n",
+              system.name().c_str(),
+              static_cast<unsigned long long>(outcome.stats.launches),
+              static_cast<unsigned long long>(c.faults_file_backed),
+              static_cast<unsigned long long>(c.ptps_allocated),
+              static_cast<double>(c.ptps_allocated) * 4.0,
+              outcome.audit_ok ? "clean" : "VIOLATIONS");
 }
 
 }  // namespace
 
 int main() {
-  RunStorm(sat::ConfigByName("stock"));
-  RunStorm(sat::ConfigByName("shared-ptp"));
-  RunStorm(sat::ConfigByName("stock-2mb"));
-  RunStorm(sat::ConfigByName("shared-ptp-2mb"));
+  const sat::ScenarioParseResult parsed = sat::ParseScenario(
+      kStorm, "launch_storm", &sat::ElementRegistry::Default());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 parsed.FormatError("launch_storm (inline)").c_str());
+    return 2;
+  }
+
+  std::printf("The 11-app launch storm as a scenario graph:\n\n%s\n",
+              parsed.graph.ToString().c_str());
+
+  RunStorm(parsed.graph, "stock");
+  RunStorm(parsed.graph, "shared-ptp");
+  RunStorm(parsed.graph, "stock-2mb");
+  RunStorm(parsed.graph, "shared-ptp-2mb");
 
   std::printf(
-      "Things to notice:\n"
-      "  * shared configs fault far less, and their 'inherited' column\n"
-      "    grows as the storm proceeds — later apps reuse PTEs the\n"
+      "\nThings to notice:\n"
+      "  * shared configs fault far less — later apps reuse PTEs the\n"
       "    earlier ones faulted into the shared PTPs (Table 3's warm\n"
       "    start);\n"
       "  * the 2MB layouts allocate more PTPs in the stock kernel (data\n"
       "    segments get their own slots) but keep a larger fraction of\n"
-      "    them shared (Figure 12).\n");
+      "    them shared (Figure 12);\n"
+      "  * the same graph text drives bench_scenario at fleet scale, and\n"
+      "    any bench binary accepts it via --scenario.\n");
   return 0;
 }

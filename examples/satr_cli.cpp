@@ -7,6 +7,7 @@
 //   satr_cli ipc    [config flags]          binder ping-pong
 //   satr_cli smaps  [config flags]          smaps report for a fresh app
 //   satr_cli reclaim --pages N [flags]      page-cache reclaim pass
+//   satr_cli scenario FILE.scn [--check]    run (or just validate) a graph
 //
 // Config flags: --share-ptps --share-tlb --2mb --copy-ptes --no-asids
 //               --large-pages --cores N --fault-around N
@@ -14,6 +15,7 @@
 //
 //   $ ./build/examples/satr_cli fork --share-ptps --share-tlb
 //   $ ./build/examples/satr_cli steady --app "Google Calendar" --share-ptps
+//   $ ./build/examples/satr_cli scenario scenarios/chaos_soak.scn
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +24,9 @@
 #include <vector>
 
 #include "src/core/sat.h"
+#include "src/scenario/parser.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/runner.h"
 
 namespace {
 
@@ -30,12 +35,15 @@ struct Cli {
   sat::SystemConfig config;
   std::string app = "Email";
   uint32_t pages = 200;
+  std::string scenario_file;
+  bool check_only = false;
 };
 
 void Usage() {
   std::fprintf(
       stderr,
       "usage: satr_cli <fork|launch|steady|ipc|smaps|reclaim> [flags]\n"
+      "       satr_cli scenario FILE.scn [--check]\n"
       "flags: --share-ptps --share-tlb --2mb --copy-ptes --no-asids\n"
       "       --large-pages --cores N --fault-around N\n"
       "       --isolation {domains|mpk|flush} --app NAME --pages N\n");
@@ -50,6 +58,14 @@ Cli Parse(int argc, char** argv) {
   cli.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (cli.command == "scenario" && !flag.empty() && flag[0] != '-') {
+      cli.scenario_file = flag;
+      continue;
+    }
+    if (cli.command == "scenario" && flag == "--check") {
+      cli.check_only = true;
+      continue;
+    }
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
         Usage();
@@ -203,10 +219,70 @@ int RunReclaim(const Cli& cli) {
   return 0;
 }
 
+// Parse, validate, and (unless --check) run one shard of a scenario
+// graph. Parse errors come out errno-style with line:column, exactly as
+// the engine reports them:
+//
+//   scenarios/bad.scn:3:9: error: unknown element kind 'Storm' (EFAULT)
+int RunScenario(const Cli& cli) {
+  if (cli.scenario_file.empty()) {
+    Usage();
+  }
+  const sat::ElementRegistry& registry = sat::ElementRegistry::Default();
+  const sat::ScenarioParseResult parsed =
+      sat::ParseScenarioFile(cli.scenario_file, &registry);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 parsed.FormatError(cli.scenario_file).c_str());
+    return 2;
+  }
+  std::printf("%s: parsed OK\n\n%s\n", cli.scenario_file.c_str(),
+              parsed.graph.ToString().c_str());
+  if (cli.check_only) {
+    return 0;
+  }
+
+  sat::SystemConfig config = sat::ScenarioSystemConfig(parsed.graph);
+  sat::System system(config);
+  sat::ScenarioRunConfig run;
+  run.rng_seed = config.seed;
+  sat::ApplyScenarioChaos(parsed.graph, &system);
+  const sat::ScenarioRunOutcome outcome =
+      sat::RunScenarioOnSystem(&system, parsed.graph, registry, run);
+  if (!outcome.status.ok()) {
+    std::fprintf(stderr, "scenario failed: %s (%s)\n",
+                 outcome.status.message.c_str(),
+                 sat::ErrnoName(outcome.status.error));
+    return 1;
+  }
+  const sat::ScenarioStats& s = outcome.stats;
+  std::printf("%s\n", system.name().c_str());
+  std::printf("ticks %llu  spawned %llu  exited %llu  lost %llu\n",
+              static_cast<unsigned long long>(s.ticks_run),
+              static_cast<unsigned long long>(s.processes_spawned),
+              static_cast<unsigned long long>(s.processes_exited),
+              static_cast<unsigned long long>(s.processes_lost));
+  std::printf("pages touched %llu  launches %llu  ipc txns %llu\n",
+              static_cast<unsigned long long>(s.pages_touched),
+              static_cast<unsigned long long>(s.launches),
+              static_cast<unsigned long long>(s.ipc_transactions));
+  std::printf("audit: %s (%llu checks)\n",
+              outcome.audit_ok ? "clean" : "VIOLATIONS",
+              static_cast<unsigned long long>(outcome.audit_checks));
+  if (!outcome.audit_ok) {
+    std::printf("%s", outcome.audit_report.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli = Parse(argc, argv);
+  if (cli.command == "scenario") {
+    return RunScenario(cli);
+  }
   if (cli.command == "fork") {
     return RunFork(cli);
   }

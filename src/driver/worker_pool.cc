@@ -28,6 +28,33 @@ uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view job_name) {
   return hash == 0 ? 1 : hash;
 }
 
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view scope,
+                       std::string_view job_name) {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](uint64_t byte) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&mix](uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      mix((value >> shift) & 0xff);
+    }
+  };
+  // Each string component is preceded by its length, so component
+  // boundaries are unambiguous: ("ab","c") and ("a","bc") hash the byte
+  // streams 2,a,b,1,c and 1,a,2,b,c — different, as required.
+  mix_u64(base_seed);
+  mix_u64(scope.size());
+  for (const char c : scope) {
+    mix(static_cast<unsigned char>(c));
+  }
+  mix_u64(job_name.size());
+  for (const char c : job_name) {
+    mix(static_cast<unsigned char>(c));
+  }
+  return hash == 0 ? 1 : hash;
+}
+
 WorkerPool::WorkerPool(uint32_t jobs) {
   const uint32_t count = std::max(1u, jobs);
   workers_.reserve(count);

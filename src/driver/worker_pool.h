@@ -33,6 +33,15 @@ uint32_t HardwareJobs();
 // scheduling. Used by the bench harness when an explicit --seed is given.
 uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view job_name);
 
+// Scoped variant: folds a scope (the bench or scenario name) and the job
+// name as two *length-delimited* components, so ("ab", "c") and
+// ("a", "bc") derive different seeds — plain concatenation would collide
+// for every pair of jobs whose scope+name strings merely concatenate
+// equal. The bench harness passes its bench name as the scope, so two
+// benches sharing a config-key job list still get decorrelated streams.
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view scope,
+                       std::string_view job_name);
+
 // A fixed-size pool. Submit() enqueues a task; Wait() blocks until every
 // submitted task has finished. With `jobs` == 1 the pool still runs its
 // single worker thread — callers wanting strictly in-process execution

@@ -1,0 +1,169 @@
+#include "src/scenario/element.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace sat {
+
+// ---------------------------------------------------------------------------
+// ParamReader
+// ---------------------------------------------------------------------------
+
+const ElementParam* ParamReader::Take(std::string_view key) {
+  for (size_t i = 0; i < params_.items.size(); ++i) {
+    if (params_.items[i].key == key) {
+      seen_[i] = true;
+      return &params_.items[i];
+    }
+  }
+  return nullptr;
+}
+
+void ParamReader::BadValue(const ElementParam& param,
+                           std::string_view expected) {
+  if (first_error_.empty()) {
+    first_error_ = "parameter '" + param.key + "' expects " +
+                   std::string(expected) + ", got '" + param.value + "'";
+  }
+}
+
+uint64_t ParamReader::U64(std::string_view key, uint64_t fallback) {
+  const ElementParam* param = Take(key);
+  if (param == nullptr) {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(param->value.c_str(), &end, 10);
+  if (errno != 0 || end == param->value.c_str() || *end != '\0') {
+    BadValue(*param, "an unsigned integer");
+    return fallback;
+  }
+  return static_cast<uint64_t>(v);
+}
+
+double ParamReader::F64(std::string_view key, double fallback) {
+  const ElementParam* param = Take(key);
+  if (param == nullptr) {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(param->value.c_str(), &end);
+  if (errno != 0 || end == param->value.c_str() || *end != '\0') {
+    BadValue(*param, "a number");
+    return fallback;
+  }
+  return v;
+}
+
+bool ParamReader::Bool(std::string_view key, bool fallback) {
+  const ElementParam* param = Take(key);
+  if (param == nullptr) {
+    return fallback;
+  }
+  if (param->value == "true" || param->value == "1") {
+    return true;
+  }
+  if (param->value == "false" || param->value == "0") {
+    return false;
+  }
+  BadValue(*param, "true or false");
+  return fallback;
+}
+
+std::string ParamReader::Str(std::string_view key, std::string_view fallback) {
+  const ElementParam* param = Take(key);
+  return param == nullptr ? std::string(fallback) : param->value;
+}
+
+ScenarioResult ParamReader::Finish() const {
+  if (!first_error_.empty()) {
+    return ScenarioResult::Err(Errno::kEinval, first_error_);
+  }
+  for (size_t i = 0; i < params_.items.size(); ++i) {
+    if (!seen_[i]) {
+      return ScenarioResult::Err(
+          Errno::kEinval, "unknown parameter '" + params_.items[i].key + "'");
+    }
+  }
+  return ScenarioResult::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioContext
+// ---------------------------------------------------------------------------
+
+Task* ScenarioContext::SpawnProcess(const std::string& name) {
+  Task* task = system_->android().ForkApp(name);
+  if (task == nullptr) {
+    return nullptr;
+  }
+  processes_.push_back(task);
+  stats_.processes_spawned++;
+  // Spread the population over the simulated cores so multi-core
+  // scenarios exercise cross-core shootdowns, not just core 0.
+  const uint32_t core = next_core_;
+  next_core_ = (next_core_ + 1) % kernel().num_cores();
+  kernel().SetCurrent(*task, core);
+  return task;
+}
+
+Task* ScenarioContext::SpawnChild(Task& parent, const std::string& name) {
+  const ForkOutcome outcome = kernel().Fork(parent, name);
+  if (!outcome.ok()) {
+    return nullptr;
+  }
+  processes_.push_back(outcome.child);
+  stats_.processes_spawned++;
+  const uint32_t core = next_core_;
+  next_core_ = (next_core_ + 1) % kernel().num_cores();
+  kernel().SetCurrent(*outcome.child, core);
+  return outcome.child;
+}
+
+AppRunner& ScenarioContext::app_runner() {
+  if (app_runner_ == nullptr) {
+    app_runner_ = std::make_unique<AppRunner>(&system_->android());
+  }
+  return *app_runner_;
+}
+
+void ScenarioContext::ExitProcess(Task* task) {
+  if (task == nullptr) {
+    return;
+  }
+  if (!task->alive) {
+    // The OOM killer or an oops got there first; the kernel already
+    // counted that death, the element just loses the handle.
+    return;
+  }
+  kernel().Exit(*task);
+  stats_.processes_exited++;
+}
+
+void ScenarioContext::ExitAll() {
+  for (Task* task : processes_) {
+    if (task->alive) {
+      kernel().Exit(*task);
+      stats_.processes_exited++;
+    } else if (!task->oom_killed && !task->oops_killed) {
+      // Exited by an element on purpose — already counted.
+    } else {
+      stats_.processes_lost++;
+    }
+  }
+  processes_.clear();
+}
+
+uint32_t ScenarioContext::live_processes() const {
+  uint32_t live = 0;
+  for (const Task* task : processes_) {
+    if (task->alive) {
+      live++;
+    }
+  }
+  return live;
+}
+
+}  // namespace sat

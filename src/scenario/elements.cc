@@ -1,0 +1,846 @@
+// The built-in workload element library (DESIGN.md 5k).
+//
+// Each element is a small, composable piece of fleet behaviour:
+//
+//   SpawnStorm    app-server request storm: short-lived worker processes
+//   ForkBomb      a uFork-style fork tree under a live-process cap
+//   MemoryChurn   random read/write churn over per-process anon regions
+//   BinderIpcLoop client/server ping-pong over the shared libbinder path
+//   LaunchReplay  the paper's app-launch replays behind the element API
+//   SwapThrash    sequential walks over working sets larger than DRAM
+//   DiurnalLoad   a day-shaped (triangle-wave) spawn-rate modulator
+//
+// Population parameters (count, procs, pairs, forks) are scenario-wide:
+// each shard takes its ShardShare, so the shard set sums to the declared
+// fleet no matter how it is split. Everything random draws from the
+// shard's ScenarioRng — never from std:: distributions or the wall clock.
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/scenario/registry.h"
+
+namespace sat {
+namespace {
+
+// Allocates and maps a scattered anonymous region for one process, the
+// way real Android heaps land (2 MB-aligned spots, own PTP slots).
+// Returns 0 when physical memory stayed exhausted after reclaim/OOM.
+VirtAddr MapAnonRegion(ScenarioContext& ctx, Task& task, uint32_t pages,
+                       bool mergeable, const std::string& name) {
+  const auto spot = task.mm->FindFreeRangeAligned(
+      pages * kPageSize, kPtpSpan, 0x10000000, 0xB0000000);
+  if (!spot.has_value()) {
+    return 0;
+  }
+  MmapRequest request;
+  request.length = pages * kPageSize;
+  request.prot = VmProt::ReadWrite();
+  request.kind = VmKind::kAnonPrivate;
+  request.fixed_address = *spot;
+  request.mergeable = mergeable;
+  request.name = name;
+  return ctx.kernel().Mmap(task, request).value;
+}
+
+// A spawned process plus the tick it was born — the lifetime-managed
+// pool SpawnStorm and DiurnalLoad share.
+struct AgedProc {
+  Task* task = nullptr;
+  uint32_t born = 0;
+};
+
+void PruneDeadAged(std::vector<AgedProc>* pool) {
+  size_t kept = 0;
+  for (const AgedProc& entry : *pool) {
+    if (entry.task->alive) {
+      (*pool)[kept++] = entry;
+    }
+  }
+  pool->resize(kept);
+}
+
+// ---------------------------------------------------------------------------
+// SpawnStorm: a request storm of short-lived worker processes. Forks
+// `rate` workers per tick from the zygote until `count` have run; each
+// touches `touch_pages` anonymous pages, lives `lifetime` ticks, exits.
+// ---------------------------------------------------------------------------
+
+class SpawnStorm : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "SpawnStorm"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    count_ = reader.U64("count", 200);
+    rate_ = reader.U64("rate", 20);
+    lifetime_ = static_cast<uint32_t>(reader.U64("lifetime", 3));
+    touch_pages_ = static_cast<uint32_t>(reader.U64("touch_pages", 16));
+    return reader.Finish();
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      target_ = ctx.ShardShare(ctx.Scaled(count_));
+    }
+    PruneDeadAged(&pool_);
+    uint64_t budget = ctx.Scaled(rate_);
+    while (budget > 0 && spawned_ < target_) {
+      budget--;
+      Task* task = ctx.SpawnProcess(name() + "#" + std::to_string(spawned_));
+      spawned_++;
+      if (task == nullptr) {
+        continue;  // fleet-scale runs tolerate ENOMEM forks
+      }
+      if (touch_pages_ > 0 && task->alive) {
+        const VirtAddr base =
+            MapAnonRegion(ctx, *task, touch_pages_, false, name() + ":heap");
+        for (uint32_t p = 0; base != 0 && task->alive && p < touch_pages_;
+             ++p) {
+          ctx.kernel().WritePage(*task, base + p * kPageSize, ctx.rng().Next64());
+          ctx.stats().pages_touched++;
+        }
+      }
+      if (task->alive) {
+        pool_.push_back(AgedProc{task, ctx.tick()});
+        PushDownstream(ctx, task);
+      }
+    }
+    // Retire workers whose lifetime expired (oldest first; the pool is in
+    // birth order).
+    size_t kept = 0;
+    for (AgedProc& entry : pool_) {
+      if (ctx.tick() >= entry.born + lifetime_) {
+        ctx.ExitProcess(entry.task);
+      } else {
+        pool_[kept++] = entry;
+      }
+    }
+    pool_.resize(kept);
+  }
+
+  bool Done(const ScenarioContext&) const override {
+    return started_ && spawned_ >= target_ && pool_.empty();
+  }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t rate_ = 0;
+  uint32_t lifetime_ = 0;
+  uint32_t touch_pages_ = 0;
+  bool started_ = false;
+  uint64_t target_ = 0;
+  uint64_t spawned_ = 0;
+  std::vector<AgedProc> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// ForkBomb: a uFork-style fork tree. Spends a total budget of `forks`,
+// `rate` per tick: each step takes the oldest live tree node, forks
+// `fanout` children from it (each touching `touch_pages` pages), then
+// exits the parent. The live tree never exceeds `cap` processes — the
+// fleet analogue of RLIMIT_NPROC, and what keeps the 8-bit ASID space
+// honest at 10k-fork scale.
+// ---------------------------------------------------------------------------
+
+class ForkBomb : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "ForkBomb"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    forks_ = reader.U64("forks", 1000);
+    fanout_ = reader.U64("fanout", 2);
+    rate_ = reader.U64("rate", 64);
+    cap_ = reader.U64("cap", 48);
+    touch_pages_ = static_cast<uint32_t>(reader.U64("touch_pages", 4));
+    ScenarioResult result = reader.Finish();
+    if (result.ok() && fanout_ == 0) {
+      result = ScenarioResult::Err(Errno::kEinval, "fanout must be >= 1");
+    }
+    return result;
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      budget_ = ctx.ShardShare(ctx.Scaled(forks_));
+    }
+    PruneFrontier();
+    uint64_t tick_budget = ctx.Scaled(rate_);
+    while (tick_budget > 0 && budget_ > 0) {
+      if (frontier_.empty()) {
+        Task* root = ctx.SpawnProcess(name() + "#" + std::to_string(spawned_));
+        spawned_++;
+        budget_--;
+        tick_budget--;
+        if (root != nullptr) {
+          TouchAndPush(ctx, root);
+          frontier_.push_back(root);
+        }
+        continue;
+      }
+      Task* parent = frontier_.front();
+      frontier_.pop_front();
+      if (!parent->alive) {
+        continue;
+      }
+      for (uint64_t i = 0; i < fanout_ && budget_ > 0 && tick_budget > 0;
+           ++i) {
+        Task* child =
+            ctx.SpawnChild(*parent, name() + "#" + std::to_string(spawned_));
+        spawned_++;
+        budget_--;
+        tick_budget--;
+        if (child != nullptr && child->alive) {
+          TouchAndPush(ctx, child);
+          frontier_.push_back(child);
+        }
+      }
+      ctx.ExitProcess(parent);
+      while (frontier_.size() > cap_) {
+        ctx.ExitProcess(frontier_.front());
+        frontier_.pop_front();
+      }
+    }
+    if (budget_ == 0) {
+      // Budget spent: drain the remaining tree, `rate` exits per tick.
+      uint64_t drain = ctx.Scaled(rate_);
+      while (drain > 0 && !frontier_.empty()) {
+        ctx.ExitProcess(frontier_.front());
+        frontier_.pop_front();
+        drain--;
+      }
+    }
+  }
+
+  bool Done(const ScenarioContext&) const override {
+    return started_ && budget_ == 0 && frontier_.empty();
+  }
+
+ private:
+  void TouchAndPush(ScenarioContext& ctx, Task* task) {
+    if (touch_pages_ > 0) {
+      const VirtAddr base =
+          MapAnonRegion(ctx, *task, touch_pages_, false, name() + ":heap");
+      for (uint32_t p = 0; base != 0 && task->alive && p < touch_pages_; ++p) {
+        ctx.kernel().WritePage(*task, base + p * kPageSize, ctx.rng().Next64());
+        ctx.stats().pages_touched++;
+      }
+    }
+    if (task->alive) {
+      PushDownstream(ctx, task);
+    }
+  }
+
+  void PruneFrontier() {
+    std::deque<Task*> kept;
+    for (Task* task : frontier_) {
+      if (task->alive) {
+        kept.push_back(task);
+      }
+    }
+    frontier_.swap(kept);
+  }
+
+  uint64_t forks_ = 0;
+  uint64_t fanout_ = 0;
+  uint64_t rate_ = 0;
+  uint64_t cap_ = 0;
+  uint32_t touch_pages_ = 0;
+  bool started_ = false;
+  uint64_t budget_ = 0;
+  uint64_t spawned_ = 0;
+  std::deque<Task*> frontier_;
+};
+
+// ---------------------------------------------------------------------------
+// MemoryChurn: random churn over a per-process anonymous region. Adopts
+// every process pushed to it (and forwards it on); with `procs` set it
+// also sources its own fixed population. `dirty` of the `touches` per
+// process per tick are writes drawn from `values` distinct contents —
+// small value spaces give KSM something to merge.
+// ---------------------------------------------------------------------------
+
+class MemoryChurn : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "MemoryChurn"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    pages_ = static_cast<uint32_t>(reader.U64("pages", 256));
+    touches_ = reader.U64("touches", 64);
+    dirty_ = reader.F64("dirty", 0.5);
+    values_ = reader.U64("values", 16);
+    procs_ = reader.U64("procs", 0);
+    mergeable_ = reader.Bool("mergeable", false);
+    ScenarioResult result = reader.Finish();
+    if (result.ok() && (dirty_ < 0.0 || dirty_ > 1.0)) {
+      result = ScenarioResult::Err(Errno::kEinval, "dirty must be in [0, 1]");
+    }
+    if (result.ok() && pages_ == 0) {
+      result = ScenarioResult::Err(Errno::kEinval, "pages must be >= 1");
+    }
+    return result;
+  }
+
+  void Push(ScenarioContext& ctx, Task* task) override {
+    Adopt(ctx, task);
+    PushDownstream(ctx, task);
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      const uint64_t own = ctx.ShardShare(ctx.Scaled(procs_));
+      for (uint64_t i = 0; i < own; ++i) {
+        Task* task = ctx.SpawnProcess(name() + "#" + std::to_string(i));
+        if (task != nullptr) {
+          Adopt(ctx, task);
+          PushDownstream(ctx, task);
+        }
+      }
+    }
+    Prune();
+    const uint64_t touches = ctx.Scaled(touches_);
+    for (Entry& entry : pool_) {
+      for (uint64_t t = 0; t < touches && entry.task->alive; ++t) {
+        const VirtAddr va =
+            entry.base +
+            static_cast<uint32_t>(ctx.rng().Uniform(pages_)) * kPageSize;
+        if (ctx.rng().Chance(dirty_)) {
+          ctx.kernel().WritePage(*entry.task, va,
+                                 ctx.rng().Uniform(values_ == 0 ? 1 : values_));
+        } else {
+          ctx.kernel().TouchPage(*entry.task, va, AccessType::kRead);
+        }
+        ctx.stats().pages_touched++;
+      }
+    }
+  }
+
+  bool Done(const ScenarioContext&) const override {
+    // A self-sourced churn population has no natural end: run the
+    // configured ticks. As a pure sink it never holds the run open.
+    return procs_ == 0;
+  }
+
+ private:
+  struct Entry {
+    Task* task = nullptr;
+    VirtAddr base = 0;
+  };
+
+  void Adopt(ScenarioContext& ctx, Task* task) {
+    if (task == nullptr || !task->alive) {
+      return;
+    }
+    const VirtAddr base =
+        MapAnonRegion(ctx, *task, pages_, mergeable_, name() + ":churn");
+    if (base == 0) {
+      return;
+    }
+    pool_.push_back(Entry{task, base});
+  }
+
+  void Prune() {
+    size_t kept = 0;
+    for (const Entry& entry : pool_) {
+      if (entry.task->alive) {
+        pool_[kept++] = entry;
+      }
+    }
+    pool_.resize(kept);
+  }
+
+  uint32_t pages_ = 0;
+  uint64_t touches_ = 0;
+  double dirty_ = 0.0;
+  uint64_t values_ = 0;
+  uint64_t procs_ = 0;
+  bool mergeable_ = false;
+  bool started_ = false;
+  std::vector<Entry> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// BinderIpcLoop: `pairs` client/server process pairs ping-ponging
+// `transactions` times per tick over the zygote-preloaded call path (the
+// Section 4.2.4 shape: both sides pinned to one core, two context
+// switches per transaction, shared libbinder pages at identical VAs).
+// ---------------------------------------------------------------------------
+
+class BinderIpcLoop : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "BinderIpcLoop"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    pairs_ = reader.U64("pairs", 2);
+    transactions_ = reader.U64("transactions", 25);
+    shared_pages_ = static_cast<uint32_t>(reader.U64("shared_pages", 32));
+    own_pages_ = static_cast<uint32_t>(reader.U64("own_pages", 12));
+    hop_pages_ = static_cast<uint32_t>(reader.U64("hop_pages", 6));
+    return reader.Finish();
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      Setup(ctx);
+    }
+    Prune();
+    const uint64_t transactions = ctx.Scaled(transactions_);
+    for (Pair& pair : pairs_live_) {
+      const uint32_t core = pair.client.task->last_core;
+      for (uint64_t t = 0; t < transactions && pair.client.task->alive &&
+                           pair.server.task->alive;
+           ++t) {
+        ctx.kernel().ScheduleTo(*pair.client.task, core);
+        Hop(ctx, pair.client, pair.shared);
+        if (!pair.client.task->alive || !pair.server.task->alive) {
+          break;
+        }
+        ctx.kernel().ScheduleTo(*pair.server.task, core);
+        Hop(ctx, pair.server, pair.shared);
+        ctx.stats().ipc_transactions++;
+      }
+    }
+  }
+
+  // A perpetual driver: the run length is the scenario's `ticks`.
+  bool Done(const ScenarioContext&) const override {
+    return pairs_live_.empty() && started_;
+  }
+
+ private:
+  // One endpoint: its process, a parcel buffer, and its private code —
+  // the .odex pages that feel the TLB capacity pressure (the shared
+  // zygote call path rides 1MB sections, so it is nearly free of
+  // per-page iTLB traffic; the private code is not).
+  struct Side {
+    Task* task = nullptr;
+    VirtAddr parcel = 0;
+    std::vector<VirtAddr> code;
+    size_t cursor = 0;
+  };
+  struct Pair {
+    Side client;
+    Side server;
+    std::vector<VirtAddr> shared;
+  };
+
+  void Setup(ScenarioContext& ctx) {
+    const uint64_t want = ctx.ShardShare(ctx.Scaled(pairs_));
+    const AppFootprint& boot = ctx.system().android().zygote_boot_footprint();
+    LibraryCatalog& catalog = ctx.system().android().catalog();
+    DynamicLoader& loader = ctx.system().android().loader();
+    for (uint64_t i = 0; i < want; ++i) {
+      Pair pair;
+      pair.client.task =
+          ctx.SpawnProcess(name() + ":client#" + std::to_string(i));
+      pair.server.task =
+          ctx.SpawnProcess(name() + ":server#" + std::to_string(i));
+      if (pair.client.task == nullptr || pair.server.task == nullptr) {
+        continue;
+      }
+      // The shared call path: a slice of the zygote's boot footprint,
+      // identical VAs in both processes. Different pairs use different
+      // slices so the fleet touches more of libbinder/libc.
+      const uint32_t avail = static_cast<uint32_t>(boot.pages.size());
+      const uint32_t base_index =
+          avail == 0 ? 0
+                     : static_cast<uint32_t>(ctx.rng().Uniform(avail));
+      for (uint32_t p = 0; p < shared_pages_ && avail > 0; ++p) {
+        const TouchedPage& page = boot.pages[(base_index + p) % avail];
+        pair.shared.push_back(
+            ctx.system().android().CodePageVa(page.lib, page.page_index));
+      }
+      // Private code, the binder microbenchmark's layout: the client's
+      // hot functions at a coarse 8-page stride (section-padded .text),
+      // the server's handler a tight 2-page strided loop. These are the
+      // per-ASID TLB entries a context switch puts at risk.
+      if (own_pages_ > 0) {
+        const LibraryId client_lib = catalog.Register(
+            name() + ":client#" + std::to_string(i) + ".odex",
+            CodeCategory::kPrivateCode, std::max(own_pages_ * 8, 8u), 8);
+        const LibraryId server_lib = catalog.Register(
+            name() + ":server#" + std::to_string(i) + ".odex",
+            CodeCategory::kPrivateCode, std::max(own_pages_ * 2 + 2, 8u), 8);
+        const MappedLibrary client_code =
+            loader.MapAppLibrary(*pair.client.task, client_lib);
+        const MappedLibrary server_code =
+            loader.MapAppLibrary(*pair.server.task, server_lib);
+        for (uint32_t p = 0; p < own_pages_; ++p) {
+          pair.client.code.push_back(client_code.code_base +
+                                     p * 8 * kPageSize);
+          pair.server.code.push_back(server_code.code_base +
+                                     (2 * p + 1) * kPageSize);
+        }
+      }
+      pair.client.parcel = MapAnonRegion(ctx, *pair.client.task,
+                                         kParcelPages, false,
+                                         name() + ":parcel");
+      pair.server.parcel = MapAnonRegion(ctx, *pair.server.task,
+                                         kParcelPages, false,
+                                         name() + ":parcel");
+      if (pair.client.task->alive && pair.server.task->alive) {
+        pairs_live_.push_back(std::move(pair));
+        PushDownstream(ctx, pairs_live_.back().client.task);
+        PushDownstream(ctx, pairs_live_.back().server.task);
+      }
+    }
+  }
+
+  // One binder hop through the core model: instruction fetches over the
+  // shared call path and a sliding window of the endpoint's private
+  // code, plus a parcel write. Fetches fault through the kernel's abort
+  // handler, so no explicit TouchPage is needed.
+  void Hop(ScenarioContext& ctx, Side& side, const std::vector<VirtAddr>& shared) {
+    Task& task = *side.task;
+    Core& core = ctx.kernel().core(task.last_core);
+    for (uint32_t p = 0; p < hop_pages_ && task.alive && !shared.empty();
+         ++p) {
+      const VirtAddr va = shared[ctx.rng().Uniform(shared.size())];
+      core.FetchBurst(va, /*burst_len=*/4);
+      ctx.stats().pages_touched++;
+    }
+    for (uint32_t p = 0; p < hop_pages_ && task.alive && !side.code.empty();
+         ++p) {
+      const VirtAddr va = side.code[side.cursor % side.code.size()];
+      side.cursor++;
+      core.FetchBurst(va, /*burst_len=*/4);
+      ctx.stats().pages_touched++;
+    }
+    if (side.parcel != 0 && task.alive) {
+      const VirtAddr va =
+          side.parcel +
+          static_cast<uint32_t>(ctx.rng().Uniform(kParcelPages)) * kPageSize;
+      ctx.kernel().WritePage(task, va, ctx.rng().Next64());
+      core.Load(va);
+      ctx.stats().pages_touched++;
+    }
+  }
+
+  void Prune() {
+    size_t kept = 0;
+    for (size_t i = 0; i < pairs_live_.size(); ++i) {
+      if (pairs_live_[i].client.task->alive &&
+          pairs_live_[i].server.task->alive) {
+        if (kept != i) {
+          pairs_live_[kept] = std::move(pairs_live_[i]);
+        }
+        kept++;
+      }
+    }
+    pairs_live_.resize(kept);
+  }
+
+  static constexpr uint32_t kParcelPages = 16;
+
+  uint64_t pairs_ = 0;
+  uint64_t transactions_ = 0;
+  uint32_t shared_pages_ = 0;
+  uint32_t own_pages_ = 0;
+  uint32_t hop_pages_ = 0;
+  bool started_ = false;
+  std::vector<Pair> pairs_live_;
+};
+
+// ---------------------------------------------------------------------------
+// LaunchReplay: the pre-existing app-launch replay machinery
+// (WorkloadFactory + AppRunner) behind the element API. Launches `rate`
+// apps per tick, `count` in total, cycling through the paper's 11-app
+// suite (or one named app); every launch is a complete fork -> map ->
+// replay -> exit execution with a fresh footprint seed.
+// ---------------------------------------------------------------------------
+
+class LaunchReplay : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "LaunchReplay"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    app_ = reader.Str("app", "paper");
+    count_ = reader.U64("count", 20);
+    rate_ = reader.U64("rate", 2);
+    ScenarioResult result = reader.Finish();
+    if (!result.ok()) {
+      return result;
+    }
+    profiles_ = AppProfile::PaperBenchmarks();
+    if (app_ != "paper") {
+      bool known = false;
+      for (const AppProfile& profile : profiles_) {
+        if (profile.name == app_) {
+          profiles_ = {profile};
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return ScenarioResult::Err(
+            Errno::kEfault,
+            "unknown app '" + app_ + "' (use \"paper\" or a suite app name)");
+      }
+    }
+    return result;
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      target_ = ctx.ShardShare(ctx.Scaled(count_));
+    }
+    uint64_t budget = ctx.Scaled(rate_);
+    while (budget > 0 && launched_ < target_) {
+      budget--;
+      AppProfile profile = profiles_[launched_ % profiles_.size()];
+      // Every launch gets its own footprint variation, like a fleet of
+      // distinct users running distinct sessions of the same app.
+      profile.seed = ctx.rng().Next64();
+      const AppFootprint footprint =
+          ctx.system().workload().Generate(profile);
+      const AppRunStats run =
+          ctx.app_runner().Run(footprint, /*exit_after=*/true);
+      launched_++;
+      ctx.stats().launches++;
+      if (!run.completed) {
+        ctx.stats().launches_incomplete++;
+      }
+    }
+  }
+
+  bool Done(const ScenarioContext&) const override {
+    return started_ && launched_ >= target_;
+  }
+
+ private:
+  std::string app_;
+  uint64_t count_ = 0;
+  uint64_t rate_ = 0;
+  std::vector<AppProfile> profiles_;
+  bool started_ = false;
+  uint64_t target_ = 0;
+  uint64_t launched_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SwapThrash: sequential walks over per-process working sets sized past
+// what DRAM can hold (pair with `set phys_mb` / `set swap_mb`). Each
+// page gets a distinct content stamp, so the zram store sees realistic,
+// poorly-deduplicating data while the LRU cycles.
+// ---------------------------------------------------------------------------
+
+class SwapThrash : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "SwapThrash"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    pages_ = static_cast<uint32_t>(reader.U64("pages", 1024));
+    touches_ = reader.U64("touches", 256);
+    stride_ = static_cast<uint32_t>(reader.U64("stride", 1));
+    procs_ = reader.U64("procs", 0);
+    ScenarioResult result = reader.Finish();
+    if (result.ok() && (pages_ == 0 || stride_ == 0)) {
+      result =
+          ScenarioResult::Err(Errno::kEinval, "pages and stride must be >= 1");
+    }
+    return result;
+  }
+
+  void Push(ScenarioContext& ctx, Task* task) override {
+    Adopt(ctx, task);
+    PushDownstream(ctx, task);
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      const uint64_t own = ctx.ShardShare(ctx.Scaled(procs_));
+      for (uint64_t i = 0; i < own; ++i) {
+        Task* task = ctx.SpawnProcess(name() + "#" + std::to_string(i));
+        if (task != nullptr) {
+          Adopt(ctx, task);
+          PushDownstream(ctx, task);
+        }
+      }
+    }
+    Prune();
+    const uint64_t touches = ctx.Scaled(touches_);
+    for (Entry& entry : pool_) {
+      for (uint64_t t = 0; t < touches && entry.task->alive; ++t) {
+        const uint32_t page = entry.cursor % pages_;
+        entry.cursor += stride_;
+        // Content = the page's index: stable across revisits (clean
+        // swap-cache hits possible), distinct across pages (no trivial
+        // KSM merging).
+        ctx.kernel().WritePage(*entry.task, entry.base + page * kPageSize,
+                               0x5A700000ull + page);
+        ctx.stats().pages_touched++;
+      }
+    }
+  }
+
+  bool Done(const ScenarioContext&) const override { return procs_ == 0; }
+
+ private:
+  struct Entry {
+    Task* task = nullptr;
+    VirtAddr base = 0;
+    uint32_t cursor = 0;
+  };
+
+  void Adopt(ScenarioContext& ctx, Task* task) {
+    if (task == nullptr || !task->alive) {
+      return;
+    }
+    const VirtAddr base =
+        MapAnonRegion(ctx, *task, pages_, false, name() + ":thrash");
+    if (base == 0) {
+      return;
+    }
+    pool_.push_back(Entry{task, base, 0});
+  }
+
+  void Prune() {
+    size_t kept = 0;
+    for (const Entry& entry : pool_) {
+      if (entry.task->alive) {
+        pool_[kept++] = entry;
+      }
+    }
+    pool_.resize(kept);
+  }
+
+  uint32_t pages_ = 0;
+  uint64_t touches_ = 0;
+  uint32_t stride_ = 0;
+  uint64_t procs_ = 0;
+  bool started_ = false;
+  std::vector<Entry> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// DiurnalLoad: a day-shaped spawn source. The per-tick spawn rate is a
+// triangle wave from `trough` to `peak` over `period` ticks (integer
+// arithmetic only — no libm, bit-identical everywhere). Spawned
+// processes touch a few pages, get pushed downstream, and exit after
+// `lifetime` ticks, so downstream elements see the population swell and
+// shrink the way a phone fleet's evening does.
+// ---------------------------------------------------------------------------
+
+class DiurnalLoad : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "DiurnalLoad"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    period_ = static_cast<uint32_t>(reader.U64("period", 48));
+    peak_ = reader.U64("peak", 8);
+    trough_ = reader.U64("trough", 1);
+    lifetime_ = static_cast<uint32_t>(reader.U64("lifetime", 6));
+    touch_pages_ = static_cast<uint32_t>(reader.U64("touch_pages", 8));
+    count_ = reader.U64("count", 0);  // 0 = unbounded (run the ticks out)
+    ScenarioResult result = reader.Finish();
+    if (result.ok() && period_ < 2) {
+      result = ScenarioResult::Err(Errno::kEinval, "period must be >= 2");
+    }
+    if (result.ok() && peak_ < trough_) {
+      result = ScenarioResult::Err(Errno::kEinval, "peak must be >= trough");
+    }
+    return result;
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      target_ = count_ == 0 ? 0 : ctx.ShardShare(ctx.Scaled(count_));
+    }
+    PruneDeadAged(&pool_);
+    uint64_t rate = RateAt(ctx.tick());
+    rate = ctx.Scaled(rate);
+    for (uint64_t i = 0; i < rate; ++i) {
+      if (count_ != 0 && spawned_ >= target_) {
+        break;
+      }
+      Task* task = ctx.SpawnProcess(name() + "#" + std::to_string(spawned_));
+      spawned_++;
+      if (task == nullptr) {
+        continue;
+      }
+      if (touch_pages_ > 0) {
+        const VirtAddr base =
+            MapAnonRegion(ctx, *task, touch_pages_, false, name() + ":heap");
+        for (uint32_t p = 0; base != 0 && task->alive && p < touch_pages_;
+             ++p) {
+          ctx.kernel().WritePage(*task, base + p * kPageSize,
+                                 ctx.rng().Next64());
+          ctx.stats().pages_touched++;
+        }
+      }
+      if (task->alive) {
+        pool_.push_back(AgedProc{task, ctx.tick()});
+        PushDownstream(ctx, task);
+      }
+    }
+    size_t kept = 0;
+    for (AgedProc& entry : pool_) {
+      if (ctx.tick() >= entry.born + lifetime_) {
+        ctx.ExitProcess(entry.task);
+      } else {
+        pool_[kept++] = entry;
+      }
+    }
+    pool_.resize(kept);
+  }
+
+  bool Done(const ScenarioContext&) const override {
+    if (count_ == 0) {
+      return false;  // perpetual: the scenario's `ticks` bounds the run
+    }
+    return started_ && spawned_ >= target_ && pool_.empty();
+  }
+
+ private:
+  uint64_t RateAt(uint32_t tick) const {
+    const uint32_t phase = tick % period_;
+    const uint32_t half = period_ / 2;
+    const uint32_t tri = phase <= half ? phase : period_ - phase;
+    return trough_ + ((peak_ - trough_) * tri) / half;
+  }
+
+  uint32_t period_ = 0;
+  uint64_t peak_ = 0;
+  uint64_t trough_ = 0;
+  uint32_t lifetime_ = 0;
+  uint32_t touch_pages_ = 0;
+  uint64_t count_ = 0;
+  bool started_ = false;
+  uint64_t target_ = 0;
+  uint64_t spawned_ = 0;
+  std::vector<AgedProc> pool_;
+};
+
+}  // namespace
+
+void RegisterBuiltinElements(ElementRegistry* registry) {
+  registry->Register("SpawnStorm",
+                     [] { return std::make_unique<SpawnStorm>(); });
+  registry->Register("ForkBomb", [] { return std::make_unique<ForkBomb>(); });
+  registry->Register("MemoryChurn",
+                     [] { return std::make_unique<MemoryChurn>(); });
+  registry->Register("BinderIpcLoop",
+                     [] { return std::make_unique<BinderIpcLoop>(); });
+  registry->Register("LaunchReplay",
+                     [] { return std::make_unique<LaunchReplay>(); });
+  registry->Register("SwapThrash",
+                     [] { return std::make_unique<SwapThrash>(); });
+  registry->Register("DiurnalLoad",
+                     [] { return std::make_unique<DiurnalLoad>(); });
+}
+
+}  // namespace sat

@@ -1,0 +1,118 @@
+// The Click-style scenario DSL (DESIGN.md 5k).
+//
+// A .scn file declares workload elements, wires them into a graph, and
+// sets run-level knobs:
+//
+//   # an app-server farm under memory pressure
+//   set config shared-ptp-tlb;
+//   set ticks 200;
+//   set shards 8;
+//   set swap_mb 64;
+//
+//   storm :: ForkStorm(count 2000, rate 50);
+//   churn :: MemoryChurn(pages 4096, dirty 0.3);
+//   storm -> churn -> SwapThrash(pages 2048);
+//
+// Statements end in ';'. `name :: Kind(key value, ...)` declares a named
+// element; `a -> b -> c` wires output ports left to right, and a Kind(...)
+// appearing inline in a chain declares an anonymous element in place.
+// `#` and `//` start comments. Parameters are `key value` pairs (Click's
+// convention); values are numbers, bare words, or "quoted strings".
+//
+// Parsing is errno-style, consistent with the PR-4 syscall surface: the
+// result carries the graph plus an Errno, the 1-based line/column of the
+// first error, and a human-readable message. Unknown element kinds and
+// unknown/ill-typed parameters are rejected at parse time (the parser
+// validates against the element registry), so a bad scenario fails before
+// any System is built.
+
+#ifndef SRC_SCENARIO_PARSER_H_
+#define SRC_SCENARIO_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/scenario/element.h"
+
+namespace sat {
+
+class ElementRegistry;
+
+// One `set key value;` statement, in file order.
+struct ScenarioSetting {
+  std::string key;
+  std::string value;
+  int line = 0;
+  int column = 0;
+};
+
+// One element declaration (named or anonymous), in file order.
+struct ElementSpec {
+  std::string name;  // declared name, or generated "_<kind><n>" for inline
+  std::string kind;
+  ElementParams params;
+  int line = 0;
+  int column = 0;
+};
+
+// One wire `from -> to`, by element index, in file order.
+struct EdgeSpec {
+  uint32_t from = 0;
+  uint32_t to = 0;
+};
+
+// The parsed scenario: pure data. Instantiation against a registry
+// happens per shard in the runner, so one graph drives many Systems.
+struct ScenarioGraph {
+  std::string name;  // file stem, or caller-supplied for inline text
+  std::vector<ScenarioSetting> settings;
+  std::vector<ElementSpec> elements;
+  std::vector<EdgeSpec> edges;
+
+  const ScenarioSetting* FindSetting(std::string_view key) const;
+  std::string SettingStr(std::string_view key, std::string_view fallback) const;
+  uint64_t SettingU64(std::string_view key, uint64_t fallback) const;
+  double SettingF64(std::string_view key, double fallback) const;
+  bool SettingBool(std::string_view key, bool fallback) const;
+
+  // Canonical text form: settings, then declarations, then one edge per
+  // statement. Parse(ToString()) reproduces the graph exactly — the
+  // round-trip contract scenario_test enforces for every checked-in file.
+  std::string ToString() const;
+};
+
+// Parse outcome, errno-style (satellite of ISSUE 9): `graph` is only
+// meaningful when ok(). kEinval = syntax error or bad parameter;
+// kEfault = reference to an unknown element name or kind.
+struct ScenarioParseResult {
+  ScenarioGraph graph;
+  Errno error = Errno::kOk;
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  bool ok() const { return error == Errno::kOk; }
+
+  // "fork_storm.scn:12:7: error: unknown element kind 'FrokStorm' (EINVAL)"
+  std::string FormatError(std::string_view origin) const;
+};
+
+// Parses scenario text. When `registry` is non-null (the default path
+// passes ElementRegistry::Default()), element kinds and parameters are
+// validated by instantiating and configuring each element once.
+ScenarioParseResult ParseScenario(std::string_view text, std::string name,
+                                  const ElementRegistry* registry);
+
+// Reads and parses a .scn file; a missing/unreadable file reports kEfault
+// at line 0. The graph name is the file stem ("scenarios/a_b.scn" -> "a_b").
+ScenarioParseResult ParseScenarioFile(const std::string& path,
+                                      const ElementRegistry* registry);
+
+// The file stem used for graph and result-file naming.
+std::string ScenarioNameFromPath(std::string_view path);
+
+}  // namespace sat
+
+#endif  // SRC_SCENARIO_PARSER_H_

@@ -1,0 +1,62 @@
+#include "src/scenario/registry.h"
+
+#include <algorithm>
+
+namespace sat {
+
+void ElementRegistry::Register(std::string kind, Factory factory) {
+  for (Entry& entry : entries_) {
+    if (entry.kind == kind) {
+      entry.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::move(kind), std::move(factory)});
+}
+
+std::unique_ptr<WorkloadElement> ElementRegistry::Create(
+    std::string_view kind) const {
+  for (const Entry& entry : entries_) {
+    if (entry.kind == kind) {
+      return entry.factory();
+    }
+  }
+  return nullptr;
+}
+
+bool ElementRegistry::Has(std::string_view kind) const {
+  for (const Entry& entry : entries_) {
+    if (entry.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ElementRegistry::KindList() const {
+  std::vector<std::string> kinds;
+  kinds.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    kinds.push_back(entry.kind);
+  }
+  std::sort(kinds.begin(), kinds.end());
+  std::string out;
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    out += kinds[i];
+    if (i + 1 < kinds.size()) {
+      out += ", ";
+    }
+  }
+  return out;
+}
+
+const ElementRegistry& ElementRegistry::Default() {
+  static const ElementRegistry* registry = [] {
+    auto* r = new ElementRegistry();
+    RegisterBuiltinElements(r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace sat

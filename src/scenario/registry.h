@@ -1,0 +1,54 @@
+// The element registry: kind name -> factory. The built-in library
+// (ForkStorm, SpawnStorm, MemoryChurn, BinderIpcLoop, LaunchReplay,
+// SwapThrash, DiurnalLoad) registers itself into Default(); tests and
+// future subsystems add their own kinds the same way, and every consumer
+// of the DSL — the parser's validation, the runner's instantiation —
+// resolves kinds through one of these tables.
+
+#ifndef SRC_SCENARIO_REGISTRY_H_
+#define SRC_SCENARIO_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/scenario/element.h"
+
+namespace sat {
+
+class ElementRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<WorkloadElement>()>;
+
+  // Registers a kind; a later registration of the same name wins (tests
+  // override built-ins).
+  void Register(std::string kind, Factory factory);
+
+  // A fresh, unconfigured element; nullptr for an unknown kind.
+  std::unique_ptr<WorkloadElement> Create(std::string_view kind) const;
+
+  bool Has(std::string_view kind) const;
+
+  // "BinderIpcLoop, DiurnalLoad, ..." — for error messages.
+  std::string KindList() const;
+
+  // The process-wide registry with every built-in element registered.
+  static const ElementRegistry& Default();
+
+ private:
+  struct Entry {
+    std::string kind;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Registers the built-in element library into `registry` (what Default()
+// runs once); exposed so tests can compose custom registries.
+void RegisterBuiltinElements(ElementRegistry* registry);
+
+}  // namespace sat
+
+#endif  // SRC_SCENARIO_REGISTRY_H_

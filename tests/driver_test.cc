@@ -91,6 +91,21 @@ TEST(WorkerPoolTest, DeriveJobSeedIsDeterministicAndDistinct) {
   EXPECT_NE(a, DeriveJobSeed(43, "table1/Email"));
 }
 
+TEST(WorkerPoolTest, ScopedDeriveJobSeedHasNoConcatenationCollisions) {
+  // The scoped overload length-delimits its components: two jobs that
+  // differ only in where the scope/name boundary falls must not share a
+  // seed (the 2-arg form, fed pre-concatenated strings, collides here).
+  EXPECT_NE(DeriveJobSeed(7, "ab", "c"), DeriveJobSeed(7, "a", "bc"));
+  EXPECT_NE(DeriveJobSeed(7, "storm", ""), DeriveJobSeed(7, "", "storm"));
+  // Deterministic, nonzero, and distinct across every component.
+  const uint64_t a = DeriveJobSeed(7, "fork_storm_10k", "shard0");
+  EXPECT_EQ(a, DeriveJobSeed(7, "fork_storm_10k", "shard0"));
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, DeriveJobSeed(7, "fork_storm_10k", "shard1"));
+  EXPECT_NE(a, DeriveJobSeed(7, "chaos_soak", "shard0"));
+  EXPECT_NE(a, DeriveJobSeed(8, "fork_storm_10k", "shard0"));
+}
+
 // ---------------------------------------------------------------------------
 // The determinism contract: serial and parallel harness runs produce
 // identical records (DESIGN.md section 5f).
@@ -186,7 +201,7 @@ TEST(HarnessTest, ExplicitSeedDerivesPerJobSeeds) {
   const Harness harness("driver_test", options);
   const SystemConfig a = harness.Resolve(ConfigByName("stock"), "job_a");
   const SystemConfig b = harness.Resolve(ConfigByName("stock"), "job_b");
-  EXPECT_EQ(a.seed, DeriveJobSeed(7, "job_a"));
+  EXPECT_EQ(a.seed, DeriveJobSeed(7, "driver_test", "job_a"));
   EXPECT_NE(a.seed, b.seed);
   // Without --seed the config keeps its own calibrated default.
   const Harness plain("driver_test", TestOptions(1));
