@@ -24,6 +24,16 @@ SystemConfig MakeHugeConfig() {
   return config;
 }
 
+SystemConfig MakeNumaConfig() {
+  // The numaPTE-vs-sharing configuration: the full shared design on a
+  // two-node four-core machine with numad replicating hot PTPs.
+  SystemConfig config = MakeConfig(true, true, false, false);
+  config.num_cores = 4;
+  config.num_nodes = 2;
+  config.pt_placement = PtPlacement::kReplicate;
+  return config;
+}
+
 }  // namespace
 
 const std::vector<NamedSystemConfig>& NamedConfigs() {
@@ -37,6 +47,7 @@ const std::vector<NamedSystemConfig>& NamedConfigs() {
           {"shared-ptp-tlb-2mb", MakeConfig(true, true, true, false)},
           {"copied-ptes", MakeConfig(false, false, false, true)},
           {"huge", MakeHugeConfig()},
+          {"numa", MakeNumaConfig()},
       };
   return *registry;
 }
@@ -118,6 +129,9 @@ std::string SystemConfig::Name() const {
     name += " [" + std::to_string(num_cores) + " cores";
     if (num_nodes > 1) {
       name += ", " + std::to_string(num_nodes) + " nodes";
+      if (pt_placement != PtPlacement::kLocal) {
+        name += std::string(", pt-") + PtPlacementName(pt_placement);
+      }
     }
     name += "]";
   }
@@ -143,6 +157,9 @@ ZygoteParams SystemConfig::ToZygoteParams() const {
   params.kernel.core.isolation = isolation;
   params.kernel.num_cores = num_cores;
   params.kernel.num_nodes = num_nodes;
+  params.kernel.pt_placement = pt_placement;
+  params.kernel.numad_wake_interval = numad_wake_interval;
+  params.kernel.numad_remote_threshold = numad_remote_threshold;
   params.kernel.shootdown_policy = shootdown_policy;
   params.kernel.trace = trace;
   params.kernel.ksm_enabled = ksm;

@@ -74,6 +74,17 @@ struct SystemConfig {
   // cost model's remote surcharges.
   uint32_t num_nodes = 1;
 
+  // Extension: page-table placement policy on a NUMA machine (src/numa).
+  // kLocal leaves PTPs where first-touch put them; kReplicate has the
+  // numad daemon maintain per-node replicas of walk-hot PTPs so hardware
+  // walks hit local DRAM; kMigrate moves sole-owner PTPs to the dominant
+  // accessor's node. Ignored on single-node machines.
+  PtPlacement pt_placement = PtPlacement::kLocal;
+  // numad daemon cadence and promotion threshold (remote walks a PTP must
+  // accumulate between passes before it is promoted/migrated).
+  uint32_t numad_wake_interval = 1024;
+  uint32_t numad_remote_threshold = 8;
+
   // Extension: immediate per-PTE shootdown IPIs, or batched per-core
   // deferred-flush queues drained at kernel sync points (the many-core
   // scaling knob bench_smp sweeps).

@@ -153,8 +153,12 @@ FaultStatus Core::Walk(VirtAddr va, AccessType access, TlbEntry* entry) {
   assert(ref.has_value());
   // The walker's PTE fetch goes through the cache hierarchy — with shared
   // PTPs this line is physically shared by every sharer, and it can live
-  // on a remote NUMA node.
-  const PhysAddr pte_pa = ref->ptp->HwEntryPhysAddr(ref->index);
+  // on a remote NUMA node (unless the resolver redirects it to a
+  // node-local replica).
+  const PhysAddr pte_pa =
+      pte_addr_resolver_
+          ? pte_addr_resolver_(*ref->ptp, ref->index, numa_node_)
+          : ref->ptp->HwEntryPhysAddr(ref->index);
   const uint64_t l2_misses_before = counters_.l2_misses;
   const Cycles pte_fetch = caches_.AccessPtw(pte_pa, &counters_);
   counters_.cycles += pte_fetch;

@@ -124,6 +124,18 @@ class Core {
     abort_handler_ = std::move(handler);
   }
 
+  // Overrides where the hardware walker fetches second-level PTEs from.
+  // The NUMA page-table engine uses this to point walks at this core's
+  // node-local replica of the PTP; unset, walks fetch from the master.
+  // The returned address changes only the PTE *fetch* (cache/NUMA cost);
+  // PTE contents are still read from the master PTP.
+  using PteAddrResolverFn =
+      std::function<PhysAddr(const PageTablePage&, uint32_t index,
+                             uint32_t node)>;
+  void set_pte_addr_resolver(PteAddrResolverFn resolver) {
+    pte_addr_resolver_ = std::move(resolver);
+  }
+
   // ---------------------------------------------------------------------
   // Context management.
   // ---------------------------------------------------------------------
@@ -224,6 +236,7 @@ class Core {
   MicroTlb micro_dtlb_;
   MmuContext context_;
   AbortHandlerFn abort_handler_;
+  PteAddrResolverFn pte_addr_resolver_;
   SampleHookFn sample_hook_;
   Cycles sample_interval_ = 0;
   Cycles next_sample_at_ = 0;

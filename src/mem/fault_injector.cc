@@ -28,6 +28,8 @@ const char* CorruptSiteName(CorruptSite site) {
       return "zram-byte";
     case CorruptSite::kTlbTag:
       return "tlb-tag";
+    case CorruptSite::kNumaReplica:
+      return "numa-replica";
     case CorruptSite::kCount:
       break;
   }

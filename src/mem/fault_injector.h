@@ -44,10 +44,11 @@ const char* AllocSiteName(AllocSite site);
 
 // One entry per distinct kind of state a chaos bit-flip can damage.
 enum class CorruptSite : uint32_t {
-  kPteWord = 0,   // a hardware PTE word in a live PTP
-  kZramByte = 1,  // a byte of a stored compressed slot
-  kTlbTag = 2,    // a main-TLB entry's tag/attributes
-  kCount = 3,
+  kPteWord = 0,      // a hardware PTE word in a live PTP
+  kZramByte = 1,     // a byte of a stored compressed slot
+  kTlbTag = 2,       // a main-TLB entry's tag/attributes
+  kNumaReplica = 3,  // a word of a per-node page-table replica
+  kCount = 4,
 };
 
 const char* CorruptSiteName(CorruptSite site);

@@ -1,5 +1,6 @@
 #include "src/mem/phys_memory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -23,10 +24,12 @@ PhysicalMemory::PhysicalMemory(uint64_t size_bytes, uint32_t num_nodes)
   // (within each node), which keeps test expectations simple and
   // deterministic. On a single-node machine this is the classic global
   // free list, bit for bit.
+  free_count_per_node_.assign(num_nodes, 0);
   for (uint64_t i = n; i-- > 1;) {
-    free_lists_[NodeOfFrame(static_cast<FrameNumber>(i))].push_back(
-        static_cast<FrameNumber>(i));
+    const uint32_t node = NodeOfFrame(static_cast<FrameNumber>(i));
+    free_lists_[node].push_back(static_cast<FrameNumber>(i));
     free_listed_[i] = true;
+    free_count_per_node_[node]++;
   }
   free_count_ = n - 1;
   // Frame 0 is the permanent shared zero page.
@@ -65,19 +68,48 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
   }
   // First-touch placement: the preferred node first, then the others in
   // ascending order (an off-node fallback beats an allocation failure).
-  std::optional<FrameNumber> popped = PopFreeFrame(
-      preferred_node_ < num_nodes_ ? preferred_node_ : 0);
+  const uint32_t wanted = preferred_node_ < num_nodes_ ? preferred_node_ : 0;
+  std::optional<FrameNumber> popped = PopFreeFrame(wanted);
   for (uint32_t node = 0; !popped.has_value() && node < num_nodes_; ++node) {
     if (node == preferred_node_) {
       continue;
     }
     popped = PopFreeFrame(node);
+    if (popped.has_value()) {
+      numa_fallbacks_++;
+    }
   }
   if (!popped.has_value()) {
     return std::nullopt;
   }
-  const FrameNumber number = *popped;
+  FinishAlloc(*popped, kind);
+  return *popped;
+}
+
+std::optional<FrameNumber> PhysicalMemory::TryAllocFrameOnNode(
+    uint32_t node, FrameKind kind) {
+  SAT_CHECK(node < num_nodes_);
+  SAT_CHECK(kind != FrameKind::kFree && kind != FrameKind::kZero &&
+            kind != FrameKind::kQuarantined);
+  if (injector_ != nullptr) {
+    const AllocSite site = kind == FrameKind::kPageTable ? AllocSite::kPtp
+                           : kind == FrameKind::kZram    ? AllocSite::kZram
+                                                         : AllocSite::kFrame;
+    if (injector_->ShouldFail(site)) {
+      return std::nullopt;
+    }
+  }
+  const std::optional<FrameNumber> popped = PopFreeFrame(node);
+  if (!popped.has_value()) {
+    return std::nullopt;  // node-strict: exhaustion here never goes remote
+  }
+  FinishAlloc(*popped, kind);
+  return *popped;
+}
+
+void PhysicalMemory::FinishAlloc(FrameNumber number, FrameKind kind) {
   free_count_--;
+  free_count_per_node_[NodeOfFrame(number)]--;
   PageFrame& f = frames_[number];
   f.kind = kind;
   f.ref_count = 1;
@@ -90,7 +122,6 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocFrame(FrameKind kind) {
   for (FrameLifecycleObserver* observer : observers_) {
     observer->OnFrameAllocated(number, kind);
   }
-  return number;
 }
 
 std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
@@ -103,20 +134,7 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
       injector_->ShouldFail(AllocSite::kContiguous)) {
     return std::nullopt;
   }
-  // First-fit scan over naturally aligned candidate runs. Frame 0 is the
-  // zero page, so candidates start at `count`.
-  for (FrameNumber base = count;
-       base + count <= static_cast<FrameNumber>(frames_.size()); base += count) {
-    bool run_free = true;
-    for (uint32_t i = 0; i < count; ++i) {
-      if (frames_[base + i].kind != FrameKind::kFree) {
-        run_free = false;
-        break;
-      }
-    }
-    if (!run_free) {
-      continue;
-    }
+  const auto claim_run = [this, count, kind](FrameNumber base) {
     for (uint32_t i = 0; i < count; ++i) {
       PageFrame& f = frames_[base + i];
       f.kind = kind;
@@ -127,6 +145,7 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
       f.content = 0;
       f.ksm_stable = false;
       f.quarantine_on_free = false;
+      free_count_per_node_[NodeOfFrame(base + i)]--;
       // Remove from the free list lazily: TryAllocFrame skips non-free
       // entries it pops.
       for (FrameLifecycleObserver* observer : observers_) {
@@ -134,9 +153,49 @@ std::optional<FrameNumber> PhysicalMemory::TryAllocContiguousFrames(
       }
     }
     free_count_ -= count;
-    return base;
+  };
+  // Node-preferred pass (huged's migration-collapse wants its 64 KB run on
+  // the faulting core's node): naturally aligned candidates fully inside
+  // the preferred node's frame range.
+  if (num_nodes_ > 1) {
+    const uint32_t wanted = preferred_node_ < num_nodes_ ? preferred_node_ : 0;
+    const uint64_t node_begin = wanted * frames_per_node_;
+    const uint64_t node_end =
+        std::min<uint64_t>(node_begin + frames_per_node_, frames_.size());
+    // Round up to natural alignment; frame 0 is the zero page.
+    uint64_t base = std::max<uint64_t>(node_begin, count);
+    base = (base + count - 1) / count * count;
+    for (; base + count <= node_end; base += count) {
+      if (RunIsFree(base, count)) {
+        claim_run(static_cast<FrameNumber>(base));
+        return static_cast<FrameNumber>(base);
+      }
+    }
+  }
+  // Global first-fit scan over naturally aligned candidate runs. Frame 0
+  // is the zero page, so candidates start at `count`.
+  for (uint64_t base = count; base + count <= frames_.size(); base += count) {
+    if (!RunIsFree(base, count)) {
+      continue;
+    }
+    if (num_nodes_ > 1 &&
+        NodeOfFrame(static_cast<FrameNumber>(base)) !=
+            NodeOfFrame(static_cast<FrameNumber>(base + count - 1))) {
+      numa_cross_node_runs_++;
+    }
+    claim_run(static_cast<FrameNumber>(base));
+    return static_cast<FrameNumber>(base);
   }
   return std::nullopt;
+}
+
+bool PhysicalMemory::RunIsFree(uint64_t base, uint32_t count) const {
+  for (uint32_t i = 0; i < count; ++i) {
+    if (frames_[base + i].kind != FrameKind::kFree) {
+      return false;
+    }
+  }
+  return true;
 }
 
 FrameNumber PhysicalMemory::AllocFrame(FrameKind kind) {
@@ -180,6 +239,7 @@ bool PhysicalMemory::UnrefFrame(FrameNumber number) {
       free_listed_[number] = true;
     }
     free_count_++;
+    free_count_per_node_[NodeOfFrame(number)]++;
   }
   for (FrameLifecycleObserver* observer : observers_) {
     observer->OnFrameFreed(number, freed_kind);
@@ -198,6 +258,7 @@ bool PhysicalMemory::QuarantineFrame(FrameNumber number) {
   if (f.kind == FrameKind::kFree) {
     f.kind = FrameKind::kQuarantined;
     free_count_--;
+    free_count_per_node_[NodeOfFrame(number)]--;
     quarantined_count_++;
     return true;
   }

@@ -122,8 +122,16 @@ class PhysicalMemory {
   }
 
   // Allocates one frame of the given kind with ref_count 1, or nullopt if
-  // physical memory is exhausted (or a fault was injected).
+  // physical memory is exhausted (or a fault was injected). When the
+  // preferred node is exhausted the allocation falls back to another node
+  // and numa_fallbacks() is bumped — the signal the per-node kswapd
+  // watermarks exist to keep rare.
   std::optional<FrameNumber> TryAllocFrame(FrameKind kind);
+
+  // Node-strict variant: allocates on exactly `node` or fails. Used by
+  // the NUMA page-table engine, whose replicas are worthless off-node.
+  std::optional<FrameNumber> TryAllocFrameOnNode(uint32_t node,
+                                                 FrameKind kind);
 
   // Allocates `count` physically contiguous frames (first-fit, naturally
   // aligned) and returns the first frame number; each frame gets
@@ -177,6 +185,19 @@ class PhysicalMemory {
   uint64_t used_frames() const { return frames_.size() - free_count_; }
   uint64_t used_bytes() const { return used_frames() * kPageSize; }
 
+  // Per-node free-frame accounting, so kswapd can watch each node's
+  // watermark instead of only the global one (a single node can exhaust
+  // and silently push every allocation remote while the machine-wide
+  // count looks healthy).
+  uint64_t free_frames_on_node(uint32_t node) const {
+    return free_count_per_node_[node];
+  }
+
+  // Allocations that wanted the preferred node but were served remote.
+  uint64_t numa_fallbacks() const { return numa_fallbacks_; }
+  // Contiguous runs handed out straddling a node boundary.
+  uint64_t numa_cross_node_runs() const { return numa_cross_node_runs_; }
+
   // Number of live frames of a given kind (O(n); for tests and reports).
   uint64_t CountFrames(FrameKind kind) const;
 
@@ -188,6 +209,13 @@ class PhysicalMemory {
   // the node is exhausted.
   std::optional<FrameNumber> PopFreeFrame(uint32_t node);
 
+  // Shared tail of the Try* allocators: metadata reset, free-count
+  // bookkeeping, observer notification.
+  void FinishAlloc(FrameNumber number, FrameKind kind);
+
+  // True when frames [base, base+count) are all free.
+  bool RunIsFree(uint64_t base, uint32_t count) const;
+
   std::vector<PageFrame> frames_;
   // One free list per NUMA node (a single list on single-node machines).
   std::vector<std::vector<FrameNumber>> free_lists_;
@@ -196,6 +224,9 @@ class PhysicalMemory {
   // out-of-band; stale entries are skipped and discarded by AllocFrame).
   std::vector<bool> free_listed_;
   uint64_t free_count_ = 0;
+  std::vector<uint64_t> free_count_per_node_;
+  uint64_t numa_fallbacks_ = 0;
+  uint64_t numa_cross_node_runs_ = 0;
   uint64_t quarantined_count_ = 0;
   uint32_t num_nodes_ = 1;
   uint64_t frames_per_node_ = 0;

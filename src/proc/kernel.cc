@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "src/arch/check.h"
 
@@ -86,10 +87,33 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
   huge_->set_unmerge_ksm(params.huge_unmerge_ksm);
   huge_enabled_ = params.huge;
   huge_wake_interval_ = std::max<uint32_t>(1, params.huge_wake_interval);
+  // The NUMA placement engine exists whenever the machine has more than
+  // one node (it resolves walks and audits replicas even under kLocal,
+  // where it never creates any); the numad daemon only ticks when the
+  // policy asks for replication or migration.
+  if (params.num_nodes > 1) {
+    numa_ = std::make_unique<NumaEngine>(phys_.get(), ptp_allocator_.get(),
+                                         &counters_, params.pt_placement,
+                                         params.numad_remote_threshold);
+    // The single write-through mutation path: every PTE write notifies
+    // the engine so all replicas are rewritten in the same operation.
+    ptp_allocator_->set_write_observer(numa_.get());
+    numad_enabled_ = params.pt_placement != PtPlacement::kLocal;
+    numad_wake_interval_ =
+        std::max<uint32_t>(1, params.numad_wake_interval);
+  }
   // Watermarks, Linux-style: wake kswapd below `low`, stop at `high`.
   kswapd_low_watermark_ = static_cast<uint32_t>(
       std::max<uint64_t>(64, phys_->total_frames() / 16));
   kswapd_high_watermark_ = kswapd_low_watermark_ + kswapd_low_watermark_ / 2;
+  if (params.num_nodes > 1) {
+    // Per-node watermarks: a node's free count can sink (pushing every
+    // allocation remote) while the machine-wide count looks healthy.
+    kswapd_node_low_watermark_ = std::max<uint32_t>(
+        16, kswapd_low_watermark_ / params.num_nodes);
+    kswapd_node_high_watermark_ =
+        kswapd_node_low_watermark_ + kswapd_node_low_watermark_ / 2;
+  }
   // Kernel text lives just past the end of simulated RAM: a unique,
   // collision-free physical window for the cache model (the kernel image
   // itself is not simulated as data).
@@ -103,6 +127,13 @@ Kernel::Kernel(const KernelParams& params) : costs_(params.costs) {
     for (uint32_t i = 0; i < machine_->num_cores(); ++i) {
       machine_->core(i).ConfigureNuma(machine_->NodeOfCore(i),
                                       phys_->frames_per_node());
+      // Hardware walks fetch PTEs from the walking core's node-local
+      // replica when one exists (and record placement statistics either
+      // way).
+      machine_->core(i).set_pte_addr_resolver(
+          [this](const PageTablePage& ptp, uint32_t index, uint32_t node) {
+            return numa_->ResolveWalk(ptp, index, node);
+          });
     }
   }
   // Thread the tracer through every instrumented subsystem; its clock is
@@ -611,6 +642,14 @@ TouchStatus Kernel::TouchAndMaybeStore(Task& task, VirtAddr va,
             SAT_CHECK(!phys_->frame(frame).ksm_stable);
             phys_->frame(frame).content = *store;
           }
+          if (numa_ != nullptr) {
+            // The page-granular access path has no hardware walker, but
+            // numad's placement policy still needs to see which node
+            // walked which PTP (and the remote/replica split reported by
+            // bench_numa counts these logical walks the same way).
+            numa_->ResolveWalk(*ref->ptp, ref->index,
+                               machine_->NodeOfCore(task.last_core));
+          }
           RunKswapdIfNeeded();
           SyncShootdowns();
           if (!task.alive) {
@@ -841,23 +880,68 @@ void Kernel::RunKswapdIfNeeded() {
     RunHugeScan();
     in_huged_ = false;
   }
+  // numad: placement is a locality optimization, not a pressure response,
+  // so it too fires on a wake-count period regardless of the watermark.
+  if (numad_enabled_ && !in_numad_ && !in_huged_ && !in_scrubd_ &&
+      !in_ksmd_ && !in_kswapd_ &&
+      ++numad_wake_ticks_ >= numad_wake_interval_) {
+    numad_wake_ticks_ = 0;
+    in_numad_ = true;
+    RunNumadPass();
+    in_numad_ = false;
+  }
+  if (numa_ != nullptr) {
+    SyncNumaCounters();
+  }
   if (in_kswapd_ || !zram_->enabled()) {
     return;
   }
-  if (phys_->free_frames() >= kswapd_low_watermark_) {
+  // Wake below the global low watermark, or — on a multi-node machine —
+  // when any single node sinks below its per-node low watermark (its
+  // allocations are already silently falling back to remote nodes even
+  // though the machine-wide count looks healthy).
+  bool node_pressure = false;
+  if (kswapd_node_low_watermark_ > 0) {
+    for (uint32_t node = 0; node < phys_->num_nodes(); ++node) {
+      node_pressure |=
+          phys_->free_frames_on_node(node) < kswapd_node_low_watermark_;
+    }
+  }
+  if (phys_->free_frames() >= kswapd_low_watermark_ && !node_pressure) {
     return;
   }
   in_kswapd_ = true;
   counters_.kswapd_runs++;
   TraceSpan span(tracer_.get(), TraceEventType::kKswapd);
   uint64_t freed_total = 0;
-  while (phys_->free_frames() < kswapd_high_watermark_) {
-    // Cheap memory first (clean file pages: refetchable), anonymous
-    // swap-out second (costs compression now and a decompress fault
-    // later). kswapd never OOM-kills; if neither pass makes progress it
-    // goes back to sleep and the allocation paths handle the shortfall.
-    uint64_t freed = ReclaimFileCache(kSwapOutBatch).pages_reclaimed;
+  const auto below_high = [this] {
     if (phys_->free_frames() < kswapd_high_watermark_) {
+      return true;
+    }
+    if (kswapd_node_high_watermark_ > 0) {
+      for (uint32_t node = 0; node < phys_->num_nodes(); ++node) {
+        if (phys_->free_frames_on_node(node) < kswapd_node_high_watermark_) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  while (below_high()) {
+    // Page-table replicas first (pure redundancy: dropping one costs a
+    // few remote walks, not a refetch or a decompress fault), then clean
+    // file pages (refetchable), anonymous swap-out last (costs
+    // compression now and a decompress fault later). kswapd never
+    // OOM-kills; if no pass makes progress it goes back to sleep and the
+    // allocation paths handle the shortfall.
+    uint64_t freed = 0;
+    if (numa_ != nullptr) {
+      freed += numa_->ReclaimReplicas(kSwapOutBatch);
+    }
+    if (below_high()) {
+      freed += ReclaimFileCache(kSwapOutBatch).pages_reclaimed;
+    }
+    if (below_high()) {
       freed += SwapOutAnonPages(kSwapOutBatch);
     }
     freed_total += freed;
@@ -869,6 +953,22 @@ void Kernel::RunKswapdIfNeeded() {
   span.set_args(freed_total, phys_->free_frames());
   in_kswapd_ = false;
   SyncShootdowns();  // daemon tick
+}
+
+uint32_t Kernel::RunNumadPass() {
+  if (numa_ == nullptr) {
+    return 0;
+  }
+  counters_.numad_runs++;
+  const uint32_t actions = numa_->RunPass();
+  SyncNumaCounters();
+  SyncShootdowns();  // daemon tick
+  return actions;
+}
+
+void Kernel::SyncNumaCounters() {
+  counters_.numa_alloc_fallbacks = phys_->numa_fallbacks();
+  counters_.numa_cross_node_runs = phys_->numa_cross_node_runs();
 }
 
 void Kernel::MaybeInjectChaos() {
@@ -929,6 +1029,14 @@ void Kernel::MaybeInjectChaos() {
           break;
       }
     }
+  }
+  // Appended after the original sites so an un-ruled kNumaReplica never
+  // perturbs the PRNG stream of existing chaos configurations.
+  if (numa_ != nullptr && inj.ShouldCorrupt(CorruptSite::kNumaReplica)) {
+    const uint64_t pick = inj.Rand64();
+    const uint32_t index = static_cast<uint32_t>(inj.Rand64() % kPtesPerPtp);
+    const uint32_t bit = static_cast<uint32_t>(inj.Rand64() % 32);
+    numa_->CorruptReplicaForChaos(pick, index, 1u << bit);
   }
 }
 
@@ -1008,6 +1116,16 @@ uint32_t Kernel::RunScrubPass() {
     counters_.scrub_unrepairable++;
     OopsKillByDamage(OopsDamage{OopsDamage::Kind::kSwapSlot, slot}, nullptr);
   }
+  if (numa_ != nullptr) {
+    // Replica coherence sweep (after the kill loop, so destroyed PTPs
+    // have already dropped their sets): every replica word is compared
+    // against its master; a majority against the master repairs the
+    // master, anything else re-converges the replicas. Full coverage
+    // each pass — the audit requires replicas bit-identical afterwards.
+    repairs += numa_->ScrubReplicaSweep([this](PtpId ptp, uint32_t index) {
+      FlushScrubSite(ptp, index, /*va_hint=*/0);
+    });
+  }
   counters_.frames_quarantined = phys_->quarantined_frames();
   SyncShootdowns();
   return repairs;
@@ -1048,6 +1166,13 @@ ScrubContext Kernel::BuildScrubContext() const {
     const auto it = facts->find(ptp);
     return it != facts->end() && it->second.need_copy;
   };
+  if (numa_ != nullptr) {
+    // Replicas as a repair source: before declaring a site unrepairable
+    // the scrubber consults the majority word across {master, replicas}.
+    ctx.replica_majority_of = [this](PtpId ptp, uint32_t index) {
+      return numa_->ReplicaMajorityWord(ptp, index);
+    };
+  }
   return ctx;
 }
 
@@ -1276,6 +1401,12 @@ void Kernel::OomKill(Task& victim) {
 }
 
 bool Kernel::RelieveMemoryPressure(const Task* immune, const Task* immune2) {
+  // Stage 0: page-table replicas are pure redundancy — dropping a set
+  // costs a few remote walks later, nothing else. Always the first
+  // sacrifice.
+  if (numa_ != nullptr && numa_->ReclaimReplicas(kDirectReclaimBatch) > 0) {
+    return true;
+  }
   // Stage 1: direct reclaim of clean file-cache pages. Their contents are
   // refetchable, so dropping them is free apart from future soft faults.
   counters_.direct_reclaims++;
@@ -1310,6 +1441,17 @@ AuditReport Kernel::AuditInvariants() const {
   input.lru = lru_.get();
   input.hw_l1_write_protect = vm_->config().hw_l1_write_protect;
   input.ksm_audited = true;
+  if (numa_ != nullptr) {
+    input.numa_audited = true;
+    numa_->ForEachReplica([&](PtpId id, const NumaEngine::Replica& replica) {
+      AuditReplica snap;
+      snap.ptp = id;
+      snap.node = replica.node;
+      snap.frame = replica.frame;
+      snap.hw_raw.assign(replica.words.begin(), replica.words.end());
+      input.replicas.push_back(std::move(snap));
+    });
+  }
   ksm_->ForEachStable([&](uint64_t content, FrameNumber frame) {
     input.ksm_stable.emplace_back(content, frame);
   });

@@ -29,6 +29,7 @@
 #include "src/mem/page_cache.h"
 #include "src/mem/phys_memory.h"
 #include "src/mem/zram.h"
+#include "src/numa/numa.h"
 #include "src/pt/ptp.h"
 #include "src/stats/cost_model.h"
 #include "src/stats/counters.h"
@@ -94,6 +95,16 @@ struct KernelParams {
   // frames' content into the new contiguous block (an unmerge). Off by
   // default — deduplicated memory usually wins on a memory-tight phone.
   bool huge_unmerge_ksm = false;
+  // NUMA page-table placement (src/numa). On a multi-node machine the
+  // engine is always constructed (it resolves walks and audits replicas);
+  // the numad daemon only ticks when the policy is not kLocal. numad runs
+  // from the same wake points as the other daemons every
+  // `numad_wake_interval`-th wake-up; RunNumadPass() also drives passes
+  // directly. A PTP is promoted (kReplicate) or migrated (kMigrate) after
+  // `numad_remote_threshold` remote walks between passes.
+  PtPlacement pt_placement = PtPlacement::kLocal;
+  uint32_t numad_wake_interval = 1024;
+  uint32_t numad_remote_threshold = 8;
 };
 
 // How a TouchPage access ended.
@@ -239,6 +250,13 @@ class Kernel {
   // on. Returns sections mapped; 0 when KernelParams::huge is off.
   uint32_t MapZygoteSections(Task& task);
 
+  // One numad placement pass (also run periodically from the kswapd wake
+  // points when pt_placement is not kLocal on a multi-node machine):
+  // promotes walk-hot PTPs to replicated or migrates sole-owner PTPs to
+  // their dominant accessor's node, per KernelParams::pt_placement.
+  // Returns promotions + migrations; 0 on a single-node machine.
+  uint32_t RunNumadPass();
+
   // The allocate → direct-reclaim → OOM-kill chain (run automatically by
   // the fault/fork/mmap paths; public so tests can drive it). Returns
   // true if it freed anything: first a direct-reclaim pass over the file
@@ -277,6 +295,8 @@ class Kernel {
   FrameLru& lru() { return *lru_; }
   KsmDaemon& ksm() { return *ksm_; }
   HugeDaemon& huge() { return *huge_; }
+  // The NUMA placement engine; nullptr on a single-node machine.
+  NumaEngine* numa() { return numa_.get(); }
   uint32_t kswapd_low_watermark() const { return kswapd_low_watermark_; }
   uint32_t kswapd_high_watermark() const { return kswapd_high_watermark_; }
   VmManager& vm() { return *vm_; }
@@ -382,6 +402,10 @@ class Kernel {
   std::unique_ptr<KsmDaemon> ksm_;
   std::unique_ptr<HugeDaemon> huge_;
   std::unique_ptr<Scrubber> scrubber_;
+  // Declared before machine_ (cores hold a resolver callback into the
+  // engine) and after ptp_allocator_/phys_ (replica teardown unrefs
+  // frames and reads PTP liveness).
+  std::unique_ptr<NumaEngine> numa_;
   std::unique_ptr<Machine> machine_;
   // Declared after every subsystem: tasks are destroyed first, so page-
   // table teardown can still release swap slots and frames.
@@ -425,6 +449,21 @@ class Kernel {
   uint32_t huge_wake_interval_ = 0;
   uint32_t huge_wake_ticks_ = 0;
   bool in_huged_ = false;
+  // numad state: same wake-point pattern. The guard keeps a pass's own
+  // allocations (replica frames) from waking a nested pass.
+  bool numad_enabled_ = false;
+  uint32_t numad_wake_interval_ = 0;
+  uint32_t numad_wake_ticks_ = 0;
+  bool in_numad_ = false;
+  // Per-node kswapd watermarks (multi-node machines only): a single node
+  // can exhaust — pushing every allocation remote — while the global
+  // count still looks healthy, so kswapd also watches each node.
+  uint32_t kswapd_node_low_watermark_ = 0;
+  uint32_t kswapd_node_high_watermark_ = 0;
+
+  // Mirrors PhysicalMemory's NUMA allocator statistics into counters_
+  // (sat_mem cannot depend on sat_stats, so the kernel carries them over).
+  void SyncNumaCounters();
 };
 
 }  // namespace sat

@@ -16,6 +16,7 @@ void PageTablePage::Set(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
   }
   hw_[index] = hw_pte;
   sw_[index] = sw_pte;
+  NotifyHwWrite(index);
 }
 
 void PageTablePage::Clear(uint32_t index) {
@@ -26,6 +27,7 @@ void PageTablePage::Clear(uint32_t index) {
   }
   hw_[index].Clear();
   sw_[index].Clear();
+  NotifyHwWrite(index);
 }
 
 void PageTablePage::UpdateFlags(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
@@ -34,6 +36,7 @@ void PageTablePage::UpdateFlags(uint32_t index, HwPte hw_pte, LinuxPte sw_pte) {
          "UpdateFlags cannot change entry validity");
   hw_[index] = hw_pte;
   sw_[index] = sw_pte;
+  NotifyHwWrite(index);
 }
 
 void PageTablePage::CorruptHwForChaos(uint32_t index, uint32_t xor_mask) {
@@ -46,6 +49,7 @@ void PageTablePage::RepairHw(uint32_t index, HwPte hw_pte) {
   SAT_CHECK(index < kPtesPerPtp);
   hw_[index] = hw_pte;
   RecountPresentForScrub();
+  NotifyHwWrite(index);
 }
 
 uint32_t PageTablePage::RecountPresentForScrub() {
@@ -78,7 +82,17 @@ std::optional<PtpId> PtpAllocator::TryAlloc() {
   }
   counters_->ptps_allocated++;
   live_count_++;
+  slab_[static_cast<size_t>(id)]->set_write_observer(write_observer_);
   return id;
+}
+
+void PtpAllocator::set_write_observer(PtpWriteObserver* observer) {
+  write_observer_ = observer;
+  for (const auto& ptp : slab_) {
+    if (ptp != nullptr) {
+      ptp->set_write_observer(observer);
+    }
+  }
 }
 
 PtpId PtpAllocator::Alloc() {
@@ -135,6 +149,9 @@ bool PtpAllocator::DropSharer(PtpId id) {
   assert(frame.map_count > 0);
   if (--frame.map_count > 0) {
     return false;
+  }
+  if (write_observer_ != nullptr) {
+    write_observer_->OnPtpDestroyed(id);
   }
   phys_->UnrefFrame(ptp.frame());
   slab_[static_cast<size_t>(id)].reset();

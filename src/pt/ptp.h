@@ -33,6 +33,21 @@
 
 namespace sat {
 
+// Observes every mutation of a PTP's hardware half — the single
+// write-through path the NUMA replication engine (src/numa) keeps
+// per-node replicas coherent with. Notified by Set/Clear/UpdateFlags/
+// RepairHw; deliberately NOT by CorruptHwForChaos, which models a stray
+// bit flip in the master frame's DRAM and must leave replicas intact so
+// scrubd can use them as a repair source.
+class PtpWriteObserver {
+ public:
+  virtual ~PtpWriteObserver() = default;
+  // The hardware descriptor word at (`ptp`, `index`) is now `raw_hw`.
+  virtual void OnHwWrite(PtpId ptp, uint32_t index, uint32_t raw_hw) = 0;
+  // The PTP's last sharer dropped; any replicas are now stale.
+  virtual void OnPtpDestroyed(PtpId ptp) = 0;
+};
+
 class PageTablePage {
  public:
   PageTablePage(PtpId id, FrameNumber frame) : id_(id), frame_(frame) {}
@@ -79,10 +94,27 @@ class PageTablePage {
     return FrameToPhys(frame_) + 2048 + mb * 1024 + within * 4;
   }
 
+  // NUMA migration: retargets this PTP onto a frame on another node.
+  // Translations are unchanged (the PTE *contents* stay identical), only
+  // the physical address walkers fetch them from moves, so no TLB flush
+  // is required. Frame metadata transfer is the caller's job.
+  void SetFrameForMigration(FrameNumber frame) { frame_ = frame; }
+
+  void set_write_observer(PtpWriteObserver* observer) {
+    write_observer_ = observer;
+  }
+
  private:
+  void NotifyHwWrite(uint32_t index) {
+    if (write_observer_ != nullptr) {
+      write_observer_->OnHwWrite(id_, index, hw_[index].raw());
+    }
+  }
+
   PtpId id_;
   FrameNumber frame_;
   uint32_t present_count_ = 0;
+  PtpWriteObserver* write_observer_ = nullptr;
   std::array<HwPte, kPtesPerPtp> hw_{};
   std::array<LinuxPte, kPtesPerPtp> sw_{};
 };
@@ -120,6 +152,10 @@ class PtpAllocator {
   // reference counting).
   bool DropSharer(PtpId id);
 
+  // Attaches the NUMA replication engine's coherence hook to every live
+  // PTP and every PTP allocated from here on. Pass nullptr to detach.
+  void set_write_observer(PtpWriteObserver* observer);
+
   uint64_t live_ptps() const { return live_count_; }
 
   // Deterministically picks a live PTP (scan from rand % slab size), or
@@ -139,6 +175,7 @@ class PtpAllocator {
  private:
   PhysicalMemory* phys_;
   KernelCounters* counters_;
+  PtpWriteObserver* write_observer_ = nullptr;
   std::vector<std::unique_ptr<PageTablePage>> slab_;
   std::vector<PtpId> free_ids_;
   uint64_t live_count_ = 0;

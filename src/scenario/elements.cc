@@ -9,12 +9,14 @@
 //   LaunchReplay  the paper's app-launch replays behind the element API
 //   SwapThrash    sequential walks over working sets larger than DRAM
 //   DiurnalLoad   a day-shaped (triangle-wave) spawn-rate modulator
+//   NumaSweep     cross-node walkers feeding numad's placement policy
 //
 // Population parameters (count, procs, pairs, forks) are scenario-wide:
 // each shard takes its ShardShare, so the shard set sums to the declared
 // fleet no matter how it is split. Everything random draws from the
 // shard's ScenarioRng — never from std:: distributions or the wall clock.
 
+#include <algorithm>
 #include <deque>
 #include <string>
 #include <vector>
@@ -825,6 +827,119 @@ class DiurnalLoad : public WorkloadElement {
   std::vector<AgedProc> pool_;
 };
 
+// ---------------------------------------------------------------------------
+// NumaSweep: `procs` resident walkers spread over every core — and so,
+// on a multi-node machine, every NUMA node — each sweeping a window of
+// the zygote's preloaded shared code plus a private first-touch anon
+// heap. The cross-node walk pattern is exactly what feeds numad's
+// per-PTP statistics; every `numad_every` ticks the element runs an
+// explicit numad pass, so replication or migration (`set pt_placement
+// replicate`) happens mid-scenario with reclaim, chaos, and scrubd all
+// interfering. On a single-node machine the pass is a no-op and the
+// element degrades to a plain shared-code walker.
+// ---------------------------------------------------------------------------
+
+class NumaSweep : public WorkloadElement {
+ public:
+  std::string_view kind() const override { return "NumaSweep"; }
+
+  ScenarioResult Configure(const ElementParams& params) override {
+    ParamReader reader(params);
+    procs_ = reader.U64("procs", 8);
+    shared_pages_ = static_cast<uint32_t>(reader.U64("shared_pages", 12));
+    anon_pages_ = static_cast<uint32_t>(reader.U64("anon_pages", 16));
+    touches_ = reader.U64("touches", 24);
+    numad_every_ = static_cast<uint32_t>(reader.U64("numad_every", 4));
+    return reader.Finish();
+  }
+
+  void Push(ScenarioContext& ctx, Task* task) override {
+    Adopt(ctx, task);
+    PushDownstream(ctx, task);
+  }
+
+  void Tick(ScenarioContext& ctx) override {
+    if (!started_) {
+      started_ = true;
+      const uint64_t own = ctx.ShardShare(ctx.Scaled(procs_));
+      for (uint64_t i = 0; i < own; ++i) {
+        Task* task = ctx.SpawnProcess(name() + "#" + std::to_string(i));
+        if (task != nullptr) {
+          Adopt(ctx, task);
+          PushDownstream(ctx, task);
+        }
+      }
+    }
+    Prune();
+    const AppFootprint& boot = ctx.system().android().zygote_boot_footprint();
+    const uint32_t avail = static_cast<uint32_t>(boot.pages.size());
+    const uint64_t touches = ctx.Scaled(touches_);
+    for (Entry& entry : pool_) {
+      // Walk from the process's own core so the walk's node — and the
+      // remote/local split numad sees — is deterministic.
+      ctx.kernel().ScheduleTo(*entry.task, entry.task->last_core);
+      for (uint64_t t = 0; t < touches && entry.task->alive; ++t) {
+        if (avail > 0 && (anon_pages_ == 0 || entry.base == 0 || t % 2 == 0)) {
+          const TouchedPage& page =
+              boot.pages[(entry.cursor++) % std::min(avail, shared_pages_)];
+          ctx.kernel().TouchPage(
+              *entry.task,
+              ctx.system().android().CodePageVa(page.lib, page.page_index),
+              AccessType::kExecute);
+        } else if (entry.base != 0) {
+          ctx.kernel().WritePage(
+              *entry.task,
+              entry.base + static_cast<uint32_t>(
+                               ctx.rng().Uniform(anon_pages_)) * kPageSize,
+              ctx.rng().Next64());
+        }
+        ctx.stats().pages_touched++;
+      }
+    }
+    if (numad_every_ > 0 && (ctx.tick() + 1) % numad_every_ == 0) {
+      ctx.kernel().RunNumadPass();
+    }
+  }
+
+  bool Done(const ScenarioContext&) const override { return procs_ == 0; }
+
+ private:
+  struct Entry {
+    Task* task = nullptr;
+    VirtAddr base = 0;
+    uint32_t cursor = 0;
+  };
+
+  void Adopt(ScenarioContext& ctx, Task* task) {
+    if (task == nullptr || !task->alive) {
+      return;
+    }
+    VirtAddr base = 0;
+    if (anon_pages_ > 0) {
+      base = MapAnonRegion(ctx, *task, anon_pages_, false, name() + ":heap");
+    }
+    pool_.push_back(Entry{task, base, 0});
+  }
+
+  void Prune() {
+    size_t kept = 0;
+    for (const Entry& entry : pool_) {
+      if (entry.task->alive) {
+        pool_[kept++] = entry;
+      }
+    }
+    pool_.resize(kept);
+  }
+
+  uint64_t procs_ = 0;
+  uint32_t shared_pages_ = 0;
+  uint32_t anon_pages_ = 0;
+  uint64_t touches_ = 0;
+  uint32_t numad_every_ = 0;
+  bool started_ = false;
+  std::vector<Entry> pool_;
+};
+
 }  // namespace
 
 void RegisterBuiltinElements(ElementRegistry* registry) {
@@ -841,6 +956,8 @@ void RegisterBuiltinElements(ElementRegistry* registry) {
                      [] { return std::make_unique<SwapThrash>(); });
   registry->Register("DiurnalLoad",
                      [] { return std::make_unique<DiurnalLoad>(); });
+  registry->Register("NumaSweep",
+                     [] { return std::make_unique<NumaSweep>(); });
 }
 
 }  // namespace sat

@@ -30,6 +30,7 @@ constexpr SettingSpec kKnownSettings[] = {
     {"cores", SettingSpec::Kind::kU64},      // simulated cores
     {"nodes", SettingSpec::Kind::kU64},      // NUMA nodes
     {"shootdown", SettingSpec::Kind::kWord},  // immediate | batched
+    {"pt_placement", SettingSpec::Kind::kWord},  // local | replicate | migrate
     {"ksm", SettingSpec::Kind::kBool},
     {"scrub", SettingSpec::Kind::kBool},
     {"huge", SettingSpec::Kind::kBool},
@@ -348,6 +349,13 @@ class Parser {
         }
         break;
       case SettingSpec::Kind::kWord:
+        if (setting.key == "pt_placement" && setting.value != "local" &&
+            setting.value != "replicate" && setting.value != "migrate") {
+          return FailAt(
+              Errno::kEinval,
+              "setting 'pt_placement' expects local, replicate, or migrate",
+              setting.line, setting.column);
+        }
         if (setting.key == "shootdown" && setting.value != "immediate" &&
             setting.value != "batched") {
           return FailAt(Errno::kEinval,

@@ -1,6 +1,7 @@
 // The element registry: kind name -> factory. The built-in library
-// (ForkStorm, SpawnStorm, MemoryChurn, BinderIpcLoop, LaunchReplay,
-// SwapThrash, DiurnalLoad) registers itself into Default(); tests and
+// (ForkBomb, SpawnStorm, MemoryChurn, BinderIpcLoop, LaunchReplay,
+// SwapThrash, DiurnalLoad, NumaSweep) registers itself into Default();
+// tests and
 // future subsystems add their own kinds the same way, and every consumer
 // of the DSL — the parser's validation, the runner's instantiation —
 // resolves kinds through one of these tables.

@@ -40,6 +40,15 @@ SystemConfig ScenarioSystemConfig(const ScenarioGraph& graph) {
       "batched") {
     config.shootdown_policy = ShootdownPolicy::kBatched;
   }
+  const std::string placement = graph.SettingStr(
+      "pt_placement", PtPlacementName(config.pt_placement));
+  if (placement == "replicate") {
+    config.pt_placement = PtPlacement::kReplicate;
+  } else if (placement == "migrate") {
+    config.pt_placement = PtPlacement::kMigrate;
+  } else if (placement == "local") {
+    config.pt_placement = PtPlacement::kLocal;
+  }
   config.ksm = graph.SettingBool("ksm", config.ksm);
   config.scrub = graph.SettingBool("scrub", config.scrub);
   config.huge = graph.SettingBool("huge", config.huge);

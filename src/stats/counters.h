@@ -75,7 +75,19 @@ namespace sat {
   X(huge_pages_migrated)             \
   X(huge_unshares)                   \
   X(huge_ksm_unmerges)               \
-  X(huge_sections_mapped)
+  X(huge_sections_mapped)            \
+  X(numa_walks)                      \
+  X(numa_remote_walks)               \
+  X(numa_replica_walks)              \
+  X(numad_runs)                      \
+  X(numa_replica_promotions)         \
+  X(numa_replica_updates)            \
+  X(numa_replica_reclaims)           \
+  X(numa_ptp_migrations)             \
+  X(numa_replica_repairs)            \
+  X(numa_master_repairs)             \
+  X(numa_alloc_fallbacks)            \
+  X(numa_cross_node_runs)
 
 #define SAT_CORE_COUNTER_FIELDS(X) \
   X(cycles)                        \
@@ -177,6 +189,20 @@ struct KernelCounters {
   uint64_t huge_unshares = 0;           // shared PTPs privatized to collapse
   uint64_t huge_ksm_unmerges = 0;       // stable frames copied out of a run
   uint64_t huge_sections_mapped = 0;    // eager 1 MB sections at boot
+
+  // NUMA page-table placement engine (src/numa) and numad daemon.
+  uint64_t numa_walks = 0;              // PTE fetches resolved by the engine
+  uint64_t numa_remote_walks = 0;       // subset served from remote DRAM
+  uint64_t numa_replica_walks = 0;      // subset served by a local replica
+  uint64_t numad_runs = 0;              // numad policy passes
+  uint64_t numa_replica_promotions = 0; // PTPs promoted to replicated
+  uint64_t numa_replica_updates = 0;    // replica words rewritten (coherence)
+  uint64_t numa_replica_reclaims = 0;   // replica frames freed under pressure
+  uint64_t numa_ptp_migrations = 0;     // sole-owner PTPs moved cross-node
+  uint64_t numa_replica_repairs = 0;    // rotten replica words healed by scrubd
+  uint64_t numa_master_repairs = 0;     // master words outvoted by replicas
+  uint64_t numa_alloc_fallbacks = 0;    // allocations pushed off-node
+  uint64_t numa_cross_node_runs = 0;    // contiguous runs straddling nodes
 
   KernelCounters operator-(const KernelCounters& rhs) const;
   KernelCounters& operator+=(const KernelCounters& rhs);

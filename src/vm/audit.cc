@@ -29,6 +29,7 @@ class Auditor {
     CheckFrames();
     CheckSwapStore();
     CheckKsm();
+    CheckNumaReplicas();
     CheckPtpSharers();
     CheckSpaces();
     CheckTlb();
@@ -529,6 +530,78 @@ class Auditor {
            "stable tree holds " + std::to_string(in_.ksm_stable.size()) +
                " node(s), physical memory holds " +
                std::to_string(ksm_stable_frames_) + " ksm_stable frame(s)");
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Pass 2d: NUMA page-table replicas against the masters they mirror.
+  // -------------------------------------------------------------------
+  void CheckNumaReplicas() {
+    if (!in_.numa_audited) {
+      return;
+    }
+    std::unordered_set<uint64_t> seen_nodes;  // (ptp << 8) | node
+    for (const AuditReplica& r : in_.replicas) {
+      const std::string who = "replica of ptp " + std::to_string(r.ptp) +
+                              " on node " + std::to_string(r.node);
+      const PageTablePage* master = in_.ptps->GetIfLive(r.ptp);
+      if (!Checked(master != nullptr)) {
+        Fail("replica-stale", who + " outlives its master PTP");
+        continue;
+      }
+      if (!Checked(seen_nodes
+                       .insert((static_cast<uint64_t>(
+                                    static_cast<uint32_t>(r.ptp))
+                                << 8) |
+                               r.node)
+                       .second)) {
+        Fail("replica-duplicate", who + " appears twice");
+      }
+      if (!Checked(r.frame < in_.phys->total_frames())) {
+        Fail("replica-frame", who + ": frame " + std::to_string(r.frame) +
+                                  " is beyond physical memory");
+        continue;
+      }
+      const PageFrame& meta = in_.phys->frame(r.frame);
+      if (!Checked(meta.kind == FrameKind::kPageTable &&
+                   meta.ref_count == 1 && meta.map_count == 0)) {
+        Fail("replica-frame",
+             who + ": frame " + std::to_string(r.frame) + " is " +
+                 FrameKindName(meta.kind) + " with ref_count " +
+                 std::to_string(meta.ref_count) + ", map_count " +
+                 std::to_string(meta.map_count));
+      }
+      if (!Checked(r.frame != master->frame())) {
+        Fail("replica-frame",
+             who + " shares frame " + std::to_string(r.frame) +
+                 " with its master");
+      }
+      if (!Checked(in_.phys->NodeOfFrame(r.frame) == r.node)) {
+        Fail("replica-node",
+             who + ": frame " + std::to_string(r.frame) + " lives on node " +
+                 std::to_string(in_.phys->NodeOfFrame(r.frame)));
+      }
+      if (!Checked(in_.phys->NodeOfFrame(master->frame()) != r.node)) {
+        Fail("replica-home",
+             who + " duplicates the master's own home node");
+      }
+      if (!Checked(r.hw_raw.size() == kPtesPerPtp)) {
+        Fail("replica-desync",
+             who + " snapshots " + std::to_string(r.hw_raw.size()) +
+                 " words (expected " + std::to_string(kPtesPerPtp) + ")");
+        continue;
+      }
+      // Write-through coherence: every replica word bit-identical to the
+      // master's hardware table.
+      for (uint32_t i = 0; i < kPtesPerPtp; ++i) {
+        if (!Checked(r.hw_raw[i] == master->hw(i).raw())) {
+          Fail("replica-desync",
+               who + " index " + std::to_string(i) + ": replica word " +
+                   std::to_string(r.hw_raw[i]) + " vs master " +
+                   std::to_string(master->hw(i).raw()));
+          break;
+        }
+      }
     }
   }
 

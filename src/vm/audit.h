@@ -86,6 +86,15 @@ struct AuditPendingFlush {
   uint64_t cpu_mask = 0;
 };
 
+// One per-node replica of a hot PTP, as maintained by the NUMA page-table
+// engine (plain data so the auditor needs no dependency on src/numa).
+struct AuditReplica {
+  PtpId ptp = kNoPtp;
+  uint32_t node = 0;
+  FrameNumber frame = 0;
+  std::vector<uint32_t> hw_raw;  // kPtesPerPtp words
+};
+
 struct AuditInput {
   const PhysicalMemory* phys = nullptr;
   const PageCache* page_cache = nullptr;  // may be null (no file mappings)
@@ -119,6 +128,16 @@ struct AuditInput {
   // be hardware-writable (checked whenever such a frame exists).
   bool ksm_audited = false;
   std::vector<std::pair<uint64_t, FrameNumber>> ksm_stable;
+  // NUMA page-table replica snapshot (src/numa): one entry per per-node
+  // replica of a hot PTP, with the replica's full hardware-word image.
+  // With numa_audited set, every replica is checked against the master
+  // PTP: the master must be live, at most one replica per (ptp, node), the
+  // replica frame must be a kPageTable frame on the replica's node with
+  // ref_count 1 / map_count 0 and distinct from every master frame, the
+  // node must differ from the master's home node, and the words must be
+  // bit-identical to the master's hardware table (write-through coherence).
+  bool numa_audited = false;
+  std::vector<AuditReplica> replicas;
 };
 
 // Runs every check and returns the violations found (empty == healthy).

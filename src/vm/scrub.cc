@@ -85,6 +85,28 @@ bool Scrubber::TryRepairRunReplica(PageTablePage& ptp, uint32_t index) {
   return true;
 }
 
+bool Scrubber::TryRepairFromReplicaMajority(PageTablePage& ptp, uint32_t index,
+                                            const ScrubContext& ctx) {
+  // Last resort before declaring a site unrepairable: with NUMA page-table
+  // replication active, the per-node replicas are one more redundant copy
+  // of the hardware word. A strict majority across {master, replicas} that
+  // disagrees with the master convicts the master word of rot.
+  if (!ctx.replica_majority_of) {
+    return false;
+  }
+  const std::optional<uint32_t> majority =
+      ctx.replica_majority_of(ptp.id(), index);
+  if (!majority.has_value() || *majority == ptp.hw(index).raw()) {
+    return false;
+  }
+  ptp.RepairHw(index, HwPte::FromRaw(*majority));
+  counters_->scrub_repairs++;
+  if (flush_site_) {
+    flush_site_(ptp.id(), index, 0);
+  }
+  return true;
+}
+
 void Scrubber::DropSite(PageTablePage& ptp, uint32_t index, FrameNumber frame,
                         VirtAddr va) {
   // Clean refetchable page: tear the mapping down entirely; the next touch
@@ -124,6 +146,8 @@ ScrubSiteResult Scrubber::ScrubSite(PageTablePage& ptp, uint32_t index,
       RebuildFromFrame(ptp, index, truth->first, truth->second);
     } else if (!sw.dirty()) {
       RebuildFromFrame(ptp, index, phys_->zero_frame(), 0);
+    } else if (TryRepairFromReplicaMajority(ptp, index, ctx)) {
+      return ScrubSiteResult::kRepaired;
     } else {
       return ScrubSiteResult::kUnrepairable;  // dirty page, no copy left
     }
@@ -135,7 +159,11 @@ ScrubSiteResult Scrubber::ScrubSite(PageTablePage& ptp, uint32_t index,
     // shadow entry. No reference was ever taken through this descriptor.
     if (rmap_->FindAtSite(id, index).has_value()) {
       // The rmap insists something is mapped here while the shadow says
-      // not: two trusted copies disagree, so neither can repair the other.
+      // not: two trusted copies disagree, so neither can repair the other
+      // — unless the NUMA replicas hold a majority word to break the tie.
+      if (TryRepairFromReplicaMajority(ptp, index, ctx)) {
+        return ScrubSiteResult::kRepaired;
+      }
       return ScrubSiteResult::kUnrepairable;
     }
     ptp.RecountPresentForScrub();
@@ -179,6 +207,9 @@ ScrubSiteResult Scrubber::ScrubSite(PageTablePage& ptp, uint32_t index,
       // bit would mean a private copy existed). Re-point at the zero frame;
       // a later write COWs away from it as usual.
       RebuildFromFrame(ptp, index, phys_->zero_frame(), 0);
+      return ScrubSiteResult::kRepaired;
+    }
+    if (TryRepairFromReplicaMajority(ptp, index, ctx)) {
       return ScrubSiteResult::kRepaired;
     }
     return ScrubSiteResult::kUnrepairable;  // dirty page, no copy left

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,13 @@ struct ScrubContext {
   // skipped under that ablation, so writable descriptors in shared PTPs
   // are legal and must not be "repaired".
   bool hw_l1_write_protect = false;
+  // NUMA page-table replication (src/numa): the majority hardware word
+  // across this site's per-node replicas, or nullopt when the PTP is not
+  // replicated / no strict majority exists. A last-resort repair source
+  // consulted only when every other redundant copy is gone — the
+  // write-through replica protocol keeps replicas bit-identical to the
+  // master, so a strict majority outvotes rot in the master word.
+  std::function<std::optional<uint32_t>(PtpId, uint32_t)> replica_majority_of;
 };
 
 enum class ScrubSiteResult : uint8_t {
@@ -126,6 +134,10 @@ class Scrubber {
   // Drop-and-refault repair for a clean refetchable page.
   void DropSite(PageTablePage& ptp, uint32_t index, FrameNumber frame,
                 VirtAddr va);
+  // Last-resort repair from the NUMA replica majority (see
+  // ScrubContext::replica_majority_of). True when repaired.
+  bool TryRepairFromReplicaMajority(PageTablePage& ptp, uint32_t index,
+                                    const ScrubContext& ctx);
   // Run-replica voting: the 16 words of a collapsed 64 KB run are
   // bit-identical, so a word that disagrees with a clear majority of its
   // 16-aligned neighbours (rotted valid/large/frame/attribute bits) is

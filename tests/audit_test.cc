@@ -108,6 +108,8 @@ struct AuditFuzzCase {
   bool batched = false;  // defer shootdowns to per-core queues
   bool chaos = false;    // seeded bit flips in PTEs/zram/TLB + scrubd
   bool huge = false;     // huged collapse/split (periodic and explicit)
+  uint32_t nodes = 1;    // >1 boots a NUMA machine with the numaPTE engine
+  uint32_t placement = 0;  // PtPlacement as int: 0 local, 1 repl., 2 migr.
 };
 
 class AuditFuzzTest : public ::testing::TestWithParam<AuditFuzzCase> {};
@@ -147,6 +149,16 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
     params.huge_wake_interval = 13;
     params.huge_unmerge_ksm = fuzz.ksm;
   }
+  if (fuzz.nodes > 1) {
+    // NUMA cases: the numaPTE engine write-through-replicates every PTE
+    // mutation the ops below make; periodic numad wakes promote, migrate,
+    // and (under reclaim pressure) sacrifice replicas at awkward moments.
+    // A low promotion threshold keeps replicas churning at fuzz scale.
+    params.num_nodes = fuzz.nodes;
+    params.pt_placement = static_cast<PtPlacement>(fuzz.placement);
+    params.numad_wake_interval = 11;
+    params.numad_remote_threshold = 4;
+  }
   Kernel kernel(params);
   kernel.fault_injector().SetRule(AllocSite::kFrame, FaultRule{0, 0, 0.02});
   kernel.fault_injector().SetRule(AllocSite::kPtp, FaultRule{0, 0, 0.02});
@@ -163,6 +175,13 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
                                            FaultRule{0, 0, 0.01});
     if (fuzz.swap_mb > 0) {
       kernel.fault_injector().SetCorruptRule(CorruptSite::kZramByte,
+                                             FaultRule{0, 0, 0.01});
+    }
+    if (fuzz.nodes > 1) {
+      // Replica words rot too; scrubd's majority vote across the replica
+      // set (and the master) must repair them before the audit's
+      // bit-identity check sees the damage.
+      kernel.fault_injector().SetCorruptRule(CorruptSite::kNumaReplica,
                                              FaultRule{0, 0, 0.01});
     }
   }
@@ -345,6 +364,11 @@ TEST_P(AuditFuzzTest, EveryIntermediateStateAuditsClean) {
       kernel.RunHugeScan();
     }
 
+    // Same gating trick for the numa cases' explicit placement passes.
+    if (fuzz.nodes > 1 && rng() % 23 == 0) {
+      kernel.RunNumadPass();
+    }
+
     if (fuzz.chaos) {
       // A flipped bit is only guaranteed visible to scrubd (the cheap
       // touch-time checks deliberately skip the rmap cross-check), so
@@ -434,6 +458,18 @@ std::vector<AuditFuzzCase> AuditFuzzCases() {
       {3135, true, false, 16, true, 1, false, false, true},
       {3236, true, false, 0, false, 1, false, true, true},
       {3337, true, true, 16, true, 4, true, false, true},
+      // NUMA cases: a 2- or 4-node machine with the numaPTE engine
+      // write-through-replicating (or migrating) under the same op mix —
+      // replicas must stay bit-identical to their masters through fork,
+      // munmap, COW, swap, reclaim's replica sacrifice, and teardown.
+      // The chaos case adds seeded replica-word rot for scrubd's
+      // majority vote to repair.
+      {3438, true, false, 0, false, 4, false, false, false, 4, 1},
+      {3539, true, false, 16, false, 4, true, false, false, 2, 1},
+      {3640, true, false, 0, false, 4, false, false, false, 4, 2},
+      {3741, false, false, 0, false, 4, false, false, false, 4, 1},
+      {3842, true, false, 16, true, 4, false, false, true, 2, 1},
+      {3943, true, false, 0, false, 4, false, true, false, 4, 1},
   };
 }
 
@@ -450,6 +486,10 @@ INSTANTIATE_TEST_SUITE_P(
       if (c.batched) name += "_batched";
       if (c.chaos) name += "_chaos";
       if (c.huge) name += "_huge";
+      if (c.nodes > 1) {
+        name += "_numa" + std::to_string(c.nodes);
+        name += c.placement == 1 ? "r" : c.placement == 2 ? "m" : "l";
+      }
       return name;
     });
 

@@ -25,7 +25,7 @@ namespace {
 
 const char* const kCheckedInScenarios[] = {
     "app_server_farm.scn", "phone_fleet_diurnal.scn", "fork_storm_10k.scn",
-    "swap_thrash_ksm.scn", "chaos_soak.scn",
+    "swap_thrash_ksm.scn", "chaos_soak.scn", "numa_fleet.scn",
 };
 
 // ---------------------------------------------------------------------------
@@ -144,6 +144,8 @@ TEST(ScenarioParserTest, UnknownSettingAndBadSettingValuesAreRejected) {
             Errno::kEfault);
   EXPECT_EQ(ParseScenario("set shootdown sometimes;", "b", &reg).error,
             Errno::kEinval);
+  EXPECT_EQ(ParseScenario("set pt_placement sometimes;", "b", &reg).error,
+            Errno::kEinval);
   EXPECT_EQ(ParseScenario("set ksm maybe;", "b", &reg).error, Errno::kEinval);
 }
 
@@ -201,6 +203,7 @@ TEST(ScenarioRunnerTest, SettingsShapeTheSystemConfig) {
   ASSERT_TRUE(result.ok()) << result.FormatError("cfg");
   const SystemConfig config = ScenarioSystemConfig(result.graph);
   EXPECT_FALSE(config.share_ptps);
+  EXPECT_EQ(config.pt_placement, PtPlacement::kLocal);
   EXPECT_EQ(config.phys_bytes, 128ull * 1024 * 1024);
   EXPECT_EQ(config.swap_bytes, 64ull * 1024 * 1024);
   EXPECT_EQ(config.num_cores, 4u);
@@ -344,6 +347,92 @@ TEST(ScenarioRunnerTest, ShardedRunIsBitIdenticalAcrossJobCounts) {
   }
   // The shards split the scenario-wide population exactly.
   EXPECT_EQ(spawned_total, 24u);
+}
+
+// ---------------------------------------------------------------------------
+// The NUMA fleet: SpawnStorm sharded across the cores places anon
+// frames first-touch on the spawning core's node, NumaSweep feeds
+// numad's placement policy, and the whole run stays bit-identical at
+// any --jobs value — with the numa counters live in every record.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioRunnerTest, SpawnStormPlacesAnonFramesFirstTouchAcrossNodes) {
+  SystemConfig config = ConfigByName("shared-ptp-tlb");
+  config.num_cores = 8;
+  config.num_nodes = 4;
+  System system(config);
+  PhysicalMemory& phys = system.kernel().phys();
+  const uint64_t fallbacks_before = phys.numa_fallbacks();
+  std::vector<uint64_t> before(phys.num_nodes());
+  for (uint32_t n = 0; n < phys.num_nodes(); ++n) {
+    before[n] = phys.free_frames_on_node(n);
+  }
+
+  ScenarioContext ctx(&system, /*rng_seed=*/7, 0, 1, 1.0);
+  std::unique_ptr<WorkloadElement> storm =
+      ElementRegistry::Default().Create("SpawnStorm");
+  ASSERT_NE(storm, nullptr);
+  storm->set_name("storm");
+  ElementParams params;
+  params.items = {{"count", "8"}, {"rate", "8"}, {"lifetime", "100"},
+                  {"touch_pages", "8"}};
+  ASSERT_TRUE(storm->Configure(params).ok());
+  ctx.set_tick(0);
+  storm->Tick(ctx);
+
+  // Eight workers round-robin over eight cores = two per node, each
+  // touching an 8-page heap: first-touch placement puts those frames
+  // (and the PTPs behind them) on the touching core's node, so every
+  // node's free count drops — not just node 0's — and no allocation had
+  // to fall back to a remote node to get there.
+  for (uint32_t n = 0; n < phys.num_nodes(); ++n) {
+    EXPECT_LT(phys.free_frames_on_node(n), before[n]) << "node " << n;
+  }
+  EXPECT_EQ(phys.numa_fallbacks(), fallbacks_before);
+
+  ctx.ExitAll();
+  const AuditReport audit = system.kernel().AuditInvariants();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+const char kNumaGraph[] =
+    "set config shared-ptp-tlb;\n"
+    "set ticks 16;\n"
+    "set shards 4;\n"
+    "set cores 8;\n"
+    "set nodes 4;\n"
+    "set pt_placement replicate;\n"
+    "storm :: SpawnStorm(count 48, rate 6, lifetime 2, touch_pages 8);\n"
+    "sweep :: NumaSweep(procs 8, shared_pages 12, anon_pages 8, "
+    "touches 16, numad_every 4);\n"
+    "storm -> sweep;\n";
+
+TEST(ScenarioRunnerTest, NumaFleetIsBitIdenticalAcrossJobCounts) {
+  const ScenarioParseResult parsed =
+      ParseScenario(kNumaGraph, "numa", &ElementRegistry::Default());
+  ASSERT_TRUE(parsed.ok()) << parsed.FormatError("numa");
+
+  const std::vector<JobRecord> serial = RunShardedScenario(parsed.graph, 1);
+  const std::vector<JobRecord> parallel = RunShardedScenario(parsed.graph, 4);
+
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(serial.size(), parallel.size());
+  double walks = 0, promotions = 0;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].config, parallel[i].config);
+    ASSERT_EQ(serial[i].metrics.size(), parallel[i].metrics.size());
+    for (size_t m = 0; m < serial[i].metrics.size(); ++m) {
+      EXPECT_EQ(serial[i].metrics[m].first, parallel[i].metrics[m].first);
+      EXPECT_EQ(serial[i].metrics[m].second, parallel[i].metrics[m].second)
+          << serial[i].config << " " << serial[i].metrics[m].first;
+    }
+    walks += MetricOr(serial[i], "counters.numa_walks");
+    promotions += MetricOr(serial[i], "counters.numa_replica_promotions");
+  }
+  // The numa counters made it into the records, and the fleet actually
+  // exercised the replication machinery on every shard set.
+  EXPECT_GT(walks, 0.0);
+  EXPECT_GT(promotions, 0.0);
 }
 
 // ---------------------------------------------------------------------------
